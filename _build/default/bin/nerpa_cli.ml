@@ -1,0 +1,202 @@
+(* nerpa_cli — command-line front end to the stack.
+
+     nerpa_cli check PROGRAM.dl           type-check and show strata
+     nerpa_cli run PROGRAM.dl SCRIPT      execute a transaction script
+     nerpa_cli codegen                    print the DL schema generated
+                                          from the snvs OVSDB + P4 planes
+
+   Script syntax, one command per line ('#' comments):
+     + Rel(const, const, ...)    stage an insertion
+     - Rel(const, const, ...)    stage a deletion
+     commit                      commit the transaction, print deltas
+     dump Rel                    print a relation's contents *)
+
+open Dl
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---------------- check ---------------- *)
+
+let cmd_check file =
+  let src = read_file file in
+  match Parser.parse_program src with
+  | Error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 1
+  | Ok program -> (
+    match Typecheck.check_program program with
+    | Error errs ->
+      List.iter (fun e -> Printf.eprintf "error: %s\n" e) errs;
+      exit 1
+    | Ok () -> (
+      match Stratify.stratify program with
+      | exception Stratify.Unstratifiable msg ->
+        Printf.eprintf "error: unstratifiable: %s\n" msg;
+        exit 1
+      | strata ->
+        Printf.printf "%s: %d relations, %d rules, %d strata\n" file
+          (List.length program.Ast.decls)
+          (List.length program.Ast.rules)
+          (List.length strata);
+        Format.printf "%a" Stratify.pp strata;
+        List.iter
+          (fun w -> Printf.printf "warning: %s\n" w)
+          (Typecheck.lint program);
+        exit 0))
+
+(* ---------------- run ---------------- *)
+
+type script_cmd =
+  | Update of bool * string * Row.t
+  | Commit
+  | Dump of string
+
+let parse_script_line line : script_cmd option =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else if line = "commit" then Some Commit
+  else if String.length line > 5 && String.sub line 0 5 = "dump " then
+    Some (Dump (String.trim (String.sub line 5 (String.length line - 5))))
+  else begin
+    let sign, rest =
+      match line.[0] with
+      | '+' -> (true, String.sub line 1 (String.length line - 1))
+      | '-' -> (false, String.sub line 1 (String.length line - 1))
+      | _ -> failwith (Printf.sprintf "bad script line: %s" line)
+    in
+    (* Reuse the DL front end: parse "Rel(...)" as a fact. *)
+    match Parser.parse_program (rest ^ ".") with
+    | Ok { Ast.rules = [ { head; body = [] } ]; _ } ->
+      let row =
+        Array.map
+          (function
+            | Ast.EConst c -> c
+            | Ast.ECall ("neg", [ Ast.EConst (Value.VInt v) ]) ->
+              Value.VInt (Int64.neg v)
+            | _ -> failwith "script rows must be constants")
+          head.Ast.hargs
+      in
+      Some (Update (sign, head.Ast.hrel, row))
+    | Ok _ | Error _ -> failwith (Printf.sprintf "bad script line: %s" line)
+  end
+
+let coerce_row (program : Ast.program) rel (row : Row.t) : Row.t =
+  match Ast.find_decl program rel with
+  | None -> row
+  | Some d ->
+    let tys = Array.of_list (List.map snd d.cols) in
+    if Array.length tys <> Array.length row then row
+    else
+      Array.mapi
+        (fun i v ->
+          match tys.(i), v with
+          | Dtype.TBit w, Value.VInt x -> Value.bit w x
+          | _ -> v)
+        row
+
+let cmd_run file script =
+  let program =
+    match Parser.parse_program (read_file file) with
+    | Ok p -> p
+    | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+  in
+  let engine =
+    try Engine.create program
+    with Engine.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  let lines = String.split_on_char '\n' (read_file script) in
+  let txn = ref None in
+  let ensure_txn () =
+    match !txn with
+    | Some t -> t
+    | None ->
+      let t = Engine.transaction engine in
+      txn := Some t;
+      t
+  in
+  List.iteri
+    (fun lineno line ->
+      match parse_script_line line with
+      | None -> ()
+      | Some cmd -> (
+        try
+          match cmd with
+          | Update (ins, rel, row) ->
+            let row = coerce_row program rel row in
+            if ins then Engine.insert (ensure_txn ()) rel row
+            else Engine.delete (ensure_txn ()) rel row
+          | Commit ->
+            let t = ensure_txn () in
+            txn := None;
+            let deltas = Engine.commit t in
+            Printf.printf "commit:\n";
+            if deltas = [] then print_endline "  (no changes)"
+            else
+              List.iter
+                (fun (rel, dz) ->
+                  Zset.iter
+                    (fun r w ->
+                      Printf.printf "  %s %s%s\n"
+                        (if w > 0 then "+" else "-")
+                        rel (Row.to_string r))
+                    dz)
+                deltas
+          | Dump rel ->
+            Printf.printf "%s:\n" rel;
+            List.iter
+              (fun r -> Printf.printf "  %s\n" (Row.to_string r))
+              (List.sort Row.compare (Engine.relation_rows engine rel))
+        with
+        | Failure msg | Engine.Error msg ->
+          Printf.eprintf "script line %d: %s\n" (lineno + 1) msg;
+          exit 1))
+    lines;
+  (match !txn with
+  | Some t -> ignore (Engine.commit t)
+  | None -> ());
+  exit 0
+
+(* ---------------- codegen ---------------- *)
+
+let cmd_codegen () =
+  let g = Nerpa.Codegen.generate ~schema:Snvs.schema ~p4:Snvs.p4 in
+  print_endline "// relations generated from the snvs OVSDB schema and P4 program";
+  print_endline (Nerpa.Codegen.decls_text g);
+  exit 0
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+open Cmdliner
+
+let file_arg n doc = Arg.(required & pos n (some file) None & info [] ~doc)
+
+let check_cmd =
+  let doc = "type-check a DL program and report its strata" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const cmd_check $ file_arg 0 "the .dl program")
+
+let run_cmd =
+  let doc = "run a transaction script against a DL program" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const cmd_run $ file_arg 0 "the .dl program" $ file_arg 1 "the script file")
+
+let codegen_cmd =
+  let doc = "print the control-plane schema generated from the snvs planes" in
+  Cmd.v (Cmd.info "codegen" ~doc) Term.(const cmd_codegen $ const ())
+
+let () =
+  let doc = "Nerpa full-stack SDN tooling" in
+  let info = Cmd.info "nerpa_cli" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; codegen_cmd ]))

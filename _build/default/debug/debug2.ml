@@ -1,0 +1,28 @@
+let () =
+  (* ofp4 semantics *)
+  let open Ofp4 in
+  let simple_router : P4.Program.t =
+    let open P4.Program in
+    { name = "router";
+      headers = [ P4.Stdhdrs.ethernet; P4.Stdhdrs.ipv4 ];
+      parser = { start = "s"; states = [ { sname = "s"; extracts = [ "ethernet"; "ipv4" ]; transition = Accept } ] };
+      actions = [
+        { aname = "forward"; params = [ ("port", 16) ]; body = [ Forward (EParam "port") ] };
+        { aname = "drop"; params = []; body = [ Drop ] };
+        { aname = "flood"; params = [ ("g", 16) ]; body = [ Multicast (EParam "g") ] } ];
+      tables = [
+        { tname = "acl"; keys = [ { kref = Field ("ipv4", "src"); kind = Ternary } ];
+          actions = [ "forward"; "drop" ]; default_action = ("forward", [ 0L ]); size = 64 };
+        { tname = "routes"; keys = [ { kref = Field ("ipv4", "dst"); kind = Lpm } ];
+          actions = [ "forward"; "drop"; "flood" ]; default_action = ("drop", []); size = 1024 } ];
+      digests = []; counters = []; registers = [];
+      ingress = Seq (ApplyTable "acl", ApplyTable "routes"); egress = Nop }
+  in
+  let sw = P4.Switch.create simple_router in
+  P4.Switch.insert_entry sw "routes" { P4.Entry.matches = [ P4.Entry.MLpm (0x0A000000L, 8) ]; priority = 0; action = "forward"; args = [ 1L ] };
+  P4.Switch.insert_entry sw "routes" { P4.Entry.matches = [ P4.Entry.MLpm (0x0A010000L, 16) ]; priority = 0; action = "forward"; args = [ 2L ] };
+  P4.Switch.insert_entry sw "acl" { P4.Entry.matches = [ P4.Entry.MTernary (0xDEAD0000L, 0xFFFF0000L) ]; priority = 9; action = "drop"; args = [] };
+  let prog = Compile.compile sw in
+  print_endline (Openflow.dump prog);
+  let v = Openflow.eval prog { Openflow.fields = [ ("ipv4.src", 1L); ("ipv4.dst", 0x0A016666L) ]; present = [] } in
+  Printf.printf "outputs: %s\n" (String.concat "," (List.map Int64.to_string v.Openflow.outputs))

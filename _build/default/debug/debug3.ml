@@ -1,0 +1,74 @@
+(* minimize the lookup property failure *)
+let lookup_program : P4.Program.t =
+  let open P4.Program in
+  { name = "lookup"; headers = [ P4.Stdhdrs.ethernet; P4.Stdhdrs.ipv4 ];
+    parser = { start = "s"; states = [ { sname = "s"; extracts = [ "ethernet"; "ipv4" ]; transition = Accept } ] };
+    actions = [ { aname = "forward"; params = [ ("port", 16) ]; body = [ Forward (EParam "port") ] };
+                { aname = "drop"; params = []; body = [ Drop ] } ];
+    tables = [ { tname = "mixed";
+                 keys = [ { kref = Field ("ipv4", "dst"); kind = Lpm };
+                          { kref = Field ("ipv4", "protocol"); kind = Ternary } ];
+                 actions = [ "forward"; "drop" ]; default_action = ("drop", []); size = 4096 } ];
+    digests = []; counters = []; registers = [];
+    ingress = ApplyTable "mixed"; egress = Nop }
+
+let reference_winners entries ~widths values =
+  let matching =
+    List.filter
+      (fun (e : P4.Entry.t) ->
+        List.for_all2 (fun (w, mv) v -> P4.Entry.match_value_matches ~width:w mv v)
+          (List.combine widths e.matches) values)
+      entries
+  in
+  let rank (e : P4.Entry.t) = (P4.Entry.lpm_length e, e.priority) in
+  match matching with
+  | [] -> []
+  | _ ->
+    let best = List.fold_left (fun b e -> max b (rank e)) (min_int, min_int) matching in
+    List.filter (fun e -> rank e = best) matching
+
+let () =
+  let r = Random.State.make [| 99 |] in
+  let found = ref false in
+  let attempt = ref 0 in
+  while not !found && !attempt < 100000 do
+    incr attempt;
+    let n = 1 + Random.State.int r 4 in
+    let entries = List.init n (fun _ ->
+      { P4.Entry.matches =
+          [ P4.Entry.MLpm (Int64.of_int (Random.State.int r 16), List.nth [0;28;30;32] (Random.State.int r 4));
+            P4.Entry.MTernary (Int64.of_int (Random.State.int r 4), if Random.State.bool r then 0L else 3L) ];
+        priority = Random.State.int r 4; action = "forward";
+        args = [ Int64.of_int (1 + Random.State.int r 8) ] })
+    in
+    let sw = P4.Switch.create lookup_program in
+    let installed = List.fold_left (fun acc (e : P4.Entry.t) ->
+        P4.Switch.insert_entry sw "mixed" e;
+        e :: List.filter (fun e' -> not (P4.Entry.same_match e e')) acc) [] entries in
+    for dst = 0 to 15 do
+      for proto = 0 to 3 do
+        if not !found then begin
+          let values = [ Int64.of_int dst; Int64.of_int proto ] in
+          let winners = reference_winners installed ~widths:[ 32; 8 ] values in
+          let pkt = P4.Stdhdrs.udp_packet ~eth_dst:1L ~eth_src:2L ~ip_src:9L
+              ~ip_dst:(Int64.of_int dst) ~src_port:1L ~dst_port:2L ~payload:"" in
+          P4.Packet.set_bits pkt ~bit_offset:(14*8+72) ~width:8 (Int64.of_int proto);
+          let outs = P4.Switch.process sw ~in_port:1 pkt in
+          let ok = match winners, outs with
+            | [], [] -> true
+            | _ :: _, [ (p, _) ] ->
+              List.exists (fun (e : P4.Entry.t) -> e.P4.Entry.args = [ Int64.of_int p ]) winners
+            | _ -> false
+          in
+          if not ok then begin
+            found := true;
+            Printf.printf "attempt %d: dst=%d proto=%d\n" !attempt dst proto;
+            List.iter (fun e -> print_endline ("  installed: " ^ P4.Entry.to_string e)) installed;
+            Printf.printf "  winners: %d, outs: [%s]\n" (List.length winners)
+              (String.concat ";" (List.map (fun (p,_) -> string_of_int p) outs))
+          end
+        end
+      done
+    done
+  done;
+  if not !found then print_endline "no failure found"

@@ -1,0 +1,28 @@
+let lookup_program : P4.Program.t =
+  let open P4.Program in
+  { name = "lookup"; headers = [ P4.Stdhdrs.ipv4 ];
+    parser = { start = "s"; states = [ { sname = "s"; extracts = [ "ipv4" ]; transition = Accept } ] };
+    actions = [ { aname = "forward"; params = [ ("port", 16) ]; body = [ Forward (EParam "port") ] };
+                { aname = "drop"; params = []; body = [ Drop ] } ];
+    tables = [ { tname = "mixed";
+                 keys = [ { kref = Field ("ipv4", "dst"); kind = Lpm };
+                          { kref = Field ("ipv4", "protocol"); kind = Ternary } ];
+                 actions = [ "forward"; "drop" ]; default_action = ("drop", []); size = 4096 } ];
+    digests = []; counters = []; registers = [];
+    ingress = ApplyTable "mixed"; egress = Nop }
+
+let () =
+  let sw = P4.Switch.create lookup_program in
+  P4.Switch.insert_entry sw "mixed"
+    { P4.Entry.matches = [ P4.Entry.MLpm (1L, 30); P4.Entry.MTernary (0L, 0L) ];
+      priority = 0; action = "forward"; args = [ 7L ] };
+  let pkt = P4.Stdhdrs.udp_packet ~eth_dst:1L ~eth_src:2L ~ip_src:9L
+      ~ip_dst:0L ~src_port:1L ~dst_port:2L ~payload:"" in
+  P4.Packet.set_bits pkt ~bit_offset:(14*8+72) ~width:8 0L;
+  (match P4.Switch.process sw ~in_port:1 pkt with
+   | [ (p, _) ] -> Printf.printf "single entry A: forwarded to %d\n" p
+   | [] -> print_endline "single entry A: dropped!"
+   | _ -> print_endline "multi");
+  Printf.printf "mask/30 = %Lx\n" (P4.Entry.mask_of_prefix ~width:32 ~prefix_len:30);
+  Printf.printf "matches? %b\n"
+    (P4.Entry.match_value_matches ~width:32 (P4.Entry.MLpm (1L, 30)) 0L)

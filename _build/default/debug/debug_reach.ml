@@ -1,0 +1,114 @@
+(* Ad-hoc search for a minimal failing trace of engine-vs-naive. *)
+open Dl
+
+let ints l = Array.of_list (List.map Value.of_int l)
+
+let program =
+  Parser.parse_program_exn
+    {|
+    input relation Edge(a: int, b: int)
+    input relation Src(n: int)
+    output relation Reach(n: int)
+    Reach(n) :- Src(n).
+    Reach(b) :- Reach(a), Edge(a, b).
+    |}
+
+let rels = [ ("Edge", 2); ("Src", 1) ]
+
+let pp_update (rel, row, ins) =
+  Printf.sprintf "%s %s %s" (if ins then "+" else "-") rel (Row.to_string row)
+
+let run_trace trace =
+  let eng = Engine.create program in
+  let current = Hashtbl.create 8 in
+  List.iter (fun (r, _) -> Hashtbl.replace current r Row.Set.empty) rels;
+  let fail = ref None in
+  List.iteri
+    (fun ti txn_updates ->
+      if !fail = None then begin
+        let txn = Engine.transaction eng in
+        List.iter
+          (fun (rel, row, ins) ->
+            if ins then Engine.insert txn rel row else Engine.delete txn rel row;
+            let s = Hashtbl.find current rel in
+            Hashtbl.replace current rel
+              (if ins then Row.Set.add row s else Row.Set.remove row s))
+          txn_updates;
+        ignore (Engine.commit txn);
+        let inputs =
+          Hashtbl.fold (fun rel s acc -> (rel, Row.Set.elements s) :: acc) current []
+        in
+        let oracle = Naive.run program inputs in
+        List.iter
+          (fun (d : Ast.rel_decl) ->
+            let expected =
+              List.sort Row.compare (Row.Set.elements (Naive.get oracle d.rname))
+            in
+            let actual = List.sort Row.compare (Engine.relation_rows eng d.rname) in
+            if not (List.equal Row.equal expected actual) && !fail = None then
+              fail :=
+                Some
+                  (Printf.sprintf "txn %d rel %s:\n  expected %s\n  actual   %s" ti
+                     d.rname
+                     (String.concat " " (List.map Row.to_string expected))
+                     (String.concat " " (List.map Row.to_string actual))))
+          program.Ast.decls
+      end)
+    trace;
+  !fail
+
+let random_trace rng =
+  let n_txn = 1 + Random.State.int rng 6 in
+  List.init n_txn (fun _ ->
+      let n_up = 1 + Random.State.int rng 4 in
+      List.init n_up (fun _ ->
+          let rel, arity = List.nth rels (Random.State.int rng (List.length rels)) in
+          let row = ints (List.init arity (fun _ -> Random.State.int rng 3)) in
+          (rel, row, Random.State.bool rng)))
+
+(* Shrinking: try removing transactions, then updates. *)
+let rec shrink trace =
+  let candidates =
+    List.concat
+      [
+        List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) trace) trace;
+        List.concat
+          (List.mapi
+             (fun i txn ->
+               List.mapi
+                 (fun j _ ->
+                   List.mapi
+                     (fun i' txn' ->
+                       if i = i' then List.filteri (fun j' _ -> j' <> j) txn'
+                       else txn')
+                     trace
+                   |> List.filter (fun t -> t <> []))
+                 txn)
+             trace);
+      ]
+  in
+  match List.find_opt (fun t -> t <> [] && run_trace t <> None) candidates with
+  | Some t -> shrink t
+  | None -> trace
+
+let () =
+  let rng = Random.State.make [| 42 |] in
+  let rec search i =
+    if i > 200000 then print_endline "no failure found"
+    else
+      let trace = random_trace rng in
+      match run_trace trace with
+      | None -> search (i + 1)
+      | Some _ ->
+        let trace = shrink trace in
+        Printf.printf "minimal failing trace (attempt %d):\n" i;
+        List.iteri
+          (fun ti txn ->
+            Printf.printf "  txn %d:\n" ti;
+            List.iter (fun u -> Printf.printf "    %s\n" (pp_update u)) txn)
+          trace;
+        (match run_trace trace with
+        | Some msg -> print_endline msg
+        | None -> ())
+  in
+  search 0

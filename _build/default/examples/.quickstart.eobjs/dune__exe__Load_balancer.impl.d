@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Baseline Dl Engine Int64 List Netgen Parser Printf Unix Value Zset

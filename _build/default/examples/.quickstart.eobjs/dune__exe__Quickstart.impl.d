@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dl Engine List Parser Printf Row Value Zset

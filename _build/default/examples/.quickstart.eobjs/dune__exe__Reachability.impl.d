@@ -1,0 +1,1 @@
+examples/reachability.ml: Array Baseline Dl Engine Int64 List Netgen Parser Printf Unix Value Zset

@@ -1,0 +1,1 @@
+examples/router.ml: Dl L3router Nerpa P4 Printf

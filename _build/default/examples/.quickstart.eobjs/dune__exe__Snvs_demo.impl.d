@@ -1,0 +1,1 @@
+examples/snvs_demo.ml: List Nerpa P4 Printf Snvs String

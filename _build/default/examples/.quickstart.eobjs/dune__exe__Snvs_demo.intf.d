@@ -1,0 +1,1 @@
+examples/snvs_demo.mli:

@@ -1,0 +1,112 @@
+(* A layer-4 load balancer on the Nerpa stack — and the honest flip
+   side: the paper's §2.2 observation that *cold-start-then-teardown*
+   is a worst case for automatic incrementality.
+
+   The DL program maps virtual IPs to hash buckets over backends; the
+   example then reproduces the OVN load-balancer benchmark shape
+   (create large LBs, then delete them one by one) against both the
+   incremental engine and the C-style imperative controller.
+
+   Run with:  dune exec examples/load_balancer.exe *)
+
+open Dl
+
+let program =
+  Parser.parse_program_exn
+    {|
+    input relation LoadBalancer(name: string, vip: bit<32>, backends: vec<bit<32>>)
+    input relation BackendHealth(addr: bit<32>, healthy: bool)
+
+    relation Dead(addr: bit<32>)
+    Dead(a) :- BackendHealth(a, false).
+
+    // One hash-bucket entry per healthy backend of each VIP.
+    output relation LbEntry(vip: bit<32>, bucket: bit<16>, backend: bit<32>)
+    LbEntry(vip, bucket, b) :-
+      LoadBalancer(_, vip, bs), var b in bs, not Dead(b),
+      var bucket = bit_slice(hash32(b), 15, 0).
+
+    // Monitoring view: backends per VIP.
+    output relation VipSize(vip: bit<32>, n: int)
+    VipSize(vip, n) :- LbEntry(vip, _, b), var n = count(b) group_by (vip).
+    |}
+
+let vip i = Value.bit 32 (Int64.of_int (0x0A000000 + i))
+let backend v = Value.bit 32 v
+
+let () =
+  let n_lbs = 40 and n_backends = 50 in
+  let plans = Netgen.lbs ~n:n_lbs ~backends:n_backends ~seed:9 in
+  Printf.printf "scenario: %d load balancers x %d backends\n\n" n_lbs n_backends;
+
+  let engine = Engine.create program in
+
+  (* Cold start. *)
+  let t0 = Unix.gettimeofday () in
+  let txn = Engine.transaction engine in
+  List.iteri
+    (fun i (p : Netgen.lb_plan) ->
+      Engine.insert txn "LoadBalancer"
+        [| Value.of_string p.lb_name; vip i;
+           Value.VVec (List.map backend p.lb_backends) |])
+    plans;
+  ignore (Engine.commit txn);
+  Printf.printf "engine cold start: %d entries in %.1f ms (footprint %d tuples)\n"
+    (Engine.relation_cardinal engine "LbEntry")
+    ((Unix.gettimeofday () -. t0) *. 1e3)
+    (Engine.footprint engine);
+
+  let imp = Baseline.Lb_imperative.create () in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i (p : Netgen.lb_plan) ->
+      Baseline.Lb_imperative.add_lb imp
+        ~vip:(Int64.of_int (0x0A000000 + i))
+        ~backends:p.lb_backends)
+    plans;
+  Printf.printf "imperative cold start: %d entries in %.1f ms (footprint %d tuples)\n\n"
+    (Baseline.Lb_imperative.entry_count imp)
+    ((Unix.gettimeofday () -. t0) *. 1e3)
+    (Baseline.Lb_imperative.footprint imp);
+
+  (* Health-based failover: the genuinely incremental case, where the
+     engine shines: one backend dies, only its buckets change. *)
+  let victim = List.hd (List.hd plans).Netgen.lb_backends in
+  let t0 = Unix.gettimeofday () in
+  let deltas =
+    Engine.apply engine
+      [ ("BackendHealth", [| backend victim; Value.VBool false |], true) ]
+  in
+  let changed =
+    List.fold_left (fun acc (_, dz) -> acc + Zset.cardinal dz) 0 deltas
+  in
+  Printf.printf
+    "backend %Ld marked unhealthy: %d facts changed in %.0f us (out of %d entries)\n\n"
+    victim changed
+    ((Unix.gettimeofday () -. t0) *. 1e6)
+    (Engine.relation_cardinal engine "LbEntry");
+
+  (* The §2.2 worst case: delete every LB, one transaction each. *)
+  print_endline "teardown (one delete per transaction) — the paper's worst case:";
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i (p : Netgen.lb_plan) ->
+      ignore
+        (Engine.apply engine
+           [ ( "LoadBalancer",
+               [| Value.of_string p.lb_name; vip i;
+                  Value.VVec (List.map backend p.lb_backends) |],
+               false ) ]))
+    plans;
+  let engine_teardown = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i _ ->
+      Baseline.Lb_imperative.remove_lb imp ~vip:(Int64.of_int (0x0A000000 + i)))
+    plans;
+  let imp_teardown = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Printf.printf "  incremental engine : %.1f ms\n" engine_teardown;
+  Printf.printf "  imperative (C-style): %.2f ms\n" imp_teardown;
+  Printf.printf
+    "  -> the imperative version wins this shape, as §2.2 reports for OVN;\n\
+    \     the engine pays for indexes it maintains but never reuses.\n"

@@ -1,0 +1,89 @@
+(* The paper's headline example end-to-end: a simple network virtual
+   switch (snvs) run across all three planes.
+
+   The administrator writes rows into the OVSDB management database;
+   the DL control plane incrementally computes table entries; the
+   P4Runtime layer installs them into the behavioural switch; real
+   Ethernet frames flow; MAC-learning digests feed back into the
+   control plane.
+
+   Run with:  dune exec examples/snvs_demo.exe *)
+
+let mac = P4.Stdhdrs.mac_of_string
+
+let frame ~dst ~src =
+  P4.Stdhdrs.ethernet_frame ~dst ~src ~ethertype:0x0800L ~payload:"payload"
+
+let show_outputs what outs =
+  Printf.printf "%-40s -> %s\n" what
+    (if outs = [] then "(dropped)"
+     else
+       String.concat ", "
+         (List.map
+            (fun (port, pkt) ->
+              let tagged =
+                P4.Packet.get_bits pkt ~bit_offset:96 ~width:16
+                = P4.Stdhdrs.ethertype_vlan
+              in
+              Printf.sprintf "port %d%s" port (if tagged then " (tagged)" else ""))
+            outs))
+
+let () =
+  print_endline "== deploying snvs: OVSDB + DL controller + P4 switch ==";
+  let d = Snvs.deploy () in
+
+  print_endline "administrator: adding ports via OVSDB transactions";
+  ignore (Snvs.add_port d ~name:"h1" ~port:1 ~mode:"access" ~tag:10 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"h2" ~port:2 ~mode:"access" ~tag:10 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"h3" ~port:3 ~mode:"access" ~tag:20 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"up" ~port:4 ~mode:"trunk" ~tag:0 ~trunks:[ 10; 20 ]);
+  let txns = Nerpa.Controller.sync d.controller in
+  Printf.printf "controller synced (%d transactions)\n\n" txns;
+
+  let h1 = mac "02:00:00:00:00:01" and h2 = mac "02:00:00:00:00:02" in
+  let bcast = mac "ff:ff:ff:ff:ff:ff" in
+
+  show_outputs "h1 broadcasts (unknown dst, vlan 10)"
+    (P4.Switch.process d.switch ~in_port:1 (frame ~dst:bcast ~src:h1));
+  ignore (Nerpa.Controller.sync d.controller);
+  Printf.printf "  ... controller consumed the learning digest; dmac now has %d entries\n"
+    (P4.Switch.entry_count d.switch "dmac");
+
+  show_outputs "h2 replies to h1 (now unicast)"
+    (P4.Switch.process d.switch ~in_port:2 (frame ~dst:h1 ~src:h2));
+  ignore (Nerpa.Controller.sync d.controller);
+
+  show_outputs "h1 sends to h2 (both learned)"
+    (P4.Switch.process d.switch ~in_port:1 (frame ~dst:h2 ~src:h1));
+
+  print_endline "\nadministrator: mirror port 1 to port 9";
+  ignore (Snvs.add_mirror d ~name:"tap" ~select_port:1 ~output_port:9);
+  ignore (Nerpa.Controller.sync d.controller);
+  show_outputs "h1 sends to h2 (with mirror)"
+    (P4.Switch.process d.switch ~in_port:1 (frame ~dst:h2 ~src:h1));
+
+  print_endline "\nadministrator: deny h1 -> h2 with an ACL";
+  ignore
+    (Snvs.add_acl d ~priority:10 ~src:h1 ~src_mask:0xFFFFFFFFFFFFL ~dst:h2
+       ~dst_mask:0xFFFFFFFFFFFFL ~allow:false);
+  ignore (Nerpa.Controller.sync d.controller);
+  show_outputs "h1 sends to h2 (ACL denies)"
+    (P4.Switch.process d.switch ~in_port:1 (frame ~dst:h2 ~src:h1));
+  show_outputs "h2 sends to h1 (unaffected)"
+    (P4.Switch.process d.switch ~in_port:2 (frame ~dst:h1 ~src:h2));
+
+  print_endline "\nadministrator: removing port h2";
+  Snvs.del_port d ~name:"h2";
+  ignore (Nerpa.Controller.sync d.controller);
+  show_outputs "h1 broadcasts again"
+    (P4.Switch.process d.switch ~in_port:1 (frame ~dst:bcast ~src:h1));
+
+  let s = Nerpa.Controller.stats d.controller in
+  Printf.printf
+    "\ncontroller totals: %d DL transactions, %d entry writes, %d digests, %d group updates\n"
+    s.Nerpa.Controller.txns s.Nerpa.Controller.entries_written
+    s.Nerpa.Controller.digests_consumed s.Nerpa.Controller.groups_updated;
+  let inv = Snvs.loc_inventory () in
+  Printf.printf
+    "snvs artefacts: %d rule lines, %d generated declaration lines, ~%d P4 lines, %d OVSDB tables\n"
+    inv.Snvs.rules_loc inv.Snvs.generated_loc inv.Snvs.p4_loc inv.Snvs.ovsdb_tables

@@ -1,0 +1,1 @@
+lib/baseline/frag_controller.ml: Int Int64 List Ofp4 Printf

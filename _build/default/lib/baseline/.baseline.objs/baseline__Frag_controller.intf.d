@@ -1,0 +1,1 @@
+lib/baseline/frag_controller.mli: Ofp4

@@ -1,0 +1,1 @@
+lib/baseline/label_baseline.ml: Hashtbl Int List Option Queue String

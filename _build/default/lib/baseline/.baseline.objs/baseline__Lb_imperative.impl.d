@@ -1,0 +1,1 @@
+lib/baseline/lb_imperative.ml: Hashtbl List Option

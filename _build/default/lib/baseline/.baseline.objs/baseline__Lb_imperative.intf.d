@@ -1,0 +1,1 @@
+lib/baseline/lb_imperative.mli:

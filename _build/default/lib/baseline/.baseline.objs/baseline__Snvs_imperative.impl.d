@@ -1,0 +1,1 @@
+lib/baseline/snvs_imperative.ml: Hashtbl Int64 List P4 Printf

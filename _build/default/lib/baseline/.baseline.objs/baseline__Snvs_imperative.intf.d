@@ -1,0 +1,1 @@
+lib/baseline/snvs_imperative.mli: P4

@@ -1,0 +1,33 @@
+(** The Fig. 3 model: a traditional OpenFlow controller whose features
+    each scatter flow fragments across the pipeline tables, versus the
+    Nerpa encoding of the same features as declarative rules.  The
+    per-feature costs are calibrated against this repository's own snvs
+    implementations (see the implementation header). *)
+
+type feature = {
+  fname : string;
+  fragments_per_table : (int * int) list;
+      (** (pipeline table id, flow templates scattered there) *)
+  imperative_loc : int;
+  nerpa_rules : int;
+}
+
+val catalogue : feature list
+(** Twelve features, loosely the order OVN gained them. *)
+
+type snapshot = {
+  features : int;
+  controller_loc : int;
+  fragment_sites : int;
+  tables_touched : int;
+  nerpa_rules : int;
+}
+
+val snapshot : int -> snapshot
+(** The codebase state after enabling the first [k] features, including
+    the fixed framework cost. *)
+
+val materialise : int -> Ofp4.Openflow.t
+(** The fragments of the first [k] features as a real flow program
+    (one representative flow per template), so scattering is measured
+    on an actual flow table rather than by arithmetic. *)

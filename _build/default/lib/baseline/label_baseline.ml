@@ -1,0 +1,166 @@
+(* The graph-labelling baselines from §1 of the paper.
+
+   [full_recompute] is the "tens of lines of Java" version: a plain
+   worklist propagation that recomputes every label from scratch.
+
+   [Incr] is the hand-written incremental version — the one the paper
+   reports took thousands of lines and several releases to debug in
+   production.  Insertions propagate semi-naively; deletions use
+   over-delete / re-derive (DRed).  Even this cut-down version is
+   several times the code of the three DL rules it replaces, and its
+   first draft here had exactly the class of support-counting bug the
+   paper warns about — which is the point. *)
+
+module Pair = struct
+  type t = int * string
+
+  let equal (a1, b1) (a2, b2) = Int.equal a1 a2 && String.equal b1 b2
+  let hash (a, b) = (a * 31) + Hashtbl.hash b
+end
+
+module PairTbl = Hashtbl.Make (Pair)
+
+(* ------------------------------------------------------------------ *)
+(* Full recompute                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Labels reachable along edges from the given seed facts: the
+    straightforward worklist version. *)
+let full_recompute ~(edges : (int * int) list)
+    ~(given : (int * string) list) : (int * string) list =
+  let succs = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace succs a
+        (b :: Option.value ~default:[] (Hashtbl.find_opt succs a)))
+    edges;
+  let labels = PairTbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun fact ->
+      if not (PairTbl.mem labels fact) then begin
+        PairTbl.replace labels fact ();
+        Queue.add fact queue
+      end)
+    given;
+  while not (Queue.is_empty queue) do
+    let n, l = Queue.pop queue in
+    List.iter
+      (fun m ->
+        if not (PairTbl.mem labels (m, l)) then begin
+          PairTbl.replace labels (m, l) ();
+          Queue.add (m, l) queue
+        end)
+      (Option.value ~default:[] (Hashtbl.find_opt succs n))
+  done;
+  PairTbl.fold (fun fact () acc -> fact :: acc) labels []
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written incremental maintenance (semi-naive + DRed)            *)
+(* ------------------------------------------------------------------ *)
+
+module Incr = struct
+  type t = {
+    succs : (int, int list) Hashtbl.t;
+    preds : (int, int list) Hashtbl.t;
+    given : unit PairTbl.t;
+    labels : unit PairTbl.t;
+    (* instrumentation: facts touched by the last update *)
+    mutable touched : int;
+  }
+
+  let create () =
+    {
+      succs = Hashtbl.create 64;
+      preds = Hashtbl.create 64;
+      given = PairTbl.create 64;
+      labels = PairTbl.create 64;
+      touched = 0;
+    }
+
+  let labels t = PairTbl.fold (fun fact () acc -> fact :: acc) t.labels []
+  let has_label t n l = PairTbl.mem t.labels (n, l)
+  let adj tbl k = Option.value ~default:[] (Hashtbl.find_opt tbl k)
+
+  (* Semi-naive insertion: propagate a new fact to successors. *)
+  let rec propagate_add t ((n, l) as fact) =
+    if not (PairTbl.mem t.labels fact) then begin
+      PairTbl.replace t.labels fact ();
+      t.touched <- t.touched + 1;
+      List.iter (fun m -> propagate_add t (m, l)) (adj t.succs n)
+    end
+
+  let add_given t n l =
+    if not (PairTbl.mem t.given (n, l)) then begin
+      PairTbl.replace t.given (n, l) ();
+      propagate_add t (n, l)
+    end
+
+  let add_edge t a b =
+    if not (List.mem b (adj t.succs a)) then begin
+      Hashtbl.replace t.succs a (b :: adj t.succs a);
+      Hashtbl.replace t.preds b (a :: adj t.preds b);
+      PairTbl.iter
+        (fun (n, l) () -> if n = a then propagate_add t (b, l))
+        (PairTbl.copy t.labels)
+    end
+
+  (* DRed deletion: over-delete the entire affected cone, then
+     re-derive survivors from live support. *)
+  let overdelete_and_rederive t (seeds : (int * string) list) =
+    let dead = PairTbl.create 16 in
+    let queue = Queue.create () in
+    let kill fact =
+      if PairTbl.mem t.labels fact && not (PairTbl.mem dead fact) then begin
+        PairTbl.replace dead fact ();
+        Queue.add fact queue
+      end
+    in
+    List.iter kill seeds;
+    while not (Queue.is_empty queue) do
+      let n, l = Queue.pop queue in
+      List.iter (fun m -> kill (m, l)) (adj t.succs n)
+    done;
+    PairTbl.iter
+      (fun fact () ->
+        PairTbl.remove t.labels fact;
+        t.touched <- t.touched + 1)
+      dead;
+    (* re-derivation to a fixpoint: a dead fact comes back if it is
+       given or some live predecessor carries the label; propagation
+       then revives its own downstream cone. *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      PairTbl.iter
+        (fun ((n, l) as fact) () ->
+          if not (PairTbl.mem t.labels fact) then
+            let supported =
+              PairTbl.mem t.given fact
+              || List.exists (fun p -> PairTbl.mem t.labels (p, l)) (adj t.preds n)
+            in
+            if supported then begin
+              propagate_add t fact;
+              changed := true
+            end)
+        dead
+    done
+
+  let remove_edge t a b =
+    if List.mem b (adj t.succs a) then begin
+      Hashtbl.replace t.succs a (List.filter (fun x -> x <> b) (adj t.succs a));
+      Hashtbl.replace t.preds b (List.filter (fun x -> x <> a) (adj t.preds b));
+      let seeds = ref [] in
+      PairTbl.iter
+        (fun (n, l) () ->
+          if n = a && PairTbl.mem t.labels (b, l) then seeds := (b, l) :: !seeds)
+        t.labels;
+      if !seeds <> [] then overdelete_and_rederive t !seeds
+    end
+
+  let remove_given t n l =
+    if PairTbl.mem t.given (n, l) then begin
+      PairTbl.remove t.given (n, l);
+      overdelete_and_rederive t [ (n, l) ]
+    end
+end

@@ -1,0 +1,22 @@
+(** The graph-labelling baselines from §1 of the paper: the
+    tens-of-lines full recompute and a hand-written incremental
+    implementation (semi-naive insertions, DRed deletions) — the kind
+    of code the paper reports took thousands of lines and several
+    releases to debug in production. *)
+
+val full_recompute :
+  edges:(int * int) list -> given:(int * string) list -> (int * string) list
+(** Labels reachable along edges from the seed facts, recomputed from
+    scratch by worklist propagation. *)
+
+module Incr : sig
+  type t
+
+  val create : unit -> t
+  val labels : t -> (int * string) list
+  val has_label : t -> int -> string -> bool
+  val add_given : t -> int -> string -> unit
+  val add_edge : t -> int -> int -> unit
+  val remove_edge : t -> int -> int -> unit
+  val remove_given : t -> int -> string -> unit
+end

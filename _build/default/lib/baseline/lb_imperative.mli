@@ -1,0 +1,21 @@
+(** The C-style load-balancer controller of §2.2: bare hash tables, no
+    change tracking, no indexes — the implementation that wins the
+    cold-start-then-delete benchmark against the automatically
+    incremental engine. *)
+
+type backend = int64
+
+type t
+
+val create : unit -> t
+val bucket_of : backend -> int
+
+val add_lb : t -> vip:int64 -> backends:backend list -> unit
+(** Install (or replace) a load balancer: one bucket entry per backend. *)
+
+val remove_lb : t -> vip:int64 -> unit
+val entry_count : t -> int
+val lookup : t -> vip:int64 -> (int * backend) list
+
+val footprint : t -> int
+(** Stored-tuple count comparable to [Dl.Engine.footprint]. *)

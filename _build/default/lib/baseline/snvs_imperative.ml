@@ -1,0 +1,208 @@
+(* The traditional-SDN baseline for snvs: a hand-written,
+   NON-incremental controller in the style the paper argues against
+   (§1, §2.2).  On every configuration change it recomputes the entire
+   desired data-plane state from the full management snapshot and
+   reconciles the switch against it — correct, simple, and O(network)
+   per change instead of O(change). *)
+
+type port_cfg = {
+  port : int;
+  mode : [ `Access | `Trunk ];
+  tag : int;
+  trunks : int list;
+}
+
+type mirror_cfg = { select_port : int; output_port : int }
+
+type acl_cfg = {
+  prio : int;
+  src : int64;
+  src_mask : int64;
+  dst : int64;
+  dst_mask : int64;
+  allow : bool;
+}
+
+type learned = { l_port : int; l_vlan : int; l_mac : int64 }
+
+type config = {
+  ports : port_cfg list;
+  mirrors : mirror_cfg list;
+  acls : acl_cfg list;
+  no_flood_vlans : int list;
+  macs : learned list;
+}
+
+let empty_config =
+  { ports = []; mirrors = []; acls = []; no_flood_vlans = []; macs = [] }
+
+(* The desired state: every table's full entry set plus multicast
+   groups.  This mirrors exactly what the DL rules compute, written the
+   traditional way. *)
+type desired = {
+  in_vlan : (string * P4.Entry.t) list;
+  out_vlan : (string * P4.Entry.t) list;
+  mirror : (string * P4.Entry.t) list;
+  acl : (string * P4.Entry.t) list;
+  smac : (string * P4.Entry.t) list;
+  dmac : (string * P4.Entry.t) list;
+  groups : (int64 * int64 list) list;
+}
+
+let exact v = P4.Entry.MExact v
+
+let entry matches action args : P4.Entry.t =
+  { P4.Entry.matches; priority = 0; action; args }
+
+(** Recompute the complete desired data-plane state from scratch. *)
+let compute (cfg : config) : desired =
+  let in_vlan = ref [] and out_vlan = ref [] and groups = ref [] in
+  let add_member vlan port =
+    if not (List.mem vlan cfg.no_flood_vlans) then begin
+      let v = Int64.of_int vlan in
+      let existing = try List.assoc v !groups with Not_found -> [] in
+      groups := (v, Int64.of_int port :: existing) :: List.remove_assoc v !groups
+    end
+  in
+  List.iter
+    (fun p ->
+      match p.mode with
+      | `Access ->
+        in_vlan :=
+          ( Printf.sprintf "in_vlan/access/%d" p.port,
+            entry [ exact (Int64.of_int p.port); exact 0L ] "set_vlan"
+              [ Int64.of_int p.tag ] )
+          :: !in_vlan;
+        add_member p.tag p.port
+      | `Trunk ->
+        List.iter
+          (fun v ->
+            in_vlan :=
+              ( Printf.sprintf "in_vlan/trunk/%d/%d" p.port v,
+                entry [ exact (Int64.of_int p.port); exact (Int64.of_int v) ]
+                  "keep_tag" [] )
+              :: !in_vlan;
+            out_vlan :=
+              ( Printf.sprintf "out_vlan/%d/%d" p.port v,
+                entry [ exact (Int64.of_int p.port); exact (Int64.of_int v) ]
+                  "output_tagged" [] )
+              :: !out_vlan;
+            add_member v p.port)
+          p.trunks)
+    cfg.ports;
+  let mirror =
+    List.map
+      (fun m ->
+        ( Printf.sprintf "mirror/%d" m.select_port,
+          entry [ exact (Int64.of_int m.select_port) ] "clone_to"
+            [ Int64.of_int m.output_port ] ))
+      cfg.mirrors
+  in
+  let acl =
+    let m48 v = Int64.logand v 0xFFFFFFFFFFFFL in
+    List.map
+      (fun a ->
+        ( Printf.sprintf "acl/%d" a.prio,
+          {
+            P4.Entry.matches =
+              [ P4.Entry.MTernary (m48 a.src, m48 a.src_mask);
+                P4.Entry.MTernary (m48 a.dst, m48 a.dst_mask) ];
+            priority = a.prio;
+            action = (if a.allow then "allow" else "deny");
+            args = [];
+          } ))
+      cfg.acls
+  in
+  (* latest learning wins per (vlan, mac) — same semantics as the DL
+     controller's digest replacement *)
+  let latest = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace latest (l.l_vlan, l.l_mac) l.l_port) cfg.macs;
+  let smac = ref [] and dmac = ref [] in
+  Hashtbl.iter
+    (fun (vlan, mac) port ->
+      smac :=
+        ( Printf.sprintf "smac/%d/%Ld/%d" vlan mac port,
+          entry
+            [ exact (Int64.of_int vlan); exact mac; exact (Int64.of_int port) ]
+            "noop" [] )
+        :: !smac;
+      dmac :=
+        ( Printf.sprintf "dmac/%d/%Ld" vlan mac,
+          entry [ exact (Int64.of_int vlan); exact mac ] "forward"
+            [ Int64.of_int port ] )
+        :: !dmac)
+    latest;
+  {
+    in_vlan = !in_vlan;
+    out_vlan = !out_vlan;
+    mirror;
+    acl;
+    smac = !smac;
+    dmac = !dmac;
+    groups = List.map (fun (g, ps) -> (g, List.sort Int64.compare ps)) !groups;
+  }
+
+(* Reconciliation: diff the freshly computed desired state against what
+   was installed last time and apply the difference to the switch. *)
+type installed = { mutable last : desired }
+
+let fresh_installed () =
+  {
+    last =
+      { in_vlan = []; out_vlan = []; mirror = []; acl = []; smac = [];
+        dmac = []; groups = [] };
+  }
+
+let diff_table (sw : P4.Switch.t) table old_entries new_entries =
+  let changed = ref 0 in
+  let old_tbl = Hashtbl.create (List.length old_entries) in
+  List.iter (fun (k, e) -> Hashtbl.replace old_tbl k e) old_entries;
+  let new_tbl = Hashtbl.create (List.length new_entries) in
+  List.iter (fun (k, e) -> Hashtbl.replace new_tbl k e) new_entries;
+  List.iter
+    (fun (k, e) ->
+      if not (Hashtbl.mem new_tbl k) then begin
+        P4.Switch.delete_entry sw table e;
+        incr changed
+      end)
+    old_entries;
+  List.iter
+    (fun (k, e) ->
+      match Hashtbl.find_opt old_tbl k with
+      | Some e' when e' = e -> ()
+      | _ ->
+        P4.Switch.insert_entry sw table e;
+        incr changed)
+    new_entries;
+  !changed
+
+(** Recompute everything and push the diff; returns the number of
+    switch updates applied.  The cost is dominated by [compute] plus the
+    full diff — both proportional to the network, not the change. *)
+let reconcile (inst : installed) (sw : P4.Switch.t) (cfg : config) : int =
+  let d = compute cfg in
+  let n =
+    diff_table sw "in_vlan" inst.last.in_vlan d.in_vlan
+    + diff_table sw "out_vlan" inst.last.out_vlan d.out_vlan
+    + diff_table sw "mirror" inst.last.mirror d.mirror
+    + diff_table sw "acl" inst.last.acl d.acl
+    + diff_table sw "smac" inst.last.smac d.smac
+    + diff_table sw "dmac" inst.last.dmac d.dmac
+  in
+  let g = ref 0 in
+  List.iter
+    (fun (grp, ports) ->
+      if List.assoc_opt grp inst.last.groups <> Some ports then begin
+        P4.Switch.set_mcast_group sw grp ports;
+        incr g
+      end)
+    d.groups;
+  List.iter
+    (fun (grp, _) ->
+      if not (List.mem_assoc grp d.groups) then begin
+        P4.Switch.set_mcast_group sw grp [];
+        incr g
+      end)
+    inst.last.groups;
+  inst.last <- d;
+  n + !g

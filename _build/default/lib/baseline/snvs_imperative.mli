@@ -1,0 +1,52 @@
+(** The traditional-SDN baseline for snvs: a hand-written,
+    non-incremental controller.  On every configuration change it
+    recomputes the entire desired data-plane state from the full
+    management snapshot and reconciles the switch against it — correct
+    and simple, but O(network) per change instead of O(change). *)
+
+type port_cfg = {
+  port : int;
+  mode : [ `Access | `Trunk ];
+  tag : int;
+  trunks : int list;
+}
+
+type mirror_cfg = { select_port : int; output_port : int }
+
+type acl_cfg = {
+  prio : int;
+  src : int64;
+  src_mask : int64;
+  dst : int64;
+  dst_mask : int64;
+  allow : bool;
+}
+
+type learned = { l_port : int; l_vlan : int; l_mac : int64 }
+
+type config = {
+  ports : port_cfg list;
+  mirrors : mirror_cfg list;
+  acls : acl_cfg list;
+  no_flood_vlans : int list;
+  macs : learned list;
+}
+
+val empty_config : config
+
+type desired
+(** The complete computed data-plane state (all table entry sets plus
+    multicast groups). *)
+
+val compute : config -> desired
+(** Recompute everything from scratch; mirrors exactly what the DL
+    rules compute (the equivalence is tested). *)
+
+type installed
+
+val fresh_installed : unit -> installed
+
+val reconcile : installed -> P4.Switch.t -> config -> int
+(** Recompute and push the diff against the last reconciled state;
+    returns the number of switch updates applied.  Cost is dominated by
+    [compute] plus a full diff — both proportional to the network. *)

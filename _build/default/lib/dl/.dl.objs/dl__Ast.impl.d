@@ -1,0 +1,1 @@
+lib/dl/ast.ml: Array Dtype Format List String Value

@@ -1,0 +1,1 @@
+lib/dl/ast.mli: Dtype Format Value

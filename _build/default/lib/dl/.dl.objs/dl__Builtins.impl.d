@@ -1,0 +1,1 @@
+lib/dl/builtins.ml: Array Dtype Float Format Int64 List String Value

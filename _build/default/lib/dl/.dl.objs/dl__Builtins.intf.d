@@ -1,0 +1,1 @@
+lib/dl/builtins.mli: Dtype Value

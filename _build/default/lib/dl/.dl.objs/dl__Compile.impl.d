@@ -1,0 +1,1 @@
+lib/dl/compile.ml: Array Ast Builtins List Value

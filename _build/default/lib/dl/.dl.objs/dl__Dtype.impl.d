@@ -1,0 +1,1 @@
+lib/dl/dtype.ml: Array Format List Option String Value

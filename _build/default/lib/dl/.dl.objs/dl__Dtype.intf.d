@@ -1,0 +1,1 @@
+lib/dl/dtype.mli: Format Value

@@ -1,0 +1,1 @@
+lib/dl/engine.ml: Array Ast Builtins Compile Dtype Format Hashtbl List Row Store Stratify String Typecheck Value Zset

@@ -1,0 +1,1 @@
+lib/dl/engine.mli: Ast Row Value Zset

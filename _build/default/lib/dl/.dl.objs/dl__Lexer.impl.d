@@ -1,0 +1,1 @@
+lib/dl/lexer.ml: Buffer Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/dl/lexer.mli:

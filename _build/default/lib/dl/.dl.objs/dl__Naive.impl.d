@@ -1,0 +1,1 @@
+lib/dl/naive.ml: Array Ast Builtins Hashtbl List Row Stratify Value

@@ -1,0 +1,1 @@
+lib/dl/naive.mli: Ast Hashtbl Row

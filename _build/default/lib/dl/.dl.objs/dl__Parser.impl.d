@@ -1,0 +1,1 @@
+lib/dl/parser.ml: Array Ast Builtins Dtype Format Int64 Lexer List Printf String Value

@@ -1,0 +1,1 @@
+lib/dl/parser.mli: Ast

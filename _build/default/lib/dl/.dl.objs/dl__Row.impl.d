@@ -1,0 +1,1 @@
+lib/dl/row.ml: Array Format Hashtbl Map Set Value

@@ -1,0 +1,1 @@
+lib/dl/row.mli: Format Hashtbl Map Set Value

@@ -1,0 +1,1 @@
+lib/dl/store.ml: Array Ast Int List Printf Row Zset

@@ -1,0 +1,1 @@
+lib/dl/stratify.ml: Ast Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/dl/stratify.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/dl/typecheck.ml: Array Ast Builtins Dtype Format Hashtbl Int64 List Option Printf Result String Value

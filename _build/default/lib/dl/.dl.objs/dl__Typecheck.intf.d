@@ -1,0 +1,1 @@
+lib/dl/typecheck.mli: Ast Dtype

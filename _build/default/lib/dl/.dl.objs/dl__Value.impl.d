@@ -1,0 +1,1 @@
+lib/dl/value.ml: Array Bool Float Format Hashtbl Int Int64 List Map Option Set String

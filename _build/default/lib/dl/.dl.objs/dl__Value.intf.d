@@ -1,0 +1,1 @@
+lib/dl/value.mli: Format Map Set

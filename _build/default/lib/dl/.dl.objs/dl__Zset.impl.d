@@ -1,0 +1,1 @@
+lib/dl/zset.ml: Format Int List Row

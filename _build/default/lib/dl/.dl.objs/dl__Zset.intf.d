@@ -1,0 +1,1 @@
+lib/dl/zset.mli: Format Row

@@ -1,0 +1,155 @@
+(* Abstract syntax of DL programs (surface form, before compilation).
+
+   Conventions, following Datalog practice:
+   - relation names are capitalised, variables are lower-case;
+   - variables bind left-to-right within a rule body;
+   - a negated atom and a condition may only mention bound variables;
+   - an aggregate literal must be the last literal of its rule body. *)
+
+type expr =
+  | EVar of string
+  | EConst of Value.t
+  | ECall of string * expr list      (* builtin function or operator *)
+  | ETuple of expr list
+  | EIf of expr * expr * expr
+
+type pattern =
+  | PVar of string
+  | PConst of Value.t
+  | PWild
+
+type literal =
+  | LAtom of atom                        (* positive occurrence *)
+  | LNeg of atom                         (* negated occurrence *)
+  | LCond of expr                        (* boolean guard *)
+  | LAssign of string * expr             (* var v = e *)
+  | LFlat of string * expr               (* var v in e, e : vec<_> — flattening *)
+  | LAgg of agg                          (* var v = f(e) group_by (x, y) *)
+
+and atom = { rel : string; args : pattern array }
+
+and agg = {
+  agg_out : string;       (* variable receiving the aggregate result *)
+  agg_func : string;      (* count, sum, min, max, avg, collect_vec, collect_set *)
+  agg_expr : expr;        (* expression aggregated over the group *)
+  agg_by : string list;   (* grouping variables; only these survive the literal *)
+}
+
+type rule = { head : atom_expr; body : literal list }
+
+(* Head atoms carry expressions, not patterns: the head may compute. *)
+and atom_expr = { hrel : string; hargs : expr array }
+
+type role = Input | Output | Internal
+
+type rel_decl = {
+  rname : string;
+  role : role;
+  cols : (string * Dtype.t) list;
+}
+
+type program = { decls : rel_decl list; rules : rule list }
+
+let arity decl = List.length decl.cols
+
+let find_decl program name =
+  List.find_opt (fun d -> String.equal d.rname name) program.decls
+
+(** Variables mentioned by a pattern array, in order of appearance. *)
+let pattern_vars (args : pattern array) =
+  Array.to_list args
+  |> List.filter_map (function PVar v -> Some v | PConst _ | PWild -> None)
+
+let rec expr_vars = function
+  | EVar v -> [ v ]
+  | EConst _ -> []
+  | ECall (_, es) | ETuple es -> List.concat_map expr_vars es
+  | EIf (c, t, e) -> expr_vars c @ expr_vars t @ expr_vars e
+
+(** Relations read by a rule body, with the polarity of the dependency:
+    [`Pos] for plain atoms, [`Neg] for negated atoms.  Aggregation is
+    reported as [`Neg] too because, like negation, it must be stratified
+    below its consumers. *)
+let body_dependencies rule =
+  let deps =
+    List.filter_map
+      (function
+        | LAtom a -> Some (a.rel, `Pos)
+        | LNeg a -> Some (a.rel, `Neg)
+        | LCond _ | LAssign _ | LFlat _ | LAgg _ -> None)
+      rule.body
+  in
+  let has_agg = List.exists (function LAgg _ -> true | _ -> false) rule.body in
+  if has_agg then List.map (fun (r, _) -> (r, `Neg)) deps else deps
+
+(* Pretty-printing, mostly for error messages and the LoC experiment. *)
+
+let rec pp_expr fmt = function
+  | EVar v -> Format.pp_print_string fmt v
+  | EConst c -> Value.pp fmt c
+  | ECall (f, args) ->
+    Format.fprintf fmt "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_expr)
+      args
+  | ETuple es ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_expr)
+      es
+  | EIf (c, t, e) ->
+    Format.fprintf fmt "if %a then %a else %a" pp_expr c pp_expr t pp_expr e
+
+let pp_pattern fmt = function
+  | PVar v -> Format.pp_print_string fmt v
+  | PConst c -> Value.pp fmt c
+  | PWild -> Format.pp_print_string fmt "_"
+
+let pp_atom fmt a =
+  Format.fprintf fmt "%s(%a)" a.rel
+    (Format.pp_print_seq
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_pattern)
+    (Array.to_seq a.args)
+
+let pp_literal fmt = function
+  | LAtom a -> pp_atom fmt a
+  | LNeg a -> Format.fprintf fmt "not %a" pp_atom a
+  | LCond e -> pp_expr fmt e
+  | LAssign (v, e) -> Format.fprintf fmt "var %s = %a" v pp_expr e
+  | LFlat (v, e) -> Format.fprintf fmt "var %s in %a" v pp_expr e
+  | LAgg g ->
+    Format.fprintf fmt "var %s = %s(%a) group_by (%a)" g.agg_out g.agg_func
+      pp_expr g.agg_expr
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+         Format.pp_print_string)
+      g.agg_by
+
+let pp_rule fmt r =
+  let pp_head fmt h =
+    Format.fprintf fmt "%s(%a)" h.hrel
+      (Format.pp_print_seq
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_expr)
+      (Array.to_seq h.hargs)
+  in
+  match r.body with
+  | [] -> Format.fprintf fmt "%a." pp_head r.head
+  | body ->
+    Format.fprintf fmt "%a :- %a." pp_head r.head
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_literal)
+      body
+
+let pp_decl fmt d =
+  let role =
+    match d.role with Input -> "input " | Output -> "output " | Internal -> ""
+  in
+  let pp_col f (n, t) = Format.fprintf f "%s: %a" n Dtype.pp t in
+  Format.fprintf fmt "%srelation %s(%a)" role d.rname
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_col)
+    d.cols
+
+let pp_program fmt p =
+  List.iter (fun d -> Format.fprintf fmt "%a@." pp_decl d) p.decls;
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_rule r) p.rules

@@ -1,0 +1,68 @@
+(** Abstract syntax of DL programs (surface form, before compilation).
+
+    Conventions, following Datalog practice: relation names are
+    capitalised and variables lower-case; variables bind left-to-right
+    within a rule body; negated atoms and conditions may only mention
+    bound variables; an aggregate literal must be the last literal of
+    its body. *)
+
+type expr =
+  | EVar of string
+  | EConst of Value.t
+  | ECall of string * expr list  (** builtin function or operator *)
+  | ETuple of expr list
+  | EIf of expr * expr * expr
+
+type pattern = PVar of string | PConst of Value.t | PWild
+
+type literal =
+  | LAtom of atom               (** positive occurrence *)
+  | LNeg of atom                (** negated occurrence *)
+  | LCond of expr               (** boolean guard *)
+  | LAssign of string * expr    (** var v = e *)
+  | LFlat of string * expr      (** var v in e — flattening over a vec *)
+  | LAgg of agg                 (** var v = f(e) group_by (xs) *)
+
+and atom = { rel : string; args : pattern array }
+
+and agg = {
+  agg_out : string;
+  agg_func : string;
+  agg_expr : expr;
+  agg_by : string list;  (** only these survive past the literal *)
+}
+
+type rule = { head : atom_expr; body : literal list }
+
+and atom_expr = { hrel : string; hargs : expr array }
+(** Heads carry expressions, not patterns: the head may compute. *)
+
+type role = Input | Output | Internal
+
+type rel_decl = {
+  rname : string;
+  role : role;
+  cols : (string * Dtype.t) list;
+}
+
+type program = { decls : rel_decl list; rules : rule list }
+
+val arity : rel_decl -> int
+val find_decl : program -> string -> rel_decl option
+val pattern_vars : pattern array -> string list
+val expr_vars : expr -> string list
+
+val body_dependencies : rule -> (string * [ `Pos | `Neg ]) list
+(** Relations read by a rule with dependency polarity; aggregation
+    reports all its dependencies as [`Neg] since, like negation, it
+    must be stratified below its consumers. *)
+
+(** {1 Pretty-printing} *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_pattern : Format.formatter -> pattern -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp_literal : Format.formatter -> literal -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val pp_decl : Format.formatter -> rel_decl -> unit
+val pp_program : Format.formatter -> program -> unit

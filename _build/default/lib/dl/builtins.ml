@@ -1,0 +1,324 @@
+(* Builtin functions of the DL expression language: their runtime
+   semantics ([eval]) and typing rules ([result_type]), plus the
+   aggregate function library used by [group_by] literals. *)
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Typing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [result_type f arg_types] is the result type of applying builtin [f]
+    to arguments of the given types, or an error message. *)
+let result_type (f : string) (args : Dtype.t list) : (Dtype.t, string) result =
+  let open Dtype in
+  let arith () =
+    match args with
+    | [ TInt; TInt ] -> Ok TInt
+    | [ TDouble; TDouble ] -> Ok TDouble
+    | [ TBit w1; TBit w2 ] when w1 = w2 -> Ok (TBit w1)
+    | _ -> err "%s: expected two ints, doubles or equal-width bit vectors" f
+  in
+  let cmp () =
+    match args with
+    | [ a; b ] -> (
+      match unify a b with
+      | Some _ -> Ok TBool
+      | None -> err "%s: cannot compare %s with %s" f (to_string a) (to_string b))
+    | _ -> err "%s: expected two arguments" f
+  in
+  let boolop n =
+    if List.length args = n && List.for_all (equal TBool) args then Ok TBool
+    else err "%s: expected %d boolean argument(s)" f n
+  in
+  let bitop () =
+    match args with
+    | [ TBit w1; TBit w2 ] when w1 = w2 -> Ok (TBit w1)
+    | _ -> err "%s: expected two equal-width bit vectors" f
+  in
+  match f, args with
+  | ("+" | "-" | "*" | "/" | "%"), _ -> (
+    match f, args with
+    | "+", [ TString; TString ] -> Ok TString
+    | _ -> arith ())
+  | ("==" | "!=" | "<" | "<=" | ">" | ">="), _ -> cmp ()
+  | "&&", _ | "||", _ -> boolop 2
+  | "not", _ -> boolop 1
+  | "neg", [ TInt ] -> Ok TInt
+  | "neg", [ TDouble ] -> Ok TDouble
+  | "neg", [ TBit w ] -> Ok (TBit w)
+  | ("&" | "|" | "^"), _ -> bitop ()
+  | ("<<" | ">>"), [ TBit w; TInt ] -> Ok (TBit w)
+  | ("<<" | ">>"), [ TBit w1; TBit w2 ] when w1 = w2 -> Ok (TBit w1)
+  | "~", [ TBit w ] -> Ok (TBit w)
+  | "min", [ a; b ] | "max", [ a; b ] -> (
+    match Dtype.unify a b with
+    | Some t -> Ok t
+    | None -> err "%s: mismatched argument types" f)
+  | "abs", [ TInt ] -> Ok TInt
+  | "abs", [ TDouble ] -> Ok TDouble
+  | "int2double", [ TInt ] -> Ok TDouble
+  | "double2int", [ TDouble ] -> Ok TInt
+  | "sqrt", [ TDouble ] -> Ok TDouble
+  | "hash32", [ _ ] -> Ok (TBit 32)
+  | "hash64", [ _ ] -> Ok (TBit 64)
+  | "to_string", [ _ ] -> Ok TString
+  | "string_len", [ TString ] -> Ok TInt
+  | "string_contains", [ TString; TString ] -> Ok TBool
+  | "string_starts_with", [ TString; TString ] -> Ok TBool
+  | "substr", [ TString; TInt; TInt ] -> Ok TString
+  | "string_to_upper", [ TString ] | "string_to_lower", [ TString ] -> Ok TString
+  | "string_join", [ TVec TString; TString ] -> Ok TString
+  | "parse_int", [ TString ] -> Ok (TOption TInt)
+  | "bit2int", [ TBit _ ] -> Ok TInt
+  | "int2bit", [ TInt; TInt ] -> Ok TAny (* width checked at eval; refined by to_bit *)
+  | "zext", [ TBit _; TInt ] -> Ok TAny
+  | "bit_slice", [ TBit _; TInt; TInt ] -> Ok TAny
+  | "concat_bits", [ TBit w1; TBit w2 ] when w1 + w2 <= 64 -> Ok (TBit (w1 + w2))
+  | "vec_len", [ TVec _ ] -> Ok TInt
+  | "vec_contains", [ TVec t; t' ] -> (
+    match Dtype.unify t t' with
+    | Some _ -> Ok TBool
+    | None -> err "vec_contains: element type mismatch")
+  | "vec_push", [ TVec t; t' ] -> (
+    match Dtype.unify t t' with
+    | Some u -> Ok (TVec u)
+    | None -> err "vec_push: element type mismatch")
+  | "vec_concat", [ TVec t; TVec t' ] -> (
+    match Dtype.unify t t' with
+    | Some u -> Ok (TVec u)
+    | None -> err "vec_concat: element type mismatch")
+  | "vec_nth", [ TVec t; TInt ] -> Ok (TOption t)
+  | "vec_sort", [ TVec t ] -> Ok (TVec t)
+  | "vec_empty", [] -> Ok (TVec TAny)
+  | "map_empty", [] -> Ok (TMap (TAny, TAny))
+  | "map_get", [ TMap (k, v); k' ] -> (
+    match Dtype.unify k k' with
+    | Some _ -> Ok (TOption v)
+    | None -> err "map_get: key type mismatch")
+  | "map_contains", [ TMap (k, _); k' ] -> (
+    match Dtype.unify k k' with
+    | Some _ -> Ok TBool
+    | None -> err "map_contains: key type mismatch")
+  | "map_insert", [ TMap (k, v); k'; v' ] -> (
+    match Dtype.unify k k', Dtype.unify v v' with
+    | Some ku, Some vu -> Ok (TMap (ku, vu))
+    | _ -> err "map_insert: type mismatch")
+  | "map_size", [ TMap _ ] -> Ok TInt
+  | "some", [ t ] -> Ok (TOption t)
+  | "none", [] -> Ok (TOption TAny)
+  | "is_some", [ TOption _ ] -> Ok TBool
+  | "is_none", [ TOption _ ] -> Ok TBool
+  | "unwrap_or", [ TOption t; t' ] -> (
+    match Dtype.unify t t' with
+    | Some u -> Ok u
+    | None -> err "unwrap_or: type mismatch")
+  | "tuple_nth", [ TTuple ts; TInt ] ->
+    (* index must be a constant; the type checker special-cases this *)
+    (match ts with [] -> err "tuple_nth: empty tuple" | t :: _ -> Ok t)
+  | _ -> err "unknown builtin %s/%d" f (List.length args)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Eval_error of string
+
+let eval_err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+(** Evaluate builtin [f] on argument values.  Assumes the program has
+    been type checked; residual dynamic errors (division by zero,
+    unknown builtin) raise [Eval_error]. *)
+let eval (f : string) (args : Value.t list) : Value.t =
+  let open Value in
+  match f, args with
+  | "+", [ VInt a; VInt b ] -> VInt (Int64.add a b)
+  | "+", [ VDouble a; VDouble b ] -> VDouble (a +. b)
+  | "-", [ VDouble a; VDouble b ] -> VDouble (a -. b)
+  | "*", [ VDouble a; VDouble b ] -> VDouble (a *. b)
+  | "/", [ VDouble a; VDouble b ] -> VDouble (a /. b)
+  | "neg", [ VDouble a ] -> VDouble (-.a)
+  | "abs", [ VDouble a ] -> VDouble (Float.abs a)
+  | "int2double", [ VInt a ] -> VDouble (Int64.to_float a)
+  | "double2int", [ VDouble a ] -> VInt (Int64.of_float a)
+  | "sqrt", [ VDouble a ] -> VDouble (Float.sqrt a)
+  | "+", [ VBit (w, a); VBit (_, b) ] -> bit w (Int64.add a b)
+  | "+", [ VString a; VString b ] -> VString (a ^ b)
+  | "-", [ VInt a; VInt b ] -> VInt (Int64.sub a b)
+  | "-", [ VBit (w, a); VBit (_, b) ] -> bit w (Int64.sub a b)
+  | "*", [ VInt a; VInt b ] -> VInt (Int64.mul a b)
+  | "*", [ VBit (w, a); VBit (_, b) ] -> bit w (Int64.mul a b)
+  | "/", [ VInt _; VInt 0L ] -> eval_err "division by zero"
+  | "/", [ VInt a; VInt b ] -> VInt (Int64.div a b)
+  | "/", [ VBit (_, _); VBit (_, 0L) ] -> eval_err "division by zero"
+  | "/", [ VBit (w, a); VBit (_, b) ] -> bit w (Int64.unsigned_div a b)
+  | "%", [ VInt _; VInt 0L ] -> eval_err "modulo by zero"
+  | "%", [ VInt a; VInt b ] -> VInt (Int64.rem a b)
+  | "%", [ VBit (_, _); VBit (_, 0L) ] -> eval_err "modulo by zero"
+  | "%", [ VBit (w, a); VBit (_, b) ] -> bit w (Int64.unsigned_rem a b)
+  | "==", [ a; b ] -> VBool (Value.equal a b)
+  | "!=", [ a; b ] -> VBool (not (Value.equal a b))
+  | "<", [ a; b ] -> VBool (Value.compare a b < 0)
+  | "<=", [ a; b ] -> VBool (Value.compare a b <= 0)
+  | ">", [ a; b ] -> VBool (Value.compare a b > 0)
+  | ">=", [ a; b ] -> VBool (Value.compare a b >= 0)
+  | "&&", [ VBool a; VBool b ] -> VBool (a && b)
+  | "||", [ VBool a; VBool b ] -> VBool (a || b)
+  | "not", [ VBool a ] -> VBool (not a)
+  | "neg", [ VInt a ] -> VInt (Int64.neg a)
+  | "neg", [ VBit (w, a) ] -> bit w (Int64.neg a)
+  | "&", [ VBit (w, a); VBit (_, b) ] -> VBit (w, Int64.logand a b)
+  | "|", [ VBit (w, a); VBit (_, b) ] -> VBit (w, Int64.logor a b)
+  | "^", [ VBit (w, a); VBit (_, b) ] -> VBit (w, Int64.logxor a b)
+  | "<<", [ VBit (w, a); VInt s ] -> bit w (Int64.shift_left a (Int64.to_int s))
+  | "<<", [ VBit (w, a); VBit (_, s) ] -> bit w (Int64.shift_left a (Int64.to_int s))
+  | ">>", [ VBit (w, a); VInt s ] ->
+    bit w (Int64.shift_right_logical a (Int64.to_int s))
+  | ">>", [ VBit (w, a); VBit (_, s) ] ->
+    bit w (Int64.shift_right_logical a (Int64.to_int s))
+  | "~", [ VBit (w, a) ] -> bit w (Int64.lognot a)
+  | "min", [ a; b ] -> if Value.compare a b <= 0 then a else b
+  | "max", [ a; b ] -> if Value.compare a b >= 0 then a else b
+  | "abs", [ VInt a ] -> VInt (Int64.abs a)
+  | "hash32", [ v ] -> bit 32 (Int64.of_int (Value.hash v land 0xffffffff))
+  | "hash64", [ v ] -> bit 64 (Int64.of_int (Value.hash v))
+  | "to_string", [ v ] -> (
+    match v with VString s -> VString s | v -> VString (Value.to_string v))
+  | "string_len", [ VString s ] -> of_int (String.length s)
+  | "string_contains", [ VString s; VString sub ] ->
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length s then false
+      else if String.sub s i n = sub then true
+      else go (i + 1)
+    in
+    VBool (go 0)
+  | "string_starts_with", [ VString s; VString p ] ->
+    VBool
+      (String.length p <= String.length s
+      && String.sub s 0 (String.length p) = p)
+  | "substr", [ VString s; VInt start; VInt len ] ->
+    let start = Int64.to_int start and len = Int64.to_int len in
+    let start = max 0 (min start (String.length s)) in
+    let len = max 0 (min len (String.length s - start)) in
+    VString (String.sub s start len)
+  | "string_to_upper", [ VString s ] -> VString (String.uppercase_ascii s)
+  | "string_to_lower", [ VString s ] -> VString (String.lowercase_ascii s)
+  | "string_join", [ VVec parts; VString sep ] ->
+    VString (String.concat sep (List.map Value.as_string parts))
+  | "parse_int", [ VString s ] -> (
+    match Int64.of_string_opt s with
+    | Some i -> VOption (Some (VInt i))
+    | None -> VOption None)
+  | "bit2int", [ VBit (_, v) ] -> VInt v
+  | "int2bit", [ VInt w; VInt v ] -> bit (Int64.to_int w) v
+  | "zext", [ VBit (_, v); VInt w ] -> bit (Int64.to_int w) v
+  | "bit_slice", [ VBit (_, v); VInt hi; VInt lo ] ->
+    let hi = Int64.to_int hi and lo = Int64.to_int lo in
+    if hi < lo then eval_err "bit_slice: hi < lo"
+    else bit (hi - lo + 1) (Int64.shift_right_logical v lo)
+  | "concat_bits", [ VBit (w1, a); VBit (w2, b) ] ->
+    bit (w1 + w2) (Int64.logor (Int64.shift_left a w2) b)
+  | "vec_len", [ VVec l ] -> of_int (List.length l)
+  | "vec_contains", [ VVec l; v ] -> VBool (List.exists (Value.equal v) l)
+  | "vec_push", [ VVec l; v ] -> VVec (l @ [ v ])
+  | "vec_concat", [ VVec a; VVec b ] -> VVec (a @ b)
+  | "vec_nth", [ VVec l; VInt i ] -> VOption (List.nth_opt l (Int64.to_int i))
+  | "vec_sort", [ VVec l ] -> VVec (List.sort Value.compare l)
+  | "vec_empty", [] -> VVec []
+  | "map_empty", [] -> VMap []
+  | "map_get", [ VMap m; k ] -> VOption (Value.map_find k m)
+  | "map_contains", [ VMap m; k ] -> VBool (Value.map_find k m <> None)
+  | "map_insert", [ VMap m; k; v ] -> VMap (Value.map_insert k v m)
+  | "map_size", [ VMap m ] -> of_int (List.length m)
+  | "some", [ v ] -> VOption (Some v)
+  | "none", [] -> VOption None
+  | "is_some", [ VOption o ] -> VBool (o <> None)
+  | "is_none", [ VOption o ] -> VBool (o = None)
+  | "unwrap_or", [ VOption (Some v); _ ] -> v
+  | "unwrap_or", [ VOption None; d ] -> d
+  | "tuple_nth", [ VTuple t; VInt i ] ->
+    let i = Int64.to_int i in
+    if i < 0 || i >= Array.length t then eval_err "tuple_nth: out of bounds"
+    else t.(i)
+  | _ ->
+    eval_err "builtin %s applied to (%s)" f
+      (String.concat ", " (List.map Value.to_string args))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let agg_names = [ "count"; "count_distinct"; "sum"; "min"; "max"; "avg";
+                  "collect_vec"; "collect_set" ]
+
+(** Result type of aggregate [f] over elements of type [t]. *)
+let agg_result_type (f : string) (t : Dtype.t) : (Dtype.t, string) result =
+  match f, t with
+  | "count", _ | "count_distinct", _ -> Ok Dtype.TInt
+  | "sum", Dtype.TInt -> Ok Dtype.TInt
+  | "sum", Dtype.TBit w -> Ok (Dtype.TBit w)
+  | "sum", Dtype.TDouble -> Ok Dtype.TDouble
+  | "sum", _ -> err "sum: expected int, double or bit elements"
+  | ("min" | "max"), t -> Ok t
+  | "avg", Dtype.TInt -> Ok Dtype.TInt
+  | "avg", Dtype.TDouble -> Ok Dtype.TDouble
+  | "avg", _ -> err "avg: expected int or double elements"
+  | ("collect_vec" | "collect_set"), t -> Ok (Dtype.TVec t)
+  | _ -> err "unknown aggregate function %s" f
+
+(** Evaluate aggregate [f] over a group given as a multiset of
+    (value, multiplicity) pairs with positive multiplicities, sorted by
+    value.  The group is guaranteed non-empty. *)
+let agg_eval (f : string) (group : (Value.t * int) list) : Value.t =
+  let open Value in
+  match f with
+  | "count" ->
+    of_int (List.fold_left (fun acc (_, m) -> acc + m) 0 group)
+  | "count_distinct" -> of_int (List.length group)
+  | "sum" -> (
+    match group with
+    | (VDouble _, _) :: _ ->
+      VDouble
+        (List.fold_left
+           (fun acc (v, m) -> acc +. (Value.as_double v *. float_of_int m))
+           0.0 group)
+    | (VBit (w, _), _) :: _ ->
+      let total =
+        List.fold_left
+          (fun acc (v, m) ->
+            Int64.add acc (Int64.mul (snd (Value.as_bit v)) (Int64.of_int m)))
+          0L group
+      in
+      bit w total
+    | _ ->
+      VInt
+        (List.fold_left
+           (fun acc (v, m) ->
+             Int64.add acc (Int64.mul (Value.as_int v) (Int64.of_int m)))
+           0L group))
+  | "min" -> fst (List.hd group)
+  | "max" -> fst (List.nth group (List.length group - 1))
+  | "avg" -> (
+    match group with
+    | (VDouble _, _) :: _ ->
+      let total, n =
+        List.fold_left
+          (fun (acc, n) (v, m) ->
+            (acc +. (Value.as_double v *. float_of_int m), n + m))
+          (0.0, 0) group
+      in
+      VDouble (total /. float_of_int n)
+    | _ ->
+    let total, n =
+      List.fold_left
+        (fun (acc, n) (v, m) ->
+          (Int64.add acc (Int64.mul (Value.as_int v) (Int64.of_int m)), n + m))
+        (0L, 0) group
+    in
+    VInt (Int64.div total (Int64.of_int n)))
+  | "collect_vec" ->
+    VVec
+      (List.concat_map (fun (v, m) -> List.init m (fun _ -> v)) group)
+  | "collect_set" -> VVec (List.map fst group)
+  | _ -> eval_err "unknown aggregate function %s" f

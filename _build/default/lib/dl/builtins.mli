@@ -1,0 +1,34 @@
+(** Builtin functions of the DL expression language: runtime semantics,
+    typing rules, and the aggregate function library used by
+    [group_by].
+
+    Operators are named by their symbol (["+"], ["=="], ["&&"],
+    ["<<"], ...); functions by name (["vec_push"], ["map_get"],
+    ["bit_slice"], ["hash32"], ...).  See the implementation for the
+    complete catalogue — each has a typing rule in {!result_type} and a
+    unit test in [test/test_builtins.ml]. *)
+
+exception Eval_error of string
+
+val result_type : string -> Dtype.t list -> (Dtype.t, string) result
+(** Result type of applying a builtin to arguments of the given types.
+    Builtins whose width depends on a constant argument ([int2bit],
+    [zext], [bit_slice], [tuple_nth]) are refined by the type checker
+    and report [TAny] here. *)
+
+val eval : string -> Value.t list -> Value.t
+(** Evaluate a builtin.  Assumes a type-checked program; residual
+    dynamic errors (division by zero, out-of-range slices) raise
+    {!Eval_error}. *)
+
+(** {1 Aggregates} *)
+
+val agg_names : string list
+(** [count], [count_distinct], [sum], [min], [max], [avg],
+    [collect_vec], [collect_set]. *)
+
+val agg_result_type : string -> Dtype.t -> (Dtype.t, string) result
+
+val agg_eval : string -> (Value.t * int) list -> Value.t
+(** Evaluate an aggregate over a non-empty group given as sorted
+    (value, multiplicity) pairs with positive multiplicities. *)

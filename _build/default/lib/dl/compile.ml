@@ -1,0 +1,136 @@
+(* Compilation of surface rules into slot-addressed form.
+
+   Variables are renamed to integer slots in an environment array, so
+   that rule evaluation allocates one flat array per derivation attempt
+   instead of threading association lists. *)
+
+type cexpr =
+  | CVar of int
+  | CConst of Value.t
+  | CCall of string * cexpr array
+  | CTuple of cexpr array
+  | CIf of cexpr * cexpr * cexpr
+
+type cpat =
+  | CSlot of int           (* variable occurrence (bound or binding) *)
+  | CConstP of Value.t
+  | CWildP
+
+type catom = { crel : string; pats : cpat array }
+
+type clit =
+  | CAtom of catom
+  | CNeg of catom
+  | CCond of cexpr
+  | CAssign of int * cexpr
+  | CFlat of int * cexpr
+
+type cagg = {
+  cagg_out : int;            (* slot receiving the aggregate result *)
+  cagg_func : string;
+  cagg_expr : cexpr;         (* aggregated expression, over body slots *)
+  cagg_by : int array;       (* slots of the grouping variables *)
+}
+
+type crule = {
+  rule_id : int;
+  head_rel : string;
+  head_exprs : cexpr array;
+  body : clit array;             (* literals before the aggregate, if any *)
+  agg : cagg option;
+  nslots : int;
+  source : Ast.rule;             (* for error messages *)
+}
+
+type slot_env = { mutable table : (string * int) list; mutable next : int }
+
+let slot_of env v =
+  match List.assoc_opt v env.table with
+  | Some i -> i
+  | None ->
+    let i = env.next in
+    env.next <- i + 1;
+    env.table <- (v, i) :: env.table;
+    i
+
+let rec compile_expr env (e : Ast.expr) : cexpr =
+  match e with
+  | Ast.EVar v -> CVar (slot_of env v)
+  | Ast.EConst c -> CConst c
+  | Ast.ECall (f, args) -> CCall (f, Array.of_list (List.map (compile_expr env) args))
+  | Ast.ETuple es -> CTuple (Array.of_list (List.map (compile_expr env) es))
+  | Ast.EIf (c, t, e) ->
+    CIf (compile_expr env c, compile_expr env t, compile_expr env e)
+
+let compile_atom env (a : Ast.atom) : catom =
+  let pats =
+    Array.map
+      (function
+        | Ast.PVar v -> CSlot (slot_of env v)
+        | Ast.PConst c -> CConstP c
+        | Ast.PWild -> CWildP)
+      a.args
+  in
+  { crel = a.rel; pats }
+
+(** Compile one rule.  [rule_id] must be unique across the program; it
+    keys the per-rule aggregate state in the engine. *)
+let compile_rule ~rule_id (rule : Ast.rule) : crule =
+  let env = { table = []; next = 0 } in
+  let body_rev, agg =
+    List.fold_left
+      (fun (acc, agg) lit ->
+        match lit with
+        | Ast.LAtom a -> (CAtom (compile_atom env a) :: acc, agg)
+        | Ast.LNeg a -> (CNeg (compile_atom env a) :: acc, agg)
+        | Ast.LCond e -> (CCond (compile_expr env e) :: acc, agg)
+        | Ast.LAssign (v, e) ->
+          let ce = compile_expr env e in
+          (CAssign (slot_of env v, ce) :: acc, agg)
+        | Ast.LFlat (v, e) ->
+          let ce = compile_expr env e in
+          (CFlat (slot_of env v, ce) :: acc, agg)
+        | Ast.LAgg g ->
+          let cagg_expr = compile_expr env g.agg_expr in
+          let cagg_by = Array.of_list (List.map (slot_of env) g.agg_by) in
+          let cagg_out = slot_of env g.agg_out in
+          (acc, Some { cagg_out; cagg_func = g.agg_func; cagg_expr; cagg_by }))
+      ([], None) rule.body
+  in
+  let head_exprs = Array.map (compile_expr env) rule.head.hargs in
+  {
+    rule_id;
+    head_rel = rule.head.hrel;
+    head_exprs;
+    body = Array.of_list (List.rev body_rev);
+    agg;
+    nslots = env.next;
+    source = rule;
+  }
+
+(** Positions (into [body]) of positive and negated atoms — the literals
+    that can drive incremental re-evaluation when their relation
+    changes. *)
+let driver_positions (r : crule) : (int * string * bool) list =
+  (* (body index, relation, negated?) *)
+  let acc = ref [] in
+  Array.iteri
+    (fun i lit ->
+      match lit with
+      | CAtom a -> acc := (i, a.crel, false) :: !acc
+      | CNeg a -> acc := (i, a.crel, true) :: !acc
+      | CCond _ | CAssign _ | CFlat _ -> ())
+    r.body;
+  List.rev !acc
+
+(* Expression evaluation over a slot environment. *)
+
+let rec eval_expr (env : Value.t array) (e : cexpr) : Value.t =
+  match e with
+  | CVar i -> env.(i)
+  | CConst c -> c
+  | CCall (f, args) ->
+    Builtins.eval f (Array.to_list (Array.map (eval_expr env) args))
+  | CTuple es -> Value.VTuple (Array.map (eval_expr env) es)
+  | CIf (c, t, e) ->
+    if Value.as_bool (eval_expr env c) then eval_expr env t else eval_expr env e

@@ -1,0 +1,156 @@
+(* Types of the DL language.
+
+   The type language mirrors DDlog's core: booleans, mathematical
+   integers, fixed-width bit vectors, strings, tuples, options, vectors,
+   maps, structs and tagged unions.  [TAny] is the bottom placeholder
+   used by the type checker for empty collections and wildcards. *)
+
+type t =
+  | TBool
+  | TInt
+  | TBit of int
+  | TString
+  | TTuple of t list
+  | TOption of t
+  | TVec of t
+  | TMap of t * t
+  | TStruct of string * (string * t) list
+  | TEnum of string * (string * t list) list
+  | TDouble
+  | TAny
+
+let rec equal a b =
+  match a, b with
+  | TBool, TBool | TInt, TInt | TString, TString | TAny, TAny
+  | TDouble, TDouble -> true
+  | TBit x, TBit y -> x = y
+  | TTuple x, TTuple y -> List.equal equal x y
+  | TOption x, TOption y -> equal x y
+  | TVec x, TVec y -> equal x y
+  | TMap (kx, vx), TMap (ky, vy) -> equal kx ky && equal vx vy
+  | TStruct (nx, fx), TStruct (ny, fy) ->
+    String.equal nx ny
+    && List.equal (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && equal t1 t2) fx fy
+  | TEnum (nx, cx), TEnum (ny, cy) ->
+    String.equal nx ny
+    && List.equal
+         (fun (n1, ts1) (n2, ts2) -> String.equal n1 n2 && List.equal equal ts1 ts2)
+         cx cy
+  | ( (TBool | TInt | TBit _ | TString | TTuple _ | TOption _
+      | TVec _ | TMap _ | TStruct _ | TEnum _ | TDouble | TAny), _ ) -> false
+
+(** [unify a b] is the most specific type compatible with both, treating
+    [TAny] as a wildcard.  Returns [None] if the types are incompatible. *)
+let rec unify a b =
+  match a, b with
+  | TAny, t | t, TAny -> Some t
+  | TTuple x, TTuple y when List.length x = List.length y ->
+    let rec go acc = function
+      | [], [] -> Some (TTuple (List.rev acc))
+      | tx :: xs, ty :: ys -> (
+        match unify tx ty with
+        | Some t -> go (t :: acc) (xs, ys)
+        | None -> None)
+      | _ -> None
+    in
+    go [] (x, y)
+  | TOption x, TOption y -> Option.map (fun t -> TOption t) (unify x y)
+  | TVec x, TVec y -> Option.map (fun t -> TVec t) (unify x y)
+  | TMap (kx, vx), TMap (ky, vy) -> (
+    match unify kx ky, unify vx vy with
+    | Some k, Some v -> Some (TMap (k, v))
+    | _ -> None)
+  | _ -> if equal a b then Some a else None
+
+let rec pp fmt t =
+  match t with
+  | TBool -> Format.pp_print_string fmt "bool"
+  | TInt -> Format.pp_print_string fmt "int"
+  | TBit w -> Format.fprintf fmt "bit<%d>" w
+  | TString -> Format.pp_print_string fmt "string"
+  | TTuple ts ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp) ts
+  | TOption t -> Format.fprintf fmt "option<%a>" pp t
+  | TVec t -> Format.fprintf fmt "vec<%a>" pp t
+  | TMap (k, v) -> Format.fprintf fmt "map<%a, %a>" pp k pp v
+  | TStruct (n, _) -> Format.pp_print_string fmt n
+  | TEnum (n, _) -> Format.pp_print_string fmt n
+  | TDouble -> Format.pp_print_string fmt "double"
+  | TAny -> Format.pp_print_string fmt "'any"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** [check t v] holds when value [v] inhabits type [t]. *)
+let rec check t (v : Value.t) =
+  match t, v with
+  | TAny, _ -> true
+  | TBool, VBool _ -> true
+  | TInt, VInt _ -> true
+  | TDouble, VDouble _ -> true
+  | TBit w, VBit (w', _) -> w = w'
+  | TString, VString _ -> true
+  | TTuple ts, VTuple vs ->
+    List.length ts = Array.length vs
+    && List.for_all2 check ts (Array.to_list vs)
+  | TOption _, VOption None -> true
+  | TOption t, VOption (Some x) -> check t x
+  | TVec t, VVec l -> List.for_all (check t) l
+  | TMap (kt, vt), VMap l -> List.for_all (fun (k, x) -> check kt k && check vt x) l
+  | TStruct (n, fs), VStruct (n', fvs) ->
+    String.equal n n'
+    && List.length fs = Array.length fvs
+    && List.for_all2
+         (fun (fn, ft) (fn', fv) -> String.equal fn fn' && check ft fv)
+         fs (Array.to_list fvs)
+  | TEnum (n, cs), VEnum (n', c, payload) ->
+    String.equal n n'
+    && (match List.assoc_opt c cs with
+       | Some ts ->
+         List.length ts = Array.length payload
+         && List.for_all2 check ts (Array.to_list payload)
+       | None -> false)
+  | ( (TBool | TInt | TBit _ | TString | TTuple _ | TOption _
+      | TVec _ | TMap _ | TStruct _ | TEnum _ | TDouble), _ ) -> false
+
+(** A canonical inhabitant of each type, used to initialise fields. *)
+let rec default t : Value.t =
+  match t with
+  | TBool -> VBool false
+  | TInt -> VInt 0L
+  | TDouble -> VDouble 0.0
+  | TBit w -> VBit (w, 0L)
+  | TString -> VString ""
+  | TTuple ts -> VTuple (Array.of_list (List.map default ts))
+  | TOption _ -> VOption None
+  | TVec _ -> VVec []
+  | TMap _ -> VMap []
+  | TStruct (n, fs) ->
+    VStruct (n, Array.of_list (List.map (fun (fn, ft) -> (fn, default ft)) fs))
+  | TEnum (n, cs) -> (
+    match cs with
+    | (c, ts) :: _ -> VEnum (n, c, Array.of_list (List.map default ts))
+    | [] -> invalid_arg "Dtype.default: empty enum")
+  | TAny -> VTuple [||]
+
+(** Type of the value, reconstructed structurally (structs and enums keep
+    only their name; field/constructor info is not recoverable). *)
+let rec of_value (v : Value.t) =
+  match v with
+  | VBool _ -> TBool
+  | VInt _ -> TInt
+  | VDouble _ -> TDouble
+  | VBit (w, _) -> TBit w
+  | VString _ -> TString
+  | VTuple a -> TTuple (List.map of_value (Array.to_list a))
+  | VOption None -> TOption TAny
+  | VOption (Some x) -> TOption (of_value x)
+  | VVec [] -> TVec TAny
+  | VVec (x :: _) -> TVec (of_value x)
+  | VMap [] -> TMap (TAny, TAny)
+  | VMap ((k, x) :: _) -> TMap (of_value k, of_value x)
+  | VStruct (n, fs) ->
+    TStruct (n, List.map (fun (fn, fv) -> (fn, of_value fv)) (Array.to_list fs))
+  | VEnum (n, c, p) ->
+    TEnum (n, [ (c, List.map of_value (Array.to_list p)) ])

@@ -1,0 +1,35 @@
+(** Types of the DL language, mirroring DDlog's core. *)
+
+type t =
+  | TBool
+  | TInt          (** signed 64-bit mathematical integer *)
+  | TBit of int   (** [bit<N>], [1 <= N <= 64] *)
+  | TString
+  | TTuple of t list
+  | TOption of t
+  | TVec of t
+  | TMap of t * t
+  | TStruct of string * (string * t) list
+  | TEnum of string * (string * t list) list
+  | TDouble
+  | TAny
+      (** bottom placeholder used by the type checker for empty
+          collections and wildcards *)
+
+val equal : t -> t -> bool
+
+val unify : t -> t -> t option
+(** The most specific type compatible with both, treating [TAny] as a
+    wildcard; [None] if incompatible. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val check : t -> Value.t -> bool
+(** Does the value inhabit the type? *)
+
+val default : t -> Value.t
+(** A canonical inhabitant of the type. *)
+
+val of_value : Value.t -> t
+(** The value's type, reconstructed structurally. *)

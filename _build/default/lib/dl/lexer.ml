@@ -1,0 +1,179 @@
+(* Hand-written lexer for the DL surface syntax. *)
+
+type token =
+  | IDENT of string          (* lower-case: variables, functions *)
+  | UIDENT of string         (* upper-case: relation names *)
+  | INT of int64
+  | FLOAT of float
+  | BITLIT of int * int64    (* width'd / width'h / width'b literals *)
+  | STRING of string
+  | KW of string             (* keyword *)
+  | SYM of string            (* punctuation / operator *)
+  | EOF
+
+type lexeme = { tok : token; line : int; col : int }
+
+exception Lex_error of string
+
+let keywords =
+  [ "input"; "output"; "relation"; "not"; "and"; "or"; "var"; "in";
+    "group_by"; "if"; "else"; "true"; "false"; "bool"; "string"; "int";
+    "double"; "bit"; "vec"; "option"; "map" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize (src : string) : lexeme list =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let out = ref [] in
+  let emit tok pos = out := { tok; line = !line; col = pos - !bol + 1 } :: !out in
+  let error pos fmt =
+    Format.kasprintf
+      (fun s ->
+        raise
+          (Lex_error
+             (Printf.sprintf "line %d, column %d: %s" !line (pos - !bol + 1) s)))
+      fmt
+  in
+  let rec go i =
+    if i >= n then emit EOF i
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        incr line;
+        bol := i + 1;
+        go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then error i "unterminated comment"
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then begin incr line; bol := j + 1 end;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then error i "unterminated string"
+          else
+            match src.[j] with
+            | '"' -> j + 1
+            | '\\' when j + 1 < n ->
+              (match src.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '"' -> Buffer.add_char buf '"'
+              | c -> error j "bad escape \\%c" c);
+              scan (j + 2)
+            | c ->
+              Buffer.add_char buf c;
+              scan (j + 1)
+        in
+        let j = scan (i + 1) in
+        emit (STRING (Buffer.contents buf)) i;
+        go j
+      | c when is_digit c ->
+        (* A '.' continues the number only when a digit follows, so that
+           "3." ends a rule rather than reading a float. *)
+        let rec scan j =
+          if j < n && (is_hex src.[j] || src.[j] = 'x') then scan (j + 1)
+          else if j + 1 < n && src.[j] = '.' && is_digit src.[j + 1] then
+            scan (j + 2)
+          else j
+        in
+        let j = scan i in
+        let text = String.sub src i (j - i) in
+        (* width'base forms: 12'd34, 8'hFF, 4'b1010 *)
+        if j < n && src.[j] = '\'' then begin
+          let width =
+            match int_of_string_opt text with
+            | Some w when w >= 1 && w <= 64 -> w
+            | _ -> error i "bad bit width %s" text
+          in
+          if j + 1 >= n then error j "unterminated bit literal";
+          let base = src.[j + 1] in
+          let rec scan2 k =
+            if k < n && (is_hex src.[k] || src.[k] = '_') then scan2 (k + 1) else k
+          in
+          let k = scan2 (j + 2) in
+          let digits =
+            String.concat ""
+              (String.split_on_char '_' (String.sub src (j + 2) (k - j - 2)))
+          in
+          if digits = "" then error j "empty bit literal";
+          let value =
+            match base with
+            | 'd' -> Int64.of_string digits
+            | 'h' -> Int64.of_string ("0x" ^ digits)
+            | 'b' -> Int64.of_string ("0b" ^ digits)
+            | c -> error j "bad bit literal base '%c'" c
+          in
+          emit (BITLIT (width, value)) i;
+          go k
+        end
+        else if String.contains text '.' then begin
+          match float_of_string_opt text with
+          | Some f ->
+            emit (FLOAT f) i;
+            go j
+          | None -> error i "bad number %s" text
+        end
+        else begin
+          match Int64.of_string_opt text with
+          | Some v ->
+            emit (INT v) i;
+            go j
+          | None -> error i "bad number %s" text
+        end
+      | c when is_alpha c ->
+        let rec scan j = if j < n && is_alnum src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let word = String.sub src i (j - i) in
+        let tok =
+          if List.mem word keywords then KW word
+          else if c >= 'A' && c <= 'Z' then UIDENT word
+          else IDENT word
+        in
+        emit tok i;
+        go j
+      | _ ->
+        let sym2 = if i + 1 < n then String.sub src i 2 else "" in
+        let two =
+          List.mem sym2 [ ":-"; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "->" ]
+        in
+        if two then begin
+          emit (SYM sym2) i;
+          go (i + 2)
+        end
+        else begin
+          (match c with
+          | '(' | ')' | ',' | '.' | ':' | '=' | '<' | '>' | '+' | '-' | '*'
+          | '/' | '%' | '&' | '|' | '^' | '~' | '_' | '[' | ']' | '{' | '}' ->
+            emit (SYM (String.make 1 c)) i
+          | _ -> error i "unexpected character %C" c);
+          go (i + 1)
+        end
+  in
+  go 0;
+  List.rev !out
+
+let token_to_string = function
+  | IDENT s | UIDENT s -> s
+  | INT i -> Int64.to_string i
+  | FLOAT f -> string_of_float f
+  | BITLIT (w, v) -> Printf.sprintf "%d'd%Ld" w v
+  | STRING s -> Printf.sprintf "%S" s
+  | KW s -> s
+  | SYM s -> s
+  | EOF -> "<eof>"

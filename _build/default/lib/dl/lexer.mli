@@ -1,0 +1,26 @@
+(** Hand-written lexer for the DL surface syntax. *)
+
+type token =
+  | IDENT of string          (** lower-case: variables, functions *)
+  | UIDENT of string         (** upper-case: relation names *)
+  | INT of int64
+  | FLOAT of float
+  | BITLIT of int * int64    (** [12'd34] / [8'hFF] / [4'b1010] literals *)
+  | STRING of string
+  | KW of string
+  | SYM of string
+  | EOF
+
+type lexeme = { tok : token; line : int; col : int }
+
+exception Lex_error of string
+
+val keywords : string list
+
+val tokenize : string -> lexeme list
+(** Tokenise a whole source text, handling [//] and [/* */] comments,
+    string escapes and the numeric literal forms.  Always ends with an
+    [EOF] lexeme.
+    @raise Lex_error with a line/column-annotated message. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,151 @@
+(* A deliberately simple, non-incremental reference evaluator.
+
+   It shares only the AST, value and builtin modules with the
+   incremental engine, and evaluates rules by brute-force nested loops
+   over association-list environments, recomputing every stratum to a
+   fixpoint from scratch.  Its purpose is differential testing: for any
+   program and any input database, the incremental engine's visible
+   relations must coincide with this evaluator's result. *)
+
+type db = (string, Row.Set.t) Hashtbl.t
+
+let get (db : db) rel : Row.Set.t =
+  match Hashtbl.find_opt db rel with Some s -> s | None -> Row.Set.empty
+
+let add (db : db) rel row = Hashtbl.replace db rel (Row.Set.add row (get db rel))
+
+type env = (string * Value.t) list
+
+let rec eval_expr (env : env) (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.EVar v -> List.assoc v env
+  | Ast.EConst c -> c
+  | Ast.ECall (f, args) -> Builtins.eval f (List.map (eval_expr env) args)
+  | Ast.ETuple es -> Value.VTuple (Array.of_list (List.map (eval_expr env) es))
+  | Ast.EIf (c, t, e) ->
+    if Value.as_bool (eval_expr env c) then eval_expr env t else eval_expr env e
+
+(* Extend [env] by matching [row] against the atom's patterns. *)
+let match_atom (env : env) (args : Ast.pattern array) (row : Row.t) :
+    env option =
+  let n = Array.length args in
+  let rec go env i =
+    if i >= n then Some env
+    else
+      match args.(i) with
+      | Ast.PWild -> go env (i + 1)
+      | Ast.PConst c -> if Value.equal c row.(i) then go env (i + 1) else None
+      | Ast.PVar v -> (
+        match List.assoc_opt v env with
+        | Some x -> if Value.equal x row.(i) then go env (i + 1) else None
+        | None -> go ((v, row.(i)) :: env) (i + 1))
+  in
+  go env 0
+
+(* All environments satisfying the body, with multiplicity (list may
+   contain duplicates, which matter only for aggregates). *)
+let rec solve (db : db) (env : env) (body : Ast.literal list) : env list =
+  match body with
+  | [] -> [ env ]
+  | lit :: rest -> (
+    match lit with
+    | Ast.LAtom a ->
+      Row.Set.fold
+        (fun row acc ->
+          match match_atom env a.args row with
+          | Some env' -> solve db env' rest @ acc
+          | None -> acc)
+        (get db a.rel) []
+    | Ast.LNeg a ->
+      let exists =
+        Row.Set.exists
+          (fun row -> match_atom env a.args row <> None)
+          (get db a.rel)
+      in
+      if exists then [] else solve db env rest
+    | Ast.LCond e ->
+      if Value.as_bool (eval_expr env e) then solve db env rest else []
+    | Ast.LAssign (v, e) -> solve db ((v, eval_expr env e) :: env) rest
+    | Ast.LFlat (v, e) ->
+      List.concat_map
+        (fun x -> solve db ((v, x) :: env) rest)
+        (Value.as_vec (eval_expr env e))
+    | Ast.LAgg g ->
+      (* [rest] is empty (checked by the type checker); aggregation is
+         applied over the environments accumulated so far by the caller,
+         so it is handled in [eval_rule] below. *)
+      ignore g;
+      invalid_arg "Naive.solve: aggregate literal must be handled by eval_rule")
+
+let eval_rule (db : db) (rule : Ast.rule) : Row.t list =
+  let rec split acc = function
+    | [ Ast.LAgg g ] -> (List.rev acc, Some g)
+    | [] -> (List.rev acc, None)
+    | lit :: rest -> split (lit :: acc) rest
+  in
+  let body, agg = split [] rule.body in
+  let envs = solve db [] body in
+  match agg with
+  | None ->
+    List.map
+      (fun env -> Array.map (eval_expr env) rule.head.hargs)
+      envs
+  | Some g ->
+    (* Group environments by the group_by variables. *)
+    let groups : (Row.t * Value.t list ref) list ref = ref [] in
+    List.iter
+      (fun env ->
+        let key =
+          Array.of_list (List.map (fun v -> List.assoc v env) g.agg_by)
+        in
+        let value = eval_expr env g.agg_expr in
+        match List.find_opt (fun (k, _) -> Row.equal k key) !groups with
+        | Some (_, vs) -> vs := value :: !vs
+        | None -> groups := (key, ref [ value ]) :: !groups)
+      envs;
+    List.map
+      (fun (key, vs) ->
+        let sorted = List.sort Value.compare !vs in
+        (* Build (value, multiplicity) runs for the aggregate library. *)
+        let runs =
+          List.fold_left
+            (fun acc v ->
+              match acc with
+              | (v', n) :: rest when Value.equal v v' -> (v', n + 1) :: rest
+              | _ -> (v, 1) :: acc)
+            [] sorted
+          |> List.rev
+        in
+        let result = Builtins.agg_eval g.agg_func runs in
+        let env =
+          (g.agg_out, result)
+          :: List.map2 (fun v x -> (v, x)) g.agg_by (Array.to_list key)
+        in
+        Array.map (eval_expr env) rule.head.hargs)
+      !groups
+
+(** Evaluate [program] over the given input database (relation name ->
+    rows).  Returns the full contents of every relation. *)
+let run (program : Ast.program) (inputs : (string * Row.t list) list) : db =
+  let db : db = Hashtbl.create 16 in
+  List.iter (fun (rel, rows) -> List.iter (add db rel) rows) inputs;
+  let strata = Stratify.stratify program in
+  List.iter
+    (fun (s : Stratify.stratum) ->
+      (* Recompute the stratum to a fixpoint from scratch. *)
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun rule ->
+            List.iter
+              (fun row ->
+                if not (Row.Set.mem row (get db rule.Ast.head.hrel)) then begin
+                  add db rule.Ast.head.hrel row;
+                  changed := true
+                end)
+              (eval_rule db rule))
+          s.rules
+      done)
+    strata;
+  db

@@ -1,0 +1,16 @@
+(** A deliberately simple, non-incremental reference evaluator.
+
+    It shares only the AST, value and builtin modules with the
+    incremental engine and recomputes every stratum to a fixpoint from
+    scratch by brute force.  Its purpose is differential testing: for
+    any program and input database, {!Engine}'s visible relations must
+    coincide with this evaluator's result. *)
+
+type db = (string, Row.Set.t) Hashtbl.t
+
+val get : db -> string -> Row.Set.t
+(** Contents of a relation (empty if absent). *)
+
+val run : Ast.program -> (string * Row.t list) list -> db
+(** Evaluate the program over the given input rows and return the full
+    contents of every relation. *)

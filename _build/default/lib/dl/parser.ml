@@ -1,0 +1,482 @@
+(* Recursive-descent parser for the DL surface syntax.
+
+   Grammar sketch (see README for the full reference):
+
+     program  := (decl | rule)*
+     decl     := ["input" | "output"] "relation" UIdent "(" cols ")"
+     col      := ident ":" type
+     type     := bool | int | string | bit<N> | vec<t> | option<t>
+               | map<t, t> | (t, t, ...)
+     rule     := head [":-" literal ("," literal)*] "."
+     head     := UIdent "(" expr* ")"
+     literal  := UIdent "(" pat* ")"
+               | "not" UIdent "(" pat* ")"
+               | "var" ident "=" agg "(" expr ")" "group_by" "(" ident* ")"
+               | "var" ident "=" expr
+               | "var" ident "in" expr
+               | expr                                  (condition)
+     pat      := "_" | ident | const
+
+   Relation names are capitalised; variables and functions are
+   lower-case.  Integer constants in patterns and head positions are
+   automatically coerced to the column's bit<N> type. *)
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.lexeme list }
+
+let error (lx : Lexer.lexeme) fmt =
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Parse_error (Printf.sprintf "line %d, column %d: %s" lx.line lx.col s)))
+    fmt
+
+let peek st = match st.toks with [] -> assert false | lx :: _ -> lx
+
+let advance st =
+  match st.toks with
+  | [] -> assert false
+  | lx :: rest ->
+    (match lx.tok with Lexer.EOF -> () | _ -> st.toks <- rest);
+    lx
+
+let expect_sym st s =
+  (* Split ">>" when a single ">" is expected, so that nested type
+     arguments like vec<bit<32>> parse (the classic C++ problem). *)
+  (match s, st.toks with
+  | ">", ({ tok = Lexer.SYM ">>"; _ } as lx) :: rest ->
+    st.toks <- { lx with tok = Lexer.SYM ">" } :: { lx with tok = Lexer.SYM ">" } :: rest
+  | _ -> ());
+  let lx = advance st in
+  match lx.tok with
+  | Lexer.SYM s' when String.equal s s' -> ()
+  | t -> error lx "expected %s, found %s" s (Lexer.token_to_string t)
+
+let expect_kw st s =
+  let lx = advance st in
+  match lx.tok with
+  | Lexer.KW s' when String.equal s s' -> ()
+  | t -> error lx "expected %s, found %s" s (Lexer.token_to_string t)
+
+let accept_sym st s =
+  match (peek st).tok with
+  | Lexer.SYM s' when String.equal s s' ->
+    ignore (advance st);
+    true
+  | _ -> false
+
+let accept_kw st s =
+  match (peek st).tok with
+  | Lexer.KW s' when String.equal s s' ->
+    ignore (advance st);
+    true
+  | _ -> false
+
+let ident st =
+  let lx = advance st in
+  match lx.tok with
+  | Lexer.IDENT s -> s
+  | t -> error lx "expected identifier, found %s" (Lexer.token_to_string t)
+
+let uident st =
+  let lx = advance st in
+  match lx.tok with
+  | Lexer.UIDENT s -> s
+  | t -> error lx "expected relation name, found %s" (Lexer.token_to_string t)
+
+(* ---------------- types ---------------- *)
+
+let rec parse_type st : Dtype.t =
+  let lx = advance st in
+  match lx.tok with
+  | Lexer.KW "bool" -> Dtype.TBool
+  | Lexer.KW "int" -> Dtype.TInt
+  | Lexer.KW "double" -> Dtype.TDouble
+  | Lexer.KW "string" -> Dtype.TString
+  | Lexer.KW "bit" ->
+    expect_sym st "<";
+    let w =
+      let lx = advance st in
+      match lx.tok with
+      | Lexer.INT w -> Int64.to_int w
+      | t -> error lx "expected bit width, found %s" (Lexer.token_to_string t)
+    in
+    expect_sym st ">";
+    Dtype.TBit w
+  | Lexer.KW "vec" ->
+    expect_sym st "<";
+    let t = parse_type st in
+    expect_sym st ">";
+    Dtype.TVec t
+  | Lexer.KW "option" ->
+    expect_sym st "<";
+    let t = parse_type st in
+    expect_sym st ">";
+    Dtype.TOption t
+  | Lexer.KW "map" ->
+    expect_sym st "<";
+    let k = parse_type st in
+    expect_sym st ",";
+    let v = parse_type st in
+    expect_sym st ">";
+    Dtype.TMap (k, v)
+  | Lexer.SYM "(" ->
+    let rec go acc =
+      let t = parse_type st in
+      if accept_sym st "," then go (t :: acc)
+      else begin
+        expect_sym st ")";
+        List.rev (t :: acc)
+      end
+    in
+    (match go [] with
+    | [ t ] -> t
+    | ts -> Dtype.TTuple ts)
+  | t -> error lx "expected a type, found %s" (Lexer.token_to_string t)
+
+(* ---------------- expressions ---------------- *)
+
+let const_of_token st =
+  let lx = advance st in
+  match lx.tok with
+  | Lexer.INT v -> Value.VInt v
+  | Lexer.FLOAT f -> Value.VDouble f
+  | Lexer.BITLIT (w, v) -> Value.bit w v
+  | Lexer.STRING s -> Value.VString s
+  | Lexer.KW "true" -> Value.VBool true
+  | Lexer.KW "false" -> Value.VBool false
+  | t -> error lx "expected a constant, found %s" (Lexer.token_to_string t)
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "or" || accept_sym st "||" then
+    Ast.ECall ("||", [ lhs; parse_or st ])
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "and" || accept_sym st "&&" then
+    Ast.ECall ("&&", [ lhs; parse_and st ])
+  else lhs
+
+and parse_not st =
+  if accept_kw st "not" then Ast.ECall ("not", [ parse_not st ])
+  else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_bitor st in
+  let op =
+    match (peek st).tok with
+    | Lexer.SYM (("==" | "!=" | "<" | "<=" | ">" | ">=") as s) -> Some s
+    | _ -> None
+  in
+  match op with
+  | Some s ->
+    ignore (advance st);
+    Ast.ECall (s, [ lhs; parse_bitor st ])
+  | None -> lhs
+
+and parse_bitor st =
+  let lhs = parse_bitxor st in
+  if accept_sym st "|" then Ast.ECall ("|", [ lhs; parse_bitor st ]) else lhs
+
+and parse_bitxor st =
+  let lhs = parse_bitand st in
+  if accept_sym st "^" then Ast.ECall ("^", [ lhs; parse_bitxor st ]) else lhs
+
+and parse_bitand st =
+  let lhs = parse_shift st in
+  if accept_sym st "&" then Ast.ECall ("&", [ lhs; parse_bitand st ]) else lhs
+
+and parse_shift st =
+  let lhs = parse_add st in
+  match (peek st).tok with
+  | Lexer.SYM (("<<" | ">>") as s) ->
+    ignore (advance st);
+    Ast.ECall (s, [ lhs; parse_add st ])
+  | _ -> lhs
+
+and parse_add st =
+  let lhs = parse_mul st in
+  let rec go lhs =
+    match (peek st).tok with
+    | Lexer.SYM (("+" | "-") as s) ->
+      ignore (advance st);
+      go (Ast.ECall (s, [ lhs; parse_mul st ]))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_mul st =
+  let lhs = parse_unary st in
+  let rec go lhs =
+    match (peek st).tok with
+    | Lexer.SYM (("*" | "/" | "%") as s) ->
+      ignore (advance st);
+      go (Ast.ECall (s, [ lhs; parse_unary st ]))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary st =
+  if accept_sym st "-" then Ast.ECall ("neg", [ parse_unary st ])
+  else if accept_sym st "~" then Ast.ECall ("~", [ parse_unary st ])
+  else parse_primary st
+
+and parse_primary st =
+  let lx = peek st in
+  match lx.tok with
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.BITLIT _ | Lexer.STRING _
+  | Lexer.KW "true" | Lexer.KW "false" ->
+    Ast.EConst (const_of_token st)
+  | Lexer.KW "if" ->
+    ignore (advance st);
+    expect_sym st "(";
+    let c = parse_expr st in
+    expect_sym st ")";
+    let t = parse_expr st in
+    expect_kw st "else";
+    let e = parse_expr st in
+    Ast.EIf (c, t, e)
+  | Lexer.SYM "(" ->
+    ignore (advance st);
+    let rec go acc =
+      let e = parse_expr st in
+      if accept_sym st "," then go (e :: acc)
+      else begin
+        expect_sym st ")";
+        List.rev (e :: acc)
+      end
+    in
+    (match go [] with [ e ] -> e | es -> Ast.ETuple es)
+  | Lexer.IDENT name ->
+    ignore (advance st);
+    if accept_sym st "(" then begin
+      if accept_sym st ")" then Ast.ECall (name, [])
+      else
+        let rec go acc =
+          let e = parse_expr st in
+          if accept_sym st "," then go (e :: acc)
+          else begin
+            expect_sym st ")";
+            List.rev (e :: acc)
+          end
+        in
+        Ast.ECall (name, go [])
+    end
+    else Ast.EVar name
+  | t -> error lx "expected an expression, found %s" (Lexer.token_to_string t)
+
+(* ---------------- patterns, atoms, literals ---------------- *)
+
+let parse_pattern st : Ast.pattern =
+  let lx = peek st in
+  match lx.tok with
+  | Lexer.SYM "_" | Lexer.IDENT "_" ->
+    ignore (advance st);
+    Ast.PWild
+  | Lexer.IDENT v ->
+    ignore (advance st);
+    Ast.PVar v
+  | Lexer.SYM "-" ->
+    ignore (advance st);
+    (match (advance st).tok with
+    | Lexer.INT v -> Ast.PConst (Value.VInt (Int64.neg v))
+    | t -> error lx "expected a number after -, found %s" (Lexer.token_to_string t))
+  | _ -> Ast.PConst (const_of_token st)
+
+let parse_atom st rel : Ast.atom =
+  expect_sym st "(";
+  if accept_sym st ")" then { Ast.rel; args = [||] }
+  else
+    let rec go acc =
+      let p = parse_pattern st in
+      if accept_sym st "," then go (p :: acc)
+      else begin
+        expect_sym st ")";
+        List.rev (p :: acc)
+      end
+    in
+    { Ast.rel; args = Array.of_list (go []) }
+
+let parse_literal st : Ast.literal =
+  let lx = peek st in
+  match lx.tok with
+  | Lexer.KW "not" when (match st.toks with
+                         | _ :: { tok = Lexer.UIDENT _; _ } :: _ -> true
+                         | _ -> false) ->
+    ignore (advance st);
+    let rel = uident st in
+    Ast.LNeg (parse_atom st rel)
+  | Lexer.UIDENT rel ->
+    ignore (advance st);
+    Ast.LAtom (parse_atom st rel)
+  | Lexer.KW "var" ->
+    ignore (advance st);
+    let v = ident st in
+    if accept_kw st "in" then Ast.LFlat (v, parse_expr st)
+    else begin
+      expect_sym st "=";
+      let e = parse_expr st in
+      (* Aggregate form: f(e) group_by (vars) *)
+      if accept_kw st "group_by" then begin
+        match e with
+        | Ast.ECall (f, [ arg ]) when List.mem f Builtins.agg_names ->
+          expect_sym st "(";
+          let by =
+            if accept_sym st ")" then []
+            else
+              let rec go acc =
+                let v = ident st in
+                if accept_sym st "," then go (v :: acc)
+                else begin
+                  expect_sym st ")";
+                  List.rev (v :: acc)
+                end
+              in
+              go []
+          in
+          Ast.LAgg { agg_out = v; agg_func = f; agg_expr = arg; agg_by = by }
+        | _ -> error lx "group_by must follow an aggregate call"
+      end
+      else Ast.LAssign (v, e)
+    end
+  | _ -> Ast.LCond (parse_expr st)
+
+let parse_head st : Ast.atom_expr =
+  let rel = uident st in
+  expect_sym st "(";
+  if accept_sym st ")" then { Ast.hrel = rel; hargs = [||] }
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if accept_sym st "," then go (e :: acc)
+      else begin
+        expect_sym st ")";
+        List.rev (e :: acc)
+      end
+    in
+    { Ast.hrel = rel; hargs = Array.of_list (go []) }
+
+(* ---------------- declarations, rules, program ---------------- *)
+
+let parse_decl st role : Ast.rel_decl =
+  expect_kw st "relation";
+  let name = uident st in
+  expect_sym st "(";
+  let rec go acc =
+    let cname = ident st in
+    expect_sym st ":";
+    let ty = parse_type st in
+    if accept_sym st "," then go ((cname, ty) :: acc)
+    else begin
+      expect_sym st ")";
+      List.rev ((cname, ty) :: acc)
+    end
+  in
+  let cols = go [] in
+  { Ast.rname = name; role; cols }
+
+let parse_rule st : Ast.rule =
+  let head = parse_head st in
+  if accept_sym st "." then { Ast.head; body = [] }
+  else begin
+    expect_sym st ":-";
+    let rec go acc =
+      let l = parse_literal st in
+      if accept_sym st "," then go (l :: acc)
+      else begin
+        expect_sym st ".";
+        List.rev (l :: acc)
+      end
+    in
+    { Ast.head; body = go [] }
+  end
+
+(* Coerce plain integer constants to bit<N> where the declared column
+   type requires it, so that users can write Port(1, v) instead of
+   Port(32'd1, v). *)
+let coerce_program (p : Ast.program) : Ast.program =
+  let col_types rel =
+    match List.find_opt (fun (d : Ast.rel_decl) -> d.rname = rel) p.decls with
+    | Some d -> Some (Array.of_list (List.map snd d.cols))
+    | None -> None
+  in
+  let coerce_const ty (v : Value.t) =
+    match ty, v with
+    | Dtype.TBit w, Value.VInt i -> Value.bit w i
+    | _ -> v
+  in
+  let coerce_pat ty = function
+    | Ast.PConst c -> Ast.PConst (coerce_const ty c)
+    | p -> p
+  in
+  let coerce_atom (a : Ast.atom) =
+    match col_types a.rel with
+    | Some tys when Array.length tys = Array.length a.args ->
+      { a with args = Array.mapi (fun i p -> coerce_pat tys.(i) p) a.args }
+    | _ -> a
+  in
+  let rec coerce_expr ty = function
+    | Ast.EConst c -> Ast.EConst (coerce_const ty c)
+    | Ast.EIf (c, t, e) -> Ast.EIf (c, coerce_expr ty t, coerce_expr ty e)
+    | e -> e
+  in
+  let coerce_head (h : Ast.atom_expr) =
+    match col_types h.hrel with
+    | Some tys when Array.length tys = Array.length h.hargs ->
+      { h with hargs = Array.mapi (fun i e -> coerce_expr tys.(i) e) h.hargs }
+    | _ -> h
+  in
+  let coerce_lit = function
+    | Ast.LAtom a -> Ast.LAtom (coerce_atom a)
+    | Ast.LNeg a -> Ast.LNeg (coerce_atom a)
+    | l -> l
+  in
+  let rules =
+    List.map
+      (fun (r : Ast.rule) ->
+        { Ast.head = coerce_head r.head; body = List.map coerce_lit r.body })
+      p.rules
+  in
+  { p with rules }
+
+(** Parse a complete program from source text. *)
+let parse_program (src : string) : (Ast.program, string) result =
+  try
+    let st = { toks = Lexer.tokenize src } in
+    let decls = ref [] and rules = ref [] in
+    let rec go () =
+      match (peek st).tok with
+      | Lexer.EOF -> ()
+      | Lexer.KW "input" ->
+        ignore (advance st);
+        decls := parse_decl st Ast.Input :: !decls;
+        go ()
+      | Lexer.KW "output" ->
+        ignore (advance st);
+        decls := parse_decl st Ast.Output :: !decls;
+        go ()
+      | Lexer.KW "relation" ->
+        decls := parse_decl st Ast.Internal :: !decls;
+        go ()
+      | _ ->
+        rules := parse_rule st :: !rules;
+        go ()
+    in
+    go ();
+    Ok
+      (coerce_program
+         { Ast.decls = List.rev !decls; rules = List.rev !rules })
+  with
+  | Parse_error msg -> Error msg
+  | Lexer.Lex_error msg -> Error msg
+
+(** Parse, failing loudly; for embedded programs known to be valid. *)
+let parse_program_exn src =
+  match parse_program src with
+  | Ok p -> p
+  | Error msg -> raise (Parse_error msg)

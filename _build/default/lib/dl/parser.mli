@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the DL surface syntax.
+
+    Grammar sketch (see the README for the full reference):
+    {v
+    program  := (decl | rule)*
+    decl     := ["input" | "output"] "relation" UIdent "(" col: type, ... ")"
+    type     := bool | int | double | string | bit<N> | vec<t>
+              | option<t> | map<k, v> | (t, t, ...)
+    rule     := Head(expr, ...) [":-" literal, ...] "."
+    literal  := Atom(pat, ...) | not Atom(pat, ...) | var x = expr
+              | var x in expr | var x = agg(e) group_by (v, ...) | expr
+    v}
+    Relation names are capitalised, variables and functions lower-case.
+    Plain integer constants in body patterns and head positions are
+    coerced to the column's [bit<N>] type. *)
+
+exception Parse_error of string
+
+val parse_program : string -> (Ast.program, string) result
+(** Parse a complete program from source text; the error message
+    carries a line/column position. *)
+
+val parse_program_exn : string -> Ast.program
+(** Like {!parse_program} but raises {!Parse_error}; for embedded
+    programs known to be valid. *)

@@ -1,0 +1,38 @@
+(* A row (fact) of a relation: a fixed-arity array of values. *)
+
+type t = Value.t array
+
+let compare = Value.compare_arrays
+let equal a b = compare a b = 0
+let hash (r : t) = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 r
+
+let pp fmt (r : t) =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Value.pp)
+    (Array.to_seq r)
+
+let to_string r = Format.asprintf "%a" pp r
+
+(** [project r positions] extracts the sub-row at the given column
+    positions, used as an index key. *)
+let project (r : t) (positions : int array) : t =
+  Array.map (fun i -> r.(i)) positions
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Hash = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Hash)

@@ -1,0 +1,23 @@
+(** Rows (facts) of a relation: fixed-arity arrays of values. *)
+
+type t = Value.t array
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val project : t -> int array -> t
+(** [project r positions] extracts the sub-row at the given column
+    positions (used as an index key). *)
+
+module Ord : sig
+  type nonrec t = t
+
+  val compare : t -> t -> int
+end
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,112 @@
+(* Mutable storage for one relation: the set of visible rows, their
+   derivation counts, and hash indexes over column subsets.
+
+   For input relations a visible row always has count 1.  For computed
+   relations in non-recursive strata the count is the number of
+   derivations (counting-based incremental view maintenance); a row is
+   visible iff its count is positive.  Relations in recursive strata use
+   set semantics and keep all counts at 1. *)
+
+type index = {
+  positions : int array;                 (* column positions forming the key *)
+  table : Row.t list ref Row.Tbl.t;      (* key sub-row -> visible rows *)
+}
+
+type t = {
+  decl : Ast.rel_decl;
+  mutable counts : int Row.Map.t;        (* visible rows -> derivation count > 0 *)
+  mutable indexes : index list;
+}
+
+let create (decl : Ast.rel_decl) = { decl; counts = Row.Map.empty; indexes = [] }
+
+let name t = t.decl.rname
+let mem t row = Row.Map.mem row t.counts
+let count t row = match Row.Map.find_opt row t.counts with Some c -> c | None -> 0
+let cardinal t = Row.Map.cardinal t.counts
+let iter f t = Row.Map.iter (fun row _ -> f row) t.counts
+let fold f t acc = Row.Map.fold (fun row _ acc -> f row acc) t.counts acc
+let rows t = Row.Map.fold (fun row _ acc -> row :: acc) t.counts []
+let to_zset t : Zset.t = Row.Map.map (fun _ -> 1) t.counts
+
+let index_add idx row =
+  let key = Row.project row idx.positions in
+  match Row.Tbl.find_opt idx.table key with
+  | Some bucket -> bucket := row :: !bucket
+  | None -> Row.Tbl.add idx.table key (ref [ row ])
+
+let index_remove idx row =
+  let key = Row.project row idx.positions in
+  match Row.Tbl.find_opt idx.table key with
+  | Some bucket ->
+    bucket := List.filter (fun r -> not (Row.equal r row)) !bucket;
+    if !bucket = [] then Row.Tbl.remove idx.table key
+  | None -> ()
+
+(* Visibility transitions: update every index when a row appears or
+   disappears from the visible set. *)
+let on_appear t row = List.iter (fun idx -> index_add idx row) t.indexes
+let on_disappear t row = List.iter (fun idx -> index_remove idx row) t.indexes
+
+(** [add_derivations t row dcount] adds [dcount] to the derivation count
+    of [row] and returns the visibility change: [+1] if the row became
+    visible, [-1] if it disappeared, [0] otherwise. *)
+let add_derivations t row dcount =
+  if dcount = 0 then 0
+  else
+    let old_count = count t row in
+    let new_count = old_count + dcount in
+    if new_count < 0 then
+      invalid_arg
+        (Printf.sprintf "Store.add_derivations: negative count for %s%s"
+           (name t) (Row.to_string row));
+    if new_count = 0 then begin
+      t.counts <- Row.Map.remove row t.counts;
+      if old_count > 0 then begin on_disappear t row; -1 end else 0
+    end
+    else begin
+      t.counts <- Row.Map.add row new_count t.counts;
+      if old_count = 0 then begin on_appear t row; 1 end else 0
+    end
+
+(** Set-semantics insertion; returns [true] if the row was new. *)
+let set_insert t row =
+  if mem t row then false
+  else begin
+    t.counts <- Row.Map.add row 1 t.counts;
+    on_appear t row;
+    true
+  end
+
+(** Set-semantics removal; returns [true] if the row was present. *)
+let set_remove t row =
+  if mem t row then begin
+    t.counts <- Row.Map.remove row t.counts;
+    on_disappear t row;
+    true
+  end
+  else false
+
+(** [ensure_index t positions] finds or builds the index keyed on the
+    given column positions (sorted ascending for canonicalisation). *)
+let ensure_index t (positions : int array) : index =
+  let positions = Array.copy positions in
+  Array.sort Int.compare positions;
+  match
+    List.find_opt (fun idx -> idx.positions = positions) t.indexes
+  with
+  | Some idx -> idx
+  | None ->
+    let idx = { positions; table = Row.Tbl.create 64 } in
+    iter (fun row -> index_add idx row) t;
+    t.indexes <- idx :: t.indexes;
+    idx
+
+(** Visible rows whose projection on [idx.positions] equals [key]. *)
+let index_lookup idx (key : Row.t) : Row.t list =
+  match Row.Tbl.find_opt idx.table key with Some b -> !b | None -> []
+
+(** Rough memory footprint in stored rows, counting index duplication;
+    used by the RAM-overhead experiment. *)
+let footprint t =
+  cardinal t * (1 + List.length t.indexes)

@@ -1,0 +1,133 @@
+(* Stratification: order relations into strata so that every stratum
+   only reads from strictly earlier strata, except for positive
+   recursion which stays inside one stratum.
+
+   A stratum is a strongly-connected component of the relation
+   dependency graph (edges from body relations to head relations).
+   Negation and aggregation inside an SCC are rejected — they are
+   non-monotonic and have no stratified semantics. *)
+
+type stratum = {
+  relations : string list;      (* relations defined in this stratum *)
+  rules : Ast.rule list;        (* rules whose head is in this stratum *)
+  recursive : bool;             (* true if the SCC contains a cycle *)
+}
+
+type t = stratum list
+
+exception Unstratifiable of string
+
+(* Tarjan's strongly-connected-components algorithm.  Returns the SCCs
+   in reverse topological order (consumers before producers), which we
+   reverse at the end. *)
+let tarjan (nodes : string list) (succs : string -> string list) :
+    string list list =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (* Tarjan emits SCCs in reverse topological order of the condensation
+     when edges point from dependency to dependent; our edges point from
+     body (dependency) to head (dependent), so [!sccs] is already
+     topologically sorted producers-first. *)
+  !sccs
+
+(** Stratify [program].  Raises [Unstratifiable] if a negation or an
+    aggregation occurs inside a recursive SCC. *)
+let stratify (program : Ast.program) : t =
+  let rel_names = List.map (fun (d : Ast.rel_decl) -> d.rname) program.decls in
+  (* Edges: body relation -> head relation, labelled with polarity. *)
+  let edges = Hashtbl.create 64 in
+  let add_edge src dst polarity =
+    let existing = Hashtbl.find_all edges src in
+    if not (List.mem (dst, polarity) existing) then
+      Hashtbl.add edges src (dst, polarity)
+  in
+  List.iter
+    (fun (rule : Ast.rule) ->
+      List.iter
+        (fun (rel, pol) -> add_edge rel rule.head.hrel pol)
+        (Ast.body_dependencies rule))
+    program.rules;
+  let succs v = List.map fst (Hashtbl.find_all edges v) in
+  let sccs = tarjan rel_names succs in
+  (* Assign each relation its SCC id. *)
+  let scc_of = Hashtbl.create 64 in
+  List.iteri
+    (fun i scc -> List.iter (fun r -> Hashtbl.replace scc_of r i) scc)
+    sccs;
+  (* Reject negative edges within an SCC. *)
+  Hashtbl.iter
+    (fun src (dst, pol) ->
+      if pol = `Neg && Hashtbl.find scc_of src = Hashtbl.find scc_of dst then
+        raise
+          (Unstratifiable
+             (Printf.sprintf
+                "negation or aggregation of %s feeds back into its own \
+                 recursive component (via %s)"
+                src dst)))
+    edges;
+  (* Build strata in topological order. *)
+  let rules_of_head = Hashtbl.create 64 in
+  List.iter
+    (fun (rule : Ast.rule) -> Hashtbl.add rules_of_head rule.head.hrel rule)
+    program.rules;
+  List.mapi
+    (fun i scc ->
+      let rules =
+        List.concat_map (fun r -> List.rev (Hashtbl.find_all rules_of_head r)) scc
+      in
+      let recursive =
+        (* An SCC is recursive if it has >1 relation or a self-loop. *)
+        List.length scc > 1
+        || (match scc with
+           | [ r ] ->
+             List.exists
+               (fun (dst, _) -> Hashtbl.find_opt scc_of dst = Some i
+                                && String.equal dst r)
+               (Hashtbl.find_all edges r)
+           | _ -> false)
+      in
+      { relations = scc; rules; recursive })
+    sccs
+
+let pp fmt (strata : t) =
+  List.iteri
+    (fun i s ->
+      Format.fprintf fmt "stratum %d%s: %s (%d rules)@." i
+        (if s.recursive then " (recursive)" else "")
+        (String.concat ", " s.relations)
+        (List.length s.rules))
+    strata

@@ -1,0 +1,23 @@
+(** Stratification: order relations into strata so that every stratum
+    only reads from strictly earlier strata, except for positive
+    recursion which stays inside one stratum.
+
+    A stratum is a strongly-connected component of the relation
+    dependency graph.  Negation and aggregation inside an SCC have no
+    stratified semantics and are rejected. *)
+
+type stratum = {
+  relations : string list;  (** relations defined in this stratum *)
+  rules : Ast.rule list;    (** rules whose head is in this stratum *)
+  recursive : bool;         (** the SCC contains a cycle *)
+}
+
+type t = stratum list
+
+exception Unstratifiable of string
+
+val stratify : Ast.program -> t
+(** Strata in dependency order (producers first).
+    @raise Unstratifiable on negation or aggregation within an SCC. *)
+
+val pp : Format.formatter -> t -> unit

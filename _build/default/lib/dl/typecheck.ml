@@ -1,0 +1,326 @@
+(* Static checking of DL programs.
+
+   Verifies, before any evaluation:
+   - relation declarations are unique and well-formed;
+   - every atom refers to a declared relation with the right arity;
+   - variables obey the left-to-right binding discipline (negated atoms,
+     conditions and aggregate bodies use only bound variables);
+   - expressions are well-typed against the builtin signatures;
+   - heads of rules produce values of the declared column types;
+   - no rule writes into an [Input] relation and facts target inputs or
+     internals only through rules. *)
+
+type env = (string * Dtype.t) list
+
+let lookup env v = List.assoc_opt v env
+
+let rec type_of_expr (env : env) (e : Ast.expr) : (Dtype.t, string) result =
+  match e with
+  | Ast.EVar v -> (
+    match lookup env v with
+    | Some t -> Ok t
+    | None -> Error (Printf.sprintf "unbound variable %s" v))
+  | Ast.EConst c -> Ok (Dtype.of_value c)
+  | Ast.ETuple es ->
+    let rec go acc = function
+      | [] -> Ok (Dtype.TTuple (List.rev acc))
+      | e :: rest -> (
+        match type_of_expr env e with
+        | Ok t -> go (t :: acc) rest
+        | Error _ as err -> err)
+    in
+    go [] es
+  | Ast.EIf (c, t, e) -> (
+    match type_of_expr env c with
+    | Error _ as err -> err
+    | Ok ct ->
+      if not (Dtype.equal ct Dtype.TBool) then
+        Error "if condition must be boolean"
+      else (
+        match type_of_expr env t, type_of_expr env e with
+        | Ok tt, Ok et -> (
+          match Dtype.unify tt et with
+          | Some u -> Ok u
+          | None ->
+            Error
+              (Printf.sprintf "if branches have different types %s / %s"
+                 (Dtype.to_string tt) (Dtype.to_string et)))
+        | Error msg, _ | _, Error msg -> Error msg))
+  | Ast.ECall (f, args) -> (
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | a :: rest -> (
+        match type_of_expr env a with
+        | Ok t -> go (t :: acc) rest
+        | Error _ as err -> err)
+    in
+    match go [] args with
+    | Error _ as err -> err
+    | Ok arg_types -> (
+      (* Width-returning builtins whose result depends on a constant
+         argument are refined here. *)
+      match f, args, arg_types with
+      | "int2bit", [ Ast.EConst (Value.VInt w); _ ], _ ->
+        Ok (Dtype.TBit (Int64.to_int w))
+      | "zext", [ _; Ast.EConst (Value.VInt w) ], _ ->
+        Ok (Dtype.TBit (Int64.to_int w))
+      | ( "bit_slice",
+          [ _; Ast.EConst (Value.VInt hi); Ast.EConst (Value.VInt lo) ],
+          Dtype.TBit _ :: _ ) ->
+        let width = Int64.to_int hi - Int64.to_int lo + 1 in
+        if width < 1 then Error "bit_slice: hi < lo" else Ok (Dtype.TBit width)
+      | "tuple_nth", [ _; Ast.EConst (Value.VInt i) ], [ Dtype.TTuple ts; _ ] ->
+        let i = Int64.to_int i in
+        if i < 0 || i >= List.length ts then Error "tuple_nth: index out of bounds"
+        else Ok (List.nth ts i)
+      | _ -> Builtins.result_type f arg_types))
+
+let check_bound env e =
+  let unbound =
+    List.filter (fun v -> lookup env v = None) (Ast.expr_vars e)
+  in
+  match unbound with
+  | [] -> Ok ()
+  | v :: _ -> Error (Printf.sprintf "unbound variable %s" v)
+
+(* Bind the variables of a positive atom, checking types. *)
+let bind_atom (program : Ast.program) (env : env) (a : Ast.atom) :
+    (env, string) result =
+  match Ast.find_decl program a.rel with
+  | None -> Error (Printf.sprintf "unknown relation %s" a.rel)
+  | Some decl ->
+    if Array.length a.args <> Ast.arity decl then
+      Error
+        (Printf.sprintf "%s expects %d arguments, got %d" a.rel
+           (Ast.arity decl) (Array.length a.args))
+    else
+      let cols = Array.of_list decl.cols in
+      let rec go env i =
+        if i >= Array.length a.args then Ok env
+        else
+          let _, col_ty = cols.(i) in
+          match a.args.(i) with
+          | Ast.PWild -> go env (i + 1)
+          | Ast.PConst c ->
+            if Dtype.check col_ty c then go env (i + 1)
+            else
+              Error
+                (Printf.sprintf "%s: constant %s does not have type %s" a.rel
+                   (Value.to_string c) (Dtype.to_string col_ty))
+          | Ast.PVar v -> (
+            match lookup env v with
+            | None -> go ((v, col_ty) :: env) (i + 1)
+            | Some t ->
+              if Dtype.equal t col_ty then go env (i + 1)
+              else
+                Error
+                  (Printf.sprintf
+                     "%s: variable %s has type %s but column expects %s" a.rel
+                     v (Dtype.to_string t) (Dtype.to_string col_ty)))
+      in
+      go env 0
+
+(* Check a negated atom: all variables must already be bound. *)
+let check_neg_atom (program : Ast.program) (env : env) (a : Ast.atom) :
+    (unit, string) result =
+  match Ast.find_decl program a.rel with
+  | None -> Error (Printf.sprintf "unknown relation %s" a.rel)
+  | Some decl ->
+    if Array.length a.args <> Ast.arity decl then
+      Error (Printf.sprintf "not %s: arity mismatch" a.rel)
+    else
+      let unbound =
+        List.filter (fun v -> lookup env v = None) (Ast.pattern_vars a.args)
+      in
+      (match unbound with
+      | v :: _ ->
+        Error
+          (Printf.sprintf
+             "not %s: variable %s must be bound by a positive literal" a.rel v)
+      | [] ->
+        let cols = Array.of_list decl.cols in
+        let rec go i =
+          if i >= Array.length a.args then Ok ()
+          else
+            match a.args.(i) with
+            | Ast.PWild | Ast.PVar _ -> go (i + 1)
+            | Ast.PConst c ->
+              if Dtype.check (snd cols.(i)) c then go (i + 1)
+              else Error (Printf.sprintf "not %s: constant type mismatch" a.rel)
+        in
+        go 0)
+
+let check_rule (program : Ast.program) (rule : Ast.rule) : (unit, string) result
+    =
+  let ( let* ) = Result.bind in
+  let rec go_body env agg_seen = function
+    | [] -> Ok (env, agg_seen)
+    | lit :: rest ->
+      let* () =
+        if agg_seen <> None then
+          Error "an aggregate literal must be the last literal of the body"
+        else Ok ()
+      in
+      (match lit with
+      | Ast.LAtom a ->
+        let* env = bind_atom program env a in
+        go_body env agg_seen rest
+      | Ast.LNeg a ->
+        let* () = check_neg_atom program env a in
+        go_body env agg_seen rest
+      | Ast.LCond e ->
+        let* () = check_bound env e in
+        let* t = type_of_expr env e in
+        if Dtype.equal t Dtype.TBool then go_body env agg_seen rest
+        else Error "condition literal must be boolean"
+      | Ast.LAssign (v, e) ->
+        let* () =
+          if lookup env v <> None then
+            Error (Printf.sprintf "variable %s is already bound" v)
+          else Ok ()
+        in
+        let* () = check_bound env e in
+        let* t = type_of_expr env e in
+        go_body ((v, t) :: env) agg_seen rest
+      | Ast.LFlat (v, e) ->
+        let* () =
+          if lookup env v <> None then
+            Error (Printf.sprintf "variable %s is already bound" v)
+          else Ok ()
+        in
+        let* () = check_bound env e in
+        let* t = type_of_expr env e in
+        (match t with
+        | Dtype.TVec elt -> go_body ((v, elt) :: env) agg_seen rest
+        | _ -> Error "flatten literal requires a vec<_> expression")
+      | Ast.LAgg g ->
+        let* () = check_bound env g.agg_expr in
+        let* elt_ty = type_of_expr env g.agg_expr in
+        let* res_ty = Builtins.agg_result_type g.agg_func elt_ty in
+        let* () =
+          if lookup env g.agg_out <> None then
+            Error (Printf.sprintf "variable %s is already bound" g.agg_out)
+          else Ok ()
+        in
+        let* by_env =
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              match lookup env v with
+              | Some t -> Ok ((v, t) :: acc)
+              | None ->
+                Error (Printf.sprintf "group_by variable %s is unbound" v))
+            (Ok []) g.agg_by
+        in
+        go_body ((g.agg_out, res_ty) :: by_env) (Some g) rest)
+  in
+  let* env, _agg = go_body [] None rule.body in
+  (* Head. *)
+  let h = rule.head in
+  match Ast.find_decl program h.hrel with
+  | None -> Error (Printf.sprintf "unknown relation %s in head" h.hrel)
+  | Some decl ->
+    let* () =
+      if decl.role = Ast.Input && rule.body <> [] then
+        Error (Printf.sprintf "rules may not write input relation %s" h.hrel)
+      else Ok ()
+    in
+    if Array.length h.hargs <> Ast.arity decl then
+      Error (Printf.sprintf "head %s: arity mismatch" h.hrel)
+    else
+      let cols = Array.of_list decl.cols in
+      let rec go i =
+        if i >= Array.length h.hargs then Ok ()
+        else
+          let* () = check_bound env h.hargs.(i) in
+          let* t = type_of_expr env h.hargs.(i) in
+          let _, col_ty = cols.(i) in
+          match Dtype.unify t col_ty with
+          | Some _ -> go (i + 1)
+          | None ->
+            Error
+              (Printf.sprintf "head %s column %d: expected %s, got %s" h.hrel i
+                 (Dtype.to_string col_ty) (Dtype.to_string t))
+      in
+      go 0
+
+(* Variable occurrence counting across a rule, for the lint pass. *)
+let rule_var_occurrences (rule : Ast.rule) : (string, int) Hashtbl.t =
+  let occ = Hashtbl.create 16 in
+  let bump v =
+    Hashtbl.replace occ v (1 + Option.value ~default:0 (Hashtbl.find_opt occ v))
+  in
+  let pat = function Ast.PVar v -> bump v | Ast.PConst _ | Ast.PWild -> () in
+  let expr e = List.iter bump (Ast.expr_vars e) in
+  List.iter
+    (function
+      | Ast.LAtom a | Ast.LNeg a -> Array.iter pat a.args
+      | Ast.LCond e -> expr e
+      | Ast.LAssign (v, e) ->
+        bump v;
+        expr e
+      | Ast.LFlat (v, e) ->
+        bump v;
+        expr e
+      | Ast.LAgg g ->
+        bump g.agg_out;
+        expr g.agg_expr;
+        List.iter bump g.agg_by)
+    rule.body;
+  Array.iter expr rule.head.hargs;
+  occ
+
+(** Lint pass: non-fatal warnings for likely authoring mistakes.
+    Currently: variables occurring exactly once in a rule — in Datalog
+    these are almost always typos and should be written [_]. *)
+let lint (program : Ast.program) : string list =
+  List.concat_map
+    (fun (rule : Ast.rule) ->
+      let occ = rule_var_occurrences rule in
+      Hashtbl.fold
+        (fun v n acc ->
+          if n = 1 && not (String.length v > 0 && v.[0] = '_') then
+            Format.asprintf
+              "variable %s occurs only once in rule %a (use _ if intended)" v
+              Ast.pp_rule rule
+            :: acc
+          else acc)
+        occ [])
+    program.rules
+
+(** Check a whole program; returns all errors found, each prefixed with
+    the offending declaration or rule. *)
+let check_program (program : Ast.program) : (unit, string list) result =
+  let errors = ref [] in
+  let add_error fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* Declarations: unique names, positive bit widths. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ast.rel_decl) ->
+      if Hashtbl.mem seen d.rname then
+        add_error "duplicate relation declaration %s" d.rname
+      else Hashtbl.add seen d.rname ();
+      let rec check_ty = function
+        | Dtype.TBit w when w < 1 || w > 64 ->
+          add_error "%s: bit width %d out of range [1, 64]" d.rname w
+        | Dtype.TTuple ts -> List.iter check_ty ts
+        | Dtype.TOption t | Dtype.TVec t -> check_ty t
+        | Dtype.TMap (k, v) -> check_ty k; check_ty v
+        | Dtype.TStruct (_, fs) -> List.iter (fun (_, t) -> check_ty t) fs
+        | Dtype.TEnum (_, cs) ->
+          List.iter (fun (_, ts) -> List.iter check_ty ts) cs
+        | Dtype.TBool | Dtype.TInt | Dtype.TBit _ | Dtype.TString
+        | Dtype.TDouble | Dtype.TAny -> ()
+      in
+      List.iter (fun (_, t) -> check_ty t) d.cols;
+      if d.cols = [] then add_error "%s: relations must have at least one column" d.rname)
+    program.decls;
+  (* Rules. *)
+  List.iter
+    (fun rule ->
+      match check_rule program rule with
+      | Ok () -> ()
+      | Error msg ->
+        add_error "in rule %s: %s" (Format.asprintf "%a" Ast.pp_rule rule) msg)
+    program.rules;
+  match !errors with [] -> Ok () | errs -> Error (List.rev errs)

@@ -1,0 +1,23 @@
+(** Static checking of DL programs.
+
+    Verifies, before any evaluation: declarations are unique and
+    well-formed; atoms refer to declared relations with the right
+    arity; variables obey the left-to-right binding discipline (negated
+    atoms, conditions and aggregate bodies use only bound variables);
+    expressions are well-typed against the builtin signatures; heads
+    produce values of the declared column types; and rules with bodies
+    never write input relations. *)
+
+val type_of_expr :
+  (string * Dtype.t) list -> Ast.expr -> (Dtype.t, string) result
+(** Type of an expression under a variable typing environment. *)
+
+val check_rule : Ast.program -> Ast.rule -> (unit, string) result
+
+val check_program : Ast.program -> (unit, string list) result
+(** Check a whole program, collecting every error found. *)
+
+val lint : Ast.program -> string list
+(** Non-fatal warnings for likely authoring mistakes: currently,
+    variables occurring exactly once in a rule (almost always typos in
+    Datalog; write [_] or an [_]-prefixed name when intended). *)

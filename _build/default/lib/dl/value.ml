@@ -1,0 +1,227 @@
+(* Runtime values of the DL language.
+
+   Every value that can be stored in a relation or manipulated by rule
+   expressions is represented by [t].  Values are immutable and have a
+   total structural order, which is what lets them serve as keys of
+   Z-sets and relation indexes. *)
+
+type t =
+  | VBool of bool
+  | VInt of int64                     (* signed 64-bit integer *)
+  | VBit of int * int64               (* [VBit (w, v)]: bit<w>, v masked to w bits, 1 <= w <= 64 *)
+  | VString of string
+  | VTuple of t array
+  | VOption of t option
+  | VVec of t list
+  | VMap of (t * t) list              (* association list sorted by key *)
+  | VStruct of string * (string * t) array   (* struct type name, fields in declaration order *)
+  | VEnum of string * string * t array       (* enum type name, constructor, payload *)
+  | VDouble of float
+
+(** Mask [v] to the low [w] bits. *)
+let mask_bits w v =
+  if w >= 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+
+(** Smart constructor for [VBit] that enforces the width invariant. *)
+let bit w v =
+  if w < 1 || w > 64 then invalid_arg "Value.bit: width out of range";
+  VBit (w, mask_bits w v)
+
+let of_bool b = VBool b
+let of_int i = VInt (Int64.of_int i)
+let of_int64 i = VInt i
+let of_string s = VString s
+
+let tag_order = function
+  | VBool _ -> 0
+  | VInt _ -> 1
+  | VBit _ -> 2
+  | VString _ -> 3
+  | VTuple _ -> 4
+  | VOption _ -> 5
+  | VVec _ -> 6
+  | VMap _ -> 7
+  | VStruct _ -> 8
+  | VEnum _ -> 9
+  | VDouble _ -> 10
+
+let rec compare a b =
+  match a, b with
+  | VBool x, VBool y -> Bool.compare x y
+  | VInt x, VInt y -> Int64.compare x y
+  | VBit (wx, x), VBit (wy, y) ->
+    let c = Int.compare wx wy in
+    if c <> 0 then c else Int64.compare x y
+  | VString x, VString y -> String.compare x y
+  | VTuple x, VTuple y -> compare_arrays x y
+  | VOption x, VOption y -> Option.compare compare x y
+  | VVec x, VVec y -> List.compare compare x y
+  | VMap x, VMap y -> List.compare (fun (k1, v1) (k2, v2) ->
+      let c = compare k1 k2 in
+      if c <> 0 then c else compare v1 v2) x y
+  | VStruct (nx, fx), VStruct (ny, fy) ->
+    let c = String.compare nx ny in
+    if c <> 0 then c
+    else
+      let cmp_field (n1, v1) (n2, v2) =
+        let c = String.compare n1 n2 in
+        if c <> 0 then c else compare v1 v2
+      in
+      compare_arrays_with cmp_field fx fy
+  | VEnum (nx, cx, px), VEnum (ny, cy, py) ->
+    let c = String.compare nx ny in
+    if c <> 0 then c
+    else
+      let c = String.compare cx cy in
+      if c <> 0 then c else compare_arrays px py
+  | VDouble x, VDouble y -> Float.compare x y
+  | ( (VBool _ | VInt _ | VBit _ | VString _ | VTuple _
+      | VOption _ | VVec _ | VMap _ | VStruct _ | VEnum _ | VDouble _), _ ) ->
+    Int.compare (tag_order a) (tag_order b)
+
+and compare_arrays x y = compare_arrays_with compare x y
+
+and compare_arrays_with : 'a. ('a -> 'a -> int) -> 'a array -> 'a array -> int =
+  fun cmp x y ->
+  let lx = Array.length x and ly = Array.length y in
+  let c = Int.compare lx ly in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= lx then 0
+      else
+        let c = cmp x.(i) y.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let rec hash v =
+  match v with
+  | VBool b -> if b then 1 else 2
+  | VInt i -> Int64.to_int i * 0x9e3779b1
+  | VBit (w, i) -> (w + 31) * (Int64.to_int i * 0x85ebca77)
+  | VString s -> Hashtbl.hash s
+  | VTuple a -> Array.fold_left (fun acc x -> (acc * 31) + hash x) 5 a
+  | VOption None -> 7
+  | VOption (Some x) -> 11 + hash x
+  | VVec l -> List.fold_left (fun acc x -> (acc * 31) + hash x) 13 l
+  | VMap l ->
+    List.fold_left (fun acc (k, x) -> (acc * 31) + hash k + (hash x * 17)) 17 l
+  | VStruct (n, fs) ->
+    Array.fold_left (fun acc (_, x) -> (acc * 31) + hash x) (Hashtbl.hash n) fs
+  | VEnum (n, c, p) ->
+    Array.fold_left (fun acc x -> (acc * 31) + hash x)
+      (Hashtbl.hash n + (Hashtbl.hash c * 3)) p
+  | VDouble f -> Hashtbl.hash f * 19
+
+let rec pp fmt v =
+  match v with
+  | VBool b -> Format.pp_print_bool fmt b
+  | VInt i -> Format.fprintf fmt "%Ld" i
+  | VBit (w, i) -> Format.fprintf fmt "%d'd%Lu" w i
+  | VString s -> Format.fprintf fmt "%S" s
+  | VTuple a ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_array
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp) a
+  | VOption None -> Format.pp_print_string fmt "None"
+  | VOption (Some x) -> Format.fprintf fmt "Some(%a)" pp x
+  | VVec l ->
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp) l
+  | VMap l ->
+    let pp_pair f (k, x) = Format.fprintf f "%a -> %a" pp k pp x in
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_pair) l
+  | VStruct (n, fs) ->
+    let pp_field f (fn, x) = Format.fprintf f "%s = %a" fn pp x in
+    Format.fprintf fmt "%s{%a}" n
+      (Format.pp_print_seq
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_field)
+      (Array.to_seq fs)
+  | VDouble f -> Format.fprintf fmt "%g" f
+  | VEnum (_, c, [||]) -> Format.pp_print_string fmt c
+  | VEnum (_, c, p) ->
+    Format.fprintf fmt "%s(%a)" c
+      (Format.pp_print_seq
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp)
+      (Array.to_seq p)
+
+let to_string v = Format.asprintf "%a" pp v
+
+(** Extractors used by builtins and the planes' bridge code.  They raise
+    [Invalid_argument] on a type mismatch, which the type checker rules
+    out for well-typed programs. *)
+
+let as_bool = function
+  | VBool b -> b
+  | v -> invalid_arg ("Value.as_bool: " ^ to_string v)
+
+let as_int = function
+  | VInt i -> i
+  | VBit (_, i) -> i
+  | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+
+let as_bit = function
+  | VBit (w, i) -> (w, i)
+  | v -> invalid_arg ("Value.as_bit: " ^ to_string v)
+
+let as_string = function
+  | VString s -> s
+  | v -> invalid_arg ("Value.as_string: " ^ to_string v)
+
+let as_double = function
+  | VDouble f -> f
+  | v -> invalid_arg ("Value.as_double: " ^ to_string v)
+
+let as_vec = function
+  | VVec l -> l
+  | v -> invalid_arg ("Value.as_vec: " ^ to_string v)
+
+let as_map = function
+  | VMap l -> l
+  | v -> invalid_arg ("Value.as_map: " ^ to_string v)
+
+let as_option = function
+  | VOption o -> o
+  | v -> invalid_arg ("Value.as_option: " ^ to_string v)
+
+let as_tuple = function
+  | VTuple a -> a
+  | v -> invalid_arg ("Value.as_tuple: " ^ to_string v)
+
+(** Map insertion preserving the sorted-association-list invariant. *)
+let map_insert k v l =
+  let rec go = function
+    | [] -> [ (k, v) ]
+    | ((k', _) as p) :: rest ->
+      let c = compare k k' in
+      if c < 0 then (k, v) :: p :: rest
+      else if c = 0 then (k, v) :: rest
+      else p :: go rest
+  in
+  go l
+
+let map_find k l =
+  let rec go = function
+    | [] -> None
+    | (k', v) :: rest ->
+      let c = compare k k' in
+      if c = 0 then Some v else if c < 0 then None else go rest
+  in
+  go l
+
+let map_remove k l = List.filter (fun (k', _) -> not (equal k k')) l
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

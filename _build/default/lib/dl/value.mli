@@ -1,0 +1,75 @@
+(** Runtime values of the DL language.
+
+    Every value that can be stored in a relation or manipulated by rule
+    expressions.  Values are immutable and totally ordered, which lets
+    them serve as keys of Z-sets and relation indexes. *)
+
+type t =
+  | VBool of bool
+  | VInt of int64  (** signed 64-bit mathematical integer *)
+  | VBit of int * int64
+      (** [VBit (w, v)]: a [bit<w>] vector, [v] masked to [w] bits,
+          [1 <= w <= 64] *)
+  | VString of string
+  | VTuple of t array
+  | VOption of t option
+  | VVec of t list
+  | VMap of (t * t) list  (** association list sorted by key *)
+  | VStruct of string * (string * t) array
+      (** struct type name, fields in declaration order *)
+  | VEnum of string * string * t array
+      (** enum type name, constructor, payload *)
+  | VDouble of float
+
+val mask_bits : int -> int64 -> int64
+(** [mask_bits w v] keeps the low [w] bits of [v]. *)
+
+val bit : int -> int64 -> t
+(** [bit w v] is [VBit (w, v)] with [v] masked to [w] bits.
+    @raise Invalid_argument if [w] is outside [1, 64]. *)
+
+val of_bool : bool -> t
+val of_int : int -> t
+val of_int64 : int64 -> t
+val of_string : string -> t
+
+val compare : t -> t -> int
+(** Total structural order over values. *)
+
+val compare_arrays : t array -> t array -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Extractors}
+
+    These raise [Invalid_argument] on a tag mismatch; the DL type
+    checker rules such mismatches out for well-typed programs. *)
+
+val as_bool : t -> bool
+val as_int : t -> int64
+(** [as_int] accepts both [VInt] and [VBit] payloads. *)
+
+val as_bit : t -> int * int64
+val as_string : t -> string
+val as_double : t -> float
+val as_vec : t -> t list
+val as_map : t -> (t * t) list
+val as_option : t -> t option
+val as_tuple : t -> t array
+
+(** {1 Sorted-association-list map helpers} *)
+
+val map_insert : t -> t -> (t * t) list -> (t * t) list
+val map_find : t -> (t * t) list -> t option
+val map_remove : t -> (t * t) list -> (t * t) list
+
+module Ord : sig
+  type nonrec t = t
+
+  val compare : t -> t -> int
+end
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,73 @@
+(* Z-sets: finite maps from rows to non-zero integer weights.
+
+   Z-sets are the currency of incremental computation: a relation's
+   contents is a Z-set with positive weights, and a change (delta) is a
+   Z-set whose positive weights are insertions and negative weights are
+   deletions.  All operations maintain the invariant that no row maps to
+   weight zero. *)
+
+type t = int Row.Map.t
+
+let empty : t = Row.Map.empty
+let is_empty = Row.Map.is_empty
+
+(** Weight of [row] ([0] if absent). *)
+let weight (z : t) row = match Row.Map.find_opt row z with Some w -> w | None -> 0
+
+(** [add z row w] adds weight [w] to [row], dropping it if the result is 0. *)
+let add (z : t) row w : t =
+  if w = 0 then z
+  else
+    Row.Map.update row
+      (function
+        | None -> Some w
+        | Some w' -> if w + w' = 0 then None else Some (w + w'))
+      z
+
+let singleton row w : t = if w = 0 then empty else Row.Map.singleton row w
+let of_list l : t = List.fold_left (fun z (row, w) -> add z row w) empty l
+let of_rows l : t = List.fold_left (fun z row -> add z row 1) empty l
+let to_list (z : t) = Row.Map.bindings z
+
+(** Number of distinct rows present (regardless of weight). *)
+let cardinal = Row.Map.cardinal
+
+let fold f (z : t) acc = Row.Map.fold f z acc
+let iter f (z : t) = Row.Map.iter f z
+
+(** Pointwise sum of weights. *)
+let union (a : t) (b : t) : t = fold (fun row w acc -> add acc row w) b a
+
+(** Pointwise difference [a - b]. *)
+let diff (a : t) (b : t) : t = fold (fun row w acc -> add acc row (-w)) b a
+
+(** Negate every weight. *)
+let neg (z : t) : t = Row.Map.map (fun w -> -w) z
+
+(** Multiply every weight by [k]. *)
+let scale k (z : t) : t =
+  if k = 0 then empty else Row.Map.map (fun w -> w * k) z
+
+(** Rows with positive weight, each mapped to weight 1 (set view). *)
+let distinct (z : t) : t =
+  Row.Map.filter_map (fun _ w -> if w > 0 then Some 1 else None) z
+
+(** All rows with positive weight. *)
+let support (z : t) : Row.t list =
+  fold (fun row w acc -> if w > 0 then row :: acc else acc) z []
+
+let filter f (z : t) : t = Row.Map.filter (fun row w -> f row w) z
+
+(** Transform each row; weights of colliding images are summed. *)
+let map_rows f (z : t) : t = fold (fun row w acc -> add acc (f row) w) z empty
+
+let equal (a : t) (b : t) = Row.Map.equal Int.equal a b
+
+let pp fmt (z : t) =
+  let pp_entry f (row, w) = Format.fprintf f "%a:%+d" Row.pp row w in
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_entry)
+    (to_list z)
+
+let to_string z = Format.asprintf "%a" pp z

@@ -1,0 +1,57 @@
+(** Z-sets: finite maps from rows to non-zero integer weights.
+
+    Z-sets are the currency of incremental computation: a relation's
+    contents is a Z-set with positive weights, and a change (delta) is
+    a Z-set whose positive weights are insertions and negative weights
+    deletions.  All operations maintain the invariant that no row maps
+    to weight zero. *)
+
+type t = int Row.Map.t
+
+val empty : t
+val is_empty : t -> bool
+
+val weight : t -> Row.t -> int
+(** Weight of a row ([0] if absent). *)
+
+val add : t -> Row.t -> int -> t
+(** [add z row w] adds weight [w] to [row], dropping the row if the
+    resulting weight is [0]. *)
+
+val singleton : Row.t -> int -> t
+val of_list : (Row.t * int) list -> t
+
+val of_rows : Row.t list -> t
+(** Each row with weight [+1]. *)
+
+val to_list : t -> (Row.t * int) list
+
+val cardinal : t -> int
+(** Number of distinct rows present, regardless of weight sign. *)
+
+val fold : (Row.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Row.t -> int -> unit) -> t -> unit
+
+val union : t -> t -> t
+(** Pointwise sum of weights. *)
+
+val diff : t -> t -> t
+(** Pointwise difference. *)
+
+val neg : t -> t
+val scale : int -> t -> t
+
+val distinct : t -> t
+(** Rows with positive weight, each at weight [1] (the set view). *)
+
+val support : t -> Row.t list
+(** All rows with positive weight. *)
+
+val filter : (Row.t -> int -> bool) -> t -> t
+
+val map_rows : (Row.t -> Row.t) -> t -> t
+(** Transform each row; weights of colliding images are summed. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

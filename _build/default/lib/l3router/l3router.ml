@@ -1,0 +1,217 @@
+(* l3router — a second application built on the Nerpa stack (the paper
+   plans "bottom-up implementations of increasingly complex network
+   programs"; this is the next step after snvs).
+
+   A static IPv4 router: longest-prefix-match routes with next-hop MAC
+   rewrite and TTL decrement, an optional-match protocol filter, and
+   per-port packet counters.  Compared with snvs it exercises the parts
+   of the generated schema snvs does not: LPM keys (prefix-length
+   columns), Optional keys, multi-column action parameters, and
+   deployments spanning several switches running the same program. *)
+
+(* ---------------- management plane ---------------- *)
+
+let schema : Ovsdb.Schema.t =
+  let open Ovsdb in
+  Schema.make ~name:"l3router" ~version:"1.0.0"
+    [
+      Schema.table "StaticRoute"
+        ~indexes:[ [ "prefix"; "plen" ] ]
+        [
+          Schema.column "prefix" (Otype.scalar Otype.AInteger);
+          Schema.column "plen"
+            Otype.
+              {
+                key = base ~min_int:(Some 0L) ~max_int:(Some 32L) AInteger;
+                value = None;
+                min = 1;
+                max = Limit 1;
+              };
+          Schema.column "nexthop" (Otype.scalar Otype.AInteger);
+        ];
+      Schema.table "Neighbor"
+        ~indexes:[ [ "ip" ] ]
+        [
+          Schema.column "ip" (Otype.scalar Otype.AInteger);
+          Schema.column "mac" (Otype.scalar Otype.AInteger);
+          Schema.column "port" (Otype.scalar Otype.AInteger);
+        ];
+      Schema.table "ProtocolFilter"
+        [
+          Schema.column "protocol" (Otype.scalar Otype.AInteger);
+          Schema.column "allow" (Otype.scalar Otype.ABoolean);
+        ];
+    ]
+
+(* ---------------- data plane ---------------- *)
+
+let p4 : P4.Program.t =
+  let open P4.Program in
+  {
+    name = "l3router";
+    headers = [ P4.Stdhdrs.ethernet; P4.Stdhdrs.ipv4 ];
+    parser =
+      {
+        start = "start";
+        states =
+          [
+            {
+              sname = "start";
+              extracts = [ "ethernet" ];
+              transition =
+                Select
+                  ( Field ("ethernet", "ethertype"),
+                    [ (Some P4.Stdhdrs.ethertype_ipv4, "ip"); (None, "other") ] );
+            };
+            { sname = "ip"; extracts = [ "ipv4" ]; transition = Accept };
+            (* non-IP traffic is rejected by this router *)
+            { sname = "other"; extracts = []; transition = Reject };
+          ];
+      };
+    actions =
+      [
+        { aname = "allow"; params = []; body = [] };
+        { aname = "deny"; params = []; body = [ Drop ] };
+        { aname = "drop"; params = []; body = [ Drop ] };
+        (* Route hit: rewrite the destination MAC, decrement TTL,
+           count, and forward. *)
+        { aname = "route_to"; params = [ ("port", 16); ("dmac", 48) ];
+          body =
+            [
+              Assign (Field ("ethernet", "dst"), EParam "dmac");
+              Assign
+                ( Field ("ipv4", "ttl"),
+                  EBin (Sub, ERef (Field ("ipv4", "ttl")), EConst (8, 1L)) );
+              Count ("forwarded", EParam "port");
+              Forward (EParam "port");
+            ] };
+      ];
+    tables =
+      [
+        { tname = "ttl_check"; keys = []; actions = [ "drop" ];
+          default_action = ("drop", []); size = 1 };
+        { tname = "protocol_filter";
+          keys = [ { kref = Field ("ipv4", "protocol"); kind = Optional } ];
+          actions = [ "allow"; "deny" ];
+          default_action = ("allow", []);
+          size = 256 };
+        { tname = "routes";
+          keys = [ { kref = Field ("ipv4", "dst"); kind = Lpm } ];
+          actions = [ "route_to"; "drop" ];
+          default_action = ("drop", []);
+          size = 65536 };
+      ];
+    digests = [];
+    counters = [ { cname = "forwarded"; cwidth = 16 } ];
+    registers = [];
+    ingress =
+      Seq
+        ( If
+            ( EBin (Eq, ERef (Field ("ipv4", "ttl")), EConst (8, 0L)),
+              ApplyTable "ttl_check",
+              Nop ),
+          Seq (ApplyTable "protocol_filter", ApplyTable "routes") );
+    egress = Nop;
+  }
+
+(* ---------------- control plane ---------------- *)
+
+(* Generated relations used below:
+     StaticRoute(_uuid, prefix, plen, nexthop)
+     Neighbor(_uuid, ip, mac, port)
+     ProtocolFilter(_uuid, protocol, allow)
+     RoutesRouteTo(ipv4_dst: bit<32>, ipv4_dst_plen: int,
+                   port: bit<16>, dmac: bit<48>)
+     ProtocolFilterAllow(protocol: option<bit<8>>)
+     ProtocolFilterDeny(protocol: option<bit<8>>)                    *)
+let rules : string =
+  {|
+  // A route is installable when its next hop resolves to a neighbor.
+  RoutesRouteTo(int2bit(32, prefix), plen, int2bit(16, port), int2bit(48, mac)) :-
+    StaticRoute(_, prefix, plen, nh),
+    Neighbor(_, nh, mac, port).
+
+  // Protocol filtering; the optional key matches one protocol.
+  ProtocolFilterDeny(some(int2bit(8, proto))) :-
+    ProtocolFilter(_, proto, false).
+  ProtocolFilterAllow(some(int2bit(8, proto))) :-
+    ProtocolFilter(_, proto, true).
+
+  // Routes whose next hop is unresolved, for monitoring.
+  output relation UnresolvedRoute(prefix: int, plen: int, nexthop: int)
+  UnresolvedRoute(prefix, plen, nh) :-
+    StaticRoute(_, prefix, plen, nh),
+    not Neighbor(_, nh, _, _).
+  |}
+
+(* ---------------- convenience API ---------------- *)
+
+type deployment = {
+  db : Ovsdb.Db.t;
+  switches : (string * P4.Switch.t) list;
+  controller : Nerpa.Controller.t;
+}
+
+(** Deploy the router across [switch_names] switches, all running the
+    same program (the paper's single-program prototype assumption). *)
+let deploy ?(switch_names = [ "r0" ]) () : deployment =
+  let db = Ovsdb.Db.create schema in
+  let switches =
+    List.map (fun n -> (n, P4.Switch.create ~name:n p4)) switch_names
+  in
+  let controller = Nerpa.Controller.create ~db ~p4 ~rules ~switches () in
+  { db; switches; controller }
+
+let switch d name = List.assoc name d.switches
+
+let add_route (d : deployment) ~prefix ~plen ~nexthop : unit =
+  ignore
+    (Ovsdb.Db.insert_exn d.db "StaticRoute"
+       [
+         ("prefix", Ovsdb.Datum.integer prefix);
+         ("plen", Ovsdb.Datum.integer (Int64.of_int plen));
+         ("nexthop", Ovsdb.Datum.integer nexthop);
+       ])
+
+let del_route (d : deployment) ~prefix ~plen : unit =
+  ignore
+    (Ovsdb.Db.transact_exn d.db
+       [
+         Ovsdb.Db.Delete
+           {
+             table = "StaticRoute";
+             where =
+               [
+                 Ovsdb.Db.eq "prefix" (Ovsdb.Datum.integer prefix);
+                 Ovsdb.Db.eq "plen" (Ovsdb.Datum.integer (Int64.of_int plen));
+               ];
+           };
+       ])
+
+let add_neighbor (d : deployment) ~ip ~mac ~port : unit =
+  ignore
+    (Ovsdb.Db.insert_exn d.db "Neighbor"
+       [
+         ("ip", Ovsdb.Datum.integer ip);
+         ("mac", Ovsdb.Datum.integer mac);
+         ("port", Ovsdb.Datum.integer (Int64.of_int port));
+       ])
+
+let del_neighbor (d : deployment) ~ip : unit =
+  ignore
+    (Ovsdb.Db.transact_exn d.db
+       [
+         Ovsdb.Db.Delete
+           { table = "Neighbor";
+             where = [ Ovsdb.Db.eq "ip" (Ovsdb.Datum.integer ip) ] };
+       ])
+
+let set_protocol (d : deployment) ~protocol ~allow : unit =
+  ignore
+    (Ovsdb.Db.insert_exn d.db "ProtocolFilter"
+       [
+         ("protocol", Ovsdb.Datum.integer (Int64.of_int protocol));
+         ("allow", Ovsdb.Datum.boolean allow);
+       ])
+
+let sync (d : deployment) = Nerpa.Controller.sync d.controller

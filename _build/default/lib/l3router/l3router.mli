@@ -1,0 +1,33 @@
+(** l3router — a second application on the Nerpa stack: a static IPv4
+    router with longest-prefix-match routes, next-hop MAC rewrite and
+    TTL decrement, an optional-match protocol filter, and per-port
+    counters.  It exercises the generated-schema features snvs does not
+    (LPM keys, Optional keys, multi-parameter actions) and multi-switch
+    deployments. *)
+
+val schema : Ovsdb.Schema.t
+(** StaticRoute, Neighbor and ProtocolFilter tables. *)
+
+val p4 : P4.Program.t
+val rules : string
+
+type deployment = {
+  db : Ovsdb.Db.t;
+  switches : (string * P4.Switch.t) list;
+  controller : Nerpa.Controller.t;
+}
+
+val deploy : ?switch_names:string list -> unit -> deployment
+(** Deploy across several switches, all running the same program. *)
+
+val switch : deployment -> string -> P4.Switch.t
+(** @raise Not_found for unknown switch names. *)
+
+val add_route : deployment -> prefix:int64 -> plen:int -> nexthop:int64 -> unit
+val del_route : deployment -> prefix:int64 -> plen:int -> unit
+val add_neighbor : deployment -> ip:int64 -> mac:int64 -> port:int -> unit
+val del_neighbor : deployment -> ip:int64 -> unit
+val set_protocol : deployment -> protocol:int -> allow:bool -> unit
+
+val sync : deployment -> int
+(** Shorthand for [Nerpa.Controller.sync]. *)

@@ -1,0 +1,1 @@
+lib/nerpa/bridge.ml: Array Ast Codegen Dl Dtype Format Int64 List Ovsdb P4 P4runtime Row String Value

@@ -1,0 +1,1 @@
+lib/nerpa/bridge.mli: Codegen Dl Ovsdb P4 P4runtime

@@ -1,0 +1,1 @@
+lib/nerpa/codegen.ml: Ast Dl Dtype Format List Ovsdb P4 String

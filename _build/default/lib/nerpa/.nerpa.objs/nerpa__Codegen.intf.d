@@ -1,0 +1,1 @@
+lib/nerpa/codegen.mli: Dl Ovsdb P4

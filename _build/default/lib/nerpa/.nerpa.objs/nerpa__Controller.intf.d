@@ -1,0 +1,1 @@
+lib/nerpa/controller.mli: Dl Ovsdb P4

@@ -1,0 +1,138 @@
+(* Data conversion between the three planes, replacing the hand-written
+   glue code of a traditional SDN stack:
+   - OVSDB rows -> DL input rows (driven by the generated declarations);
+   - DL output rows -> P4Runtime table entries (driven by the mapping
+     recorded at generation time);
+   - P4Runtime digests -> DL input rows. *)
+
+open Dl
+
+exception Conversion_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Conversion_error s)) fmt
+
+(* ---------------- OVSDB -> DL ---------------- *)
+
+let atom_to_value (target : Dtype.t) (a : Ovsdb.Atom.t) : Value.t =
+  match target, a with
+  | Dtype.TInt, Ovsdb.Atom.Integer i -> Value.VInt i
+  | Dtype.TDouble, Ovsdb.Atom.Real f -> Value.VDouble f
+  | Dtype.TBool, Ovsdb.Atom.Boolean b -> Value.VBool b
+  | Dtype.TString, Ovsdb.Atom.String s -> Value.VString s
+  | Dtype.TString, Ovsdb.Atom.Uuid u -> Value.VString (Ovsdb.Uuid.to_string u)
+  | t, a ->
+    error "cannot convert atom %s to %s" (Ovsdb.Atom.to_string a)
+      (Dtype.to_string t)
+
+let datum_to_value (target : Dtype.t) (d : Ovsdb.Datum.t) : Value.t =
+  match target, d with
+  | Dtype.TOption _, Ovsdb.Datum.Set [] -> Value.VOption None
+  | Dtype.TOption t, Ovsdb.Datum.Set [ a ] ->
+    Value.VOption (Some (atom_to_value t a))
+  | Dtype.TVec t, Ovsdb.Datum.Set atoms ->
+    Value.VVec (List.map (atom_to_value t) atoms)
+  | Dtype.TMap (kt, vt), Ovsdb.Datum.Map pairs ->
+    Value.VMap
+      (List.map (fun (k, v) -> (atom_to_value kt k, atom_to_value vt v)) pairs)
+  | t, Ovsdb.Datum.Set [ a ] -> atom_to_value t a
+  | t, d ->
+    error "cannot convert datum %s to %s" (Ovsdb.Datum.to_string d)
+      (Dtype.to_string t)
+
+(** Convert one management-plane row into the input row of the generated
+    relation [decl] (whose first column is the row UUID). *)
+let row_of_ovsdb (decl : Ast.rel_decl) (uuid : Ovsdb.Uuid.t)
+    (row : Ovsdb.Db.row) : Row.t =
+  Array.of_list
+    (List.map
+       (fun (cname, ty) ->
+         if String.equal cname "_uuid" then
+           Value.VString (Ovsdb.Uuid.to_string uuid)
+         else
+           (* generated columns sanitise the OVSDB name; recover it *)
+           let oname =
+             match List.assoc_opt cname row with
+             | Some _ -> cname
+             | None ->
+               let stripped =
+                 if String.length cname > 0 && cname.[String.length cname - 1] = '_'
+                 then String.sub cname 0 (String.length cname - 1)
+                 else cname
+               in
+               stripped
+           in
+           match List.assoc_opt oname row with
+           | Some d -> datum_to_value ty d
+           | None -> error "row is missing column %s" oname)
+       decl.Ast.cols)
+
+(* ---------------- DL -> P4Runtime ---------------- *)
+
+let as_bit_value (v : Value.t) : int64 =
+  match v with
+  | Value.VBit (_, x) -> x
+  | Value.VInt x -> x
+  | v -> error "expected a bit value, got %s" (Value.to_string v)
+
+(** Convert a row of an output relation into a P4Runtime table entry,
+    following the column layout recorded in [mapping]. *)
+let entry_of_row (info : P4.P4info.t) (m : Codegen.mapping) (row : Row.t) :
+    P4runtime.table_entry =
+  let pos = ref 0 in
+  let next () =
+    let v = row.(!pos) in
+    incr pos;
+    v
+  in
+  let matches =
+    List.map
+      (fun (kind, _width) ->
+        match kind with
+        | P4.Program.Exact -> P4runtime.FmExact (as_bit_value (next ()))
+        | P4.Program.Lpm ->
+          let v = as_bit_value (next ()) in
+          let plen =
+            match next () with
+            | Value.VInt l -> Int64.to_int l
+            | v -> error "prefix length must be int, got %s" (Value.to_string v)
+          in
+          P4runtime.FmLpm (v, plen)
+        | P4.Program.Ternary ->
+          let v = as_bit_value (next ()) in
+          let mask = as_bit_value (next ()) in
+          P4runtime.FmTernary (v, mask)
+        | P4.Program.Optional -> (
+          match next () with
+          | Value.VOption None -> P4runtime.FmOptional None
+          | Value.VOption (Some v) -> P4runtime.FmOptional (Some (as_bit_value v))
+          | v -> error "optional key must be option<bit<_>>, got %s" (Value.to_string v)))
+      m.key_specs
+  in
+  let priority =
+    if m.has_priority then (
+      match next () with
+      | Value.VInt p -> Int64.to_int p
+      | v -> error "priority must be int, got %s" (Value.to_string v))
+    else 0
+  in
+  let args = List.map (fun _ -> as_bit_value (next ())) m.param_widths in
+  if !pos <> Array.length row then
+    error "relation %s: row arity %d does not match mapping" m.rel_name
+      (Array.length row);
+  P4runtime.entry info ~table:m.table_name ~matches ~priority
+    ~action:m.action_name ~args ()
+
+(* ---------------- P4Runtime digests -> DL ---------------- *)
+
+(** Convert one digest-list entry into an input row of the generated
+    digest relation. *)
+let row_of_digest (decl : Ast.rel_decl) (values : int64 list) : Row.t =
+  if List.length values <> List.length decl.Ast.cols then
+    error "digest arity mismatch for %s" decl.Ast.rname;
+  Array.of_list
+    (List.map2
+       (fun (_, ty) v ->
+         match ty with
+         | Dtype.TBit w -> Value.bit w v
+         | t -> error "digest column of type %s" (Dtype.to_string t))
+       decl.Ast.cols values)

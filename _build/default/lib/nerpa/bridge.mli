@@ -1,0 +1,25 @@
+(** Data conversion between the three planes — the generated
+    replacement for a traditional SDN stack's hand-written glue. *)
+
+exception Conversion_error of string
+
+val datum_to_value : Dl.Dtype.t -> Ovsdb.Datum.t -> Dl.Value.t
+(** Convert an OVSDB datum to the DL value of the generated column
+    type.  @raise Conversion_error on shape mismatches. *)
+
+val row_of_ovsdb :
+  Dl.Ast.rel_decl -> Ovsdb.Uuid.t -> Ovsdb.Db.row -> Dl.Row.t
+(** One management-plane row as an input row of its generated relation
+    (whose first column is the row UUID). *)
+
+val as_bit_value : Dl.Value.t -> int64
+(** The payload of a [bit<N>] (or int) value. *)
+
+val entry_of_row :
+  P4.P4info.t -> Codegen.mapping -> Dl.Row.t -> P4runtime.table_entry
+(** Convert an output-relation row into a P4Runtime table entry,
+    following the column layout recorded at generation time. *)
+
+val row_of_digest : Dl.Ast.rel_decl -> int64 list -> Dl.Row.t
+(** Convert one digest-list entry into an input row of the generated
+    digest relation. *)

@@ -1,0 +1,216 @@
+(* Relation-schema generation: the heart of Nerpa's co-design story.
+
+   The control plane's DL relations are *derived* from the other two
+   planes rather than written by hand:
+   - every OVSDB table becomes an input relation (§4.2 of the paper);
+   - every P4 match-action table becomes one output relation per
+     installable action (the pure-relational encoding of the paper's
+     action sum type);
+   - every P4 digest becomes an input relation (the feedback loop);
+   - a MulticastGroup output relation is always provided for programming
+     replication groups.
+
+   The same generation records a [mapping] used by the bridge to convert
+   relation deltas back into P4Runtime writes, and the declarations can
+   be printed as DL source text for documentation and the LoC
+   experiment. *)
+
+open Dl
+
+(* "in_vlan" -> "InVlan"; "Port" -> "Port" *)
+let camel (s : string) : string =
+  String.split_on_char '_' s
+  |> List.filter (fun part -> part <> "")
+  |> List.map String.capitalize_ascii
+  |> String.concat ""
+
+(* "ethernet.dst" -> "ethernet_dst"; "meta.vlan_id" -> "vlan_id" *)
+let sanitize_ref (r : P4.Program.fref) : string =
+  match r with
+  | P4.Program.Field (h, f) -> h ^ "_" ^ f
+  | P4.Program.Meta m -> m
+
+let dl_keywords =
+  [ "input"; "output"; "relation"; "not"; "and"; "or"; "var"; "in";
+    "group_by"; "if"; "else"; "true"; "false"; "bool"; "string"; "int";
+    "double"; "bit"; "vec"; "option"; "map" ]
+
+let sanitize_col (s : string) : string =
+  let s = String.uncapitalize_ascii s in
+  if List.mem s dl_keywords then s ^ "_" else s
+
+(* ---------------- OVSDB -> input relations ---------------- *)
+
+let base_type (b : Ovsdb.Otype.base) : Dtype.t =
+  match b.Ovsdb.Otype.typ with
+  | Ovsdb.Otype.AInteger -> Dtype.TInt
+  | Ovsdb.Otype.AReal -> Dtype.TDouble
+  | Ovsdb.Otype.ABoolean -> Dtype.TBool
+  | Ovsdb.Otype.AString -> Dtype.TString
+  | Ovsdb.Otype.AUuid -> Dtype.TString
+
+let column_type (t : Ovsdb.Otype.t) : Dtype.t =
+  let key = base_type t.Ovsdb.Otype.key in
+  match t.Ovsdb.Otype.value with
+  | Some v -> Dtype.TMap (key, base_type v)
+  | None -> (
+    match t.Ovsdb.Otype.min, t.Ovsdb.Otype.max with
+    | 1, Ovsdb.Otype.Limit 1 -> key
+    | 0, Ovsdb.Otype.Limit 1 -> Dtype.TOption key
+    | _ -> Dtype.TVec key)
+
+(** One input relation per management-plane table, keyed by row UUID. *)
+let input_decls_of_schema (schema : Ovsdb.Schema.t) : Ast.rel_decl list =
+  List.map
+    (fun (tbl : Ovsdb.Schema.table) ->
+      {
+        Ast.rname = camel tbl.tname;
+        role = Ast.Input;
+        cols =
+          ("_uuid", Dtype.TString)
+          :: List.map
+               (fun (c : Ovsdb.Schema.column) ->
+                 (sanitize_col c.cname, column_type c.ctype))
+               tbl.columns;
+      })
+    schema.tables
+
+(* ---------------- P4 tables -> output relations ---------------- *)
+
+(** How an output relation's columns map back onto a P4 table entry. *)
+type mapping = {
+  rel_name : string;
+  table_name : string;
+  action_name : string;
+  (* per key: (match kind, width); Lpm and Ternary keys consume one
+     extra column (prefix length / mask) *)
+  key_specs : (P4.Program.match_kind * int) list;
+  has_priority : bool;
+  param_widths : int list;
+  is_default : bool;   (* this action is the table's miss behaviour *)
+}
+
+let key_columns (prog : P4.Program.t) (k : P4.Program.key) :
+    (string * Dtype.t) list =
+  let name = sanitize_col (sanitize_ref k.kref) in
+  let width =
+    match P4.Program.ref_width prog k.kref with
+    | Ok w -> w
+    | Error e -> invalid_arg e
+  in
+  match k.kind with
+  | P4.Program.Exact -> [ (name, Dtype.TBit width) ]
+  | P4.Program.Lpm -> [ (name, Dtype.TBit width); (name ^ "_plen", Dtype.TInt) ]
+  | P4.Program.Ternary ->
+    [ (name, Dtype.TBit width); (name ^ "_mask", Dtype.TBit width) ]
+  | P4.Program.Optional -> [ (name, Dtype.TOption (Dtype.TBit width)) ]
+
+(** One output relation per (table, installable action). *)
+let output_decls_of_p4 (prog : P4.Program.t) :
+    (Ast.rel_decl * mapping) list =
+  List.concat_map
+    (fun (tbl : P4.Program.table) ->
+      let has_priority =
+        List.exists (fun (k : P4.Program.key) -> k.kind = P4.Program.Ternary)
+          tbl.keys
+      in
+      List.filter_map
+        (fun aname ->
+          match P4.Program.find_action prog aname with
+          | None -> None
+          | Some action ->
+            let key_cols = List.concat_map (key_columns prog) tbl.keys in
+            let param_cols =
+              List.map
+                (fun (pname, w) -> (sanitize_col pname, Dtype.TBit w))
+                action.params
+            in
+            let prio_cols = if has_priority then [ ("priority", Dtype.TInt) ] else [] in
+            let cols = key_cols @ prio_cols @ param_cols in
+            if cols = [] then None (* keyless, parameterless: nothing to program *)
+            else
+              Some
+                ( {
+                    Ast.rname = camel tbl.tname ^ camel aname;
+                    role = Ast.Output;
+                    cols;
+                  },
+                  {
+                    rel_name = camel tbl.tname ^ camel aname;
+                    table_name = tbl.tname;
+                    action_name = aname;
+                    key_specs =
+                      List.map
+                        (fun (k : P4.Program.key) ->
+                          ( k.kind,
+                            match P4.Program.ref_width prog k.kref with
+                            | Ok w -> w
+                            | Error e -> invalid_arg e ))
+                        tbl.keys;
+                    has_priority;
+                    param_widths = List.map snd action.params;
+                    is_default = String.equal aname (fst tbl.default_action);
+                  } ))
+        tbl.actions)
+    prog.tables
+
+(** One input relation per digest (the data-plane feedback loop). *)
+let digest_decls_of_p4 (prog : P4.Program.t) : (Ast.rel_decl * string) list =
+  List.map
+    (fun (d : P4.Program.digest) ->
+      ( {
+          Ast.rname = camel d.dname;
+          role = Ast.Input;
+          cols =
+            List.map
+              (fun (fname, r) ->
+                let w =
+                  match P4.Program.ref_width prog r with
+                  | Ok w -> w
+                  | Error e -> invalid_arg e
+                in
+                (sanitize_col fname, Dtype.TBit w))
+              d.dfields;
+        },
+        d.dname ))
+    prog.digests
+
+(** The always-present replication-group output relation. *)
+let multicast_decl : Ast.rel_decl =
+  {
+    Ast.rname = "MulticastGroup";
+    role = Ast.Output;
+    cols = [ ("group", Dtype.TBit 16); ("port", Dtype.TBit 16) ];
+  }
+
+(* ---------------- assembly ---------------- *)
+
+type generated = {
+  decls : Ast.rel_decl list;
+  mappings : mapping list;
+  digest_rels : (string * string) list; (* digest name -> relation name *)
+}
+
+(** Generate the full control-plane schema from the two other planes. *)
+let generate ~(schema : Ovsdb.Schema.t) ~(p4 : P4.Program.t) : generated =
+  let inputs = input_decls_of_schema schema in
+  let outputs = output_decls_of_p4 p4 in
+  let digests = digest_decls_of_p4 p4 in
+  {
+    decls =
+      inputs @ List.map fst digests @ List.map fst outputs @ [ multicast_decl ];
+    mappings = List.map snd outputs;
+    digest_rels = List.map (fun (d, n) -> (n, d.Ast.rname)) digests;
+  }
+
+(** The generated declarations as DL source text, as Nerpa's tooling
+    would emit into the program skeleton. *)
+let decls_text (g : generated) : string =
+  String.concat "\n"
+    (List.map (fun d -> Format.asprintf "%a" Ast.pp_decl d) g.decls)
+
+(** Combine generated declarations with the user-written rules program.
+    The user text may declare additional internal relations but must not
+    redeclare generated ones (checked by the engine's type checker). *)
+let assemble (g : generated) (user : Ast.program) : Ast.program =
+  { Ast.decls = g.decls @ user.decls; rules = user.rules }

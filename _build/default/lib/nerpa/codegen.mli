@@ -1,0 +1,59 @@
+(** Relation-schema generation: the heart of Nerpa's co-design story.
+
+    The control plane's DL relations are {e derived} rather than
+    written by hand: every OVSDB table becomes an input relation (§4.2
+    of the paper), every P4 match-action table becomes one output
+    relation per installable action (the pure-relational encoding of
+    the paper's action sum types), every P4 digest becomes an input
+    relation (the feedback loop), and a [MulticastGroup] output
+    relation is always provided for programming replication groups. *)
+
+val camel : string -> string
+(** ["in_vlan"] → ["InVlan"]; already-capitalised names pass through. *)
+
+(** How an output relation's columns map back onto a P4 table entry. *)
+type mapping = {
+  rel_name : string;
+  table_name : string;
+  action_name : string;
+  key_specs : (P4.Program.match_kind * int) list;
+      (** per key: (match kind, width); LPM and ternary keys consume one
+          extra column (prefix length / mask) *)
+  has_priority : bool;
+      (** tables with ternary keys gain a [priority: int] column *)
+  param_widths : int list;
+  is_default : bool;  (** this action is the table's miss behaviour *)
+}
+
+type generated = {
+  decls : Dl.Ast.rel_decl list;
+  mappings : mapping list;
+  digest_rels : (string * string) list;  (** digest name → relation name *)
+}
+
+val input_decls_of_schema : Ovsdb.Schema.t -> Dl.Ast.rel_decl list
+(** One input relation per management table, with a leading [_uuid]
+    column; OVSDB column types map to [int]/[double]/[bool]/[string],
+    optional columns to [option<_>], sets to [vec<_>], maps to
+    [map<_,_>]. *)
+
+val output_decls_of_p4 :
+  P4.Program.t -> (Dl.Ast.rel_decl * mapping) list
+(** One output relation per (table, installable action), laid out as
+    key columns (with [_plen]/[_mask] companions), then [priority] for
+    ternary tables, then one [bit<w>] column per action parameter. *)
+
+val digest_decls_of_p4 : P4.Program.t -> (Dl.Ast.rel_decl * string) list
+
+val multicast_decl : Dl.Ast.rel_decl
+(** [MulticastGroup(group: bit<16>, port: bit<16>)]. *)
+
+val generate : schema:Ovsdb.Schema.t -> p4:P4.Program.t -> generated
+(** The full control-plane schema derived from the two other planes. *)
+
+val decls_text : generated -> string
+(** The generated declarations as DL source text (they parse back). *)
+
+val assemble : generated -> Dl.Ast.program -> Dl.Ast.program
+(** Combine the generated declarations with the user-written rules
+    program; redeclarations are caught by the engine's type checker. *)

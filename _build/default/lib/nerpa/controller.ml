@@ -1,0 +1,290 @@
+(* The Nerpa controller: the state-synchronisation loop tying the three
+   planes together (Fig. 4 of the paper).
+
+   Responsibilities:
+   - subscribe to the management database and convert its per-transaction
+     monitor batches into DL transactions;
+   - commit each transaction to the incremental engine and translate the
+     resulting *output deltas* into P4Runtime write batches (deletes
+     first, so that re-keyed entries modify cleanly);
+   - drain data-plane digests, feed them back as DL input insertions,
+     and iterate to quiescence (the feedback loop, e.g. MAC learning);
+   - maintain multicast group membership from the MulticastGroup
+     relation. *)
+
+open Dl
+
+exception Controller_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Controller_error s)) fmt
+
+type stats = {
+  mutable txns : int;             (* DL transactions committed *)
+  mutable entries_written : int;  (* table entries inserted/deleted *)
+  mutable digests_consumed : int;
+  mutable groups_updated : int;
+}
+
+type t = {
+  db : Ovsdb.Db.t;
+  monitor : Ovsdb.Db.monitor;
+  engine : Engine.t;
+  program : Ast.program;
+  mappings : Codegen.mapping list;
+  input_rel_of_table : (string * Ast.rel_decl) list; (* OVSDB table -> decl *)
+  digest_rel_of_name : (string * Ast.rel_decl) list; (* digest name -> decl *)
+  switches : (string * P4runtime.server) list;
+  (* digest relation -> key column indices for last-writer-wins
+     replacement (e.g. MAC mobility: a newly learned (vlan, mac)
+     retracts the previous port binding) *)
+  digest_replace : (string * int list) list;
+  stats : stats;
+}
+
+(** Build a controller from the three plane descriptions.  [rules] is
+    the user-written DL program text (rules plus optional internal
+    relation declarations); everything else is generated. *)
+let create ?(digest_replace = []) ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
+    ~(rules : string) ~(switches : (string * P4.Switch.t) list) () : t =
+  let schema = db.Ovsdb.Db.schema in
+  let generated = Codegen.generate ~schema ~p4 in
+  let user =
+    match Parser.parse_program rules with
+    | Ok p -> p
+    | Error msg -> error "rules do not parse: %s" msg
+  in
+  let program = Codegen.assemble generated user in
+  let engine = Engine.create program in
+  let monitor =
+    Ovsdb.Db.add_monitor db
+      (List.map (fun (t : Ovsdb.Schema.table) -> (t.tname, None)) schema.tables)
+  in
+  let input_rel_of_table =
+    List.map
+      (fun (t : Ovsdb.Schema.table) ->
+        match Ast.find_decl program (Codegen.camel t.tname) with
+        | Some d -> (t.tname, d)
+        | None -> error "missing generated relation for table %s" t.tname)
+      schema.tables
+  in
+  let digest_rel_of_name =
+    List.map
+      (fun (dname, rname) ->
+        match Ast.find_decl program rname with
+        | Some d -> (dname, d)
+        | None -> error "missing generated relation for digest %s" dname)
+      generated.digest_rels
+  in
+  let digest_replace =
+    List.map
+      (fun (dname, key_cols) ->
+        match List.assoc_opt dname digest_rel_of_name with
+        | None -> error "digest_replace: unknown digest %s" dname
+        | Some decl ->
+          let index_of c =
+            let rec go i = function
+              | [] -> error "digest_replace: %s has no column %s" dname c
+              | (name, _) :: rest -> if String.equal name c then i else go (i + 1) rest
+            in
+            go 0 decl.Ast.cols
+          in
+          (decl.Ast.rname, List.map index_of key_cols))
+      digest_replace
+  in
+  {
+    db;
+    monitor;
+    engine;
+    program;
+    mappings = generated.mappings;
+    input_rel_of_table;
+    digest_rel_of_name;
+    switches = List.map (fun (n, sw) -> (n, P4runtime.attach sw)) switches;
+    digest_replace;
+    stats = { txns = 0; entries_written = 0; digests_consumed = 0; groups_updated = 0 };
+  }
+
+(* ---------------- pushing output deltas to the data plane ----------- *)
+
+let push_deltas (t : t) (deltas : (string * Zset.t) list) : unit =
+  let outputs = Engine.output_deltas t.engine deltas in
+  if outputs <> [] then begin
+    (* Multicast groups: recompute the membership of touched groups from
+       the engine's full relation contents. *)
+    let mcast_updates =
+      match List.assoc_opt "MulticastGroup" outputs with
+      | None -> []
+      | Some dz ->
+        let touched =
+          Zset.fold
+            (fun row _ acc ->
+              let g = Bridge.as_bit_value row.(0) in
+              if List.mem g acc then acc else g :: acc)
+            dz []
+        in
+        List.map
+          (fun g ->
+            let ports =
+              List.map
+                (fun row -> Bridge.as_bit_value row.(1))
+                (Engine.query t.engine "MulticastGroup" ~positions:[ 0 ]
+                   ~key:[ Value.bit 16 g ])
+            in
+            t.stats.groups_updated <- t.stats.groups_updated + 1;
+            P4runtime.set_multicast ~group:g ~ports:(List.sort Int64.compare ports))
+          touched
+    in
+    List.iter
+      (fun (swname, srv) ->
+        let info = P4runtime.info srv in
+        (* Deletions first so that an entry whose action arguments
+           changed is removed before its replacement is inserted. *)
+        let dels = ref [] and inss = ref [] in
+        List.iter
+          (fun (rel, dz) ->
+            match List.find_opt (fun (m : Codegen.mapping) -> m.rel_name = rel) t.mappings with
+            | None -> () (* MulticastGroup handled above *)
+            | Some m ->
+              Zset.iter
+                (fun row w ->
+                  let entry = Bridge.entry_of_row info m row in
+                  if w > 0 then inss := P4runtime.insert entry :: !inss
+                  else dels := P4runtime.delete entry :: !dels)
+                dz)
+          outputs;
+        let updates = List.rev !dels @ List.rev !inss @ mcast_updates in
+        if updates <> [] then begin
+          (match P4runtime.write srv updates with
+          | Ok () -> ()
+          | Error msg -> error "switch %s rejected updates: %s" swname msg);
+          t.stats.entries_written <-
+            t.stats.entries_written + List.length !dels + List.length !inss
+        end)
+      t.switches
+  end
+
+(* ---------------- management plane -> engine ---------------- *)
+
+let apply_monitor_batch (t : t) (batch : Ovsdb.Db.table_updates) : unit =
+  let txn = Engine.transaction t.engine in
+  List.iter
+    (fun (table, rows) ->
+      match List.assoc_opt table t.input_rel_of_table with
+      | None -> ()
+      | Some decl ->
+        List.iter
+          (fun (uuid, (upd : Ovsdb.Db.row_update)) ->
+            (match upd.before with
+            | Some row ->
+              Engine.delete txn decl.Ast.rname (Bridge.row_of_ovsdb decl uuid row)
+            | None -> ());
+            match upd.after with
+            | Some row ->
+              Engine.insert txn decl.Ast.rname (Bridge.row_of_ovsdb decl uuid row)
+            | None -> ())
+          rows)
+    batch;
+  let deltas = Engine.commit txn in
+  t.stats.txns <- t.stats.txns + 1;
+  push_deltas t deltas
+
+(* ---------------- data plane -> engine (feedback loop) -------------- *)
+
+let consume_digests (t : t) : bool =
+  let any = ref false in
+  List.iter
+    (fun (_, srv) ->
+      let info = P4runtime.info srv in
+      List.iter
+        (fun (dl : P4runtime.digest_list) ->
+          let dinfo =
+            match P4.P4info.find_digest_by_id info dl.digest_id with
+            | Some d -> d
+            | None -> error "unknown digest id %d" dl.digest_id
+          in
+          match List.assoc_opt dinfo.digest_name t.digest_rel_of_name with
+          | None -> P4runtime.ack_digest_list srv ~list_id:dl.list_id
+          | Some decl ->
+            let txn = Engine.transaction t.engine in
+            let replace_keys = List.assoc_opt decl.Ast.rname t.digest_replace in
+            List.iter
+              (fun values ->
+                let row = Bridge.row_of_digest decl values in
+                (match replace_keys with
+                | None -> ()
+                | Some idxs ->
+                  (* last-writer-wins: retract rows agreeing on the keys *)
+                  List.iter
+                    (fun old ->
+                      if
+                        (not (Row.equal old row))
+                        && List.for_all
+                             (fun i -> Value.equal old.(i) row.(i))
+                             idxs
+                      then Engine.delete txn decl.Ast.rname old)
+                    (Engine.relation_rows t.engine decl.Ast.rname));
+                Engine.insert txn decl.Ast.rname row;
+                t.stats.digests_consumed <- t.stats.digests_consumed + 1)
+              dl.entries;
+            let deltas = Engine.commit txn in
+            t.stats.txns <- t.stats.txns + 1;
+            P4runtime.ack_digest_list srv ~list_id:dl.list_id;
+            any := true;
+            push_deltas t deltas)
+        (P4runtime.stream_digests srv))
+    t.switches;
+  !any
+
+(* ---------------- the synchronisation loop ---------------- *)
+
+(** Process all pending management-plane changes and data-plane digests
+    until the system is quiescent.  Returns the number of DL
+    transactions committed during this call. *)
+let sync (t : t) : int =
+  let before = t.stats.txns in
+  let rec loop fuel =
+    if fuel = 0 then error "sync did not quiesce (feedback loop?)";
+    let batches = Ovsdb.Db.poll t.monitor in
+    List.iter (apply_monitor_batch t) batches;
+    let digests = consume_digests t in
+    if batches <> [] || digests then loop (fuel - 1)
+  in
+  loop 1000;
+  t.stats.txns - before
+
+(** Direct access to the engine, for inspection in tests and examples. *)
+let engine (t : t) = t.engine
+
+let stats (t : t) = t.stats
+
+(** Pre-flight report: output relations no rule writes and digest
+    relations no rule reads — usually authoring mistakes. *)
+let preflight (t : t) : string list =
+  let written rel =
+    List.exists (fun (r : Ast.rule) -> String.equal r.head.hrel rel)
+      t.program.rules
+  in
+  let read rel =
+    List.exists
+      (fun (r : Ast.rule) ->
+        List.exists (fun (dep, _) -> String.equal dep rel)
+          (Ast.body_dependencies r))
+      t.program.rules
+  in
+  List.filter_map
+    (fun (d : Ast.rel_decl) ->
+      match d.role with
+      | Ast.Output
+        when (not (written d.rname))
+             && not
+                  (List.exists
+                     (fun (m : Codegen.mapping) ->
+                       String.equal m.rel_name d.rname && m.is_default)
+                     t.mappings) ->
+        Some (Printf.sprintf "output relation %s has no rules" d.rname)
+      | Ast.Input
+        when List.exists (fun (_, dd) -> dd == d) t.digest_rel_of_name
+             && not (read d.rname) ->
+        Some (Printf.sprintf "digest relation %s is never read" d.rname)
+      | _ -> None)
+    t.program.decls

@@ -1,0 +1,53 @@
+(** The Nerpa controller: the state-synchronisation loop tying the
+    three planes together (Fig. 4 of the paper).
+
+    It converts OVSDB monitor batches into DL transactions, translates
+    engine output deltas into atomic P4Runtime write batches (deletions
+    first, so re-keyed entries modify cleanly), maintains multicast
+    groups from the [MulticastGroup] relation, and feeds data-plane
+    digests back as DL input insertions until the system quiesces. *)
+
+exception Controller_error of string
+
+type stats = {
+  mutable txns : int;             (** DL transactions committed *)
+  mutable entries_written : int;  (** table entries inserted/deleted *)
+  mutable digests_consumed : int;
+  mutable groups_updated : int;
+}
+
+type t
+
+val create :
+  ?digest_replace:(string * string list) list ->
+  db:Ovsdb.Db.t ->
+  p4:P4.Program.t ->
+  rules:string ->
+  switches:(string * P4.Switch.t) list ->
+  unit ->
+  t
+(** Build a controller: generate the relation schema from [db]'s schema
+    and [p4], parse the user [rules] text, create the engine, subscribe
+    a monitor, and attach a P4Runtime server to every switch (all run
+    the same program, as in the paper's prototype).
+
+    [digest_replace] gives last-writer-wins semantics to digest
+    relations: [(digest, key_columns)] makes a newly inserted digest
+    row retract previous rows agreeing on the key columns — e.g. MAC
+    mobility, where a (vlan, mac) binding moves between ports.
+    @raise Controller_error on parse errors or schema mismatches. *)
+
+val sync : t -> int
+(** Process all pending management-plane changes and data-plane digests
+    until quiescent; returns the number of DL transactions committed.
+    @raise Controller_error if a switch rejects updates or the feedback
+    loop fails to quiesce. *)
+
+val engine : t -> Dl.Engine.t
+(** The underlying engine, for inspection. *)
+
+val stats : t -> stats
+
+val preflight : t -> string list
+(** Authoring lint: output relations no rule writes (except those bound
+    to a table's default action) and digest relations no rule reads. *)

@@ -1,0 +1,158 @@
+(* Deterministic workload and topology generators used by the examples,
+   tests and benchmarks.  Everything is seeded explicitly so results
+   are reproducible run to run. *)
+
+type rng = Random.State.t
+
+let rng seed = Random.State.make [| seed; 0x6e657270 |]
+
+(* ---------------- graphs ---------------- *)
+
+(** A simple chain 0 -> 1 -> ... -> n-1. *)
+let chain n : (int * int) list = List.init (max 0 (n - 1)) (fun i -> (i, i + 1))
+
+(** A ring of n nodes. *)
+let ring n : (int * int) list =
+  if n < 2 then [] else List.init n (fun i -> (i, (i + 1) mod n))
+
+(** [random_graph ~nodes ~edges ~seed] draws distinct directed edges
+    uniformly (no self-loops). *)
+let random_graph ~nodes ~edges ~seed : (int * int) list =
+  let r = rng seed in
+  let seen = Hashtbl.create (2 * edges) in
+  let result = ref [] in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < edges && !attempts < edges * 50 do
+    incr attempts;
+    let a = Random.State.int r nodes and b = Random.State.int r nodes in
+    if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+      Hashtbl.add seen (a, b) ();
+      result := (a, b) :: !result
+    end
+  done;
+  List.rev !result
+
+(** A two-level leaf/spine fabric: [spines] core nodes, [leaves] edge
+    nodes, every leaf connected to every spine (both directions).
+    Spines are numbered [0, spines); leaves follow. *)
+let leaf_spine ~spines ~leaves : (int * int) list =
+  List.concat
+    (List.init leaves (fun l ->
+         List.concat
+           (List.init spines (fun s -> [ (spines + l, s); (s, spines + l) ]))))
+
+(* ---------------- snvs port configurations ---------------- *)
+
+type port_plan = {
+  pp_name : string;
+  pp_port : int;
+  pp_mode : string;    (* "access" | "trunk" *)
+  pp_tag : int;
+  pp_trunks : int list;
+}
+
+(** [ports ~n ~vlans ~trunk_every ~seed] plans [n] ports spread over
+    [vlans] VLANs, every [trunk_every]-th port a trunk carrying all the
+    VLANs. *)
+let ports ?(vlans = 8) ?(trunk_every = 16) ~n () : port_plan list =
+  List.init n (fun i ->
+      if trunk_every > 0 && i mod trunk_every = trunk_every - 1 then
+        {
+          pp_name = Printf.sprintf "trunk%d" i;
+          pp_port = i + 1;
+          pp_mode = "trunk";
+          pp_tag = 0;
+          pp_trunks = List.init vlans (fun v -> 10 + v);
+        }
+      else
+        {
+          pp_name = Printf.sprintf "port%d" i;
+          pp_port = i + 1;
+          pp_mode = "access";
+          pp_tag = 10 + (i mod vlans);
+          pp_trunks = [];
+        })
+
+(* ---------------- configuration-change streams ---------------- *)
+
+type change =
+  | AddPort of port_plan
+  | DelPort of string
+  | AddAcl of { prio : int; src : int64; dst : int64; allow : bool }
+  | DelAcl of int (* priority *)
+  | SetMirror of { select_port : int; output_port : int }
+
+(** A stream of [n] small configuration changes against a network of
+    [base] ports, in the style of §2.1 (Robotron: a dozen small changes
+    per device per week).  Deletions target previously added entities so
+    the stream is always valid. *)
+let change_stream ~base ~n ~seed : change list =
+  let r = rng seed in
+  let next_port = ref (base + 1) in
+  let live_extra = ref [] in
+  let next_acl = ref 1000 in
+  let live_acls = ref [] in
+  List.init n (fun _ ->
+      match Random.State.int r 5 with
+      | 0 ->
+        let i = !next_port in
+        incr next_port;
+        let p =
+          {
+            pp_name = Printf.sprintf "xport%d" i;
+            pp_port = i;
+            pp_mode = "access";
+            pp_tag = 10 + (i mod 8);
+            pp_trunks = [];
+          }
+        in
+        live_extra := p.pp_name :: !live_extra;
+        AddPort p
+      | 1 when !live_extra <> [] ->
+        let name = List.hd !live_extra in
+        live_extra := List.tl !live_extra;
+        DelPort name
+      | 2 ->
+        let prio = !next_acl in
+        incr next_acl;
+        live_acls := prio :: !live_acls;
+        AddAcl
+          {
+            prio;
+            src = Int64.of_int (Random.State.int r 1000);
+            dst = Int64.of_int (Random.State.int r 1000);
+            allow = Random.State.bool r;
+          }
+      | 3 when !live_acls <> [] ->
+        let prio = List.hd !live_acls in
+        live_acls := List.tl !live_acls;
+        DelAcl prio
+      | _ ->
+        SetMirror
+          {
+            select_port = 1 + Random.State.int r (max 1 base);
+            output_port = 1 + Random.State.int r (max 1 base);
+          })
+
+(* ---------------- load balancers ---------------- *)
+
+type lb_plan = { lb_name : string; lb_vip : int64; lb_backends : int64 list }
+
+(** [lbs ~n ~backends ~seed]: [n] load balancers with [backends] backends
+    each, VIPs and backends drawn from distinct address ranges. *)
+let lbs ~n ~backends ~seed : lb_plan list =
+  let r = rng seed in
+  List.init n (fun i ->
+      {
+        lb_name = Printf.sprintf "lb%d" i;
+        lb_vip = Int64.of_int (0x0A000000 + i);
+        lb_backends =
+          List.init backends (fun _ ->
+              Int64.of_int (0xC0A80000 + Random.State.int r 0xFFFF));
+      })
+
+(* ---------------- MAC traffic ---------------- *)
+
+(** [mac_hosts ~n] deterministic host MACs. *)
+let mac_hosts ~n : int64 list =
+  List.init n (fun i -> Int64.of_int (0x020000000000 + i))

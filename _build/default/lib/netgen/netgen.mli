@@ -1,0 +1,58 @@
+(** Deterministic workload and topology generators used by the
+    examples, tests and benchmarks.  Everything is seeded explicitly so
+    results reproduce run to run. *)
+
+type rng = Random.State.t
+
+val rng : int -> rng
+
+(** {1 Graphs} *)
+
+val chain : int -> (int * int) list
+(** 0 → 1 → ... → n-1. *)
+
+val ring : int -> (int * int) list
+
+val random_graph : nodes:int -> edges:int -> seed:int -> (int * int) list
+(** Distinct directed edges drawn uniformly, no self-loops. *)
+
+val leaf_spine : spines:int -> leaves:int -> (int * int) list
+(** A two-level fabric, every leaf connected to every spine in both
+    directions; spines are numbered first. *)
+
+(** {1 snvs port plans} *)
+
+type port_plan = {
+  pp_name : string;
+  pp_port : int;
+  pp_mode : string;  (** "access" or "trunk" *)
+  pp_tag : int;
+  pp_trunks : int list;
+}
+
+val ports : ?vlans:int -> ?trunk_every:int -> n:int -> unit -> port_plan list
+(** [n] ports spread over [vlans] VLANs; every [trunk_every]-th port is
+    a trunk carrying all of them (0 disables trunks). *)
+
+(** {1 Configuration-change streams (§2.1)} *)
+
+type change =
+  | AddPort of port_plan
+  | DelPort of string
+  | AddAcl of { prio : int; src : int64; dst : int64; allow : bool }
+  | DelAcl of int
+  | SetMirror of { select_port : int; output_port : int }
+
+val change_stream : base:int -> n:int -> seed:int -> change list
+(** [n] small valid changes against a network of [base] ports;
+    deletions always target previously added entities. *)
+
+(** {1 Load balancers} *)
+
+type lb_plan = { lb_name : string; lb_vip : int64; lb_backends : int64 list }
+
+val lbs : n:int -> backends:int -> seed:int -> lb_plan list
+
+(** {1 Hosts} *)
+
+val mac_hosts : n:int -> int64 list

@@ -1,0 +1,1 @@
+lib/ofp4/compile.ml: Format Int64 List Openflow P4 Printf

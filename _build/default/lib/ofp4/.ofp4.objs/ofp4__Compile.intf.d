@@ -1,0 +1,1 @@
+lib/ofp4/compile.mli: Openflow P4

@@ -1,0 +1,1 @@
+lib/ofp4/openflow.ml: Int Int64 List Option Printf String

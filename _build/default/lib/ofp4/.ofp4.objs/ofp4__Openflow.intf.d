@@ -1,0 +1,1 @@
+lib/ofp4/openflow.mli:

@@ -1,0 +1,151 @@
+(* The p4c-of analog: compile a mini-P4 program plus its current table
+   entries into an OpenFlow flow pipeline.
+
+   Supported program class: ingress pipelines that are a sequence of
+   table applications (Seq/ApplyTable/Nop); each entry becomes one or
+   more flows and each table gets a goto to the next applied table.
+   Actions compile as:
+
+     Forward e    -> output
+     Multicast e  -> group
+     Drop         -> drop (no goto)
+     EmitDigest d -> controller(d)
+     Assign       -> set_field (constant or parameter expressions only)
+     SetValid     -> push_vlan (vlan header only), SetInvalid -> pop_vlan
+
+   Richer control flow (If) and computed expressions are out of scope,
+   as for the real ofp4 prototype; [compile] reports them as errors. *)
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* The linear sequence of tables applied by a control. *)
+let rec table_sequence (c : P4.Program.control) : string list =
+  match c with
+  | P4.Program.Nop -> []
+  | P4.Program.Seq (a, b) -> table_sequence a @ table_sequence b
+  | P4.Program.ApplyTable t -> [ t ]
+  | P4.Program.If _ -> unsupported "conditional control flow"
+
+let ref_name (r : P4.Program.fref) =
+  match r with
+  | P4.Program.Field (h, f) -> h ^ "." ^ f
+  | P4.Program.Meta m -> "meta." ^ m
+
+(* Evaluate an action expression to a constant, given parameter values. *)
+let rec const_expr (params : (string * int64) list) (e : P4.Program.expr) : int64
+    =
+  match e with
+  | P4.Program.EConst (_, v) -> v
+  | P4.Program.EParam p -> (
+    match List.assoc_opt p params with
+    | Some v -> v
+    | None -> unsupported "unbound parameter %s" p)
+  | P4.Program.EBin (P4.Program.Add, a, b) ->
+    Int64.add (const_expr params a) (const_expr params b)
+  | _ -> unsupported "non-constant expression in action"
+
+(* Compile one P4 action invocation into OpenFlow actions. *)
+let compile_action (prog : P4.Program.t) ~(aname : string) ~(args : int64 list)
+    ~(next : int option) : Openflow.action list =
+  let action =
+    match P4.Program.find_action prog aname with
+    | Some a -> a
+    | None -> unsupported "unknown action %s" aname
+  in
+  let params = List.map2 (fun (n, _) v -> (n, v)) action.params args in
+  let acts = ref [] in
+  let dropped = ref false in
+  List.iter
+    (fun prim ->
+      match prim with
+      | P4.Program.Forward e ->
+        acts :=
+          Openflow.SetField (Openflow.reg_has_dest, 1L)
+          :: Openflow.SetField (Openflow.reg_egress, const_expr params e)
+          :: !acts
+      | P4.Program.Multicast e ->
+        acts :=
+          Openflow.SetField (Openflow.reg_mcast, const_expr params e) :: !acts
+      | P4.Program.Drop -> dropped := true
+      | P4.Program.EmitDigest d -> acts := Openflow.ToController d :: !acts
+      | P4.Program.Assign (r, e) ->
+        acts := Openflow.SetField (ref_name r, const_expr params e) :: !acts
+      | P4.Program.SetValid "vlan" -> acts := Openflow.PushVlan :: !acts
+      | P4.Program.SetInvalid "vlan" -> acts := Openflow.PopVlan :: !acts
+      | P4.Program.SetValid h | P4.Program.SetInvalid h ->
+        unsupported "header stack op on %s" h
+      | P4.Program.CloneTo e ->
+        (* mirroring compiles to an extra output *)
+        acts := Openflow.Output (const_expr params e) :: !acts
+      | P4.Program.Count _ -> () (* counters are implicit per-flow in OF *)
+      | P4.Program.RegWrite _ | P4.Program.RegRead _ ->
+        unsupported "stateful registers")
+    (List.rev action.body |> List.rev);
+  let base = List.rev !acts in
+  if !dropped then base @ [ Openflow.SetField (Openflow.reg_dropped, 1L) ]
+  else
+    match next with Some t -> base @ [ Openflow.Goto t ] | None -> base
+
+let compile_match (prog : P4.Program.t) (tbl : P4.Program.table)
+    (matches : P4.Entry.match_value list) : Openflow.field_match list =
+  List.concat
+    (List.map2
+       (fun (k : P4.Program.key) mv ->
+         let width =
+           match P4.Program.ref_width prog k.kref with
+           | Ok w -> w
+           | Error e -> unsupported "%s" e
+         in
+         let name = ref_name k.kref in
+         match mv with
+         | P4.Entry.MExact v -> [ { Openflow.mfield = name; mvalue = v; mmask = None } ]
+         | P4.Entry.MLpm (v, len) ->
+           [ { Openflow.mfield = name; mvalue = v;
+               mmask = Some (P4.Entry.mask_of_prefix ~width ~prefix_len:len) } ]
+         | P4.Entry.MTernary (v, m) ->
+           [ { Openflow.mfield = name; mvalue = v; mmask = Some m } ]
+         | P4.Entry.MAny -> [])
+       tbl.keys matches)
+
+(** Compile [switch]'s program and installed entries into a flow
+    pipeline.  Each P4 table maps to one OpenFlow table, in application
+    order; cookies record which table/entry produced each flow. *)
+let compile (sw : P4.Switch.t) : Openflow.t =
+  let prog = sw.P4.Switch.program in
+  let sequence = table_sequence prog.ingress @ table_sequence prog.egress in
+  let out = Openflow.create () in
+  List.iteri
+    (fun idx tname ->
+      let tbl =
+        match P4.Program.find_table prog tname with
+        | Some t -> t
+        | None -> unsupported "unknown table %s" tname
+      in
+      let next = if idx + 1 < List.length sequence then Some (idx + 1) else None in
+      (* entries *)
+      List.iter
+        (fun (e : P4.Entry.t) ->
+          let lpm_bonus = P4.Entry.lpm_length e in
+          Openflow.add_flow out
+            {
+              Openflow.table_id = idx;
+              priority = 1 + e.priority + lpm_bonus;
+              matches = compile_match prog tbl e.matches;
+              actions = compile_action prog ~aname:e.action ~args:e.args ~next;
+              cookie = Printf.sprintf "%s/%s" tname e.action;
+            })
+        (P4.Switch.table_entries sw tname);
+      (* table-miss flow: the default action at priority 0 *)
+      let dname, dargs = tbl.default_action in
+      Openflow.add_flow out
+        {
+          Openflow.table_id = idx;
+          priority = 0;
+          matches = [];
+          actions = compile_action prog ~aname:dname ~args:dargs ~next;
+          cookie = Printf.sprintf "%s/default:%s" tname dname;
+        })
+    sequence;
+  out

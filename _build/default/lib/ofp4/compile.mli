@@ -1,0 +1,26 @@
+(** The p4c-of analog: compile a mini-P4 program plus its installed
+    table entries into an OpenFlow flow pipeline.
+
+    Supported program class (as for the real ofp4 prototype, a subset):
+    pipelines that are a sequence of table applications; constant or
+    parameter action expressions; VLAN as the only header-stack
+    operation.  Forwarding primitives compile to the OVS register idiom
+    so later tables can override earlier decisions exactly as in the
+    v1model (see {!Openflow.eval}).
+
+    One documented semantic difference: a dropped packet stops at the
+    dropping table instead of traversing the rest of the pipeline, so
+    digests after a drop are not emitted. *)
+
+exception Unsupported of string
+
+val table_sequence : P4.Program.control -> string list
+(** The linear table application order of a control.
+    @raise Unsupported on conditional control flow. *)
+
+val compile : P4.Switch.t -> Openflow.t
+(** Compile the switch's program and current entries.  Each P4 table
+    maps to one OpenFlow table in application order; every entry
+    becomes a flow (priority = 1 + entry priority + total LPM prefix
+    length) and every table gets a priority-0 miss flow running its
+    default action.  Cookies record the producing table/action. *)

@@ -1,0 +1,173 @@
+(* An OpenFlow-style multi-table flow pipeline: the compilation target
+   of the p4c-of analog ([Compile]) and the unit in which the Fig. 3
+   experiment counts "program fragments".
+
+   A flow program is a set of numbered tables; each flow has a priority,
+   a match over named fields, and an action list ending either in
+   forwarding actions or a goto to a later table. *)
+
+type field_match = {
+  mfield : string;               (* e.g. "ethernet.dst", "meta.vlan_id" *)
+  mvalue : int64;
+  mmask : int64 option;          (* None = exact *)
+}
+
+type action =
+  | Output of int64
+  | Group of int64               (* multicast group *)
+  | SetField of string * int64
+  | PushVlan                     (* make the vlan header valid *)
+  | PopVlan
+  | ToController of string       (* digest/packet-in tag *)
+  | DropAction
+  | Goto of int                  (* continue at table N *)
+
+type flow = {
+  table_id : int;
+  priority : int;
+  matches : field_match list;
+  actions : action list;
+  cookie : string;               (* provenance: which feature/fragment emitted it *)
+}
+
+type t = {
+  mutable flows : flow list;
+  mutable n_tables : int;
+}
+
+let create () : t = { flows = []; n_tables = 0 }
+
+let add_flow (prog : t) (f : flow) =
+  prog.flows <- f :: prog.flows;
+  if f.table_id + 1 > prog.n_tables then prog.n_tables <- f.table_id + 1
+
+let flow_count (prog : t) = List.length prog.flows
+
+(** Number of distinct fragments: flows grouped by provenance cookie.
+    This is the metric Fig. 3 tracks — each cookie corresponds to one
+    flow-emitting code site in a traditional controller. *)
+let fragment_count (prog : t) =
+  List.sort_uniq String.compare (List.map (fun f -> f.cookie) prog.flows)
+  |> List.length
+
+let flows_in_table (prog : t) id =
+  List.filter (fun f -> f.table_id = id) prog.flows
+
+(* ---------------- evaluation ---------------- *)
+
+(* Packets for the flow pipeline are symbolic: named fields to values,
+   plus a set of "present" headers for push/pop semantics. *)
+
+type fpacket = {
+  mutable fields : (string * int64) list;
+  mutable present : string list;   (* header names, e.g. "vlan" *)
+}
+
+let field (pkt : fpacket) name = Option.value ~default:0L (List.assoc_opt name pkt.fields)
+
+let set_pkt_field (pkt : fpacket) name v =
+  pkt.fields <- (name, v) :: List.remove_assoc name pkt.fields
+
+let matches_flow (pkt : fpacket) (f : flow) : bool =
+  List.for_all
+    (fun m ->
+      let v = field pkt m.mfield in
+      match m.mmask with
+      | None -> Int64.equal v m.mvalue
+      | Some mask -> Int64.equal (Int64.logand v mask) (Int64.logand m.mvalue mask))
+    f.matches
+
+type verdict = {
+  outputs : int64 list;
+  groups : int64 list;
+  controller : string list;
+  final : fpacket;
+}
+
+exception Eval_error of string
+
+(* Register fields used by the P4 compiler to model the v1model
+   forwarding decision (the OVS register idiom): the verdict is read
+   from them when the pipeline ends. *)
+let reg_egress = "reg.egress_spec"
+let reg_has_dest = "reg.has_dest"
+let reg_mcast = "reg.mcast_grp"
+let reg_dropped = "reg.dropped"
+
+(** Run a symbolic packet through the pipeline starting at table 0.
+    The verdict combines immediate [Output]/[Group] actions with the
+    final forwarding registers (see [reg_egress] etc.). *)
+let eval (prog : t) (pkt : fpacket) : verdict =
+  let outputs = ref [] and groups = ref [] and controller = ref [] in
+  let rec run table_id fuel =
+    if fuel <= 0 then raise (Eval_error "goto loop");
+    let candidates = List.filter (matches_flow pkt) (flows_in_table prog table_id) in
+    match
+      List.fold_left
+        (fun best f ->
+          match best with
+          | None -> Some f
+          | Some b -> if f.priority > b.priority then Some f else best)
+        None candidates
+    with
+    | None -> () (* table miss with no default flow: stop *)
+    | Some f ->
+      let next = ref None in
+      List.iter
+        (fun a ->
+          match a with
+          | Output p -> outputs := p :: !outputs
+          | Group g -> groups := g :: !groups
+          | SetField (name, v) -> set_pkt_field pkt name v
+          | PushVlan -> if not (List.mem "vlan" pkt.present) then
+              pkt.present <- "vlan" :: pkt.present
+          | PopVlan -> pkt.present <- List.filter (fun h -> h <> "vlan") pkt.present
+          | ToController tag -> controller := tag :: !controller
+          | DropAction -> ()
+          | Goto t ->
+            if t <= table_id then raise (Eval_error "goto must move forward");
+            next := Some t)
+        f.actions;
+      match !next with Some t -> run t (fuel - 1) | None -> ()
+  in
+  run 0 64;
+  (* final forwarding verdict from the registers *)
+  if field pkt reg_dropped = 0L then begin
+    let mcast = field pkt reg_mcast in
+    if mcast <> 0L then groups := mcast :: !groups
+    else if field pkt reg_has_dest = 1L then
+      outputs := field pkt reg_egress :: !outputs
+  end;
+  { outputs = List.rev !outputs; groups = List.rev !groups;
+    controller = List.rev !controller; final = pkt }
+
+let action_to_string = function
+  | Output p -> Printf.sprintf "output:%Ld" p
+  | Group g -> Printf.sprintf "group:%Ld" g
+  | SetField (f, v) -> Printf.sprintf "set_field:%s=%Ld" f v
+  | PushVlan -> "push_vlan"
+  | PopVlan -> "pop_vlan"
+  | ToController tag -> "controller(" ^ tag ^ ")"
+  | DropAction -> "drop"
+  | Goto t -> Printf.sprintf "goto:%d" t
+
+let flow_to_string (f : flow) =
+  Printf.sprintf "table=%d priority=%d %s actions=%s cookie=%s" f.table_id
+    f.priority
+    (String.concat ","
+       (List.map
+          (fun m ->
+            match m.mmask with
+            | None -> Printf.sprintf "%s=%Ld" m.mfield m.mvalue
+            | Some mask -> Printf.sprintf "%s=%Ld/%Ld" m.mfield m.mvalue mask)
+          f.matches))
+    (String.concat "," (List.map action_to_string f.actions))
+    f.cookie
+
+let dump (prog : t) : string =
+  prog.flows
+  |> List.sort (fun a b ->
+         let c = Int.compare a.table_id b.table_id in
+         if c <> 0 then c else Int.compare b.priority a.priority)
+  |> List.map flow_to_string
+  |> String.concat "\n"

@@ -1,0 +1,71 @@
+(** An OpenFlow-style multi-table flow pipeline: the compilation target
+    of the p4c-of analog ({!Compile}) and the unit in which the Fig. 3
+    experiment counts "program fragments". *)
+
+type field_match = {
+  mfield : string;        (** e.g. ["ethernet.dst"], ["meta.vlan_id"] *)
+  mvalue : int64;
+  mmask : int64 option;   (** [None] = exact *)
+}
+
+type action =
+  | Output of int64
+  | Group of int64
+  | SetField of string * int64
+  | PushVlan
+  | PopVlan
+  | ToController of string  (** digest / packet-in tag *)
+  | DropAction
+  | Goto of int             (** continue at a strictly later table *)
+
+type flow = {
+  table_id : int;
+  priority : int;
+  matches : field_match list;
+  actions : action list;
+  cookie : string;  (** provenance: which feature/fragment emitted it *)
+}
+
+type t = { mutable flows : flow list; mutable n_tables : int }
+
+val create : unit -> t
+val add_flow : t -> flow -> unit
+val flow_count : t -> int
+
+val fragment_count : t -> int
+(** Distinct provenance cookies — each corresponds to one flow-emitting
+    code site in a traditional controller (the Fig. 3 metric). *)
+
+val flows_in_table : t -> int -> flow list
+
+(** {1 Evaluation} *)
+
+type fpacket = {
+  mutable fields : (string * int64) list;
+  mutable present : string list;  (** header names, for push/pop *)
+}
+
+type verdict = {
+  outputs : int64 list;
+  groups : int64 list;
+  controller : string list;
+  final : fpacket;
+}
+
+exception Eval_error of string
+
+(** Register fields through which the P4 compiler models the v1model
+    forwarding decision (the OVS register idiom). *)
+
+val reg_egress : string
+val reg_has_dest : string
+val reg_mcast : string
+val reg_dropped : string
+
+val eval : t -> fpacket -> verdict
+(** Run a symbolic packet from table 0; the verdict combines immediate
+    [Output]/[Group] actions with the final forwarding registers.
+    @raise Eval_error on goto loops. *)
+
+val flow_to_string : flow -> string
+val dump : t -> string

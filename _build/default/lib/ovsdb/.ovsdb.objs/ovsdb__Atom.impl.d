@@ -1,0 +1,1 @@
+lib/ovsdb/atom.ml: Bool Float Format Int Int64 Json Printf String Uuid

@@ -1,0 +1,1 @@
+lib/ovsdb/atom.mli: Format Json Uuid

@@ -1,0 +1,1 @@
+lib/ovsdb/datum.ml: Atom Format Json List Result

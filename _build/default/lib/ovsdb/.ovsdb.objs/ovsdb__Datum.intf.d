@@ -1,0 +1,1 @@
+lib/ovsdb/datum.mli: Atom Format Json Uuid

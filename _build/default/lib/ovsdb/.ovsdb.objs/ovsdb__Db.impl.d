@@ -1,0 +1,1 @@
+lib/ovsdb/db.ml: Atom Datum Float Format Hashtbl Int64 List Option Otype Schema String Uuid

@@ -1,0 +1,1 @@
+lib/ovsdb/db.mli: Datum Hashtbl Schema Uuid

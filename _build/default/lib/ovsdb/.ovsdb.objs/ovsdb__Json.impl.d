@@ -1,0 +1,1 @@
+lib/ovsdb/json.ml: Buffer Char Float Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/ovsdb/json.mli: Format

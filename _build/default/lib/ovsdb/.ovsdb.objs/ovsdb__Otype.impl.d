@@ -1,0 +1,1 @@
+lib/ovsdb/otype.ml: Atom Datum Int64 Json List Printf Result Uuid

@@ -1,0 +1,1 @@
+lib/ovsdb/otype.mli: Atom Datum Json

@@ -1,0 +1,1 @@
+lib/ovsdb/rpc.ml: Datum Db Format Hashtbl Int64 Json List Option Printf Schema Uuid

@@ -1,0 +1,1 @@
+lib/ovsdb/rpc.mli: Datum Db Json

@@ -1,0 +1,1 @@
+lib/ovsdb/schema.ml: Format Hashtbl Json List Otype String

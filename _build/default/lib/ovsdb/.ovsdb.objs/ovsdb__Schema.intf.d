@@ -1,0 +1,1 @@
+lib/ovsdb/schema.mli: Json Otype

@@ -1,0 +1,1 @@
+lib/ovsdb/uuid.ml: Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/ovsdb/uuid.mli: Format

@@ -1,0 +1,59 @@
+(* OVSDB atoms: the scalar values stored in database columns. *)
+
+type t =
+  | Integer of int64
+  | Real of float
+  | Boolean of bool
+  | String of string
+  | Uuid of Uuid.t
+
+let compare (a : t) (b : t) =
+  let tag = function
+    | Integer _ -> 0
+    | Real _ -> 1
+    | Boolean _ -> 2
+    | String _ -> 3
+    | Uuid _ -> 4
+  in
+  match a, b with
+  | Integer x, Integer y -> Int64.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Boolean x, Boolean y -> Bool.compare x y
+  | String x, String y -> String.compare x y
+  | Uuid x, Uuid y -> Uuid.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Integer i -> Int64.to_string i
+  | Real f -> Printf.sprintf "%g" f
+  | Boolean b -> string_of_bool b
+  | String s -> Printf.sprintf "%S" s
+  | Uuid u -> Uuid.to_string u
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+(* The OVSDB wire encoding: scalars are bare JSON values, UUIDs are
+   tagged pairs ["uuid", "..."]. *)
+
+let to_json : t -> Json.t = function
+  | Integer i -> Json.Int i
+  | Real f -> Json.Float f
+  | Boolean b -> Json.Bool b
+  | String s -> Json.String s
+  | Uuid u -> Json.List [ Json.String "uuid"; Json.String (Uuid.to_string u) ]
+
+let of_json (j : Json.t) : (t, string) result =
+  match j with
+  | Json.Int i -> Ok (Integer i)
+  | Json.Float f -> Ok (Real f)
+  | Json.Bool b -> Ok (Boolean b)
+  | Json.String s -> Ok (String s)
+  | Json.List [ Json.String "uuid"; Json.String u ] -> (
+    match Uuid.of_string_opt u with
+    | Some u -> Ok (Uuid u)
+    | None -> Error (Printf.sprintf "bad uuid %S" u))
+  | Json.List [ Json.String "named-uuid"; Json.String _ ] ->
+    Error "named-uuid must be resolved by the transaction processor"
+  | j -> Error ("not an atom: " ^ Json.to_string j)

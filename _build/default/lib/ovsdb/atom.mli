@@ -1,0 +1,20 @@
+(** OVSDB atoms: the scalar values stored in database columns. *)
+
+type t =
+  | Integer of int64
+  | Real of float
+  | Boolean of bool
+  | String of string
+  | Uuid of Uuid.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** Scalars are bare JSON values; UUIDs are tagged ["uuid", "..."] pairs. *)
+
+val of_json : Json.t -> (t, string) result
+(** Note: ["named-uuid", ...] references are rejected here — they must
+    be resolved by the transaction processor (see {!Rpc}). *)

@@ -1,0 +1,128 @@
+(* Column values: a sorted set of atoms or a sorted map of atom pairs.
+   A scalar column stores a singleton set.  Sorting canonicalises
+   values so that structural equality is semantic equality. *)
+
+type t =
+  | Set of Atom.t list            (* sorted, duplicate-free *)
+  | Map of (Atom.t * Atom.t) list (* sorted by key, duplicate-free keys *)
+
+let set atoms = Set (List.sort_uniq Atom.compare atoms)
+
+let map pairs =
+  let sorted =
+    List.sort_uniq (fun (k1, _) (k2, _) -> Atom.compare k1 k2) pairs
+  in
+  Map sorted
+
+let scalar a = Set [ a ]
+let integer i = scalar (Atom.Integer i)
+let string s = scalar (Atom.String s)
+let boolean b = scalar (Atom.Boolean b)
+let real f = scalar (Atom.Real f)
+let uuid u = scalar (Atom.Uuid u)
+let empty_set = Set []
+let empty_map = Map []
+
+(** The single atom of a scalar datum. *)
+let as_scalar = function
+  | Set [ a ] -> Some a
+  | Set _ | Map _ -> None
+
+let as_integer d =
+  match as_scalar d with Some (Atom.Integer i) -> Some i | _ -> None
+
+let as_string d =
+  match as_scalar d with Some (Atom.String s) -> Some s | _ -> None
+
+let as_boolean d =
+  match as_scalar d with Some (Atom.Boolean b) -> Some b | _ -> None
+
+let as_uuid d = match as_scalar d with Some (Atom.Uuid u) -> Some u | _ -> None
+
+let as_set = function Set atoms -> Some atoms | Map _ -> None
+let as_map = function Map pairs -> Some pairs | Set _ -> None
+
+let compare (a : t) (b : t) =
+  match a, b with
+  | Set x, Set y -> List.compare Atom.compare x y
+  | Map x, Map y ->
+    List.compare
+      (fun (k1, v1) (k2, v2) ->
+        let c = Atom.compare k1 k2 in
+        if c <> 0 then c else Atom.compare v1 v2)
+      x y
+  | Set _, Map _ -> -1
+  | Map _, Set _ -> 1
+
+let equal a b = compare a b = 0
+
+let contains (d : t) (a : Atom.t) =
+  match d with
+  | Set atoms -> List.exists (Atom.equal a) atoms
+  | Map pairs -> List.exists (fun (k, _) -> Atom.equal a k) pairs
+
+let size = function Set l -> List.length l | Map l -> List.length l
+
+let pp fmt = function
+  | Set [ a ] -> Atom.pp fmt a
+  | Set atoms ->
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Atom.pp)
+      atoms
+  | Map pairs ->
+    let pp_pair f (k, v) = Format.fprintf f "%a=%a" Atom.pp k Atom.pp v in
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_pair)
+      pairs
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* Wire encoding (RFC 7047 §5.1): a scalar is its bare atom; a set is
+   ["set", [atoms]]; a map is ["map", [[k, v], ...]]. *)
+
+let to_json : t -> Json.t = function
+  | Set [ a ] -> Atom.to_json a
+  | Set atoms -> Json.List [ Json.String "set"; Json.List (List.map Atom.to_json atoms) ]
+  | Map pairs ->
+    Json.List
+      [ Json.String "map";
+        Json.List
+          (List.map
+             (fun (k, v) -> Json.List [ Atom.to_json k; Atom.to_json v ])
+             pairs) ]
+
+let of_json (j : Json.t) : (t, string) result =
+  let ( let* ) = Result.bind in
+  let atoms_of l =
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        let* a = Atom.of_json x in
+        Ok (a :: acc))
+      (Ok []) l
+    |> Result.map List.rev
+  in
+  match j with
+  | Json.List [ Json.String "set"; Json.List l ] ->
+    let* atoms = atoms_of l in
+    Ok (set atoms)
+  | Json.List [ Json.String "map"; Json.List l ] ->
+    let* pairs =
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          match x with
+          | Json.List [ k; v ] ->
+            let* k = Atom.of_json k in
+            let* v = Atom.of_json v in
+            Ok ((k, v) :: acc)
+          | j -> Error ("bad map entry: " ^ Json.to_string j))
+        (Ok []) l
+      |> Result.map List.rev
+    in
+    Ok (map pairs)
+  | j ->
+    let* a = Atom.of_json j in
+    Ok (scalar a)

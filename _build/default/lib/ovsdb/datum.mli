@@ -1,0 +1,48 @@
+(** Column values: a sorted set of atoms or a sorted map of atom pairs.
+    A scalar column stores a singleton set, following RFC 7047.
+    Sorting canonicalises values so that structural equality is
+    semantic equality. *)
+
+type t =
+  | Set of Atom.t list            (** sorted, duplicate-free *)
+  | Map of (Atom.t * Atom.t) list (** sorted by key, duplicate-free keys *)
+
+(** {1 Constructors (canonicalising)} *)
+
+val set : Atom.t list -> t
+val map : (Atom.t * Atom.t) list -> t
+val scalar : Atom.t -> t
+val integer : int64 -> t
+val string : string -> t
+val boolean : bool -> t
+val real : float -> t
+val uuid : Uuid.t -> t
+val empty_set : t
+val empty_map : t
+
+(** {1 Accessors} *)
+
+val as_scalar : t -> Atom.t option
+(** The single atom of a singleton set; [None] otherwise. *)
+
+val as_integer : t -> int64 option
+val as_string : t -> string option
+val as_boolean : t -> bool option
+val as_uuid : t -> Uuid.t option
+val as_set : t -> Atom.t list option
+val as_map : t -> (Atom.t * Atom.t) list option
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val contains : t -> Atom.t -> bool
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Wire encoding (RFC 7047 §5.1)}
+
+    A scalar is its bare atom, a set is [["set", [...]]], a map is
+    [["map", [[k, v], ...]]]. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result

@@ -1,0 +1,285 @@
+(* A small self-contained JSON implementation (yojson is not available
+   in this environment).  Covers everything the OVSDB wire protocol
+   needs: parsing, printing, and a few accessor helpers. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------------- printing ---------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf (j : t) =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (Int64.to_string i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s -> escape_string buf s
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_string buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* ---------------- parsing ---------------- *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let error st fmt =
+  Format.kasprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos s)))
+    fmt
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  skip_ws st;
+  match peek_char st with
+  | Some c' when c = c' -> st.pos <- st.pos + 1
+  | Some c' -> error st "expected %C, found %C" c c'
+  | None -> error st "expected %C, found end of input" c
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then error st "truncated \\u escape";
+  let s = String.sub st.src st.pos 4 in
+  st.pos <- st.pos + 4;
+  match int_of_string_opt ("0x" ^ s) with
+  | Some c -> c
+  | None -> error st "bad \\u escape %s" s
+
+let utf8_encode buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.src then error st "unterminated string";
+    let c = st.src.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+      if st.pos >= String.length st.src then error st "unterminated escape";
+      let e = st.src.[st.pos] in
+      st.pos <- st.pos + 1;
+      (match e with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'u' -> utf8_encode buf (parse_hex4 st)
+      | c -> error st "bad escape \\%c" c);
+      go ()
+    | c ->
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let rec parse_value st : t =
+  skip_ws st;
+  match peek_char st with
+  | None -> error st "unexpected end of input"
+  | Some '"' ->
+    st.pos <- st.pos + 1;
+    String (parse_string_body st)
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek_char st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        expect st '"';
+        let k = parse_string_body st in
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek_char st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> error st "expected , or } in object"
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek_char st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek_char st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | _ -> error st "expected , or ] in array"
+      in
+      List (items [])
+    end
+  | Some 't' ->
+    if st.pos + 4 <= String.length st.src && String.sub st.src st.pos 4 = "true"
+    then begin
+      st.pos <- st.pos + 4;
+      Bool true
+    end
+    else error st "bad literal"
+  | Some 'f' ->
+    if st.pos + 5 <= String.length st.src && String.sub st.src st.pos 5 = "false"
+    then begin
+      st.pos <- st.pos + 5;
+      Bool false
+    end
+    else error st "bad literal"
+  | Some 'n' ->
+    if st.pos + 4 <= String.length st.src && String.sub st.src st.pos 4 = "null"
+    then begin
+      st.pos <- st.pos + 4;
+      Null
+    end
+    else error st "bad literal"
+  | Some c when c = '-' || (c >= '0' && c <= '9') ->
+    let start = st.pos in
+    let is_num c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while st.pos < String.length st.src && is_num st.src.[st.pos] do
+      st.pos <- st.pos + 1
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    if String.contains text '.' || String.contains text 'e'
+       || String.contains text 'E' then
+      (match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error st "bad number %s" text)
+    else (
+      match Int64.of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> error st "bad number %s" text))
+  | Some c -> error st "unexpected character %C" c
+
+(** Parse a complete JSON document; trailing garbage is an error. *)
+let of_string (s : string) : t =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+(* ---------------- accessors ---------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list_exn = function
+  | List l -> l
+  | j -> raise (Parse_error ("expected array, got " ^ to_string j))
+
+let to_string_exn = function
+  | String s -> s
+  | j -> raise (Parse_error ("expected string, got " ^ to_string j))
+
+let to_int_exn = function
+  | Int i -> i
+  | j -> raise (Parse_error ("expected integer, got " ^ to_string j))
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp fmt (j : t) =
+  match j with
+  | Null | Bool _ | Int _ | Float _ | String _ ->
+    Format.pp_print_string fmt (to_string j)
+  | List l ->
+    Format.fprintf fmt "[@[<hv>%a@]]"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp)
+      l
+  | Obj fields ->
+    let pp_field f (k, v) = Format.fprintf f "%S: %a" k pp v in
+    Format.fprintf fmt "{@[<hv>%a@]}"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp_field)
+      fields

@@ -1,0 +1,33 @@
+(** A small self-contained JSON implementation covering everything the
+    OVSDB wire protocol needs: parsing, printing, and a few accessors. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line rendering with proper string escaping. *)
+
+val of_string : string -> t
+(** Parse a complete document; trailing garbage is an error.
+    @raise Parse_error with an offset-annotated message. *)
+
+val of_string_opt : string -> t option
+
+val member : string -> t -> t option
+(** Field lookup on objects ([None] on non-objects). *)
+
+val to_list_exn : t -> t list
+val to_string_exn : t -> string
+val to_int_exn : t -> int64
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line pretty form (for diagnostics; not canonical). *)

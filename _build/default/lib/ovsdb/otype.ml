@@ -1,0 +1,181 @@
+(* The OVSDB type system (RFC 7047 §3.2): atomic types with optional
+   constraints, and column types that are sets or maps of atoms with
+   cardinality bounds.  A scalar column is a set with min = max = 1. *)
+
+type atomic = AInteger | AReal | ABoolean | AString | AUuid
+
+type base = {
+  typ : atomic;
+  enum : Atom.t list option;       (* allowed values, if constrained *)
+  min_int : int64 option;          (* integer range constraint *)
+  max_int : int64 option;
+  ref_table : string option;       (* for uuid: the referenced table *)
+}
+
+type cardinality = Limit of int | Unlimited
+
+type t = {
+  key : base;
+  value : base option;             (* present for map columns *)
+  min : int;                       (* 0 or 1 *)
+  max : cardinality;               (* >= min *)
+}
+
+let base ?(enum = None) ?(min_int = None) ?(max_int = None) ?(ref_table = None)
+    typ =
+  { typ; enum; min_int; max_int; ref_table }
+
+(** A scalar column: exactly one atom. *)
+let scalar typ = { key = base typ; value = None; min = 1; max = Limit 1 }
+
+(** An optional scalar: zero or one atom. *)
+let optional typ = { key = base typ; value = None; min = 0; max = Limit 1 }
+
+(** A set of atoms with the given bounds (default unbounded). *)
+let set ?(min = 0) ?(max = Unlimited) b = { key = b; value = None; min; max }
+
+(** A map from [k] atoms to [v] atoms. *)
+let map ?(min = 0) ?(max = Unlimited) k v =
+  { key = k; value = Some v; min; max }
+
+(** An enum-of-strings scalar. *)
+let string_enum values =
+  {
+    key = base ~enum:(Some (List.map (fun s -> Atom.String s) values)) AString;
+    value = None;
+    min = 1;
+    max = Limit 1;
+  }
+
+let atomic_name = function
+  | AInteger -> "integer"
+  | AReal -> "real"
+  | ABoolean -> "boolean"
+  | AString -> "string"
+  | AUuid -> "uuid"
+
+let atomic_of_name = function
+  | "integer" -> Some AInteger
+  | "real" -> Some AReal
+  | "boolean" -> Some ABoolean
+  | "string" -> Some AString
+  | "uuid" -> Some AUuid
+  | _ -> None
+
+(** Does [a] inhabit base type [b]? *)
+let check_atom (b : base) (a : Atom.t) : (unit, string) result =
+  let type_ok =
+    match b.typ, a with
+    | AInteger, Atom.Integer _
+    | AReal, Atom.Real _
+    | ABoolean, Atom.Boolean _
+    | AString, Atom.String _
+    | AUuid, Atom.Uuid _ -> true
+    | _ -> false
+  in
+  if not type_ok then
+    Error
+      (Printf.sprintf "expected %s, got %s" (atomic_name b.typ)
+         (Atom.to_string a))
+  else
+    let enum_ok =
+      match b.enum with
+      | None -> true
+      | Some allowed -> List.exists (Atom.equal a) allowed
+    in
+    if not enum_ok then Error (Printf.sprintf "%s not in enum" (Atom.to_string a))
+    else
+      match a, b.min_int, b.max_int with
+      | Atom.Integer i, Some lo, _ when i < lo -> Error "integer below minimum"
+      | Atom.Integer i, _, Some hi when i > hi -> Error "integer above maximum"
+      | _ -> Ok ()
+
+(** Validate a datum against the column type. *)
+let check (t : t) (d : Datum.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let card_ok n =
+    if n < t.min then Error (Printf.sprintf "fewer than %d elements" t.min)
+    else
+      match t.max with
+      | Unlimited -> Ok ()
+      | Limit m ->
+        if n > m then Error (Printf.sprintf "more than %d elements" m) else Ok ()
+  in
+  match d, t.value with
+  | Datum.Set atoms, None ->
+    let* () = card_ok (List.length atoms) in
+    List.fold_left
+      (fun acc a ->
+        let* () = acc in
+        check_atom t.key a)
+      (Ok ()) atoms
+  | Datum.Map pairs, Some vt ->
+    let* () = card_ok (List.length pairs) in
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        let* () = check_atom t.key k in
+        check_atom vt v)
+      (Ok ()) pairs
+  | Datum.Set _, Some _ -> Error "expected a map datum"
+  | Datum.Map _, None -> Error "expected a set datum"
+
+(** The default datum for a column (what [insert] fills in when the
+    column is omitted): the empty set/map, or the type's zero value for
+    scalar columns. *)
+let default (t : t) : Datum.t =
+  if t.min = 0 then (match t.value with None -> Datum.Set [] | Some _ -> Datum.Map [])
+  else
+    let zero : Atom.t =
+      match t.key.enum with
+      | Some (a :: _) -> a
+      | _ -> (
+        match t.key.typ with
+        | AInteger -> Atom.Integer 0L
+        | AReal -> Atom.Real 0.0
+        | ABoolean -> Atom.Boolean false
+        | AString -> Atom.String ""
+        | AUuid -> Atom.Uuid Uuid.nil)
+    in
+    Datum.Set [ zero ]
+
+(* ---------------- JSON (de)serialisation of the type itself -------- *)
+
+let base_to_json (b : base) : Json.t =
+  let fields = [ ("type", Json.String (atomic_name b.typ)) ] in
+  let fields =
+    match b.enum with
+    | None -> fields
+    | Some atoms ->
+      fields
+      @ [ ("enum", Json.List [ Json.String "set";
+                               Json.List (List.map Atom.to_json atoms) ]) ]
+  in
+  let fields =
+    match b.ref_table with
+    | None -> fields
+    | Some t -> fields @ [ ("refTable", Json.String t) ]
+  in
+  match fields with
+  | [ ("type", j) ] -> j (* shorthand used by real OVSDB schemas *)
+  | fields -> Json.Obj fields
+
+let to_json (t : t) : Json.t =
+  match t.value, t.min, t.max with
+  | None, 1, Limit 1 -> base_to_json t.key
+  | _ ->
+    let fields = [ ("key", base_to_json t.key) ] in
+    let fields =
+      match t.value with
+      | None -> fields
+      | Some v -> fields @ [ ("value", base_to_json v) ]
+    in
+    let fields = fields @ [ ("min", Json.Int (Int64.of_int t.min)) ] in
+    let fields =
+      fields
+      @ [ ("max",
+           match t.max with
+           | Unlimited -> Json.String "unlimited"
+           | Limit m -> Json.Int (Int64.of_int m)) ]
+    in
+    Json.Obj fields

@@ -1,0 +1,52 @@
+(** The OVSDB type system (RFC 7047 §3.2): atomic types with optional
+    constraints, and column types that are sets or maps of atoms with
+    cardinality bounds.  A scalar column is a set with min = max = 1. *)
+
+type atomic = AInteger | AReal | ABoolean | AString | AUuid
+
+type base = {
+  typ : atomic;
+  enum : Atom.t list option;   (** allowed values, if constrained *)
+  min_int : int64 option;      (** integer range constraint *)
+  max_int : int64 option;
+  ref_table : string option;   (** for uuid: the referenced table *)
+}
+
+type cardinality = Limit of int | Unlimited
+
+type t = {
+  key : base;
+  value : base option;  (** present for map columns *)
+  min : int;
+  max : cardinality;
+}
+
+val base :
+  ?enum:Atom.t list option ->
+  ?min_int:int64 option ->
+  ?max_int:int64 option ->
+  ?ref_table:string option ->
+  atomic ->
+  base
+
+val scalar : atomic -> t
+(** Exactly one atom. *)
+
+val optional : atomic -> t
+(** Zero or one atom. *)
+
+val set : ?min:int -> ?max:cardinality -> base -> t
+val map : ?min:int -> ?max:cardinality -> base -> base -> t
+val string_enum : string list -> t
+
+val atomic_name : atomic -> string
+val atomic_of_name : string -> atomic option
+
+val check_atom : base -> Atom.t -> (unit, string) result
+val check : t -> Datum.t -> (unit, string) result
+(** Validate a datum: shape, cardinality, per-atom constraints. *)
+
+val default : t -> Datum.t
+(** What [insert] fills in for an omitted column. *)
+
+val to_json : t -> Json.t

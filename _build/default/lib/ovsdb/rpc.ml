@@ -1,0 +1,405 @@
+(* The OVSDB JSON-RPC wire protocol (RFC 7047 §4): request/response
+   framing and the encoding of transact operations, conditions,
+   mutations and monitor updates.
+
+   The server here is in-process — [handle] consumes a request string
+   and produces a response string — but the messages are the real
+   protocol shape, so a socket transport could be layered on without
+   touching this module. *)
+
+exception Protocol_error of string
+
+let perror fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
+
+(* ---------------- encoding database values ---------------- *)
+
+let condition_to_json (c : Db.condition) : Json.t =
+  let op =
+    match c.cop with
+    | Db.Eq -> "=="
+    | Db.Ne -> "!="
+    | Db.Lt -> "<"
+    | Db.Gt -> ">"
+    | Db.Le -> "<="
+    | Db.Ge -> ">="
+    | Db.Includes -> "includes"
+    | Db.Excludes -> "excludes"
+  in
+  Json.List [ Json.String c.ccolumn; Json.String op; Datum.to_json c.carg ]
+
+let condition_of_json (j : Json.t) : Db.condition =
+  match j with
+  | Json.List [ Json.String col; Json.String op; arg ] ->
+    let cop =
+      match op with
+      | "==" -> Db.Eq
+      | "!=" -> Db.Ne
+      | "<" -> Db.Lt
+      | ">" -> Db.Gt
+      | "<=" -> Db.Le
+      | ">=" -> Db.Ge
+      | "includes" -> Db.Includes
+      | "excludes" -> Db.Excludes
+      | op -> perror "unknown condition operator %s" op
+    in
+    (match Datum.of_json arg with
+    | Ok carg -> { Db.ccolumn = col; cop; carg }
+    | Error e -> perror "bad condition argument: %s" e)
+  | j -> perror "bad condition: %s" (Json.to_string j)
+
+let mutation_of_json (j : Json.t) : Db.mutation =
+  match j with
+  | Json.List [ Json.String col; Json.String op; arg ] ->
+    let mop =
+      match op with
+      | "+=" -> Db.MAdd
+      | "-=" -> Db.MSub
+      | "*=" -> Db.MMul
+      | "/=" -> Db.MDiv
+      | "insert" -> Db.MInsert
+      | "delete" -> Db.MDelete
+      | op -> perror "unknown mutator %s" op
+    in
+    (match Datum.of_json arg with
+    | Ok marg -> { Db.mcolumn = col; mop; marg }
+    | Error e -> perror "bad mutation argument: %s" e)
+  | j -> perror "bad mutation: %s" (Json.to_string j)
+
+let row_to_json (row : Db.row) : Json.t =
+  Json.Obj (List.map (fun (c, d) -> (c, Datum.to_json d)) row)
+
+(* Rows on the wire may contain ["named-uuid", name] references which we
+   resolve against the transaction's symbol table. *)
+let row_of_json ~(named : (string, Uuid.t) Hashtbl.t) (j : Json.t) :
+    (string * Datum.t) list =
+  match j with
+  | Json.Obj fields ->
+    List.map
+      (fun (c, v) ->
+        let resolve = function
+          | Json.List [ Json.String "named-uuid"; Json.String n ] -> (
+            match Hashtbl.find_opt named n with
+            | Some u -> Json.List [ Json.String "uuid"; Json.String (Uuid.to_string u) ]
+            | None -> perror "unknown named-uuid %s" n)
+          | j -> j
+        in
+        let v =
+          match v with
+          | Json.List [ Json.String "set"; Json.List l ] ->
+            Json.List [ Json.String "set"; Json.List (List.map resolve l) ]
+          | Json.List [ Json.String "map"; Json.List l ] ->
+            Json.List
+              [ Json.String "map";
+                Json.List
+                  (List.map
+                     (function
+                       | Json.List [ k; v ] -> Json.List [ resolve k; resolve v ]
+                       | j -> j)
+                     l) ]
+          | j -> resolve j
+        in
+        match Datum.of_json v with
+        | Ok d -> (c, d)
+        | Error e -> perror "column %s: %s" c e)
+      fields
+  | j -> perror "bad row: %s" (Json.to_string j)
+
+(* A transact operation from its wire form.  Insert operations carrying
+   a "uuid-name" get a pre-allocated UUID recorded in [named] so that
+   later (or earlier — the caller pre-scans) operations can reference
+   it. *)
+let op_of_json ~named (j : Json.t) : Db.op =
+  let table o =
+    match Json.member "table" o with
+    | Some (Json.String t) -> t
+    | _ -> perror "op missing table"
+  in
+  let where o =
+    match Json.member "where" o with
+    | Some (Json.List conds) -> List.map condition_of_json conds
+    | _ -> perror "op missing where"
+  in
+  match j with
+  | Json.Obj _ as o -> (
+    match Json.member "op" o with
+    | Some (Json.String "insert") ->
+      let row =
+        match Json.member "row" o with
+        | Some r -> row_of_json ~named r
+        | None -> []
+      in
+      let uuid =
+        match Json.member "uuid-name" o with
+        | Some (Json.String n) -> Hashtbl.find_opt named n
+        | _ -> None
+      in
+      Db.Insert { table = table o; row; uuid }
+    | Some (Json.String "select") ->
+      let columns =
+        match Json.member "columns" o with
+        | Some (Json.List cols) ->
+          Some (List.map Json.to_string_exn cols)
+        | _ -> None
+      in
+      Db.Select { table = table o; where = where o; columns }
+    | Some (Json.String "update") ->
+      let row =
+        match Json.member "row" o with
+        | Some r -> row_of_json ~named r
+        | None -> perror "update missing row"
+      in
+      Db.Update { table = table o; where = where o; row }
+    | Some (Json.String "mutate") ->
+      let mutations =
+        match Json.member "mutations" o with
+        | Some (Json.List ms) -> List.map mutation_of_json ms
+        | _ -> perror "mutate missing mutations"
+      in
+      Db.Mutate { table = table o; where = where o; mutations }
+    | Some (Json.String "delete") -> Db.Delete { table = table o; where = where o }
+    | Some (Json.String "abort") -> Db.Abort
+    | Some (Json.String op) -> perror "unknown op %s" op
+    | _ -> perror "op object missing op field")
+  | j -> perror "bad op: %s" (Json.to_string j)
+
+let op_result_to_json : Db.op_result -> Json.t = function
+  | Db.RInserted u ->
+    Json.Obj [ ("uuid", Json.List [ Json.String "uuid"; Json.String (Uuid.to_string u) ]) ]
+  | Db.RRows rows ->
+    Json.Obj
+      [ ("rows",
+         Json.List
+           (List.map
+              (fun (u, row) ->
+                match row_to_json row with
+                | Json.Obj fields ->
+                  Json.Obj
+                    (("_uuid",
+                      Json.List [ Json.String "uuid"; Json.String (Uuid.to_string u) ])
+                    :: fields)
+                | _ -> assert false)
+              rows)) ]
+  | Db.RCount n -> Json.Obj [ ("count", Json.Int (Int64.of_int n)) ]
+  | Db.RAborted -> Json.Obj [ ("error", Json.String "aborted") ]
+
+let updates_to_json (batch : Db.table_updates) : Json.t =
+  Json.Obj
+    (List.map
+       (fun (table, rows) ->
+         ( table,
+           Json.Obj
+             (List.map
+                (fun (uuid, (upd : Db.row_update)) ->
+                  let fields = [] in
+                  let fields =
+                    match upd.before with
+                    | Some r -> fields @ [ ("old", row_to_json r) ]
+                    | None -> fields
+                  in
+                  let fields =
+                    match upd.after with
+                    | Some r -> fields @ [ ("new", row_to_json r) ]
+                    | None -> fields
+                  in
+                  (Uuid.to_string uuid, Json.Obj fields))
+                rows) ))
+       batch)
+
+(* ---------------- server ---------------- *)
+
+type server = {
+  db : Db.t;
+  mutable rpc_monitors : (string * Db.monitor) list; (* monitor id -> monitor *)
+}
+
+let serve (db : Db.t) : server = { db; rpc_monitors = [] }
+
+let response ~id body = Json.Obj [ ("id", id); ("result", body); ("error", Json.Null) ]
+
+let error_response ~id msg =
+  Json.Obj [ ("id", id); ("result", Json.Null); ("error", Json.String msg) ]
+
+(** Handle one JSON-RPC request (a JSON text) and return the response
+    text.  Supported methods: list_dbs, get_schema, transact, monitor,
+    monitor_cancel, echo. *)
+let handle (srv : server) (request : string) : string =
+  let j =
+    try Json.of_string request
+    with Json.Parse_error e -> Json.Obj [ ("bad", Json.String e) ]
+  in
+  let id = Option.value ~default:Json.Null (Json.member "id" j) in
+  let reply =
+    try
+      match Json.member "method" j, Json.member "params" j with
+      | Some (Json.String "echo"), Some params -> response ~id params
+      | Some (Json.String "list_dbs"), _ ->
+        response ~id (Json.List [ Json.String srv.db.Db.schema.Schema.name ])
+      | Some (Json.String "get_schema"), _ ->
+        response ~id (Schema.to_json srv.db.Db.schema)
+      | Some (Json.String "transact"), Some (Json.List (_db :: ops_json)) ->
+        (* Pre-scan for uuid-names so forward references resolve. *)
+        let named = Hashtbl.create 4 in
+        List.iter
+          (fun op ->
+            match Json.member "uuid-name" op with
+            | Some (Json.String n) ->
+              if Hashtbl.mem named n then perror "duplicate uuid-name %s" n;
+              Hashtbl.add named n (Uuid.fresh ())
+            | _ -> ())
+          ops_json;
+        let ops = List.map (op_of_json ~named) ops_json in
+        (match Db.transact srv.db ops with
+        | Ok results -> response ~id (Json.List (List.map op_result_to_json results))
+        | Error msg ->
+          response ~id
+            (Json.List [ Json.Obj [ ("error", Json.String msg) ] ]))
+      | Some (Json.String "monitor"), Some (Json.List [ _db; Json.String mon_id; Json.Obj specs ])
+        ->
+        let tables =
+          List.map
+            (fun (tname, spec) ->
+              let cols =
+                match Json.member "columns" spec with
+                | Some (Json.List cs) -> Some (List.map Json.to_string_exn cs)
+                | _ -> None
+              in
+              (tname, cols))
+            specs
+        in
+        (* Per RFC 7047 each table spec may carry a "select" object; we
+           support one select across the monitor (the intersection of
+           the protocol's common use). *)
+        let select =
+          let flag name dflt =
+            List.fold_left
+              (fun acc (_, spec) ->
+                match Json.member "select" spec with
+                | Some sel -> (
+                  match Json.member name sel with
+                  | Some (Json.Bool b) -> b
+                  | _ -> acc)
+                | None -> acc)
+              dflt specs
+          in
+          {
+            Db.s_initial = flag "initial" true;
+            s_insert = flag "insert" true;
+            s_delete = flag "delete" true;
+            s_modify = flag "modify" true;
+          }
+        in
+        let mon = Db.add_monitor ~select srv.db tables in
+        srv.rpc_monitors <- (mon_id, mon) :: srv.rpc_monitors;
+        (* The reply carries the initial contents. *)
+        let initial =
+          match Db.poll mon with
+          | [] -> Json.Obj []
+          | batches ->
+            (* merge the (single) initial batch *)
+            updates_to_json (List.concat batches)
+        in
+        response ~id initial
+      | Some (Json.String "monitor_cancel"), Some (Json.List [ Json.String mon_id ]) ->
+        (match List.assoc_opt mon_id srv.rpc_monitors with
+        | Some mon ->
+          Db.cancel_monitor srv.db mon;
+          srv.rpc_monitors <- List.remove_assoc mon_id srv.rpc_monitors;
+          response ~id (Json.Obj [])
+        | None -> error_response ~id (Printf.sprintf "unknown monitor %s" mon_id))
+      | Some (Json.String m), _ ->
+        error_response ~id ("unknown method or malformed params: " ^ m)
+      | Some _, _ -> error_response ~id "method must be a string"
+      | None, _ -> error_response ~id "missing method"
+    with
+    | Protocol_error msg -> error_response ~id msg
+    | Db.Db_error msg -> error_response ~id msg
+  in
+  Json.to_string reply
+
+(** Pending "update" notifications for a registered monitor, as wire
+    messages (one per committed transaction). *)
+let poll_notifications (srv : server) (mon_id : string) : string list =
+  match List.assoc_opt mon_id srv.rpc_monitors with
+  | None -> []
+  | Some mon ->
+    List.map
+      (fun batch ->
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", Json.Null);
+               ("method", Json.String "update");
+               ("params", Json.List [ Json.String mon_id; updates_to_json batch ]);
+             ]))
+      (Db.poll mon)
+
+(* ---------------- client-side request builders ---------------- *)
+
+let request ~id ~meth ~params =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Int (Int64.of_int id));
+         ("method", Json.String meth);
+         ("params", params) ])
+
+let transact_request ~id ~db (ops : Json.t list) =
+  request ~id ~meth:"transact" ~params:(Json.List (Json.String db :: ops))
+
+let insert_op ?uuid_name ~table (row : (string * Datum.t) list) : Json.t =
+  let fields =
+    [ ("op", Json.String "insert");
+      ("table", Json.String table);
+      ("row", Json.Obj (List.map (fun (c, d) -> (c, Datum.to_json d)) row)) ]
+  in
+  let fields =
+    match uuid_name with
+    | Some n -> fields @ [ ("uuid-name", Json.String n) ]
+    | None -> fields
+  in
+  Json.Obj fields
+
+let delete_op ~table (where : Db.condition list) : Json.t =
+  Json.Obj
+    [ ("op", Json.String "delete");
+      ("table", Json.String table);
+      ("where", Json.List (List.map condition_to_json where)) ]
+
+let update_op ~table (where : Db.condition list) (row : (string * Datum.t) list)
+    : Json.t =
+  Json.Obj
+    [ ("op", Json.String "update");
+      ("table", Json.String table);
+      ("where", Json.List (List.map condition_to_json where));
+      ("row", Json.Obj (List.map (fun (c, d) -> (c, Datum.to_json d)) row)) ]
+
+let select_op ?columns ~table (where : Db.condition list) : Json.t =
+  let fields =
+    [ ("op", Json.String "select");
+      ("table", Json.String table);
+      ("where", Json.List (List.map condition_to_json where)) ]
+  in
+  let fields =
+    match columns with
+    | Some cs ->
+      fields @ [ ("columns", Json.List (List.map (fun c -> Json.String c) cs)) ]
+    | None -> fields
+  in
+  Json.Obj fields
+
+let monitor_request ~id ~db ~mon_id (tables : (string * string list option) list)
+    =
+  let specs =
+    List.map
+      (fun (t, cols) ->
+        let spec =
+          match cols with
+          | None -> Json.Obj []
+          | Some cs ->
+            Json.Obj
+              [ ("columns", Json.List (List.map (fun c -> Json.String c) cs)) ]
+        in
+        (t, spec))
+      tables
+  in
+  request ~id ~meth:"monitor"
+    ~params:(Json.List [ Json.String db; Json.String mon_id; Json.Obj specs ])

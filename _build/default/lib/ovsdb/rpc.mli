@@ -1,0 +1,55 @@
+(** The OVSDB JSON-RPC wire protocol (RFC 7047 §4): request/response
+    framing and the encoding of transact operations, conditions,
+    mutations and monitor updates.
+
+    The server is in-process — {!handle} consumes a request string and
+    produces a response string — but the messages are the real protocol
+    shape, so a socket transport could be layered on without touching
+    this module. *)
+
+exception Protocol_error of string
+
+(** {1 Value encodings} *)
+
+val condition_to_json : Db.condition -> Json.t
+val condition_of_json : Json.t -> Db.condition
+val mutation_of_json : Json.t -> Db.mutation
+val row_to_json : Db.row -> Json.t
+
+val updates_to_json : Db.table_updates -> Json.t
+(** One transaction's changes in the monitor-update wire shape
+    ({i table → uuid → \{old, new\}}). *)
+
+(** {1 Server} *)
+
+type server
+
+val serve : Db.t -> server
+
+val handle : server -> string -> string
+(** Handle one JSON-RPC request text and return the response text.
+    Methods: [list_dbs], [get_schema], [transact] (with named-uuid
+    resolution, forward references included), [monitor] (honouring a
+    "select" object with initial/insert/delete/modify flags),
+    [monitor_cancel], [echo].  Malformed input yields an error
+    response, never an exception. *)
+
+val poll_notifications : server -> string -> string list
+(** Pending "update" notification messages for a registered monitor
+    (one per committed transaction). *)
+
+(** {1 Client-side request builders} *)
+
+val request : id:int -> meth:string -> params:Json.t -> string
+val transact_request : id:int -> db:string -> Json.t list -> string
+
+val insert_op :
+  ?uuid_name:string -> table:string -> (string * Datum.t) list -> Json.t
+
+val delete_op : table:string -> Db.condition list -> Json.t
+val update_op : table:string -> Db.condition list -> (string * Datum.t) list -> Json.t
+val select_op : ?columns:string list -> table:string -> Db.condition list -> Json.t
+
+val monitor_request :
+  id:int -> db:string -> mon_id:string -> (string * string list option) list ->
+  string

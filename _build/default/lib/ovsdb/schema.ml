@@ -1,0 +1,109 @@
+(* Database schemas: named tables with typed columns, uniqueness
+   indexes, and immutable-column markers. *)
+
+type column = {
+  cname : string;
+  ctype : Otype.t;
+  mutable_ : bool;       (* updatable after insert? *)
+}
+
+type table = {
+  tname : string;
+  columns : column list;
+  indexes : string list list;  (* each inner list: columns forming a unique key *)
+  is_root : bool;              (* root tables are not garbage collected *)
+}
+
+type t = {
+  name : string;
+  version : string;
+  tables : table list;
+}
+
+let column ?(mutable_ = true) cname ctype = { cname; ctype; mutable_ }
+
+let table ?(indexes = []) ?(is_root = true) tname columns =
+  { tname; columns; indexes; is_root }
+
+let make ~name ~version tables = { name; version; tables }
+
+let find_table (s : t) name =
+  List.find_opt (fun tbl -> String.equal tbl.tname name) s.tables
+
+let find_column (tbl : table) name =
+  List.find_opt (fun c -> String.equal c.cname name) tbl.columns
+
+(** Validate internal consistency: unique table/column names, indexes
+    referring to existing columns. *)
+let validate (s : t) : (unit, string list) result =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let seen_tables = Hashtbl.create 8 in
+  List.iter
+    (fun tbl ->
+      if Hashtbl.mem seen_tables tbl.tname then err "duplicate table %s" tbl.tname;
+      Hashtbl.add seen_tables tbl.tname ();
+      let seen_cols = Hashtbl.create 8 in
+      List.iter
+        (fun c ->
+          if Hashtbl.mem seen_cols c.cname then
+            err "duplicate column %s.%s" tbl.tname c.cname;
+          Hashtbl.add seen_cols c.cname ();
+          if String.equal c.cname "_uuid" then
+            err "%s: _uuid is a reserved column name" tbl.tname)
+        tbl.columns;
+      List.iter
+        (fun index ->
+          if index = [] then err "%s: empty index" tbl.tname;
+          List.iter
+            (fun cname ->
+              if find_column tbl cname = None then
+                err "%s: index over unknown column %s" tbl.tname cname)
+            index)
+        tbl.indexes;
+      (* Reference targets must exist. *)
+      List.iter
+        (fun c ->
+          match c.ctype.Otype.key.ref_table with
+          | Some target when not (Hashtbl.mem seen_tables target)
+                             && find_table s target = None ->
+            err "%s.%s references unknown table %s" tbl.tname c.cname target
+          | _ -> ())
+        tbl.columns)
+    s.tables;
+  match !errors with [] -> Ok () | e -> Error (List.rev e)
+
+(** The schema in OVSDB JSON form (RFC 7047 §3.1), as served by the
+    get_schema RPC. *)
+let to_json (s : t) : Json.t =
+  let column_json (c : column) =
+    let fields = [ ("type", Otype.to_json c.ctype) ] in
+    let fields =
+      if c.mutable_ then fields else fields @ [ ("mutable", Json.Bool false) ]
+    in
+    Json.Obj fields
+  in
+  let table_json (tbl : table) =
+    let fields =
+      [ ("columns",
+         Json.Obj (List.map (fun c -> (c.cname, column_json c)) tbl.columns)) ]
+    in
+    let fields =
+      if tbl.indexes = [] then fields
+      else
+        fields
+        @ [ ("indexes",
+             Json.List
+               (List.map
+                  (fun ix -> Json.List (List.map (fun c -> Json.String c) ix))
+                  tbl.indexes)) ]
+    in
+    let fields = fields @ [ ("isRoot", Json.Bool tbl.is_root) ] in
+    Json.Obj fields
+  in
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("version", Json.String s.version);
+      ("tables", Json.Obj (List.map (fun t -> (t.tname, table_json t)) s.tables));
+    ]

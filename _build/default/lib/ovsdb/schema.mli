@@ -1,0 +1,31 @@
+(** Database schemas: named tables with typed columns, uniqueness
+    indexes, and immutable-column markers (RFC 7047 §3.1). *)
+
+type column = {
+  cname : string;
+  ctype : Otype.t;
+  mutable_ : bool;  (** updatable after insert? *)
+}
+
+type table = {
+  tname : string;
+  columns : column list;
+  indexes : string list list;  (** each inner list: a unique key *)
+  is_root : bool;
+}
+
+type t = { name : string; version : string; tables : table list }
+
+val column : ?mutable_:bool -> string -> Otype.t -> column
+val table : ?indexes:string list list -> ?is_root:bool -> string -> column list -> table
+val make : name:string -> version:string -> table list -> t
+
+val find_table : t -> string -> table option
+val find_column : table -> string -> column option
+
+val validate : t -> (unit, string list) result
+(** Internal consistency: unique names, indexes over existing columns,
+    reference targets that exist, no reserved column names. *)
+
+val to_json : t -> Json.t
+(** The schema as served by the [get_schema] RPC. *)

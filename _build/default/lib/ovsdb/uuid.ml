@@ -1,0 +1,37 @@
+(* Row identifiers.  Real OVSDB uses RFC-4122 UUIDs; this implementation
+   generates them deterministically from a per-process counter mixed
+   with a seed, which keeps test output reproducible while preserving
+   the uniqueness and textual format that the protocol relies on. *)
+
+type t = string (* canonical 8-4-4-4-12 lower-case hex form *)
+
+let counter = ref 0
+
+let format_parts a b c d e = Printf.sprintf "%08x-%04x-%04x-%04x-%012x" a b c d e
+
+(** A fresh UUID, unique within the process. *)
+let fresh () : t =
+  incr counter;
+  let n = !counter in
+  let h = Hashtbl.hash (n, "nerpa-ovsdb") in
+  format_parts (h land 0xffffffff) (n lsr 16 land 0xffff) (n land 0xffff)
+    ((h lsr 8) land 0xffff)
+    (n land 0xffffffffffff)
+
+(** Parse the canonical textual form. *)
+let of_string_opt (s : string) : t option =
+  let ok =
+    String.length s = 36
+    && String.for_all (fun c -> c = '-' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+         s
+    && s.[8] = '-' && s.[13] = '-' && s.[18] = '-' && s.[23] = '-'
+  in
+  if ok then Some s else None
+
+(** The all-zero UUID, used as the default for required uuid columns. *)
+let nil : t = "00000000-0000-0000-0000-000000000000"
+
+let to_string (u : t) = u
+let equal = String.equal
+let compare = String.compare
+let pp fmt u = Format.pp_print_string fmt u

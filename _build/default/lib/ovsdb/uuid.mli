@@ -1,0 +1,21 @@
+(** Row identifiers in the canonical 8-4-4-4-12 textual form.
+
+    Real OVSDB uses RFC 4122 UUIDs; these are generated from a
+    process-local counter mixed with a seed, which keeps test output
+    reproducible while preserving uniqueness and format. *)
+
+type t = private string
+
+val fresh : unit -> t
+(** A UUID unique within the process. *)
+
+val of_string_opt : string -> t option
+(** Validate and adopt a canonical textual form. *)
+
+val nil : t
+(** The all-zero UUID (the default for required uuid columns). *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/p4/entry.ml: Format Int64 List Printf String

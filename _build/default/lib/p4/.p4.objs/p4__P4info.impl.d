@@ -1,0 +1,1 @@
+lib/p4/p4info.ml: Hashtbl List Program String

@@ -1,0 +1,1 @@
+lib/p4/p4info.mli: Program

@@ -1,0 +1,1 @@
+lib/p4/packet.ml: Bytes Char Format Int64 Printf String

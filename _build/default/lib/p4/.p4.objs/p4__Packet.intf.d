@@ -1,0 +1,1 @@
+lib/p4/packet.mli: Bytes Format

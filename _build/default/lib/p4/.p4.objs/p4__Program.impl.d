@@ -1,0 +1,1 @@
+lib/p4/program.ml: Hashtbl List Printf Result String

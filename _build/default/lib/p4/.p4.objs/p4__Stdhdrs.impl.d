@@ -1,0 +1,1 @@
+lib/p4/stdhdrs.ml: Int64 List Packet Printf Program String

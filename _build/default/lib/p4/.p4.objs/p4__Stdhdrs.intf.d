@@ -1,0 +1,1 @@
+lib/p4/stdhdrs.mli: Packet Program

@@ -1,0 +1,1 @@
+lib/p4/switch.ml: Bytes Entry Format Hashtbl Int64 List Option Packet Program String

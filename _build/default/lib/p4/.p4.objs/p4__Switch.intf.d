@@ -1,0 +1,1 @@
+lib/p4/switch.mli: Entry Hashtbl Packet Program

@@ -1,0 +1,59 @@
+(* Runtime table entries, shared between the behavioural switch and the
+   P4Runtime API layer. *)
+
+type match_value =
+  | MExact of int64
+  | MLpm of int64 * int            (* value, prefix length *)
+  | MTernary of int64 * int64      (* value, mask *)
+  | MAny                           (* optional key left unspecified *)
+
+type t = {
+  matches : match_value list;      (* one per table key *)
+  priority : int;                  (* higher wins among ternary matches *)
+  action : string;
+  args : int64 list;               (* action parameters in order *)
+}
+
+let mask_of_prefix ~width ~prefix_len : int64 =
+  if prefix_len <= 0 then 0L
+  else if prefix_len >= width then
+    if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+  else
+    let ones = Int64.sub (Int64.shift_left 1L prefix_len) 1L in
+    Int64.shift_left ones (width - prefix_len)
+
+(** Does [mv] match the looked-up [value] for a key of [width] bits? *)
+let match_value_matches ~width (mv : match_value) (value : int64) : bool =
+  match mv with
+  | MExact v -> Int64.equal v value
+  | MLpm (v, len) ->
+    let mask = mask_of_prefix ~width ~prefix_len:len in
+    Int64.equal (Int64.logand v mask) (Int64.logand value mask)
+  | MTernary (v, mask) ->
+    Int64.equal (Int64.logand v mask) (Int64.logand value mask)
+  | MAny -> true
+
+(** Total prefix length, used to rank LPM matches. *)
+let lpm_length (t : t) : int =
+  List.fold_left
+    (fun acc mv -> match mv with MLpm (_, len) -> acc + len | _ -> acc)
+    0 t.matches
+
+(** Two entries with identical match parts denote the same logical row
+    (modify-in-place semantics in P4Runtime). *)
+let same_match (a : t) (b : t) =
+  a.matches = b.matches && a.priority = b.priority
+
+let match_value_to_string = function
+  | MExact v -> Printf.sprintf "%Ld" v
+  | MLpm (v, len) -> Printf.sprintf "%Ld/%d" v len
+  | MTernary (v, m) -> Printf.sprintf "%Ld&%Ld" v m
+  | MAny -> "*"
+
+let to_string (t : t) =
+  Printf.sprintf "[%s] pri=%d -> %s(%s)"
+    (String.concat ", " (List.map match_value_to_string t.matches))
+    t.priority t.action
+    (String.concat ", " (List.map Int64.to_string t.args))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,32 @@
+(** Runtime table entries, shared between the behavioural switch and
+    the P4Runtime API layer. *)
+
+type match_value =
+  | MExact of int64
+  | MLpm of int64 * int            (** value, prefix length *)
+  | MTernary of int64 * int64      (** value, mask *)
+  | MAny                           (** optional key left unspecified *)
+
+type t = {
+  matches : match_value list;      (** one per table key *)
+  priority : int;                  (** higher wins among ternary matches *)
+  action : string;
+  args : int64 list;               (** action parameters in order *)
+}
+
+val mask_of_prefix : width:int -> prefix_len:int -> int64
+(** The left-aligned mask of a prefix within a [width]-bit key. *)
+
+val match_value_matches : width:int -> match_value -> int64 -> bool
+(** Does the match value accept a looked-up key value? *)
+
+val lpm_length : t -> int
+(** Total prefix length, used to rank LPM matches. *)
+
+val same_match : t -> t -> bool
+(** Entries with identical match parts denote the same logical row
+    (P4Runtime modify-in-place semantics). *)
+
+val match_value_to_string : match_value -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

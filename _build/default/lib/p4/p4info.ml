@@ -1,0 +1,103 @@
+(* P4Info: the reflection data the control plane uses to address data
+   plane objects numerically, mirroring the p4info.proto file that p4c
+   emits.  IDs are derived deterministically from object names so that
+   independently-created switches running the same program agree. *)
+
+type table_info = {
+  table_id : int;
+  table_name : string;
+  key_names : string list;
+  key_widths : int list;
+  key_kinds : Program.match_kind list;
+  action_names : string list;
+}
+
+type action_info = {
+  action_id : int;
+  action_name : string;
+  param_names : string list;
+  param_widths : int list;
+}
+
+type digest_info = {
+  digest_id : int;
+  digest_name : string;
+  field_names : string list;
+  field_widths : int list;
+}
+
+type t = {
+  program_name : string;
+  tables : table_info list;
+  actions : action_info list;
+  digests : digest_info list;
+}
+
+(* Stable id: hash of kind and name, folded into 24 bits with an 8-bit
+   kind prefix, the same scheme p4c uses. *)
+let make_id ~kind name =
+  let prefix =
+    match kind with `Table -> 0x02 | `Action -> 0x01 | `Digest -> 0x17
+  in
+  (prefix lsl 24) lor (Hashtbl.hash (kind, name) land 0xffffff)
+
+let width_exn p r =
+  match Program.ref_width p r with
+  | Ok w -> w
+  | Error e -> invalid_arg e
+
+(** Derive the P4Info of a program. *)
+let of_program (p : Program.t) : t =
+  {
+    program_name = p.name;
+    tables =
+      List.map
+        (fun (tbl : Program.table) ->
+          {
+            table_id = make_id ~kind:`Table tbl.tname;
+            table_name = tbl.tname;
+            key_names = List.map (fun (k : Program.key) -> Program.ref_to_string k.kref) tbl.keys;
+            key_widths = List.map (fun (k : Program.key) -> width_exn p k.kref) tbl.keys;
+            key_kinds = List.map (fun (k : Program.key) -> k.kind) tbl.keys;
+            action_names = tbl.actions;
+          })
+        p.tables;
+    actions =
+      List.map
+        (fun (a : Program.action) ->
+          {
+            action_id = make_id ~kind:`Action a.aname;
+            action_name = a.aname;
+            param_names = List.map fst a.params;
+            param_widths = List.map snd a.params;
+          })
+        p.actions;
+    digests =
+      List.map
+        (fun (d : Program.digest) ->
+          {
+            digest_id = make_id ~kind:`Digest d.dname;
+            digest_name = d.dname;
+            field_names = List.map fst d.dfields;
+            field_widths = List.map (fun (_, r) -> width_exn p r) d.dfields;
+          })
+        p.digests;
+  }
+
+let find_table (info : t) name =
+  List.find_opt (fun t -> String.equal t.table_name name) info.tables
+
+let find_table_by_id (info : t) id =
+  List.find_opt (fun t -> t.table_id = id) info.tables
+
+let find_action (info : t) name =
+  List.find_opt (fun a -> String.equal a.action_name name) info.actions
+
+let find_action_by_id (info : t) id =
+  List.find_opt (fun a -> a.action_id = id) info.actions
+
+let find_digest (info : t) name =
+  List.find_opt (fun d -> String.equal d.digest_name name) info.digests
+
+let find_digest_by_id (info : t) id =
+  List.find_opt (fun d -> d.digest_id = id) info.digests

@@ -1,0 +1,43 @@
+(** P4Info: the reflection data the control plane uses to address
+    data-plane objects numerically, mirroring the p4info.proto that p4c
+    emits.  IDs derive deterministically from object names, so
+    independently created switches running the same program agree. *)
+
+type table_info = {
+  table_id : int;
+  table_name : string;
+  key_names : string list;
+  key_widths : int list;
+  key_kinds : Program.match_kind list;
+  action_names : string list;
+}
+
+type action_info = {
+  action_id : int;
+  action_name : string;
+  param_names : string list;
+  param_widths : int list;
+}
+
+type digest_info = {
+  digest_id : int;
+  digest_name : string;
+  field_names : string list;
+  field_widths : int list;
+}
+
+type t = {
+  program_name : string;
+  tables : table_info list;
+  actions : action_info list;
+  digests : digest_info list;
+}
+
+val of_program : Program.t -> t
+
+val find_table : t -> string -> table_info option
+val find_table_by_id : t -> int -> table_info option
+val find_action : t -> string -> action_info option
+val find_action_by_id : t -> int -> action_info option
+val find_digest : t -> string -> digest_info option
+val find_digest_by_id : t -> int -> digest_info option

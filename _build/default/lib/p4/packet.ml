@@ -1,0 +1,96 @@
+(* Raw packets: byte buffers with big-endian bit-field accessors.
+
+   The behavioural model parses real bytes into header instances and
+   re-serialises them on the way out, so tests can exercise the exact
+   wire formats (Ethernet, 802.1Q, IPv4, ...). *)
+
+type t = Bytes.t
+
+let of_bytes b : t = b
+let to_bytes (p : t) = p
+let of_string s : t = Bytes.of_string s
+let to_string (p : t) = Bytes.to_string p
+let length (p : t) = Bytes.length p
+let equal (a : t) (b : t) = Bytes.equal a b
+
+let create n : t = Bytes.make n '\000'
+
+exception Out_of_bounds of string
+
+let check_range p ~bit_offset ~width =
+  if width < 0 || width > 64 then
+    raise (Out_of_bounds (Printf.sprintf "bad field width %d" width));
+  if bit_offset < 0 || bit_offset + width > 8 * Bytes.length p then
+    raise
+      (Out_of_bounds
+         (Printf.sprintf "bits [%d, %d) of a %d-byte packet" bit_offset
+            (bit_offset + width) (Bytes.length p)))
+
+(** Read [width] bits starting at absolute [bit_offset] (bit 0 is the
+    most significant bit of byte 0), returned right-aligned. *)
+let get_bits (p : t) ~bit_offset ~width : int64 =
+  check_range p ~bit_offset ~width;
+  let v = ref 0L in
+  for i = 0 to width - 1 do
+    let bit = bit_offset + i in
+    let byte = Char.code (Bytes.get p (bit / 8)) in
+    let b = (byte lsr (7 - (bit mod 8))) land 1 in
+    v := Int64.logor (Int64.shift_left !v 1) (Int64.of_int b)
+  done;
+  !v
+
+(** Write [width] bits of [v] (right-aligned) at [bit_offset]. *)
+let set_bits (p : t) ~bit_offset ~width (v : int64) : unit =
+  check_range p ~bit_offset ~width;
+  for i = 0 to width - 1 do
+    let bit = bit_offset + i in
+    let byte_idx = bit / 8 in
+    let mask = 1 lsl (7 - (bit mod 8)) in
+    let byte = Char.code (Bytes.get p byte_idx) in
+    let value_bit =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v (width - 1 - i)) 1L)
+    in
+    let byte' = if value_bit = 1 then byte lor mask else byte land lnot mask in
+    Bytes.set p byte_idx (Char.chr byte')
+  done
+
+(** The bytes from [byte_offset] to the end (the payload after the
+    parsed headers). *)
+let drop_bytes (p : t) byte_offset : t =
+  if byte_offset >= Bytes.length p then Bytes.empty
+  else Bytes.sub p byte_offset (Bytes.length p - byte_offset)
+
+let concat (a : t) (b : t) : t = Bytes.cat a b
+
+(** Internet checksum (RFC 1071) over the whole buffer. *)
+let internet_checksum (p : t) : int =
+  let n = Bytes.length p in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + (Char.code (Bytes.get p !i) lsl 8) + Char.code (Bytes.get p (!i + 1));
+    i := !i + 2
+  done;
+  if !i < n then sum := !sum + (Char.code (Bytes.get p !i) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let pp fmt (p : t) =
+  Bytes.iter (fun c -> Format.fprintf fmt "%02x" (Char.code c)) p
+
+let to_hex (p : t) = Format.asprintf "%a" pp p
+
+let of_hex (s : string) : t =
+  let s = String.concat "" (String.split_on_char ' ' s) in
+  if String.length s mod 2 <> 0 then invalid_arg "Packet.of_hex: odd length";
+  let n = String.length s / 2 in
+  let p = create n in
+  for i = 0 to n - 1 do
+    let hex = String.sub s (2 * i) 2 in
+    match int_of_string_opt ("0x" ^ hex) with
+    | Some b -> Bytes.set p i (Char.chr b)
+    | None -> invalid_arg ("Packet.of_hex: bad byte " ^ hex)
+  done;
+  p

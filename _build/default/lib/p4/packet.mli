@@ -1,0 +1,42 @@
+(** Raw packets: byte buffers with big-endian bit-field accessors.
+
+    The behavioural model parses real bytes into header instances and
+    re-serialises them on the way out, so tests can exercise exact wire
+    formats (Ethernet, 802.1Q, IPv4, ...). *)
+
+type t
+
+exception Out_of_bounds of string
+
+val of_bytes : Bytes.t -> t
+val to_bytes : t -> Bytes.t
+val of_string : string -> t
+val to_string : t -> string
+val length : t -> int
+val equal : t -> t -> bool
+
+val create : int -> t
+(** A zero-filled packet of [n] bytes. *)
+
+val get_bits : t -> bit_offset:int -> width:int -> int64
+(** Read [width] (≤ 64) bits starting at absolute [bit_offset] — bit 0
+    is the most significant bit of byte 0 — right-aligned.
+    @raise Out_of_bounds when the range leaves the buffer. *)
+
+val set_bits : t -> bit_offset:int -> width:int -> int64 -> unit
+(** Write [width] bits of a right-aligned value at [bit_offset]. *)
+
+val drop_bytes : t -> int -> t
+(** The bytes from a byte offset to the end (the payload after parsed
+    headers). *)
+
+val concat : t -> t -> t
+
+val internet_checksum : t -> int
+(** RFC 1071 checksum over the whole buffer. *)
+
+val pp : Format.formatter -> t -> unit
+val to_hex : t -> string
+val of_hex : string -> t
+(** Inverse of [to_hex]; spaces are ignored.
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,405 @@
+(* The mini-P4 program representation: headers, a parser state machine,
+   actions, match-action tables, digests, counters and the
+   ingress/egress control flow.  This plays the role of the P4 source
+   program in the paper's prototype; it is an OCaml-embedded AST rather
+   than a parsed .p4 file, but carries the same information — enough for
+   the type checker, the behavioural switch, the P4Runtime layer, the
+   OpenFlow backend and Nerpa's relation-schema generation. *)
+
+(* ---------------- headers ---------------- *)
+
+type field = { fname : string; fwidth : int }  (* width in bits, <= 64 *)
+
+type header = {
+  hname : string;
+  fields : field list;
+}
+
+let header_width h = List.fold_left (fun acc f -> acc + f.fwidth) 0 h.fields
+
+let find_field h name = List.find_opt (fun f -> String.equal f.fname name) h.fields
+
+(* ---------------- expressions ---------------- *)
+
+(** References usable as table keys and assignment targets. *)
+type fref =
+  | Field of string * string       (* header.field *)
+  | Meta of string                 (* standard or user metadata *)
+
+type expr =
+  | EConst of int * int64          (* width, value *)
+  | ERef of fref
+  | EParam of string               (* action parameter *)
+  | EBin of binop * expr * expr
+  | ENot of expr
+  | EValid of string               (* header validity test *)
+
+and binop = Add | Sub | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Gt | Le | Ge
+          | BoolAnd | BoolOr
+
+(* ---------------- actions ---------------- *)
+
+type prim =
+  | Assign of fref * expr
+  | SetValid of string
+  | SetInvalid of string
+  | EmitDigest of string           (* digest declaration name *)
+  | Drop
+  | Forward of expr                (* set the unicast egress port *)
+  | Multicast of expr              (* set the multicast group *)
+  | CloneTo of expr                (* mirror a copy to a port *)
+  | Count of string * expr         (* counter name, index *)
+  | RegWrite of string * expr * expr   (* register, index, value *)
+  | RegRead of fref * string * expr    (* destination, register, index *)
+
+type action = {
+  aname : string;
+  params : (string * int) list;    (* name, width *)
+  body : prim list;
+}
+
+(* ---------------- tables ---------------- *)
+
+type match_kind = Exact | Lpm | Ternary | Optional
+
+type key = { kref : fref; kind : match_kind }
+
+type table = {
+  tname : string;
+  keys : key list;
+  actions : string list;           (* action names installable in entries *)
+  default_action : string * int64 list;
+  size : int;                      (* declared capacity *)
+}
+
+(* ---------------- digests, counters ---------------- *)
+
+(** A digest carries a list of named values from the data plane to the
+    control plane (e.g. MAC learning events). *)
+type digest = {
+  dname : string;
+  dfields : (string * fref) list;  (* message field name, source *)
+}
+
+type counter = { cname : string; cwidth : int (* index width *) }
+
+(** A register array: per-switch mutable state readable and writable
+    from actions (v1model registers). *)
+type register = { rname : string; rwidth : int (* cell width in bits *) }
+
+(* ---------------- parser ---------------- *)
+
+type transition =
+  | Accept
+  | Reject
+  | Select of fref * (int64 option * string) list
+    (* cases: Some v -> state on equality; None -> default *)
+
+type parser_state = {
+  sname : string;
+  extracts : string list;          (* headers extracted, in order *)
+  transition : transition;
+}
+
+type parser_spec = {
+  start : string;
+  states : parser_state list;
+}
+
+(* ---------------- controls ---------------- *)
+
+type control =
+  | Nop
+  | Seq of control * control
+  | ApplyTable of string
+  | If of expr * control * control
+
+(* ---------------- the program ---------------- *)
+
+type t = {
+  name : string;
+  headers : header list;           (* deparse order *)
+  parser : parser_spec;
+  actions : action list;
+  tables : table list;
+  digests : digest list;
+  counters : counter list;
+  registers : register list;
+  ingress : control;
+  egress : control;
+}
+
+(* Standard metadata understood by the behavioural model; all bit<16>
+   for simplicity except noted. *)
+let standard_metadata =
+  [ ("ingress_port", 16); ("egress_port", 16); ("egress_spec", 16);
+    ("mcast_grp", 16); ("vlan_id", 12); ("is_clone", 1);
+    (* general-purpose user metadata, as a P4 programmer would declare *)
+    ("tmp0", 16); ("tmp1", 16); ("tmp2", 32) ]
+
+let find_header p name = List.find_opt (fun h -> String.equal h.hname name) p.headers
+let find_action p name = List.find_opt (fun a -> String.equal a.aname name) p.actions
+let find_table p name = List.find_opt (fun t -> String.equal t.tname name) p.tables
+let find_digest p name = List.find_opt (fun d -> String.equal d.dname name) p.digests
+let find_state p name =
+  List.find_opt (fun s -> String.equal s.sname name) p.parser.states
+
+(** Width in bits of a field reference. *)
+let ref_width p (r : fref) : (int, string) result =
+  match r with
+  | Field (h, f) -> (
+    match find_header p h with
+    | None -> Error (Printf.sprintf "unknown header %s" h)
+    | Some hd -> (
+      match find_field hd f with
+      | Some fl -> Ok fl.fwidth
+      | None -> Error (Printf.sprintf "unknown field %s.%s" h f)))
+  | Meta m -> (
+    match List.assoc_opt m standard_metadata with
+    | Some w -> Ok w
+    | None -> Error (Printf.sprintf "unknown metadata %s" m))
+
+let ref_to_string = function
+  | Field (h, f) -> h ^ "." ^ f
+  | Meta m -> "meta." ^ m
+
+(* ---------------- type checking ---------------- *)
+
+(* Infers the width of an expression; boolean results are width 1. *)
+let rec expr_width p (params : (string * int) list) (e : expr) :
+    (int, string) result =
+  let ( let* ) = Result.bind in
+  match e with
+  | EConst (w, _) ->
+    if w >= 1 && w <= 64 then Ok w
+    else Error (Printf.sprintf "bad constant width %d" w)
+  | ERef r -> ref_width p r
+  | EParam name -> (
+    match List.assoc_opt name params with
+    | Some w -> Ok w
+    | None -> Error (Printf.sprintf "unknown action parameter %s" name))
+  | EValid h ->
+    if find_header p h = None then Error (Printf.sprintf "unknown header %s" h)
+    else Ok 1
+  | ENot e ->
+    let* w = expr_width p params e in
+    if w = 1 then Ok 1 else Error "not: expected boolean (width-1) operand"
+  | EBin (op, a, b) -> (
+    let* wa = expr_width p params a in
+    let* wb = expr_width p params b in
+    match op with
+    | Add | Sub | And | Or | Xor ->
+      if wa = wb then Ok wa
+      else Error (Printf.sprintf "width mismatch %d vs %d" wa wb)
+    | Shl | Shr -> Ok wa
+    | Eq | Ne | Lt | Gt | Le | Ge ->
+      if wa = wb then Ok 1
+      else Error (Printf.sprintf "comparison width mismatch %d vs %d" wa wb)
+    | BoolAnd | BoolOr ->
+      if wa = 1 && wb = 1 then Ok 1 else Error "boolean op on non-boolean")
+
+let check_action p (a : action) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc prim ->
+      let* () = acc in
+      match prim with
+      | Assign (r, e) ->
+        let* wr = ref_width p r in
+        let* we = expr_width p a.params e in
+        if wr = we then Ok ()
+        else
+          Error
+            (Printf.sprintf "action %s: assign width mismatch on %s (%d vs %d)"
+               a.aname (ref_to_string r) wr we)
+      | SetValid h | SetInvalid h ->
+        if find_header p h = None then
+          Error (Printf.sprintf "action %s: unknown header %s" a.aname h)
+        else Ok ()
+      | EmitDigest d ->
+        if find_digest p d = None then
+          Error (Printf.sprintf "action %s: unknown digest %s" a.aname d)
+        else Ok ()
+      | Drop -> Ok ()
+      | Forward e | Multicast e | CloneTo e ->
+        let* _ = expr_width p a.params e in
+        Ok ()
+      | Count (c, e) ->
+        if not (List.exists (fun ct -> String.equal ct.cname c) p.counters) then
+          Error (Printf.sprintf "action %s: unknown counter %s" a.aname c)
+        else
+          let* _ = expr_width p a.params e in
+          Ok ()
+      | RegWrite (r, idx, v) -> (
+        match List.find_opt (fun rg -> String.equal rg.rname r) p.registers with
+        | None -> Error (Printf.sprintf "action %s: unknown register %s" a.aname r)
+        | Some rg ->
+          let* _ = expr_width p a.params idx in
+          let* wv = expr_width p a.params v in
+          if wv = rg.rwidth then Ok ()
+          else
+            Error
+              (Printf.sprintf "action %s: register %s stores bit<%d>, got bit<%d>"
+                 a.aname r rg.rwidth wv))
+      | RegRead (dst, r, idx) -> (
+        match List.find_opt (fun rg -> String.equal rg.rname r) p.registers with
+        | None -> Error (Printf.sprintf "action %s: unknown register %s" a.aname r)
+        | Some rg ->
+          let* wd = ref_width p dst in
+          let* _ = expr_width p a.params idx in
+          if wd = rg.rwidth then Ok ()
+          else
+            Error
+              (Printf.sprintf "action %s: register %s stores bit<%d>, destination is bit<%d>"
+                 a.aname r rg.rwidth wd)))
+    (Ok ()) a.body
+
+let check_table p (t : table) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc (k : key) ->
+        let* () = acc in
+        let* _ = ref_width p k.kref in
+        Ok ())
+      (Ok ()) t.keys
+  in
+  let* () =
+    List.fold_left
+      (fun acc name ->
+        let* () = acc in
+        if find_action p name = None then
+          Error (Printf.sprintf "table %s: unknown action %s" t.tname name)
+        else Ok ())
+      (Ok ()) t.actions
+  in
+  let dname, dargs = t.default_action in
+  match find_action p dname with
+  | None -> Error (Printf.sprintf "table %s: unknown default action %s" t.tname dname)
+  | Some a ->
+    if List.length a.params <> List.length dargs then
+      Error (Printf.sprintf "table %s: default action arity" t.tname)
+    else if not (List.mem dname t.actions) then
+      Error
+        (Printf.sprintf "table %s: default action %s not in action list" t.tname
+           dname)
+    else Ok ()
+
+let rec check_control p (c : control) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  match c with
+  | Nop -> Ok ()
+  | Seq (a, b) ->
+    let* () = check_control p a in
+    check_control p b
+  | ApplyTable t ->
+    if find_table p t = None then Error (Printf.sprintf "unknown table %s" t)
+    else Ok ()
+  | If (cond, a, b) ->
+    let* w = expr_width p [] cond in
+    let* () =
+      if w = 1 then Ok () else Error "if condition must be boolean (width 1)"
+    in
+    let* () = check_control p a in
+    check_control p b
+
+let check_parser p : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* () =
+    if find_state p p.parser.start = None then
+      Error (Printf.sprintf "unknown start state %s" p.parser.start)
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc (s : parser_state) ->
+      let* () = acc in
+      let* () =
+        List.fold_left
+          (fun acc h ->
+            let* () = acc in
+            if find_header p h = None then
+              Error (Printf.sprintf "state %s extracts unknown header %s" s.sname h)
+            else Ok ())
+          (Ok ()) s.extracts
+      in
+      match s.transition with
+      | Accept | Reject -> Ok ()
+      | Select (r, cases) ->
+        let* _ = ref_width p r in
+        List.fold_left
+          (fun acc (_, target) ->
+            let* () = acc in
+            if find_state p target = None then
+              Error (Printf.sprintf "state %s: unknown target %s" s.sname target)
+            else Ok ())
+          (Ok ()) cases)
+    (Ok ()) p.parser.states
+
+(** Full static checking of a program; returns all errors found. *)
+let typecheck (p : t) : (unit, string list) result =
+  let errors = ref [] in
+  let collect = function Ok () -> () | Error e -> errors := e :: !errors in
+  (* unique names *)
+  let check_unique kind names =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem seen n then
+          errors := Printf.sprintf "duplicate %s %s" kind n :: !errors
+        else Hashtbl.add seen n ())
+      names
+  in
+  check_unique "header" (List.map (fun h -> h.hname) p.headers);
+  check_unique "action" (List.map (fun a -> a.aname) p.actions);
+  check_unique "table" (List.map (fun t -> t.tname) p.tables);
+  check_unique "digest" (List.map (fun d -> d.dname) p.digests);
+  check_unique "parser state" (List.map (fun s -> s.sname) p.parser.states);
+  List.iter
+    (fun h ->
+      List.iter
+        (fun f ->
+          if f.fwidth < 1 || f.fwidth > 64 then
+            errors :=
+              Printf.sprintf "header %s.%s: width %d out of range" h.hname
+                f.fname f.fwidth
+              :: !errors)
+        h.fields)
+    p.headers;
+  collect (check_parser p);
+  List.iter (fun a -> collect (check_action p a)) p.actions;
+  List.iter (fun t -> collect (check_table p t)) p.tables;
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (_, r) ->
+          collect (Result.map (fun (_ : int) -> ()) (ref_width p r)))
+        d.dfields)
+    p.digests;
+  collect (check_control p p.ingress);
+  collect (check_control p p.egress);
+  match !errors with [] -> Ok () | errs -> Error (List.rev errs)
+
+(** A rough LoC count of the program as it would appear in P4 source —
+    used by the paper's LoC inventory experiment. *)
+let loc_estimate (p : t) : int =
+  let header_loc h = 2 + List.length h.fields in
+  let action_loc a = 2 + List.length a.body in
+  let register_loc = List.length p.registers in
+  let table_loc t = 4 + List.length t.keys + List.length t.actions in
+  let state_loc (s : parser_state) =
+    2 + List.length s.extracts
+    + (match s.transition with Select (_, cases) -> List.length cases | _ -> 1)
+  in
+  let rec control_loc = function
+    | Nop -> 0
+    | Seq (a, b) -> control_loc a + control_loc b
+    | ApplyTable _ -> 1
+    | If (_, a, b) -> 2 + control_loc a + control_loc b
+  in
+  List.fold_left (fun acc h -> acc + header_loc h) 0 p.headers
+  + List.fold_left (fun acc a -> acc + action_loc a) 0 p.actions
+  + List.fold_left (fun acc t -> acc + table_loc t) 0 p.tables
+  + List.fold_left (fun acc s -> acc + state_loc s) 0 p.parser.states
+  + List.fold_left (fun acc (d : digest) -> acc + 2 + List.length d.dfields) 0 p.digests
+  + register_loc
+  + control_loc p.ingress + control_loc p.egress + 10

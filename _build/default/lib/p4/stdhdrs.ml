@@ -1,0 +1,154 @@
+(* Standard protocol headers and packet constructors used by the
+   example programs and the test suites.  Field layouts follow the wire
+   formats exactly, so packets built here are real Ethernet frames. *)
+
+let ethernet : Program.header =
+  {
+    hname = "ethernet";
+    fields =
+      [ { fname = "dst"; fwidth = 48 };
+        { fname = "src"; fwidth = 48 };
+        { fname = "ethertype"; fwidth = 16 } ];
+  }
+
+(* 802.1Q tag. *)
+let vlan : Program.header =
+  {
+    hname = "vlan";
+    fields =
+      [ { fname = "pcp"; fwidth = 3 };
+        { fname = "dei"; fwidth = 1 };
+        { fname = "vid"; fwidth = 12 };
+        { fname = "ethertype"; fwidth = 16 } ];
+  }
+
+let ipv4 : Program.header =
+  {
+    hname = "ipv4";
+    fields =
+      [ { fname = "version"; fwidth = 4 };
+        { fname = "ihl"; fwidth = 4 };
+        { fname = "dscp"; fwidth = 6 };
+        { fname = "ecn"; fwidth = 2 };
+        { fname = "total_len"; fwidth = 16 };
+        { fname = "identification"; fwidth = 16 };
+        { fname = "flags"; fwidth = 3 };
+        { fname = "frag_offset"; fwidth = 13 };
+        { fname = "ttl"; fwidth = 8 };
+        { fname = "protocol"; fwidth = 8 };
+        { fname = "checksum"; fwidth = 16 };
+        { fname = "src"; fwidth = 32 };
+        { fname = "dst"; fwidth = 32 } ];
+  }
+
+let arp : Program.header =
+  {
+    hname = "arp";
+    fields =
+      [ { fname = "htype"; fwidth = 16 };
+        { fname = "ptype"; fwidth = 16 };
+        { fname = "hlen"; fwidth = 8 };
+        { fname = "plen"; fwidth = 8 };
+        { fname = "oper"; fwidth = 16 };
+        { fname = "sha"; fwidth = 48 };
+        { fname = "spa"; fwidth = 32 };
+        { fname = "tha"; fwidth = 48 };
+        { fname = "tpa"; fwidth = 32 } ];
+  }
+
+let udp : Program.header =
+  {
+    hname = "udp";
+    fields =
+      [ { fname = "src_port"; fwidth = 16 };
+        { fname = "dst_port"; fwidth = 16 };
+        { fname = "len"; fwidth = 16 };
+        { fname = "checksum"; fwidth = 16 } ];
+  }
+
+let ethertype_vlan = 0x8100L
+let ethertype_ipv4 = 0x0800L
+let ethertype_arp = 0x0806L
+
+(* ---------------- MAC / IP convenience ---------------- *)
+
+(** Parse "aa:bb:cc:dd:ee:ff" into a 48-bit value. *)
+let mac_of_string (s : string) : int64 =
+  let parts = String.split_on_char ':' s in
+  if List.length parts <> 6 then invalid_arg ("bad mac " ^ s);
+  List.fold_left
+    (fun acc p ->
+      match int_of_string_opt ("0x" ^ p) with
+      | Some b when b >= 0 && b < 256 ->
+        Int64.logor (Int64.shift_left acc 8) (Int64.of_int b)
+      | _ -> invalid_arg ("bad mac " ^ s))
+    0L parts
+
+let mac_to_string (m : int64) : string =
+  String.concat ":"
+    (List.init 6 (fun i ->
+         Printf.sprintf "%02Lx"
+           (Int64.logand (Int64.shift_right_logical m (8 * (5 - i))) 0xffL)))
+
+(** Parse dotted-quad IPv4 into a 32-bit value. *)
+let ipv4_of_string (s : string) : int64 =
+  let parts = String.split_on_char '.' s in
+  if List.length parts <> 4 then invalid_arg ("bad ipv4 " ^ s);
+  List.fold_left
+    (fun acc p ->
+      match int_of_string_opt p with
+      | Some b when b >= 0 && b < 256 ->
+        Int64.logor (Int64.shift_left acc 8) (Int64.of_int b)
+      | _ -> invalid_arg ("bad ipv4 " ^ s))
+    0L parts
+
+let ipv4_to_string (ip : int64) : string =
+  String.concat "."
+    (List.init 4 (fun i ->
+         Int64.to_string
+           (Int64.logand (Int64.shift_right_logical ip (8 * (3 - i))) 0xffL)))
+
+(* ---------------- packet constructors ---------------- *)
+
+(** A plain Ethernet frame with the given payload. *)
+let ethernet_frame ~dst ~src ~ethertype ~payload : Packet.t =
+  let hdr = Packet.create 14 in
+  Packet.set_bits hdr ~bit_offset:0 ~width:48 dst;
+  Packet.set_bits hdr ~bit_offset:48 ~width:48 src;
+  Packet.set_bits hdr ~bit_offset:96 ~width:16 ethertype;
+  Packet.concat hdr (Packet.of_string payload)
+
+(** An 802.1Q-tagged frame. *)
+let vlan_frame ~dst ~src ~vid ~ethertype ~payload : Packet.t =
+  let hdr = Packet.create 18 in
+  Packet.set_bits hdr ~bit_offset:0 ~width:48 dst;
+  Packet.set_bits hdr ~bit_offset:48 ~width:48 src;
+  Packet.set_bits hdr ~bit_offset:96 ~width:16 ethertype_vlan;
+  (* pcp 0, dei 0 *)
+  Packet.set_bits hdr ~bit_offset:116 ~width:12 vid;
+  Packet.set_bits hdr ~bit_offset:128 ~width:16 ethertype;
+  Packet.concat hdr (Packet.of_string payload)
+
+(** An IPv4/UDP datagram inside an Ethernet frame, with correct header
+    checksum. *)
+let udp_packet ~eth_dst ~eth_src ~ip_src ~ip_dst ~src_port ~dst_port ~payload :
+    Packet.t =
+  let udp_len = 8 + String.length payload in
+  let total_len = 20 + udp_len in
+  let ip = Packet.create 20 in
+  Packet.set_bits ip ~bit_offset:0 ~width:4 4L;   (* version *)
+  Packet.set_bits ip ~bit_offset:4 ~width:4 5L;   (* ihl *)
+  Packet.set_bits ip ~bit_offset:16 ~width:16 (Int64.of_int total_len);
+  Packet.set_bits ip ~bit_offset:64 ~width:8 64L; (* ttl *)
+  Packet.set_bits ip ~bit_offset:72 ~width:8 17L; (* protocol = UDP *)
+  Packet.set_bits ip ~bit_offset:96 ~width:32 ip_src;
+  Packet.set_bits ip ~bit_offset:128 ~width:32 ip_dst;
+  let csum = Packet.internet_checksum ip in
+  Packet.set_bits ip ~bit_offset:80 ~width:16 (Int64.of_int csum);
+  let udp = Packet.create 8 in
+  Packet.set_bits udp ~bit_offset:0 ~width:16 src_port;
+  Packet.set_bits udp ~bit_offset:16 ~width:16 dst_port;
+  Packet.set_bits udp ~bit_offset:32 ~width:16 (Int64.of_int udp_len);
+  ethernet_frame ~dst:eth_dst ~src:eth_src ~ethertype:ethertype_ipv4
+    ~payload:
+      (Packet.to_string (Packet.concat ip (Packet.concat udp (Packet.of_string payload))))

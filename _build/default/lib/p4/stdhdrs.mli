@@ -1,0 +1,50 @@
+(** Standard protocol headers and packet constructors.  Field layouts
+    follow the wire formats exactly, so packets built here are real
+    Ethernet frames. *)
+
+val ethernet : Program.header
+
+val vlan : Program.header
+(** The 802.1Q tag. *)
+
+val ipv4 : Program.header
+val arp : Program.header
+val udp : Program.header
+
+val ethertype_vlan : int64
+val ethertype_ipv4 : int64
+val ethertype_arp : int64
+
+(** {1 Address helpers} *)
+
+val mac_of_string : string -> int64
+(** ["aa:bb:cc:dd:ee:ff"] → 48-bit value.
+    @raise Invalid_argument on malformed input. *)
+
+val mac_to_string : int64 -> string
+
+val ipv4_of_string : string -> int64
+(** Dotted quad → 32-bit value. *)
+
+val ipv4_to_string : int64 -> string
+
+(** {1 Packet constructors} *)
+
+val ethernet_frame :
+  dst:int64 -> src:int64 -> ethertype:int64 -> payload:string -> Packet.t
+
+val vlan_frame :
+  dst:int64 -> src:int64 -> vid:int64 -> ethertype:int64 -> payload:string ->
+  Packet.t
+(** An 802.1Q-tagged frame ([ethertype] is the inner protocol). *)
+
+val udp_packet :
+  eth_dst:int64 ->
+  eth_src:int64 ->
+  ip_src:int64 ->
+  ip_dst:int64 ->
+  src_port:int64 ->
+  dst_port:int64 ->
+  payload:string ->
+  Packet.t
+(** An IPv4/UDP datagram with a correct IP header checksum. *)

@@ -1,0 +1,517 @@
+(* The behavioural model: a software switch that executes a mini-P4
+   program, in the role BMv2 plays in the paper's prototype.
+
+   Packet life cycle (v1model-like):
+     parse -> ingress control -> replication (unicast / multicast /
+     clones) -> egress control per copy -> deparse.
+
+   The switch also maintains the control-plane-visible state: table
+   entries, multicast groups, counters, and the queue of emitted
+   digests. *)
+
+exception Switch_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Switch_error s)) fmt
+
+(* ---------------- per-packet execution state ---------------- *)
+
+type pkt_state = {
+  mutable fields : (string * string, int64) Hashtbl.t; (* header.field values *)
+  mutable valid : (string, unit) Hashtbl.t;            (* valid headers *)
+  mutable meta : (string, int64) Hashtbl.t;
+  mutable payload : Packet.t;                          (* unparsed remainder *)
+  mutable dropped : bool;
+  mutable clones : int64 list;                         (* mirror ports *)
+}
+
+type digest_msg = { digest_name : string; values : (string * int64) list }
+
+(* ---------------- table state ---------------- *)
+
+(* Entries are stored keyed by their match part (matches + priority), so
+   that insert / modify / delete and duplicate checks are O(1) even for
+   tables with tens of thousands of entries. *)
+type table_state = {
+  table : Program.table;
+  key_widths : int list;
+  entries : (Entry.match_value list * int, Entry.t) Hashtbl.t;
+  (* exact-only tables additionally get a hash index from looked-up key
+     values to the entry, for O(1) data-path lookups *)
+  exact_index : (int64 list, Entry.t) Hashtbl.t option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type t = {
+  program : Program.t;
+  name : string;                       (* switch instance name *)
+  ports : int list;                    (* physical ports *)
+  tables : (string, table_state) Hashtbl.t;
+  mutable mcast_groups : (int64 * int64 list) list;  (* group -> ports *)
+  counters : (string, (int64, int64) Hashtbl.t) Hashtbl.t;
+  registers : (string, (int64, int64) Hashtbl.t) Hashtbl.t;
+  mutable digest_queue : digest_msg list;             (* newest first *)
+  mutable packets_in : int;
+  mutable packets_out : int;
+}
+
+let create ?(name = "sw0") ?(ports = []) (program : Program.t) : t =
+  (match Program.typecheck program with
+  | Ok () -> ()
+  | Error errs ->
+    error "program %s does not type-check: %s" program.name
+      (String.concat "; " errs));
+  let tables = Hashtbl.create 16 in
+  List.iter
+    (fun (tbl : Program.table) ->
+      let key_widths =
+        List.map
+          (fun (k : Program.key) ->
+            match Program.ref_width program k.kref with
+            | Ok w -> w
+            | Error e -> error "%s" e)
+          tbl.keys
+      in
+      let all_exact =
+        tbl.keys <> []
+        && List.for_all (fun (k : Program.key) -> k.kind = Program.Exact) tbl.keys
+      in
+      Hashtbl.add tables tbl.tname
+        {
+          table = tbl;
+          key_widths;
+          entries = Hashtbl.create 64;
+          exact_index = (if all_exact then Some (Hashtbl.create 64) else None);
+          hits = 0;
+          misses = 0;
+        })
+    program.tables;
+  let counters = Hashtbl.create 4 in
+  List.iter
+    (fun (c : Program.counter) -> Hashtbl.add counters c.cname (Hashtbl.create 16))
+    program.counters;
+  let registers = Hashtbl.create 4 in
+  List.iter
+    (fun (r : Program.register) -> Hashtbl.add registers r.rname (Hashtbl.create 16))
+    program.registers;
+  {
+    program;
+    name;
+    ports;
+    tables;
+    mcast_groups = [];
+    counters;
+    registers;
+    digest_queue = [];
+    packets_in = 0;
+    packets_out = 0;
+  }
+
+let table_state sw name =
+  match Hashtbl.find_opt sw.tables name with
+  | Some ts -> ts
+  | None -> error "switch %s: no table %s" sw.name name
+
+(* ---------------- control-plane operations ---------------- *)
+
+let validate_entry sw (ts : table_state) (e : Entry.t) =
+  if List.length e.matches <> List.length ts.table.keys then
+    error "table %s: expected %d match fields, got %d" ts.table.tname
+      (List.length ts.table.keys) (List.length e.matches);
+  List.iteri
+    (fun i (k : Program.key) ->
+      let mv = List.nth e.matches i in
+      match k.kind, mv with
+      | Program.Exact, Entry.MExact _
+      | Program.Lpm, Entry.MLpm _
+      | Program.Ternary, (Entry.MTernary _ | Entry.MExact _)
+      | Program.Optional, (Entry.MExact _ | Entry.MAny) -> ()
+      | _ ->
+        error "table %s: match kind mismatch on key %d" ts.table.tname i)
+    ts.table.keys;
+  if not (List.mem e.action ts.table.actions) then
+    error "table %s: action %s not allowed" ts.table.tname e.action;
+  match Program.find_action sw.program e.action with
+  | None -> error "unknown action %s" e.action
+  | Some a ->
+    if List.length a.params <> List.length e.args then
+      error "action %s: expected %d args, got %d" e.action
+        (List.length a.params) (List.length e.args)
+
+let exact_key (e : Entry.t) =
+  List.map
+    (function Entry.MExact v -> v | _ -> error "exact_key on non-exact entry")
+    e.matches
+
+let match_key (e : Entry.t) = (e.Entry.matches, e.Entry.priority)
+
+(** Install a table entry; replaces an existing entry with the same
+    match part. *)
+let insert_entry sw table (e : Entry.t) : unit =
+  let ts = table_state sw table in
+  validate_entry sw ts e;
+  if Hashtbl.length ts.entries >= ts.table.size
+     && not (Hashtbl.mem ts.entries (match_key e)) then
+    error "table %s is full (%d entries)" table ts.table.size;
+  Hashtbl.replace ts.entries (match_key e) e;
+  match ts.exact_index with
+  | Some idx -> Hashtbl.replace idx (exact_key e) e
+  | None -> ()
+
+(** Remove the entry with the same match part, if any. *)
+let delete_entry sw table (e : Entry.t) : unit =
+  let ts = table_state sw table in
+  Hashtbl.remove ts.entries (match_key e);
+  match ts.exact_index with
+  | Some idx -> Hashtbl.remove idx (exact_key e)
+  | None -> ()
+
+let table_entries sw table =
+  Hashtbl.fold (fun _ e acc -> e :: acc) (table_state sw table).entries []
+
+(** Is an entry with the same match part installed? *)
+let find_same_match sw table (e : Entry.t) : Entry.t option =
+  Hashtbl.find_opt (table_state sw table).entries (match_key e)
+
+let entry_count sw table = Hashtbl.length (table_state sw table).entries
+
+let set_mcast_group sw group ports =
+  (* an empty replica list removes the group: Some [] is unrepresentable *)
+  sw.mcast_groups <-
+    (if ports = [] then List.remove_assoc group sw.mcast_groups
+     else (group, ports) :: List.remove_assoc group sw.mcast_groups)
+
+let mcast_group sw group = List.assoc_opt group sw.mcast_groups
+
+(** Drain queued digests, oldest first. *)
+let take_digests sw : digest_msg list =
+  let ds = List.rev sw.digest_queue in
+  sw.digest_queue <- [];
+  ds
+
+let counter_value sw name index =
+  match Hashtbl.find_opt sw.counters name with
+  | None -> error "no counter %s" name
+  | Some tbl -> Option.value ~default:0L (Hashtbl.find_opt tbl index)
+
+(** Current value of a register cell (0 if never written). *)
+let register_value sw name index =
+  match Hashtbl.find_opt sw.registers name with
+  | None -> error "no register %s" name
+  | Some tbl -> Option.value ~default:0L (Hashtbl.find_opt tbl index)
+
+(** Control-plane write to a register cell. *)
+let register_write sw name index v =
+  match Hashtbl.find_opt sw.registers name with
+  | None -> error "no register %s" name
+  | Some tbl -> Hashtbl.replace tbl index v
+
+(* ---------------- expression evaluation ---------------- *)
+
+let mask w v = if w >= 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+
+let read_ref sw (st : pkt_state) (r : Program.fref) : int64 =
+  match r with
+  | Program.Field (h, f) -> (
+    match Hashtbl.find_opt st.fields (h, f) with
+    | Some v -> v
+    | None ->
+      if Hashtbl.mem st.valid h then
+        error "switch %s: field %s.%s unset" sw.name h f
+      else 0L (* reading a field of an invalid header yields 0, as BMv2 *))
+  | Program.Meta m -> Option.value ~default:0L (Hashtbl.find_opt st.meta m)
+
+let ref_width_exn sw r =
+  match Program.ref_width sw.program r with
+  | Ok w -> w
+  | Error e -> error "%s" e
+
+let write_ref sw (st : pkt_state) (r : Program.fref) (v : int64) : unit =
+  match r with
+  | Program.Field (h, f) ->
+    let w = ref_width_exn sw r in
+    Hashtbl.replace st.fields (h, f) (mask w v)
+  | Program.Meta m ->
+    let w = ref_width_exn sw r in
+    Hashtbl.replace st.meta m (mask w v)
+
+let rec eval sw (st : pkt_state) (params : (string * int64) list)
+    (e : Program.expr) : int64 =
+  match e with
+  | Program.EConst (w, v) -> mask w v
+  | Program.ERef r -> read_ref sw st r
+  | Program.EParam p -> (
+    match List.assoc_opt p params with
+    | Some v -> v
+    | None -> error "unbound action parameter %s" p)
+  | Program.EValid h -> if Hashtbl.mem st.valid h then 1L else 0L
+  | Program.ENot e -> if eval sw st params e = 0L then 1L else 0L
+  | Program.EBin (op, a, b) -> (
+    let va = eval sw st params a and vb = eval sw st params b in
+    let bool_of c = if c then 1L else 0L in
+    match op with
+    | Program.Add -> Int64.add va vb
+    | Program.Sub -> Int64.sub va vb
+    | Program.And -> Int64.logand va vb
+    | Program.Or -> Int64.logor va vb
+    | Program.Xor -> Int64.logxor va vb
+    | Program.Shl -> Int64.shift_left va (Int64.to_int vb)
+    | Program.Shr -> Int64.shift_right_logical va (Int64.to_int vb)
+    | Program.Eq -> bool_of (Int64.equal va vb)
+    | Program.Ne -> bool_of (not (Int64.equal va vb))
+    | Program.Lt -> bool_of (Int64.unsigned_compare va vb < 0)
+    | Program.Gt -> bool_of (Int64.unsigned_compare va vb > 0)
+    | Program.Le -> bool_of (Int64.unsigned_compare va vb <= 0)
+    | Program.Ge -> bool_of (Int64.unsigned_compare va vb >= 0)
+    | Program.BoolAnd -> bool_of (va <> 0L && vb <> 0L)
+    | Program.BoolOr -> bool_of (va <> 0L || vb <> 0L))
+
+(* ---------------- actions ---------------- *)
+
+let run_action sw (st : pkt_state) (a : Program.action) (args : int64 list) :
+    unit =
+  let params = List.map2 (fun (n, w) v -> (n, mask w v)) a.params args in
+  List.iter
+    (fun prim ->
+      match prim with
+      | Program.Assign (r, e) -> write_ref sw st r (eval sw st params e)
+      | Program.SetValid h ->
+        Hashtbl.replace st.valid h ();
+        (* initialise missing fields to zero *)
+        (match Program.find_header sw.program h with
+        | Some hd ->
+          List.iter
+            (fun (f : Program.field) ->
+              if not (Hashtbl.mem st.fields (h, f.fname)) then
+                Hashtbl.replace st.fields (h, f.fname) 0L)
+            hd.fields
+        | None -> ())
+      | Program.SetInvalid h -> Hashtbl.remove st.valid h
+      | Program.EmitDigest dname -> (
+        match Program.find_digest sw.program dname with
+        | None -> error "unknown digest %s" dname
+        | Some d ->
+          let values =
+            List.map (fun (n, r) -> (n, read_ref sw st r)) d.dfields
+          in
+          sw.digest_queue <- { digest_name = dname; values } :: sw.digest_queue)
+      | Program.Drop -> st.dropped <- true
+      | Program.Forward e ->
+        Hashtbl.replace st.meta "egress_spec" (eval sw st params e)
+      | Program.Multicast e ->
+        Hashtbl.replace st.meta "mcast_grp" (eval sw st params e)
+      | Program.CloneTo e -> st.clones <- eval sw st params e :: st.clones
+      | Program.Count (c, e) ->
+        let idx = eval sw st params e in
+        let tbl = Hashtbl.find sw.counters c in
+        Hashtbl.replace tbl idx
+          (Int64.add 1L (Option.value ~default:0L (Hashtbl.find_opt tbl idx)))
+      | Program.RegWrite (r, idx, v) ->
+        let tbl = Hashtbl.find sw.registers r in
+        Hashtbl.replace tbl (eval sw st params idx) (eval sw st params v)
+      | Program.RegRead (dst, r, idx) ->
+        let tbl = Hashtbl.find sw.registers r in
+        let v =
+          Option.value ~default:0L (Hashtbl.find_opt tbl (eval sw st params idx))
+        in
+        write_ref sw st dst v)
+    a.body
+
+(* ---------------- table application ---------------- *)
+
+let lookup (ts : table_state) (values : int64 list) : Entry.t option =
+  match ts.exact_index with
+  | Some idx -> Hashtbl.find_opt idx values
+  | None ->
+    (* rank: longest total LPM prefix first, then priority *)
+    let rank e = (Entry.lpm_length e, e.Entry.priority) in
+    Hashtbl.fold
+      (fun _ (e : Entry.t) best ->
+        let matches =
+          List.for_all2
+            (fun (w, mv) v -> Entry.match_value_matches ~width:w mv v)
+            (List.combine ts.key_widths e.matches)
+            values
+        in
+        if not matches then best
+        else
+          match best with
+          | None -> Some e
+          | Some b -> if rank e > rank b then Some e else best)
+      ts.entries None
+
+let apply_table sw (st : pkt_state) (tname : string) : unit =
+  let ts = table_state sw tname in
+  let values =
+    List.map (fun (k : Program.key) -> read_ref sw st k.kref) ts.table.keys
+  in
+  let action, args =
+    match lookup ts values with
+    | Some e ->
+      ts.hits <- ts.hits + 1;
+      (e.action, e.args)
+    | None ->
+      ts.misses <- ts.misses + 1;
+      ts.table.default_action
+  in
+  match Program.find_action sw.program action with
+  | Some a -> run_action sw st a args
+  | None -> error "unknown action %s" action
+
+let rec run_control sw (st : pkt_state) (c : Program.control) : unit =
+  match c with
+  | Program.Nop -> ()
+  | Program.Seq (a, b) ->
+    run_control sw st a;
+    run_control sw st b
+  | Program.ApplyTable t -> apply_table sw st t
+  | Program.If (cond, a, b) ->
+    if eval sw st [] cond <> 0L then run_control sw st a else run_control sw st b
+
+(* ---------------- parsing and deparsing ---------------- *)
+
+let parse sw (pkt : Packet.t) (st : pkt_state) : bool =
+  let bit = ref 0 in
+  let extract hname =
+    match Program.find_header sw.program hname with
+    | None -> error "unknown header %s" hname
+    | Some h ->
+      if !bit + Program.header_width h > 8 * Packet.length pkt then false
+      else begin
+        List.iter
+          (fun (f : Program.field) ->
+            let v = Packet.get_bits pkt ~bit_offset:!bit ~width:f.fwidth in
+            Hashtbl.replace st.fields (hname, f.fname) v;
+            bit := !bit + f.fwidth)
+          h.fields;
+        Hashtbl.replace st.valid hname ();
+        true
+      end
+  in
+  let rec run state_name fuel =
+    if fuel <= 0 then error "parser loop in program %s" sw.program.name
+    else
+      match Program.find_state sw.program state_name with
+      | None -> error "unknown parser state %s" state_name
+      | Some s ->
+        if not (List.for_all extract s.extracts) then false (* truncated *)
+        else begin
+          match s.transition with
+          | Program.Accept ->
+            st.payload <- Packet.drop_bytes pkt ((!bit + 7) / 8);
+            true
+          | Program.Reject -> false
+          | Program.Select (r, cases) ->
+            let v = read_ref sw st r in
+            let rec pick = function
+              | [] -> false
+              | (Some c, target) :: rest ->
+                if Int64.equal c v then run target (fuel - 1) else pick rest
+              | (None, target) :: _ -> run target (fuel - 1)
+            in
+            pick cases
+        end
+  in
+  run sw.program.parser.start 64
+
+let deparse sw (st : pkt_state) : Packet.t =
+  let width =
+    List.fold_left
+      (fun acc (h : Program.header) ->
+        if Hashtbl.mem st.valid h.hname then acc + Program.header_width h else acc)
+      0 sw.program.headers
+  in
+  let hdr_bytes = (width + 7) / 8 in
+  let out = Packet.create hdr_bytes in
+  let bit = ref 0 in
+  List.iter
+    (fun (h : Program.header) ->
+      if Hashtbl.mem st.valid h.hname then
+        List.iter
+          (fun (f : Program.field) ->
+            let v =
+              Option.value ~default:0L (Hashtbl.find_opt st.fields (h.hname, f.fname))
+            in
+            Packet.set_bits out ~bit_offset:!bit ~width:f.fwidth v;
+            bit := !bit + f.fwidth)
+          h.fields)
+    sw.program.headers;
+  Packet.concat out st.payload
+
+(* ---------------- the pipeline ---------------- *)
+
+let copy_state (st : pkt_state) : pkt_state =
+  {
+    fields = Hashtbl.copy st.fields;
+    valid = Hashtbl.copy st.valid;
+    meta = Hashtbl.copy st.meta;
+    payload = st.payload;
+    dropped = st.dropped;
+    clones = [];
+  }
+
+(** Inject a packet on [in_port]; returns the (port, packet) copies the
+    switch emits.  Digests emitted during processing are queued on the
+    switch and retrieved with [take_digests]. *)
+let process (sw : t) ~(in_port : int) (pkt : Packet.t) : (int * Packet.t) list =
+  sw.packets_in <- sw.packets_in + 1;
+  let st =
+    {
+      fields = Hashtbl.create 32;
+      valid = Hashtbl.create 8;
+      meta = Hashtbl.create 8;
+      payload = Packet.of_bytes Bytes.empty;
+      dropped = false;
+      clones = [];
+    }
+  in
+  Hashtbl.replace st.meta "ingress_port" (Int64.of_int in_port);
+  if not (parse sw pkt st) then [] (* parser reject *)
+  else begin
+    run_control sw st sw.program.ingress;
+    (* Replication: unicast via egress_spec, multicast via mcast_grp,
+       plus clones.  A Drop verdict is sticky: it suppresses all
+       replication, including clones. *)
+    let copies = ref [] in
+    let mcast = Option.value ~default:0L (Hashtbl.find_opt st.meta "mcast_grp") in
+    if not st.dropped then begin
+      (match Hashtbl.find_opt st.meta "egress_spec" with
+      | Some port when mcast = 0L -> copies := [ (port, copy_state st) ]
+      | _ -> ());
+      if mcast <> 0L then begin
+        let ports = Option.value ~default:[] (mcast_group sw mcast) in
+        List.iter
+          (fun port ->
+            (* do not reflect back to the ingress port *)
+            if port <> Int64.of_int in_port then
+              copies := (port, copy_state st) :: !copies)
+          ports
+      end;
+      List.iter
+        (fun port ->
+          let c = copy_state st in
+          Hashtbl.replace c.meta "is_clone" 1L;
+          copies := (port, c) :: !copies)
+        st.clones
+    end;
+    (* Egress control per copy, then deparse. *)
+    let outputs =
+      List.filter_map
+        (fun (port, c) ->
+          Hashtbl.replace c.meta "egress_port" port;
+          c.dropped <- false;
+          run_control sw c sw.program.egress;
+          if c.dropped then None else Some (Int64.to_int port, deparse sw c))
+        (List.rev !copies)
+    in
+    sw.packets_out <- sw.packets_out + List.length outputs;
+    outputs
+  end
+
+(* ---------------- introspection ---------------- *)
+
+type table_stats = { entries : int; hits : int; misses : int }
+
+let stats sw tname =
+  let ts = table_state sw tname in
+  { entries = Hashtbl.length ts.entries; hits = ts.hits; misses = ts.misses }

@@ -1,0 +1,81 @@
+(** The behavioural model: a software switch that executes a mini-P4
+    program, in the role BMv2 plays in the paper's prototype.
+
+    Packet life cycle (v1model-like): parse → ingress control →
+    replication (unicast / multicast / clones) → egress control per
+    copy → deparse.  The switch also holds the control-plane-visible
+    state: table entries, multicast groups, counters, and the queue of
+    emitted digests. *)
+
+exception Switch_error of string
+
+type t = {
+  program : Program.t;
+  name : string;
+  ports : int list;
+  tables : (string, table_state) Hashtbl.t;
+  mutable mcast_groups : (int64 * int64 list) list;
+  counters : (string, (int64, int64) Hashtbl.t) Hashtbl.t;
+  registers : (string, (int64, int64) Hashtbl.t) Hashtbl.t;
+  mutable digest_queue : digest_msg list;
+  mutable packets_in : int;
+  mutable packets_out : int;
+}
+
+and table_state
+
+and digest_msg = { digest_name : string; values : (string * int64) list }
+
+val create : ?name:string -> ?ports:int list -> Program.t -> t
+(** Instantiate a switch running [program].
+    @raise Switch_error if the program does not type-check. *)
+
+(** {1 Control-plane operations} *)
+
+val insert_entry : t -> string -> Entry.t -> unit
+(** Install an entry; replaces an existing entry with the same match
+    part.  Validates match kinds, the action and its arity against the
+    program, and the table's declared capacity.
+    @raise Switch_error on any violation. *)
+
+val delete_entry : t -> string -> Entry.t -> unit
+(** Remove the entry with the same match part, if present. *)
+
+val find_same_match : t -> string -> Entry.t -> Entry.t option
+(** The installed entry with the same match part, if any (O(1)). *)
+
+val table_entries : t -> string -> Entry.t list
+val entry_count : t -> string -> int
+
+val set_mcast_group : t -> int64 -> int64 list -> unit
+(** Define the replica port list of a multicast group; an empty list
+    removes the group. *)
+
+val mcast_group : t -> int64 -> int64 list option
+
+val take_digests : t -> digest_msg list
+(** Drain queued digests, oldest first. *)
+
+val counter_value : t -> string -> int64 -> int64
+(** Current value of a counter cell.
+    @raise Switch_error on unknown counters. *)
+
+val register_value : t -> string -> int64 -> int64
+(** Current value of a register cell (0 if never written). *)
+
+val register_write : t -> string -> int64 -> int64 -> unit
+(** Control-plane write to a register cell. *)
+
+(** {1 The data path} *)
+
+val process : t -> in_port:int -> Packet.t -> (int * Packet.t) list
+(** Inject a packet; returns the (port, packet) copies the switch
+    emits.  A parser reject or a [Drop] verdict yields no output; a
+    [Drop] is sticky and suppresses clones too.  Digests emitted during
+    processing are queued on the switch. *)
+
+(** {1 Introspection} *)
+
+type table_stats = { entries : int; hits : int; misses : int }
+
+val stats : t -> string -> table_stats

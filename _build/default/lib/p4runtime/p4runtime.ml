@@ -1,0 +1,263 @@
+(* An in-process P4Runtime: the API through which the control plane
+   programs data-plane switches and receives digests, mirroring the
+   P4Runtime gRPC service (WriteRequest batches with atomic semantics,
+   entity reads, multicast group programming, and a digest stream with
+   acknowledgements).  The transport is a function call instead of gRPC,
+   but message shapes and semantics follow the spec. *)
+
+exception Rpc_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Rpc_error s)) fmt
+
+(* ---------------- entities ---------------- *)
+
+type field_match =
+  | FmExact of int64
+  | FmLpm of int64 * int
+  | FmTernary of int64 * int64
+  | FmOptional of int64 option
+
+type table_entry = {
+  table_id : int;
+  matches : field_match list;
+  priority : int;
+  action_id : int;
+  action_args : int64 list;
+}
+
+type multicast_group_entry = { group_id : int64; replicas : int64 list }
+
+type entity =
+  | TableEntry of table_entry
+  | MulticastGroupEntry of multicast_group_entry
+
+type update_type = Insert | Modify | Delete
+
+type update = { utype : update_type; entity : entity }
+
+type digest_list = {
+  digest_id : int;
+  list_id : int;
+  entries : int64 list list;       (* each entry: field values in order *)
+}
+
+(* ---------------- server ---------------- *)
+
+type server = {
+  switch : P4.Switch.t;
+  info : P4.P4info.t;
+  mutable next_list_id : int;
+  mutable unacked : (int * digest_list) list;
+}
+
+let attach (switch : P4.Switch.t) : server =
+  { switch; info = P4.P4info.of_program switch.P4.Switch.program;
+    next_list_id = 0; unacked = [] }
+
+let info (srv : server) = srv.info
+
+(* Convert a wire table entry into the switch's internal form, with full
+   validation against P4Info. *)
+let to_switch_entry (srv : server) (te : table_entry) : string * P4.Entry.t =
+  let tinfo =
+    match P4.P4info.find_table_by_id srv.info te.table_id with
+    | Some t -> t
+    | None -> error "unknown table id %d" te.table_id
+  in
+  let ainfo =
+    match P4.P4info.find_action_by_id srv.info te.action_id with
+    | Some a -> a
+    | None -> error "unknown action id %d" te.action_id
+  in
+  if not (List.mem ainfo.action_name tinfo.action_names) then
+    error "action %s not allowed in table %s" ainfo.action_name tinfo.table_name;
+  if List.length te.matches <> List.length tinfo.key_kinds then
+    error "table %s: expected %d matches, got %d" tinfo.table_name
+      (List.length tinfo.key_kinds) (List.length te.matches);
+  let matches =
+    List.map2
+      (fun kind fm ->
+        match kind, fm with
+        | P4.Program.Exact, FmExact v -> P4.Entry.MExact v
+        | P4.Program.Lpm, FmLpm (v, l) -> P4.Entry.MLpm (v, l)
+        | P4.Program.Ternary, FmTernary (v, m) -> P4.Entry.MTernary (v, m)
+        | P4.Program.Ternary, FmExact v -> P4.Entry.MTernary (v, -1L)
+        | P4.Program.Optional, FmOptional (Some v) -> P4.Entry.MExact v
+        | P4.Program.Optional, FmOptional None -> P4.Entry.MAny
+        | _ -> error "table %s: match kind mismatch" tinfo.table_name)
+      tinfo.key_kinds te.matches
+  in
+  ( tinfo.table_name,
+    { P4.Entry.matches; priority = te.priority;
+      action = ainfo.action_name; args = te.action_args } )
+
+let apply_update (srv : server) (u : update) : unit =
+  match u.entity with
+  | TableEntry te -> (
+    let table, entry = to_switch_entry srv te in
+    match u.utype with
+    | Insert ->
+      if P4.Switch.find_same_match srv.switch table entry <> None then
+        error "table %s: entry already exists" table
+      else P4.Switch.insert_entry srv.switch table entry
+    | Modify ->
+      if P4.Switch.find_same_match srv.switch table entry = None then
+        error "table %s: no such entry to modify" table
+      else P4.Switch.insert_entry srv.switch table entry
+    | Delete -> P4.Switch.delete_entry srv.switch table entry)
+  | MulticastGroupEntry mge -> (
+    match u.utype with
+    | Insert | Modify ->
+      P4.Switch.set_mcast_group srv.switch mge.group_id mge.replicas
+    | Delete -> P4.Switch.set_mcast_group srv.switch mge.group_id [])
+
+(** Execute a batch of updates.  Per the P4Runtime spec the batch is
+    atomic: on any error, updates already applied are rolled back and
+    [Error] is returned. *)
+let write (srv : server) (updates : update list) : (unit, string) result =
+  let applied = ref [] in
+  let invert (u : update) : update =
+    match u.utype with
+    | Insert -> { u with utype = Delete }
+    | Delete -> { u with utype = Insert }
+    | Modify -> u (* restored explicitly below *)
+  in
+  try
+    List.iter
+      (fun u ->
+        (* For Modify and Delete, remember the previous state to restore. *)
+        let undo =
+          match u.entity, u.utype with
+          | TableEntry te, (Modify | Delete) ->
+            let table, entry = to_switch_entry srv te in
+            let prev = P4.Switch.find_same_match srv.switch table entry in
+            (match prev with
+            | Some old ->
+              let old_te = { te with action_id = te.action_id } in
+              ignore old_te;
+              Some
+                (fun () ->
+                  P4.Switch.insert_entry srv.switch table old)
+            | None -> Some (fun () -> ()))
+          | TableEntry te, Insert ->
+            let _ = te in
+            None
+          | MulticastGroupEntry mge, _ ->
+            let prev = P4.Switch.mcast_group srv.switch mge.group_id in
+            Some
+              (fun () ->
+                P4.Switch.set_mcast_group srv.switch mge.group_id
+                  (Option.value ~default:[] prev))
+        in
+        apply_update srv u;
+        applied := (u, undo) :: !applied)
+      updates;
+    Ok ()
+  with
+  | Rpc_error msg | P4.Switch.Switch_error msg ->
+    List.iter
+      (fun (u, undo) ->
+        match undo with
+        | Some restore -> restore ()
+        | None -> (
+          try apply_update srv (invert u) with _ -> ()))
+      !applied;
+    Error msg
+
+let write_exn srv updates =
+  match write srv updates with Ok () -> () | Error msg -> error "%s" msg
+
+(** Read back the entries of a table (by id). *)
+let read_table (srv : server) ~(table_id : int) : table_entry list =
+  let tinfo =
+    match P4.P4info.find_table_by_id srv.info table_id with
+    | Some t -> t
+    | None -> error "unknown table id %d" table_id
+  in
+  List.map
+    (fun (e : P4.Entry.t) ->
+      let ainfo =
+        match P4.P4info.find_action srv.info e.action with
+        | Some a -> a
+        | None -> error "entry action %s missing from P4Info" e.action
+      in
+      let matches =
+        List.map2
+          (fun kind mv ->
+            match kind, mv with
+            | P4.Program.Exact, P4.Entry.MExact v -> FmExact v
+            | P4.Program.Lpm, P4.Entry.MLpm (v, l) -> FmLpm (v, l)
+            | P4.Program.Ternary, P4.Entry.MTernary (v, m) -> FmTernary (v, m)
+            | P4.Program.Optional, P4.Entry.MExact v -> FmOptional (Some v)
+            | P4.Program.Optional, P4.Entry.MAny -> FmOptional None
+            | _, mv ->
+              error "entry match %s inconsistent with key kind"
+                (P4.Entry.match_value_to_string mv))
+          tinfo.key_kinds e.matches
+      in
+      { table_id; matches; priority = e.priority;
+        action_id = ainfo.action_id; action_args = e.args })
+    (P4.Switch.table_entries srv.switch tinfo.table_name)
+
+(** Drain pending digests as DigestList messages (the stream channel).
+    Messages stay un-acknowledged until [ack_digest_list]. *)
+let stream_digests (srv : server) : digest_list list =
+  let msgs = P4.Switch.take_digests srv.switch in
+  (* group consecutive digests of the same type into lists, as the
+     target would *)
+  let grouped = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (d : P4.Switch.digest_msg) ->
+      let dinfo =
+        match P4.P4info.find_digest srv.info d.digest_name with
+        | Some i -> i
+        | None -> error "digest %s missing from P4Info" d.digest_name
+      in
+      let values = List.map snd d.values in
+      match Hashtbl.find_opt grouped dinfo.digest_id with
+      | Some entries -> entries := values :: !entries
+      | None ->
+        Hashtbl.add grouped dinfo.digest_id (ref [ values ]);
+        order := dinfo.digest_id :: !order)
+    msgs;
+  List.rev_map
+    (fun digest_id ->
+      let entries = List.rev !(Hashtbl.find grouped digest_id) in
+      let list_id = srv.next_list_id in
+      srv.next_list_id <- list_id + 1;
+      let dl = { digest_id; list_id; entries } in
+      srv.unacked <- (list_id, dl) :: srv.unacked;
+      dl)
+    !order
+
+(** Acknowledge a digest list, releasing it from the retransmit queue. *)
+let ack_digest_list (srv : server) ~(list_id : int) : unit =
+  srv.unacked <- List.remove_assoc list_id srv.unacked
+
+let unacked_digests (srv : server) : digest_list list = List.map snd srv.unacked
+
+(* ---------------- client-side helpers ---------------- *)
+
+(** Build a table entry from names instead of ids. *)
+let entry (info : P4.P4info.t) ~table ~matches ?(priority = 0) ~action ~args ()
+    : table_entry =
+  let tinfo =
+    match P4.P4info.find_table info table with
+    | Some t -> t
+    | None -> error "unknown table %s" table
+  in
+  let ainfo =
+    match P4.P4info.find_action info action with
+    | Some a -> a
+    | None -> error "unknown action %s" action
+  in
+  { table_id = tinfo.table_id; matches; priority;
+    action_id = ainfo.action_id; action_args = args }
+
+let insert e = { utype = Insert; entity = TableEntry e }
+let modify e = { utype = Modify; entity = TableEntry e }
+let delete e = { utype = Delete; entity = TableEntry e }
+
+let set_multicast ~group ~ports =
+  { utype = Modify; entity = MulticastGroupEntry { group_id = group; replicas = ports } }

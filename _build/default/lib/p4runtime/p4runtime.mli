@@ -1,0 +1,87 @@
+(** An in-process P4Runtime: the API through which the control plane
+    programs data-plane switches and receives digests, mirroring the
+    P4Runtime gRPC service — WriteRequest batches with atomic
+    semantics, entity reads, multicast-group programming, and a digest
+    stream with acknowledgements.  The transport is a function call
+    instead of gRPC, but message shapes and semantics follow the spec. *)
+
+exception Rpc_error of string
+
+(** {1 Entities} *)
+
+type field_match =
+  | FmExact of int64
+  | FmLpm of int64 * int
+  | FmTernary of int64 * int64
+  | FmOptional of int64 option
+
+type table_entry = {
+  table_id : int;
+  matches : field_match list;
+  priority : int;
+  action_id : int;
+  action_args : int64 list;
+}
+
+type multicast_group_entry = { group_id : int64; replicas : int64 list }
+
+type entity =
+  | TableEntry of table_entry
+  | MulticastGroupEntry of multicast_group_entry
+
+type update_type = Insert | Modify | Delete
+
+type update = { utype : update_type; entity : entity }
+
+type digest_list = {
+  digest_id : int;
+  list_id : int;
+  entries : int64 list list;  (** each entry: field values in order *)
+}
+
+(** {1 Server} *)
+
+type server
+
+val attach : P4.Switch.t -> server
+(** Attach a P4Runtime server to a switch (deriving its P4Info). *)
+
+val info : server -> P4.P4info.t
+
+val write : server -> update list -> (unit, string) result
+(** Execute a batch atomically: on any error (unknown ids, match-kind
+    mismatches, duplicate inserts, missing modify targets, capacity)
+    the updates already applied are rolled back. *)
+
+val write_exn : server -> update list -> unit
+(** @raise Rpc_error instead of returning [Error]. *)
+
+val read_table : server -> table_id:int -> table_entry list
+(** Read back a table's entries in wire form. *)
+
+val stream_digests : server -> digest_list list
+(** Drain pending digests as DigestList messages; consecutive digests
+    of the same type are batched.  Messages remain retransmittable
+    until acknowledged. *)
+
+val ack_digest_list : server -> list_id:int -> unit
+val unacked_digests : server -> digest_list list
+
+(** {1 Client-side helpers} *)
+
+val entry :
+  P4.P4info.t ->
+  table:string ->
+  matches:field_match list ->
+  ?priority:int ->
+  action:string ->
+  args:int64 list ->
+  unit ->
+  table_entry
+(** Build a table entry from names instead of numeric ids.
+    @raise Rpc_error on unknown names. *)
+
+val insert : table_entry -> update
+val modify : table_entry -> update
+val delete : table_entry -> update
+val set_multicast : group:int64 -> ports:int64 list -> update

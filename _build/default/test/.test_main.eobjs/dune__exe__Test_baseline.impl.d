@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Char Incr Int Int64 List Nerpa Ofp4 P4 Printf Random Snvs String

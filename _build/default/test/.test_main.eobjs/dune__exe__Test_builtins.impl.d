@@ -1,0 +1,1 @@
+test/test_builtins.ml: Alcotest Array Builtins Dl Dtype Engine List Parser Printf Row Value

@@ -1,0 +1,1 @@
+test/test_dl_engine.ml: Alcotest Array Ast Dl Engine Format Hashtbl List Naive Parser Printf Row Typecheck Value Zset

@@ -1,0 +1,1 @@
+test/test_dl_engine2.ml: Alcotest Array Buffer Dl Engine List Parser Printf Value Zset

@@ -1,0 +1,1 @@
+test/test_dl_parser.ml: Alcotest Array Ast Dl Dtype Format List Option Parser String Value

@@ -1,0 +1,1 @@
+test/test_dl_props.ml: Array Ast Dl Engine Hashtbl List Naive Parser QCheck2 QCheck_alcotest Row Value Zset

@@ -1,0 +1,1 @@
+test/test_dl_typecheck.ml: Alcotest Dl List Parser Printf Stratify String Typecheck

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array Baseline Dl Int64 List Nerpa Option Ovsdb P4 Printf Random Snvs String

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Hashtbl Int64 Json List Ovsdb QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_l3router.ml: Alcotest Dl Int L3router List Nerpa P4 Printf

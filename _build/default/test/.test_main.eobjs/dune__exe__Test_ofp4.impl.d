@@ -1,0 +1,1 @@
+test/test_ofp4.ml: Alcotest Compile Int Int64 List Ofp4 Openflow P4 Random Snvs String

@@ -1,0 +1,1 @@
+test/test_ovsdb.ml: Alcotest Atom Datum Db Json List Option Otype Ovsdb Result Rpc Schema String Uuid

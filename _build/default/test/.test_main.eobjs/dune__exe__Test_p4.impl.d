@@ -1,0 +1,1 @@
+test/test_p4.ml: Alcotest Entry Int List Option P4 P4info P4runtime Packet Program Result Stdhdrs String Switch

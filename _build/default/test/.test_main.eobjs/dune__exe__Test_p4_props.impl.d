@@ -1,0 +1,1 @@
+test/test_p4_props.ml: Int64 List Ovsdb P4 QCheck2 QCheck_alcotest

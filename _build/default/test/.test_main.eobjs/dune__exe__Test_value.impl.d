@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Dl Dtype Format List Option Value

@@ -1,0 +1,1 @@
+test/test_zset.ml: Alcotest Array Dl List Row Value Zset

@@ -1,0 +1,208 @@
+(* Tests for the imperative baselines, including the differential tests
+   that pin them to the declarative implementations they are compared
+   against in the benchmarks. *)
+
+let sorted_pairs l =
+  List.sort (fun (a1, b1) (a2, b2) ->
+      let c = Int.compare a1 a2 in
+      if c <> 0 then c else String.compare b1 b2)
+    l
+
+(* ---------------- label baselines ---------------- *)
+
+let test_full_recompute_basic () =
+  let labels =
+    Baseline.Label_baseline.full_recompute
+      ~edges:[ (1, 2); (2, 3); (4, 5) ]
+      ~given:[ (1, "red") ]
+  in
+  Alcotest.(check (list (pair int string)))
+    "reachable labels"
+    [ (1, "red"); (2, "red"); (3, "red") ]
+    (sorted_pairs labels)
+
+let test_incr_matches_full_on_random_traces () =
+  (* Random edge/label updates; after every step the hand-incremental
+     state must equal a from-scratch recompute. *)
+  let r = Random.State.make [| 7 |] in
+  for _trial = 0 to 30 do
+    let incr = Baseline.Label_baseline.Incr.create () in
+    let edges = ref [] and given = ref [] in
+    for _step = 0 to 40 do
+      let a = Random.State.int r 6 and b = Random.State.int r 6 in
+      (match Random.State.int r 4 with
+      | 0 ->
+        if a <> b && not (List.mem (a, b) !edges) then begin
+          edges := (a, b) :: !edges;
+          Baseline.Label_baseline.Incr.add_edge incr a b
+        end
+      | 1 ->
+        if List.mem (a, b) !edges then begin
+          edges := List.filter (fun e -> e <> (a, b)) !edges;
+          Baseline.Label_baseline.Incr.remove_edge incr a b
+        end
+      | 2 ->
+        let l = String.make 1 (Char.chr (Char.code 'x' + (b mod 3))) in
+        if not (List.mem (a, l) !given) then begin
+          given := (a, l) :: !given;
+          Baseline.Label_baseline.Incr.add_given incr a l
+        end
+      | _ ->
+        (match !given with
+        | (n, l) :: rest ->
+          given := rest;
+          Baseline.Label_baseline.Incr.remove_given incr n l
+        | [] -> ()));
+      let expected =
+        sorted_pairs
+          (Baseline.Label_baseline.full_recompute ~edges:!edges ~given:!given)
+      in
+      let actual = sorted_pairs (Baseline.Label_baseline.Incr.labels incr) in
+      if expected <> actual then
+        Alcotest.failf "divergence: expected %d facts, got %d"
+          (List.length expected) (List.length actual)
+    done
+  done
+
+let test_incr_cycle_deletion () =
+  let open Baseline.Label_baseline in
+  let incr = Incr.create () in
+  Incr.add_given incr 1 "c";
+  Incr.add_edge incr 1 2;
+  Incr.add_edge incr 2 3;
+  Incr.add_edge incr 3 2;
+  Alcotest.(check bool) "cycle labelled" true (Incr.has_label incr 3 "c");
+  Incr.remove_edge incr 1 2;
+  Alcotest.(check bool) "cycle dies without support" false
+    (Incr.has_label incr 2 "c" || Incr.has_label incr 3 "c");
+  Alcotest.(check bool) "seed survives" true (Incr.has_label incr 1 "c")
+
+(* ---------------- snvs imperative vs Nerpa ---------------- *)
+
+let entry_set sw table =
+  List.sort compare
+    (List.map
+       (fun (e : P4.Entry.t) -> (e.matches, e.priority, e.action, e.args))
+       (P4.Switch.table_entries sw table))
+
+let test_snvs_imperative_equivalence () =
+  (* Drive the SAME configuration through the Nerpa controller and the
+     imperative recompute controller; the data planes must agree. *)
+  let d = Snvs.deploy () in
+  ignore (Snvs.add_port d ~name:"p1" ~port:1 ~mode:"access" ~tag:10 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"p2" ~port:2 ~mode:"access" ~tag:20 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"p4" ~port:4 ~mode:"trunk" ~tag:0 ~trunks:[ 10; 20 ]);
+  ignore (Snvs.add_mirror d ~name:"m" ~select_port:1 ~output_port:9);
+  ignore
+    (Snvs.add_acl d ~priority:5 ~src:1L ~src_mask:(-1L) ~dst:2L ~dst_mask:(-1L)
+       ~allow:false);
+  ignore (Nerpa.Controller.sync d.controller);
+  let sw2 = P4.Switch.create ~name:"imperative" Snvs.p4 in
+  let inst = Baseline.Snvs_imperative.fresh_installed () in
+  let cfg =
+    {
+      Baseline.Snvs_imperative.ports =
+        [
+          { port = 1; mode = `Access; tag = 10; trunks = [] };
+          { port = 2; mode = `Access; tag = 20; trunks = [] };
+          { port = 4; mode = `Trunk; tag = 0; trunks = [ 10; 20 ] };
+        ];
+      mirrors = [ { select_port = 1; output_port = 9 } ];
+      acls =
+        [ { prio = 5; src = 1L; src_mask = -1L; dst = 2L; dst_mask = -1L;
+            allow = false } ];
+      no_flood_vlans = [];
+      macs = [];
+    }
+  in
+  ignore (Baseline.Snvs_imperative.reconcile inst sw2 cfg);
+  List.iter
+    (fun table ->
+      Alcotest.(check bool)
+        (Printf.sprintf "table %s agrees" table)
+        true
+        (entry_set d.switch table = entry_set sw2 table))
+    [ "in_vlan"; "out_vlan"; "mirror"; "acl"; "dmac" ];
+  (* multicast groups agree *)
+  List.iter
+    (fun vlan ->
+      Alcotest.(check bool)
+        (Printf.sprintf "group %d agrees" vlan)
+        true
+        (P4.Switch.mcast_group d.switch (Int64.of_int vlan)
+        = P4.Switch.mcast_group sw2 (Int64.of_int vlan)))
+    [ 10; 20 ]
+
+let test_snvs_imperative_incremental_diff () =
+  (* reconcile applies only the difference on the second call *)
+  let sw = P4.Switch.create Snvs.p4 in
+  let inst = Baseline.Snvs_imperative.fresh_installed () in
+  let cfg =
+    { Baseline.Snvs_imperative.empty_config with
+      ports = [ { port = 1; mode = `Access; tag = 10; trunks = [] } ] }
+  in
+  let n1 = Baseline.Snvs_imperative.reconcile inst sw cfg in
+  Alcotest.(check bool) "initial install" true (n1 > 0);
+  let n2 = Baseline.Snvs_imperative.reconcile inst sw cfg in
+  Alcotest.(check int) "no-op reconcile" 0 n2;
+  let cfg2 =
+    { cfg with
+      Baseline.Snvs_imperative.ports =
+        { port = 2; mode = `Access; tag = 10; trunks = [] } :: cfg.ports }
+  in
+  let n3 = Baseline.Snvs_imperative.reconcile inst sw cfg2 in
+  Alcotest.(check bool) "incremental diff small" true (n3 >= 1 && n3 <= 3)
+
+(* ---------------- load balancer baseline ---------------- *)
+
+let test_lb_imperative () =
+  let lb = Baseline.Lb_imperative.create () in
+  Baseline.Lb_imperative.add_lb lb ~vip:1L ~backends:[ 10L; 11L; 12L ];
+  Baseline.Lb_imperative.add_lb lb ~vip:2L ~backends:[ 20L ];
+  Alcotest.(check int) "entries" 4 (Baseline.Lb_imperative.entry_count lb);
+  Alcotest.(check int) "lookup" 3
+    (List.length (Baseline.Lb_imperative.lookup lb ~vip:1L));
+  Baseline.Lb_imperative.add_lb lb ~vip:1L ~backends:[ 10L ];
+  Alcotest.(check int) "replace shrinks" 2 (Baseline.Lb_imperative.entry_count lb);
+  Baseline.Lb_imperative.remove_lb lb ~vip:1L;
+  Baseline.Lb_imperative.remove_lb lb ~vip:1L;
+  Alcotest.(check int) "remove idempotent" 1 (Baseline.Lb_imperative.entry_count lb)
+
+(* ---------------- Fig. 3 model ---------------- *)
+
+let test_frag_snapshots_monotone () =
+  let snaps =
+    List.init 12 (fun k -> Baseline.Frag_controller.snapshot (k + 1))
+  in
+  let rec check_monotone = function
+    | (a : Baseline.Frag_controller.snapshot)
+      :: (b : Baseline.Frag_controller.snapshot) :: rest ->
+      Alcotest.(check bool) "loc grows" true (b.controller_loc > a.controller_loc);
+      Alcotest.(check bool) "fragments grow" true
+        (b.fragment_sites > a.fragment_sites);
+      Alcotest.(check bool) "rules grow slower" true
+        (b.nerpa_rules - a.nerpa_rules < b.fragment_sites - a.fragment_sites + 1);
+      check_monotone (b :: rest)
+    | _ -> ()
+  in
+  check_monotone snaps;
+  (* the materialised flow program agrees with the arithmetic *)
+  let prog = Baseline.Frag_controller.materialise 12 in
+  let snap = Baseline.Frag_controller.snapshot 12 in
+  Alcotest.(check int) "materialised fragments" snap.fragment_sites
+    (Ofp4.Openflow.fragment_count prog)
+
+let tests =
+  [
+    Alcotest.test_case "label full recompute" `Quick test_full_recompute_basic;
+    Alcotest.test_case "hand-incremental = full (random)" `Quick
+      test_incr_matches_full_on_random_traces;
+    Alcotest.test_case "hand-incremental cycle deletion" `Quick
+      test_incr_cycle_deletion;
+    Alcotest.test_case "snvs imperative = nerpa" `Quick
+      test_snvs_imperative_equivalence;
+    Alcotest.test_case "snvs imperative diffing" `Quick
+      test_snvs_imperative_incremental_diff;
+    Alcotest.test_case "lb imperative" `Quick test_lb_imperative;
+    Alcotest.test_case "fig3 snapshots" `Quick test_frag_snapshots_monotone;
+  ]

@@ -1,0 +1,252 @@
+(* Exhaustive coverage of the DL builtin library: evaluation semantics,
+   typing rules, and aggregate functions. *)
+
+open Dl
+
+let v = Alcotest.testable Value.pp Value.equal
+let i n = Value.of_int n
+let i64 n = Value.VInt n
+let b w x = Value.bit w x
+let s x = Value.VString x
+let d x = Value.VDouble x
+let t = Value.VBool true
+let f = Value.VBool false
+
+let eval name args = Builtins.eval name args
+
+let check_eval name args expected =
+  Alcotest.check v (name ^ " eval") expected (eval name args)
+
+let check_eval_raises name args =
+  match eval name args with
+  | exception Builtins.Eval_error _ -> ()
+  | r ->
+    Alcotest.failf "%s: expected Eval_error, got %s" name (Value.to_string r)
+
+let test_arithmetic () =
+  check_eval "+" [ i 2; i 3 ] (i 5);
+  check_eval "-" [ i 2; i 3 ] (i (-1));
+  check_eval "*" [ i 4; i 5 ] (i 20);
+  check_eval "/" [ i 7; i 2 ] (i 3);
+  check_eval "%" [ i 7; i 2 ] (i 1);
+  check_eval_raises "/" [ i 1; i 0 ];
+  check_eval_raises "%" [ i 1; i 0 ];
+  (* bit vectors wrap at their width *)
+  check_eval "+" [ b 8 250L; b 8 10L ] (b 8 4L);
+  check_eval "-" [ b 8 0L; b 8 1L ] (b 8 255L);
+  check_eval "*" [ b 4 5L; b 4 5L ] (b 4 9L);
+  (* unsigned division on bit vectors *)
+  check_eval "/" [ b 8 200L; b 8 3L ] (b 8 66L);
+  (* doubles *)
+  check_eval "+" [ d 1.5; d 2.25 ] (d 3.75);
+  check_eval "/" [ d 1.0; d 4.0 ] (d 0.25);
+  check_eval "neg" [ d 2.0 ] (d (-2.0));
+  check_eval "sqrt" [ d 9.0 ] (d 3.0);
+  check_eval "int2double" [ i 3 ] (d 3.0);
+  check_eval "double2int" [ d 3.9 ] (i 3);
+  (* string concatenation via + *)
+  check_eval "+" [ s "ab"; s "cd" ] (s "abcd")
+
+let test_comparisons_and_bool () =
+  check_eval "==" [ i 1; i 1 ] t;
+  check_eval "!=" [ i 1; i 2 ] t;
+  check_eval "<" [ s "a"; s "b" ] t;
+  check_eval ">=" [ i 3; i 3 ] t;
+  check_eval "&&" [ t; f ] f;
+  check_eval "||" [ t; f ] t;
+  check_eval "not" [ f ] t;
+  check_eval "min" [ i 3; i 1 ] (i 1);
+  check_eval "max" [ s "a"; s "b" ] (s "b");
+  check_eval "abs" [ i (-4) ] (i 4)
+
+let test_bit_ops () =
+  check_eval "&" [ b 8 0xF0L; b 8 0x3CL ] (b 8 0x30L);
+  check_eval "|" [ b 8 0xF0L; b 8 0x0FL ] (b 8 0xFFL);
+  check_eval "^" [ b 8 0xFFL; b 8 0x0FL ] (b 8 0xF0L);
+  check_eval "~" [ b 8 0x0FL ] (b 8 0xF0L);
+  check_eval "<<" [ b 8 0x01L; i 7 ] (b 8 0x80L);
+  check_eval "<<" [ b 8 0x01L; i 8 ] (b 8 0x00L);
+  check_eval ">>" [ b 8 0x80L; i 4 ] (b 8 0x08L);
+  check_eval "bit2int" [ b 12 5L ] (i 5);
+  check_eval "int2bit" [ i64 16L; i64 0x1FFFFL ] (b 16 0xFFFFL);
+  check_eval "zext" [ b 8 0xFFL; i 16 ] (b 16 0xFFL);
+  check_eval "bit_slice" [ b 16 0xABCDL; i 15; i 8 ] (b 8 0xABL);
+  check_eval "bit_slice" [ b 16 0xABCDL; i 3; i 0 ] (b 4 0xDL);
+  check_eval_raises "bit_slice" [ b 16 1L; i 0; i 3 ];
+  check_eval "concat_bits" [ b 8 0xABL; b 8 0xCDL ] (b 16 0xABCDL)
+
+let test_strings () =
+  check_eval "string_len" [ s "hello" ] (i 5);
+  check_eval "string_contains" [ s "hello"; s "ell" ] t;
+  check_eval "string_contains" [ s "hello"; s "xyz" ] f;
+  check_eval "string_starts_with" [ s "hello"; s "he" ] t;
+  check_eval "substr" [ s "hello"; i 1; i 3 ] (s "ell");
+  check_eval "substr" [ s "hello"; i 3; i 99 ] (s "lo");
+  check_eval "substr" [ s "hello"; i (-2); i 2 ] (s "he");
+  check_eval "string_to_upper" [ s "aBc" ] (s "ABC");
+  check_eval "string_to_lower" [ s "aBc" ] (s "abc");
+  check_eval "string_join" [ Value.VVec [ s "a"; s "b" ]; s "," ] (s "a,b");
+  check_eval "parse_int" [ s "42" ] (Value.VOption (Some (i 42)));
+  check_eval "parse_int" [ s "nope" ] (Value.VOption None);
+  check_eval "to_string" [ i 7 ] (s "7");
+  check_eval "to_string" [ s "x" ] (s "x")
+
+let test_collections () =
+  let vec = Value.VVec [ i 1; i 2; i 2 ] in
+  check_eval "vec_len" [ vec ] (i 3);
+  check_eval "vec_contains" [ vec; i 2 ] t;
+  check_eval "vec_contains" [ vec; i 9 ] f;
+  check_eval "vec_push" [ Value.VVec []; i 1 ] (Value.VVec [ i 1 ]);
+  check_eval "vec_concat" [ Value.VVec [ i 1 ]; Value.VVec [ i 2 ] ]
+    (Value.VVec [ i 1; i 2 ]);
+  check_eval "vec_nth" [ vec; i 1 ] (Value.VOption (Some (i 2)));
+  check_eval "vec_nth" [ vec; i 9 ] (Value.VOption None);
+  check_eval "vec_sort" [ Value.VVec [ i 3; i 1; i 2 ] ]
+    (Value.VVec [ i 1; i 2; i 3 ]);
+  check_eval "vec_empty" [] (Value.VVec []);
+  let m = Value.VMap [ (i 1, s "a") ] in
+  check_eval "map_get" [ m; i 1 ] (Value.VOption (Some (s "a")));
+  check_eval "map_get" [ m; i 2 ] (Value.VOption None);
+  check_eval "map_contains" [ m; i 1 ] t;
+  check_eval "map_size" [ m ] (i 1);
+  check_eval "map_insert" [ m; i 2; s "b" ]
+    (Value.VMap [ (i 1, s "a"); (i 2, s "b") ]);
+  check_eval "map_empty" [] (Value.VMap []);
+  check_eval "some" [ i 1 ] (Value.VOption (Some (i 1)));
+  check_eval "none" [] (Value.VOption None);
+  check_eval "is_some" [ Value.VOption (Some (i 1)) ] t;
+  check_eval "is_none" [ Value.VOption None ] t;
+  check_eval "unwrap_or" [ Value.VOption (Some (i 1)); i 9 ] (i 1);
+  check_eval "unwrap_or" [ Value.VOption None; i 9 ] (i 9);
+  check_eval "tuple_nth" [ Value.VTuple [| i 1; s "x" |]; i 1 ] (s "x");
+  check_eval_raises "tuple_nth" [ Value.VTuple [| i 1 |]; i 5 ]
+
+let test_hashing_deterministic () =
+  let h1 = eval "hash32" [ s "abc" ] and h2 = eval "hash32" [ s "abc" ] in
+  Alcotest.check v "hash32 deterministic" h1 h2;
+  (match h1 with
+  | Value.VBit (32, _) -> ()
+  | _ -> Alcotest.fail "hash32 width");
+  match eval "hash64" [ i 5 ] with
+  | Value.VBit (64, _) -> ()
+  | _ -> Alcotest.fail "hash64 width"
+
+(* ---------------- typing ---------------- *)
+
+let ok ty = function
+  | Ok ty' ->
+    Alcotest.(check bool)
+      (Printf.sprintf "expected %s, got %s" (Dtype.to_string ty)
+         (Dtype.to_string ty'))
+      true (Dtype.equal ty ty')
+  | Error e -> Alcotest.failf "unexpected type error: %s" e
+
+let err = function
+  | Ok ty -> Alcotest.failf "expected type error, got %s" (Dtype.to_string ty)
+  | Error _ -> ()
+
+let test_result_types () =
+  let open Dtype in
+  ok TInt (Builtins.result_type "+" [ TInt; TInt ]);
+  ok (TBit 8) (Builtins.result_type "+" [ TBit 8; TBit 8 ]);
+  ok TDouble (Builtins.result_type "+" [ TDouble; TDouble ]);
+  ok TString (Builtins.result_type "+" [ TString; TString ]);
+  err (Builtins.result_type "+" [ TBit 8; TBit 9 ]);
+  err (Builtins.result_type "+" [ TInt; TBit 8 ]);
+  ok TBool (Builtins.result_type "==" [ TInt; TInt ]);
+  err (Builtins.result_type "==" [ TInt; TString ]);
+  ok TBool (Builtins.result_type "&&" [ TBool; TBool ]);
+  err (Builtins.result_type "&&" [ TInt; TBool ]);
+  ok (TBit 8) (Builtins.result_type "&" [ TBit 8; TBit 8 ]);
+  err (Builtins.result_type "&" [ TInt; TInt ]);
+  ok (TBit 16) (Builtins.result_type "concat_bits" [ TBit 8; TBit 8 ]);
+  err (Builtins.result_type "concat_bits" [ TBit 40; TBit 40 ]);
+  ok TInt (Builtins.result_type "vec_len" [ TVec TInt ]);
+  ok (TVec TInt) (Builtins.result_type "vec_push" [ TVec TAny; TInt ]);
+  err (Builtins.result_type "vec_push" [ TVec TString; TInt ]);
+  ok (TOption TString) (Builtins.result_type "map_get" [ TMap (TInt, TString); TInt ]);
+  err (Builtins.result_type "map_get" [ TMap (TInt, TString); TString ]);
+  ok TString (Builtins.result_type "unwrap_or" [ TOption TString; TString ]);
+  err (Builtins.result_type "no_such_builtin" [ TInt ])
+
+(* ---------------- aggregates ---------------- *)
+
+let test_aggregates () =
+  let group = [ (i 1, 2); (i 5, 1) ] in
+  Alcotest.check v "count" (i 3) (Builtins.agg_eval "count" group);
+  Alcotest.check v "count_distinct" (i 2)
+    (Builtins.agg_eval "count_distinct" group);
+  Alcotest.check v "sum" (i 7) (Builtins.agg_eval "sum" group);
+  Alcotest.check v "min" (i 1) (Builtins.agg_eval "min" group);
+  Alcotest.check v "max" (i 5) (Builtins.agg_eval "max" group);
+  Alcotest.check v "avg" (i 2) (Builtins.agg_eval "avg" group);
+  Alcotest.check v "collect_vec" (Value.VVec [ i 1; i 1; i 5 ])
+    (Builtins.agg_eval "collect_vec" group);
+  Alcotest.check v "collect_set" (Value.VVec [ i 1; i 5 ])
+    (Builtins.agg_eval "collect_set" group);
+  (* bit-vector sums wrap at width *)
+  Alcotest.check v "sum bits" (b 8 4L)
+    (Builtins.agg_eval "sum" [ (b 8 250L, 1); (b 8 10L, 1) ]);
+  (* double sums and averages *)
+  Alcotest.check v "sum doubles" (d 4.5)
+    (Builtins.agg_eval "sum" [ (d 1.5, 3) ]);
+  Alcotest.check v "avg doubles" (d 1.5)
+    (Builtins.agg_eval "avg" [ (d 1.0, 1); (d 2.0, 1) ]);
+  (* typing *)
+  ok Dtype.TInt (Builtins.agg_result_type "count" Dtype.TString);
+  ok (Dtype.TVec Dtype.TString)
+    (Builtins.agg_result_type "collect_vec" Dtype.TString);
+  ok Dtype.TDouble (Builtins.agg_result_type "sum" Dtype.TDouble);
+  err (Builtins.agg_result_type "sum" Dtype.TString);
+  err (Builtins.agg_result_type "avg" Dtype.TString);
+  err (Builtins.agg_result_type "frobnicate" Dtype.TInt)
+
+(* ---------------- builtins through the engine ---------------- *)
+
+let test_engine_collect_and_doubles () =
+  let program =
+    Parser.parse_program_exn
+      {|
+      input relation Sample(k: string, x: double)
+      output relation Mean(k: string, m: double)
+      Mean(k, m) :- Sample(k, x), var m = avg(x) group_by (k).
+      output relation Members(k: string, xs: vec<double>)
+      Members(k, xs) :- Sample(k, x), var xs = collect_set(x) group_by (k).
+      |}
+  in
+  let eng = Engine.create program in
+  ignore
+    (Engine.apply eng
+       [
+         ("Sample", [| s "a"; d 1.0 |], true);
+         ("Sample", [| s "a"; d 3.0 |], true);
+         ("Sample", [| s "b"; d 10.0 |], true);
+       ]);
+  let rows = List.sort Row.compare (Engine.relation_rows eng "Mean") in
+  Alcotest.(check int) "two groups" 2 (List.length rows);
+  (match rows with
+  | [ [| _; m1 |]; [| _; m2 |] ] ->
+    Alcotest.check v "mean a" (d 2.0) m1;
+    Alcotest.check v "mean b" (d 10.0) m2
+  | _ -> Alcotest.fail "unexpected Mean rows");
+  match Engine.relation_rows eng "Members" with
+  | rows ->
+    let a =
+      List.find (fun r -> Value.equal r.(0) (s "a")) rows
+    in
+    Alcotest.check v "collected" (Value.VVec [ d 1.0; d 3.0 ]) a.(1)
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons and booleans" `Quick
+      test_comparisons_and_bool;
+    Alcotest.test_case "bit operations" `Quick test_bit_ops;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "collections" `Quick test_collections;
+    Alcotest.test_case "hashing" `Quick test_hashing_deterministic;
+    Alcotest.test_case "result types" `Quick test_result_types;
+    Alcotest.test_case "aggregates" `Quick test_aggregates;
+    Alcotest.test_case "collect/doubles through engine" `Quick
+      test_engine_collect_and_doubles;
+  ]

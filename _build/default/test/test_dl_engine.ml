@@ -1,0 +1,586 @@
+(* Unit and oracle tests for the incremental engine.
+
+   Most tests follow the same pattern: run a sequence of transactions
+   through the incremental engine and compare the resulting relation
+   contents with the naive from-scratch evaluator fed with the final
+   input database. *)
+
+open Dl
+
+let parse = Parser.parse_program_exn
+
+let rows_testable =
+  Alcotest.testable
+    (fun fmt rows ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+           Row.pp)
+        rows)
+    (List.equal Row.equal)
+
+let sorted rows = List.sort Row.compare rows
+
+(** Compare the engine's view of every relation with the naive oracle
+    run over [inputs]. *)
+let check_against_oracle ?(msg = "oracle") (eng : Engine.t) program inputs =
+  let oracle = Naive.run program inputs in
+  List.iter
+    (fun (d : Ast.rel_decl) ->
+      let expected = sorted (Row.Set.elements (Naive.get oracle d.rname)) in
+      let actual = sorted (Engine.relation_rows eng d.rname) in
+      Alcotest.check rows_testable
+        (Printf.sprintf "%s: relation %s" msg d.rname)
+        expected actual)
+    program.Ast.decls
+
+let ints l = Array.of_list (List.map Value.of_int l)
+
+(* ------------------------------------------------------------------ *)
+
+let reach_src =
+  {|
+  input relation Edge(a: int, b: int)
+  input relation GivenLabel(n: int, l: string)
+  output relation Label(n: int, l: string)
+  Label(n, l) :- GivenLabel(n, l).
+  Label(n2, l) :- Label(n1, l), Edge(n1, n2).
+  |}
+
+let test_label_basic () =
+  let program = parse reach_src in
+  let eng = Engine.create program in
+  let lbl n = [| Value.of_int n; Value.of_string "red" |] in
+  let txn = Engine.transaction eng in
+  Engine.insert txn "GivenLabel" (lbl 1);
+  Engine.insert txn "Edge" (ints [ 1; 2 ]);
+  Engine.insert txn "Edge" (ints [ 2; 3 ]);
+  let deltas = Engine.commit txn in
+  let label_delta = List.assoc "Label" deltas in
+  Alcotest.(check int) "three labels derived" 3 (Zset.cardinal label_delta);
+  Alcotest.(check int) "label cardinality" 3 (Engine.relation_cardinal eng "Label");
+  check_against_oracle eng program
+    [ ("GivenLabel", [ lbl 1 ]); ("Edge", [ ints [ 1; 2 ]; ints [ 2; 3 ] ]) ]
+
+let test_label_incremental_delete () =
+  let program = parse reach_src in
+  let eng = Engine.create program in
+  let lbl n = [| Value.of_int n; Value.of_string "red" |] in
+  ignore
+    (Engine.apply eng
+       [
+         ("GivenLabel", lbl 1, true);
+         ("Edge", ints [ 1; 2 ], true);
+         ("Edge", ints [ 2; 3 ], true);
+         ("Edge", ints [ 3; 4 ], true);
+       ]);
+  (* Cut the chain: 3 and 4 lose their label. *)
+  let deltas = Engine.apply eng [ ("Edge", ints [ 2; 3 ], false) ] in
+  let label_delta = List.assoc "Label" deltas in
+  Alcotest.(check int) "two labels retracted" 2 (Zset.cardinal label_delta);
+  Zset.iter
+    (fun _ w -> Alcotest.(check int) "all deletions" (-1) w)
+    label_delta;
+  check_against_oracle eng program
+    [
+      ("GivenLabel", [ lbl 1 ]);
+      ("Edge", [ ints [ 1; 2 ]; ints [ 3; 4 ] ]);
+    ]
+
+let test_label_cycle_deletion () =
+  (* A cycle keeps facts alive only while externally supported: the
+     DRed re-derivation step must not resurrect a dead cycle. *)
+  let program = parse reach_src in
+  let eng = Engine.create program in
+  let lbl n = [| Value.of_int n; Value.of_string "c" |] in
+  ignore
+    (Engine.apply eng
+       [
+         ("GivenLabel", lbl 1, true);
+         ("Edge", ints [ 1; 2 ], true);
+         ("Edge", ints [ 2; 3 ], true);
+         ("Edge", ints [ 3; 2 ], true); (* cycle 2 <-> 3 *)
+       ]);
+  Alcotest.(check int) "three labelled" 3 (Engine.relation_cardinal eng "Label");
+  ignore (Engine.apply eng [ ("Edge", ints [ 1; 2 ], false) ]);
+  (* Nodes 2 and 3 support each other in the cycle but have no external
+     support left; only node 1 keeps its label. *)
+  Alcotest.(check int) "cycle died" 1 (Engine.relation_cardinal eng "Label");
+  check_against_oracle eng program
+    [
+      ("GivenLabel", [ lbl 1 ]);
+      ("Edge", [ ints [ 2; 3 ]; ints [ 3; 2 ] ]);
+    ]
+
+let test_rederivation_keeps_alternate_path () =
+  let program = parse reach_src in
+  let eng = Engine.create program in
+  let lbl n = [| Value.of_int n; Value.of_string "x" |] in
+  ignore
+    (Engine.apply eng
+       [
+         ("GivenLabel", lbl 1, true);
+         ("Edge", ints [ 1; 2 ], true);
+         ("Edge", ints [ 1; 3 ], true);
+         ("Edge", ints [ 3; 2 ], true); (* node 2 reachable two ways *)
+       ]);
+  let deltas = Engine.apply eng [ ("Edge", ints [ 1; 2 ], false) ] in
+  (* Node 2 is still reachable via 3: no visible change to Label. *)
+  Alcotest.(check bool) "no label change" true
+    (not (List.mem_assoc "Label" deltas));
+  Alcotest.(check int) "all labelled" 3 (Engine.relation_cardinal eng "Label")
+
+let test_insert_delete_same_txn () =
+  let program = parse reach_src in
+  let eng = Engine.create program in
+  let txn = Engine.transaction eng in
+  Engine.insert txn "Edge" (ints [ 1; 2 ]);
+  Engine.delete txn "Edge" (ints [ 1; 2 ]);
+  let deltas = Engine.commit txn in
+  Alcotest.(check int) "no net change" 0 (List.length deltas)
+
+let test_duplicate_insert_ignored () =
+  let program = parse reach_src in
+  let eng = Engine.create program in
+  ignore (Engine.apply eng [ ("Edge", ints [ 1; 2 ], true) ]);
+  let deltas = Engine.apply eng [ ("Edge", ints [ 1; 2 ], true) ] in
+  Alcotest.(check int) "duplicate is a no-op" 0 (List.length deltas);
+  let deltas = Engine.apply eng [ ("Edge", ints [ 9; 9 ], false) ] in
+  Alcotest.(check int) "absent delete is a no-op" 0 (List.length deltas)
+
+(* ------------------------------------------------------------------ *)
+(* Multiplicity correctness in non-recursive strata                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_join_counting () =
+  (* T(x) is derivable via two different joins; deleting one support
+     must not retract the fact. *)
+  let program =
+    parse
+      {|
+      input relation R(x: int, y: int)
+      input relation S(y: int)
+      output relation T(x: int)
+      T(x) :- R(x, y), S(y).
+      |}
+  in
+  let eng = Engine.create program in
+  ignore
+    (Engine.apply eng
+       [
+         ("R", ints [ 1; 10 ], true);
+         ("R", ints [ 1; 20 ], true);
+         ("S", ints [ 10 ], true);
+         ("S", ints [ 20 ], true);
+       ]);
+  Alcotest.(check int) "T has one row" 1 (Engine.relation_cardinal eng "T");
+  let deltas = Engine.apply eng [ ("S", ints [ 10 ], false) ] in
+  Alcotest.(check bool) "T unchanged (still one derivation)" true
+    (not (List.mem_assoc "T" deltas));
+  let deltas = Engine.apply eng [ ("S", ints [ 20 ], false) ] in
+  Alcotest.(check int) "T retracted with last support" (-1)
+    (Zset.weight (List.assoc "T" deltas) (ints [ 1 ]))
+
+let test_self_join () =
+  let program =
+    parse
+      {|
+      input relation E(a: int, b: int)
+      output relation Tri(a: int, b: int, c: int)
+      Tri(a, b, c) :- E(a, b), E(b, c), E(a, c).
+      |}
+  in
+  let eng = Engine.create program in
+  ignore
+    (Engine.apply eng
+       [
+         ("E", ints [ 1; 2 ], true);
+         ("E", ints [ 2; 3 ], true);
+         ("E", ints [ 1; 3 ], true);
+       ]);
+  Alcotest.(check int) "triangle found" 1 (Engine.relation_cardinal eng "Tri");
+  check_against_oracle eng program
+    [ ("E", [ ints [ 1; 2 ]; ints [ 2; 3 ]; ints [ 1; 3 ] ]) ];
+  ignore (Engine.apply eng [ ("E", ints [ 2; 3 ], false) ]);
+  Alcotest.(check int) "triangle gone" 0 (Engine.relation_cardinal eng "Tri")
+
+(* ------------------------------------------------------------------ *)
+(* Negation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_negation_basic () =
+  let program =
+    parse
+      {|
+      input relation Node(n: int)
+      input relation Blocked(n: int)
+      output relation Open(n: int)
+      Open(n) :- Node(n), not Blocked(n).
+      |}
+  in
+  let eng = Engine.create program in
+  ignore
+    (Engine.apply eng
+       [ ("Node", ints [ 1 ], true); ("Node", ints [ 2 ], true) ]);
+  Alcotest.(check int) "both open" 2 (Engine.relation_cardinal eng "Open");
+  let deltas = Engine.apply eng [ ("Blocked", ints [ 1 ], true) ] in
+  Alcotest.(check int) "1 retracted" (-1)
+    (Zset.weight (List.assoc "Open" deltas) (ints [ 1 ]));
+  let deltas = Engine.apply eng [ ("Blocked", ints [ 1 ], false) ] in
+  Alcotest.(check int) "1 restored" 1
+    (Zset.weight (List.assoc "Open" deltas) (ints [ 1 ]))
+
+let test_negation_with_wildcard_projection () =
+  (* not Assigned(n, _) depends only on the projection of Assigned on
+     its first column: adding a second assignment for the same node must
+     not change anything. *)
+  let program =
+    parse
+      {|
+      input relation Node(n: int)
+      input relation Assigned(n: int, task: int)
+      output relation Idle(n: int)
+      Idle(n) :- Node(n), not Assigned(n, _).
+      |}
+  in
+  let eng = Engine.create program in
+  ignore (Engine.apply eng [ ("Node", ints [ 1 ], true) ]);
+  let d1 = Engine.apply eng [ ("Assigned", ints [ 1; 100 ], true) ] in
+  Alcotest.(check int) "idle retracted" (-1)
+    (Zset.weight (List.assoc "Idle" d1) (ints [ 1 ]));
+  let d2 = Engine.apply eng [ ("Assigned", ints [ 1; 200 ], true) ] in
+  Alcotest.(check bool) "second assignment: no change" true
+    (not (List.mem_assoc "Idle" d2));
+  let d3 = Engine.apply eng [ ("Assigned", ints [ 1; 100 ], false) ] in
+  Alcotest.(check bool) "first removal: still assigned" true
+    (not (List.mem_assoc "Idle" d3));
+  let d4 = Engine.apply eng [ ("Assigned", ints [ 1; 200 ], false) ] in
+  Alcotest.(check int) "idle restored" 1
+    (Zset.weight (List.assoc "Idle" d4) (ints [ 1 ]))
+
+let test_negation_same_txn_as_positive () =
+  let program =
+    parse
+      {|
+      input relation Node(n: int)
+      input relation Blocked(n: int)
+      output relation Open(n: int)
+      Open(n) :- Node(n), not Blocked(n).
+      |}
+  in
+  let eng = Engine.create program in
+  (* Insert a node and its block in the same transaction. *)
+  let deltas =
+    Engine.apply eng
+      [ ("Node", ints [ 1 ], true); ("Blocked", ints [ 1 ], true) ]
+  in
+  Alcotest.(check bool) "never open" true (not (List.mem_assoc "Open" deltas));
+  check_against_oracle eng program
+    [ ("Node", [ ints [ 1 ] ]); ("Blocked", [ ints [ 1 ] ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let agg_src =
+  {|
+  input relation Port(id: int, vlan: int)
+  output relation VlanSize(vlan: int, n: int)
+  VlanSize(v, n) :- Port(p, v), var n = count(p) group_by (v).
+  |}
+
+let test_aggregate_count () =
+  let program = parse agg_src in
+  let eng = Engine.create program in
+  ignore
+    (Engine.apply eng
+       [
+         ("Port", ints [ 1; 10 ], true);
+         ("Port", ints [ 2; 10 ], true);
+         ("Port", ints [ 3; 20 ], true);
+       ]);
+  let got = sorted (Engine.relation_rows eng "VlanSize") in
+  Alcotest.check rows_testable "counts"
+    [ ints [ 10; 2 ]; ints [ 20; 1 ] ]
+    got;
+  (* Incremental update: -old +new for the touched group only. *)
+  let deltas = Engine.apply eng [ ("Port", ints [ 1; 10 ], false) ] in
+  let dz = List.assoc "VlanSize" deltas in
+  Alcotest.(check int) "old count retracted" (-1) (Zset.weight dz (ints [ 10; 2 ]));
+  Alcotest.(check int) "new count asserted" 1 (Zset.weight dz (ints [ 10; 1 ]));
+  (* Group disappears entirely when its last member leaves. *)
+  let deltas = Engine.apply eng [ ("Port", ints [ 3; 20 ], false) ] in
+  let dz = List.assoc "VlanSize" deltas in
+  Alcotest.(check int) "group removed" (-1) (Zset.weight dz (ints [ 20; 1 ]));
+  Alcotest.(check int) "no new row for empty group" 1 (Zset.cardinal dz);
+  check_against_oracle eng program
+    [ ("Port", [ ints [ 2; 10 ] ]) ]
+
+let test_aggregate_min_max_sum () =
+  let program =
+    parse
+      {|
+      input relation M(k: int, v: int)
+      output relation Stats(k: int, lo: int, hi: int, total: int)
+      Stats(k, lo, hi, total) :-
+        M(k, v),
+        var lo = min(v) group_by (k),
+        var hi = max(v) group_by (k),
+        var total = sum(v) group_by (k).
+      |}
+  in
+  (* Multiple aggregates in one rule are not supported (one LAgg max);
+     the type checker must reject the extra literals after the first. *)
+  match Typecheck.check_program program with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected rejection of trailing aggregate"
+
+let test_aggregate_sum_updates () =
+  let program =
+    parse
+      {|
+      input relation M(k: int, v: int)
+      output relation Total(k: int, s: int)
+      Total(k, s) :- M(k, v), var s = sum(v) group_by (k).
+      |}
+  in
+  let eng = Engine.create program in
+  ignore
+    (Engine.apply eng
+       [ ("M", ints [ 1; 5 ], true); ("M", ints [ 1; 7 ], true) ]);
+  Alcotest.check rows_testable "sum" [ ints [ 1; 12 ] ]
+    (sorted (Engine.relation_rows eng "Total"));
+  ignore (Engine.apply eng [ ("M", ints [ 1; 5 ], false) ]);
+  Alcotest.check rows_testable "sum after delete" [ ints [ 1; 7 ] ]
+    (sorted (Engine.relation_rows eng "Total"));
+  check_against_oracle eng program [ ("M", [ ints [ 1; 7 ] ]) ]
+
+let test_aggregate_downstream () =
+  (* An aggregate feeding another rule exercises stratum chaining. *)
+  let program =
+    parse
+      {|
+      input relation Port(id: int, vlan: int)
+      relation VlanSize(vlan: int, n: int)
+      output relation Crowded(vlan: int)
+      VlanSize(v, n) :- Port(p, v), var n = count(p) group_by (v).
+      Crowded(v) :- VlanSize(v, n), n >= 2.
+      |}
+  in
+  let eng = Engine.create program in
+  ignore
+    (Engine.apply eng
+       [ ("Port", ints [ 1; 10 ], true); ("Port", ints [ 2; 10 ], true) ]);
+  Alcotest.(check int) "crowded" 1 (Engine.relation_cardinal eng "Crowded");
+  ignore (Engine.apply eng [ ("Port", ints [ 2; 10 ], false) ]);
+  Alcotest.(check int) "no longer crowded" 0
+    (Engine.relation_cardinal eng "Crowded")
+
+(* ------------------------------------------------------------------ *)
+(* Assignments, conditions, flattening, facts                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_assign_and_cond () =
+  let program =
+    parse
+      {|
+      input relation R(x: int)
+      output relation O(x: int, y: int)
+      O(x, y) :- R(x), var y = x * x + 1, y < 20.
+      |}
+  in
+  let eng = Engine.create program in
+  ignore
+    (Engine.apply eng
+       [ ("R", ints [ 2 ], true); ("R", ints [ 3 ], true); ("R", ints [ 5 ], true) ]);
+  Alcotest.check rows_testable "computed"
+    [ ints [ 2; 5 ]; ints [ 3; 10 ] ]
+    (sorted (Engine.relation_rows eng "O"));
+  check_against_oracle eng program
+    [ ("R", [ ints [ 2 ]; ints [ 3 ]; ints [ 5 ] ]) ]
+
+let test_flatten () =
+  let program =
+    parse
+      {|
+      input relation R(x: int)
+      output relation O(x: int, y: int)
+      O(x, y) :- R(x), var ys = vec_push(vec_push(vec_empty(), x * 10), x * 20),
+                 var y in ys.
+      |}
+  in
+  let eng = Engine.create program in
+  ignore (Engine.apply eng [ ("R", ints [ 1 ], true) ]);
+  Alcotest.check rows_testable "flattened"
+    [ ints [ 1; 10 ]; ints [ 1; 20 ] ]
+    (sorted (Engine.relation_rows eng "O"));
+  ignore (Engine.apply eng [ ("R", ints [ 1 ], false) ]);
+  Alcotest.(check int) "retracted" 0 (Engine.relation_cardinal eng "O")
+
+let test_facts () =
+  let program =
+    parse
+      {|
+      input relation R(x: int)
+      output relation O(x: int, tag: string)
+      O(0, "static").
+      O(x, "dynamic") :- R(x).
+      |}
+  in
+  let eng = Engine.create program in
+  Alcotest.(check int) "fact present at init" 1 (Engine.relation_cardinal eng "O");
+  ignore (Engine.apply eng [ ("R", ints [ 1 ], true) ]);
+  Alcotest.(check int) "fact plus derived" 2 (Engine.relation_cardinal eng "O")
+
+let test_fact_into_recursive_stratum () =
+  let program =
+    parse
+      {|
+      input relation E(a: int, b: int)
+      output relation Reach(n: int)
+      Reach(0).
+      Reach(b) :- Reach(a), E(a, b).
+      |}
+  in
+  let eng = Engine.create program in
+  Alcotest.(check int) "seed fact" 1 (Engine.relation_cardinal eng "Reach");
+  ignore (Engine.apply eng [ ("E", ints [ 0; 1 ], true) ]);
+  Alcotest.(check int) "propagated" 2 (Engine.relation_cardinal eng "Reach")
+
+(* ------------------------------------------------------------------ *)
+(* Error paths and API behaviour                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_input_validation () =
+  let program = parse reach_src in
+  let eng = Engine.create program in
+  let txn = Engine.transaction eng in
+  (match Engine.insert txn "Label" (ints [ 1 ]) with
+  | exception Engine.Error _ -> ()
+  | () -> Alcotest.fail "writing a non-input relation must fail");
+  (match Engine.insert txn "Edge" (ints [ 1 ]) with
+  | exception Engine.Error _ -> ()
+  | () -> Alcotest.fail "arity mismatch must fail");
+  (match Engine.insert txn "Edge" [| Value.of_int 1; Value.of_string "x" |] with
+  | exception Engine.Error _ -> ()
+  | () -> Alcotest.fail "type mismatch must fail");
+  Engine.rollback txn;
+  (* Rollback leaves the engine usable. *)
+  let txn2 = Engine.transaction eng in
+  Engine.insert txn2 "Edge" (ints [ 1; 2 ]);
+  ignore (Engine.commit txn2)
+
+let test_single_open_transaction () =
+  let program = parse reach_src in
+  let eng = Engine.create program in
+  let _txn = Engine.transaction eng in
+  match Engine.transaction eng with
+  | exception Engine.Error _ -> ()
+  | _ -> Alcotest.fail "two open transactions must fail"
+
+let test_output_deltas_filter () =
+  let program =
+    parse
+      {|
+      input relation R(x: int)
+      relation Mid(x: int)
+      output relation O(x: int)
+      Mid(x) :- R(x).
+      O(x) :- Mid(x).
+      |}
+  in
+  let eng = Engine.create program in
+  let deltas = Engine.apply eng [ ("R", ints [ 1 ], true) ] in
+  Alcotest.(check int) "all deltas reported" 3 (List.length deltas);
+  let outs = Engine.output_deltas eng deltas in
+  Alcotest.(check int) "only output relations" 1 (List.length outs);
+  Alcotest.(check string) "the output" "O" (fst (List.hd outs))
+
+(* ------------------------------------------------------------------ *)
+(* A larger scenario mixing everything, oracle-checked                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mixed_program_oracle () =
+  let program =
+    parse
+      {|
+      input relation Link(a: int, b: int, up: bool)
+      input relation Host(h: int, sw: int)
+      relation Conn(a: int, b: int)
+      relation Reach(a: int, b: int)
+      output relation HostPairs(h1: int, h2: int)
+      output relation Degree(a: int, n: int)
+      Conn(a, b) :- Link(a, b, true).
+      Conn(b, a) :- Link(a, b, true).
+      Reach(a, b) :- Conn(a, b).
+      Reach(a, c) :- Reach(a, b), Conn(b, c).
+      HostPairs(h1, h2) :- Host(h1, s1), Host(h2, s2), Reach(s1, s2), h1 != h2.
+      Degree(a, n) :- Conn(a, b), var n = count(b) group_by (a).
+      |}
+  in
+  let eng = Engine.create program in
+  let link a b up = [| Value.of_int a; Value.of_int b; Value.VBool up |] in
+  let inputs = ref ([] : (string * Row.t * bool) list) in
+  let final_inputs () =
+    (* Replay the net effect for the oracle. *)
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (rel, row, ins) ->
+        let cur = try Hashtbl.find tbl rel with Not_found -> [] in
+        let cur = List.filter (fun r -> not (Row.equal r row)) cur in
+        Hashtbl.replace tbl rel (if ins then row :: cur else cur))
+      (List.rev !inputs);
+    Hashtbl.fold (fun rel rows acc -> (rel, rows) :: acc) tbl []
+  in
+  let step updates =
+    inputs := List.rev_append updates !inputs;
+    ignore (Engine.apply eng updates);
+    check_against_oracle eng program (final_inputs ())
+  in
+  step
+    [
+      ("Link", link 1 2 true, true);
+      ("Link", link 2 3 true, true);
+      ("Host", ints [ 100; 1 ], true);
+      ("Host", ints [ 101; 3 ], true);
+    ];
+  step [ ("Link", link 2 3 false, true) ]; (* a parallel down link *)
+  step [ ("Link", link 2 3 true, false) ]; (* cut the up link *)
+  step [ ("Link", link 3 1 true, true) ];  (* reconnect via a new link *)
+  step [ ("Host", ints [ 100; 1 ], false) ]
+
+let tests =
+  [
+    Alcotest.test_case "label basic" `Quick test_label_basic;
+    Alcotest.test_case "label incremental delete" `Quick
+      test_label_incremental_delete;
+    Alcotest.test_case "label cycle deletion (DRed)" `Quick
+      test_label_cycle_deletion;
+    Alcotest.test_case "rederivation keeps alternate path" `Quick
+      test_rederivation_keeps_alternate_path;
+    Alcotest.test_case "insert+delete same txn" `Quick test_insert_delete_same_txn;
+    Alcotest.test_case "duplicate insert ignored" `Quick
+      test_duplicate_insert_ignored;
+    Alcotest.test_case "join counting" `Quick test_join_counting;
+    Alcotest.test_case "self join" `Quick test_self_join;
+    Alcotest.test_case "negation basic" `Quick test_negation_basic;
+    Alcotest.test_case "negation wildcard projection" `Quick
+      test_negation_with_wildcard_projection;
+    Alcotest.test_case "negation same txn" `Quick
+      test_negation_same_txn_as_positive;
+    Alcotest.test_case "aggregate count" `Quick test_aggregate_count;
+    Alcotest.test_case "multiple aggregates rejected" `Quick
+      test_aggregate_min_max_sum;
+    Alcotest.test_case "aggregate sum updates" `Quick test_aggregate_sum_updates;
+    Alcotest.test_case "aggregate downstream" `Quick test_aggregate_downstream;
+    Alcotest.test_case "assign and cond" `Quick test_assign_and_cond;
+    Alcotest.test_case "flatten" `Quick test_flatten;
+    Alcotest.test_case "facts" `Quick test_facts;
+    Alcotest.test_case "fact into recursive stratum" `Quick
+      test_fact_into_recursive_stratum;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+    Alcotest.test_case "single open transaction" `Quick
+      test_single_open_transaction;
+    Alcotest.test_case "output delta filter" `Quick test_output_deltas_filter;
+    Alcotest.test_case "mixed program vs oracle" `Quick test_mixed_program_oracle;
+  ]

@@ -1,0 +1,233 @@
+(* A second engine suite: corner cases beyond the basics — deep strata
+   chains, multiple drivers in one transaction, query API, transaction
+   lifecycle, recursion interleaved with computation, and aggregates
+   over recursive results. *)
+
+open Dl
+
+let parse = Parser.parse_program_exn
+let ints l = Array.of_list (List.map Value.of_int l)
+
+let test_deep_strata_chain () =
+  (* A 10-deep dependency chain: one input change ripples through every
+     stratum; intermediate strata stay consistent. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "input relation R0(x: int)\n";
+  for i = 1 to 10 do
+    Buffer.add_string buf (Printf.sprintf "relation R%d(x: int)\n" i)
+  done;
+  Buffer.add_string buf "output relation Out(x: int)\n";
+  for i = 1 to 10 do
+    Buffer.add_string buf (Printf.sprintf "R%d(x + 1) :- R%d(x).\n" i (i - 1))
+  done;
+  Buffer.add_string buf "Out(x) :- R10(x).\n";
+  let eng = Engine.create (parse (Buffer.contents buf)) in
+  let deltas = Engine.apply eng [ ("R0", ints [ 0 ], true) ] in
+  Alcotest.(check int) "all strata changed" 12 (List.length deltas);
+  Alcotest.(check bool) "value accumulated" true
+    (Engine.relation_rows eng "Out" = [ ints [ 10 ] ]);
+  let deltas = Engine.apply eng [ ("R0", ints [ 0 ], false) ] in
+  Alcotest.(check int) "all strata retracted" 12 (List.length deltas);
+  Alcotest.(check int) "empty again" 0 (Engine.relation_cardinal eng "Out")
+
+let test_two_drivers_same_txn () =
+  (* Both sides of a join change in one transaction: the telescoped sum
+     must count the (new, new) pairing exactly once. *)
+  let eng =
+    Engine.create
+      (parse
+         {|
+         input relation A(x: int)
+         input relation B(x: int)
+         output relation Both(x: int)
+         Both(x) :- A(x), B(x).
+         |})
+  in
+  let deltas =
+    Engine.apply eng [ ("A", ints [ 1 ], true); ("B", ints [ 1 ], true) ]
+  in
+  Alcotest.(check int) "derived once" 1
+    (Zset.weight (List.assoc "Both" deltas) (ints [ 1 ]));
+  (* and removing both sides in one transaction retracts exactly once *)
+  let deltas =
+    Engine.apply eng [ ("A", ints [ 1 ], false); ("B", ints [ 1 ], false) ]
+  in
+  Alcotest.(check int) "retracted once" (-1)
+    (Zset.weight (List.assoc "Both" deltas) (ints [ 1 ]))
+
+let test_swap_in_one_txn () =
+  (* Replacing a row (delete old + insert new) in one transaction must
+     produce a clean -old/+new delta downstream. *)
+  let eng =
+    Engine.create
+      (parse
+         {|
+         input relation Port(id: int, vlan: int)
+         output relation V(id: int, vlan: int)
+         V(p, v) :- Port(p, v).
+         |})
+  in
+  ignore (Engine.apply eng [ ("Port", ints [ 1; 10 ], true) ]);
+  let deltas =
+    Engine.apply eng
+      [ ("Port", ints [ 1; 10 ], false); ("Port", ints [ 1; 20 ], true) ]
+  in
+  let dz = List.assoc "V" deltas in
+  Alcotest.(check int) "old retracted" (-1) (Zset.weight dz (ints [ 1; 10 ]));
+  Alcotest.(check int) "new asserted" 1 (Zset.weight dz (ints [ 1; 20 ]));
+  Alcotest.(check int) "nothing else" 2 (Zset.cardinal dz)
+
+let test_query_api () =
+  let eng =
+    Engine.create
+      (parse
+         {|
+         input relation E(a: int, b: int)
+         output relation F(a: int, b: int)
+         F(a, b) :- E(a, b).
+         |})
+  in
+  ignore
+    (Engine.apply eng
+       [ ("E", ints [ 1; 10 ], true); ("E", ints [ 1; 20 ], true);
+         ("E", ints [ 2; 30 ], true) ]);
+  let rows =
+    Engine.query eng "F" ~positions:[ 0 ] ~key:[ Value.of_int 1 ]
+  in
+  Alcotest.(check int) "keyed rows" 2 (List.length rows);
+  (* the maintained index reflects later changes *)
+  ignore (Engine.apply eng [ ("E", ints [ 1; 10 ], false) ]);
+  Alcotest.(check int) "index maintained" 1
+    (List.length (Engine.query eng "F" ~positions:[ 0 ] ~key:[ Value.of_int 1 ]));
+  Alcotest.(check int) "compound key" 1
+    (List.length
+       (Engine.query eng "F" ~positions:[ 0; 1 ]
+          ~key:[ Value.of_int 2; Value.of_int 30 ]))
+
+let test_txn_lifecycle () =
+  let eng =
+    Engine.create (parse {| input relation R(x: int)
+                            output relation O(x: int)
+                            O(x) :- R(x). |})
+  in
+  let txn = Engine.transaction eng in
+  Engine.insert txn "R" (ints [ 1 ]);
+  ignore (Engine.commit txn);
+  (* double commit is rejected *)
+  (match Engine.commit txn with
+  | exception Engine.Error _ -> ()
+  | _ -> Alcotest.fail "double commit must fail");
+  (* rollback discards staged changes *)
+  let txn = Engine.transaction eng in
+  Engine.insert txn "R" (ints [ 2 ]);
+  Engine.rollback txn;
+  Alcotest.(check int) "rollback discarded" 1 (Engine.relation_cardinal eng "R");
+  (* the engine is reusable after rollback *)
+  ignore (Engine.apply eng [ ("R", ints [ 3 ], true) ]);
+  Alcotest.(check int) "usable after rollback" 2
+    (Engine.relation_cardinal eng "R")
+
+let test_recursion_with_computation () =
+  (* Recursion whose step computes: bounded counting to a limit. *)
+  let eng =
+    Engine.create
+      (parse
+         {|
+         input relation Start(x: int)
+         input relation Limit(n: int)
+         output relation Steps(x: int)
+         Steps(x) :- Start(x).
+         Steps(y) :- Steps(x), Limit(n), x < n, var y = x + 1.
+         |})
+  in
+  ignore
+    (Engine.apply eng [ ("Start", ints [ 0 ], true); ("Limit", ints [ 5 ], true) ]);
+  Alcotest.(check int) "0..5" 6 (Engine.relation_cardinal eng "Steps");
+  (* raising the limit extends the chain incrementally *)
+  let deltas =
+    Engine.apply eng
+      [ ("Limit", ints [ 5 ], false); ("Limit", ints [ 8 ], true) ]
+  in
+  Alcotest.(check int) "extended by 3" 3
+    (Zset.cardinal (List.assoc "Steps" deltas));
+  (* lowering it shrinks the chain *)
+  ignore
+    (Engine.apply eng [ ("Limit", ints [ 8 ], false); ("Limit", ints [ 2 ], true) ]);
+  Alcotest.(check int) "0..2" 3 (Engine.relation_cardinal eng "Steps")
+
+let test_aggregate_over_recursion () =
+  (* Aggregate a recursive relation from a higher stratum. *)
+  let eng =
+    Engine.create
+      (parse
+         {|
+         input relation Edge(a: int, b: int)
+         input relation Src(n: int)
+         relation Reach(n: int)
+         output relation Size(n: int)
+         Reach(n) :- Src(n).
+         Reach(b) :- Reach(a), Edge(a, b).
+         Size(n) :- Reach(x), var n = count(x) group_by ().
+         |})
+  in
+  (* group_by () — a global aggregate *)
+  ignore
+    (Engine.apply eng
+       [ ("Src", ints [ 1 ], true); ("Edge", ints [ 1; 2 ], true);
+         ("Edge", ints [ 2; 3 ], true) ]);
+  Alcotest.(check bool) "count 3" true
+    (Engine.relation_rows eng "Size" = [ ints [ 3 ] ]);
+  ignore (Engine.apply eng [ ("Edge", ints [ 1; 2 ], false) ]);
+  Alcotest.(check bool) "count 1" true
+    (Engine.relation_rows eng "Size" = [ ints [ 1 ] ])
+
+let test_string_keys_and_tuples () =
+  let eng =
+    Engine.create
+      (parse
+         {|
+         input relation Kv(k: string, v: (int, bool))
+         output relation Nice(k: string)
+         Nice(k) :- Kv(k, t), tuple_nth(t, 1) == true.
+         |})
+  in
+  ignore
+    (Engine.apply eng
+       [ ("Kv", [| Value.of_string "a";
+                   Value.VTuple [| Value.of_int 1; Value.VBool true |] |], true);
+         ("Kv", [| Value.of_string "b";
+                   Value.VTuple [| Value.of_int 2; Value.VBool false |] |], true) ]);
+  Alcotest.(check bool) "tuple projection filters" true
+    (Engine.relation_rows eng "Nice" = [ [| Value.of_string "a" |] ])
+
+let test_footprint_shrinks () =
+  let eng =
+    Engine.create
+      (parse {| input relation R(x: int)
+                output relation O(x: int)
+                O(x) :- R(x). |})
+  in
+  let empty = Engine.footprint eng in
+  ignore
+    (Engine.apply eng (List.init 100 (fun i -> ("R", ints [ i ], true))));
+  let full = Engine.footprint eng in
+  Alcotest.(check bool) "footprint grows" true (full > empty);
+  ignore
+    (Engine.apply eng (List.init 100 (fun i -> ("R", ints [ i ], false))));
+  Alcotest.(check int) "footprint returns to baseline" empty
+    (Engine.footprint eng)
+
+let tests =
+  [
+    Alcotest.test_case "deep strata chain" `Quick test_deep_strata_chain;
+    Alcotest.test_case "two drivers in one txn" `Quick test_two_drivers_same_txn;
+    Alcotest.test_case "row swap in one txn" `Quick test_swap_in_one_txn;
+    Alcotest.test_case "query api" `Quick test_query_api;
+    Alcotest.test_case "transaction lifecycle" `Quick test_txn_lifecycle;
+    Alcotest.test_case "recursion with computation" `Quick
+      test_recursion_with_computation;
+    Alcotest.test_case "aggregate over recursion" `Quick
+      test_aggregate_over_recursion;
+    Alcotest.test_case "string keys and tuples" `Quick test_string_keys_and_tuples;
+    Alcotest.test_case "footprint shrinks" `Quick test_footprint_shrinks;
+  ]

@@ -1,0 +1,190 @@
+(* Unit tests for the DL lexer and parser. *)
+
+open Dl
+
+let parse src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let test_decls () =
+  let p =
+    parse
+      {|
+      input relation Port(id: bit<32>, vlan: bit<12>, trunk: bool)
+      output relation InVlan(port: bit<32>, vlan: bit<12>)
+      relation Internal(x: int, name: string, t: (int, bool),
+                        v: vec<string>, o: option<int>, m: map<int, string>)
+      |}
+  in
+  Alcotest.(check int) "three decls" 3 (List.length p.Ast.decls);
+  let port = Option.get (Ast.find_decl p "Port") in
+  Alcotest.(check bool) "input role" true (port.role = Ast.Input);
+  Alcotest.(check int) "arity" 3 (Ast.arity port);
+  let internal = Option.get (Ast.find_decl p "Internal") in
+  Alcotest.(check bool) "internal role" true (internal.role = Ast.Internal);
+  let _, tuple_ty = List.nth internal.cols 2 in
+  Alcotest.(check bool) "tuple type" true
+    (Dtype.equal tuple_ty (Dtype.TTuple [ Dtype.TInt; Dtype.TBool ]))
+
+let test_rules () =
+  let p =
+    parse
+      {|
+      input relation Edge(a: int, b: int)
+      input relation GivenLabel(n: int, l: string)
+      output relation Label(n: int, l: string)
+      Label(n, l) :- GivenLabel(n, l).
+      Label(n2, l) :- Label(n1, l), Edge(n1, n2).
+      |}
+  in
+  Alcotest.(check int) "two rules" 2 (List.length p.Ast.rules);
+  let r = List.nth p.Ast.rules 1 in
+  Alcotest.(check string) "head rel" "Label" r.Ast.head.hrel;
+  Alcotest.(check int) "two body literals" 2 (List.length r.Ast.body)
+
+let test_literal_kinds () =
+  let p =
+    parse
+      {|
+      input relation R(x: int, y: int)
+      input relation S(x: int)
+      output relation T(x: int, y: int)
+      output relation C(x: int, n: int)
+      T(x, z) :- R(x, y), not S(x), y > 2, var z = y * 2.
+      C(x, n) :- R(x, y), var n = count(y) group_by (x).
+      T(x, v) :- R(x, _), var vs = vec_push(vec_push(vec_empty(), 1), 2),
+                 var v in vs.
+      |}
+  in
+  let r1 = List.nth p.Ast.rules 0 in
+  (match r1.Ast.body with
+  | [ Ast.LAtom _; Ast.LNeg _; Ast.LCond _; Ast.LAssign _ ] -> ()
+  | _ -> Alcotest.fail "unexpected literal shapes in rule 1");
+  let r2 = List.nth p.Ast.rules 1 in
+  (match r2.Ast.body with
+  | [ Ast.LAtom _; Ast.LAgg g ] ->
+    Alcotest.(check string) "agg func" "count" g.agg_func;
+    Alcotest.(check (list string)) "group vars" [ "x" ] g.agg_by
+  | _ -> Alcotest.fail "unexpected literal shapes in rule 2");
+  let r3 = List.nth p.Ast.rules 2 in
+  (match r3.Ast.body with
+  | [ Ast.LAtom _; Ast.LAssign _; Ast.LFlat _ ] -> ()
+  | _ -> Alcotest.fail "unexpected literal shapes in rule 3")
+
+let test_constants () =
+  let p =
+    parse
+      {|
+      input relation K(b: bit<8>, h: bit<16>, bin: bit<4>, s: string,
+                       t: bool, i: int)
+      output relation O(x: int)
+      O(1) :- K(8'd255, 16'hBEEF, 4'b1010, "hi\n", true, -3).
+      |}
+  in
+  let r = List.hd p.Ast.rules in
+  match r.Ast.body with
+  | [ Ast.LAtom a ] ->
+    let const i =
+      match a.args.(i) with Ast.PConst c -> c | _ -> Alcotest.fail "not const"
+    in
+    Alcotest.(check bool) "dec bits" true (Value.equal (const 0) (Value.bit 8 255L));
+    Alcotest.(check bool) "hex bits" true
+      (Value.equal (const 1) (Value.bit 16 0xBEEFL));
+    Alcotest.(check bool) "bin bits" true (Value.equal (const 2) (Value.bit 4 0b1010L));
+    Alcotest.(check bool) "string escape" true
+      (Value.equal (const 3) (Value.of_string "hi\n"));
+    Alcotest.(check bool) "bool" true (Value.equal (const 4) (Value.VBool true));
+    Alcotest.(check bool) "negative int" true
+      (Value.equal (const 5) (Value.of_int (-3)))
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_int_to_bit_coercion () =
+  let p =
+    parse
+      {|
+      input relation Port(id: bit<32>)
+      output relation Out(id: bit<32>)
+      Out(5) :- Port(7).
+      |}
+  in
+  let r = List.hd p.Ast.rules in
+  (match r.Ast.head.hargs.(0) with
+  | Ast.EConst c ->
+    Alcotest.(check bool) "head coerced" true (Value.equal c (Value.bit 32 5L))
+  | _ -> Alcotest.fail "head not const");
+  match r.Ast.body with
+  | [ Ast.LAtom a ] -> (
+    match a.args.(0) with
+    | Ast.PConst c ->
+      Alcotest.(check bool) "pattern coerced" true (Value.equal c (Value.bit 32 7L))
+    | _ -> Alcotest.fail "pattern not const")
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_expression_precedence () =
+  let p =
+    parse
+      {|
+      input relation R(x: int)
+      output relation O(x: int)
+      O(y) :- R(x), var y = 1 + x * 2 - 3.
+      O(y) :- R(x), var y = if (x > 0 and x < 10) x else 0 - x.
+      |}
+  in
+  (* 1 + x * 2 - 3 must parse as (1 + (x * 2)) - 3 *)
+  let r = List.hd p.Ast.rules in
+  (match r.Ast.body with
+  | [ _; Ast.LAssign (_, Ast.ECall ("-", [ Ast.ECall ("+", [ _; Ast.ECall ("*", _) ]); _ ])) ] ->
+    ()
+  | _ -> Alcotest.fail "precedence wrong");
+  ignore p
+
+let test_comments_and_errors () =
+  let p =
+    parse
+      {|
+      // line comment
+      input relation R(x: int) /* block
+         comment */
+      output relation O(x: int)
+      O(x) :- R(x).
+      |}
+  in
+  Alcotest.(check int) "rules survive comments" 1 (List.length p.Ast.rules);
+  (match Parser.parse_program "input relation R(" with
+  | Error msg ->
+    Alcotest.(check bool) "error mentions position" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match Parser.parse_program "output relation O(x: int) O(x) :- R(x)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing dot must fail"
+
+let test_pp_parse_roundtrip () =
+  let src =
+    {|
+    input relation Edge(a: int, b: int)
+    output relation Reach(a: int, b: int)
+    Reach(a, b) :- Edge(a, b).
+    Reach(a, c) :- Reach(a, b), Edge(b, c).
+    |}
+  in
+  let p = parse src in
+  let printed = Format.asprintf "%a" Ast.pp_program p in
+  let p2 = parse printed in
+  Alcotest.(check int) "decls preserved" (List.length p.Ast.decls)
+    (List.length p2.Ast.decls);
+  Alcotest.(check int) "rules preserved" (List.length p.Ast.rules)
+    (List.length p2.Ast.rules)
+
+let tests =
+  [
+    Alcotest.test_case "declarations" `Quick test_decls;
+    Alcotest.test_case "rules" `Quick test_rules;
+    Alcotest.test_case "literal kinds" `Quick test_literal_kinds;
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "int->bit coercion" `Quick test_int_to_bit_coercion;
+    Alcotest.test_case "expression precedence" `Quick test_expression_precedence;
+    Alcotest.test_case "comments and errors" `Quick test_comments_and_errors;
+    Alcotest.test_case "pp/parse roundtrip" `Quick test_pp_parse_roundtrip;
+  ]

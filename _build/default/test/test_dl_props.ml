@@ -1,0 +1,235 @@
+(* Property-based tests (qcheck): algebraic laws of Z-sets and
+   differential testing of the incremental engine against the naive
+   evaluator on randomised update sequences. *)
+
+open Dl
+
+let ints l = Array.of_list (List.map Value.of_int l)
+
+(* ------------------------------------------------------------------ *)
+(* Z-set laws                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_zset =
+  QCheck2.Gen.(
+    let gen_row = map2 (fun a b -> ints [ a; b ]) (int_range 0 5) (int_range 0 5) in
+    let gen_entry = map2 (fun r w -> (r, w)) gen_row (int_range (-3) 3) in
+    map Zset.of_list (list_size (int_range 0 12) gen_entry))
+
+let zset_law name law =
+  QCheck2.Test.make ~count:300 ~name QCheck2.Gen.(pair gen_zset gen_zset) law
+
+let prop_union_commutative =
+  zset_law "zset union commutative" (fun (a, b) ->
+      Zset.equal (Zset.union a b) (Zset.union b a))
+
+let prop_union_neg_inverse =
+  zset_law "zset a + (-a) = 0" (fun (a, _) ->
+      Zset.is_empty (Zset.union a (Zset.neg a)))
+
+let prop_diff_is_union_neg =
+  zset_law "zset a - b = a + (-b)" (fun (a, b) ->
+      Zset.equal (Zset.diff a b) (Zset.union a (Zset.neg b)))
+
+let prop_distinct_idempotent =
+  zset_law "zset distinct idempotent" (fun (a, _) ->
+      Zset.equal (Zset.distinct a) (Zset.distinct (Zset.distinct a)))
+
+let prop_no_zero_weights =
+  zset_law "zset never stores weight 0" (fun (a, b) ->
+      Zset.fold (fun _ w acc -> acc && w <> 0) (Zset.union a b) true)
+
+let prop_union_associative =
+  QCheck2.Test.make ~count:300 ~name:"zset union associative"
+    QCheck2.Gen.(triple gen_zset gen_zset gen_zset)
+    (fun (a, b, c) ->
+      Zset.equal (Zset.union a (Zset.union b c)) (Zset.union (Zset.union a b) c))
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs naive evaluator on random update traces                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A trace is a list of transactions; each transaction a list of
+   (relation, row, insert?) updates over a small universe, so that
+   inserts and deletes of the same rows collide frequently. *)
+
+let run_trace ?(planner = true) ?(use_indexes = true) program rels_arities
+    trace =
+  let eng = Engine.create ~planner ~use_indexes program in
+  (* Current input database, maintained alongside. *)
+  let current : (string, Row.Set.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (r, _) -> Hashtbl.replace current r Row.Set.empty) rels_arities;
+  let ok = ref true in
+  List.iter
+    (fun txn_updates ->
+      let txn = Engine.transaction eng in
+      List.iter
+        (fun (rel, row, ins) ->
+          if ins then Engine.insert txn rel row else Engine.delete txn rel row;
+          let s = Hashtbl.find current rel in
+          Hashtbl.replace current rel
+            (if ins then Row.Set.add row s else Row.Set.remove row s))
+        txn_updates;
+      ignore (Engine.commit txn);
+      let inputs =
+        Hashtbl.fold
+          (fun rel s acc -> (rel, Row.Set.elements s) :: acc)
+          current []
+      in
+      let oracle = Naive.run program inputs in
+      List.iter
+        (fun (d : Ast.rel_decl) ->
+          let expected =
+            List.sort Row.compare (Row.Set.elements (Naive.get oracle d.rname))
+          in
+          let actual =
+            List.sort Row.compare (Engine.relation_rows eng d.rname)
+          in
+          if not (List.equal Row.equal expected actual) then ok := false)
+        program.Ast.decls)
+    trace;
+  !ok
+
+let gen_trace rels_arities =
+  QCheck2.Gen.(
+    let gen_update =
+      let* rel, arity = oneofl rels_arities in
+      let* row = list_repeat arity (int_range 0 4) in
+      let* ins = bool in
+      return (rel, ints row, ins)
+    in
+    let gen_txn = list_size (int_range 1 5) gen_update in
+    list_size (int_range 1 10) gen_txn)
+
+let engine_matches_naive name src rels_arities =
+  let program = Parser.parse_program_exn src in
+  QCheck2.Test.make ~count:60 ~name (gen_trace rels_arities) (fun trace ->
+      run_trace program rels_arities trace)
+
+let prop_reachability =
+  engine_matches_naive "engine = naive: recursive reachability"
+    {|
+    input relation Edge(a: int, b: int)
+    input relation Src(n: int)
+    output relation Reach(n: int)
+    Reach(n) :- Src(n).
+    Reach(b) :- Reach(a), Edge(a, b).
+    |}
+    [ ("Edge", 2); ("Src", 1) ]
+
+let prop_mutual_recursion =
+  engine_matches_naive "engine = naive: mutual recursion"
+    {|
+    input relation E(a: int, b: int)
+    input relation Start(n: int)
+    output relation Even(n: int)
+    output relation Odd(n: int)
+    Even(n) :- Start(n).
+    Odd(b) :- Even(a), E(a, b).
+    Even(b) :- Odd(a), E(a, b).
+    |}
+    [ ("E", 2); ("Start", 1) ]
+
+let prop_join_negation =
+  engine_matches_naive "engine = naive: join with negation"
+    {|
+    input relation R(x: int, y: int)
+    input relation S(y: int)
+    input relation Block(x: int, y: int)
+    output relation T(x: int, y: int)
+    T(x, y) :- R(x, y), S(y), not Block(x, y).
+    output relation U(x: int)
+    U(x) :- R(x, _), not S(x).
+    |}
+    [ ("R", 2); ("S", 1); ("Block", 2) ]
+
+let prop_aggregates =
+  engine_matches_naive "engine = naive: aggregates"
+    {|
+    input relation M(k: int, v: int)
+    output relation Cnt(k: int, n: int)
+    output relation Sum(k: int, s: int)
+    output relation Lo(k: int, v: int)
+    Cnt(k, n) :- M(k, v), var n = count(v) group_by (k).
+    Sum(k, s) :- M(k, v), var s = sum(v) group_by (k).
+    Lo(k, v) :- M(k, x), var v = min(x) group_by (k).
+    |}
+    [ ("M", 2) ]
+
+let prop_negated_reach =
+  engine_matches_naive "engine = naive: negation over recursion"
+    {|
+    input relation Edge(a: int, b: int)
+    input relation Node(n: int)
+    relation Reach(a: int, b: int)
+    output relation Cut(a: int, b: int)
+    Reach(a, b) :- Edge(a, b).
+    Reach(a, c) :- Reach(a, b), Edge(b, c).
+    Cut(a, b) :- Node(a), Node(b), not Reach(a, b), a != b.
+    |}
+    [ ("Edge", 2); ("Node", 1) ]
+
+(* The ablation configurations must agree with the default engine. *)
+let prop_planner_off =
+  let src =
+    {|
+    input relation Edge(a: int, b: int)
+    input relation Src(n: int)
+    output relation Reach(n: int)
+    Reach(n) :- Src(n).
+    Reach(b) :- Reach(a), Edge(a, b).
+    output relation Deg(a: int, n: int)
+    Deg(a, n) :- Edge(a, b), var n = count(b) group_by (a).
+    |}
+  in
+  let program = Parser.parse_program_exn src in
+  let rels = [ ("Edge", 2); ("Src", 1) ] in
+  QCheck2.Test.make ~count:40 ~name:"engine = naive: planner disabled"
+    (gen_trace rels)
+    (fun trace -> run_trace ~planner:false program rels trace)
+
+let prop_indexes_off =
+  let src =
+    {|
+    input relation Edge(a: int, b: int)
+    input relation Src(n: int)
+    output relation Reach(n: int)
+    Reach(n) :- Src(n).
+    Reach(b) :- Reach(a), Edge(a, b).
+    |}
+  in
+  let program = Parser.parse_program_exn src in
+  let rels = [ ("Edge", 2); ("Src", 1) ] in
+  QCheck2.Test.make ~count:40 ~name:"engine = naive: indexes disabled"
+    (gen_trace rels)
+    (fun trace -> run_trace ~use_indexes:false program rels trace)
+
+let prop_expressions =
+  engine_matches_naive "engine = naive: expressions and flattening"
+    {|
+    input relation R(x: int, y: int)
+    output relation O(a: int, b: int)
+    O(x, z) :- R(x, y), var z = x * 10 + y, z % 2 == 0.
+    O(x, w) :- R(x, y), var ws = vec_push(vec_push(vec_empty(), y), y + 1),
+               var w in ws, w > x.
+    |}
+    [ ("R", 2) ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_union_commutative;
+      prop_union_neg_inverse;
+      prop_diff_is_union_neg;
+      prop_distinct_idempotent;
+      prop_no_zero_weights;
+      prop_union_associative;
+      prop_reachability;
+      prop_mutual_recursion;
+      prop_join_negation;
+      prop_aggregates;
+      prop_negated_reach;
+      prop_expressions;
+      prop_planner_off;
+      prop_indexes_off;
+    ]

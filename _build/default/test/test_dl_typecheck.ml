@@ -1,0 +1,306 @@
+(* Unit tests for the DL type checker and stratifier. *)
+
+open Dl
+
+let parse src = Parser.parse_program_exn src
+
+let check_ok src =
+  match Typecheck.check_program (parse src) with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "unexpected errors: %s" (String.concat "; " errs)
+
+let check_fails ?(substring = "") src =
+  match Typecheck.check_program (parse src) with
+  | Ok () -> Alcotest.fail "expected a type error"
+  | Error errs ->
+    if substring <> "" then
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S (got: %s)" substring
+           (String.concat "; " errs))
+        true
+        (List.exists
+           (fun e ->
+             let rec contains i =
+               i + String.length substring <= String.length e
+               && (String.sub e i (String.length substring) = substring
+                  || contains (i + 1))
+             in
+             contains 0)
+           errs)
+
+let test_good_program () =
+  check_ok
+    {|
+    input relation Edge(a: int, b: int)
+    input relation GivenLabel(n: int, l: string)
+    output relation Label(n: int, l: string)
+    Label(n, l) :- GivenLabel(n, l).
+    Label(n2, l) :- Label(n1, l), Edge(n1, n2).
+    |}
+
+let test_unknown_relation () =
+  check_fails ~substring:"unknown relation"
+    {|
+    output relation O(x: int)
+    O(x) :- Mystery(x).
+    |}
+
+let test_arity_mismatch () =
+  check_fails ~substring:"arguments"
+    {|
+    input relation R(x: int, y: int)
+    output relation O(x: int)
+    O(x) :- R(x).
+    |}
+
+let test_column_type_mismatch () =
+  check_fails
+    {|
+    input relation R(x: int)
+    input relation S(x: string)
+    output relation O(x: int)
+    O(x) :- R(x), S(x).
+    |}
+
+let test_unbound_in_negation () =
+  check_fails ~substring:"bound"
+    {|
+    input relation R(x: int)
+    input relation S(x: int)
+    output relation O(x: int)
+    O(x) :- R(x), not S(y).
+    |}
+
+let test_unbound_head_var () =
+  check_fails ~substring:"unbound"
+    {|
+    input relation R(x: int)
+    output relation O(x: int, y: int)
+    O(x, y) :- R(x).
+    |}
+
+let test_condition_not_bool () =
+  check_fails ~substring:"boolean"
+    {|
+    input relation R(x: int)
+    output relation O(x: int)
+    O(x) :- R(x), x + 1.
+    |}
+
+let test_rebinding_rejected () =
+  check_fails ~substring:"already bound"
+    {|
+    input relation R(x: int)
+    output relation O(x: int)
+    O(x) :- R(x), var x = 3.
+    |}
+
+let test_rule_into_input_rejected () =
+  check_fails ~substring:"input"
+    {|
+    input relation R(x: int)
+    input relation S(x: int)
+    O(x) :- S(x).
+    input relation O(x: int)
+    |}
+
+let test_agg_positions () =
+  check_ok
+    {|
+    input relation R(x: int, y: int)
+    output relation C(x: int, n: int)
+    C(x, n) :- R(x, y), var n = count(y) group_by (x).
+    |};
+  check_fails ~substring:"last literal"
+    {|
+    input relation R(x: int, y: int)
+    output relation C(x: int, n: int)
+    C(x, n) :- R(x, y), var n = count(y) group_by (x), x > 0.
+    |};
+  (* Head may only use group variables and the aggregate output. *)
+  check_fails ~substring:"unbound"
+    {|
+    input relation R(x: int, y: int)
+    output relation C(x: int, n: int)
+    C(y, n) :- R(x, y), var n = count(y) group_by (x).
+    |}
+
+let test_sum_needs_numeric () =
+  check_fails ~substring:"sum"
+    {|
+    input relation R(x: int, s: string)
+    output relation C(x: int, n: int)
+    C(x, n) :- R(x, s), var n = sum(s) group_by (x).
+    |}
+
+let test_bit_width_arith () =
+  check_fails
+    {|
+    input relation R(a: bit<8>, b: bit<16>)
+    output relation O(x: bit<8>)
+    O(c) :- R(a, b), var c = a + b.
+    |};
+  check_ok
+    {|
+    input relation R(a: bit<8>, b: bit<8>)
+    output relation O(x: bit<8>)
+    O(c) :- R(a, b), var c = a + b.
+    |}
+
+let test_duplicate_decl () =
+  check_fails ~substring:"duplicate"
+    {|
+    input relation R(x: int)
+    input relation R(y: string)
+    |}
+
+let test_bad_bit_width_decl () =
+  check_fails ~substring:"width"
+    {|
+    input relation R(x: bit<65>)
+    |}
+
+(* --- lint --- *)
+
+let test_lint_singleton_vars () =
+  let p =
+    parse
+      {|
+      input relation R(x: int, y: int)
+      output relation O(x: int)
+      O(x) :- R(x, y).
+      O(x) :- R(x, _).
+      O(x) :- R(x, _unused).
+      |}
+  in
+  let warnings = Typecheck.lint p in
+  Alcotest.(check int) "one warning" 1 (List.length warnings);
+  Alcotest.(check bool) "names the variable" true
+    (let w = List.hd warnings in
+     let rec contains i =
+       i + 10 <= String.length w
+       && (String.sub w i 10 = "variable y" || contains (i + 1))
+     in
+     contains 0)
+
+let test_lint_clean_program () =
+  let p =
+    parse
+      {|
+      input relation Edge(a: int, b: int)
+      output relation Reach(a: int, b: int)
+      Reach(a, b) :- Edge(a, b).
+      Reach(a, c) :- Reach(a, b), Edge(b, c).
+      |}
+  in
+  Alcotest.(check (list string)) "no warnings" [] (Typecheck.lint p)
+
+(* --- stratification --- *)
+
+let test_stratification_order () =
+  let p =
+    parse
+      {|
+      input relation Edge(a: int, b: int)
+      relation Reach(a: int, b: int)
+      output relation Unreach(a: int, b: int)
+      input relation Node(n: int)
+      Reach(a, b) :- Edge(a, b).
+      Reach(a, c) :- Reach(a, b), Edge(b, c).
+      Unreach(a, b) :- Node(a), Node(b), not Reach(a, b).
+      |}
+  in
+  let strata = Stratify.stratify p in
+  let index_of rel =
+    let rec go i = function
+      | [] -> Alcotest.failf "relation %s not in any stratum" rel
+      | (s : Stratify.stratum) :: rest ->
+        if List.mem rel s.relations then i else go (i + 1) rest
+    in
+    go 0 strata
+  in
+  Alcotest.(check bool) "Edge before Reach" true (index_of "Edge" < index_of "Reach");
+  Alcotest.(check bool) "Reach before Unreach" true
+    (index_of "Reach" < index_of "Unreach");
+  let reach_stratum = List.nth strata (index_of "Reach") in
+  Alcotest.(check bool) "Reach recursive" true reach_stratum.recursive;
+  let unreach_stratum = List.nth strata (index_of "Unreach") in
+  Alcotest.(check bool) "Unreach not recursive" false unreach_stratum.recursive
+
+let test_unstratifiable_negation () =
+  let p =
+    parse
+      {|
+      input relation E(a: int)
+      output relation P(a: int)
+      output relation Q(a: int)
+      P(a) :- E(a), not Q(a).
+      Q(a) :- E(a), not P(a).
+      |}
+  in
+  match Stratify.stratify p with
+  | exception Stratify.Unstratifiable _ -> ()
+  | _ -> Alcotest.fail "expected Unstratifiable"
+
+let test_unstratifiable_agg_cycle () =
+  let p =
+    parse
+      {|
+      input relation E(a: int)
+      output relation P(a: int)
+      P(n) :- P(a), var n = count(a) group_by (a).
+      P(a) :- E(a).
+      |}
+  in
+  match Stratify.stratify p with
+  | exception Stratify.Unstratifiable _ -> ()
+  | _ -> Alcotest.fail "expected Unstratifiable"
+
+let test_mutual_recursion_one_stratum () =
+  let p =
+    parse
+      {|
+      input relation E(a: int, b: int)
+      output relation Even(a: int)
+      output relation Odd(a: int)
+      Even(0).
+      Odd(b) :- Even(a), E(a, b).
+      Even(b) :- Odd(a), E(a, b).
+      |}
+  in
+  let strata = Stratify.stratify p in
+  let s =
+    List.find
+      (fun (s : Stratify.stratum) -> List.mem "Even" s.relations)
+      strata
+  in
+  Alcotest.(check bool) "Even and Odd share a stratum" true
+    (List.mem "Odd" s.relations);
+  Alcotest.(check bool) "recursive" true s.recursive
+
+let tests =
+  [
+    Alcotest.test_case "well-typed program" `Quick test_good_program;
+    Alcotest.test_case "unknown relation" `Quick test_unknown_relation;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+    Alcotest.test_case "column type mismatch" `Quick test_column_type_mismatch;
+    Alcotest.test_case "unbound var in negation" `Quick test_unbound_in_negation;
+    Alcotest.test_case "unbound head var" `Quick test_unbound_head_var;
+    Alcotest.test_case "non-boolean condition" `Quick test_condition_not_bool;
+    Alcotest.test_case "rebinding rejected" `Quick test_rebinding_rejected;
+    Alcotest.test_case "rules into inputs rejected" `Quick
+      test_rule_into_input_rejected;
+    Alcotest.test_case "aggregate placement" `Quick test_agg_positions;
+    Alcotest.test_case "sum needs numeric" `Quick test_sum_needs_numeric;
+    Alcotest.test_case "bit width arithmetic" `Quick test_bit_width_arith;
+    Alcotest.test_case "duplicate declaration" `Quick test_duplicate_decl;
+    Alcotest.test_case "bad bit width" `Quick test_bad_bit_width_decl;
+    Alcotest.test_case "lint singleton vars" `Quick test_lint_singleton_vars;
+    Alcotest.test_case "lint clean program" `Quick test_lint_clean_program;
+    Alcotest.test_case "stratification order" `Quick test_stratification_order;
+    Alcotest.test_case "unstratifiable negation" `Quick
+      test_unstratifiable_negation;
+    Alcotest.test_case "unstratifiable aggregate" `Quick
+      test_unstratifiable_agg_cycle;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion_one_stratum;
+  ]

@@ -1,0 +1,220 @@
+(* The strongest full-stack oracle: random configuration histories are
+   applied simultaneously to the Nerpa stack (OVSDB -> incremental DL
+   engine -> P4Runtime) and to the imperative recompute controller; the
+   two switches' complete data-plane states must coincide after every
+   step.  This pins the incremental controller's *cumulative* behaviour
+   (including deletions, modifications and MAC learning) to the
+   recompute-from-scratch semantics. *)
+
+let entry_set sw table =
+  List.sort compare
+    (List.map
+       (fun (e : P4.Entry.t) -> (e.matches, e.priority, e.action, e.args))
+       (P4.Switch.table_entries sw table))
+
+let groups_of sw vlans =
+  List.map
+    (fun v -> (v, P4.Switch.mcast_group sw (Int64.of_int v)))
+    vlans
+
+type step =
+  | SAddPort of int * int * bool (* port, vlan, trunk? *)
+  | SDelPort of int
+  | SMirror of int * int
+  | SDelMirrors
+  | SAcl of int * int64 * int64 * bool
+  | SVlanFlood of int * bool
+  | STraffic of int64 * int (* src mac, in port *)
+
+let vlans = [ 10; 11; 12 ]
+
+let gen_step r live_ports =
+  match Random.State.int r 8 with
+  | 0 | 1 ->
+    let p = 1 + Random.State.int r 12 in
+    SAddPort (p, List.nth vlans (Random.State.int r 3), Random.State.bool r)
+  | 2 when live_ports <> [] ->
+    SDelPort (List.nth live_ports (Random.State.int r (List.length live_ports)))
+  | 3 -> SMirror (1 + Random.State.int r 12, 90 + Random.State.int r 3)
+  | 4 -> SDelMirrors
+  | 5 ->
+    SAcl
+      ( 1 + Random.State.int r 5,
+        Int64.of_int (Random.State.int r 4),
+        Int64.of_int (Random.State.int r 4),
+        Random.State.bool r )
+  | 6 -> SVlanFlood (List.nth vlans (Random.State.int r 3), Random.State.bool r)
+  | _ ->
+    STraffic
+      ( Int64.of_int (0x020000000000 + Random.State.int r 6),
+        1 + Random.State.int r 12 )
+
+let test_random_histories () =
+  let r = Random.State.make [| 2026 |] in
+  for _trial = 0 to 9 do
+    let d = Snvs.deploy () in
+    let live = ref [] in
+    let next_acl = ref 100 in
+    for _step = 0 to 30 do
+      (match gen_step r !live with
+      | SAddPort (p, vlan, trunk) ->
+        if not (List.mem p !live) then begin
+          live := p :: !live;
+          ignore
+            (Snvs.add_port d
+               ~name:(Printf.sprintf "p%d" p)
+               ~port:p
+               ~mode:(if trunk then "trunk" else "access")
+               ~tag:(if trunk then 0 else vlan)
+               ~trunks:(if trunk then vlans else []))
+        end
+      | SDelPort p ->
+        live := List.filter (fun q -> q <> p) !live;
+        Snvs.del_port d ~name:(Printf.sprintf "p%d" p)
+      | SMirror (sel, out) ->
+        ignore
+          (Snvs.add_mirror d
+             ~name:(Printf.sprintf "m%d" !next_acl)
+             ~select_port:sel ~output_port:out);
+        incr next_acl
+      | SDelMirrors ->
+        ignore
+          (Ovsdb.Db.transact_exn d.db
+             [ Ovsdb.Db.Delete { table = "Mirror"; where = [] } ])
+      | SAcl (prio, src, dst, allow) ->
+        ignore
+          (Snvs.add_acl d ~priority:!next_acl ~src ~src_mask:(-1L) ~dst
+             ~dst_mask:(-1L) ~allow);
+        ignore prio;
+        incr next_acl
+      | SVlanFlood (vlan, flood) ->
+        ignore
+          (Ovsdb.Db.transact_exn d.db
+             [ Ovsdb.Db.Delete
+                 { table = "Vlan";
+                   where = [ Ovsdb.Db.eq "vlan" (Ovsdb.Datum.integer (Int64.of_int vlan)) ] } ]);
+        Snvs.set_vlan_flood d ~vlan ~flood
+      | STraffic (src, port) ->
+        ignore
+          (P4.Switch.process d.switch ~in_port:port
+             (P4.Stdhdrs.ethernet_frame ~dst:0xFFFFFFFFFFFFL ~src
+                ~ethertype:0x0800L ~payload:"x")));
+      ignore (Nerpa.Controller.sync d.controller);
+
+      (* Rebuild the full imperative config from the current OVSDB
+         contents plus the engine's learned-MAC inputs, recompute from
+         scratch, and compare data planes. *)
+      let cfg =
+        {
+          Baseline.Snvs_imperative.ports =
+            Ovsdb.Db.fold_rows d.db "Port"
+              (fun _ row acc ->
+                let geti c =
+                  Int64.to_int
+                    (Option.get (Ovsdb.Datum.as_integer (Ovsdb.Db.column_value row c)))
+                in
+                let mode =
+                  Option.get (Ovsdb.Datum.as_string (Ovsdb.Db.column_value row "mode"))
+                in
+                {
+                  Baseline.Snvs_imperative.port = geti "port";
+                  mode = (if mode = "trunk" then `Trunk else `Access);
+                  tag = geti "tag";
+                  trunks =
+                    (match Ovsdb.Db.column_value row "trunks" with
+                    | Ovsdb.Datum.Set atoms ->
+                      List.map
+                        (function
+                          | Ovsdb.Atom.Integer i -> Int64.to_int i
+                          | _ -> 0)
+                        atoms
+                    | _ -> []);
+                }
+                :: acc)
+              [];
+          mirrors =
+            Ovsdb.Db.fold_rows d.db "Mirror"
+              (fun _ row acc ->
+                let geti c =
+                  Int64.to_int
+                    (Option.get (Ovsdb.Datum.as_integer (Ovsdb.Db.column_value row c)))
+                in
+                { Baseline.Snvs_imperative.select_port = geti "select_port";
+                  output_port = geti "output_port" }
+                :: acc)
+              [];
+          acls =
+            Ovsdb.Db.fold_rows d.db "Acl"
+              (fun _ row acc ->
+                let geti64 c =
+                  Option.get (Ovsdb.Datum.as_integer (Ovsdb.Db.column_value row c))
+                in
+                {
+                  Baseline.Snvs_imperative.prio = Int64.to_int (geti64 "priority");
+                  src = geti64 "src";
+                  src_mask = geti64 "src_mask";
+                  dst = geti64 "dst";
+                  dst_mask = geti64 "dst_mask";
+                  allow =
+                    Option.get
+                      (Ovsdb.Datum.as_boolean (Ovsdb.Db.column_value row "allow"));
+                }
+                :: acc)
+              [];
+          no_flood_vlans =
+            Ovsdb.Db.fold_rows d.db "Vlan"
+              (fun _ row acc ->
+                if
+                  Ovsdb.Datum.as_boolean (Ovsdb.Db.column_value row "flood")
+                  = Some false
+                then
+                  Int64.to_int
+                    (Option.get
+                       (Ovsdb.Datum.as_integer (Ovsdb.Db.column_value row "vlan")))
+                  :: acc
+                else acc)
+              [];
+          macs =
+            List.map
+              (fun row ->
+                {
+                  Baseline.Snvs_imperative.l_port =
+                    Int64.to_int (Dl.Value.as_int row.(0));
+                  l_vlan = Int64.to_int (Dl.Value.as_int row.(1));
+                  l_mac = Dl.Value.as_int row.(2);
+                })
+              (Dl.Engine.relation_rows
+                 (Nerpa.Controller.engine d.controller)
+                 "LearnedMac");
+        }
+      in
+      let sw2 = P4.Switch.create Snvs.p4 in
+      let inst = Baseline.Snvs_imperative.fresh_installed () in
+      ignore (Baseline.Snvs_imperative.reconcile inst sw2 cfg);
+      List.iter
+        (fun table ->
+          if entry_set d.switch table <> entry_set sw2 table then
+            Alcotest.failf "table %s diverged from recompute semantics" table)
+        [ "in_vlan"; "out_vlan"; "mirror"; "acl"; "smac"; "dmac" ];
+      if groups_of d.switch vlans <> groups_of sw2 vlans then begin
+        let show gs =
+          String.concat "; "
+            (List.map
+               (fun (v, ports) ->
+                 Printf.sprintf "%d->%s" v
+                   (match ports with
+                   | None -> "none"
+                   | Some ps ->
+                     "[" ^ String.concat "," (List.map Int64.to_string ps) ^ "]"))
+               gs)
+        in
+        Alcotest.failf "multicast groups diverged: nerpa {%s} vs recompute {%s}"
+          (show (groups_of d.switch vlans))
+          (show (groups_of sw2 vlans))
+      end
+    done
+  done
+
+let tests =
+  [ Alcotest.test_case "nerpa = recompute on random histories" `Quick
+      test_random_histories ]

@@ -1,0 +1,100 @@
+(* Unit and property tests for the JSON codec. *)
+
+let j_testable = Alcotest.testable Ovsdb.Json.pp Ovsdb.Json.equal
+
+open Ovsdb
+
+let test_parse_basics () =
+  let cases =
+    [
+      ("null", Json.Null);
+      ("true", Json.Bool true);
+      ("false", Json.Bool false);
+      ("42", Json.Int 42L);
+      ("-7", Json.Int (-7L));
+      ("3.5", Json.Float 3.5);
+      ("1e3", Json.Float 1000.0);
+      ({|"hello"|}, Json.String "hello");
+      ({|"a\nb\"c\\d"|}, Json.String "a\nb\"c\\d");
+      ("[]", Json.List []);
+      ("[1, 2]", Json.List [ Json.Int 1L; Json.Int 2L ]);
+      ("{}", Json.Obj []);
+      ( {| {"a": 1, "b": [true, null]} |},
+        Json.Obj
+          [ ("a", Json.Int 1L); ("b", Json.List [ Json.Bool true; Json.Null ]) ] );
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      Alcotest.check j_testable src expected (Json.of_string src))
+    cases
+
+let test_parse_unicode_escape () =
+  Alcotest.check j_testable "ascii escape" (Json.String "A")
+    (Json.of_string {|"A"|});
+  Alcotest.check j_testable "two-byte utf8" (Json.String "\xc3\xa9")
+    (Json.of_string {|"é"|})
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Json.of_string_opt src with
+      | None -> ()
+      | Some j ->
+        Alcotest.failf "expected failure for %s, got %s" src (Json.to_string j))
+    [ "{"; "[1,"; {|"unterminated|}; "tru"; "1 2"; "{\"a\" 1}"; "" ]
+
+let test_print_escapes () =
+  Alcotest.(check string) "escaped" {|"a\nb\"c"|}
+    (Json.to_string (Json.String "a\nb\"c"));
+  Alcotest.(check string) "float integral keeps point" "1.0"
+    (Json.to_string (Json.Float 1.0))
+
+(* Property: printing then parsing is the identity. *)
+let gen_json =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int (Int64.of_int i)) int;
+              map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 8));
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2)));
+              map
+                (fun kvs ->
+                  (* object keys must be unique for roundtrip equality *)
+                  let seen = Hashtbl.create 4 in
+                  Json.Obj
+                    (List.filter
+                       (fun (k, _) ->
+                         if Hashtbl.mem seen k then false
+                         else begin
+                           Hashtbl.add seen k ();
+                           true
+                         end)
+                       kvs))
+                (list_size (int_range 0 4)
+                   (pair (string_size ~gen:printable (int_range 0 6)) (self (n / 2))));
+            ]))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"json print/parse roundtrip" gen_json
+    (fun j -> Json.equal j (Json.of_string (Json.to_string j)))
+
+let tests =
+  [
+    Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "unicode escapes" `Quick test_parse_unicode_escape;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "print escapes" `Quick test_print_escapes;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

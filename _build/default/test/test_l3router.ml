@@ -1,0 +1,176 @@
+(* End-to-end tests for the L3 router application: exercises the LPM
+   and Optional codegen/bridge paths, negation against OVSDB inputs,
+   TTL arithmetic in actions, counters, and multi-switch deployments. *)
+
+let ip = P4.Stdhdrs.ipv4_of_string
+let mac = P4.Stdhdrs.mac_of_string
+
+let udp_to ?(ttl = 64L) d dst =
+  let pkt =
+    P4.Stdhdrs.udp_packet ~eth_dst:(mac "02:00:00:00:00:aa")
+      ~eth_src:(mac "02:00:00:00:00:bb") ~ip_src:(ip "192.168.0.1")
+      ~ip_dst:(ip dst) ~src_port:1000L ~dst_port:53L ~payload:"q"
+  in
+  (* patch the TTL for the TTL tests *)
+  P4.Packet.set_bits pkt ~bit_offset:(14 * 8 + 64) ~width:8 ttl;
+  ignore d;
+  pkt
+
+let out_ports outs = List.sort Int.compare (List.map fst outs)
+
+let std_deploy () =
+  let d = L3router.deploy () in
+  L3router.add_neighbor d ~ip:(ip "10.0.0.254") ~mac:(mac "02:00:00:00:01:01")
+    ~port:1;
+  L3router.add_neighbor d ~ip:(ip "10.1.0.254") ~mac:(mac "02:00:00:00:01:02")
+    ~port:2;
+  L3router.add_route d ~prefix:(ip "10.0.0.0") ~plen:8
+    ~nexthop:(ip "10.0.0.254");
+  L3router.add_route d ~prefix:(ip "10.1.0.0") ~plen:16
+    ~nexthop:(ip "10.1.0.254");
+  ignore (L3router.sync d);
+  d
+
+let test_lpm_end_to_end () =
+  let d = std_deploy () in
+  let sw = L3router.switch d "r0" in
+  (* /16 wins over /8 *)
+  (match P4.Switch.process sw ~in_port:9 (udp_to d "10.1.2.3") with
+  | [ (2, pkt) ] ->
+    (* next-hop MAC rewritten *)
+    Alcotest.(check int64) "dmac rewritten" (mac "02:00:00:00:01:02")
+      (P4.Packet.get_bits pkt ~bit_offset:0 ~width:48);
+    (* TTL decremented *)
+    Alcotest.(check int64) "ttl decremented" 63L
+      (P4.Packet.get_bits pkt ~bit_offset:(14 * 8 + 64) ~width:8)
+  | outs -> Alcotest.failf "expected port 2, got %d outputs" (List.length outs));
+  (match P4.Switch.process sw ~in_port:9 (udp_to d "10.9.9.9") with
+  | [ (1, _) ] -> ()
+  | _ -> Alcotest.fail "/8 route broken");
+  (* no route: dropped *)
+  Alcotest.(check int) "default drop" 0
+    (List.length (P4.Switch.process sw ~in_port:9 (udp_to d "11.0.0.1")));
+  (* counters incremented *)
+  Alcotest.(check int64) "counter port 2" 1L
+    (P4.Switch.counter_value sw "forwarded" 2L)
+
+let test_route_deletion_falls_back () =
+  let d = std_deploy () in
+  let sw = L3router.switch d "r0" in
+  L3router.del_route d ~prefix:(ip "10.1.0.0") ~plen:16;
+  ignore (L3router.sync d);
+  match P4.Switch.process sw ~in_port:9 (udp_to d "10.1.2.3") with
+  | [ (1, _) ] -> () (* now takes the /8 *)
+  | _ -> Alcotest.fail "fallback to /8 failed"
+
+let test_unresolved_nexthop () =
+  let d = L3router.deploy () in
+  L3router.add_route d ~prefix:(ip "10.0.0.0") ~plen:8
+    ~nexthop:(ip "10.0.0.254");
+  ignore (L3router.sync d);
+  let eng = Nerpa.Controller.engine d.controller in
+  (* the route is reported unresolved and not installed *)
+  Alcotest.(check int) "unresolved" 1
+    (Dl.Engine.relation_cardinal eng "UnresolvedRoute");
+  Alcotest.(check int) "not installed" 0
+    (P4.Switch.entry_count (L3router.switch d "r0") "routes");
+  (* resolving the neighbor installs it and clears the report *)
+  L3router.add_neighbor d ~ip:(ip "10.0.0.254") ~mac:1L ~port:1;
+  ignore (L3router.sync d);
+  Alcotest.(check int) "resolved" 0
+    (Dl.Engine.relation_cardinal eng "UnresolvedRoute");
+  Alcotest.(check int) "installed" 1
+    (P4.Switch.entry_count (L3router.switch d "r0") "routes");
+  (* removing the neighbor retracts the route again *)
+  L3router.del_neighbor d ~ip:(ip "10.0.0.254");
+  ignore (L3router.sync d);
+  Alcotest.(check int) "retracted" 0
+    (P4.Switch.entry_count (L3router.switch d "r0") "routes")
+
+let test_optional_protocol_filter () =
+  let d = std_deploy () in
+  let sw = L3router.switch d "r0" in
+  (* deny UDP (protocol 17) *)
+  L3router.set_protocol d ~protocol:17 ~allow:false;
+  ignore (L3router.sync d);
+  Alcotest.(check int) "udp denied" 0
+    (List.length (P4.Switch.process sw ~in_port:9 (udp_to d "10.1.2.3")));
+  (* other protocols still flow: patch the protocol byte to TCP *)
+  let pkt = udp_to d "10.1.2.3" in
+  P4.Packet.set_bits pkt ~bit_offset:(14 * 8 + 72) ~width:8 6L;
+  Alcotest.(check int) "tcp unaffected" 1
+    (List.length (P4.Switch.process sw ~in_port:9 pkt))
+
+let test_ttl_zero_dropped () =
+  let d = std_deploy () in
+  let sw = L3router.switch d "r0" in
+  Alcotest.(check int) "ttl 0 dropped" 0
+    (List.length (P4.Switch.process sw ~in_port:9 (udp_to ~ttl:0L d "10.1.2.3")));
+  Alcotest.(check int) "ttl 1 forwarded" 1
+    (List.length (P4.Switch.process sw ~in_port:9 (udp_to ~ttl:1L d "10.1.2.3")))
+
+let test_non_ip_rejected () =
+  let d = std_deploy () in
+  let sw = L3router.switch d "r0" in
+  let arp_frame =
+    P4.Stdhdrs.ethernet_frame ~dst:(-1L) ~src:1L
+      ~ethertype:P4.Stdhdrs.ethertype_arp ~payload:"xxxx"
+  in
+  Alcotest.(check int) "non-ip rejected by parser" 0
+    (List.length (P4.Switch.process sw ~in_port:9 arp_frame))
+
+let test_multi_switch_deployment () =
+  (* The same program and the same entries land on every switch. *)
+  let d = L3router.deploy ~switch_names:[ "r0"; "r1"; "r2" ] () in
+  L3router.add_neighbor d ~ip:(ip "10.0.0.254") ~mac:7L ~port:1;
+  L3router.add_route d ~prefix:(ip "10.0.0.0") ~plen:8
+    ~nexthop:(ip "10.0.0.254");
+  ignore (L3router.sync d);
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s has the route" name)
+        1
+        (P4.Switch.entry_count (L3router.switch d name) "routes"))
+    [ "r0"; "r1"; "r2" ];
+  (* and a deletion retracts everywhere *)
+  L3router.del_route d ~prefix:(ip "10.0.0.0") ~plen:8;
+  ignore (L3router.sync d);
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s retracted" name)
+        0
+        (P4.Switch.entry_count (L3router.switch d name) "routes"))
+    [ "r0"; "r1"; "r2" ]
+
+let test_codegen_lpm_optional_layout () =
+  let g = Nerpa.Codegen.generate ~schema:L3router.schema ~p4:L3router.p4 in
+  let find name =
+    List.find (fun (d : Dl.Ast.rel_decl) -> d.rname = name) g.decls
+  in
+  let routes = find "RoutesRouteTo" in
+  Alcotest.(check (list string)) "lpm layout"
+    [ "ipv4_dst"; "ipv4_dst_plen"; "port"; "dmac" ]
+    (List.map fst routes.cols);
+  let filt = find "ProtocolFilterDeny" in
+  Alcotest.(check bool) "optional layout" true
+    (Dl.Dtype.equal
+       (List.assoc "ipv4_protocol" filt.cols)
+       (Dl.Dtype.TOption (Dl.Dtype.TBit 8)))
+
+let tests =
+  [
+    Alcotest.test_case "lpm end to end" `Quick test_lpm_end_to_end;
+    Alcotest.test_case "route deletion falls back" `Quick
+      test_route_deletion_falls_back;
+    Alcotest.test_case "unresolved nexthop" `Quick test_unresolved_nexthop;
+    Alcotest.test_case "optional protocol filter" `Quick
+      test_optional_protocol_filter;
+    Alcotest.test_case "ttl zero dropped" `Quick test_ttl_zero_dropped;
+    Alcotest.test_case "non-ip rejected" `Quick test_non_ip_rejected;
+    Alcotest.test_case "multi-switch deployment" `Quick
+      test_multi_switch_deployment;
+    Alcotest.test_case "codegen lpm/optional layout" `Quick
+      test_codegen_lpm_optional_layout;
+  ]

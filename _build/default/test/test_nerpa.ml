@@ -1,0 +1,371 @@
+(* Unit tests for the Nerpa layer (codegen, bridge) and the full-stack
+   integration test of §4.3: OVSDB -> DL engine -> P4Runtime -> switch,
+   with the MAC-learning digest feedback loop. *)
+
+open Dl
+
+let parse_gen schema p4 =
+  let g = Nerpa.Codegen.generate ~schema ~p4 in
+  (g, Nerpa.Codegen.decls_text g)
+
+(* ---------------- codegen ---------------- *)
+
+let test_codegen_relations () =
+  let g, text = parse_gen Snvs.schema Snvs.p4 in
+  let find name =
+    match List.find_opt (fun (d : Ast.rel_decl) -> d.rname = name) g.decls with
+    | Some d -> d
+    | None -> Alcotest.failf "missing generated relation %s" name
+  in
+  (* OVSDB tables become input relations with a _uuid column. *)
+  let port = find "Port" in
+  Alcotest.(check bool) "Port is input" true (port.role = Ast.Input);
+  Alcotest.(check string) "uuid first" "_uuid" (fst (List.hd port.cols));
+  Alcotest.(check bool) "trunks is vec<int>" true
+    (Dtype.equal (List.assoc "trunks" port.cols) (Dtype.TVec Dtype.TInt));
+  Alcotest.(check bool) "switch_ is option<string>" true
+    (Dtype.equal (List.assoc "switch_" port.cols) (Dtype.TOption Dtype.TString));
+  (* P4 tables become per-action output relations. *)
+  let inv = find "InVlanSetVlan" in
+  Alcotest.(check bool) "output role" true (inv.role = Ast.Output);
+  Alcotest.(check (list string)) "key+param columns"
+    [ "ingress_port"; "vlan_id"; "vlan" ]
+    (List.map fst inv.cols);
+  (* Ternary tables gain mask and priority columns. *)
+  let acl = find "AclDeny" in
+  Alcotest.(check (list string)) "ternary layout"
+    [ "ethernet_src"; "ethernet_src_mask"; "ethernet_dst"; "ethernet_dst_mask";
+      "priority" ]
+    (List.map fst acl.cols);
+  (* Digests become input relations. *)
+  let learned = find "LearnedMac" in
+  Alcotest.(check bool) "digest input" true (learned.role = Ast.Input);
+  Alcotest.(check bool) "mac is bit<48>" true
+    (Dtype.equal (List.assoc "mac" learned.cols) (Dtype.TBit 48));
+  (* The generated text parses back as a DL program. *)
+  match Parser.parse_program text with
+  | Ok p ->
+    Alcotest.(check int) "printed decls parse" (List.length g.decls)
+      (List.length p.Ast.decls)
+  | Error e -> Alcotest.failf "generated text does not parse: %s" e
+
+let test_codegen_mapping () =
+  let g, _ = parse_gen Snvs.schema Snvs.p4 in
+  let m =
+    List.find
+      (fun (m : Nerpa.Codegen.mapping) -> m.rel_name = "DmacForward")
+      g.mappings
+  in
+  Alcotest.(check string) "table" "dmac" m.table_name;
+  Alcotest.(check string) "action" "forward" m.action_name;
+  Alcotest.(check (list int)) "param widths" [ 16 ] m.param_widths;
+  Alcotest.(check bool) "no priority" false m.has_priority;
+  let acl =
+    List.find
+      (fun (m : Nerpa.Codegen.mapping) -> m.rel_name = "AclDeny")
+      g.mappings
+  in
+  Alcotest.(check bool) "acl has priority" true acl.has_priority
+
+let test_codegen_camel () =
+  Alcotest.(check string) "camel" "InVlan" (Nerpa.Codegen.camel "in_vlan");
+  Alcotest.(check string) "already camel" "Port" (Nerpa.Codegen.camel "Port");
+  Alcotest.(check string) "single" "Dmac" (Nerpa.Codegen.camel "dmac")
+
+(* ---------------- bridge ---------------- *)
+
+let test_bridge_ovsdb_row () =
+  let db = Ovsdb.Db.create Snvs.schema in
+  let uuid =
+    Ovsdb.Db.insert_exn db "Port"
+      [
+        ("name", Ovsdb.Datum.string "p1");
+        ("port", Ovsdb.Datum.integer 7L);
+        ("mode", Ovsdb.Datum.string "trunk");
+        ("tag", Ovsdb.Datum.integer 0L);
+        ("trunks",
+         Ovsdb.Datum.set [ Ovsdb.Atom.Integer 10L; Ovsdb.Atom.Integer 20L ]);
+      ]
+  in
+  let g, _ = parse_gen Snvs.schema Snvs.p4 in
+  let decl = List.find (fun (d : Ast.rel_decl) -> d.rname = "Port") g.decls in
+  let row = Option.get (Ovsdb.Db.get_row db "Port" uuid) in
+  let dl_row = Nerpa.Bridge.row_of_ovsdb decl uuid row in
+  Alcotest.(check int) "arity" (List.length decl.cols) (Array.length dl_row);
+  Alcotest.(check bool) "uuid" true
+    (Value.equal dl_row.(0) (Value.VString (Ovsdb.Uuid.to_string uuid)));
+  Alcotest.(check bool) "name" true (Value.equal dl_row.(1) (Value.VString "p1"));
+  Alcotest.(check bool) "port" true (Value.equal dl_row.(2) (Value.VInt 7L));
+  Alcotest.(check bool) "trunks" true
+    (Value.equal dl_row.(5) (Value.VVec [ Value.VInt 10L; Value.VInt 20L ]));
+  Alcotest.(check bool) "absent ref is none" true
+    (Value.equal dl_row.(6) (Value.VOption None))
+
+let test_bridge_entry_of_row () =
+  let g, _ = parse_gen Snvs.schema Snvs.p4 in
+  let sw = P4.Switch.create Snvs.p4 in
+  let srv = P4runtime.attach sw in
+  let info = P4runtime.info srv in
+  let m =
+    List.find (fun (m : Nerpa.Codegen.mapping) -> m.rel_name = "DmacForward")
+      g.mappings
+  in
+  let row = [| Value.bit 12 5L; Value.bit 48 0xAAL; Value.bit 16 3L |] in
+  let entry = Nerpa.Bridge.entry_of_row info m row in
+  Alcotest.(check bool) "matches" true
+    (entry.P4runtime.matches = [ P4runtime.FmExact 5L; P4runtime.FmExact 0xAAL ]);
+  Alcotest.(check bool) "args" true (entry.P4runtime.action_args = [ 3L ]);
+  (* a ternary relation row carries masks and priority *)
+  let acl =
+    List.find (fun (m : Nerpa.Codegen.mapping) -> m.rel_name = "AclDeny")
+      g.mappings
+  in
+  let row =
+    [| Value.bit 48 1L; Value.bit 48 0xFFL; Value.bit 48 2L; Value.bit 48 0xFFL;
+       Value.VInt 7L |]
+  in
+  let entry = Nerpa.Bridge.entry_of_row info acl row in
+  Alcotest.(check int) "priority" 7 entry.P4runtime.priority;
+  Alcotest.(check bool) "ternary matches" true
+    (entry.P4runtime.matches
+    = [ P4runtime.FmTernary (1L, 0xFFL); P4runtime.FmTernary (2L, 0xFFL) ])
+
+(* ---------------- full stack ---------------- *)
+
+let mac = P4.Stdhdrs.mac_of_string
+
+let frame ~dst ~src =
+  P4.Stdhdrs.ethernet_frame ~dst ~src ~ethertype:0x1234L ~payload:"data"
+
+let tagged ~dst ~src ~vid =
+  P4.Stdhdrs.vlan_frame ~dst ~src ~vid ~ethertype:0x1234L ~payload:"data"
+
+let sync d = ignore (Nerpa.Controller.sync d.Snvs.controller)
+
+let out_ports outs = List.sort Int.compare (List.map fst outs)
+
+let deploy_with_ports () =
+  let d = Snvs.deploy () in
+  (* three access ports on VLAN 10, one on VLAN 20, one trunk *)
+  ignore (Snvs.add_port d ~name:"p1" ~port:1 ~mode:"access" ~tag:10 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"p2" ~port:2 ~mode:"access" ~tag:10 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"p3" ~port:3 ~mode:"access" ~tag:20 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"p4" ~port:4 ~mode:"trunk" ~tag:0 ~trunks:[ 10; 20 ]);
+  sync d;
+  d
+
+let test_flood_within_vlan () =
+  let d = deploy_with_ports () in
+  (* unknown destination from p1 floods to VLAN 10 members: p2 and the
+     trunk p4 (tagged) — not p3 (VLAN 20), not back to p1 *)
+  let outs =
+    P4.Switch.process d.switch ~in_port:1
+      (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:01"))
+  in
+  Alcotest.(check (list int)) "flooded" [ 2; 4 ] (out_ports outs);
+  (* the copy on the trunk is tagged with VLAN 10 *)
+  let _, trunk_pkt = List.find (fun (p, _) -> p = 4) outs in
+  Alcotest.(check int64) "trunk tagged" P4.Stdhdrs.ethertype_vlan
+    (P4.Packet.get_bits trunk_pkt ~bit_offset:96 ~width:16);
+  Alcotest.(check int64) "vid 10" 10L
+    (P4.Packet.get_bits trunk_pkt ~bit_offset:116 ~width:12);
+  (* the copy on the access port is untagged *)
+  let _, access_pkt = List.find (fun (p, _) -> p = 2) outs in
+  Alcotest.(check int64) "access untagged" 0x1234L
+    (P4.Packet.get_bits access_pkt ~bit_offset:96 ~width:16)
+
+let test_mac_learning_feedback () =
+  let d = deploy_with_ports () in
+  (* traffic from host A on p1 generates a digest; after sync the
+     controller installs smac/dmac entries *)
+  ignore
+    (P4.Switch.process d.switch ~in_port:1
+       (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:0a")));
+  sync d;
+  Alcotest.(check int) "dmac installed" 1 (P4.Switch.entry_count d.switch "dmac");
+  Alcotest.(check int) "smac installed" 1 (P4.Switch.entry_count d.switch "smac");
+  (* now traffic to A from p2 is unicast to p1 *)
+  let outs =
+    P4.Switch.process d.switch ~in_port:2
+      (frame ~dst:(mac "00:00:00:00:00:0a") ~src:(mac "00:00:00:00:00:0b"))
+  in
+  Alcotest.(check (list int)) "unicast to learned port" [ 1 ] (out_ports outs);
+  sync d;
+  (* learning B too: no duplicate for A, one entry for B *)
+  Alcotest.(check int) "two dmac entries" 2 (P4.Switch.entry_count d.switch "dmac");
+  (* A's repeated traffic no longer digests *)
+  ignore
+    (P4.Switch.process d.switch ~in_port:1
+       (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:0a")));
+  Alcotest.(check int) "no new digest" 0
+    (List.length (P4.Switch.take_digests d.switch))
+
+let test_mac_mobility () =
+  let d = deploy_with_ports () in
+  let a = mac "00:00:00:00:00:0a" in
+  ignore (P4.Switch.process d.switch ~in_port:1 (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:a));
+  sync d;
+  (* the same MAC appears on p2: group_by max picks the new port and the
+     controller must *modify* the dmac entry (delete then insert) *)
+  ignore (P4.Switch.process d.switch ~in_port:2 (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:a));
+  sync d;
+  Alcotest.(check int) "still one dmac entry for A" 1
+    (P4.Switch.entry_count d.switch "dmac");
+  let outs = P4.Switch.process d.switch ~in_port:3 (frame ~dst:a ~src:(mac "00:00:00:00:00:0c")) in
+  ignore outs;
+  let outs = P4.Switch.process d.switch ~in_port:4 (tagged ~dst:a ~src:(mac "00:00:00:00:00:0d") ~vid:10L) in
+  Alcotest.(check (list int)) "unicast to moved port" [ 2 ] (out_ports outs)
+
+let test_trunk_admission () =
+  let d = deploy_with_ports () in
+  (* VLAN 30 is not allowed on the trunk: dropped *)
+  let outs =
+    P4.Switch.process d.switch ~in_port:4
+      (tagged ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:0e") ~vid:30L)
+  in
+  Alcotest.(check int) "disallowed vlan dropped" 0 (List.length outs);
+  (* VLAN 20 floods to p3, untagged *)
+  let outs =
+    P4.Switch.process d.switch ~in_port:4
+      (tagged ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:0e") ~vid:20L)
+  in
+  Alcotest.(check (list int)) "vlan 20 flood" [ 3 ] (out_ports outs);
+  (* untagged traffic on the trunk is dropped (no native VLAN) *)
+  let outs =
+    P4.Switch.process d.switch ~in_port:4
+      (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:0e"))
+  in
+  Alcotest.(check int) "untagged on trunk dropped" 0 (List.length outs)
+
+let test_port_deletion_retracts () =
+  let d = deploy_with_ports () in
+  let before = P4.Switch.entry_count d.switch "in_vlan" in
+  Snvs.del_port d ~name:"p2";
+  sync d;
+  Alcotest.(check int) "in_vlan entry removed" (before - 1)
+    (P4.Switch.entry_count d.switch "in_vlan");
+  (* flooding from p1 no longer reaches p2 *)
+  let outs =
+    P4.Switch.process d.switch ~in_port:1
+      (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:01"))
+  in
+  Alcotest.(check (list int)) "p2 out of the flood set" [ 4 ] (out_ports outs)
+
+let test_mirroring () =
+  let d = deploy_with_ports () in
+  ignore (Snvs.add_mirror d ~name:"m1" ~select_port:1 ~output_port:9);
+  sync d;
+  let outs =
+    P4.Switch.process d.switch ~in_port:1
+      (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:01"))
+  in
+  Alcotest.(check (list int)) "flood + mirror copy" [ 2; 4; 9 ] (out_ports outs)
+
+let test_acl_deny () =
+  let d = deploy_with_ports () in
+  let a = mac "00:00:00:00:00:0a" and b = mac "00:00:00:00:00:0b" in
+  ignore
+    (Snvs.add_acl d ~priority:10 ~src:a ~src_mask:0xFFFFFFFFFFFFL ~dst:b
+       ~dst_mask:0xFFFFFFFFFFFFL ~allow:false);
+  sync d;
+  Alcotest.(check int) "a->b dropped" 0
+    (List.length (P4.Switch.process d.switch ~in_port:1 (frame ~dst:b ~src:a)));
+  Alcotest.(check bool) "b->a still flows" true
+    (P4.Switch.process d.switch ~in_port:1 (frame ~dst:a ~src:b) <> [])
+
+let test_no_flood_vlan () =
+  let d = deploy_with_ports () in
+  Snvs.set_vlan_flood d ~vlan:10 ~flood:false;
+  sync d;
+  let outs =
+    P4.Switch.process d.switch ~in_port:1
+      (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:01"))
+  in
+  Alcotest.(check int) "vlan 10 flood suppressed" 0 (List.length outs);
+  (* re-enable by flipping the row *)
+  ignore
+    (Ovsdb.Db.transact_exn d.db
+       [ Ovsdb.Db.Update
+           { table = "Vlan";
+             where = [ Ovsdb.Db.eq "vlan" (Ovsdb.Datum.integer 10L) ];
+             row = [ ("flood", Ovsdb.Datum.boolean true) ] } ]);
+  sync d;
+  let outs =
+    P4.Switch.process d.switch ~in_port:1
+      (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:01"))
+  in
+  Alcotest.(check (list int)) "flood restored" [ 2; 4 ] (out_ports outs)
+
+let test_preflight_and_inventory () =
+  let d = Snvs.deploy () in
+  Alcotest.(check (list string)) "no preflight warnings" []
+    (Nerpa.Controller.preflight d.controller);
+  let inv = Snvs.loc_inventory () in
+  Alcotest.(check bool) "rules are compact" true (inv.rules_loc < 60);
+  Alcotest.(check int) "five ovsdb tables" 5 inv.ovsdb_tables;
+  Alcotest.(check bool) "generation produced decls" true (inv.generated_loc > 10)
+
+let test_controller_restart () =
+  (* Failover: a fresh controller + switch attached to the surviving
+     management database converges to the same configured state (the
+     monitor's initial snapshot replays it); learned MACs are data-plane
+     soft state and come back with traffic. *)
+  let d = deploy_with_ports () in
+  ignore
+    (P4.Switch.process d.switch ~in_port:1
+       (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:0a")));
+  sync d;
+  Alcotest.(check int) "learned before restart" 1
+    (P4.Switch.entry_count d.switch "dmac");
+  (* restart: new switch, new controller, same database *)
+  let sw2 = P4.Switch.create ~name:"snvs0'" Snvs.p4 in
+  let c2 =
+    Nerpa.Controller.create
+      ~digest_replace:[ ("learned_mac", [ "vlan"; "mac" ]) ]
+      ~db:d.db ~p4:Snvs.p4 ~rules:Snvs.rules
+      ~switches:[ ("snvs0'", sw2) ] ()
+  in
+  ignore (Nerpa.Controller.sync c2);
+  (* configured state is fully restored *)
+  Alcotest.(check int) "in_vlan restored"
+    (P4.Switch.entry_count d.switch "in_vlan")
+    (P4.Switch.entry_count sw2 "in_vlan");
+  Alcotest.(check bool) "groups restored" true
+    (P4.Switch.mcast_group d.switch 10L = P4.Switch.mcast_group sw2 10L);
+  (* learned state is gone but regenerates from traffic *)
+  Alcotest.(check int) "learned state reset" 0 (P4.Switch.entry_count sw2 "dmac");
+  ignore
+    (P4.Switch.process sw2 ~in_port:1
+       (frame ~dst:(mac "ff:ff:ff:ff:ff:ff") ~src:(mac "00:00:00:00:00:0a")));
+  ignore (Nerpa.Controller.sync c2);
+  Alcotest.(check int) "relearned" 1 (P4.Switch.entry_count sw2 "dmac")
+
+let test_controller_stats () =
+  let d = deploy_with_ports () in
+  let s = Nerpa.Controller.stats d.controller in
+  Alcotest.(check bool) "transactions happened" true (s.Nerpa.Controller.txns > 0);
+  Alcotest.(check bool) "entries written" true
+    (s.Nerpa.Controller.entries_written > 0);
+  Alcotest.(check bool) "groups programmed" true
+    (s.Nerpa.Controller.groups_updated > 0)
+
+let tests =
+  [
+    Alcotest.test_case "codegen relations" `Quick test_codegen_relations;
+    Alcotest.test_case "codegen mapping" `Quick test_codegen_mapping;
+    Alcotest.test_case "codegen camel" `Quick test_codegen_camel;
+    Alcotest.test_case "bridge ovsdb row" `Quick test_bridge_ovsdb_row;
+    Alcotest.test_case "bridge entry of row" `Quick test_bridge_entry_of_row;
+    Alcotest.test_case "flood within vlan" `Quick test_flood_within_vlan;
+    Alcotest.test_case "mac learning feedback" `Quick test_mac_learning_feedback;
+    Alcotest.test_case "mac mobility" `Quick test_mac_mobility;
+    Alcotest.test_case "trunk admission" `Quick test_trunk_admission;
+    Alcotest.test_case "port deletion retracts" `Quick test_port_deletion_retracts;
+    Alcotest.test_case "mirroring" `Quick test_mirroring;
+    Alcotest.test_case "acl deny" `Quick test_acl_deny;
+    Alcotest.test_case "per-vlan flood control" `Quick test_no_flood_vlan;
+    Alcotest.test_case "preflight and LoC inventory" `Quick
+      test_preflight_and_inventory;
+    Alcotest.test_case "controller restart" `Quick test_controller_restart;
+    Alcotest.test_case "controller stats" `Quick test_controller_stats;
+  ]

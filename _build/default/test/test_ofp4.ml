@@ -1,0 +1,145 @@
+(* Tests for the OpenFlow model and the P4 -> OpenFlow compiler. *)
+
+open Ofp4
+
+let simple_router : P4.Program.t =
+  let open P4.Program in
+  {
+    name = "router";
+    headers = [ P4.Stdhdrs.ethernet; P4.Stdhdrs.ipv4 ];
+    parser =
+      { start = "s";
+        states = [ { sname = "s"; extracts = [ "ethernet"; "ipv4" ];
+                     transition = Accept } ] };
+    actions =
+      [
+        { aname = "forward"; params = [ ("port", 16) ];
+          body = [ Forward (EParam "port") ] };
+        { aname = "drop"; params = []; body = [ Drop ] };
+        { aname = "flood"; params = [ ("g", 16) ];
+          body = [ Multicast (EParam "g") ] };
+      ];
+    tables =
+      [
+        { tname = "acl";
+          keys = [ { kref = Field ("ipv4", "src"); kind = Ternary } ];
+          actions = [ "forward"; "drop" ];
+          default_action = ("forward", [ 0L ]); size = 64 };
+        { tname = "routes";
+          keys = [ { kref = Field ("ipv4", "dst"); kind = Lpm } ];
+          actions = [ "forward"; "drop"; "flood" ];
+          default_action = ("drop", []); size = 1024 };
+      ];
+    digests = []; counters = []; registers = [];
+    ingress = Seq (ApplyTable "acl", ApplyTable "routes");
+    egress = Nop;
+  }
+
+let mk_switch () =
+  let sw = P4.Switch.create simple_router in
+  P4.Switch.insert_entry sw "routes"
+    { P4.Entry.matches = [ P4.Entry.MLpm (0x0A000000L, 8) ]; priority = 0;
+      action = "forward"; args = [ 1L ] };
+  P4.Switch.insert_entry sw "routes"
+    { P4.Entry.matches = [ P4.Entry.MLpm (0x0A010000L, 16) ]; priority = 0;
+      action = "forward"; args = [ 2L ] };
+  P4.Switch.insert_entry sw "acl"
+    { P4.Entry.matches = [ P4.Entry.MTernary (0xDEAD0000L, 0xFFFF0000L) ];
+      priority = 9; action = "drop"; args = [] };
+  sw
+
+let eval_pkt prog ~src ~dst =
+  Openflow.eval prog
+    { Openflow.fields = [ ("ipv4.src", src); ("ipv4.dst", dst) ]; present = [] }
+
+let test_compile_structure () =
+  let prog = Compile.compile (mk_switch ()) in
+  (* 3 entries + 2 default flows *)
+  Alcotest.(check int) "flow count" 5 (Openflow.flow_count prog);
+  Alcotest.(check int) "two tables" 2 prog.Openflow.n_tables;
+  (* every acl flow chains to the routes table *)
+  List.iter
+    (fun (f : Openflow.flow) ->
+      if f.table_id = 0 && f.actions <> [] then
+        Alcotest.(check bool) "goto appended" true
+          (List.exists (function Openflow.Goto 1 -> true | _ -> false) f.actions
+          || List.mem (Openflow.SetField (Openflow.reg_dropped, 1L)) f.actions))
+    prog.Openflow.flows
+
+let test_compiled_semantics () =
+  let prog = Compile.compile (mk_switch ()) in
+  (* LPM: /16 beats /8 *)
+  let v = eval_pkt prog ~src:1L ~dst:0x0A016666L in
+  Alcotest.(check bool) "lpm /16" true (v.Openflow.outputs = [ 2L ]);
+  let v = eval_pkt prog ~src:1L ~dst:0x0A996666L in
+  Alcotest.(check bool) "lpm /8" true (v.Openflow.outputs = [ 1L ]);
+  (* default drop *)
+  let v = eval_pkt prog ~src:1L ~dst:0x0B000000L in
+  Alcotest.(check bool) "default" true (v.Openflow.outputs = []);
+  (* acl ternary drop stops the pipeline *)
+  let v = eval_pkt prog ~src:0xDEAD1234L ~dst:0x0A016666L in
+  Alcotest.(check bool) "acl drop" true (v.Openflow.outputs = [])
+
+let test_compile_vs_switch_differential () =
+  (* The compiled flow pipeline and the P4 behavioural model must agree
+     on the forwarding verdict for random packets. *)
+  let sw = mk_switch () in
+  let prog = Compile.compile sw in
+  let r = Random.State.make [| 11 |] in
+  for _ = 0 to 200 do
+    let src = Random.State.int64 r 0xFFFFFFFFL in
+    let dst = Random.State.int64 r 0xFFFFFFFFL in
+    let pkt =
+      P4.Stdhdrs.udp_packet ~eth_dst:1L ~eth_src:2L ~ip_src:src ~ip_dst:dst
+        ~src_port:1L ~dst_port:2L ~payload:""
+    in
+    let p4_ports =
+      List.sort Int.compare (List.map fst (P4.Switch.process sw ~in_port:5 pkt))
+    in
+    let of_ports =
+      List.sort Int.compare
+        (List.map Int64.to_int (eval_pkt prog ~src ~dst).Openflow.outputs)
+    in
+    if p4_ports <> of_ports then
+      Alcotest.failf "divergence on src=%Ld dst=%Ld: p4=[%s] of=[%s]" src dst
+        (String.concat ";" (List.map string_of_int p4_ports))
+        (String.concat ";" (List.map string_of_int of_ports))
+  done
+
+let test_unsupported_control () =
+  match Compile.compile (P4.Switch.create Snvs.p4) with
+  | exception Compile.Unsupported _ -> ()
+  | _ -> Alcotest.fail "conditional control flow must be rejected"
+
+let test_eval_goto_forward_only () =
+  let prog = Openflow.create () in
+  Openflow.add_flow prog
+    { Openflow.table_id = 0; priority = 1; matches = [];
+      actions = [ Openflow.Goto 0 ]; cookie = "loop" };
+  match eval_pkt prog ~src:0L ~dst:0L with
+  | exception Openflow.Eval_error _ -> ()
+  | _ -> Alcotest.fail "backward goto must fail"
+
+let test_fragment_count_by_cookie () =
+  let prog = Openflow.create () in
+  let flow cookie table_id =
+    { Openflow.table_id; priority = 1; matches = []; actions = [];
+      cookie }
+  in
+  Openflow.add_flow prog (flow "a" 0);
+  Openflow.add_flow prog (flow "a" 1);
+  Openflow.add_flow prog (flow "b" 0);
+  Alcotest.(check int) "three flows" 3 (Openflow.flow_count prog);
+  Alcotest.(check int) "two fragments" 2 (Openflow.fragment_count prog)
+
+let tests =
+  [
+    Alcotest.test_case "compile structure" `Quick test_compile_structure;
+    Alcotest.test_case "compiled semantics" `Quick test_compiled_semantics;
+    Alcotest.test_case "compile vs switch differential" `Quick
+      test_compile_vs_switch_differential;
+    Alcotest.test_case "unsupported control rejected" `Quick
+      test_unsupported_control;
+    Alcotest.test_case "goto loop rejected" `Quick test_eval_goto_forward_only;
+    Alcotest.test_case "fragment counting" `Quick test_fragment_count_by_cookie;
+  ]

@@ -1,0 +1,206 @@
+(* Property-based tests for the data plane and management plane:
+   - switch table lookup (hash-indexed fast path) agrees with a naive
+     reference ranking;
+   - OVSDB transactions are atomic under random operation batches and
+     never violate unique indexes. *)
+
+(* ------------------------------------------------------------------ *)
+(* Table lookup vs a naive reference                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_program : P4.Program.t =
+  let open P4.Program in
+  {
+    name = "lookup";
+    headers = [ P4.Stdhdrs.ethernet; P4.Stdhdrs.ipv4 ];
+    parser =
+      { start = "s";
+        states = [ { sname = "s"; extracts = [ "ethernet"; "ipv4" ]; transition = Accept } ] };
+    actions =
+      [ { aname = "forward"; params = [ ("port", 16) ];
+          body = [ Forward (EParam "port") ] };
+        { aname = "drop"; params = []; body = [ Drop ] } ];
+    tables =
+      [
+        { tname = "mixed";
+          keys =
+            [ { kref = Field ("ipv4", "dst"); kind = Lpm };
+              { kref = Field ("ipv4", "protocol"); kind = Ternary } ];
+          actions = [ "forward"; "drop" ];
+          default_action = ("drop", []); size = 4096 };
+        { tname = "exact";
+          keys = [ { kref = Field ("ipv4", "src"); kind = Exact } ];
+          actions = [ "forward"; "drop" ];
+          default_action = ("drop", []); size = 4096 };
+      ];
+    digests = []; counters = []; registers = [];
+    ingress = ApplyTable "mixed";
+    egress = Nop;
+  }
+
+(* The specification: among matching entries, longest total LPM prefix
+   first, then highest priority.  Ties between distinct entries are
+   genuinely ambiguous (as on real targets), so the reference returns
+   the whole set of maximal-rank winners. *)
+let reference_winners (entries : P4.Entry.t list) ~(widths : int list)
+    (values : int64 list) : P4.Entry.t list =
+  let matching =
+    List.filter
+      (fun (e : P4.Entry.t) ->
+        List.for_all2
+          (fun (w, mv) v -> P4.Entry.match_value_matches ~width:w mv v)
+          (List.combine widths e.matches)
+          values)
+      entries
+  in
+  let rank (e : P4.Entry.t) = (P4.Entry.lpm_length e, e.priority) in
+  match matching with
+  | [] -> []
+  | _ ->
+    let best = List.fold_left (fun b e -> max b (rank e)) (min_int, min_int) matching in
+    List.filter (fun e -> rank e = best) matching
+
+let gen_mixed_entry =
+  QCheck2.Gen.(
+    let* dst = int_range 0 15 in
+    let* plen = oneofl [ 0; 28; 30; 32 ] in
+    let* proto_v = int_range 0 3 in
+    let* proto_m = oneofl [ 0L; 3L ] in
+    let* prio = int_range 0 3 in
+    let* port = int_range 1 9 in
+    return
+      {
+        P4.Entry.matches =
+          [ P4.Entry.MLpm (Int64.of_int dst, plen);
+            P4.Entry.MTernary (Int64.of_int proto_v, proto_m) ];
+        priority = prio;
+        action = "forward";
+        args = [ Int64.of_int port ];
+      })
+
+let prop_mixed_lookup =
+  QCheck2.Test.make ~count:200 ~name:"switch lookup = reference (lpm+ternary)"
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 12) gen_mixed_entry)
+        (list_size (int_range 1 12) (pair (int_range 0 15) (int_range 0 3))))
+    (fun (entries, probes) ->
+      let sw = P4.Switch.create lookup_program in
+      (* Deduplicate by match part, as insert_entry replaces. *)
+      let installed =
+        List.fold_left
+          (fun acc (e : P4.Entry.t) ->
+            P4.Switch.insert_entry sw "mixed" e;
+            e :: List.filter (fun e' -> not (P4.Entry.same_match e e')) acc)
+          [] entries
+      in
+      List.for_all
+        (fun (dst, proto) ->
+          let values = [ Int64.of_int dst; Int64.of_int proto ] in
+          let winners = reference_winners installed ~widths:[ 32; 8 ] values in
+          (* probe through the data path: build a packet *)
+          let pkt =
+            P4.Stdhdrs.udp_packet ~eth_dst:1L ~eth_src:2L
+              ~ip_src:9L ~ip_dst:(Int64.of_int dst) ~src_port:1L ~dst_port:2L
+              ~payload:""
+          in
+          P4.Packet.set_bits pkt ~bit_offset:(14 * 8 + 72) ~width:8
+            (Int64.of_int proto);
+          let outs = P4.Switch.process sw ~in_port:1 pkt in
+          match winners, outs with
+          | [], [] -> true
+          | _ :: _, [ (p, _) ] ->
+            List.exists
+              (fun (e : P4.Entry.t) -> e.args = [ Int64.of_int p ])
+              winners
+          | _ -> false)
+        probes)
+
+(* ------------------------------------------------------------------ *)
+(* OVSDB atomicity under random batches                                *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_schema =
+  Ovsdb.Schema.make ~name:"Prop" ~version:"1"
+    [
+      Ovsdb.Schema.table "T"
+        ~indexes:[ [ "k" ] ]
+        [
+          Ovsdb.Schema.column "k" (Ovsdb.Otype.scalar Ovsdb.Otype.AInteger);
+          Ovsdb.Schema.column "v"
+            Ovsdb.Otype.
+              {
+                key = base ~min_int:(Some 0L) ~max_int:(Some 100L) AInteger;
+                value = None;
+                min = 1;
+                max = Limit 1;
+              };
+        ];
+    ]
+
+type prop_op = PIns of int * int | PDel of int | PUpd of int * int | PMut of int
+
+let gen_batch =
+  QCheck2.Gen.(
+    list_size (int_range 1 6)
+      (oneof
+         [
+           map2 (fun k v -> PIns (k, v)) (int_range 0 5) (int_range 0 120);
+           map (fun k -> PDel k) (int_range 0 5);
+           map2 (fun k v -> PUpd (k, v)) (int_range 0 5) (int_range 0 120);
+           map (fun k -> PMut k) (int_range 0 5);
+         ]))
+
+let to_db_op = function
+  | PIns (k, v) ->
+    Ovsdb.Db.Insert
+      { table = "T";
+        row = [ ("k", Ovsdb.Datum.integer (Int64.of_int k));
+                ("v", Ovsdb.Datum.integer (Int64.of_int v)) ];
+        uuid = None }
+  | PDel k ->
+    Ovsdb.Db.Delete
+      { table = "T";
+        where = [ Ovsdb.Db.eq "k" (Ovsdb.Datum.integer (Int64.of_int k)) ] }
+  | PUpd (k, v) ->
+    Ovsdb.Db.Update
+      { table = "T";
+        where = [ Ovsdb.Db.eq "k" (Ovsdb.Datum.integer (Int64.of_int k)) ];
+        row = [ ("v", Ovsdb.Datum.integer (Int64.of_int v)) ] }
+  | PMut k ->
+    Ovsdb.Db.Mutate
+      { table = "T";
+        where = [ Ovsdb.Db.eq "k" (Ovsdb.Datum.integer (Int64.of_int k)) ];
+        mutations =
+          [ { Ovsdb.Db.mcolumn = "v"; mop = Ovsdb.Db.MAdd;
+              marg = Ovsdb.Datum.integer 50L } ] }
+
+let snapshot db =
+  Ovsdb.Db.fold_rows db "T"
+    (fun _ row acc ->
+      ( Ovsdb.Datum.as_integer (Ovsdb.Db.column_value row "k"),
+        Ovsdb.Datum.as_integer (Ovsdb.Db.column_value row "v") )
+      :: acc)
+    []
+  |> List.sort compare
+
+let unique_keys_ok db =
+  let keys = List.map fst (snapshot db) in
+  List.length keys = List.length (List.sort_uniq compare keys)
+
+let prop_ovsdb_atomicity =
+  QCheck2.Test.make ~count:200 ~name:"ovsdb batches atomic + unique index held"
+    QCheck2.Gen.(list_size (int_range 1 8) gen_batch)
+    (fun batches ->
+      let db = Ovsdb.Db.create tiny_schema in
+      List.for_all
+        (fun batch ->
+          let before = snapshot db in
+          match Ovsdb.Db.transact db (List.map to_db_op batch) with
+          | Ok _ -> unique_keys_ok db
+          | Error _ ->
+            (* failed batches must leave no trace *)
+            snapshot db = before && unique_keys_ok db)
+        batches)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ prop_mixed_lookup; prop_ovsdb_atomicity ]

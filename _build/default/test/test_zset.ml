@@ -1,0 +1,51 @@
+(* Unit tests for Dl.Zset. *)
+
+open Dl
+
+let row i j : Row.t = [| Value.of_int i; Value.of_int j |]
+let z_testable = Alcotest.testable Zset.pp Zset.equal
+
+let test_add_cancellation () =
+  let z = Zset.add (Zset.singleton (row 1 2) 3) (row 1 2) (-3) in
+  Alcotest.check z_testable "weights cancel to empty" Zset.empty z;
+  Alcotest.(check int) "absent weight is 0" 0 (Zset.weight z (row 1 2))
+
+let test_union_diff () =
+  let a = Zset.of_list [ (row 1 1, 2); (row 2 2, -1) ] in
+  let b = Zset.of_list [ (row 1 1, -2); (row 3 3, 5) ] in
+  Alcotest.check z_testable "union cancels"
+    (Zset.of_list [ (row 2 2, -1); (row 3 3, 5) ])
+    (Zset.union a b);
+  Alcotest.check z_testable "a - a = 0" Zset.empty (Zset.diff a a);
+  Alcotest.check z_testable "diff = union neg" (Zset.diff a b)
+    (Zset.union a (Zset.neg b))
+
+let test_distinct () =
+  let z = Zset.of_list [ (row 1 1, 3); (row 2 2, -2); (row 3 3, 1) ] in
+  Alcotest.check z_testable "distinct keeps positives at 1"
+    (Zset.of_list [ (row 1 1, 1); (row 3 3, 1) ])
+    (Zset.distinct z)
+
+let test_support () =
+  let z = Zset.of_list [ (row 1 1, 3); (row 2 2, -2) ] in
+  Alcotest.(check int) "support counts positives" 1 (List.length (Zset.support z))
+
+let test_scale () =
+  let z = Zset.of_list [ (row 1 1, 2) ] in
+  Alcotest.check z_testable "scale by 0" Zset.empty (Zset.scale 0 z);
+  Alcotest.check z_testable "scale by -1" (Zset.neg z) (Zset.scale (-1) z)
+
+let test_map_rows_merges () =
+  let z = Zset.of_list [ (row 1 1, 2); (row 1 2, 3) ] in
+  let merged = Zset.map_rows (fun r -> [| r.(0) |]) z in
+  Alcotest.(check int) "images merged" 5 (Zset.weight merged [| Value.of_int 1 |])
+
+let tests =
+  [
+    Alcotest.test_case "add cancellation" `Quick test_add_cancellation;
+    Alcotest.test_case "union and diff" `Quick test_union_diff;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "map_rows merges weights" `Quick test_map_rows_merges;
+  ]

@@ -4,6 +4,8 @@
      nerpa_cli run PROGRAM.dl SCRIPT      execute a transaction script
      nerpa_cli codegen                    print the DL schema generated
                                           from the snvs OVSDB + P4 planes
+     nerpa_cli stats [--json]             run the snvs demo workload and
+                                          print the metric registry
 
    Script syntax, one command per line ('#' comments):
      + Rel(const, const, ...)    stage an insertion
@@ -173,6 +175,42 @@ let cmd_codegen () =
   print_endline (Nerpa.Codegen.decls_text g);
   exit 0
 
+(* ---------------- stats ---------------- *)
+
+(* Exercise every plane of the snvs deployment — OVSDB transactions,
+   DL commits, P4Runtime writes, packet processing with MAC-learning
+   digests — then print the Obs registry they populated. *)
+let cmd_stats json =
+  Obs.reset ();
+  let d = Snvs.deploy () in
+  ignore (Snvs.add_port d ~name:"h1" ~port:1 ~mode:"access" ~tag:10 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"h2" ~port:2 ~mode:"access" ~tag:10 ~trunks:[]);
+  ignore (Snvs.add_port d ~name:"h3" ~port:3 ~mode:"access" ~tag:20 ~trunks:[]);
+  ignore
+    (Snvs.add_port d ~name:"up" ~port:4 ~mode:"trunk" ~tag:0 ~trunks:[ 10; 20 ]);
+  ignore (Nerpa.Controller.sync d.controller);
+  let mac = P4.Stdhdrs.mac_of_string in
+  let h1 = mac "02:00:00:00:00:01" and h2 = mac "02:00:00:00:00:02" in
+  let bcast = mac "ff:ff:ff:ff:ff:ff" in
+  let frame ~dst ~src =
+    P4.Stdhdrs.ethernet_frame ~dst ~src ~ethertype:0x0800L ~payload:"payload"
+  in
+  (* Broadcast, learn, then unicast both ways. *)
+  ignore (P4.Switch.process d.switch ~in_port:1 (frame ~dst:bcast ~src:h1));
+  ignore (Nerpa.Controller.sync d.controller);
+  ignore (P4.Switch.process d.switch ~in_port:2 (frame ~dst:h1 ~src:h2));
+  ignore (Nerpa.Controller.sync d.controller);
+  ignore (P4.Switch.process d.switch ~in_port:1 (frame ~dst:h2 ~src:h1));
+  (* An ACL deny and the packet it drops. *)
+  ignore
+    (Snvs.add_acl d ~priority:10 ~src:h1 ~src_mask:0xFFFFFFFFFFFFL ~dst:h2
+       ~dst_mask:0xFFFFFFFFFFFFL ~allow:false);
+  ignore (Nerpa.Controller.sync d.controller);
+  ignore (P4.Switch.process d.switch ~in_port:1 (frame ~dst:h2 ~src:h1));
+  if json then print_endline (Obs.render_json ())
+  else print_string (Obs.render_table ());
+  exit 0
+
 (* ---------------- cmdliner wiring ---------------- *)
 
 open Cmdliner
@@ -196,7 +234,16 @@ let codegen_cmd =
   let doc = "print the control-plane schema generated from the snvs planes" in
   Cmd.v (Cmd.info "codegen" ~doc) Term.(const cmd_codegen $ const ())
 
+let stats_cmd =
+  let doc =
+    "run the snvs demo workload and print the observability registry"
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"print one line of JSON")
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const cmd_stats $ json)
+
 let () =
   let doc = "Nerpa full-stack SDN tooling" in
   let info = Cmd.info "nerpa_cli" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; codegen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; codegen_cmd; stats_cmd ]))

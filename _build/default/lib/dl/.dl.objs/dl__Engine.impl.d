@@ -1,1 +1,1 @@
-lib/dl/engine.ml: Array Ast Builtins Compile Dtype Format Hashtbl List Row Store Stratify String Typecheck Value Zset
+lib/dl/engine.ml: Array Ast Builtins Compile Dtype Format Hashtbl Int List Obs Printf Row Store Stratify String Typecheck Value Zset

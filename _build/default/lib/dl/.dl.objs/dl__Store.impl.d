@@ -1,1 +1,1 @@
-lib/dl/store.ml: Array Ast Int List Printf Row Zset
+lib/dl/store.ml: Array Ast Int List Obs Printf Row Zset

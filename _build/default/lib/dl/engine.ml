@@ -35,6 +35,7 @@ type stratum_c = {
   info : Stratify.stratum;
   crules : Compile.crule list;
   reads : string list;       (* relations read by rule bodies *)
+  hist : Obs.Histogram.t;    (* per-stratum propagation time (us) *)
 }
 
 type t = {
@@ -43,10 +44,29 @@ type t = {
   rels : (string, Store.t) Hashtbl.t;
   agg_state : (int, group Row.Tbl.t) Hashtbl.t;
   mutable txn_open : bool;
+  (* A commit that raises mid-propagation leaves the stores with some
+     strata applied and others not; the engine is poisoned so every
+     later operation fails loudly instead of reading half-updated
+     state. *)
+  mutable poisoned : bool;
   (* ablation switches, used by the design-choice benchmarks: *)
   planner : bool;       (* greedy selectivity-based join ordering *)
   use_indexes : bool;   (* per-join-key hash indexes (else full scans) *)
 }
+
+(* Observability (metric names are a public contract, see README).
+   The registry is process-global, so engines of different programs
+   aggregate into the same metrics. *)
+let m_commits = Obs.Counter.create "dl.commit.count"
+let m_input_rows = Obs.Counter.create "dl.commit.input_rows"
+let m_output_rows = Obs.Counter.create "dl.commit.output_rows"
+let h_commit = Obs.Histogram.create ~unit_:"us" "dl.commit"
+
+let check_live eng =
+  if eng.poisoned then
+    error
+      "engine poisoned: an earlier commit failed mid-propagation and the \
+       relation stores may be inconsistent; rebuild the engine"
 
 type txn = {
   eng : t;
@@ -823,8 +843,8 @@ let create ?(planner = true) ?(use_indexes = true) (program : Ast.program) : t =
     program.rules;
   let strata =
     Array.of_list
-      (List.map
-         (fun (info : Stratify.stratum) ->
+      (List.mapi
+         (fun i (info : Stratify.stratum) ->
            let crules = List.map (Hashtbl.find compiled) info.rules in
            let reads =
              List.concat_map
@@ -833,7 +853,11 @@ let create ?(planner = true) ?(use_indexes = true) (program : Ast.program) : t =
                info.rules
              |> List.sort_uniq String.compare
            in
-           { info; crules; reads })
+           let hist =
+             Obs.Histogram.create ~unit_:"us"
+               (Printf.sprintf "dl.commit.stratum.%d" i)
+           in
+           { info; crules; reads; hist })
          strata_info)
   in
   let rels = Hashtbl.create 64 in
@@ -842,7 +866,7 @@ let create ?(planner = true) ?(use_indexes = true) (program : Ast.program) : t =
     program.decls;
   let eng =
     { program; strata; rels; agg_state = Hashtbl.create 16; txn_open = false;
-      planner; use_indexes }
+      poisoned = false; planner; use_indexes }
   in
   (* Initialisation transaction: fire the program's facts. *)
   let changed : changed = Hashtbl.create 16 in
@@ -853,18 +877,59 @@ let create ?(planner = true) ?(use_indexes = true) (program : Ast.program) : t =
     eng.strata;
   eng
 
-let relation_rows eng name : Row.t list = Store.rows (store eng name)
+let relation_rows eng name : Row.t list =
+  check_live eng;
+  Store.rows (store eng name)
 
 (** Indexed point query: rows of [name] whose columns at [positions]
-    (ascending) equal [key].  Builds and maintains the index on first
-    use, so repeated queries are O(result). *)
+    equal [key].  Positions are normalised (sorted, deduplicated);
+    duplicate positions constrained to conflicting values make the
+    query unsatisfiable and return [].  Builds and maintains the index
+    on first use, so repeated queries are O(result). *)
 let query eng name ~(positions : int list) ~(key : Value.t list) : Row.t list =
+  check_live eng;
   let st = store eng name in
-  let positions = Array.of_list positions in
-  let idx = Store.ensure_index st positions in
-  Store.index_lookup idx (Array.of_list key)
-let relation_zset eng name : Zset.t = Store.to_zset (store eng name)
-let relation_cardinal eng name : int = Store.cardinal (store eng name)
+  let arity = Store.arity st in
+  if List.length positions <> List.length key then
+    error "query %s: %d positions but %d key values" name
+      (List.length positions) (List.length key);
+  List.iter
+    (fun p ->
+      if p < 0 || p >= arity then
+        error "query %s: position %d out of range (arity %d)" name p arity)
+    positions;
+  (* Normalise the (position, value) constraints: sort by position and
+     collapse duplicates.  The previous implementation handed the raw
+     list straight to the index, silently assuming ascending
+     duplicate-free positions (and crashing or answering from a wrong
+     bucket otherwise). *)
+  let pairs =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (List.combine positions key)
+  in
+  let exception Unsat in
+  match
+    let rec dedup = function
+      | ([] | [ _ ]) as l -> l
+      | (p1, v1) :: ((p2, v2) :: _ as rest) when p1 = p2 ->
+        if Value.equal v1 v2 then dedup rest else raise Unsat
+      | pv :: rest -> pv :: dedup rest
+    in
+    dedup pairs
+  with
+  | exception Unsat -> []
+  | pairs ->
+    let idx = Store.ensure_index st (Array.of_list (List.map fst pairs)) in
+    Store.index_lookup idx (Array.of_list (List.map snd pairs))
+
+let relation_zset eng name : Zset.t =
+  check_live eng;
+  Store.to_zset (store eng name)
+
+let relation_cardinal eng name : int =
+  check_live eng;
+  Store.cardinal (store eng name)
 
 (** Total stored tuples, including index duplication and aggregate
     state — the "RAM" proxy used by the memory experiments. *)
@@ -883,6 +948,7 @@ let footprint eng =
   rels + aggs
 
 let transaction eng : txn =
+  check_live eng;
   if eng.txn_open then error "a transaction is already open";
   eng.txn_open <- true;
   { eng; ops = []; committed = false }
@@ -919,42 +985,65 @@ let rollback txn =
     relation whose contents changed (inputs included). *)
 let commit (txn : txn) : (string * Zset.t) list =
   if txn.committed then error "transaction already committed";
-  txn.committed <- true;
   let eng = txn.eng in
+  check_live eng;
+  txn.committed <- true;
   eng.txn_open <- false;
+  Obs.Counter.incr m_commits;
+  Obs.Histogram.time h_commit @@ fun () ->
   let changed : changed = Hashtbl.create 16 in
-  (* Net effect of the input operations, applied in order. *)
-  let ops = List.rev txn.ops in
-  List.iter
-    (fun (rel, row, is_insert) ->
-      let st = store eng rel in
-      if is_insert then begin
-        if not (Store.mem st row) then begin
-          ignore (Store.set_insert st row);
-          record_delta changed rel row 1
-        end
-      end
-      else if Store.mem st row then begin
-        ignore (Store.set_remove st row);
-        record_delta changed rel row (-1)
-      end)
-    ops;
-  (* Propagate through the strata in dependency order. *)
-  Array.iter
-    (fun sc ->
-      if sc.crules <> [] then begin
-        let has_delta =
-          List.exists (fun r -> not (Zset.is_empty (get_delta changed r))) sc.reads
-        in
-        if has_delta then
-          if sc.info.recursive then process_recursive eng changed sc ~init:false
-          else process_nonrecursive eng changed sc ~init:false
-      end)
-    eng.strata;
-  Hashtbl.fold
-    (fun rel z acc -> if Zset.is_empty !z then acc else (rel, !z) :: acc)
-    changed []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  (* An exception between the first store mutation and the end of the
+     last stratum leaves the engine half-updated; poison it so later
+     calls raise clearly instead of returning inconsistent answers. *)
+  (try
+     (* Net effect of the input operations, applied in order. *)
+     let ops = List.rev txn.ops in
+     List.iter
+       (fun (rel, row, is_insert) ->
+         let st = store eng rel in
+         if is_insert then begin
+           if not (Store.mem st row) then begin
+             ignore (Store.set_insert st row);
+             record_delta changed rel row 1
+           end
+         end
+         else if Store.mem st row then begin
+           ignore (Store.set_remove st row);
+           record_delta changed rel row (-1)
+         end)
+       ops;
+     if Obs.enabled () then
+       Obs.Counter.add m_input_rows
+         (Hashtbl.fold (fun _ z acc -> acc + Zset.cardinal !z) changed 0);
+     (* Propagate through the strata in dependency order. *)
+     Array.iter
+       (fun sc ->
+         if sc.crules <> [] then begin
+           let has_delta =
+             List.exists
+               (fun r -> not (Zset.is_empty (get_delta changed r)))
+               sc.reads
+           in
+           if has_delta then
+             Obs.Histogram.time sc.hist @@ fun () ->
+             if sc.info.recursive then
+               process_recursive eng changed sc ~init:false
+             else process_nonrecursive eng changed sc ~init:false
+         end)
+       eng.strata
+   with e ->
+     eng.poisoned <- true;
+     raise e);
+  let deltas =
+    Hashtbl.fold
+      (fun rel z acc -> if Zset.is_empty !z then acc else (rel, !z) :: acc)
+      changed []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if Obs.enabled () then
+    Obs.Counter.add m_output_rows
+      (List.fold_left (fun acc (_, z) -> acc + Zset.cardinal z) 0 deltas);
+  deltas
 
 (** Deltas restricted to the program's output relations. *)
 let output_deltas eng (deltas : (string * Zset.t) list) =

@@ -50,7 +50,14 @@ val commit : txn -> (string * Zset.t) list
     the set-level delta of every relation whose visible contents
     changed (inputs included), sorted by relation name.  Inserting a
     present row or deleting an absent one is a no-op; an insert and a
-    delete of the same row in one transaction cancel. *)
+    delete of the same row in one transaction cancel.
+
+    If propagation raises (e.g. a rule body evaluates [1 / 0]), the
+    stores may hold some strata updated and others not; the engine is
+    {e poisoned} and every subsequent read, query or transaction raises
+    {!Error} until a fresh engine is built.  The commit path records
+    per-stratum propagation timings and delta sizes into the [dl.*]
+    metrics of {!Obs} when collection is enabled. *)
 
 val apply : t -> (string * Row.t * bool) list -> (string * Zset.t) list
 (** One-shot convenience: open, stage [(rel, row, insert?)] updates,
@@ -68,9 +75,14 @@ val relation_zset : t -> string -> Zset.t
 val relation_cardinal : t -> string -> int
 
 val query : t -> string -> positions:int list -> key:Value.t list -> Row.t list
-(** Indexed point query: rows whose columns at [positions] (ascending)
-    equal [key].  Builds and maintains the index on first use, so
-    repeated queries cost O(result). *)
+(** Indexed point query: rows whose columns at [positions] equal [key].
+    Positions may arrive in any order and may repeat: the constraint
+    list is normalised (sorted by position, duplicates collapsed), and
+    duplicate positions constrained to conflicting values make the
+    query unsatisfiable and return [[]].  Builds and maintains the
+    index on first use, so repeated queries cost O(result).
+    @raise Error if [positions] and [key] differ in length or a
+    position is outside the relation's arity. *)
 
 val footprint : t -> int
 (** Total stored tuples including index duplication and aggregate

@@ -21,6 +21,7 @@ type t = {
 let create (decl : Ast.rel_decl) = { decl; counts = Row.Map.empty; indexes = [] }
 
 let name t = t.decl.rname
+let arity t = Ast.arity t.decl
 let mem t row = Row.Map.mem row t.counts
 let count t row = match Row.Map.find_opt row t.counts with Some c -> c | None -> 0
 let cardinal t = Row.Map.cardinal t.counts
@@ -29,6 +30,13 @@ let fold f t acc = Row.Map.fold (fun row _ acc -> f row acc) t.counts acc
 let rows t = Row.Map.fold (fun row _ acc -> row :: acc) t.counts []
 let to_zset t : Zset.t = Row.Map.map (fun _ -> 1) t.counts
 
+(* Both [index_add] and [index_remove] project the row on
+   [idx.positions] to recompute the bucket key, so they are only
+   correct if the positions are ascending, duplicate-free and within
+   the relation's arity — otherwise the removal projects a *different*
+   malformed key than a caller-supplied lookup key and the bucket
+   leaks stale rows.  [ensure_index] canonicalises and validates
+   positions so every [index] in [t.indexes] satisfies the invariant. *)
 let index_add idx row =
   let key = Row.project row idx.positions in
   match Row.Tbl.find_opt idx.table key with
@@ -87,16 +95,33 @@ let set_remove t row =
   end
   else false
 
+let m_index_builds = Obs.Counter.create "dl.store.index_builds"
+
 (** [ensure_index t positions] finds or builds the index keyed on the
-    given column positions (sorted ascending for canonicalisation). *)
+    given column positions (sorted ascending and deduplicated for
+    canonicalisation).
+    @raise Invalid_argument if a position is outside the relation's
+    arity — projecting such a key would either crash or silently build
+    an index that can never match a lookup. *)
 let ensure_index t (positions : int array) : index =
-  let positions = Array.copy positions in
-  Array.sort Int.compare positions;
+  let arity = Ast.arity t.decl in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= arity then
+        invalid_arg
+          (Printf.sprintf
+             "Store.ensure_index: position %d out of range for %s (arity %d)"
+             p (name t) arity))
+    positions;
+  let positions =
+    Array.of_list (List.sort_uniq Int.compare (Array.to_list positions))
+  in
   match
     List.find_opt (fun idx -> idx.positions = positions) t.indexes
   with
   | Some idx -> idx
   | None ->
+    Obs.Counter.incr m_index_builds;
     let idx = { positions; table = Row.Tbl.create 64 } in
     iter (fun row -> index_add idx row) t;
     t.indexes <- idx :: t.indexes;

@@ -1,1 +1,1 @@
-lib/nerpa/controller.ml: Array Ast Bridge Codegen Dl Engine Format Int64 List Ovsdb P4 P4runtime Parser Printf Row String Value Zset
+lib/nerpa/controller.ml: Array Ast Bridge Codegen Dl Engine Format Int64 List Obs Ovsdb P4 P4runtime Parser Printf Row String Value Zset

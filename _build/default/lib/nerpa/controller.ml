@@ -19,11 +19,25 @@ exception Controller_error of string
 let error fmt = Format.kasprintf (fun s -> raise (Controller_error s)) fmt
 
 type stats = {
-  mutable txns : int;             (* DL transactions committed *)
-  mutable entries_written : int;  (* table entries inserted/deleted *)
-  mutable digests_consumed : int;
-  mutable groups_updated : int;
+  txns : int;             (* DL transactions committed *)
+  entries_written : int;  (* table entries inserted/deleted *)
+  digests_consumed : int;
+  groups_updated : int;
 }
+
+(* Observability (metric names are a public contract, see README).
+   The [stats] accessor is a snapshot of the nerpa.* counters, so the
+   counts aggregate across controllers sharing the process. *)
+let m_txns = Obs.Counter.create "nerpa.txns"
+let m_entries = Obs.Counter.create "nerpa.entries_written"
+let m_digests = Obs.Counter.create "nerpa.digests_consumed"
+let m_groups = Obs.Counter.create "nerpa.groups_updated"
+let m_syncs = Obs.Counter.create "nerpa.sync.count"
+let m_iterations = Obs.Counter.create "nerpa.sync.iterations"
+let m_monitor_batches = Obs.Counter.create "nerpa.sync.monitor_batches"
+let m_digest_lists = Obs.Counter.create "nerpa.sync.digest_lists"
+let h_sync = Obs.Histogram.create ~unit_:"us" "nerpa.sync"
+let h_write_batch = Obs.Histogram.create ~unit_:"entries" "nerpa.write_batch"
 
 type t = {
   db : Ovsdb.Db.t;
@@ -38,14 +52,21 @@ type t = {
      replacement (e.g. MAC mobility: a newly learned (vlan, mac)
      retracts the previous port binding) *)
   digest_replace : (string * int list) list;
-  stats : stats;
+  max_iterations : int;
+  (* DL transactions committed by *this* controller; the return value
+     of [sync] must not depend on whether Obs collection is enabled. *)
+  mutable ntxns : int;
 }
 
 (** Build a controller from the three plane descriptions.  [rules] is
     the user-written DL program text (rules plus optional internal
-    relation declarations); everything else is generated. *)
-let create ?(digest_replace = []) ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
+    relation declarations); everything else is generated.
+    [max_iterations] bounds the digest feedback loop in {!sync}. *)
+let create ?(digest_replace = []) ?(max_iterations = 1000)
+    ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
     ~(rules : string) ~(switches : (string * P4.Switch.t) list) () : t =
+  if max_iterations <= 0 then
+    error "max_iterations must be positive (got %d)" max_iterations;
   let schema = db.Ovsdb.Db.schema in
   let generated = Codegen.generate ~schema ~p4 in
   let user =
@@ -101,7 +122,8 @@ let create ?(digest_replace = []) ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
     digest_rel_of_name;
     switches = List.map (fun (n, sw) -> (n, P4runtime.attach sw)) switches;
     digest_replace;
-    stats = { txns = 0; entries_written = 0; digests_consumed = 0; groups_updated = 0 };
+    max_iterations;
+    ntxns = 0;
   }
 
 (* ---------------- pushing output deltas to the data plane ----------- *)
@@ -130,7 +152,7 @@ let push_deltas (t : t) (deltas : (string * Zset.t) list) : unit =
                 (Engine.query t.engine "MulticastGroup" ~positions:[ 0 ]
                    ~key:[ Value.bit 16 g ])
             in
-            t.stats.groups_updated <- t.stats.groups_updated + 1;
+            Obs.Counter.incr m_groups;
             P4runtime.set_multicast ~group:g ~ports:(List.sort Int64.compare ports))
           touched
     in
@@ -154,18 +176,21 @@ let push_deltas (t : t) (deltas : (string * Zset.t) list) : unit =
           outputs;
         let updates = List.rev !dels @ List.rev !inss @ mcast_updates in
         if updates <> [] then begin
+          Obs.Histogram.observe h_write_batch (float_of_int (List.length updates));
           (match P4runtime.write srv updates with
           | Ok () -> ()
           | Error msg -> error "switch %s rejected updates: %s" swname msg);
-          t.stats.entries_written <-
-            t.stats.entries_written + List.length !dels + List.length !inss
+          Obs.Counter.add m_entries (List.length !dels + List.length !inss)
         end)
       t.switches
   end
 
 (* ---------------- management plane -> engine ---------------- *)
 
-let apply_monitor_batch (t : t) (batch : Ovsdb.Db.table_updates) : unit =
+(* Returns the commit's deltas so [sync] can name the still-changing
+   relations when the feedback loop fails to quiesce. *)
+let apply_monitor_batch (t : t) (batch : Ovsdb.Db.table_updates) :
+    (string * Zset.t) list =
   let txn = Engine.transaction t.engine in
   List.iter
     (fun (table, rows) ->
@@ -185,13 +210,18 @@ let apply_monitor_batch (t : t) (batch : Ovsdb.Db.table_updates) : unit =
           rows)
     batch;
   let deltas = Engine.commit txn in
-  t.stats.txns <- t.stats.txns + 1;
-  push_deltas t deltas
+  t.ntxns <- t.ntxns + 1;
+  Obs.Counter.incr m_txns;
+  push_deltas t deltas;
+  deltas
 
 (* ---------------- data plane -> engine (feedback loop) -------------- *)
 
-let consume_digests (t : t) : bool =
+(* Returns whether any digest list was turned into a transaction, plus
+   the accumulated commit deltas (for quiescence diagnostics). *)
+let consume_digests (t : t) : bool * (string * Zset.t) list =
   let any = ref false in
+  let all_deltas = ref [] in
   List.iter
     (fun (_, srv) ->
       let info = P4runtime.info srv in
@@ -202,6 +232,7 @@ let consume_digests (t : t) : bool =
             | Some d -> d
             | None -> error "unknown digest id %d" dl.digest_id
           in
+          Obs.Counter.incr m_digest_lists;
           match List.assoc_opt dinfo.digest_name t.digest_rel_of_name with
           | None -> P4runtime.ack_digest_list srv ~list_id:dl.list_id
           | Some decl ->
@@ -224,16 +255,18 @@ let consume_digests (t : t) : bool =
                       then Engine.delete txn decl.Ast.rname old)
                     (Engine.relation_rows t.engine decl.Ast.rname));
                 Engine.insert txn decl.Ast.rname row;
-                t.stats.digests_consumed <- t.stats.digests_consumed + 1)
+                Obs.Counter.incr m_digests)
               dl.entries;
             let deltas = Engine.commit txn in
-            t.stats.txns <- t.stats.txns + 1;
+            t.ntxns <- t.ntxns + 1;
+            Obs.Counter.incr m_txns;
             P4runtime.ack_digest_list srv ~list_id:dl.list_id;
             any := true;
+            all_deltas := deltas :: !all_deltas;
             push_deltas t deltas)
         (P4runtime.stream_digests srv))
     t.switches;
-  !any
+  (!any, List.concat (List.rev !all_deltas))
 
 (* ---------------- the synchronisation loop ---------------- *)
 
@@ -241,21 +274,49 @@ let consume_digests (t : t) : bool =
     until the system is quiescent.  Returns the number of DL
     transactions committed during this call. *)
 let sync (t : t) : int =
-  let before = t.stats.txns in
-  let rec loop fuel =
-    if fuel = 0 then error "sync did not quiesce (feedback loop?)";
+  Obs.Counter.incr m_syncs;
+  Obs.Histogram.time h_sync @@ fun () ->
+  let before = t.ntxns in
+  let rec loop fuel last_deltas =
+    if fuel = 0 then begin
+      let changing =
+        match last_deltas with
+        | [] -> "(no relation deltas recorded)"
+        | l ->
+          String.concat ", "
+            (List.map
+               (fun (rel, z) ->
+                 Printf.sprintf "%s (%d rows)" rel (Zset.cardinal z))
+               l)
+      in
+      error
+        "sync did not quiesce after %d iterations (feedback loop?); \
+         still changing in the last iteration: %s"
+        t.max_iterations changing
+    end;
+    Obs.Counter.incr m_iterations;
     let batches = Ovsdb.Db.poll t.monitor in
-    List.iter (apply_monitor_batch t) batches;
-    let digests = consume_digests t in
-    if batches <> [] || digests then loop (fuel - 1)
+    Obs.Counter.add m_monitor_batches (List.length batches);
+    let batch_deltas = List.concat_map (apply_monitor_batch t) batches in
+    let digests_any, digest_deltas = consume_digests t in
+    if batches <> [] || digests_any then
+      loop (fuel - 1) (batch_deltas @ digest_deltas)
   in
-  loop 1000;
-  t.stats.txns - before
+  loop t.max_iterations [];
+  t.ntxns - before
 
 (** Direct access to the engine, for inspection in tests and examples. *)
 let engine (t : t) = t.engine
 
-let stats (t : t) = t.stats
+(** Snapshot of the process-global nerpa.* Obs counters (zeros while
+    collection is disabled). *)
+let stats (_t : t) =
+  {
+    txns = Obs.Counter.value m_txns;
+    entries_written = Obs.Counter.value m_entries;
+    digests_consumed = Obs.Counter.value m_digests;
+    groups_updated = Obs.Counter.value m_groups;
+  }
 
 (** Pre-flight report: output relations no rule writes and digest
     relations no rule reads — usually authoring mistakes. *)

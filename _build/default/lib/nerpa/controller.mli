@@ -10,16 +10,21 @@
 exception Controller_error of string
 
 type stats = {
-  mutable txns : int;             (** DL transactions committed *)
-  mutable entries_written : int;  (** table entries inserted/deleted *)
-  mutable digests_consumed : int;
-  mutable groups_updated : int;
+  txns : int;             (** DL transactions committed *)
+  entries_written : int;  (** table entries inserted/deleted *)
+  digests_consumed : int;
+  groups_updated : int;
 }
+(** An immutable snapshot of the controller counters.  The counts live
+    in the process-global {!Obs} registry under [nerpa.*] names, so
+    they aggregate across controllers in one process and read as zero
+    while collection is disabled. *)
 
 type t
 
 val create :
   ?digest_replace:(string * string list) list ->
+  ?max_iterations:int ->
   db:Ovsdb.Db.t ->
   p4:P4.Program.t ->
   rules:string ->
@@ -35,18 +40,27 @@ val create :
     relations: [(digest, key_columns)] makes a newly inserted digest
     row retract previous rows agreeing on the key columns — e.g. MAC
     mobility, where a (vlan, mac) binding moves between ports.
-    @raise Controller_error on parse errors or schema mismatches. *)
+
+    [max_iterations] (default [1000]) bounds the {!sync} feedback loop:
+    the number of poll-commit-push iterations allowed before sync gives
+    up and reports the still-changing relations.
+    @raise Controller_error on parse errors, schema mismatches, or a
+    non-positive [max_iterations]. *)
 
 val sync : t -> int
 (** Process all pending management-plane changes and data-plane digests
     until quiescent; returns the number of DL transactions committed.
-    @raise Controller_error if a switch rejects updates or the feedback
-    loop fails to quiesce. *)
+    @raise Controller_error if a switch rejects updates, or if the
+    feedback loop is still producing changes after [max_iterations]
+    iterations — the error message reports the fuel spent and the
+    names and delta cardinalities of the relations that were still
+    changing in the last iteration. *)
 
 val engine : t -> Dl.Engine.t
 (** The underlying engine, for inspection. *)
 
 val stats : t -> stats
+(** Snapshot the [nerpa.*] counters from the {!Obs} registry. *)
 
 val preflight : t -> string list
 (** Authoring lint: output relations no rule writes (except those bound

@@ -1,0 +1,270 @@
+(* Cross-plane observability: named counters, gauges, histograms and
+   spans in a process-global registry.
+
+   Design constraints (see ISSUE 1 / DESIGN "Observability"):
+   - dependency-free: stdlib plus unix for the wall clock;
+   - one global kill switch whose disabled cost is a single branch at
+     every instrumentation point (verified by the bench smoke suite);
+   - bounded memory: histograms keep exact count/sum/min/max but retain
+     at most [hist_cap] recent samples for percentile queries, so
+     million-iteration micro-benchmarks cannot grow the registry
+     without bound. *)
+
+let on = ref true
+let set_enabled b = on := b
+let enabled () = !on
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Metric payloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { cname : string; mutable count : int }
+type gauge = { gname : string; mutable value : float }
+
+let hist_cap = 16384
+
+type hist = {
+  hname : string;
+  hunit : string;
+  mutable buf : float array; (* retained samples, grows up to hist_cap *)
+  mutable len : int;         (* valid entries in [buf] *)
+  mutable pos : int;         (* overwrite cursor once [len] = cap *)
+  mutable hcount : int;      (* exact totals over ALL observations *)
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type metric = MCounter of counter | MGauge of gauge | MHist of hist
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind = function
+  | MCounter _ -> "counter"
+  | MGauge _ -> "gauge"
+  | MHist _ -> "histogram"
+
+let register name wanted build extract =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+    match extract m with
+    | Some payload -> payload
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Obs: %s is registered as a %s, not a %s" name
+           (kind m) wanted))
+  | None ->
+    let payload, m = build () in
+    Hashtbl.add registry name m;
+    payload
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = counter
+
+  let create name =
+    register name "counter"
+      (fun () ->
+        let c = { cname = name; count = 0 } in
+        (c, MCounter c))
+      (function MCounter c -> Some c | _ -> None)
+
+  let add c n = if !on then c.count <- c.count + n
+  let incr c = if !on then c.count <- c.count + 1
+  let value c = c.count
+  let name c = c.cname
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let create name =
+    register name "gauge"
+      (fun () ->
+        let g = { gname = name; value = 0.0 } in
+        (g, MGauge g))
+      (function MGauge g -> Some g | _ -> None)
+
+  let set g v = if !on then g.value <- v
+  let value g = g.value
+  let name g = g.gname
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  type t = hist
+
+  let create ?(unit_ = "") name =
+    register name "histogram"
+      (fun () ->
+        let h =
+          { hname = name; hunit = unit_; buf = Array.make 64 0.0; len = 0;
+            pos = 0; hcount = 0; hsum = 0.0; hmin = infinity;
+            hmax = neg_infinity }
+        in
+        (h, MHist h))
+      (function MHist h -> Some h | _ -> None)
+
+  let observe h v =
+    if !on then begin
+      h.hcount <- h.hcount + 1;
+      h.hsum <- h.hsum +. v;
+      if v < h.hmin then h.hmin <- v;
+      if v > h.hmax then h.hmax <- v;
+      if h.len < hist_cap then begin
+        if h.len = Array.length h.buf then begin
+          let bigger =
+            Array.make (min hist_cap (2 * Array.length h.buf)) 0.0
+          in
+          Array.blit h.buf 0 bigger 0 h.len;
+          h.buf <- bigger
+        end;
+        h.buf.(h.len) <- v;
+        h.len <- h.len + 1
+      end
+      else begin
+        (* at capacity: keep the most recent samples, ring-buffer style *)
+        h.buf.(h.pos) <- v;
+        h.pos <- (h.pos + 1) mod hist_cap
+      end
+    end
+
+  let count h = h.hcount
+  let sum h = h.hsum
+  let mean h = if h.hcount = 0 then 0.0 else h.hsum /. float_of_int h.hcount
+  let min_value h = if h.hcount = 0 then 0.0 else h.hmin
+  let max_value h = if h.hcount = 0 then 0.0 else h.hmax
+
+  (* Nearest-rank percentile over an ascending-sorted array: the value
+     at 1-based rank ceil(p * n), clamped to [1, n].  This is the one
+     shared implementation the whole repo uses; the previous bench-local
+     floor(p * n) variant was biased one rank high for small samples
+     (p50 of [1.; 2.] came out as 2.). *)
+  let percentile_of_sorted (sorted : float array) (p : float) : float =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+      let rank = max 1 (min n rank) in
+      sorted.(rank - 1)
+
+  let percentile h p =
+    if h.len = 0 then 0.0
+    else begin
+      let a = Array.sub h.buf 0 h.len in
+      Array.sort Float.compare a;
+      percentile_of_sorted a p
+    end
+
+  let time h f =
+    if not !on then f ()
+    else begin
+      let t0 = now () in
+      Fun.protect ~finally:(fun () -> observe h ((now () -. t0) *. 1e6)) f
+    end
+end
+
+let span name f =
+  if not !on then f ()
+  else Histogram.time (Histogram.create ~unit_:"us" name) f
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | MCounter c -> c.count <- 0
+      | MGauge g -> g.value <- 0.0
+      | MHist h ->
+        h.len <- 0;
+        h.pos <- 0;
+        h.hcount <- 0;
+        h.hsum <- 0.0;
+        h.hmin <- infinity;
+        h.hmax <- neg_infinity)
+    registry
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (MCounter c) -> c.count
+  | _ -> 0
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (MGauge g) -> g.value
+  | _ -> 0.0
+
+let find_histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (MHist h) -> Some h
+  | _ -> None
+
+let sorted_metrics () =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let metric_names () = List.map fst (sorted_metrics ())
+
+let render_table () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-42s %-10s %10s %12s %12s %12s %12s\n" "metric" "type"
+       "count" "mean" "p50" "p99" "max");
+  Buffer.add_string b (String.make 114 '-');
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | MCounter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%-42s %-10s %10d\n" name "counter" c.count)
+      | MGauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%-42s %-10s %10s %12.1f\n" name "gauge" "" g.value)
+      | MHist h ->
+        let unit_ = if h.hunit = "" then "hist" else "hist(" ^ h.hunit ^ ")" in
+        Buffer.add_string b
+          (Printf.sprintf "%-42s %-10s %10d %12.1f %12.1f %12.1f %12.1f\n"
+             name unit_ h.hcount (Histogram.mean h)
+             (Histogram.percentile h 0.50) (Histogram.percentile h 0.99)
+             (Histogram.max_value h)))
+    (sorted_metrics ());
+  Buffer.contents b
+
+(* A float rendering that is valid JSON (no "inf"/"nan" leakage). *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.3f" v else "0.0"
+
+let render_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%S:" name);
+      match m with
+      | MCounter c -> Buffer.add_string b (string_of_int c.count)
+      | MGauge g -> Buffer.add_string b (json_float g.value)
+      | MHist h ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"count\":%d,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s}"
+             h.hcount
+             (json_float (Histogram.mean h))
+             (json_float (Histogram.percentile h 0.50))
+             (json_float (Histogram.percentile h 0.90))
+             (json_float (Histogram.percentile h 0.99))
+             (json_float (Histogram.max_value h))))
+    (sorted_metrics ());
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,111 @@
+(** Cross-plane observability: named counters, gauges, histograms and
+    spans collected into a process-global registry.
+
+    Every plane of the stack (management, control, data) registers its
+    metrics here by name; the registry renders as a human-readable
+    table ({!render_table}) or one-line JSON ({!render_json}).  Metric
+    names are a public contract — see README "Observability".
+
+    The subsystem is dependency-free (stdlib + unix for the clock) and
+    single-threaded, like the rest of the stack.  A global kill switch
+    {!set_enabled} reduces the cost of every instrumentation point to a
+    single branch: disabled counters do not count, disabled spans do
+    not read the clock. *)
+
+val set_enabled : bool -> unit
+(** Globally enable/disable metric collection (default: enabled).
+    While disabled every instrumentation point is a single branch. *)
+
+val enabled : unit -> bool
+
+val now : unit -> float
+(** Wall-clock seconds (the clock spans use). *)
+
+(** Monotonically increasing integer metrics (events, rows, bytes). *)
+module Counter : sig
+  type t
+
+  val create : string -> t
+  (** Find or create the counter registered under this name.
+      @raise Invalid_argument if the name is registered as a different
+      metric kind. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Last-value metrics (sizes, levels). *)
+module Gauge : sig
+  type t
+
+  val create : string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+(** Sample distributions with nearest-rank percentiles.
+
+    A histogram keeps exact [count]/[sum]/[min]/[max] over all
+    observations and retains the most recent samples (up to an internal
+    cap of 16384) for percentile queries. *)
+module Histogram : sig
+  type t
+
+  val create : ?unit_:string -> string -> t
+  (** Find or create; [unit_] is a display hint (e.g. ["us"]). *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val min_value : t -> float
+  (** Smallest observation ([0.] when empty). *)
+
+  val max_value : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0, 1]: the nearest-rank percentile
+      of the retained samples ([0.] when empty). *)
+
+  val percentile_of_sorted : float array -> float -> float
+  (** The shared nearest-rank implementation over an ascending-sorted
+      array: element at rank [ceil (p * n)], 1-based, clamped to
+      [1, n] — so [p = 0.5] of [[|1.; 2.|]] is [1.], not [2.].
+      Returns [0.] for the empty array. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk and observe its duration in microseconds.  When
+      collection is disabled this is a single branch plus the call. *)
+end
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f] and records the duration in microseconds
+    into the histogram registered under [name] (created on first use).
+    The duration is recorded even if [f] raises. *)
+
+(** {1 Registry} *)
+
+val reset : unit -> unit
+(** Zero every registered metric in place (handles stay valid). *)
+
+val counter_value : string -> int
+(** Value of the named counter ([0] if absent). *)
+
+val gauge_value : string -> float
+
+val find_histogram : string -> Histogram.t option
+
+val metric_names : unit -> string list
+(** All registered metric names, sorted. *)
+
+val render_table : unit -> string
+(** Human-readable table of every registered metric, sorted by name.
+    Metrics that never fired render with zero values. *)
+
+val render_json : unit -> string
+(** The whole registry as one line of JSON: counters/gauges as
+    numbers, histograms as [{"count":..,"mean":..,"p50":..,"p90":..,
+    "p99":..,"max":..}] objects. *)

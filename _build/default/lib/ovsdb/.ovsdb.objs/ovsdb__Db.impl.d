@@ -1,1 +1,1 @@
-lib/ovsdb/db.ml: Atom Datum Float Format Hashtbl Int64 List Option Otype Schema String Uuid
+lib/ovsdb/db.ml: Atom Datum Float Format Hashtbl Int64 List Obs Option Otype Schema String Uuid

@@ -10,6 +10,12 @@ exception Db_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Db_error s)) fmt
 
+(* Observability (metric names are a public contract, see README). *)
+let m_txn_count = Obs.Counter.create "ovsdb.txn.count"
+let m_txn_failed = Obs.Counter.create "ovsdb.txn.failed"
+let m_monitor_batches = Obs.Counter.create "ovsdb.monitor.batches"
+let h_txn = Obs.Histogram.create ~unit_:"us" "ovsdb.txn"
+
 (* ---------------- conditions and mutations ---------------- *)
 
 type cond_op = Eq | Ne | Lt | Gt | Le | Ge | Includes | Excludes
@@ -465,7 +471,10 @@ let notify_monitors db (undo : undo) =
                 if rows = [] then None else Some (mtable, rows))
               mon.mon_tables
           in
-          if relevant <> [] then mon.queue <- mon.queue @ [ relevant ])
+          if relevant <> [] then begin
+            Obs.Counter.incr m_monitor_batches;
+            mon.queue <- mon.queue @ [ relevant ]
+          end)
         db.monitors
   end
 
@@ -473,6 +482,7 @@ let notify_monitors db (undo : undo) =
     [Error message] is returned; on success the per-op results are
     returned and monitors are notified with the batched changes. *)
 let transact (db : t) (ops : op list) : (op_result list, string) result =
+  Obs.Histogram.time h_txn @@ fun () ->
   let undo : undo = ref [] in
   match List.map (exec_op db undo) ops with
   | results ->
@@ -486,13 +496,16 @@ let transact (db : t) (ops : op list) : (op_result list, string) result =
            | None -> ())
          !undo;
        db.txn_count <- db.txn_count + 1;
+       Obs.Counter.incr m_txn_count;
        notify_monitors db undo;
        Ok results
      with Db_error msg ->
        rollback db undo;
+       Obs.Counter.incr m_txn_failed;
        Error msg)
   | exception Db_error msg ->
     rollback db undo;
+    Obs.Counter.incr m_txn_failed;
     Error msg
 
 let transact_exn db ops =

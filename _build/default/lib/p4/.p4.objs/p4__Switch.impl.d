@@ -1,1 +1,1 @@
-lib/p4/switch.ml: Bytes Entry Format Hashtbl Int64 List Option Packet Program String
+lib/p4/switch.ml: Bytes Entry Format Hashtbl Int64 List Obs Option Packet Printf Program String

@@ -13,6 +13,14 @@ exception Switch_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Switch_error s)) fmt
 
+(* Observability (metric names are a public contract, see README).
+   Per-table hit/miss counters are registered as p4.table.<name>.hits
+   and .misses when the switch is created, so they aggregate across
+   switches running the same program. *)
+let m_packets_in = Obs.Counter.create "p4.packets_in"
+let m_packets_out = Obs.Counter.create "p4.packets_out"
+let m_digests = Obs.Counter.create "p4.digests"
+
 (* ---------------- per-packet execution state ---------------- *)
 
 type pkt_state = {
@@ -40,6 +48,8 @@ type table_state = {
   exact_index : (int64 list, Entry.t) Hashtbl.t option;
   mutable hits : int;
   mutable misses : int;
+  obs_hits : Obs.Counter.t;
+  obs_misses : Obs.Counter.t;
 }
 
 type t = {
@@ -84,6 +94,10 @@ let create ?(name = "sw0") ?(ports = []) (program : Program.t) : t =
           exact_index = (if all_exact then Some (Hashtbl.create 64) else None);
           hits = 0;
           misses = 0;
+          obs_hits =
+            Obs.Counter.create (Printf.sprintf "p4.table.%s.hits" tbl.tname);
+          obs_misses =
+            Obs.Counter.create (Printf.sprintf "p4.table.%s.misses" tbl.tname);
         })
     program.tables;
   let counters = Hashtbl.create 4 in
@@ -294,6 +308,7 @@ let run_action sw (st : pkt_state) (a : Program.action) (args : int64 list) :
           let values =
             List.map (fun (n, r) -> (n, read_ref sw st r)) d.dfields
           in
+          Obs.Counter.incr m_digests;
           sw.digest_queue <- { digest_name = dname; values } :: sw.digest_queue)
       | Program.Drop -> st.dropped <- true
       | Program.Forward e ->
@@ -349,9 +364,11 @@ let apply_table sw (st : pkt_state) (tname : string) : unit =
     match lookup ts values with
     | Some e ->
       ts.hits <- ts.hits + 1;
+      Obs.Counter.incr ts.obs_hits;
       (e.action, e.args)
     | None ->
       ts.misses <- ts.misses + 1;
+      Obs.Counter.incr ts.obs_misses;
       ts.table.default_action
   in
   match Program.find_action sw.program action with
@@ -455,6 +472,7 @@ let copy_state (st : pkt_state) : pkt_state =
     switch and retrieved with [take_digests]. *)
 let process (sw : t) ~(in_port : int) (pkt : Packet.t) : (int * Packet.t) list =
   sw.packets_in <- sw.packets_in + 1;
+  Obs.Counter.incr m_packets_in;
   let st =
     {
       fields = Hashtbl.create 32;
@@ -505,6 +523,7 @@ let process (sw : t) ~(in_port : int) (pkt : Packet.t) : (int * Packet.t) list =
         (List.rev !copies)
     in
     sw.packets_out <- sw.packets_out + List.length outputs;
+    Obs.Counter.add m_packets_out (List.length outputs);
     outputs
   end
 

@@ -25,9 +25,10 @@ type deployment = {
   controller : Nerpa.Controller.t;
 }
 
-val deploy : ?switch_name:string -> unit -> deployment
+val deploy : ?switch_name:string -> ?max_iterations:int -> unit -> deployment
 (** A ready-to-run single-switch deployment with MAC-mobility digest
-    replacement configured. *)
+    replacement configured.  [max_iterations] is passed through to
+    {!Nerpa.Controller.create} (bounds the sync feedback loop). *)
 
 val add_port :
   deployment ->

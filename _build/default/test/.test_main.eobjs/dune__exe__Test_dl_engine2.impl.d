@@ -1,1 +1,1 @@
-test/test_dl_engine2.ml: Alcotest Array Buffer Dl Engine List Parser Printf Value Zset
+test/test_dl_engine2.ml: Alcotest Array Buffer Builtins Dl Engine List Parser Printf Row String Value Zset

@@ -1,1 +1,1 @@
-test/test_nerpa.ml: Alcotest Array Ast Dl Dtype Int List Nerpa Option Ovsdb P4 P4runtime Parser Snvs Value
+test/test_nerpa.ml: Alcotest Array Ast Dl Dtype Int List Nerpa Option Ovsdb P4 P4runtime Parser Snvs String Value

@@ -217,6 +217,118 @@ let test_footprint_shrinks () =
   Alcotest.(check int) "footprint returns to baseline" empty
     (Engine.footprint eng)
 
+let test_query_normalisation () =
+  let eng =
+    Engine.create
+      (parse
+         {|
+         input relation R(x: int, y: int, z: int)
+         output relation O(x: int, y: int, z: int)
+         O(x, y, z) :- R(x, y, z).
+         |})
+  in
+  ignore
+    (Engine.apply eng
+       [ ("R", ints [ 1; 2; 3 ], true); ("R", ints [ 1; 5; 3 ], true);
+         ("R", ints [ 4; 2; 3 ], true) ]);
+  let sorted rows = List.sort Row.compare rows in
+  (* unsorted positions answer the same as ascending ones *)
+  Alcotest.(check bool) "unsorted positions" true
+    (sorted
+       (Engine.query eng "O" ~positions:[ 2; 0 ]
+          ~key:[ Value.of_int 3; Value.of_int 1 ])
+    = sorted
+        (Engine.query eng "O" ~positions:[ 0; 2 ]
+           ~key:[ Value.of_int 1; Value.of_int 3 ]));
+  Alcotest.(check int) "unsorted result count" 2
+    (List.length
+       (Engine.query eng "O" ~positions:[ 2; 0 ]
+          ~key:[ Value.of_int 3; Value.of_int 1 ]));
+  (* duplicate positions with agreeing values collapse *)
+  Alcotest.(check int) "duplicate agreeing" 2
+    (List.length
+       (Engine.query eng "O" ~positions:[ 0; 0 ]
+          ~key:[ Value.of_int 1; Value.of_int 1 ]));
+  (* duplicate positions with conflicting values are unsatisfiable *)
+  Alcotest.(check int) "duplicate conflicting" 0
+    (List.length
+       (Engine.query eng "O" ~positions:[ 0; 0 ]
+          ~key:[ Value.of_int 1; Value.of_int 4 ]));
+  (* out-of-range positions and length mismatches raise *)
+  Alcotest.(check bool) "out of range raises" true
+    (try
+       ignore (Engine.query eng "O" ~positions:[ 3 ] ~key:[ Value.of_int 0 ]);
+       false
+     with Engine.Error _ -> true);
+  Alcotest.(check bool) "negative position raises" true
+    (try
+       ignore (Engine.query eng "O" ~positions:[ -1 ] ~key:[ Value.of_int 0 ]);
+       false
+     with Engine.Error _ -> true);
+  Alcotest.(check bool) "length mismatch raises" true
+    (try
+       ignore (Engine.query eng "O" ~positions:[ 0; 1 ] ~key:[ Value.of_int 0 ]);
+       false
+     with Engine.Error _ -> true)
+
+let test_poisoned_engine () =
+  (* A rule that divides by an input value: inserting y=0 raises from
+     inside propagation, after the input stratum already mutated the
+     stores.  The engine must poison itself and refuse every subsequent
+     operation instead of serving half-updated state. *)
+  let eng =
+    Engine.create
+      (parse
+         {|
+         input relation R(x: int, y: int)
+         output relation O(x: int, z: int)
+         O(x, z) :- R(x, y), var z = 100 / y.
+         |})
+  in
+  ignore (Engine.apply eng [ ("R", ints [ 1; 10 ], true) ]);
+  Alcotest.(check bool) "healthy engine answers" true
+    (Engine.relation_rows eng "O" = [ ints [ 1; 10 ] ]);
+  Alcotest.(check bool) "mid-commit failure propagates" true
+    (try
+       ignore (Engine.apply eng [ ("R", ints [ 2; 0 ], true) ]);
+       false
+     with Builtins.Eval_error _ -> true);
+  let poisoned f =
+    try
+      ignore (f ());
+      false
+    with Engine.Error msg ->
+      (* the diagnostic must say why the engine is unusable *)
+      let has_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      has_sub msg "poisoned"
+  in
+  Alcotest.(check bool) "reads poisoned" true
+    (poisoned (fun () -> Engine.relation_rows eng "O"));
+  Alcotest.(check bool) "cardinal poisoned" true
+    (poisoned (fun () -> Engine.relation_cardinal eng "R"));
+  Alcotest.(check bool) "query poisoned" true
+    (poisoned (fun () ->
+         Engine.query eng "O" ~positions:[ 0 ] ~key:[ Value.of_int 1 ]));
+  Alcotest.(check bool) "new transaction poisoned" true
+    (poisoned (fun () -> Engine.transaction eng));
+  (* a fresh engine over the same program is unaffected *)
+  let eng2 =
+    Engine.create
+      (parse
+         {|
+         input relation R(x: int, y: int)
+         output relation O(x: int, z: int)
+         O(x, z) :- R(x, y), var z = 100 / y.
+         |})
+  in
+  ignore (Engine.apply eng2 [ ("R", ints [ 1; 4 ], true) ]);
+  Alcotest.(check bool) "fresh engine healthy" true
+    (Engine.relation_rows eng2 "O" = [ ints [ 1; 25 ] ])
+
 let tests =
   [
     Alcotest.test_case "deep strata chain" `Quick test_deep_strata_chain;
@@ -230,4 +342,6 @@ let tests =
       test_aggregate_over_recursion;
     Alcotest.test_case "string keys and tuples" `Quick test_string_keys_and_tuples;
     Alcotest.test_case "footprint shrinks" `Quick test_footprint_shrinks;
+    Alcotest.test_case "query normalisation" `Quick test_query_normalisation;
+    Alcotest.test_case "poisoned engine" `Quick test_poisoned_engine;
   ]

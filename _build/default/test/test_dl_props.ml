@@ -45,6 +45,30 @@ let prop_union_associative =
     (fun (a, b, c) ->
       Zset.equal (Zset.union a (Zset.union b c)) (Zset.union (Zset.union a b) c))
 
+let prop_scale_laws =
+  QCheck2.Test.make ~count:300 ~name:"zset scale identities"
+    QCheck2.Gen.(triple gen_zset (int_range (-4) 4) (int_range (-4) 4))
+    (fun (a, k, l) ->
+      Zset.equal (Zset.scale 1 a) a
+      && Zset.is_empty (Zset.scale 0 a)
+      && Zset.equal (Zset.scale (-1) a) (Zset.neg a)
+      && Zset.equal (Zset.scale k (Zset.scale l a)) (Zset.scale (k * l) a))
+
+let prop_scale_distributes =
+  zset_law "zset scale distributes over union" (fun (a, b) ->
+      List.for_all
+        (fun k ->
+          Zset.equal
+            (Zset.scale k (Zset.union a b))
+            (Zset.union (Zset.scale k a) (Zset.scale k b)))
+        [ -3; -1; 2; 5 ])
+
+let prop_neg_involution =
+  zset_law "zset neg involution, zero-free" (fun (a, _) ->
+      Zset.equal (Zset.neg (Zset.neg a)) a
+      && Zset.fold (fun _ w acc -> acc && w <> 0) (Zset.neg a) true
+      && Zset.fold (fun _ w acc -> acc && w <> 0) (Zset.scale (-2) a) true)
+
 (* ------------------------------------------------------------------ *)
 (* Engine vs naive evaluator on random update traces                   *)
 (* ------------------------------------------------------------------ *)
@@ -215,6 +239,67 @@ let prop_expressions =
     |}
     [ ("R", 2) ]
 
+(* ------------------------------------------------------------------ *)
+(* Store/index consistency under churn                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Indexed point queries must agree with filtering a full scan, for
+   every (single- and multi-column) key, after every transaction of a
+   random appear/disappear trace.  The derived relation exercises the
+   index maintenance on visibility transitions (rows whose derivation
+   count rises above / falls back to zero), where a projection mismatch
+   between index_add and index_remove would leak stale bucket rows. *)
+let prop_index_churn =
+  let program =
+    Parser.parse_program_exn
+      {|
+      input relation R(x: int, y: int)
+      input relation S(y: int, z: int)
+      output relation T(x: int, y: int, z: int)
+      T(x, y, z) :- R(x, y), S(y, z).
+      |}
+  in
+  let rels = [ ("R", 2); ("S", 2) ] in
+  QCheck2.Test.make ~count:60 ~name:"store index = scan under churn"
+    (gen_trace rels) (fun trace ->
+      let eng = Engine.create program in
+      let ok = ref true in
+      List.iter
+        (fun txn_updates ->
+          let txn = Engine.transaction eng in
+          List.iter
+            (fun (rel, row, ins) ->
+              if ins then Engine.insert txn rel row
+              else Engine.delete txn rel row)
+            txn_updates;
+          ignore (Engine.commit txn);
+          let scan positions key =
+            List.filter
+              (fun (row : Row.t) ->
+                List.for_all2
+                  (fun p v -> Value.equal row.(p) v)
+                  positions key)
+              (Engine.relation_rows eng "T")
+          in
+          let check positions key =
+            let expected = List.sort Row.compare (scan positions key) in
+            let actual =
+              List.sort Row.compare
+                (Engine.query eng "T" ~positions ~key)
+            in
+            if not (List.equal Row.equal expected actual) then ok := false
+          in
+          for v = 0 to 4 do
+            check [ 0 ] [ Value.of_int v ];
+            check [ 1 ] [ Value.of_int v ];
+            check [ 2 ] [ Value.of_int v ];
+            check [ 0; 2 ] [ Value.of_int v; Value.of_int v ];
+            (* unsorted positions: exercise query normalisation *)
+            check [ 2; 0 ] [ Value.of_int v; Value.of_int v ]
+          done)
+        trace;
+      !ok)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -224,6 +309,10 @@ let suite =
       prop_distinct_idempotent;
       prop_no_zero_weights;
       prop_union_associative;
+      prop_scale_laws;
+      prop_scale_distributes;
+      prop_neg_involution;
+      prop_index_churn;
       prop_reachability;
       prop_mutual_recursion;
       prop_join_negation;

@@ -3,6 +3,7 @@ let () =
     [
       ("value", Test_value.tests);
       ("zset", Test_zset.tests);
+      ("obs", Test_obs.tests);
       ("builtins", Test_builtins.tests);
       ("dl-parser", Test_dl_parser.tests);
       ("dl-typecheck", Test_dl_typecheck.tests);

@@ -349,6 +349,39 @@ let test_controller_stats () =
   Alcotest.(check bool) "groups programmed" true
     (s.Nerpa.Controller.groups_updated > 0)
 
+let test_sync_quiescence_diagnostics () =
+  (* With a single iteration of fuel, any real change cannot quiesce
+     (one iteration consumes the monitor batch, a second must observe
+     silence).  The failure must name the fuel and the relations that
+     were still changing, with their delta sizes. *)
+  let d = Snvs.deploy ~max_iterations:1 () in
+  ignore (Snvs.add_port d ~name:"p1" ~port:1 ~mode:"access" ~tag:10 ~trunks:[]);
+  let has_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (match Nerpa.Controller.sync d.controller with
+  | _ -> Alcotest.fail "sync should not quiesce with max_iterations:1"
+  | exception Nerpa.Controller.Controller_error msg ->
+    Alcotest.(check bool) "names the fuel" true
+      (has_sub msg "did not quiesce after 1 iterations");
+    Alcotest.(check bool) "names the changing relation" true
+      (has_sub msg "Port");
+    Alcotest.(check bool) "gives a cardinality" true (has_sub msg "rows"));
+  (* default fuel handles the same change fine *)
+  let d2 = Snvs.deploy () in
+  ignore
+    (Snvs.add_port d2 ~name:"p1" ~port:1 ~mode:"access" ~tag:10 ~trunks:[]);
+  Alcotest.(check bool) "default fuel quiesces" true
+    (Nerpa.Controller.sync d2.controller >= 0);
+  (* non-positive fuel is rejected at construction *)
+  Alcotest.(check bool) "zero fuel rejected" true
+    (try
+       ignore (Snvs.deploy ~max_iterations:0 ());
+       false
+     with Nerpa.Controller.Controller_error _ -> true)
+
 let tests =
   [
     Alcotest.test_case "codegen relations" `Quick test_codegen_relations;
@@ -368,4 +401,6 @@ let tests =
       test_preflight_and_inventory;
     Alcotest.test_case "controller restart" `Quick test_controller_restart;
     Alcotest.test_case "controller stats" `Quick test_controller_stats;
+    Alcotest.test_case "sync quiescence diagnostics" `Quick
+      test_sync_quiescence_diagnostics;
   ]

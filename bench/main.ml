@@ -235,8 +235,8 @@ let exp_lb ?(n_lbs = 100) ?(n_backends = 100) () =
   List.iteri
     (fun i (p : Netgen.lb_plan) ->
       Engine.insert txn "LoadBalancer"
-        [| Value.of_string p.lb_name; vip i;
-           Value.VVec (List.map (Value.bit 32) p.lb_backends) |])
+        (Row.intern [| Value.of_string p.lb_name; vip i;
+           Value.VVec (List.map (Value.bit 32) p.lb_backends) |]))
     plans;
   ignore (Engine.commit txn);
   let eng_cold = (now () -. t0) *. 1e3 in
@@ -248,8 +248,8 @@ let exp_lb ?(n_lbs = 100) ?(n_backends = 100) () =
       ignore
         (Engine.apply engine
            [ ( "LoadBalancer",
-               [| Value.of_string p.lb_name; vip i;
-                  Value.VVec (List.map (Value.bit 32) p.lb_backends) |],
+               (Row.intern [| Value.of_string p.lb_name; vip i;
+                  Value.VVec (List.map (Value.bit 32) p.lb_backends) |]),
                false ) ]))
     plans;
   let eng_teardown = (now () -. t0) *. 1e3 in
@@ -439,7 +439,7 @@ let exp_reach ?(nodes = 2000) ?(ops = 200) () =
     "full recompute is tens of lines but O(graph) per change; the \
      hand-incremental version took thousands of lines and several releases \
      to debug";
-  let ints l = Array.of_list (List.map Value.of_int l) in
+  let ints l = Row.of_list (List.map Value.of_int l) in
   (* A backbone with leaf fan-out: the realistic shape for this claim —
      most changes are edge churn at the leaves (hosts and access links
      coming and going), whose label cones are tiny compared to the
@@ -458,7 +458,7 @@ let exp_reach ?(nodes = 2000) ?(ops = 200) () =
   List.iter (fun (a, b) -> Engine.insert txn "Edge" (ints [ a; b ])) edges;
   List.iter
     (fun (n, l) ->
-      Engine.insert txn "GivenLabel" [| Value.of_int n; Value.of_string l |])
+      Engine.insert txn "GivenLabel" (Row.intern [| Value.of_int n; Value.of_string l |]))
     gw;
   ignore (Engine.commit txn);
   let incr = Baseline.Label_baseline.Incr.create () in
@@ -515,7 +515,7 @@ let exp_reach ?(nodes = 2000) ?(ops = 200) () =
     List.sort compare
       (List.map
          (fun row ->
-           (Int64.to_int (Value.as_int row.(0)), Value.as_string row.(1)))
+           (Int64.to_int (Value.as_int (Row.get row 0)), Value.as_string (Row.get row 1)))
          (Engine.relation_rows engine "Label"))
   in
   assert (expected = actual);
@@ -606,7 +606,7 @@ let exp_robotron () =
 let exp_ablation ?(nodes = 1500) ?(ops = 100) () =
   header "ABLATION  engine design choices: join planner and hash indexes"
     "(design-choice evidence for DESIGN.md, not a paper table)";
-  let ints l = Array.of_list (List.map Value.of_int l) in
+  let ints l = Row.of_list (List.map Value.of_int l) in
   let backbone = nodes / 10 in
   let edges =
     Netgen.chain backbone
@@ -626,7 +626,7 @@ let exp_ablation ?(nodes = 1500) ?(ops = 100) () =
     let t0 = now () in
     let txn = Engine.transaction engine in
     List.iter (fun (a, b) -> Engine.insert txn "Edge" (ints [ a; b ])) edges;
-    Engine.insert txn "GivenLabel" [| Value.of_int 0; Value.of_string "g" |];
+    Engine.insert txn "GivenLabel" (Row.intern [| Value.of_int 0; Value.of_string "g" |]);
     ignore (Engine.commit txn);
     let cold = (now () -. t0) *. 1e3 in
     let t0 = now () in
@@ -671,7 +671,7 @@ let exp_ablation ?(nodes = 1500) ?(ops = 100) () =
       (fun i ->
         if i + 2 < chain then Engine.insert txn "Edge" (ints [ i; i + 2 ]))
       (List.init (chain - 2) (fun i -> i));
-    Engine.insert txn "GivenLabel" [| Value.of_int 0; Value.of_string "g" |];
+    Engine.insert txn "GivenLabel" (Row.intern [| Value.of_int 0; Value.of_string "g" |]);
     ignore (Engine.commit txn);
     let t0 = now () in
     List.iter
@@ -711,9 +711,9 @@ let micro () =
     let txn = Engine.transaction e in
     for i = 0 to 999 do
       Engine.insert txn "R"
-        [| Value.of_int i; Value.of_int (i mod 100) |];
+        (Row.intern [| Value.of_int i; Value.of_int (i mod 100) |]);
       Engine.insert txn "S"
-        [| Value.of_int (i mod 100); Value.of_int i |]
+        (Row.intern [| Value.of_int (i mod 100); Value.of_int i |])
     done;
     ignore (Engine.commit txn);
     e
@@ -725,9 +725,9 @@ let micro () =
     let txn = Engine.transaction e in
     List.iter
       (fun (a, b) ->
-        Engine.insert txn "Edge" [| Value.of_int a; Value.of_int b |])
+        Engine.insert txn "Edge" (Row.intern [| Value.of_int a; Value.of_int b |]))
       (Netgen.chain 500);
-    Engine.insert txn "GivenLabel" [| Value.of_int 0; Value.of_string "g" |];
+    Engine.insert txn "GivenLabel" (Row.intern [| Value.of_int 0; Value.of_string "g" |]);
     ignore (Engine.commit txn);
     e
   in
@@ -735,7 +735,7 @@ let micro () =
   let i_reach = ref 1_000 in
   let zs =
     Zset.of_list
-      (List.init 500 (fun i -> ([| Value.of_int i |], (i mod 3) - 1)))
+      (List.init 500 (fun i -> ((Row.intern [| Value.of_int i |]), (i mod 3) - 1)))
   in
   let pkt =
     P4.Stdhdrs.vlan_frame ~dst:1L ~src:2L ~vid:10L ~ethertype:0x0800L
@@ -752,20 +752,20 @@ let micro () =
              let i = !i_join in
              ignore
                (Engine.apply e_join
-                  [ ("R", [| Value.of_int i; Value.of_int (i mod 100) |], true) ]);
+                  [ ("R", (Row.intern [| Value.of_int i; Value.of_int (i mod 100) |]), true) ]);
              ignore
                (Engine.apply e_join
-                  [ ("R", [| Value.of_int i; Value.of_int (i mod 100) |], false) ])));
+                  [ ("R", (Row.intern [| Value.of_int i; Value.of_int (i mod 100) |]), false) ])));
       Test.make ~name:"engine: extend+retract a 500-chain"
         (Staged.stage (fun () ->
              incr i_reach;
              let i = !i_reach in
              ignore
                (Engine.apply e_reach
-                  [ ("Edge", [| Value.of_int 499; Value.of_int i |], true) ]);
+                  [ ("Edge", (Row.intern [| Value.of_int 499; Value.of_int i |]), true) ]);
              ignore
                (Engine.apply e_reach
-                  [ ("Edge", [| Value.of_int 499; Value.of_int i |], false) ])));
+                  [ ("Edge", (Row.intern [| Value.of_int 499; Value.of_int i |]), false) ])));
       Test.make ~name:"switch: parse+pipeline+deparse"
         (Staged.stage (fun () ->
              ignore (P4.Switch.process sw_parse ~in_port:1 pkt)));
@@ -839,13 +839,13 @@ let obs_overhead () =
     let e = Engine.create overhead_program in
     let txn = Engine.transaction e in
     for i = 0 to 499 do
-      Engine.insert txn "R" [| Value.of_int i; Value.of_int (i mod 50) |];
-      Engine.insert txn "S" [| Value.of_int (i mod 50); Value.of_int i |]
+      Engine.insert txn "R" (Row.intern [| Value.of_int i; Value.of_int (i mod 50) |]);
+      Engine.insert txn "S" (Row.intern [| Value.of_int (i mod 50); Value.of_int i |])
     done;
     ignore (Engine.commit txn);
     let t0 = now () in
     for i = 0 to n - 1 do
-      let row = [| Value.of_int (1000 + i); Value.of_int (i mod 50) |] in
+      let row = (Row.intern [| Value.of_int (1000 + i); Value.of_int (i mod 50) |]) in
       ignore (Engine.apply e [ ("R", row, true) ]);
       ignore (Engine.apply e [ ("R", row, false) ])
     done;
@@ -883,14 +883,215 @@ let obs_overhead () =
   pass
 
 (* ------------------------------------------------------------------ *)
+(* JSON report: machine-readable numbers for BENCH_PR2.json            *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed workloads whose dl.commit.us distributions back the PR 2
+   speedup claim.  Each runs against a freshly reset registry and
+   reports the commit-latency histogram (plus workload-specific bulk
+   timings), so before/after engine builds are directly comparable. *)
+
+let json_num f = Ovsdb.Json.Float f
+
+let hist_json name : (string * Ovsdb.Json.t) list =
+  match Obs.find_histogram name with
+  | None -> []
+  | Some h ->
+    [ ( name ^ ".us",
+        Ovsdb.Json.Obj
+          [ ("count", Ovsdb.Json.Int (Int64.of_int (Obs.Histogram.count h)));
+            ("mean", json_num (Obs.Histogram.mean h));
+            ("p50", json_num (Obs.Histogram.percentile h 0.50));
+            ("p99", json_num (Obs.Histogram.percentile h 0.99));
+            ("max", json_num (Obs.Histogram.max_value h)) ] ) ]
+
+(* Leaf-churn reachability: bulk-load a backbone+leaf network in one
+   transaction, then [ops] single-edge transactions.  The churn
+   commits alone populate dl.commit.us (the registry is reset after
+   the bulk load). *)
+let bench_commit_reach ~nodes ~ops () : Ovsdb.Json.t =
+  Obs.reset ();
+  let ints l = Row.of_list (List.map Value.of_int l) in
+  let backbone = nodes / 10 in
+  let edges =
+    Netgen.chain backbone
+    @ List.concat
+        (List.init (nodes - backbone) (fun i -> [ (i mod backbone, backbone + i) ]))
+  in
+  let engine = Engine.create reach_program in
+  let t0 = now () in
+  let txn = Engine.transaction engine in
+  List.iter (fun (a, b) -> Engine.insert txn "Edge" (ints [ a; b ])) edges;
+  Engine.insert txn "GivenLabel" (Row.intern [| Value.of_int 0; Value.of_string "g" |]);
+  ignore (Engine.commit txn);
+  let bulk_ms = (now () -. t0) *. 1e3 in
+  Obs.reset ();
+  let r = Random.State.make [| 2025 |] in
+  for _ = 1 to ops do
+    let leaf = backbone + Random.State.int r (nodes - backbone) in
+    let b = Random.State.int r backbone in
+    ignore (Engine.apply engine [ ("Edge", ints [ b; leaf ], true) ]);
+    ignore (Engine.apply engine [ ("Edge", ints [ b; leaf ], false) ])
+  done;
+  Ovsdb.Json.Obj
+    ([ ("nodes", Ovsdb.Json.Int (Int64.of_int nodes));
+       ("churn_txns", Ovsdb.Json.Int (Int64.of_int (2 * ops)));
+       ("bulk_load_ms", json_num bulk_ms) ]
+    @ hist_json "dl.commit")
+
+(* A wide non-recursive join: one 2x[rows] bulk transaction, then [ops]
+   single-row insert/delete pairs through the join. *)
+let bench_commit_join ~rows ~ops () : Ovsdb.Json.t =
+  Obs.reset ();
+  let p =
+    Parser.parse_program_exn
+      {|
+      input relation R(x: int, y: int)
+      input relation S(y: int, z: int)
+      output relation T(x: int, z: int)
+      T(x, z) :- R(x, y), S(y, z).
+      |}
+  in
+  let engine = Engine.create p in
+  let t0 = now () in
+  let txn = Engine.transaction engine in
+  for i = 0 to rows - 1 do
+    Engine.insert txn "R" (Row.intern [| Value.of_int i; Value.of_int (i mod 997) |]);
+    Engine.insert txn "S" (Row.intern [| Value.of_int (i mod 997); Value.of_int i |])
+  done;
+  ignore (Engine.commit txn);
+  let bulk_ms = (now () -. t0) *. 1e3 in
+  Obs.reset ();
+  for i = 0 to ops - 1 do
+    let row = (Row.intern [| Value.of_int (rows + i); Value.of_int (i mod 997) |]) in
+    ignore (Engine.apply engine [ ("R", row, true) ]);
+    ignore (Engine.apply engine [ ("R", row, false) ])
+  done;
+  Ovsdb.Json.Obj
+    ([ ("rows", Ovsdb.Json.Int (Int64.of_int (2 * rows)));
+       ("churn_txns", Ovsdb.Json.Int (Int64.of_int (2 * ops)));
+       ("bulk_load_ms", json_num bulk_ms) ]
+    @ hist_json "dl.commit")
+
+(* The full stack: one OVSDB port + sync per transaction. *)
+let bench_ports ~n () : Ovsdb.Json.t =
+  Obs.reset ();
+  let d = Snvs.deploy () in
+  let t0 = now () in
+  List.iter
+    (fun (p : Netgen.port_plan) ->
+      ignore
+        (Snvs.add_port d ~name:p.pp_name ~port:p.pp_port ~mode:p.pp_mode
+           ~tag:p.pp_tag ~trunks:p.pp_trunks);
+      ignore (Nerpa.Controller.sync d.controller))
+    (Netgen.ports ~vlans:16 ~trunk_every:0 ~n ());
+  let total_ms = (now () -. t0) *. 1e3 in
+  Ovsdb.Json.Obj
+    ([ ("ports", Ovsdb.Json.Int (Int64.of_int n));
+       ("total_ms", json_num total_ms) ]
+    @ hist_json "dl.commit" @ hist_json "nerpa.sync")
+
+let json_experiments () : (string * Ovsdb.Json.t) list =
+  [ ("commit_reach_5000", bench_commit_reach ~nodes:5000 ~ops:400 ());
+    ("commit_join_10000", bench_commit_join ~rows:10_000 ~ops:500 ());
+    ("ports_200", bench_ports ~n:200 ());
+    ("smoke_ports_40", bench_ports ~n:40 ()) ]
+
+(* The regression gate compares the smoke run's dl.commit p50 against
+   this recorded baseline.  The relative bound catches real slowdowns;
+   the absolute slack absorbs the timer-granularity jitter that
+   dominates micro-second scale percentiles over only 40 samples. *)
+let gate_json (exps : (string * Ovsdb.Json.t) list) : Ovsdb.Json.t =
+  let smoke_p50 =
+    match List.assoc_opt "smoke_ports_40" exps with
+    | Some j -> (
+      match Ovsdb.Json.member "dl.commit.us" j with
+      | Some h -> (
+        match Ovsdb.Json.member "p50" h with
+        | Some (Ovsdb.Json.Float f) -> f
+        | Some (Ovsdb.Json.Int i) -> Int64.to_float i
+        | _ -> 0.)
+      | None -> 0.)
+    | None -> 0.
+  in
+  Ovsdb.Json.Obj
+    [ ("metric", Ovsdb.Json.String "smoke dl.commit.us p50");
+      ("smoke_commit_p50_us", json_num smoke_p50);
+      ("max_regression", json_num 1.25);
+      ("abs_slack_us", json_num 5.0) ]
+
+let json_report path =
+  let exps = json_experiments () in
+  let doc =
+    Ovsdb.Json.Obj
+      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr2/1");
+        ("experiments", Ovsdb.Json.Obj exps);
+        ("gate", gate_json exps) ]
+  in
+  let oc = open_out path in
+  output_string oc (Ovsdb.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* SMOKE: a seconds-scale end-to-end pass for the tier-1 test alias    *)
 (* ------------------------------------------------------------------ *)
+
+(* Compare the freshly measured smoke dl.commit p50 against the gate
+   recorded in BENCH_PR2.json; a regression beyond
+   p50 * max_regression + abs_slack fails the run (and hence
+   `dune runtest`, which invokes the smoke alias). *)
+let smoke_gate (baseline_path : string) (measured_p50 : float) =
+  match
+    try Some (Ovsdb.Json.of_string (In_channel.with_open_text baseline_path In_channel.input_all))
+    with _ -> None
+  with
+  | None ->
+    Printf.printf "smoke gate: no readable baseline at %s (skipped)\n"
+      baseline_path
+  | Some doc -> (
+    let num j =
+      match j with
+      | Some (Ovsdb.Json.Float f) -> Some f
+      | Some (Ovsdb.Json.Int i) -> Some (Int64.to_float i)
+      | _ -> None
+    in
+    let field k =
+      Option.bind (Ovsdb.Json.member "gate" doc) (Ovsdb.Json.member k) |> num
+    in
+    match field "smoke_commit_p50_us", field "max_regression", field "abs_slack_us" with
+    | Some base, Some maxr, Some slack ->
+      let limit = (base *. maxr) +. slack in
+      if measured_p50 > limit then (
+        Printf.printf
+          "smoke gate: FAIL dl.commit.us p50 %.2f us exceeds limit %.2f us \
+           (baseline %.2f x %.2f + %.1f slack)\n"
+          measured_p50 limit base maxr slack;
+        exit 1)
+      else
+        Printf.printf
+          "smoke gate: ok, dl.commit.us p50 %.2f us within limit %.2f us\n"
+          measured_p50 limit
+    | _ ->
+      Printf.printf "smoke gate: baseline %s has no gate section (skipped)\n"
+        baseline_path)
 
 (* Runs a miniature exp_ports plus the observability overhead check,
    touching all three planes, and fails loudly if the overhead bound is
    violated.  Wired into `dune runtest` from bench/dune. *)
-let smoke () =
+let smoke ?baseline () =
   exp_ports ~n:40 ();
+  (* capture the commit percentile before obs_overhead pollutes the
+     histogram with its synthetic commits *)
+  let p50 =
+    match Obs.find_histogram "dl.commit" with
+    | Some h -> Obs.Histogram.percentile h 0.50
+    | None -> 0.
+  in
+  (match baseline with
+  | Some path -> smoke_gate path p50
+  | None -> ());
   if not (obs_overhead ()) then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -925,6 +1126,11 @@ let run_experiment name f =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
+  | "--json" :: rest ->
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR2.json" in
+    json_report path
+  | "smoke" :: "--baseline" :: path :: _ ->
+    run_experiment "smoke" (fun () -> smoke ~baseline:path ())
   | [] ->
     (* smoke is the runtest subset of ports+overhead; skip it when
        running everything *)

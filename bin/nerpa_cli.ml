@@ -75,13 +75,14 @@ let parse_script_line line : script_cmd option =
     match Parser.parse_program (rest ^ ".") with
     | Ok { Ast.rules = [ { head; body = [] } ]; _ } ->
       let row =
-        Array.map
-          (function
-            | Ast.EConst c -> c
-            | Ast.ECall ("neg", [ Ast.EConst (Value.VInt v) ]) ->
-              Value.VInt (Int64.neg v)
-            | _ -> failwith "script rows must be constants")
-          head.Ast.hargs
+        Row.intern
+          (Array.map
+             (function
+               | Ast.EConst c -> c
+               | Ast.ECall ("neg", [ Ast.EConst (Value.VInt v) ]) ->
+                 Value.VInt (Int64.neg v)
+               | _ -> failwith "script rows must be constants")
+             head.Ast.hargs)
       in
       Some (Update (sign, head.Ast.hrel, row))
     | Ok _ | Error _ -> failwith (Printf.sprintf "bad script line: %s" line)
@@ -92,14 +93,15 @@ let coerce_row (program : Ast.program) rel (row : Row.t) : Row.t =
   | None -> row
   | Some d ->
     let tys = Array.of_list (List.map snd d.cols) in
-    if Array.length tys <> Array.length row then row
+    if Array.length tys <> Row.arity row then row
     else
-      Array.mapi
-        (fun i v ->
-          match tys.(i), v with
-          | Dtype.TBit w, Value.VInt x -> Value.bit w x
-          | _ -> v)
-        row
+      Row.intern
+        (Array.mapi
+           (fun i v ->
+             match tys.(i), v with
+             | Dtype.TBit w, Value.VInt x -> Value.bit w x
+             | _ -> v)
+           (Row.values row))
 
 let cmd_run file script =
   let program =

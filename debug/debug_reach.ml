@@ -1,7 +1,7 @@
 (* Ad-hoc search for a minimal failing trace of engine-vs-naive. *)
 open Dl
 
-let ints l = Array.of_list (List.map Value.of_int l)
+let ints l = Row.of_list (List.map Value.of_int l)
 
 let program =
   Parser.parse_program_exn

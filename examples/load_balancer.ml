@@ -47,8 +47,9 @@ let () =
   List.iteri
     (fun i (p : Netgen.lb_plan) ->
       Engine.insert txn "LoadBalancer"
-        [| Value.of_string p.lb_name; vip i;
-           Value.VVec (List.map backend p.lb_backends) |])
+        (Row.intern
+           [| Value.of_string p.lb_name; vip i;
+              Value.VVec (List.map backend p.lb_backends) |]))
     plans;
   ignore (Engine.commit txn);
   Printf.printf "engine cold start: %d entries in %.1f ms (footprint %d tuples)\n"
@@ -75,7 +76,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   let deltas =
     Engine.apply engine
-      [ ("BackendHealth", [| backend victim; Value.VBool false |], true) ]
+      [ ("BackendHealth", Row.intern [| backend victim; Value.VBool false |],
+          true) ]
   in
   let changed =
     List.fold_left (fun acc (_, dz) -> acc + Zset.cardinal dz) 0 deltas
@@ -94,8 +96,9 @@ let () =
       ignore
         (Engine.apply engine
            [ ( "LoadBalancer",
-               [| Value.of_string p.lb_name; vip i;
-                  Value.VVec (List.map backend p.lb_backends) |],
+               Row.intern
+                 [| Value.of_string p.lb_name; vip i;
+                    Value.VVec (List.map backend p.lb_backends) |],
                false ) ]))
     plans;
   let engine_teardown = (Unix.gettimeofday () -. t0) *. 1e3 in

@@ -28,7 +28,7 @@ let program_text =
   |}
 
 let str s = Value.of_string s
-let row l = Array.of_list l
+let row l = Row.of_list l
 
 let show_deltas label deltas =
   Printf.printf "%s\n" label;

@@ -22,7 +22,7 @@ let program =
     Label(n2, l) :- Label(n1, l), Edge(n1, n2).
     |}
 
-let ints l = Array.of_list (List.map Value.of_int l)
+let ints l = Row.of_list (List.map Value.of_int l)
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -42,7 +42,8 @@ let () =
   List.iter
     (fun g ->
       Engine.insert txn "GivenLabel"
-        [| Value.of_int g; Value.of_string (Printf.sprintf "gw%d" g) |])
+        (Row.intern
+           [| Value.of_int g; Value.of_string (Printf.sprintf "gw%d" g) |]))
     [ 0; 1; 2; 3 ];
   let _, cold = time (fun () -> Engine.commit txn) in
   Printf.printf "cold start: %d labels in %.0f us\n"
@@ -70,7 +71,7 @@ let () =
       List.sort compare
         (List.map
            (fun r ->
-             (Int64.to_int (Value.as_int r.(0)), Value.as_string r.(1)))
+             (Int64.to_int (Value.as_int (Row.get r 0)), Value.as_string (Row.get r 1)))
            (Engine.relation_rows engine "Label"))
     in
     let hand = List.sort compare (Baseline.Label_baseline.Incr.labels incr) in

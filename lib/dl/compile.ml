@@ -16,7 +16,11 @@ type cpat =
   | CConstP of Value.t
   | CWildP
 
-type catom = { crel : string; pats : cpat array }
+type catom = {
+  aid : int; (* program-unique atom id, keys the arrangement cache *)
+  crel : string;
+  pats : cpat array;
+}
 
 type clit =
   | CAtom of catom
@@ -62,6 +66,11 @@ let rec compile_expr env (e : Ast.expr) : cexpr =
   | Ast.EIf (c, t, e) ->
     CIf (compile_expr env c, compile_expr env t, compile_expr env e)
 
+(* Atom ids key the engine's per-(atom, bound-columns) arrangement
+   cache; they only need to be unique, not dense, so a module-level
+   counter is fine across programs. *)
+let next_aid = ref 0
+
 let compile_atom env (a : Ast.atom) : catom =
   let pats =
     Array.map
@@ -71,7 +80,9 @@ let compile_atom env (a : Ast.atom) : catom =
         | Ast.PWild -> CWildP)
       a.args
   in
-  { crel = a.rel; pats }
+  let aid = !next_aid in
+  incr next_aid;
+  { aid; crel = a.rel; pats }
 
 (** Compile one rule.  [rule_id] must be unique across the program; it
     keys the per-rule aggregate state in the engine. *)

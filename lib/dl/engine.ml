@@ -43,6 +43,11 @@ type t = {
   strata : stratum_c array;
   rels : (string, Store.t) Hashtbl.t;
   agg_state : (int, group Row.Tbl.t) Hashtbl.t;
+  (* Arrangement cache: (atom id, bound-position bitmask) -> the shared
+     store index that probe uses.  Seeded at [create] by walking every
+     rule's textual execution orders, extended lazily for signatures
+     only the runtime planner produces. *)
+  arr_cache : (int * int, Store.index) Hashtbl.t;
   mutable txn_open : bool;
   (* A commit that raises mid-propagation leaves the stores with some
      strata applied and others not; the engine is poisoned so every
@@ -110,11 +115,11 @@ let match_pattern (pats : Compile.cpat array) (row : Row.t)
     else
       match pats.(i) with
       | Compile.CWildP -> go (i + 1)
-      | Compile.CConstP c -> Value.equal c row.(i) && go (i + 1)
+      | Compile.CConstP c -> Value.equal c (Row.get row i) && go (i + 1)
       | Compile.CSlot s ->
-        if bound.(s) then Value.equal env.(s) row.(i) && go (i + 1)
+        if bound.(s) then Value.equal env.(s) (Row.get row i) && go (i + 1)
         else begin
-          env.(s) <- row.(i);
+          env.(s) <- Row.get row i;
           bound.(s) <- true;
           trail := s :: !trail;
           go (i + 1)
@@ -134,50 +139,108 @@ let unwind (bound : bool array) (trail : int list ref) (upto : int list) =
   go !trail;
   trail := upto
 
+(* ------------------------------------------------------------------ *)
+(* Arrangements                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* An arrangement is a store index keyed by the columns an atom probe
+   has bound: constants always, slots when the current partial binding
+   fixes them.  The signature of a probe is the bitmask of those
+   positions; per (atom, mask) the index is resolved once and memoised
+   in [eng.arr_cache], so the hot join loop does a single int-pair
+   hash lookup instead of collecting/sorting positions and searching
+   the store's index list on every probe. *)
+
+(* Bitmasks only work below the word size; atoms wider than this take
+   an uncached slow path (and never arise in practice). *)
+let max_mask_arity = 60
+
+let atom_mask (a : Compile.catom) (bound : bool array) =
+  let mask = ref 0 in
+  Array.iteri
+    (fun i pat ->
+      match pat with
+      | Compile.CConstP _ -> mask := !mask lor (1 lsl i)
+      | Compile.CSlot s when bound.(s) -> mask := !mask lor (1 lsl i)
+      | Compile.CSlot _ | Compile.CWildP -> ())
+    a.pats;
+  !mask
+
+let index_for_mask eng (a : Compile.catom) (mask : int) : Store.index =
+  match Hashtbl.find_opt eng.arr_cache (a.Compile.aid, mask) with
+  | Some idx -> idx
+  | None ->
+    let positions = ref [] in
+    for i = Array.length a.pats - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then positions := i :: !positions
+    done;
+    let idx =
+      Store.ensure_index (store eng a.crel) (Array.of_list !positions)
+    in
+    Hashtbl.add eng.arr_cache (a.Compile.aid, mask) idx;
+    idx
+
+(* Resolve the arrangement and interned key for an atom probe under the
+   current binding. *)
+let atom_index eng (a : Compile.catom) (env : Value.t array)
+    (bound : bool array) : Store.index * Row.t =
+  let idx =
+    if Array.length a.pats <= max_mask_arity then
+      let mask = if eng.use_indexes then atom_mask a bound else 0 in
+      index_for_mask eng a mask
+    else begin
+      (* uncached slow path for very wide atoms *)
+      let key_positions = ref [] in
+      if eng.use_indexes then
+        Array.iteri
+          (fun i pat ->
+            match pat with
+            | Compile.CConstP _ -> key_positions := i :: !key_positions
+            | Compile.CSlot s when bound.(s) ->
+              key_positions := i :: !key_positions
+            | Compile.CSlot _ | Compile.CWildP -> ())
+          a.pats;
+      Store.ensure_index (store eng a.crel)
+        (Array.of_list (List.rev !key_positions))
+    end
+  in
+  let key =
+    Row.intern
+      (Array.map
+         (fun p ->
+           match a.pats.(p) with
+           | Compile.CConstP c -> c
+           | Compile.CSlot s -> env.(s)
+           | Compile.CWildP -> assert false)
+         idx.positions)
+  in
+  (idx, key)
+
 (* Iterate the rows of [rel] matching the atom pattern under the current
    partial binding, in the requested version.  [f] is called with the
-   environment extended; bindings are undone afterwards. *)
+   environment extended; bindings are undone afterwards.
+
+   Buckets are iterated live (no snapshot): sound because no engine
+   path mutates a store while joins are reading it — derived deltas
+   are accumulated and applied only after the joins that produced them
+   finish (see the Store invariants). *)
 let iter_atom_matches eng (changed : changed) ~version (a : Compile.catom)
     (env : Value.t array) (bound : bool array) (trail : int list ref)
     (f : unit -> unit) =
-  let st = store eng a.crel in
-  (* Determine bound key positions and their values. *)
-  let key_positions = ref [] and key_values = ref [] in
-  if eng.use_indexes then
-    Array.iteri
-      (fun i pat ->
-        match pat with
-        | Compile.CConstP c ->
-          key_positions := i :: !key_positions;
-          key_values := c :: !key_values
-        | Compile.CSlot s when bound.(s) ->
-          key_positions := i :: !key_positions;
-          key_values := env.(s) :: !key_values
-        | Compile.CSlot _ | Compile.CWildP -> ())
-      a.pats;
-  let positions = Array.of_list (List.rev !key_positions) in
-  let idx = Store.ensure_index st positions in
-  (* [ensure_index] sorts positions; recompute the key in sorted order. *)
-  let key = Array.map (fun p ->
-      match a.pats.(p) with
-      | Compile.CConstP c -> c
-      | Compile.CSlot s -> env.(s)
-      | Compile.CWildP -> assert false)
-      idx.positions
-  in
+  let idx, key = atom_index eng a env bound in
   let delta = get_delta changed a.crel in
   let try_row row =
     let saved = !trail in
     if match_pattern a.pats row env bound trail then f ();
     unwind bound trail saved
   in
-  let candidates = Store.index_lookup idx key in
-  (match version with
-  | New -> List.iter try_row candidates
+  match version with
+  | New -> Store.index_iter idx key try_row
   | Old ->
-    List.iter (fun row -> if Zset.weight delta row <= 0 then try_row row) candidates;
+    Store.index_iter idx key (fun row ->
+        if Zset.weight delta row <= 0 then try_row row);
     (* Rows deleted this transaction are absent from the index. *)
-    Zset.iter (fun row w -> if w < 0 then try_row row) delta)
+    Zset.iter (fun row w -> if w < 0 then try_row row) delta
 
 (* Existence test used by negated literals: is there any row matching
    the (fully bound apart from wildcards) pattern? *)
@@ -206,32 +269,11 @@ let rec expr_slots acc (e : Compile.cexpr) =
 let all_bound (bound : bool array) slots = List.for_all (fun s -> bound.(s)) slots
 
 (* Estimated result size of matching an atom under the current binding:
-   the length of its index bucket (plus the txn delta size for old
+   the size of its index bucket (plus the txn delta size for old
    versions — an over-estimate is fine, this is only a planner). *)
 let atom_estimate eng changed ~version (a : Compile.catom) env bound : int =
-  let st = store eng a.crel in
-  let key_positions = ref [] and key_values = ref [] in
-  Array.iteri
-    (fun i pat ->
-      match pat with
-      | Compile.CConstP c ->
-        key_positions := i :: !key_positions;
-        key_values := c :: !key_values
-      | Compile.CSlot s when bound.(s) ->
-        key_positions := i :: !key_positions;
-        key_values := env.(s) :: !key_values
-      | Compile.CSlot _ | Compile.CWildP -> ())
-    a.pats;
-  let positions = Array.of_list (List.rev !key_positions) in
-  let idx = Store.ensure_index st positions in
-  let key = Array.map (fun p ->
-      match a.pats.(p) with
-      | Compile.CConstP c -> c
-      | Compile.CSlot s -> env.(s)
-      | Compile.CWildP -> assert false)
-      idx.positions
-  in
-  let base = List.length (Store.index_lookup idx key) in
+  let idx, key = atom_index eng a env bound in
+  let base = Store.index_count idx key in
   match version with
   | New -> base
   | Old -> base + Zset.cardinal (get_delta changed a.crel)
@@ -359,15 +401,16 @@ let order_full (crule : Compile.crule) : (int * version) array =
 
 (* Values produced by the rule for the current environment. *)
 let head_row (crule : Compile.crule) (env : Value.t array) : Row.t =
-  Array.map (Compile.eval_expr env) crule.head_exprs
+  Row.intern (Array.map (Compile.eval_expr env) crule.head_exprs)
 
 (* The "pre-aggregation row" of an aggregate rule: group-by values
    followed by the aggregated expression's value. *)
 let pre_agg_row (cagg : Compile.cagg) (env : Value.t array) : Row.t =
   let n = Array.length cagg.cagg_by in
-  Array.init (n + 1) (fun i ->
-      if i < n then env.(cagg.cagg_by.(i))
-      else Compile.eval_expr env cagg.cagg_expr)
+  Row.intern
+    (Array.init (n + 1) (fun i ->
+         if i < n then env.(cagg.cagg_by.(i))
+         else Compile.eval_expr env cagg.cagg_expr))
 
 (* Drive rule [crule] from a delta on body literal [i].  For every
    completed derivation, [emit row weight] is called, where [row] is
@@ -404,7 +447,7 @@ let drive ?(all_new = false) eng changed (crule : Compile.crule) (i : int)
          the non-wildcard positions of the pattern.  Compute, for every
          candidate binding touched by the delta, whether its existence
          status changed, and drive with the flipped sign. *)
-      let seen = ref Row.Set.empty in
+      let seen = Row.Tbl.create 16 in
       Zset.iter
         (fun row _w ->
           let env = Array.make crule.nslots (Value.VBool false) in
@@ -418,9 +461,9 @@ let drive ?(all_new = false) eng changed (crule : Compile.crule) (i : int)
                    | Compile.CSlot s -> Some s
                    | Compile.CConstP _ | Compile.CWildP -> None)
             in
-            let key = Array.of_list (List.map (fun s -> env.(s)) slots) in
-            if not (Row.Set.mem key !seen) then begin
-              seen := Row.Set.add key !seen;
+            let key = Row.of_list (List.map (fun s -> env.(s)) slots) in
+            if not (Row.Tbl.mem seen key) then begin
+              Row.Tbl.replace seen key ();
               (* Here all of the pattern's slots are bound, so the two
                  existence tests reuse the same environment. *)
               let ex_old = exists_match eng changed ~version:Old a env bound trail in
@@ -471,7 +514,7 @@ let agg_result (cagg : Compile.cagg) (g : group) : Value.t option =
 let agg_head_row (crule : Compile.crule) (cagg : Compile.cagg) (key : Row.t)
     (result : Value.t) : Row.t =
   let env = Array.make crule.nslots (Value.VBool false) in
-  Array.iteri (fun i s -> env.(s) <- key.(i)) cagg.cagg_by;
+  Array.iteri (fun i s -> env.(s) <- Row.get key i) cagg.cagg_by;
   env.(cagg.cagg_out) <- result;
   head_row crule env
 
@@ -490,10 +533,11 @@ let eval_agg_rule eng changed (crule : Compile.crule) (cagg : Compile.cagg)
     let nby = Array.length cagg.cagg_by in
     (* Group the pre-aggregation delta by key. *)
     let by_key : int Value.Map.t ref Row.Tbl.t = Row.Tbl.create 16 in
+    let by_pos = Array.init nby (fun i -> i) in
     Zset.iter
       (fun row w ->
-        let key = Array.sub row 0 nby in
-        let v = row.(nby) in
+        let key = Row.project row by_pos in
+        let v = Row.get row nby in
         let m =
           match Row.Tbl.find_opt by_key key with
           | Some m -> m
@@ -586,16 +630,19 @@ let process_nonrecursive eng (changed : changed) (sc : stratum_c) ~init =
               drive eng changed crule i delta ~mk_row:(head_row crule) emit)
             (active_drivers changed crule))
     sc.crules;
-  (* Apply derivation deltas; visibility changes become the stratum's
-     set-level output delta. *)
+  (* Apply the accumulated derivation deltas as one batch per relation:
+     counts updated in one pass, every index maintained in one sweep
+     over the visibility transitions.  The visibility delta becomes the
+     stratum's set-level output delta. *)
   match sc.info.relations with
   | [ rel_name ] ->
     let st = store eng rel_name in
-    Zset.iter
-      (fun row w ->
-        let vis = Store.add_derivations st row w in
-        record_delta changed rel_name row vis)
-      !head_delta
+    let vis = Store.apply_derivations st !head_delta in
+    if not (Zset.is_empty vis) then begin
+      match Hashtbl.find_opt changed rel_name with
+      | Some z -> z := Zset.union !z vis
+      | None -> Hashtbl.add changed rel_name (ref vis)
+    end
   | _ -> assert false (* non-recursive strata have exactly one relation *)
 
 (* ------------------------------------------------------------------ *)
@@ -619,13 +666,14 @@ let rederivable eng changed (crule : Compile.crule) (fact : Row.t) : bool =
     Array.iteri
       (fun i e ->
         match e with
-        | Compile.CConst c -> if not (Value.equal c fact.(i)) then ok := false
+        | Compile.CConst c ->
+          if not (Value.equal c (Row.get fact i)) then ok := false
         | Compile.CVar s ->
           if bound.(s) then begin
-            if not (Value.equal env.(s) fact.(i)) then ok := false
+            if not (Value.equal env.(s) (Row.get fact i)) then ok := false
           end
           else begin
-            env.(s) <- fact.(i);
+            env.(s) <- Row.get fact i;
             bound.(s) <- true
           end
         | _ -> assert false)
@@ -825,6 +873,66 @@ let process_recursive eng (changed : changed) (sc : stratum_c) ~init =
    drive of seeds uses mixed versions, which is consistent because SCC
    relations have no delta yet at seeding time. *)
 
+(* Arrangement pre-planning: walk every rule's textual execution orders
+   (full evaluation; one order per driver, with the driver's slots
+   pre-bound; re-derivation, with head slots pre-bound) and build the
+   index each atom probe would use.  This hoists arrangement
+   construction out of the first commits, dedupes arrangements across
+   rules and strata through Store's canonical-positions table, and
+   seeds the (atom, mask) memo cache.  The greedy runtime planner can
+   still produce novel probe signatures under unusual data
+   distributions; those extend the cache lazily via [atom_index]. *)
+let preplan_arrangements eng =
+  let register (a : Compile.catom) bound =
+    if Array.length a.pats <= max_mask_arity then
+      ignore (index_for_mask eng a (atom_mask a bound))
+  in
+  let bind_atom_slots (a : Compile.catom) bound =
+    Array.iter
+      (function Compile.CSlot s -> bound.(s) <- true | _ -> ())
+      a.pats
+  in
+  Array.iter
+    (fun sc ->
+      List.iter
+        (fun (crule : Compile.crule) ->
+          let n = Array.length crule.body in
+          let nslots = max 1 crule.nslots in
+          let sim bound order =
+            List.iter
+              (fun j ->
+                match crule.body.(j) with
+                | Compile.CAtom a ->
+                  register a bound;
+                  bind_atom_slots a bound
+                | Compile.CNeg a ->
+                  (* negation probes only run once all their slots are
+                     bound *)
+                  register a (Array.make nslots true)
+                | Compile.CCond _ -> ()
+                | Compile.CAssign (s, _) | Compile.CFlat (s, _) ->
+                  bound.(s) <- true)
+              order
+          in
+          let full = List.init n Fun.id in
+          sim (Array.make nslots false) full;
+          List.iter
+            (fun (i, _, _) ->
+              let b = Array.make nslots false in
+              (match crule.body.(i) with
+              | Compile.CAtom a | Compile.CNeg a -> bind_atom_slots a b
+              | Compile.CCond _ | Compile.CAssign _ | Compile.CFlat _ -> ());
+              sim b (List.filter (fun j -> j <> i) full))
+            (Compile.driver_positions crule);
+          (* re-derivation probes (DRed): head slots bound, full body *)
+          let b = Array.make nslots false in
+          Array.iter
+            (function Compile.CVar s -> b.(s) <- true | _ -> ())
+            crule.head_exprs;
+          sim b full)
+        sc.crules)
+    eng.strata
+
 let create ?(planner = true) ?(use_indexes = true) (program : Ast.program) : t =
   (match Typecheck.check_program program with
   | Ok () -> ()
@@ -865,9 +973,13 @@ let create ?(planner = true) ?(use_indexes = true) (program : Ast.program) : t =
     (fun (d : Ast.rel_decl) -> Hashtbl.add rels d.rname (Store.create d))
     program.decls;
   let eng =
-    { program; strata; rels; agg_state = Hashtbl.create 16; txn_open = false;
+    { program; strata; rels; agg_state = Hashtbl.create 16;
+      arr_cache = Hashtbl.create 64; txn_open = false;
       poisoned = false; planner; use_indexes }
   in
+  (* Build the program's arrangements up front, while the stores are
+     still empty. *)
+  if use_indexes then preplan_arrangements eng;
   (* Initialisation transaction: fire the program's facts. *)
   let changed : changed = Hashtbl.create 16 in
   Array.iter
@@ -920,8 +1032,22 @@ let query eng name ~(positions : int list) ~(key : Value.t list) : Row.t list =
   with
   | exception Unsat -> []
   | pairs ->
-    let idx = Store.ensure_index st (Array.of_list (List.map fst pairs)) in
-    Store.index_lookup idx (Array.of_list (List.map snd pairs))
+    if eng.use_indexes then
+      let idx = Store.ensure_index st (Array.of_list (List.map fst pairs)) in
+      Store.index_lookup idx (Row.of_list (List.map snd pairs))
+    else
+      (* With indexes disabled, answer one-shot queries by scanning
+         instead of permanently installing (and forever maintaining) an
+         index per distinct constraint set. *)
+      Store.fold
+        (fun row acc ->
+          if
+            List.for_all
+              (fun (p, v) -> Value.equal (Row.get row p) v)
+              pairs
+          then row :: acc
+          else acc)
+        st []
 
 let relation_zset eng name : Zset.t =
   check_live eng;
@@ -959,14 +1085,14 @@ let check_input (eng : t) rel (row : Row.t) =
   | Some d ->
     if d.role <> Ast.Input then
       error "%s is not an input relation" rel;
-    if Array.length row <> Ast.arity d then
+    if Row.arity row <> Ast.arity d then
       error "%s: arity mismatch (expected %d, got %d)" rel (Ast.arity d)
-        (Array.length row);
+        (Row.arity row);
     List.iteri
       (fun i (cname, ty) ->
-        if not (Dtype.check ty row.(i)) then
+        if not (Dtype.check ty (Row.get row i)) then
           error "%s.%s: value %s does not have type %s" rel cname
-            (Value.to_string row.(i)) (Dtype.to_string ty))
+            (Value.to_string (Row.get row i)) (Dtype.to_string ty))
       d.cols
 
 let insert txn rel row =
@@ -996,22 +1122,35 @@ let commit (txn : txn) : (string * Zset.t) list =
      last stratum leaves the engine half-updated; poison it so later
      calls raise clearly instead of returning inconsistent answers. *)
   (try
-     (* Net effect of the input operations, applied in order. *)
-     let ops = List.rev txn.ops in
+     (* Net effect of the input operations.  Under set semantics the
+        in-order result per row depends only on the *last* op staged
+        for it (insert -> present, delete -> absent), so the ops are
+        collapsed to one per (relation, row) and applied as a single
+        batch per relation — one index-maintenance sweep per store
+        instead of one per operation. *)
+     let staged : (string, bool Row.Tbl.t) Hashtbl.t = Hashtbl.create 8 in
      List.iter
        (fun (rel, row, is_insert) ->
-         let st = store eng rel in
-         if is_insert then begin
-           if not (Store.mem st row) then begin
-             ignore (Store.set_insert st row);
-             record_delta changed rel row 1
-           end
-         end
-         else if Store.mem st row then begin
-           ignore (Store.set_remove st row);
-           record_delta changed rel row (-1)
+         let tbl =
+           match Hashtbl.find_opt staged rel with
+           | Some t -> t
+           | None ->
+             let t = Row.Tbl.create 32 in
+             Hashtbl.add staged rel t;
+             t
+         in
+         Row.Tbl.replace tbl row is_insert)
+       (List.rev txn.ops);
+     Hashtbl.iter
+       (fun rel tbl ->
+         let ops = Row.Tbl.fold (fun row ins acc -> (row, ins) :: acc) tbl [] in
+         let vis = Store.apply_set_batch (store eng rel) ops in
+         if not (Zset.is_empty vis) then begin
+           match Hashtbl.find_opt changed rel with
+           | Some z -> z := Zset.union !z vis
+           | None -> Hashtbl.add changed rel (ref vis)
          end)
-       ops;
+       staged;
      if Obs.enabled () then
        Obs.Counter.add m_input_rows
          (Hashtbl.fold (fun _ z acc -> acc + Zset.cardinal !z) changed 0);

@@ -80,7 +80,10 @@ val query : t -> string -> positions:int list -> key:Value.t list -> Row.t list
     list is normalised (sorted by position, duplicates collapsed), and
     duplicate positions constrained to conflicting values make the
     query unsatisfiable and return [[]].  Builds and maintains the
-    index on first use, so repeated queries cost O(result).
+    index on first use, so repeated queries cost O(result).  When the
+    engine was created with [use_indexes:false], queries fall back to a
+    scan instead of installing (and forever maintaining) an index per
+    distinct constraint set.
     @raise Error if [positions] and [key] differ in length or a
     position is outside the relation's arity. *)
 

@@ -34,11 +34,13 @@ let match_atom (env : env) (args : Ast.pattern array) (row : Row.t) :
     else
       match args.(i) with
       | Ast.PWild -> go env (i + 1)
-      | Ast.PConst c -> if Value.equal c row.(i) then go env (i + 1) else None
+      | Ast.PConst c ->
+        if Value.equal c (Row.get row i) then go env (i + 1) else None
       | Ast.PVar v -> (
         match List.assoc_opt v env with
-        | Some x -> if Value.equal x row.(i) then go env (i + 1) else None
-        | None -> go ((v, row.(i)) :: env) (i + 1))
+        | Some x ->
+          if Value.equal x (Row.get row i) then go env (i + 1) else None
+        | None -> go ((v, Row.get row i) :: env) (i + 1))
   in
   go env 0
 
@@ -88,7 +90,7 @@ let eval_rule (db : db) (rule : Ast.rule) : Row.t list =
   match agg with
   | None ->
     List.map
-      (fun env -> Array.map (eval_expr env) rule.head.hargs)
+      (fun env -> Row.intern (Array.map (eval_expr env) rule.head.hargs))
       envs
   | Some g ->
     (* Group environments by the group_by variables. *)
@@ -96,7 +98,7 @@ let eval_rule (db : db) (rule : Ast.rule) : Row.t list =
     List.iter
       (fun env ->
         let key =
-          Array.of_list (List.map (fun v -> List.assoc v env) g.agg_by)
+          Row.of_list (List.map (fun v -> List.assoc v env) g.agg_by)
         in
         let value = eval_expr env g.agg_expr in
         match List.find_opt (fun (k, _) -> Row.equal k key) !groups with
@@ -119,9 +121,10 @@ let eval_rule (db : db) (rule : Ast.rule) : Row.t list =
         let result = Builtins.agg_eval g.agg_func runs in
         let env =
           (g.agg_out, result)
-          :: List.map2 (fun v x -> (v, x)) g.agg_by (Array.to_list key)
+          :: List.map2 (fun v x -> (v, x)) g.agg_by
+               (Array.to_list (Row.values key))
         in
-        Array.map (eval_expr env) rule.head.hargs)
+        Row.intern (Array.map (eval_expr env) rule.head.hargs))
       !groups
 
 (** Evaluate [program] over the given input database (relation name ->

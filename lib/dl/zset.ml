@@ -4,64 +4,88 @@
    contents is a Z-set with positive weights, and a change (delta) is a
    Z-set whose positive weights are insertions and negative weights are
    deletions.  All operations maintain the invariant that no row maps to
-   weight zero. *)
+   weight zero.
 
-type t = int Row.Map.t
+   Rows are interned (see {!Row}), so the map is keyed by intern id —
+   int comparisons instead of structural array comparisons on every
+   lookup.  Each binding carries the row alongside its weight, which
+   both lets us enumerate rows and keeps them alive (so their intern
+   ids stay canonical for as long as they are in any Z-set). *)
 
-let empty : t = Row.Map.empty
-let is_empty = Row.Map.is_empty
+module IntMap = Map.Make (Int)
+
+type t = (Row.t * int) IntMap.t
+
+let empty : t = IntMap.empty
+let is_empty = IntMap.is_empty
 
 (** Weight of [row] ([0] if absent). *)
-let weight (z : t) row = match Row.Map.find_opt row z with Some w -> w | None -> 0
+let weight (z : t) row =
+  match IntMap.find_opt (Row.id row) z with Some (_, w) -> w | None -> 0
 
 (** [add z row w] adds weight [w] to [row], dropping it if the result is 0. *)
 let add (z : t) row w : t =
   if w = 0 then z
   else
-    Row.Map.update row
+    IntMap.update (Row.id row)
       (function
-        | None -> Some w
-        | Some w' -> if w + w' = 0 then None else Some (w + w'))
+        | None -> Some (row, w)
+        | Some (_, w') -> if w + w' = 0 then None else Some (row, w + w'))
       z
 
-let singleton row w : t = if w = 0 then empty else Row.Map.singleton row w
+let singleton row w : t =
+  if w = 0 then empty else IntMap.singleton (Row.id row) (row, w)
+
 let of_list l : t = List.fold_left (fun z (row, w) -> add z row w) empty l
 let of_rows l : t = List.fold_left (fun z row -> add z row 1) empty l
-let to_list (z : t) = Row.Map.bindings z
 
 (** Number of distinct rows present (regardless of weight). *)
-let cardinal = Row.Map.cardinal
+let cardinal = IntMap.cardinal
 
-let fold f (z : t) acc = Row.Map.fold f z acc
-let iter f (z : t) = Row.Map.iter f z
+let fold f (z : t) acc = IntMap.fold (fun _ (row, w) acc -> f row w acc) z acc
+let iter f (z : t) = IntMap.iter (fun _ (row, w) -> f row w) z
+
+(** Bindings in structural row order (deterministic across runs, unlike
+    intern-id order). *)
+let to_list (z : t) =
+  List.sort
+    (fun (a, _) (b, _) -> Row.compare a b)
+    (IntMap.fold (fun _ entry acc -> entry :: acc) z [])
 
 (** Pointwise sum of weights. *)
-let union (a : t) (b : t) : t = fold (fun row w acc -> add acc row w) b a
+let union (a : t) (b : t) : t =
+  IntMap.union
+    (fun _ (row, w) (_, w') -> if w + w' = 0 then None else Some (row, w + w'))
+    a b
 
 (** Pointwise difference [a - b]. *)
 let diff (a : t) (b : t) : t = fold (fun row w acc -> add acc row (-w)) b a
 
 (** Negate every weight. *)
-let neg (z : t) : t = Row.Map.map (fun w -> -w) z
+let neg (z : t) : t = IntMap.map (fun (row, w) -> (row, -w)) z
 
 (** Multiply every weight by [k]. *)
 let scale k (z : t) : t =
-  if k = 0 then empty else Row.Map.map (fun w -> w * k) z
+  if k = 0 then empty else IntMap.map (fun (row, w) -> (row, w * k)) z
 
 (** Rows with positive weight, each mapped to weight 1 (set view). *)
 let distinct (z : t) : t =
-  Row.Map.filter_map (fun _ w -> if w > 0 then Some 1 else None) z
+  IntMap.filter_map
+    (fun _ (row, w) -> if w > 0 then Some (row, 1) else None)
+    z
 
 (** All rows with positive weight. *)
 let support (z : t) : Row.t list =
   fold (fun row w acc -> if w > 0 then row :: acc else acc) z []
 
-let filter f (z : t) : t = Row.Map.filter (fun row w -> f row w) z
+let filter f (z : t) : t = IntMap.filter (fun _ (row, w) -> f row w) z
 
 (** Transform each row; weights of colliding images are summed. *)
 let map_rows f (z : t) : t = fold (fun row w acc -> add acc (f row) w) z empty
 
-let equal (a : t) (b : t) = Row.Map.equal Int.equal a b
+(* Equal keys imply physically equal rows, so only weights need
+   comparing. *)
+let equal (a : t) (b : t) = IntMap.equal (fun (_, w) (_, w') -> w = w') a b
 
 let pp fmt (z : t) =
   let pp_entry f (row, w) = Format.fprintf f "%a:%+d" Row.pp row w in

@@ -4,9 +4,12 @@
     contents is a Z-set with positive weights, and a change (delta) is
     a Z-set whose positive weights are insertions and negative weights
     deletions.  All operations maintain the invariant that no row maps
-    to weight zero. *)
+    to weight zero.
 
-type t = int Row.Map.t
+    Internally keyed by row intern id (see {!Row.id}): lookups and
+    merges cost int comparisons, not structural row comparisons. *)
+
+type t
 
 val empty : t
 val is_empty : t -> bool
@@ -25,6 +28,7 @@ val of_rows : Row.t list -> t
 (** Each row with weight [+1]. *)
 
 val to_list : t -> (Row.t * int) list
+(** Bindings in structural row order (deterministic across runs). *)
 
 val cardinal : t -> int
 (** Number of distinct rows present, regardless of weight sign. *)

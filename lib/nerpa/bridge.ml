@@ -43,7 +43,7 @@ let datum_to_value (target : Dtype.t) (d : Ovsdb.Datum.t) : Value.t =
     relation [decl] (whose first column is the row UUID). *)
 let row_of_ovsdb (decl : Ast.rel_decl) (uuid : Ovsdb.Uuid.t)
     (row : Ovsdb.Db.row) : Row.t =
-  Array.of_list
+  Row.of_list
     (List.map
        (fun (cname, ty) ->
          if String.equal cname "_uuid" then
@@ -78,9 +78,10 @@ let as_bit_value (v : Value.t) : int64 =
     following the column layout recorded in [mapping]. *)
 let entry_of_row (info : P4.P4info.t) (m : Codegen.mapping) (row : Row.t) :
     P4runtime.table_entry =
+  let cols = Row.values row in
   let pos = ref 0 in
   let next () =
-    let v = row.(!pos) in
+    let v = cols.(!pos) in
     incr pos;
     v
   in
@@ -116,9 +117,9 @@ let entry_of_row (info : P4.P4info.t) (m : Codegen.mapping) (row : Row.t) :
     else 0
   in
   let args = List.map (fun _ -> as_bit_value (next ())) m.param_widths in
-  if !pos <> Array.length row then
+  if !pos <> Array.length cols then
     error "relation %s: row arity %d does not match mapping" m.rel_name
-      (Array.length row);
+      (Array.length cols);
   P4runtime.entry info ~table:m.table_name ~matches ~priority
     ~action:m.action_name ~args ()
 
@@ -129,7 +130,7 @@ let entry_of_row (info : P4.P4info.t) (m : Codegen.mapping) (row : Row.t) :
 let row_of_digest (decl : Ast.rel_decl) (values : int64 list) : Row.t =
   if List.length values <> List.length decl.Ast.cols then
     error "digest arity mismatch for %s" decl.Ast.rname;
-  Array.of_list
+  Row.of_list
     (List.map2
        (fun (_, ty) v ->
          match ty with

@@ -126,6 +126,18 @@ let create ?(digest_replace = []) ?(max_iterations = 1000)
     ntxns = 0;
   }
 
+(* Accumulate commit deltas per relation as Z-set unions, instead of
+   concatenating per-commit delta lists (which grew quadratically over
+   a sync's feedback iterations). *)
+let merge_deltas (acc : (string * Zset.t) list) (ds : (string * Zset.t) list) :
+    (string * Zset.t) list =
+  List.fold_left
+    (fun acc (rel, z) ->
+      match List.assoc_opt rel acc with
+      | Some z0 -> (rel, Zset.union z0 z) :: List.remove_assoc rel acc
+      | None -> (rel, z) :: acc)
+    acc ds
+
 (* ---------------- pushing output deltas to the data plane ----------- *)
 
 let push_deltas (t : t) (deltas : (string * Zset.t) list) : unit =
@@ -140,7 +152,7 @@ let push_deltas (t : t) (deltas : (string * Zset.t) list) : unit =
         let touched =
           Zset.fold
             (fun row _ acc ->
-              let g = Bridge.as_bit_value row.(0) in
+              let g = Bridge.as_bit_value (Row.get row 0) in
               if List.mem g acc then acc else g :: acc)
             dz []
         in
@@ -148,7 +160,7 @@ let push_deltas (t : t) (deltas : (string * Zset.t) list) : unit =
           (fun g ->
             let ports =
               List.map
-                (fun row -> Bridge.as_bit_value row.(1))
+                (fun row -> Bridge.as_bit_value (Row.get row 1))
                 (Engine.query t.engine "MulticastGroup" ~positions:[ 0 ]
                    ~key:[ Value.bit 16 g ])
             in
@@ -250,7 +262,8 @@ let consume_digests (t : t) : bool * (string * Zset.t) list =
                       if
                         (not (Row.equal old row))
                         && List.for_all
-                             (fun i -> Value.equal old.(i) row.(i))
+                             (fun i ->
+                               Value.equal (Row.get old i) (Row.get row i))
                              idxs
                       then Engine.delete txn decl.Ast.rname old)
                     (Engine.relation_rows t.engine decl.Ast.rname));
@@ -262,11 +275,11 @@ let consume_digests (t : t) : bool * (string * Zset.t) list =
             Obs.Counter.incr m_txns;
             P4runtime.ack_digest_list srv ~list_id:dl.list_id;
             any := true;
-            all_deltas := deltas :: !all_deltas;
+            all_deltas := merge_deltas !all_deltas deltas;
             push_deltas t deltas)
         (P4runtime.stream_digests srv))
     t.switches;
-  (!any, List.concat (List.rev !all_deltas))
+  (!any, !all_deltas)
 
 (* ---------------- the synchronisation loop ---------------- *)
 
@@ -297,10 +310,14 @@ let sync (t : t) : int =
     Obs.Counter.incr m_iterations;
     let batches = Ovsdb.Db.poll t.monitor in
     Obs.Counter.add m_monitor_batches (List.length batches);
-    let batch_deltas = List.concat_map (apply_monitor_batch t) batches in
+    let batch_deltas =
+      List.fold_left
+        (fun acc batch -> merge_deltas acc (apply_monitor_batch t batch))
+        [] batches
+    in
     let digests_any, digest_deltas = consume_digests t in
     if batches <> [] || digests_any then
-      loop (fuel - 1) (batch_deltas @ digest_deltas)
+      loop (fuel - 1) (merge_deltas batch_deltas digest_deltas)
   in
   loop t.max_iterations [];
   t.ntxns - before

@@ -218,13 +218,13 @@ let test_engine_collect_and_doubles () =
   ignore
     (Engine.apply eng
        [
-         ("Sample", [| s "a"; d 1.0 |], true);
-         ("Sample", [| s "a"; d 3.0 |], true);
-         ("Sample", [| s "b"; d 10.0 |], true);
+         ("Sample", Row.intern [| s "a"; d 1.0 |], true);
+         ("Sample", Row.intern [| s "a"; d 3.0 |], true);
+         ("Sample", Row.intern [| s "b"; d 10.0 |], true);
        ]);
   let rows = List.sort Row.compare (Engine.relation_rows eng "Mean") in
   Alcotest.(check int) "two groups" 2 (List.length rows);
-  (match rows with
+  (match List.map Row.values rows with
   | [ [| _; m1 |]; [| _; m2 |] ] ->
     Alcotest.check v "mean a" (d 2.0) m1;
     Alcotest.check v "mean b" (d 10.0) m2
@@ -232,9 +232,9 @@ let test_engine_collect_and_doubles () =
   match Engine.relation_rows eng "Members" with
   | rows ->
     let a =
-      List.find (fun r -> Value.equal r.(0) (s "a")) rows
+      List.find (fun r -> Value.equal (Row.get r 0) (s "a")) rows
     in
-    Alcotest.check v "collected" (Value.VVec [ d 1.0; d 3.0 ]) a.(1)
+    Alcotest.check v "collected" (Value.VVec [ d 1.0; d 3.0 ]) (Row.get a 1)
 
 let tests =
   [

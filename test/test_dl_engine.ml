@@ -34,7 +34,7 @@ let check_against_oracle ?(msg = "oracle") (eng : Engine.t) program inputs =
         expected actual)
     program.Ast.decls
 
-let ints l = Array.of_list (List.map Value.of_int l)
+let ints l = Row.of_list (List.map Value.of_int l)
 
 (* ------------------------------------------------------------------ *)
 
@@ -50,7 +50,7 @@ let reach_src =
 let test_label_basic () =
   let program = parse reach_src in
   let eng = Engine.create program in
-  let lbl n = [| Value.of_int n; Value.of_string "red" |] in
+  let lbl n = Row.intern [| Value.of_int n; Value.of_string "red" |] in
   let txn = Engine.transaction eng in
   Engine.insert txn "GivenLabel" (lbl 1);
   Engine.insert txn "Edge" (ints [ 1; 2 ]);
@@ -65,7 +65,7 @@ let test_label_basic () =
 let test_label_incremental_delete () =
   let program = parse reach_src in
   let eng = Engine.create program in
-  let lbl n = [| Value.of_int n; Value.of_string "red" |] in
+  let lbl n = Row.intern [| Value.of_int n; Value.of_string "red" |] in
   ignore
     (Engine.apply eng
        [
@@ -92,7 +92,7 @@ let test_label_cycle_deletion () =
      DRed re-derivation step must not resurrect a dead cycle. *)
   let program = parse reach_src in
   let eng = Engine.create program in
-  let lbl n = [| Value.of_int n; Value.of_string "c" |] in
+  let lbl n = Row.intern [| Value.of_int n; Value.of_string "c" |] in
   ignore
     (Engine.apply eng
        [
@@ -115,7 +115,7 @@ let test_label_cycle_deletion () =
 let test_rederivation_keeps_alternate_path () =
   let program = parse reach_src in
   let eng = Engine.create program in
-  let lbl n = [| Value.of_int n; Value.of_string "x" |] in
+  let lbl n = Row.intern [| Value.of_int n; Value.of_string "x" |] in
   ignore
     (Engine.apply eng
        [
@@ -461,7 +461,7 @@ let test_input_validation () =
   (match Engine.insert txn "Edge" (ints [ 1 ]) with
   | exception Engine.Error _ -> ()
   | () -> Alcotest.fail "arity mismatch must fail");
-  (match Engine.insert txn "Edge" [| Value.of_int 1; Value.of_string "x" |] with
+  (match Engine.insert txn "Edge" (Row.intern [| Value.of_int 1; Value.of_string "x" |]) with
   | exception Engine.Error _ -> ()
   | () -> Alcotest.fail "type mismatch must fail");
   Engine.rollback txn;
@@ -519,7 +519,7 @@ let test_mixed_program_oracle () =
       |}
   in
   let eng = Engine.create program in
-  let link a b up = [| Value.of_int a; Value.of_int b; Value.VBool up |] in
+  let link a b up = Row.intern [| Value.of_int a; Value.of_int b; Value.VBool up |] in
   let inputs = ref ([] : (string * Row.t * bool) list) in
   let final_inputs () =
     (* Replay the net effect for the oracle. *)

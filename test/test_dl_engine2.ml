@@ -6,7 +6,7 @@
 open Dl
 
 let parse = Parser.parse_program_exn
-let ints l = Array.of_list (List.map Value.of_int l)
+let ints l = Row.of_list (List.map Value.of_int l)
 
 let test_deep_strata_chain () =
   (* A 10-deep dependency chain: one input change ripples through every
@@ -193,12 +193,13 @@ let test_string_keys_and_tuples () =
   in
   ignore
     (Engine.apply eng
-       [ ("Kv", [| Value.of_string "a";
+       [ ("Kv", Row.intern [| Value.of_string "a";
                    Value.VTuple [| Value.of_int 1; Value.VBool true |] |], true);
-         ("Kv", [| Value.of_string "b";
+         ("Kv", Row.intern [| Value.of_string "b";
                    Value.VTuple [| Value.of_int 2; Value.VBool false |] |], true) ]);
   Alcotest.(check bool) "tuple projection filters" true
-    (Engine.relation_rows eng "Nice" = [ [| Value.of_string "a" |] ])
+    (Engine.relation_rows eng "Nice"
+    = [ Row.intern [| Value.of_string "a" |] ])
 
 let test_footprint_shrinks () =
   let eng =

@@ -4,7 +4,7 @@
 
 open Dl
 
-let ints l = Array.of_list (List.map Value.of_int l)
+let ints l = Row.of_list (List.map Value.of_int l)
 
 (* ------------------------------------------------------------------ *)
 (* Z-set laws                                                          *)
@@ -277,7 +277,7 @@ let prop_index_churn =
             List.filter
               (fun (row : Row.t) ->
                 List.for_all2
-                  (fun p v -> Value.equal row.(p) v)
+                  (fun p v -> Value.equal (Row.get row p) v)
                   positions key)
               (Engine.relation_rows eng "T")
           in

@@ -179,9 +179,9 @@ let test_random_histories () =
               (fun row ->
                 {
                   Baseline.Snvs_imperative.l_port =
-                    Int64.to_int (Dl.Value.as_int row.(0));
-                  l_vlan = Int64.to_int (Dl.Value.as_int row.(1));
-                  l_mac = Dl.Value.as_int row.(2);
+                    Int64.to_int (Dl.Value.as_int (Dl.Row.get row 0));
+                  l_vlan = Int64.to_int (Dl.Value.as_int (Dl.Row.get row 1));
+                  l_mac = Dl.Value.as_int (Dl.Row.get row 2);
                 })
               (Dl.Engine.relation_rows
                  (Nerpa.Controller.engine d.controller)

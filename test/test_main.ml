@@ -10,6 +10,7 @@ let () =
       ("dl-engine", Test_dl_engine.tests);
       ("dl-engine2", Test_dl_engine2.tests);
       ("dl-props", Test_dl_props.suite);
+      ("dl-diff", Test_dl_diff.tests);
       ("json", Test_json.tests);
       ("ovsdb", Test_ovsdb.tests);
       ("p4", Test_p4.tests);

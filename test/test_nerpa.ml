@@ -91,15 +91,15 @@ let test_bridge_ovsdb_row () =
   let decl = List.find (fun (d : Ast.rel_decl) -> d.rname = "Port") g.decls in
   let row = Option.get (Ovsdb.Db.get_row db "Port" uuid) in
   let dl_row = Nerpa.Bridge.row_of_ovsdb decl uuid row in
-  Alcotest.(check int) "arity" (List.length decl.cols) (Array.length dl_row);
+  Alcotest.(check int) "arity" (List.length decl.cols) (Row.arity dl_row);
   Alcotest.(check bool) "uuid" true
-    (Value.equal dl_row.(0) (Value.VString (Ovsdb.Uuid.to_string uuid)));
-  Alcotest.(check bool) "name" true (Value.equal dl_row.(1) (Value.VString "p1"));
-  Alcotest.(check bool) "port" true (Value.equal dl_row.(2) (Value.VInt 7L));
+    (Value.equal (Row.get dl_row 0) (Value.VString (Ovsdb.Uuid.to_string uuid)));
+  Alcotest.(check bool) "name" true (Value.equal (Row.get dl_row 1) (Value.VString "p1"));
+  Alcotest.(check bool) "port" true (Value.equal (Row.get dl_row 2) (Value.VInt 7L));
   Alcotest.(check bool) "trunks" true
-    (Value.equal dl_row.(5) (Value.VVec [ Value.VInt 10L; Value.VInt 20L ]));
+    (Value.equal (Row.get dl_row 5) (Value.VVec [ Value.VInt 10L; Value.VInt 20L ]));
   Alcotest.(check bool) "absent ref is none" true
-    (Value.equal dl_row.(6) (Value.VOption None))
+    (Value.equal (Row.get dl_row 6) (Value.VOption None))
 
 let test_bridge_entry_of_row () =
   let g, _ = parse_gen Snvs.schema Snvs.p4 in
@@ -110,7 +110,7 @@ let test_bridge_entry_of_row () =
     List.find (fun (m : Nerpa.Codegen.mapping) -> m.rel_name = "DmacForward")
       g.mappings
   in
-  let row = [| Value.bit 12 5L; Value.bit 48 0xAAL; Value.bit 16 3L |] in
+  let row = Row.intern [| Value.bit 12 5L; Value.bit 48 0xAAL; Value.bit 16 3L |] in
   let entry = Nerpa.Bridge.entry_of_row info m row in
   Alcotest.(check bool) "matches" true
     (entry.P4runtime.matches = [ P4runtime.FmExact 5L; P4runtime.FmExact 0xAAL ]);
@@ -121,8 +121,9 @@ let test_bridge_entry_of_row () =
       g.mappings
   in
   let row =
-    [| Value.bit 48 1L; Value.bit 48 0xFFL; Value.bit 48 2L; Value.bit 48 0xFFL;
-       Value.VInt 7L |]
+    Row.intern
+      [| Value.bit 48 1L; Value.bit 48 0xFFL; Value.bit 48 2L; Value.bit 48 0xFFL;
+         Value.VInt 7L |]
   in
   let entry = Nerpa.Bridge.entry_of_row info acl row in
   Alcotest.(check int) "priority" 7 entry.P4runtime.priority;

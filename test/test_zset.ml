@@ -2,7 +2,7 @@
 
 open Dl
 
-let row i j : Row.t = [| Value.of_int i; Value.of_int j |]
+let row i j : Row.t = Row.intern [| Value.of_int i; Value.of_int j |]
 let z_testable = Alcotest.testable Zset.pp Zset.equal
 
 let test_add_cancellation () =
@@ -37,8 +37,9 @@ let test_scale () =
 
 let test_map_rows_merges () =
   let z = Zset.of_list [ (row 1 1, 2); (row 1 2, 3) ] in
-  let merged = Zset.map_rows (fun r -> [| r.(0) |]) z in
-  Alcotest.(check int) "images merged" 5 (Zset.weight merged [| Value.of_int 1 |])
+  let merged = Zset.map_rows (fun r -> Row.intern [| Row.get r 0 |]) z in
+  Alcotest.(check int) "images merged" 5
+    (Zset.weight merged (Row.intern [| Value.of_int 1 |]))
 
 let tests =
   [

@@ -1038,6 +1038,51 @@ let json_report path =
 (* SMOKE: a seconds-scale end-to-end pass for the tier-1 test alias    *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* EXP-TRANSPORT — direct vs wire plane links                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost of the transport abstraction: the same add-port workload over
+   the default in-process links and over the wire links that round-trip
+   every message through serialized bytes.  The direct path is the one
+   the smoke gate covers; this experiment quantifies what a real
+   out-of-process channel would add. *)
+let exp_transport ?(n = 200) () =
+  header
+    (Printf.sprintf
+       "EXP-TRANSPORT  %d ports over direct vs serialized plane links" n)
+    "the wire links add codec work per message but identical final state";
+  let run label deploy =
+    Obs.reset ();
+    let d : Snvs.deployment = deploy () in
+    let t0 = now () in
+    List.iter
+      (fun (p : Netgen.port_plan) ->
+        ignore
+          (Snvs.add_port d ~name:p.pp_name ~port:p.pp_port ~mode:p.pp_mode
+             ~tag:p.pp_tag ~trunks:p.pp_trunks);
+        ignore (Nerpa.Controller.sync d.controller))
+      (Netgen.ports ~vlans:16 ~trunk_every:0 ~n ());
+    let total_ms = (now () -. t0) *. 1e3 in
+    assert (P4.Switch.entry_count d.switch "in_vlan" = n);
+    let sync_p50 =
+      match Obs.find_histogram "nerpa.sync" with
+      | Some h -> Obs.Histogram.percentile h 0.50
+      | None -> 0.
+    in
+    Printf.printf
+      "  %-8s total %8.2f ms   sync p50 %8.2f us   wire msgs %7d   wire \
+       bytes %9d\n"
+      label total_ms sync_p50
+      (Obs.counter_value "transport.wire.msgs")
+      (Obs.counter_value "transport.wire.bytes")
+  in
+  run "direct" (fun () -> Snvs.deploy ());
+  run "wire" (fun () ->
+      Snvs.deploy ~mgmt_link_of:Nerpa.Links.wire_mgmt
+        ~p4_link_of:(fun _ srv -> Nerpa.Links.wire_p4 srv)
+        ())
+
 (* Compare the freshly measured smoke dl.commit p50 against the gate
    recorded in BENCH_PR2.json; a regression beyond
    p50 * max_regression + abs_slack fails the run (and hence
@@ -1109,6 +1154,7 @@ let experiments =
     ("robotron", fun () -> exp_robotron ());
     ("ablation", fun () -> exp_ablation ());
     ("overhead", fun () -> ignore (obs_overhead ()));
+    ("transport", fun () -> exp_transport ());
     ("micro", fun () -> micro ());
     ("smoke", fun () -> smoke ());
   ]

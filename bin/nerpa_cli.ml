@@ -6,6 +6,10 @@
                                           from the snvs OVSDB + P4 planes
      nerpa_cli stats [--json]             run the snvs demo workload and
                                           print the metric registry
+     nerpa_cli faultsim [--seeds N]       run the snvs workload over
+                                          seeded faulty links and check
+                                          convergence against a
+                                          fault-free run
 
    Script syntax, one command per line ('#' comments):
      + Rel(const, const, ...)    stage an insertion
@@ -213,6 +217,139 @@ let cmd_stats json =
   else print_string (Obs.render_table ());
   exit 0
 
+(* ---------------- faultsim ---------------- *)
+
+(* The snvs MAC-learning workload over fault-injecting links: for each
+   seed, run config churn + learning traffic through a lossy serialized
+   P4Runtime link (drops, duplicates, delays, disconnects, plus one
+   forced mid-run disconnect), then heal, reconcile, and compare the
+   switch's final forwarding state byte-for-byte against a fault-free
+   run of the same workload. *)
+
+let fs_bcast = P4.Stdhdrs.mac_of_string "ff:ff:ff:ff:ff:ff"
+let fs_a = P4.Stdhdrs.mac_of_string "00:00:00:00:00:0a"
+let fs_b = P4.Stdhdrs.mac_of_string "00:00:00:00:00:0b"
+let fs_c = P4.Stdhdrs.mac_of_string "00:00:00:00:00:0c"
+
+let fs_dump (sw : P4.Switch.t) =
+  let srv = P4runtime.attach sw in
+  let info = P4runtime.info srv in
+  let entries =
+    List.concat_map
+      (fun ti -> P4runtime.read_table srv ~table_id:ti.P4.P4info.table_id)
+      info.P4.P4info.tables
+  in
+  let groups =
+    List.map
+      (fun (g, ps) -> (g, List.sort Int64.compare ps))
+      (P4runtime.multicast_groups srv)
+  in
+  P4runtime.Wire.encode_response
+    (P4runtime.Wire.Table (List.sort compare entries))
+  ^ P4runtime.Wire.encode_response (P4runtime.Wire.Groups groups)
+
+let fs_in_vlan_id =
+  lazy
+    (let info = P4.P4info.of_program Snvs.p4 in
+     (List.find
+        (fun ti -> ti.P4.P4info.table_name = "in_vlan")
+        info.P4.P4info.tables)
+       .P4.P4info.table_id)
+
+(* feed a frame only once the ingress port is admitted (a host keeps
+   talking until it is); each retry syncs, which also ticks a downed
+   link toward reconnection *)
+let fs_feed (d : Snvs.deployment) ~port src =
+  let ready () =
+    let srv = P4runtime.attach d.switch in
+    List.exists
+      (fun e ->
+        match e.P4runtime.matches with
+        | P4runtime.FmExact p :: _ -> p = Int64.of_int port
+        | _ -> false)
+      (P4runtime.read_table srv ~table_id:(Lazy.force fs_in_vlan_id))
+  in
+  let n = ref 100 in
+  while (not (ready ())) && !n > 0 do
+    decr n;
+    ignore (Nerpa.Controller.sync d.controller)
+  done;
+  ignore
+    (P4.Switch.process d.switch ~in_port:port
+       (P4.Stdhdrs.ethernet_frame ~dst:fs_bcast ~src ~ethertype:0x1234L
+          ~payload:"x"))
+
+let fs_workload (d : Snvs.deployment) ~mid =
+  List.iter
+    (fun (name, port, mode, tag, trunks) ->
+      ignore (Snvs.add_port d ~name ~port ~mode ~tag ~trunks))
+    [ ("p1", 1, "access", 10, []); ("p2", 2, "access", 10, []);
+      ("p3", 3, "access", 20, []); ("p4", 4, "trunk", 0, [ 10; 20 ]) ];
+  ignore (Nerpa.Controller.sync d.controller);
+  fs_feed d ~port:1 fs_a;
+  ignore (Nerpa.Controller.sync d.controller);
+  fs_feed d ~port:2 fs_b;
+  ignore (Nerpa.Controller.sync d.controller);
+  mid ();
+  (* a config change that can land while the link is down: repaired by
+     reconciliation on reconnect *)
+  ignore
+    (Snvs.add_acl d ~priority:10 ~src:fs_a ~src_mask:0xFFFFFFFFFFFFL
+       ~dst:fs_b ~dst_mask:0xFFFFFFFFFFFFL ~allow:false);
+  ignore (Nerpa.Controller.sync d.controller);
+  fs_feed d ~port:3 fs_c;
+  ignore (Nerpa.Controller.sync d.controller);
+  (* MAC mobility: A moves to port 2 *)
+  fs_feed d ~port:2 fs_a;
+  ignore (Nerpa.Controller.sync d.controller)
+
+let fs_converge (d : Snvs.deployment) ctls =
+  List.iter Transport.heal ctls;
+  ignore (Nerpa.Controller.sync d.controller);
+  fs_feed d ~port:2 fs_a;
+  fs_feed d ~port:2 fs_b;
+  fs_feed d ~port:3 fs_c;
+  ignore (Nerpa.Controller.sync d.controller);
+  Nerpa.Controller.reconcile d.controller "snvs0";
+  fs_dump d.switch
+
+let cmd_faultsim nseeds =
+  let baseline =
+    let d = Snvs.deploy () in
+    fs_workload d ~mid:(fun () -> ());
+    fs_converge d []
+  in
+  Printf.printf "%-6s %6s %6s %6s %6s %11s %12s  %s\n" "seed" "drops" "dups"
+    "delays" "disc" "reconciles" "corrections" "converged";
+  let all_ok = ref true in
+  for i = 1 to nseeds do
+    let seed = 100 + (i * 37) in
+    Obs.reset ();
+    let ctl_ref = ref None in
+    let d =
+      Snvs.deploy
+        ~p4_link_of:(fun _ srv ->
+          let link, ctl = Transport.faulty ~seed (Nerpa.Links.wire_p4 srv) in
+          ctl_ref := Some ctl;
+          link)
+        ()
+    in
+    let ctl = Option.get !ctl_ref in
+    fs_workload d ~mid:(fun () -> Transport.force_disconnect ctl ~down_for:5 ());
+    let dump = fs_converge d [ ctl ] in
+    let ok = String.equal dump baseline in
+    if not ok then all_ok := false;
+    Printf.printf "%-6d %6d %6d %6d %6d %11d %12d  %s\n" seed
+      (Obs.counter_value "transport.faults.drops")
+      (Obs.counter_value "transport.faults.duplicates")
+      (Obs.counter_value "transport.faults.delays")
+      (Obs.counter_value "transport.faults.disconnects")
+      (Obs.counter_value "nerpa.reconcile.count")
+      (Obs.counter_value "nerpa.reconcile.corrections")
+      (if ok then "yes" else "NO")
+  done;
+  exit (if !all_ok then 0 else 1)
+
 (* ---------------- cmdliner wiring ---------------- *)
 
 open Cmdliner
@@ -245,7 +382,22 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const cmd_stats $ json)
 
+let faultsim_cmd =
+  let doc =
+    "run the snvs workload over seeded faulty links and check that every \
+     run converges to the fault-free switch state"
+  in
+  let seeds =
+    Arg.(
+      value & opt int 5
+      & info [ "seeds" ] ~doc:"number of seeded fault schedules to run")
+  in
+  Cmd.v (Cmd.info "faultsim" ~doc) Term.(const cmd_faultsim $ seeds)
+
 let () =
   let doc = "Nerpa full-stack SDN tooling" in
   let info = Cmd.info "nerpa_cli" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; codegen_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; run_cmd; codegen_cmd; stats_cmd; faultsim_cmd ]))

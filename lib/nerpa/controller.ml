@@ -1,16 +1,27 @@
 (* The Nerpa controller: the state-synchronisation loop tying the three
    planes together (Fig. 4 of the paper).
 
-   Responsibilities:
-   - subscribe to the management database and convert its per-transaction
-     monitor batches into DL transactions;
-   - commit each transaction to the incremental engine and translate the
-     resulting *output deltas* into P4Runtime write batches (deletes
-     first, so that re-keyed entries modify cleanly);
-   - drain data-plane digests, feed them back as DL input insertions,
-     and iterate to quiescence (the feedback loop, e.g. MAC learning);
-   - maintain multicast group membership from the MulticastGroup
-     relation. *)
+   Since the transport refactor the controller is split in two:
+
+   - a *step core* ({!Step}, {!step}): consumes one plane event
+     (monitor batch, digest lists, switch up/down) and returns the
+     commands to execute (write batches, digest acks, reconciliations).
+     It commits DL transactions but performs no transport I/O, so its
+     decisions are testable without any link in place;
+   - a *driver loop* ({!sync}): polls the links, feeds events to the
+     step core, and executes its commands — owning every
+     failure-handling policy: bounded retry with exponential backoff on
+     transient write errors, digest-redelivery dedup by [list_id], and
+     full state reconciliation when a switch reconnects (dump via
+     P4Runtime reads, diff against the engine's outputs, emit
+     corrective deletes/inserts).
+
+   Responsibilities carried over from the pre-transport controller:
+   convert monitor batches into DL transactions; translate output
+   deltas into atomic P4Runtime write batches (deletes first, so that
+   re-keyed entries modify cleanly); drain data-plane digests and feed
+   them back as DL insertions until quiescence; maintain multicast
+   group membership from the MulticastGroup relation. *)
 
 open Dl
 
@@ -26,8 +37,8 @@ type stats = {
 }
 
 (* Observability (metric names are a public contract, see README).
-   The [stats] accessor is a snapshot of the nerpa.* counters, so the
-   counts aggregate across controllers sharing the process. *)
+   These aggregate across controllers sharing the process; the [stats]
+   accessor reports this controller's own counts. *)
 let m_txns = Obs.Counter.create "nerpa.txns"
 let m_entries = Obs.Counter.create "nerpa.entries_written"
 let m_digests = Obs.Counter.create "nerpa.digests_consumed"
@@ -36,37 +47,430 @@ let m_syncs = Obs.Counter.create "nerpa.sync.count"
 let m_iterations = Obs.Counter.create "nerpa.sync.iterations"
 let m_monitor_batches = Obs.Counter.create "nerpa.sync.monitor_batches"
 let m_digest_lists = Obs.Counter.create "nerpa.sync.digest_lists"
+let m_dup_digests = Obs.Counter.create "nerpa.digest.duplicates"
+let m_retries = Obs.Counter.create "nerpa.retry.count"
+let m_retry_gaveup = Obs.Counter.create "nerpa.retry.gaveup"
+let m_reconciles = Obs.Counter.create "nerpa.reconcile.count"
+let m_corrections = Obs.Counter.create "nerpa.reconcile.corrections"
 let h_sync = Obs.Histogram.create ~unit_:"us" "nerpa.sync"
 let h_write_batch = Obs.Histogram.create ~unit_:"entries" "nerpa.write_batch"
+let h_backoff = Obs.Histogram.create ~unit_:"us" "nerpa.retry.backoff_us"
+let h_reconcile = Obs.Histogram.create ~unit_:"us" "nerpa.reconcile"
+
+module IntSet = Set.Make (Int)
+
+(* Per-switch connection state owned by the driver. *)
+type sw = {
+  sw_name : string;
+  sw_link : Links.p4_link;
+  sw_info : P4.P4info.t;
+  mutable sw_up : bool;
+  mutable sw_dirty : bool;
+      (* true when this switch may have missed or misapplied writes
+         (link failure, retry exhaustion): schedule a reconcile *)
+  mutable sw_seen : IntSet.t;  (* digest list_ids already applied *)
+}
 
 type t = {
   db : Ovsdb.Db.t;
-  monitor : Ovsdb.Db.monitor;
+  mgmt : Links.mgmt_link;
   engine : Engine.t;
   program : Ast.program;
   mappings : Codegen.mapping list;
   input_rel_of_table : (string * Ast.rel_decl) list; (* OVSDB table -> decl *)
   digest_rel_of_name : (string * Ast.rel_decl) list; (* digest name -> decl *)
-  switches : (string * P4runtime.server) list;
+  sws : sw list;
   (* digest relation -> key column indices for last-writer-wins
      replacement (e.g. MAC mobility: a newly learned (vlan, mac)
      retracts the previous port binding) *)
   digest_replace : (string * int list) list;
   max_iterations : int;
-  (* DL transactions committed by *this* controller; the return value
-     of [sync] must not depend on whether Obs collection is enabled. *)
+  retry_limit : int;
+  (* per-controller counts; [sync]'s return value and [stats] must not
+     depend on whether Obs collection is enabled *)
   mutable ntxns : int;
+  mutable nentries : int;
+  mutable ndigests : int;
+  mutable ngroups : int;
+  (* deltas committed during the current sync iteration, for the
+     quiescence diagnostic *)
+  mutable iter_deltas : (string * Zset.t) list;
 }
+
+(* ---------------- the step core ---------------- *)
+
+module Step = struct
+  type event =
+    | Monitor_batch of Ovsdb.Db.table_updates
+    | Digest_lists of string * P4runtime.digest_list list
+    | Switch_up of string
+    | Switch_down of string
+
+  type command =
+    | Write of string * P4runtime.update list
+    | Ack of string * int
+    | Reconcile of string
+end
+
+let find_sw (t : t) name : sw =
+  match List.find_opt (fun s -> String.equal s.sw_name name) t.sws with
+  | Some s -> s
+  | None -> error "unknown switch %s" name
+
+(* Accumulate commit deltas per relation as Z-set unions, instead of
+   concatenating per-commit delta lists (which grew quadratically over
+   a sync's feedback iterations). *)
+let merge_deltas (acc : (string * Zset.t) list) (ds : (string * Zset.t) list) :
+    (string * Zset.t) list =
+  List.fold_left
+    (fun acc (rel, z) ->
+      match List.assoc_opt rel acc with
+      | Some z0 -> (rel, Zset.union z0 z) :: List.remove_assoc rel acc
+      | None -> (rel, z) :: acc)
+    acc ds
+
+(* Translate one commit's deltas into per-switch write batches.
+   Deletions first so that an entry whose action arguments changed is
+   removed before its replacement is inserted. *)
+let write_commands (t : t) (deltas : (string * Zset.t) list) :
+    Step.command list =
+  let outputs = Engine.output_deltas t.engine deltas in
+  if outputs = [] then []
+  else begin
+    (* Multicast groups: recompute the membership of touched groups from
+       the engine's full relation contents. *)
+    let mcast_updates =
+      match List.assoc_opt "MulticastGroup" outputs with
+      | None -> []
+      | Some dz ->
+        let touched =
+          Zset.fold
+            (fun row _ acc ->
+              let g = Bridge.as_bit_value (Row.get row 0) in
+              if List.mem g acc then acc else g :: acc)
+            dz []
+        in
+        List.map
+          (fun g ->
+            let ports =
+              List.map
+                (fun row -> Bridge.as_bit_value (Row.get row 1))
+                (Engine.query t.engine "MulticastGroup" ~positions:[ 0 ]
+                   ~key:[ Value.bit 16 g ])
+            in
+            Obs.Counter.incr m_groups;
+            t.ngroups <- t.ngroups + 1;
+            P4runtime.set_multicast ~group:g ~ports:(List.sort Int64.compare ports))
+          touched
+    in
+    List.filter_map
+      (fun sw ->
+        let dels = ref [] and inss = ref [] in
+        List.iter
+          (fun (rel, dz) ->
+            match
+              List.find_opt
+                (fun (m : Codegen.mapping) -> m.rel_name = rel)
+                t.mappings
+            with
+            | None -> () (* MulticastGroup handled above *)
+            | Some m ->
+              Zset.iter
+                (fun row w ->
+                  let entry = Bridge.entry_of_row sw.sw_info m row in
+                  if w > 0 then inss := P4runtime.insert entry :: !inss
+                  else dels := P4runtime.delete entry :: !dels)
+                dz)
+          outputs;
+        let updates = List.rev !dels @ List.rev !inss @ mcast_updates in
+        if updates = [] then None else Some (Step.Write (sw.sw_name, updates)))
+      t.sws
+  end
+
+(* ---------------- management plane -> engine ---------------- *)
+
+let step_monitor_batch (t : t) (batch : Ovsdb.Db.table_updates) :
+    Step.command list =
+  let txn = Engine.transaction t.engine in
+  List.iter
+    (fun (table, rows) ->
+      match List.assoc_opt table t.input_rel_of_table with
+      | None -> ()
+      | Some decl ->
+        List.iter
+          (fun (uuid, (upd : Ovsdb.Db.row_update)) ->
+            (match upd.before with
+            | Some row ->
+              Engine.delete txn decl.Ast.rname (Bridge.row_of_ovsdb decl uuid row)
+            | None -> ());
+            match upd.after with
+            | Some row ->
+              Engine.insert txn decl.Ast.rname (Bridge.row_of_ovsdb decl uuid row)
+            | None -> ())
+          rows)
+    batch;
+  let deltas = Engine.commit txn in
+  t.ntxns <- t.ntxns + 1;
+  Obs.Counter.incr m_txns;
+  t.iter_deltas <- merge_deltas t.iter_deltas deltas;
+  write_commands t deltas
+
+(* ---------------- data plane -> engine (feedback loop) -------------- *)
+
+let step_digest_lists (t : t) (sw : sw)
+    (dls : P4runtime.digest_list list) : Step.command list =
+  let info = sw.sw_info in
+  List.concat_map
+    (fun (dl : P4runtime.digest_list) ->
+      let dinfo =
+        match P4.P4info.find_digest_by_id info dl.digest_id with
+        | Some d -> d
+        | None -> error "unknown digest id %d" dl.digest_id
+      in
+      if IntSet.mem dl.list_id sw.sw_seen then begin
+        (* a redelivered list we already applied: just re-ack *)
+        Obs.Counter.incr m_dup_digests;
+        [ Step.Ack (sw.sw_name, dl.list_id) ]
+      end
+      else begin
+        sw.sw_seen <- IntSet.add dl.list_id sw.sw_seen;
+        Obs.Counter.incr m_digest_lists;
+        match List.assoc_opt dinfo.digest_name t.digest_rel_of_name with
+        | None -> [ Step.Ack (sw.sw_name, dl.list_id) ]
+        | Some decl ->
+          let txn = Engine.transaction t.engine in
+          let replace_keys = List.assoc_opt decl.Ast.rname t.digest_replace in
+          (* rows inserted earlier in this same transaction, by key:
+             the engine query below only sees committed state, so
+             intra-batch replacements must be tracked here (one list
+             can carry both A@1 and A@2 when polls were delayed) *)
+          let pending = ref [] in
+          List.iter
+            (fun values ->
+              let row = Bridge.row_of_digest decl values in
+              (match replace_keys with
+              | None -> ()
+              | Some idxs ->
+                let key = List.map (Row.get row) idxs in
+                (* last-writer-wins: retract rows agreeing on the keys.
+                   The indexed query touches only rows sharing the key,
+                   not the whole relation. *)
+                List.iter
+                  (fun old ->
+                    if not (Row.equal old row) then
+                      Engine.delete txn decl.Ast.rname old)
+                  (Engine.query t.engine decl.Ast.rname ~positions:idxs
+                     ~key);
+                (match List.assoc_opt key !pending with
+                | Some prev when not (Row.equal prev row) ->
+                  Engine.delete txn decl.Ast.rname prev
+                | _ -> ());
+                pending := (key, row) :: List.remove_assoc key !pending);
+              Engine.insert txn decl.Ast.rname row;
+              Obs.Counter.incr m_digests;
+              t.ndigests <- t.ndigests + 1)
+            dl.entries;
+          let deltas = Engine.commit txn in
+          t.ntxns <- t.ntxns + 1;
+          Obs.Counter.incr m_txns;
+          t.iter_deltas <- merge_deltas t.iter_deltas deltas;
+          write_commands t deltas @ [ Step.Ack (sw.sw_name, dl.list_id) ]
+      end)
+    dls
+
+(** Process one plane event and return the commands to execute.  The
+    step core commits DL transactions and updates controller state but
+    performs no transport I/O — every interaction with a peer is
+    returned as a {!Step.command} for the driver (or a test harness) to
+    execute. *)
+let step (t : t) (ev : Step.event) : Step.command list =
+  match ev with
+  | Step.Monitor_batch batch -> step_monitor_batch t batch
+  | Step.Digest_lists (name, dls) -> step_digest_lists t (find_sw t name) dls
+  | Step.Switch_down name ->
+    let sw = find_sw t name in
+    sw.sw_up <- false;
+    []
+  | Step.Switch_up name ->
+    let sw = find_sw t name in
+    sw.sw_up <- true;
+    (* the switch may have missed writes (or lost state) while away:
+       always resynchronise *)
+    sw.sw_dirty <- true;
+    [ Step.Reconcile name ]
+
+(* ---------------- driver: command execution ---------------- *)
+
+(* Send a write batch with bounded retry on transient failures.  The
+   backoff is recorded (it would be a sleep on a real channel; the
+   in-process links fail deterministically, so waiting adds nothing).
+   On a first-attempt rejection the switch state is known-unchanged and
+   the error is surfaced; after a transient the same rejection can be
+   our own retry colliding with a partially applied batch, so the
+   switch is marked dirty for reconciliation instead. *)
+let write_with_retry (t : t) (sw : sw) (updates : P4runtime.update list) :
+    unit =
+  Obs.Histogram.observe h_write_batch (float_of_int (List.length updates));
+  let nentries =
+    List.length
+      (List.filter
+         (fun (u : P4runtime.update) ->
+           match u.entity with
+           | P4runtime.TableEntry _ -> true
+           | P4runtime.MulticastGroupEntry _ -> false)
+         updates)
+  in
+  let rec attempt n backoff_us =
+    match Transport.send sw.sw_link (P4runtime.Wire.Write updates) with
+    | Ok (P4runtime.Wire.Write_reply (Ok ())) ->
+      Obs.Counter.add m_entries nentries;
+      t.nentries <- t.nentries + nentries
+    | Ok (P4runtime.Wire.Write_reply (Error msg))
+    | Ok (P4runtime.Wire.Error_reply msg) ->
+      if n = 0 then error "switch %s rejected updates: %s" sw.sw_name msg
+      else sw.sw_dirty <- true
+    | Ok _ -> error "switch %s: protocol mismatch on write" sw.sw_name
+    | Error Transport.Closed ->
+      (* link down: the reconnect reconciliation will catch it up *)
+      sw.sw_dirty <- true
+    | Error (Transport.Transient _) ->
+      if n + 1 >= t.retry_limit then begin
+        Obs.Counter.incr m_retry_gaveup;
+        sw.sw_dirty <- true
+      end
+      else begin
+        Obs.Counter.incr m_retries;
+        Obs.Histogram.observe h_backoff backoff_us;
+        attempt (n + 1) (backoff_us *. 2.)
+      end
+  in
+  attempt 0 100.
+
+(* ---------------- driver: reconnect reconciliation ---------------- *)
+
+exception Recon_fail of string
+
+(* Reconcile a switch against the engine: dump its tables and multicast
+   groups over the link, diff them against what the mappings say should
+   be installed, and write corrective deletes/inserts.  Any link
+   failure aborts the attempt and leaves the switch dirty; the next
+   sync retries. *)
+let reconcile_sw (t : t) (sw : sw) : unit =
+  Obs.Counter.incr m_reconciles;
+  Obs.Histogram.time h_reconcile @@ fun () ->
+  let send req =
+    match Transport.send sw.sw_link req with
+    | Ok (P4runtime.Wire.Error_reply msg) -> raise (Recon_fail msg)
+    | Ok resp -> resp
+    | Error e -> raise (Recon_fail (Transport.error_to_string e))
+  in
+  match
+    let actual_entries =
+      List.concat_map
+        (fun (ti : P4.P4info.table_info) ->
+          match send (P4runtime.Wire.Read_table ti.table_id) with
+          | P4runtime.Wire.Table es -> es
+          | _ -> raise (Recon_fail "protocol mismatch on read_table"))
+        sw.sw_info.tables
+    in
+    let actual_groups =
+      match send P4runtime.Wire.Read_groups with
+      | P4runtime.Wire.Groups gs ->
+        List.map (fun (g, ps) -> (g, List.sort Int64.compare ps)) gs
+      | _ -> raise (Recon_fail "protocol mismatch on read_groups")
+    in
+    let desired_entries =
+      List.concat_map
+        (fun (m : Codegen.mapping) ->
+          List.map
+            (Bridge.entry_of_row sw.sw_info m)
+            (Engine.relation_rows t.engine m.rel_name))
+        t.mappings
+    in
+    let desired_groups =
+      match Ast.find_decl t.program "MulticastGroup" with
+      | None -> []
+      | Some _ ->
+        List.fold_left
+          (fun acc row ->
+            let g = Bridge.as_bit_value (Row.get row 0) in
+            let p = Bridge.as_bit_value (Row.get row 1) in
+            match List.assoc_opt g acc with
+            | Some ps -> (g, p :: ps) :: List.remove_assoc g acc
+            | None -> (g, [ p ]) :: acc)
+          []
+          (Engine.relation_rows t.engine "MulticastGroup")
+        |> List.map (fun (g, ps) -> (g, List.sort Int64.compare ps))
+    in
+    let dels =
+      List.filter (fun e -> not (List.mem e desired_entries)) actual_entries
+    in
+    let inss =
+      List.filter (fun e -> not (List.mem e actual_entries)) desired_entries
+    in
+    let group_fixes =
+      List.filter_map
+        (fun (g, ports) ->
+          if List.assoc_opt g actual_groups = Some ports then None
+          else Some (P4runtime.set_multicast ~group:g ~ports))
+        desired_groups
+      @ List.filter_map
+          (fun (g, _) ->
+            if List.mem_assoc g desired_groups then None
+            else Some (P4runtime.set_multicast ~group:g ~ports:[]))
+          actual_groups
+    in
+    let updates =
+      List.map P4runtime.delete dels
+      @ List.map P4runtime.insert inss
+      @ group_fixes
+    in
+    if updates <> [] then begin
+      Obs.Counter.add m_corrections (List.length updates);
+      match send (P4runtime.Wire.Write updates) with
+      | P4runtime.Wire.Write_reply (Ok ()) -> ()
+      | P4runtime.Wire.Write_reply (Error msg) -> raise (Recon_fail msg)
+      | _ -> raise (Recon_fail "protocol mismatch on write")
+    end
+  with
+  | () -> sw.sw_dirty <- false
+  | exception Recon_fail _ ->
+    (* transient: stay dirty, retried at the next sync *)
+    sw.sw_dirty <- true
+
+let exec_command (t : t) (cmd : Step.command) : unit =
+  match cmd with
+  | Step.Write (name, updates) -> write_with_retry t (find_sw t name) updates
+  | Step.Ack (name, list_id) -> (
+    let sw = find_sw t name in
+    match Transport.send sw.sw_link (P4runtime.Wire.Ack list_id) with
+    | Ok P4runtime.Wire.Acked -> ()
+    | Ok (P4runtime.Wire.Error_reply msg) ->
+      error "switch %s: ack failed: %s" name msg
+    | Ok _ -> error "switch %s: protocol mismatch on ack" name
+    | Error _ ->
+      (* a lost ack leaves the list unacked: it will be redelivered and
+         the dedup layer re-acks it *)
+      ())
+  | Step.Reconcile name -> reconcile_sw t (find_sw t name)
+
+let exec_commands t cmds = List.iter (exec_command t) cmds
+
+(* ---------------- construction ---------------- *)
 
 (** Build a controller from the three plane descriptions.  [rules] is
     the user-written DL program text (rules plus optional internal
     relation declarations); everything else is generated.
     [max_iterations] bounds the digest feedback loop in {!sync}. *)
-let create ?(digest_replace = []) ?(max_iterations = 1000)
+let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
+    ?(mgmt_link_of = Links.direct_mgmt)
+    ?(p4_link_of = fun _name srv -> Links.direct_p4 srv)
     ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
     ~(rules : string) ~(switches : (string * P4.Switch.t) list) () : t =
   if max_iterations <= 0 then
     error "max_iterations must be positive (got %d)" max_iterations;
+  if retry_limit <= 0 then
+    error "retry_limit must be positive (got %d)" retry_limit;
   let schema = db.Ovsdb.Db.schema in
   let generated = Codegen.generate ~schema ~p4 in
   let user =
@@ -114,174 +518,50 @@ let create ?(digest_replace = []) ?(max_iterations = 1000)
   in
   {
     db;
-    monitor;
+    mgmt = mgmt_link_of monitor;
     engine;
     program;
     mappings = generated.mappings;
     input_rel_of_table;
     digest_rel_of_name;
-    switches = List.map (fun (n, sw) -> (n, P4runtime.attach sw)) switches;
+    sws =
+      List.map
+        (fun (n, sw) ->
+          let srv = P4runtime.attach sw in
+          {
+            sw_name = n;
+            sw_link = p4_link_of n srv;
+            sw_info = P4runtime.info srv;
+            sw_up = true;
+            sw_dirty = false;
+            sw_seen = IntSet.empty;
+          })
+        switches;
     digest_replace;
     max_iterations;
+    retry_limit;
     ntxns = 0;
+    nentries = 0;
+    ndigests = 0;
+    ngroups = 0;
+    iter_deltas = [];
   }
 
-(* Accumulate commit deltas per relation as Z-set unions, instead of
-   concatenating per-commit delta lists (which grew quadratically over
-   a sync's feedback iterations). *)
-let merge_deltas (acc : (string * Zset.t) list) (ds : (string * Zset.t) list) :
-    (string * Zset.t) list =
-  List.fold_left
-    (fun acc (rel, z) ->
-      match List.assoc_opt rel acc with
-      | Some z0 -> (rel, Zset.union z0 z) :: List.remove_assoc rel acc
-      | None -> (rel, z) :: acc)
-    acc ds
-
-(* ---------------- pushing output deltas to the data plane ----------- *)
-
-let push_deltas (t : t) (deltas : (string * Zset.t) list) : unit =
-  let outputs = Engine.output_deltas t.engine deltas in
-  if outputs <> [] then begin
-    (* Multicast groups: recompute the membership of touched groups from
-       the engine's full relation contents. *)
-    let mcast_updates =
-      match List.assoc_opt "MulticastGroup" outputs with
-      | None -> []
-      | Some dz ->
-        let touched =
-          Zset.fold
-            (fun row _ acc ->
-              let g = Bridge.as_bit_value (Row.get row 0) in
-              if List.mem g acc then acc else g :: acc)
-            dz []
-        in
-        List.map
-          (fun g ->
-            let ports =
-              List.map
-                (fun row -> Bridge.as_bit_value (Row.get row 1))
-                (Engine.query t.engine "MulticastGroup" ~positions:[ 0 ]
-                   ~key:[ Value.bit 16 g ])
-            in
-            Obs.Counter.incr m_groups;
-            P4runtime.set_multicast ~group:g ~ports:(List.sort Int64.compare ports))
-          touched
-    in
-    List.iter
-      (fun (swname, srv) ->
-        let info = P4runtime.info srv in
-        (* Deletions first so that an entry whose action arguments
-           changed is removed before its replacement is inserted. *)
-        let dels = ref [] and inss = ref [] in
-        List.iter
-          (fun (rel, dz) ->
-            match List.find_opt (fun (m : Codegen.mapping) -> m.rel_name = rel) t.mappings with
-            | None -> () (* MulticastGroup handled above *)
-            | Some m ->
-              Zset.iter
-                (fun row w ->
-                  let entry = Bridge.entry_of_row info m row in
-                  if w > 0 then inss := P4runtime.insert entry :: !inss
-                  else dels := P4runtime.delete entry :: !dels)
-                dz)
-          outputs;
-        let updates = List.rev !dels @ List.rev !inss @ mcast_updates in
-        if updates <> [] then begin
-          Obs.Histogram.observe h_write_batch (float_of_int (List.length updates));
-          (match P4runtime.write srv updates with
-          | Ok () -> ()
-          | Error msg -> error "switch %s rejected updates: %s" swname msg);
-          Obs.Counter.add m_entries (List.length !dels + List.length !inss)
-        end)
-      t.switches
-  end
-
-(* ---------------- management plane -> engine ---------------- *)
-
-(* Returns the commit's deltas so [sync] can name the still-changing
-   relations when the feedback loop fails to quiesce. *)
-let apply_monitor_batch (t : t) (batch : Ovsdb.Db.table_updates) :
-    (string * Zset.t) list =
-  let txn = Engine.transaction t.engine in
-  List.iter
-    (fun (table, rows) ->
-      match List.assoc_opt table t.input_rel_of_table with
-      | None -> ()
-      | Some decl ->
-        List.iter
-          (fun (uuid, (upd : Ovsdb.Db.row_update)) ->
-            (match upd.before with
-            | Some row ->
-              Engine.delete txn decl.Ast.rname (Bridge.row_of_ovsdb decl uuid row)
-            | None -> ());
-            match upd.after with
-            | Some row ->
-              Engine.insert txn decl.Ast.rname (Bridge.row_of_ovsdb decl uuid row)
-            | None -> ())
-          rows)
-    batch;
-  let deltas = Engine.commit txn in
-  t.ntxns <- t.ntxns + 1;
-  Obs.Counter.incr m_txns;
-  push_deltas t deltas;
-  deltas
-
-(* ---------------- data plane -> engine (feedback loop) -------------- *)
-
-(* Returns whether any digest list was turned into a transaction, plus
-   the accumulated commit deltas (for quiescence diagnostics). *)
-let consume_digests (t : t) : bool * (string * Zset.t) list =
-  let any = ref false in
-  let all_deltas = ref [] in
-  List.iter
-    (fun (_, srv) ->
-      let info = P4runtime.info srv in
-      List.iter
-        (fun (dl : P4runtime.digest_list) ->
-          let dinfo =
-            match P4.P4info.find_digest_by_id info dl.digest_id with
-            | Some d -> d
-            | None -> error "unknown digest id %d" dl.digest_id
-          in
-          Obs.Counter.incr m_digest_lists;
-          match List.assoc_opt dinfo.digest_name t.digest_rel_of_name with
-          | None -> P4runtime.ack_digest_list srv ~list_id:dl.list_id
-          | Some decl ->
-            let txn = Engine.transaction t.engine in
-            let replace_keys = List.assoc_opt decl.Ast.rname t.digest_replace in
-            List.iter
-              (fun values ->
-                let row = Bridge.row_of_digest decl values in
-                (match replace_keys with
-                | None -> ()
-                | Some idxs ->
-                  (* last-writer-wins: retract rows agreeing on the keys *)
-                  List.iter
-                    (fun old ->
-                      if
-                        (not (Row.equal old row))
-                        && List.for_all
-                             (fun i ->
-                               Value.equal (Row.get old i) (Row.get row i))
-                             idxs
-                      then Engine.delete txn decl.Ast.rname old)
-                    (Engine.relation_rows t.engine decl.Ast.rname));
-                Engine.insert txn decl.Ast.rname row;
-                Obs.Counter.incr m_digests)
-              dl.entries;
-            let deltas = Engine.commit txn in
-            t.ntxns <- t.ntxns + 1;
-            Obs.Counter.incr m_txns;
-            P4runtime.ack_digest_list srv ~list_id:dl.list_id;
-            any := true;
-            all_deltas := merge_deltas !all_deltas deltas;
-            push_deltas t deltas)
-        (P4runtime.stream_digests srv))
-    t.switches;
-  (!any, !all_deltas)
-
 (* ---------------- the synchronisation loop ---------------- *)
+
+let drain_connectivity (t : t) : unit =
+  List.iter
+    (fun sw ->
+      List.iter
+        (fun e ->
+          let ev =
+            match e with
+            | Transport.Connected -> Step.Switch_up sw.sw_name
+            | Transport.Disconnected -> Step.Switch_down sw.sw_name
+          in
+          exec_commands t (step t ev))
+        (Transport.events sw.sw_link))
+    t.sws
 
 (** Process all pending management-plane changes and data-plane digests
     until the system is quiescent.  Returns the number of DL
@@ -290,10 +570,10 @@ let sync (t : t) : int =
   Obs.Counter.incr m_syncs;
   Obs.Histogram.time h_sync @@ fun () ->
   let before = t.ntxns in
-  let rec loop fuel last_deltas =
+  let rec loop fuel =
     if fuel = 0 then begin
       let changing =
-        match last_deltas with
+        match t.iter_deltas with
         | [] -> "(no relation deltas recorded)"
         | l ->
           String.concat ", "
@@ -308,31 +588,58 @@ let sync (t : t) : int =
         t.max_iterations changing
     end;
     Obs.Counter.incr m_iterations;
-    let batches = Ovsdb.Db.poll t.monitor in
-    Obs.Counter.add m_monitor_batches (List.length batches);
-    let batch_deltas =
-      List.fold_left
-        (fun acc batch -> merge_deltas acc (apply_monitor_batch t batch))
-        [] batches
+    t.iter_deltas <- [];
+    let txns0 = t.ntxns in
+    drain_connectivity t;
+    let batches =
+      match Transport.send t.mgmt Links.Poll_monitor with
+      | Ok (Links.Batches bs) -> bs
+      | Error _ ->
+        (* a lossy management link can drop monitor batches; resync is
+           a ROADMAP open item.  Skip this poll and carry on. *)
+        []
     in
-    let digests_any, digest_deltas = consume_digests t in
-    if batches <> [] || digests_any then
-      loop (fuel - 1) (merge_deltas batch_deltas digest_deltas)
+    Obs.Counter.add m_monitor_batches (List.length batches);
+    List.iter
+      (fun batch -> exec_commands t (step t (Step.Monitor_batch batch)))
+      batches;
+    List.iter
+      (fun sw ->
+        (* Poll every switch, even one currently down: on an in-process
+           faulty link each attempt advances the reconnect clock, and a
+           down link just answers [Closed]. *)
+        match Transport.send sw.sw_link P4runtime.Wire.Poll_digests with
+        | Ok (P4runtime.Wire.Digests []) -> ()
+        | Ok (P4runtime.Wire.Digests dls) ->
+          exec_commands t (step t (Step.Digest_lists (sw.sw_name, dls)))
+        | Ok (P4runtime.Wire.Error_reply msg) ->
+          error "switch %s: digest poll failed: %s" sw.sw_name msg
+        | Ok _ -> error "switch %s: protocol mismatch on digest poll" sw.sw_name
+        | Error _ -> () (* digests stay queued at the switch *))
+      t.sws;
+    if t.ntxns > txns0 then loop (fuel - 1)
   in
-  loop t.max_iterations [];
+  loop t.max_iterations;
+  (* Edges raised by the last round of polls (e.g. a reconnect observed
+     by the final digest poll) would otherwise wait for the next sync. *)
+  drain_connectivity t;
+  List.iter (fun sw -> if sw.sw_up && sw.sw_dirty then reconcile_sw t sw) t.sws;
   t.ntxns - before
+
+(** Force a full reconciliation of one switch (by name). *)
+let reconcile (t : t) (name : string) : unit = reconcile_sw t (find_sw t name)
 
 (** Direct access to the engine, for inspection in tests and examples. *)
 let engine (t : t) = t.engine
 
-(** Snapshot of the process-global nerpa.* Obs counters (zeros while
-    collection is disabled). *)
-let stats (_t : t) =
+(** This controller's own counts (independent of the process-global Obs
+    registry and of whether collection is enabled). *)
+let stats (t : t) =
   {
-    txns = Obs.Counter.value m_txns;
-    entries_written = Obs.Counter.value m_entries;
-    digests_consumed = Obs.Counter.value m_digests;
-    groups_updated = Obs.Counter.value m_groups;
+    txns = t.ntxns;
+    entries_written = t.nentries;
+    digests_consumed = t.ndigests;
+    groups_updated = t.ngroups;
   }
 
 (** Pre-flight report: output relations no rule writes and digest

@@ -1,11 +1,16 @@
 (** The Nerpa controller: the state-synchronisation loop tying the
     three planes together (Fig. 4 of the paper).
 
-    It converts OVSDB monitor batches into DL transactions, translates
-    engine output deltas into atomic P4Runtime write batches (deletions
-    first, so re-keyed entries modify cleanly), maintains multicast
-    groups from the [MulticastGroup] relation, and feeds data-plane
-    digests back as DL input insertions until the system quiesces. *)
+    The controller is split into a {e step core} and a {e driver}.
+    The step core ({!Step}, {!step}) turns one plane event into the
+    commands to execute; it commits DL transactions but performs no
+    transport I/O.  The driver ({!sync}) polls the {!Links}, feeds
+    events to the core and executes its commands, owning every
+    failure-handling policy: bounded retry with exponential backoff on
+    transient write errors, digest-redelivery dedup by [list_id], and
+    full reconciliation when a switch reconnects (dump its tables over
+    the link, diff against the engine's outputs, write corrective
+    deletes/inserts — observable via the [nerpa.reconcile.*] metrics). *)
 
 exception Controller_error of string
 
@@ -15,16 +20,19 @@ type stats = {
   digests_consumed : int;
   groups_updated : int;
 }
-(** An immutable snapshot of the controller counters.  The counts live
-    in the process-global {!Obs} registry under [nerpa.*] names, so
-    they aggregate across controllers in one process and read as zero
-    while collection is disabled. *)
+(** An immutable snapshot of {e this} controller's counts, independent
+    of the process-global {!Obs} registry (the [nerpa.*] metrics
+    aggregate across controllers and read zero while collection is
+    disabled; these do neither). *)
 
 type t
 
 val create :
   ?digest_replace:(string * string list) list ->
   ?max_iterations:int ->
+  ?retry_limit:int ->
+  ?mgmt_link_of:(Ovsdb.Db.monitor -> Links.mgmt_link) ->
+  ?p4_link_of:(string -> P4runtime.server -> Links.p4_link) ->
   db:Ovsdb.Db.t ->
   p4:P4.Program.t ->
   rules:string ->
@@ -44,23 +52,66 @@ val create :
     [max_iterations] (default [1000]) bounds the {!sync} feedback loop:
     the number of poll-commit-push iterations allowed before sync gives
     up and reports the still-changing relations.
+
+    [retry_limit] (default [8]) bounds the write retries on a transient
+    link failure before the switch is marked for reconciliation.
+
+    [mgmt_link_of] and [p4_link_of] choose the transport for each plane
+    boundary (default: the direct in-process links).  Pass
+    {!Links.wire_mgmt} / {!Links.wire_p4} to round-trip every message
+    through serialized bytes, or wrap either with {!Transport.faulty}
+    for fault-injection runs.
     @raise Controller_error on parse errors, schema mismatches, or a
-    non-positive [max_iterations]. *)
+    non-positive [max_iterations]/[retry_limit]. *)
+
+(** Events consumed and commands produced by the pure step core. *)
+module Step : sig
+  type event =
+    | Monitor_batch of Ovsdb.Db.table_updates
+    | Digest_lists of string * P4runtime.digest_list list
+        (** digest lists received from the named switch (possibly
+            redelivered — the core dedups by [list_id]) *)
+    | Switch_up of string
+    | Switch_down of string
+
+  type command =
+    | Write of string * P4runtime.update list
+        (** send this batch to the named switch (atomic) *)
+    | Ack of string * int  (** acknowledge a digest list *)
+    | Reconcile of string  (** resynchronise the named switch's state *)
+end
+
+val step : t -> Step.event -> Step.command list
+(** Process one plane event and return the commands to execute.  The
+    core commits DL transactions and updates controller-local state but
+    performs no transport I/O, so its decisions are testable without
+    any link in place.  {!sync} is a thin loop around this function.
+    @raise Controller_error on events naming unknown switches or
+    digests. *)
 
 val sync : t -> int
 (** Process all pending management-plane changes and data-plane digests
     until quiescent; returns the number of DL transactions committed.
-    @raise Controller_error if a switch rejects updates, or if the
-    feedback loop is still producing changes after [max_iterations]
-    iterations — the error message reports the fuel spent and the
-    names and delta cardinalities of the relations that were still
-    changing in the last iteration. *)
+    Transient write failures are retried (bounded by [retry_limit]);
+    switches whose links failed are reconciled when they reconnect.
+    @raise Controller_error if a switch rejects a fresh batch outright,
+    or if the feedback loop is still producing changes after
+    [max_iterations] iterations — the error message reports the fuel
+    spent and the names and delta cardinalities of the relations that
+    were still changing in the last iteration. *)
+
+val reconcile : t -> string -> unit
+(** Force a full reconciliation of one switch (by name): dump its
+    tables and multicast groups over the link, diff against the
+    engine's outputs, and write corrective deletes/inserts.  A link
+    failure leaves the switch marked dirty; the next {!sync} retries.
+    @raise Controller_error on an unknown switch name. *)
 
 val engine : t -> Dl.Engine.t
 (** The underlying engine, for inspection. *)
 
 val stats : t -> stats
-(** Snapshot the [nerpa.*] counters from the {!Obs} registry. *)
+(** This controller's own counts (see {!type-stats}). *)
 
 val preflight : t -> string list
 (** Authoring lint: output relations no rule writes (except those bound

@@ -1,0 +1,41 @@
+type mgmt_request = Poll_monitor
+type mgmt_response = Batches of Ovsdb.Db.table_updates list
+
+type mgmt_link = (mgmt_request, mgmt_response) Transport.t
+type p4_link = (P4runtime.Wire.request, P4runtime.Wire.response) Transport.t
+
+let poll_handler mon Poll_monitor = Batches (Ovsdb.Db.poll mon)
+
+let direct_mgmt mon = Transport.direct (poll_handler mon)
+
+let wire_mgmt mon =
+  let module J = Ovsdb.Json in
+  let encode_req Poll_monitor = J.to_string (J.String "poll") in
+  let decode_req s =
+    match J.of_string s with
+    | J.String "poll" -> Ok Poll_monitor
+    | j -> Error (Printf.sprintf "bad monitor request %s" (J.to_string j))
+    | exception J.Parse_error msg -> Error msg
+  in
+  let encode_resp (Batches bs) =
+    J.to_string (J.List (List.map Ovsdb.Rpc.updates_to_json bs))
+  in
+  let decode_resp s =
+    match J.of_string s with
+    | J.List bs -> (
+      try Ok (Batches (List.map Ovsdb.Rpc.updates_of_json bs))
+      with Ovsdb.Rpc.Protocol_error msg -> Error msg)
+    | j -> Error (Printf.sprintf "bad monitor response %s" (J.to_string j))
+    | exception J.Parse_error msg -> Error msg
+  in
+  Transport.wire ~encode_req ~decode_req ~encode_resp ~decode_resp
+    (poll_handler mon)
+
+let direct_p4 srv = Transport.direct (P4runtime.Wire.dispatch srv)
+
+let wire_p4 srv =
+  Transport.wire ~encode_req:P4runtime.Wire.encode_request
+    ~decode_req:P4runtime.Wire.decode_request
+    ~encode_resp:P4runtime.Wire.encode_response
+    ~decode_resp:P4runtime.Wire.decode_response
+    (P4runtime.Wire.dispatch srv)

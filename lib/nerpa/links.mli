@@ -1,0 +1,23 @@
+(** Plane-boundary links: the controller's view of its peers as
+    {!Transport} request/response channels.
+
+    The management link carries monitor polls toward the OVSDB server;
+    the P4Runtime link carries {!P4runtime.Wire} messages toward a
+    switch.  Each has a [direct_*] constructor (in-process closure, the
+    fast path) and a [wire_*] constructor that round-trips every
+    message through serialized bytes — the monitor batches via the
+    OVSDB JSON codec, the P4Runtime messages via {!P4runtime.Wire}.
+
+    Fault-injection wraps either flavour with {!Transport.faulty}. *)
+
+type mgmt_request = Poll_monitor
+type mgmt_response = Batches of Ovsdb.Db.table_updates list
+
+type mgmt_link = (mgmt_request, mgmt_response) Transport.t
+type p4_link = (P4runtime.Wire.request, P4runtime.Wire.response) Transport.t
+
+val direct_mgmt : Ovsdb.Db.monitor -> mgmt_link
+val wire_mgmt : Ovsdb.Db.monitor -> mgmt_link
+
+val direct_p4 : P4runtime.server -> p4_link
+val wire_p4 : P4runtime.server -> p4_link

@@ -205,6 +205,36 @@ let updates_to_json (batch : Db.table_updates) : Json.t =
                 rows) ))
        batch)
 
+(* The inverse of [updates_to_json]: decode a monitor-update wire
+   object back into table updates.  Named-uuid references never appear
+   in monitor updates, so rows decode against an empty symbol table. *)
+let updates_of_json (j : Json.t) : Db.table_updates =
+  let no_named : (string, Uuid.t) Hashtbl.t = Hashtbl.create 0 in
+  let row_update_of_json u =
+    let side name =
+      match Json.member name u with
+      | Some r -> Some (row_of_json ~named:no_named r)
+      | None -> None
+    in
+    { Db.before = side "old"; after = side "new" }
+  in
+  match j with
+  | Json.Obj tables ->
+    List.map
+      (fun (table, rows) ->
+        match rows with
+        | Json.Obj rows ->
+          ( table,
+            List.map
+              (fun (uuid_s, upd) ->
+                match Uuid.of_string_opt uuid_s with
+                | Some uuid -> (uuid, row_update_of_json upd)
+                | None -> perror "bad row uuid %s" uuid_s)
+              rows )
+        | j -> perror "bad table update: %s" (Json.to_string j))
+      tables
+  | j -> perror "bad updates object: %s" (Json.to_string j)
+
 (* ---------------- server ---------------- *)
 
 type server = {

@@ -20,6 +20,10 @@ val updates_to_json : Db.table_updates -> Json.t
 (** One transaction's changes in the monitor-update wire shape
     ({i table → uuid → \{old, new\}}). *)
 
+val updates_of_json : Json.t -> Db.table_updates
+(** Inverse of {!updates_to_json}.
+    @raise Protocol_error on malformed input. *)
+
 (** {1 Server} *)
 
 type server

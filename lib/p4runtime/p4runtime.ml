@@ -199,9 +199,17 @@ let read_table (srv : server) ~(table_id : int) : table_entry list =
         action_id = ainfo.action_id; action_args = e.args })
     (P4.Switch.table_entries srv.switch tinfo.table_name)
 
+(** Read back every multicast group currently programmed. *)
+let multicast_groups (srv : server) : (int64 * int64 list) list =
+  List.sort compare srv.switch.P4.Switch.mcast_groups
+
 (** Drain pending digests as DigestList messages (the stream channel).
-    Messages stay un-acknowledged until [ack_digest_list]. *)
+    Un-acknowledged lists from earlier calls are redelivered first
+    (oldest first), exactly as a stream channel retransmits after a
+    missing ack; consumers must dedup by [list_id].  Messages stay
+    un-acknowledged until [ack_digest_list]. *)
 let stream_digests (srv : server) : digest_list list =
+  let redelivered = List.rev_map snd srv.unacked in
   let msgs = P4.Switch.take_digests srv.switch in
   (* group consecutive digests of the same type into lists, as the
      target would *)
@@ -221,15 +229,16 @@ let stream_digests (srv : server) : digest_list list =
         Hashtbl.add grouped dinfo.digest_id (ref [ values ]);
         order := dinfo.digest_id :: !order)
     msgs;
-  List.rev_map
-    (fun digest_id ->
-      let entries = List.rev !(Hashtbl.find grouped digest_id) in
-      let list_id = srv.next_list_id in
-      srv.next_list_id <- list_id + 1;
-      let dl = { digest_id; list_id; entries } in
-      srv.unacked <- (list_id, dl) :: srv.unacked;
-      dl)
-    !order
+  redelivered
+  @ List.rev_map
+      (fun digest_id ->
+        let entries = List.rev !(Hashtbl.find grouped digest_id) in
+        let list_id = srv.next_list_id in
+        srv.next_list_id <- list_id + 1;
+        let dl = { digest_id; list_id; entries } in
+        srv.unacked <- (list_id, dl) :: srv.unacked;
+        dl)
+      !order
 
 (** Acknowledge a digest list, releasing it from the retransmit queue. *)
 let ack_digest_list (srv : server) ~(list_id : int) : unit =
@@ -261,3 +270,235 @@ let delete e = { utype = Delete; entity = TableEntry e }
 
 let set_multicast ~group ~ports =
   { utype = Modify; entity = MulticastGroupEntry { group_id = group; replicas = ports } }
+
+(* ---------------- wire codec ---------------- *)
+
+(* A serialized message shape for the five P4Runtime exchanges the
+   controller performs, so a byte-oriented transport can round-trip
+   them.  JSON via Ovsdb.Json keeps the repo dependency-free; the gRPC
+   protobufs of the real service carry the same payloads. *)
+module Wire = struct
+  module J = Ovsdb.Json
+
+  type request =
+    | Write of update list
+    | Read_table of int
+    | Read_groups
+    | Poll_digests
+    | Ack of int
+
+  type response =
+    | Write_reply of (unit, string) result
+    | Table of table_entry list
+    | Groups of (int64 * int64 list) list
+    | Digests of digest_list list
+    | Acked
+    | Error_reply of string
+
+  exception Codec of string
+
+  let cerror fmt = Format.kasprintf (fun s -> raise (Codec s)) fmt
+  let int_ i = J.Int (Int64.of_int i)
+
+  let to_int = function
+    | J.Int i -> Int64.to_int i
+    | j -> cerror "expected int, got %s" (J.to_string j)
+
+  let to_int64 = function
+    | J.Int i -> i
+    | j -> cerror "expected int64, got %s" (J.to_string j)
+
+  let field_match_to_json = function
+    | FmExact v -> J.List [ J.String "exact"; J.Int v ]
+    | FmLpm (v, l) -> J.List [ J.String "lpm"; J.Int v; int_ l ]
+    | FmTernary (v, m) -> J.List [ J.String "ternary"; J.Int v; J.Int m ]
+    | FmOptional (Some v) -> J.List [ J.String "optional"; J.Int v ]
+    | FmOptional None -> J.List [ J.String "optional" ]
+
+  let field_match_of_json = function
+    | J.List [ J.String "exact"; J.Int v ] -> FmExact v
+    | J.List [ J.String "lpm"; J.Int v; l ] -> FmLpm (v, to_int l)
+    | J.List [ J.String "ternary"; J.Int v; J.Int m ] -> FmTernary (v, m)
+    | J.List [ J.String "optional"; J.Int v ] -> FmOptional (Some v)
+    | J.List [ J.String "optional" ] -> FmOptional None
+    | j -> cerror "bad field match %s" (J.to_string j)
+
+  let table_entry_to_json (te : table_entry) =
+    J.Obj
+      [ ("table_id", int_ te.table_id);
+        ("matches", J.List (List.map field_match_to_json te.matches));
+        ("priority", int_ te.priority);
+        ("action_id", int_ te.action_id);
+        ("action_args", J.List (List.map (fun a -> J.Int a) te.action_args)) ]
+
+  let mem name j =
+    match J.member name j with
+    | Some v -> v
+    | None -> cerror "missing field %s in %s" name (J.to_string j)
+
+  let table_entry_of_json j =
+    {
+      table_id = to_int (mem "table_id" j);
+      matches = List.map field_match_of_json (J.to_list_exn (mem "matches" j));
+      priority = to_int (mem "priority" j);
+      action_id = to_int (mem "action_id" j);
+      action_args = List.map to_int64 (J.to_list_exn (mem "action_args" j));
+    }
+
+  let update_to_json (u : update) =
+    let utype =
+      match u.utype with
+      | Insert -> "insert"
+      | Modify -> "modify"
+      | Delete -> "delete"
+    in
+    let entity =
+      match u.entity with
+      | TableEntry te -> J.Obj [ ("table_entry", table_entry_to_json te) ]
+      | MulticastGroupEntry g ->
+        J.Obj
+          [ ("multicast_group",
+             J.Obj
+               [ ("group_id", J.Int g.group_id);
+                 ("replicas", J.List (List.map (fun r -> J.Int r) g.replicas))
+               ]) ]
+    in
+    J.Obj [ ("type", J.String utype); ("entity", entity) ]
+
+  let update_of_json j =
+    let utype =
+      match mem "type" j with
+      | J.String "insert" -> Insert
+      | J.String "modify" -> Modify
+      | J.String "delete" -> Delete
+      | t -> cerror "bad update type %s" (J.to_string t)
+    in
+    let entity =
+      let e = mem "entity" j in
+      match J.member "table_entry" e, J.member "multicast_group" e with
+      | Some te, None -> TableEntry (table_entry_of_json te)
+      | None, Some g ->
+        MulticastGroupEntry
+          {
+            group_id = to_int64 (mem "group_id" g);
+            replicas = List.map to_int64 (J.to_list_exn (mem "replicas" g));
+          }
+      | _ -> cerror "bad update entity %s" (J.to_string e)
+    in
+    { utype; entity }
+
+  let digest_list_to_json (dl : digest_list) =
+    J.Obj
+      [ ("digest_id", int_ dl.digest_id);
+        ("list_id", int_ dl.list_id);
+        ("entries",
+         J.List
+           (List.map
+              (fun entry -> J.List (List.map (fun v -> J.Int v) entry))
+              dl.entries)) ]
+
+  let digest_list_of_json j =
+    {
+      digest_id = to_int (mem "digest_id" j);
+      list_id = to_int (mem "list_id" j);
+      entries =
+        List.map
+          (fun e -> List.map to_int64 (J.to_list_exn e))
+          (J.to_list_exn (mem "entries" j));
+    }
+
+  let request_to_json = function
+    | Write updates ->
+      J.Obj
+        [ ("op", J.String "write");
+          ("updates", J.List (List.map update_to_json updates)) ]
+    | Read_table id ->
+      J.Obj [ ("op", J.String "read_table"); ("table_id", int_ id) ]
+    | Read_groups -> J.Obj [ ("op", J.String "read_groups") ]
+    | Poll_digests -> J.Obj [ ("op", J.String "poll_digests") ]
+    | Ack list_id -> J.Obj [ ("op", J.String "ack"); ("list_id", int_ list_id) ]
+
+  let request_of_json j =
+    match mem "op" j with
+    | J.String "write" ->
+      Write (List.map update_of_json (J.to_list_exn (mem "updates" j)))
+    | J.String "read_table" -> Read_table (to_int (mem "table_id" j))
+    | J.String "read_groups" -> Read_groups
+    | J.String "poll_digests" -> Poll_digests
+    | J.String "ack" -> Ack (to_int (mem "list_id" j))
+    | op -> cerror "bad request op %s" (J.to_string op)
+
+  let response_to_json = function
+    | Write_reply (Ok ()) -> J.Obj [ ("op", J.String "write_ok") ]
+    | Write_reply (Error msg) ->
+      J.Obj [ ("op", J.String "write_error"); ("message", J.String msg) ]
+    | Table entries ->
+      J.Obj
+        [ ("op", J.String "table");
+          ("entries", J.List (List.map table_entry_to_json entries)) ]
+    | Groups groups ->
+      J.Obj
+        [ ("op", J.String "groups");
+          ("groups",
+           J.List
+             (List.map
+                (fun (gid, ports) ->
+                  J.List
+                    [ J.Int gid; J.List (List.map (fun p -> J.Int p) ports) ])
+                groups)) ]
+    | Digests dls ->
+      J.Obj
+        [ ("op", J.String "digests");
+          ("lists", J.List (List.map digest_list_to_json dls)) ]
+    | Acked -> J.Obj [ ("op", J.String "acked") ]
+    | Error_reply msg ->
+      J.Obj [ ("op", J.String "error"); ("message", J.String msg) ]
+
+  let response_of_json j =
+    match mem "op" j with
+    | J.String "write_ok" -> Write_reply (Ok ())
+    | J.String "write_error" ->
+      Write_reply (Error (J.to_string_exn (mem "message" j)))
+    | J.String "table" ->
+      Table (List.map table_entry_of_json (J.to_list_exn (mem "entries" j)))
+    | J.String "groups" ->
+      Groups
+        (List.map
+           (function
+             | J.List [ gid; ports ] ->
+               (to_int64 gid, List.map to_int64 (J.to_list_exn ports))
+             | g -> cerror "bad group %s" (J.to_string g))
+           (J.to_list_exn (mem "groups" j)))
+    | J.String "digests" ->
+      Digests (List.map digest_list_of_json (J.to_list_exn (mem "lists" j)))
+    | J.String "acked" -> Acked
+    | J.String "error" -> Error_reply (J.to_string_exn (mem "message" j))
+    | op -> cerror "bad response op %s" (J.to_string op)
+
+  let encode_request r = J.to_string (request_to_json r)
+  let encode_response r = J.to_string (response_to_json r)
+
+  let decode guard s =
+    match J.of_string s with
+    | exception J.Parse_error msg -> Error msg
+    | j -> ( try Ok (guard j) with Codec msg -> Error msg)
+
+  let decode_request s = decode request_of_json s
+  let decode_response s = decode response_of_json s
+
+  (** Server side of the wire protocol: execute one request.  Server
+      exceptions become [Error_reply] — a wire peer never sees an OCaml
+      exception. *)
+  let dispatch (srv : server) (req : request) : response =
+    try
+      match req with
+      | Write updates -> Write_reply (write srv updates)
+      | Read_table table_id -> Table (read_table srv ~table_id)
+      | Read_groups -> Groups (multicast_groups srv)
+      | Poll_digests -> Digests (stream_digests srv)
+      | Ack list_id ->
+        ack_digest_list srv ~list_id;
+        Acked
+    with
+    | Rpc_error msg | P4.Switch.Switch_error msg -> Error_reply msg
+end

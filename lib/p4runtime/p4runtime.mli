@@ -59,9 +59,14 @@ val write_exn : server -> update list -> unit
 val read_table : server -> table_id:int -> table_entry list
 (** Read back a table's entries in wire form. *)
 
+val multicast_groups : server -> (int64 * int64 list) list
+(** Read back every programmed multicast group, sorted by group id. *)
+
 val stream_digests : server -> digest_list list
 (** Drain pending digests as DigestList messages; consecutive digests
-    of the same type are batched.  Messages remain retransmittable
+    of the same type are batched.  Lists from earlier calls that were
+    never acknowledged are redelivered first (oldest first) — consumers
+    must deduplicate by [list_id].  Messages remain retransmittable
     until acknowledged. *)
 
 val ack_digest_list : server -> list_id:int -> unit
@@ -85,3 +90,37 @@ val insert : table_entry -> update
 val modify : table_entry -> update
 val delete : table_entry -> update
 val set_multicast : group:int64 -> ports:int64 list -> update
+
+(** {1 Wire codec}
+
+    Serialized message shapes for the five exchanges the controller
+    performs, so a byte-oriented transport ({!Transport.wire}) can
+    round-trip them.  JSON keeps the repo dependency-free; the real
+    service's protobufs carry the same payloads. *)
+module Wire : sig
+  type request =
+    | Write of update list
+    | Read_table of int
+    | Read_groups
+    | Poll_digests
+    | Ack of int
+
+  type response =
+    | Write_reply of (unit, string) result
+    | Table of table_entry list
+    | Groups of (int64 * int64 list) list
+    | Digests of digest_list list
+    | Acked
+    | Error_reply of string
+        (** a server-side failure outside [write]'s result channel
+            (e.g. an unknown table id on read) *)
+
+  val encode_request : request -> string
+  val decode_request : string -> (request, string) result
+  val encode_response : response -> string
+  val decode_response : string -> (response, string) result
+
+  val dispatch : server -> request -> response
+  (** Server side: execute one request.  Server exceptions become
+      [Error_reply]; a wire peer never sees an OCaml exception. *)
+end

@@ -25,10 +25,17 @@ type deployment = {
   controller : Nerpa.Controller.t;
 }
 
-val deploy : ?switch_name:string -> ?max_iterations:int -> unit -> deployment
+val deploy :
+  ?switch_name:string ->
+  ?max_iterations:int ->
+  ?mgmt_link_of:(Ovsdb.Db.monitor -> Nerpa.Links.mgmt_link) ->
+  ?p4_link_of:(string -> P4runtime.server -> Nerpa.Links.p4_link) ->
+  unit ->
+  deployment
 (** A ready-to-run single-switch deployment with MAC-mobility digest
-    replacement configured.  [max_iterations] is passed through to
-    {!Nerpa.Controller.create} (bounds the sync feedback loop). *)
+    replacement configured.  [max_iterations], [mgmt_link_of] and
+    [p4_link_of] are passed through to {!Nerpa.Controller.create}
+    (feedback-loop bound and plane-transport choice). *)
 
 val add_port :
   deployment ->

@@ -1,0 +1,177 @@
+type error = Closed | Transient of string
+
+let error_to_string = function
+  | Closed -> "link closed"
+  | Transient msg -> Printf.sprintf "transient: %s" msg
+
+type status = Connected | Disconnected
+
+type ('req, 'resp) t = {
+  send : 'req -> ('resp, error) result;
+  status : unit -> status;
+  events : unit -> status list;
+}
+
+(* Process-wide transport metrics; per-link state lives in closures. *)
+let m_sends = Obs.Counter.create "transport.sends"
+let m_errors = Obs.Counter.create "transport.errors"
+let m_wire_msgs = Obs.Counter.create "transport.wire.msgs"
+let m_wire_bytes = Obs.Counter.create "transport.wire.bytes"
+let m_drops = Obs.Counter.create "transport.faults.drops"
+let m_duplicates = Obs.Counter.create "transport.faults.duplicates"
+let m_delays = Obs.Counter.create "transport.faults.delays"
+let m_disconnects = Obs.Counter.create "transport.faults.disconnects"
+
+let send t req =
+  Obs.Counter.incr m_sends;
+  let r = t.send req in
+  (match r with Error _ -> Obs.Counter.incr m_errors | Ok _ -> ());
+  r
+
+let status t = t.status ()
+let events t = t.events ()
+
+let direct handle =
+  {
+    send = (fun req -> Ok (handle req));
+    status = (fun () -> Connected);
+    events = (fun () -> []);
+  }
+
+let wire ~encode_req ~decode_req ~encode_resp ~decode_resp handle =
+  let roundtrip encode decode v =
+    let bytes = encode v in
+    Obs.Counter.incr m_wire_msgs;
+    Obs.Counter.add m_wire_bytes (String.length bytes);
+    decode bytes
+  in
+  let send req =
+    match roundtrip encode_req decode_req req with
+    | Error msg -> Error (Transient (Printf.sprintf "encode request: %s" msg))
+    | Ok req -> (
+      match roundtrip encode_resp decode_resp (handle req) with
+      | Error msg -> Error (Transient (Printf.sprintf "decode response: %s" msg))
+      | Ok resp -> Ok resp)
+  in
+  { send; status = (fun () -> Connected); events = (fun () -> []) }
+
+type faults = {
+  drop : float;
+  duplicate : float;
+  delay : float;
+  disconnect : float;
+}
+
+let no_faults = { drop = 0.; duplicate = 0.; delay = 0.; disconnect = 0. }
+
+let default_faults =
+  { drop = 0.10; duplicate = 0.08; delay = 0.08; disconnect = 0.04 }
+
+type ctl = {
+  mutable enabled : bool;
+  disconnect_now : down_for:int -> unit;
+  heal_now : unit -> unit;
+}
+
+let set_faults_enabled ctl b = ctl.enabled <- b
+let force_disconnect ctl ?(down_for = 3) () = ctl.disconnect_now ~down_for
+let heal ctl = ctl.heal_now ()
+
+let faulty ~seed ?(faults = default_faults) inner =
+  let rng = Random.State.make [| seed |] in
+  (* Delayed requests: each carries a countdown of future send attempts
+     before it is replayed into the inner link. *)
+  let delayed : (int ref * (unit -> unit)) list ref = ref [] in
+  let down_remaining = ref 0 in
+  let pending_events = ref [] in
+  let queue_event e = pending_events := e :: !pending_events in
+  let go_down ~down_for =
+    if !down_remaining = 0 then queue_event Disconnected;
+    down_remaining := max !down_remaining down_for
+  in
+  let tick_down () =
+    (* Every send attempt moves the reconnect timer, even while down —
+       otherwise a driver that keeps polling a dead switch would never
+       see it come back. *)
+    if !down_remaining > 0 then begin
+      decr down_remaining;
+      if !down_remaining = 0 then queue_event Connected
+    end
+  in
+  let flush_delayed ~ticked =
+    let still = ref [] in
+    List.iter
+      (fun (count, replay) ->
+        if ticked then decr count;
+        if !count <= 0 then replay () else still := (count, replay) :: !still)
+      !delayed;
+    delayed := List.rev !still
+  in
+  let ctl_ref = ref None in
+  let send req =
+    let was_down = !down_remaining > 0 in
+    tick_down ();
+    flush_delayed ~ticked:true;
+    if was_down then Error Closed
+    else begin
+      let enabled =
+        match !ctl_ref with Some c -> c.enabled | None -> true
+      in
+      let roll p = enabled && p > 0. && Random.State.float rng 1.0 < p in
+      if roll faults.drop then begin
+        Obs.Counter.incr m_drops;
+        Error (Transient "injected drop")
+      end
+      else if roll faults.duplicate then begin
+        Obs.Counter.incr m_duplicates;
+        let first = inner.send req in
+        ignore (inner.send req);
+        first
+      end
+      else if roll faults.delay then begin
+        Obs.Counter.incr m_delays;
+        let countdown = ref (1 + Random.State.int rng 3) in
+        delayed :=
+          !delayed @ [ (countdown, fun () -> ignore (inner.send req)) ];
+        Error (Transient "injected delay")
+      end
+      else if roll faults.disconnect then begin
+        Obs.Counter.incr m_disconnects;
+        go_down ~down_for:(2 + Random.State.int rng 3);
+        Error Closed
+      end
+      else inner.send req
+    end
+  in
+  let ctl =
+    {
+      enabled = true;
+      disconnect_now =
+        (fun ~down_for ->
+          Obs.Counter.incr m_disconnects;
+          go_down ~down_for);
+      heal_now =
+        (fun () ->
+          List.iter (fun (_, replay) -> replay ()) !delayed;
+          delayed := [];
+          (match !ctl_ref with Some c -> c.enabled <- false | None -> ());
+          if !down_remaining > 0 then begin
+            down_remaining := 0;
+            queue_event Connected
+          end);
+    }
+  in
+  ctl_ref := Some ctl;
+  let t =
+    {
+      send;
+      status =
+        (fun () -> if !down_remaining > 0 then Disconnected else Connected);
+      events =
+        (fun () ->
+          let es = List.rev !pending_events in
+          pending_events := [];
+          es);
+    }
+  in
+  (t, ctl)

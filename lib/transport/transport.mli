@@ -1,0 +1,117 @@
+(** Typed, fallible message links between the Nerpa planes.
+
+    Every plane boundary in the stack — management (OVSDB monitor),
+    control-to-data (P4Runtime writes, digest streams) — is modelled as a
+    request/response link that can fail.  A link is a [('req, 'resp) t]:
+    [send] either returns the peer's response or an {!error}, and
+    [events] reports connectivity edges ({!status} transitions) observed
+    since the last drain.
+
+    Three constructors cover the repro's needs:
+
+    - {!direct}: in-process closure call.  Infallible and zero-copy; the
+      fast path used by default deployments and the benchmarks.
+    - {!wire}: round-trips every request and response through serialized
+      bytes, exactly as an out-of-process channel would.  Catches codec
+      asymmetries that the direct link hides.
+    - {!faulty}: wraps another link and injects deterministic, seeded
+      faults — drops, duplicates, delays, disconnects — for recovery
+      testing.  Returns a {!ctl} handle so tests can force a disconnect
+      or heal the link.
+
+    Metric families (see README contract): [transport.sends],
+    [transport.errors], [transport.wire.msgs], [transport.wire.bytes],
+    [transport.faults.drops], [transport.faults.duplicates],
+    [transport.faults.delays], [transport.faults.disconnects]. *)
+
+type error =
+  | Closed  (** the link is down; sends fail until it reconnects *)
+  | Transient of string
+      (** the request was lost or rejected in transit; retrying may
+          succeed *)
+
+val error_to_string : error -> string
+
+type status = Connected | Disconnected
+
+(** A request/response link.  ['req] flows toward the peer, ['resp]
+    back.  Implementations are synchronous: [send] blocks until the
+    response (or failure) is known. *)
+type ('req, 'resp) t
+
+val send : ('req, 'resp) t -> 'req -> ('resp, error) result
+(** [send link req] delivers [req] and returns the peer's response, or
+    an {!error} if the link is down or the message was lost. *)
+
+val status : ('req, 'resp) t -> status
+(** Current connectivity of the link. *)
+
+val events : ('req, 'resp) t -> status list
+(** Connectivity edges since the last call, oldest first.  Draining is
+    destructive: a second call returns [[]] until new transitions
+    occur.  Direct and wire links never transition and always return
+    [[]]. *)
+
+val direct : ('req -> 'resp) -> ('req, 'resp) t
+(** [direct handle] is an always-connected in-process link: [send]
+    calls [handle] and wraps the result in [Ok].  Exceptions raised by
+    [handle] propagate to the caller (they are bugs, not link
+    failures). *)
+
+val wire :
+  encode_req:('req -> string) ->
+  decode_req:(string -> ('req, string) result) ->
+  encode_resp:('resp -> string) ->
+  decode_resp:(string -> ('resp, string) result) ->
+  ('req -> 'resp) ->
+  ('req, 'resp) t
+(** [wire ~encode_req ~decode_req ~encode_resp ~decode_resp handle]
+    serializes each request to bytes, decodes it on the "far side",
+    calls [handle], and round-trips the response the same way.  A codec
+    failure in either direction is a [Transient] error carrying the
+    decoder's message.  Counts [transport.wire.msgs] and
+    [transport.wire.bytes]. *)
+
+(** Which fault kinds a {!faulty} link may inject.  Probabilities are
+    per-send and evaluated in the order drop, duplicate, delay,
+    disconnect; at most one fault fires per send. *)
+type faults = {
+  drop : float;  (** request lost; the send returns [Transient] *)
+  duplicate : float;
+      (** request delivered twice; the first response is returned *)
+  delay : float;
+      (** request is held back and replayed after 1–3 later sends; the
+          send returns [Transient] (the caller sees a loss), and the
+          eventual late response is discarded *)
+  disconnect : float;
+      (** link goes down for 2–4 send attempts; sends while down return
+          [Closed] and count toward the reconnect timer *)
+}
+
+val no_faults : faults
+val default_faults : faults
+(** [no_faults] is all zeros. [default_faults] is a moderately lossy
+    profile suitable for convergence tests. *)
+
+(** Handle for steering a {!faulty} link from a test harness. *)
+type ctl
+
+val set_faults_enabled : ctl -> bool -> unit
+(** Enable or disable random fault injection (forced disconnects still
+    work while disabled). *)
+
+val force_disconnect : ctl -> ?down_for:int -> unit -> unit
+(** Take the link down now, for [down_for] (default 3) send attempts. *)
+
+val heal : ctl -> unit
+(** Deliver any still-pending delayed requests to the inner link (their
+    responses are discarded), drop scheduled faults, disable further
+    injection, and reconnect.  After [heal] the link behaves like its
+    inner link. *)
+
+val faulty :
+  seed:int -> ?faults:faults -> ('req, 'resp) t -> ('req, 'resp) t * ctl
+(** [faulty ~seed inner] wraps [inner] with deterministic fault
+    injection driven by a PRNG seeded with [seed]: equal seeds yield
+    identical fault schedules for identical send sequences.  Faults
+    default to {!default_faults}. *)

@@ -16,6 +16,7 @@ let () =
       ("p4", Test_p4.tests);
       ("p4-props", Test_p4_props.suite);
       ("nerpa", Test_nerpa.tests);
+      ("transport", Test_transport.tests);
       ("l3router", Test_l3router.tests);
       ("baseline", Test_baseline.tests);
       ("equivalence", Test_equivalence.tests);

@@ -883,7 +883,185 @@ let obs_overhead () =
   pass
 
 (* ------------------------------------------------------------------ *)
-(* JSON report: machine-readable numbers for BENCH_PR2.json            *)
+(* EXP-PARALLEL: PR 4 — domain-pool scaling                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A wide program whose first dependency layer holds five independent
+   derived relations, so a parallel commit has real fan-out (the
+   recursive reach program has a single recursive stratum and thus no
+   layer parallelism — it is included as the honest worst case). *)
+let wide_program =
+  Parser.parse_program_exn
+    {|
+    input relation E(x: int, y: int)
+    output relation J2(x: int, z: int)
+    J2(x, z) :- E(x, y), E(y, z).
+    output relation J3(x: int, w: int)
+    J3(x, w) :- E(x, y), E(y, z), E(z, w).
+    output relation Deg(x: int, n: int)
+    Deg(x, n) :- E(x, y), var n = count(y) group_by (x).
+    output relation Rev(y: int, x: int)
+    Rev(y, x) :- E(x, y).
+    output relation Sym(x: int, y: int)
+    Sym(x, y) :- E(x, y), E(y, x).
+    |}
+
+(* Bulk-load [rows] edges, then time [ops] insert/delete edge pairs. *)
+let bench_wide_churn ?pool ~rows ~ops () =
+  let engine = Engine.create ?pool wide_program in
+  let txn = Engine.transaction engine in
+  for i = 0 to rows - 1 do
+    Engine.insert txn "E"
+      (Row.intern [| Value.of_int i; Value.of_int (i * 7 mod rows) |])
+  done;
+  ignore (Engine.commit txn);
+  let t0 = now () in
+  for i = 0 to ops - 1 do
+    let row = Row.intern [| Value.of_int (rows + i); Value.of_int (i mod 997) |] in
+    ignore (Engine.apply engine [ ("E", row, true) ]);
+    ignore (Engine.apply engine [ ("E", row, false) ])
+  done;
+  (now () -. t0) *. 1e3
+
+(* The commit_reach_5000 churn with an optional pool. *)
+let bench_reach_churn ?pool ~nodes ~ops () =
+  let ints l = Row.of_list (List.map Value.of_int l) in
+  let backbone = nodes / 10 in
+  let edges =
+    Netgen.chain backbone
+    @ List.concat
+        (List.init (nodes - backbone) (fun i -> [ (i mod backbone, backbone + i) ]))
+  in
+  let engine = Engine.create ?pool reach_program in
+  let txn = Engine.transaction engine in
+  List.iter (fun (a, b) -> Engine.insert txn "Edge" (ints [ a; b ])) edges;
+  Engine.insert txn "GivenLabel"
+    (Row.intern [| Value.of_int 0; Value.of_string "g" |]);
+  ignore (Engine.commit txn);
+  let r = Random.State.make [| 2025 |] in
+  let t0 = now () in
+  for _ = 1 to ops do
+    let leaf = backbone + Random.State.int r (nodes - backbone) in
+    let b = Random.State.int r backbone in
+    ignore (Engine.apply engine [ ("Edge", ints [ b; leaf ], true) ]);
+    ignore (Engine.apply engine [ ("Edge", ints [ b; leaf ], false) ])
+  done;
+  (now () -. t0) *. 1e3
+
+(* A 16-switch fleet driven through port config and digest floods: the
+   parallel driver's per-switch polls, write batches and broadcasts are
+   the work being scaled here. *)
+let bench_fleet_sync ?pool ~switches:nsw ~ports () =
+  let db = Ovsdb.Db.create Snvs.schema in
+  let sws =
+    List.init nsw (fun i ->
+        let name = Printf.sprintf "sw%02d" i in
+        (name, P4.Switch.create ~name Snvs.p4))
+  in
+  let controller =
+    Nerpa.Controller.create
+      ~digest_replace:[ ("learned_mac", [ "vlan"; "mac" ]) ]
+      ?pool ~db ~p4:Snvs.p4 ~rules:Snvs.rules ~switches:sws ()
+  in
+  let t0 = now () in
+  List.iter
+    (fun (p : Netgen.port_plan) ->
+      ignore
+        (Ovsdb.Db.insert_exn db "Port"
+           [ ("name", Ovsdb.Datum.string p.pp_name);
+             ("port", Ovsdb.Datum.integer (Int64.of_int p.pp_port));
+             ("mode", Ovsdb.Datum.string p.pp_mode);
+             ("tag", Ovsdb.Datum.integer (Int64.of_int p.pp_tag));
+             ( "trunks",
+               Ovsdb.Datum.set
+                 (List.map
+                    (fun v -> Ovsdb.Atom.Integer (Int64.of_int v))
+                    p.pp_trunks) ) ]);
+      ignore (Nerpa.Controller.sync controller))
+    (Netgen.ports ~vlans:16 ~trunk_every:0 ~n:ports ());
+  (* MAC learning digests from half the fleet, each triggering a
+     broadcast write to every switch. *)
+  List.iteri
+    (fun i (_, sw) ->
+      if i < nsw / 2 then begin
+        ignore
+          (P4.Switch.process sw ~in_port:1
+             (P4.Stdhdrs.ethernet_frame ~dst:0xFFFFFFFFFFFFL
+                ~src:(Int64.of_int (0xA0000 + i))
+                ~ethertype:0x1234L ~payload:"x"));
+        ignore (Nerpa.Controller.sync controller)
+      end)
+    sws;
+  (now () -. t0) *. 1e3
+
+let parallel_domain_counts = [ 1; 2; 4; 8 ]
+
+(* One row per domain count (domains = pool workers + the submitting
+   domain, so domains=1 means pool size 0, the sequential fallback). *)
+let measure_parallel () =
+  let with_size size f =
+    if size = 0 then f None
+    else begin
+      let pool = Pool.create ~size () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f (Some pool))
+    end
+  in
+  List.map
+    (fun domains ->
+      let size = domains - 1 in
+      let wide =
+        with_size size (fun pool -> bench_wide_churn ?pool ~rows:4000 ~ops:400 ())
+      in
+      let reach =
+        with_size size (fun pool ->
+            bench_reach_churn ?pool ~nodes:5000 ~ops:400 ())
+      in
+      let fleet =
+        with_size size (fun pool ->
+            bench_fleet_sync ?pool ~switches:16 ~ports:64 ())
+      in
+      (domains, wide, reach, fleet))
+    parallel_domain_counts
+
+let exp_parallel () =
+  header "EXP-PARALLEL  PR 4 — domain-pool scaling (engine layers + driver)"
+    "(scaling experiment recorded in BENCH_PR4.json; results are \
+     bit-identical across all domain counts)";
+  Printf.printf "host: %d core(s) recommended by the runtime\n\n"
+    (Domain.recommended_domain_count ());
+  let results = measure_parallel () in
+  let _, w1, r1, f1 = List.hd results in
+  Printf.printf "%8s %13s %8s %13s %8s %13s %8s\n" "domains" "wide(ms)" "x"
+    "reach(ms)" "x" "fleet16(ms)" "x";
+  List.iter
+    (fun (d, w, r, f) ->
+      Printf.printf "%8d %13.2f %7.2fx %13.2f %7.2fx %13.2f %7.2fx\n" d w
+        (w1 /. w) r (r1 /. r) f (f1 /. f))
+    results;
+  Printf.printf
+    "\nwide: five independent layer-0 relations (real fan-out); reach: one \
+     recursive\nstratum (no layer parallelism — honest worst case); fleet16: \
+     the parallel\nmulti-switch driver.  Speedups track the host's core \
+     count; on a single-core\nhost the parallel paths can only verify \
+     determinism and bound the overhead.\n"
+
+let parallel_json () : Ovsdb.Json.t =
+  let results = measure_parallel () in
+  Ovsdb.Json.Obj
+    [ ("cores", Ovsdb.Json.Int (Int64.of_int (Domain.recommended_domain_count ())));
+      ( "runs",
+        Ovsdb.Json.Obj
+          (List.map
+             (fun (d, w, r, f) ->
+               ( Printf.sprintf "domains_%d" d,
+                 Ovsdb.Json.Obj
+                   [ ("wide_churn_ms", Ovsdb.Json.Float w);
+                     ("reach_churn_ms", Ovsdb.Json.Float r);
+                     ("fleet16_sync_ms", Ovsdb.Json.Float f) ] ))
+             results) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON report: machine-readable numbers for BENCH_PR4.json            *)
 (* ------------------------------------------------------------------ *)
 
 (* Fixed workloads whose dl.commit.us distributions back the PR 2
@@ -995,7 +1173,8 @@ let json_experiments () : (string * Ovsdb.Json.t) list =
   [ ("commit_reach_5000", bench_commit_reach ~nodes:5000 ~ops:400 ());
     ("commit_join_10000", bench_commit_join ~rows:10_000 ~ops:500 ());
     ("ports_200", bench_ports ~n:200 ());
-    ("smoke_ports_40", bench_ports ~n:40 ()) ]
+    ("smoke_ports_40", bench_ports ~n:40 ());
+    ("parallel", parallel_json ()) ]
 
 (* The regression gate compares the smoke run's dl.commit p50 against
    this recorded baseline.  The relative bound catches real slowdowns;
@@ -1024,7 +1203,7 @@ let json_report path =
   let exps = json_experiments () in
   let doc =
     Ovsdb.Json.Obj
-      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr2/1");
+      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr4/1");
         ("experiments", Ovsdb.Json.Obj exps);
         ("gate", gate_json exps) ]
   in
@@ -1083,8 +1262,33 @@ let exp_transport ?(n = 200) () =
         ~p4_link_of:(fun _ srv -> Nerpa.Links.wire_p4 srv)
         ())
 
+(* The smoke gate compares against the NEWEST recorded baseline: the
+   BENCH_PR<N>.json with the highest N in the given directory, so each
+   PR's recorded numbers supersede the previous gate without editing
+   the dune rule. *)
+let newest_baseline dir =
+  let prefix = "BENCH_PR" and suffix = ".json" in
+  (try Array.to_list (Sys.readdir dir) with Sys_error _ -> [])
+  |> List.filter_map (fun f ->
+         if
+           String.length f > String.length prefix + String.length suffix
+           && String.starts_with ~prefix f
+           && Filename.check_suffix f suffix
+         then
+           let digits =
+             String.sub f (String.length prefix)
+               (String.length f - String.length prefix - String.length suffix)
+           in
+           Option.map (fun n -> (n, Filename.concat dir f))
+             (int_of_string_opt digits)
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+  |> function
+  | (_, path) :: _ -> Some path
+  | [] -> None
+
 (* Compare the freshly measured smoke dl.commit p50 against the gate
-   recorded in BENCH_PR2.json; a regression beyond
+   recorded in the baseline file; a regression beyond
    p50 * max_regression + abs_slack fails the run (and hence
    `dune runtest`, which invokes the smoke alias). *)
 let smoke_gate (baseline_path : string) (measured_p50 : float) =
@@ -1155,6 +1359,7 @@ let experiments =
     ("ablation", fun () -> exp_ablation ());
     ("overhead", fun () -> ignore (obs_overhead ()));
     ("transport", fun () -> exp_transport ());
+    ("parallel", fun () -> exp_parallel ());
     ("micro", fun () -> micro ());
     ("smoke", fun () -> smoke ());
   ]
@@ -1173,10 +1378,18 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | "--json" :: rest ->
-    let path = match rest with p :: _ -> p | [] -> "BENCH_PR2.json" in
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR4.json" in
     json_report path
   | "smoke" :: "--baseline" :: path :: _ ->
     run_experiment "smoke" (fun () -> smoke ~baseline:path ())
+  | "smoke" :: "--baseline-dir" :: dir :: _ -> (
+    match newest_baseline dir with
+    | Some path ->
+      Printf.printf "smoke gate baseline: %s\n" path;
+      run_experiment "smoke" (fun () -> smoke ~baseline:path ())
+    | None ->
+      Printf.printf "smoke gate: no BENCH_PR*.json under %s (ungated run)\n" dir;
+      run_experiment "smoke" (fun () -> smoke ()))
   | [] ->
     (* smoke is the runtest subset of ports+overhead; skip it when
        running everything *)

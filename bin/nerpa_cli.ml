@@ -314,8 +314,20 @@ let fs_converge (d : Snvs.deployment) ctls =
   fs_dump d.switch
 
 let cmd_faultsim nseeds =
+  (* NERPA_POOL_SIZE > 0 runs every deployment on the shared domain
+     pool (the CI matrix leg): the convergence check then also proves
+     the parallel driver byte-identical to the sequential one. *)
+  let pool =
+    match Sys.getenv_opt "NERPA_POOL_SIZE" with
+    | Some s
+      when (match int_of_string_opt (String.trim s) with
+           | Some n -> n > 0
+           | None -> false) ->
+      Some (Pool.default ())
+    | _ -> None
+  in
   let baseline =
-    let d = Snvs.deploy () in
+    let d = Snvs.deploy ?pool () in
     fs_workload d ~mid:(fun () -> ());
     fs_converge d []
   in
@@ -327,7 +339,7 @@ let cmd_faultsim nseeds =
     Obs.reset ();
     let ctl_ref = ref None in
     let d =
-      Snvs.deploy
+      Snvs.deploy ?pool
         ~p4_link_of:(fun _ srv ->
           let link, ctl = Transport.faulty ~seed (Nerpa.Links.wire_p4 srv) in
           ctl_ref := Some ctl;

@@ -12,7 +12,14 @@
    yields a fresh id.  That is sound because ids only need to be
    canonical among *live* rows: any structure keyed by id also holds
    the row itself (keeping it alive), and the weak table guarantees at
-   most one live row per value vector at any time. *)
+   most one live row per value vector at any time.
+
+   Domain safety: the table is sharded by hash into [shard_count]
+   independent weak sets, each with its own mutex, and ids come from an
+   atomic counter.  Locking is gated on a sticky flag
+   ([enable_domain_safety]) set by whoever creates a pool with workers,
+   so purely sequential runs pay one atomic load per intern and no
+   mutex traffic — keeping the pool-size-0 path at PR 2 speed. *)
 
 type t = { values : Value.t array; hash : int; mutable id : int }
 
@@ -33,21 +40,36 @@ module WeakSet = Weak.Make (struct
   let hash r = r.hash
 end)
 
-let table = WeakSet.create 4096
-let next_id = ref 0
+let shard_count = 64 (* power of two: shard = hash land (shard_count-1) *)
+let tables = Array.init shard_count (fun _ -> WeakSet.create 256)
+let locks = Array.init shard_count (fun _ -> Mutex.create ())
+let next_id = Atomic.make 0
+let locking = Atomic.make false
+let enable_domain_safety () = Atomic.set locking true
 
 (* The probe record doubles as the interned row on a miss, so interning
    allocates exactly one record.  [id] is set before the row is
    published to the table, and never mutated afterwards. *)
-let intern (values : Value.t array) : t =
-  let probe = { values; hash = hash_values values; id = -1 } in
-  match WeakSet.find_opt table probe with
+let find_or_add tbl probe =
+  match WeakSet.find_opt tbl probe with
   | Some r -> r
   | None ->
-    probe.id <- !next_id;
-    incr next_id;
-    WeakSet.add table probe;
+    probe.id <- Atomic.fetch_and_add next_id 1;
+    WeakSet.add tbl probe;
     probe
+
+let intern (values : Value.t array) : t =
+  let probe = { values; hash = hash_values values; id = -1 } in
+  let s = probe.hash land (shard_count - 1) in
+  let tbl = tables.(s) in
+  if Atomic.get locking then begin
+    let m = locks.(s) in
+    Mutex.lock m;
+    let r = try find_or_add tbl probe with e -> Mutex.unlock m; raise e in
+    Mutex.unlock m;
+    r
+  end
+  else find_or_add tbl probe
 
 let of_list vs = intern (Array.of_list vs)
 

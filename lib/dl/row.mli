@@ -12,6 +12,13 @@ val intern : Value.t array -> t
 (** Canonical row for this value vector.  O(arity) on a miss, a hash
     probe on a hit.  Does not copy the array. *)
 
+val enable_domain_safety : unit -> unit
+(** Switch interning to its locked mode (mutex-sharded buckets).  Must
+    be called before rows are interned from more than one domain; the
+    switch is sticky for the life of the process.  Pool owners call
+    this whenever they spawn workers; sequential runs never pay for
+    the locks. *)
+
 val of_list : Value.t list -> t
 
 val values : t -> Value.t array

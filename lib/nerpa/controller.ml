@@ -80,6 +80,11 @@ type t = {
   input_rel_of_table : (string * Ast.rel_decl) list; (* OVSDB table -> decl *)
   digest_rel_of_name : (string * Ast.rel_decl) list; (* digest name -> decl *)
   sws : sw list;
+  (* When a pool with workers is attached, the driver services the
+     switch links as parallel tasks — polls, per-switch command
+     batches, reconciliations — while the step core stays
+     single-threaded on the calling domain. *)
+  pool : Pool.t option;
   (* digest relation -> key column indices for last-writer-wins
      replacement (e.g. MAC mobility: a newly learned (vlan, mac)
      retracts the previous port binding) *)
@@ -87,9 +92,11 @@ type t = {
   max_iterations : int;
   retry_limit : int;
   (* per-controller counts; [sync]'s return value and [stats] must not
-     depend on whether Obs collection is enabled *)
+     depend on whether Obs collection is enabled.  [nentries] is
+     atomic: write batches for different switches execute on pool
+     domains concurrently. *)
   mutable ntxns : int;
-  mutable nentries : int;
+  nentries : int Atomic.t;
   mutable ndigests : int;
   mutable ngroups : int;
   (* deltas committed during the current sync iteration, for the
@@ -116,6 +123,13 @@ let find_sw (t : t) name : sw =
   match List.find_opt (fun s -> String.equal s.sw_name name) t.sws with
   | Some s -> s
   | None -> error "unknown switch %s" name
+
+(* Run the per-switch tasks on the pool when one is attached; inline
+   otherwise.  Results come back positionally either way. *)
+let pool_map (t : t) (tasks : (unit -> 'a) array) : 'a array =
+  match t.pool with
+  | Some pool -> Pool.run pool tasks
+  | None -> Array.map (fun f -> f ()) tasks
 
 (* Accumulate commit deltas per relation as Z-set unions, instead of
    concatenating per-commit delta lists (which grew quadratically over
@@ -324,7 +338,7 @@ let write_with_retry (t : t) (sw : sw) (updates : P4runtime.update list) :
     match Transport.send sw.sw_link (P4runtime.Wire.Write updates) with
     | Ok (P4runtime.Wire.Write_reply (Ok ())) ->
       Obs.Counter.add m_entries nentries;
-      t.nentries <- t.nentries + nentries
+      ignore (Atomic.fetch_and_add t.nentries nentries)
     | Ok (P4runtime.Wire.Write_reply (Error msg))
     | Ok (P4runtime.Wire.Error_reply msg) ->
       if n = 0 then error "switch %s rejected updates: %s" sw.sw_name msg
@@ -454,7 +468,41 @@ let exec_command (t : t) (cmd : Step.command) : unit =
       ())
   | Step.Reconcile name -> reconcile_sw t (find_sw t name)
 
-let exec_commands t cmds = List.iter (exec_command t) cmds
+(* Execute a step's commands.  Every command targets one switch, and
+   commands for different switches are independent (separate links,
+   separate switch state; shared controller state is atomic or
+   read-only on this path) — so they fan out per switch on the pool,
+   preserving each switch's own command order.  A task failure
+   surfaces as the lowest-switch-index exception, matching what serial
+   execution would raise first. *)
+let exec_commands t cmds =
+  match cmds with
+  | [] -> ()
+  | [ cmd ] -> exec_command t cmd
+  | cmds ->
+    let sw_of = function
+      | Step.Write (n, _) | Step.Ack (n, _) | Step.Reconcile n -> n
+    in
+    (* Group by switch, keeping first-appearance switch order and
+       per-switch command order. *)
+    let order = ref [] and by_sw = Hashtbl.create 8 in
+    List.iter
+      (fun cmd ->
+        let name = sw_of cmd in
+        match Hashtbl.find_opt by_sw name with
+        | Some r -> r := cmd :: !r
+        | None ->
+          order := name :: !order;
+          Hashtbl.add by_sw name (ref [ cmd ]))
+      cmds;
+    let tasks =
+      List.rev !order
+      |> List.map (fun name ->
+             let cmds = List.rev !(Hashtbl.find by_sw name) in
+             fun () -> List.iter (exec_command t) cmds)
+      |> Array.of_list
+    in
+    ignore (pool_map t tasks)
 
 (* ---------------- construction ---------------- *)
 
@@ -464,7 +512,7 @@ let exec_commands t cmds = List.iter (exec_command t) cmds
     [max_iterations] bounds the digest feedback loop in {!sync}. *)
 let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
     ?(mgmt_link_of = Links.direct_mgmt)
-    ?(p4_link_of = fun _name srv -> Links.direct_p4 srv)
+    ?(p4_link_of = fun _name srv -> Links.direct_p4 srv) ?pool
     ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
     ~(rules : string) ~(switches : (string * P4.Switch.t) list) () : t =
   if max_iterations <= 0 then
@@ -479,7 +527,7 @@ let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
     | Error msg -> error "rules do not parse: %s" msg
   in
   let program = Codegen.assemble generated user in
-  let engine = Engine.create program in
+  let engine = Engine.create ?pool program in
   let monitor =
     Ovsdb.Db.add_monitor db
       (List.map (fun (t : Ovsdb.Schema.table) -> (t.tname, None)) schema.tables)
@@ -537,11 +585,12 @@ let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
             sw_seen = IntSet.empty;
           })
         switches;
+    pool;
     digest_replace;
     max_iterations;
     retry_limit;
     ntxns = 0;
-    nentries = 0;
+    nentries = Atomic.make 0;
     ndigests = 0;
     ngroups = 0;
     iter_deltas = [];
@@ -603,12 +652,23 @@ let sync (t : t) : int =
     List.iter
       (fun batch -> exec_commands t (step t (Step.Monitor_batch batch)))
       batches;
-    List.iter
-      (fun sw ->
-        (* Poll every switch, even one currently down: on an in-process
-           faulty link each attempt advances the reconnect clock, and a
-           down link just answers [Closed]. *)
-        match Transport.send sw.sw_link P4runtime.Wire.Poll_digests with
+    (* Poll every switch, even one currently down: on an in-process
+       faulty link each attempt advances the reconnect clock, and a
+       down link just answers [Closed].  The polls fan out on the pool
+       — one slow or dead link no longer stalls the fleet — and the
+       responses then feed the single-threaded step core in fixed
+       switch order. *)
+    let sws = Array.of_list t.sws in
+    let polls =
+      pool_map t
+        (Array.map
+           (fun sw () -> Transport.send sw.sw_link P4runtime.Wire.Poll_digests)
+           sws)
+    in
+    Array.iteri
+      (fun i result ->
+        let sw = sws.(i) in
+        match result with
         | Ok (P4runtime.Wire.Digests []) -> ()
         | Ok (P4runtime.Wire.Digests dls) ->
           exec_commands t (step t (Step.Digest_lists (sw.sw_name, dls)))
@@ -616,14 +676,20 @@ let sync (t : t) : int =
           error "switch %s: digest poll failed: %s" sw.sw_name msg
         | Ok _ -> error "switch %s: protocol mismatch on digest poll" sw.sw_name
         | Error _ -> () (* digests stay queued at the switch *))
-      t.sws;
+      polls;
     if t.ntxns > txns0 then loop (fuel - 1)
   in
   loop t.max_iterations;
   (* Edges raised by the last round of polls (e.g. a reconnect observed
      by the final digest poll) would otherwise wait for the next sync. *)
   drain_connectivity t;
-  List.iter (fun sw -> if sw.sw_up && sw.sw_dirty then reconcile_sw t sw) t.sws;
+  (* Dirty switches reconcile independently (each dumps its own state
+     over its own link and diffs against the read-only engine), so
+     they too fan out per switch. *)
+  let dirty =
+    Array.of_list (List.filter (fun sw -> sw.sw_up && sw.sw_dirty) t.sws)
+  in
+  ignore (pool_map t (Array.map (fun sw () -> reconcile_sw t sw) dirty));
   t.ntxns - before
 
 (** Force a full reconciliation of one switch (by name). *)
@@ -637,7 +703,7 @@ let engine (t : t) = t.engine
 let stats (t : t) =
   {
     txns = t.ntxns;
-    entries_written = t.nentries;
+    entries_written = Atomic.get t.nentries;
     digests_consumed = t.ndigests;
     groups_updated = t.ngroups;
   }

@@ -33,6 +33,7 @@ val create :
   ?retry_limit:int ->
   ?mgmt_link_of:(Ovsdb.Db.monitor -> Links.mgmt_link) ->
   ?p4_link_of:(string -> P4runtime.server -> Links.p4_link) ->
+  ?pool:Pool.t ->
   db:Ovsdb.Db.t ->
   p4:P4.Program.t ->
   rules:string ->
@@ -61,6 +62,13 @@ val create :
     {!Links.wire_mgmt} / {!Links.wire_p4} to round-trip every message
     through serialized bytes, or wrap either with {!Transport.faulty}
     for fault-injection runs.
+
+    [pool] (default: none, i.e. fully sequential) parallelises the
+    driver and the engine: per-switch polls, command batches and
+    reconciliations run as pool tasks (a slow or down link no longer
+    stalls the fleet), independent DL strata evaluate on the pool
+    during commits, and the step core stays single-threaded — results
+    are identical to a sequential run.
     @raise Controller_error on parse errors, schema mismatches, or a
     non-positive [max_iterations]/[retry_limit]. *)
 

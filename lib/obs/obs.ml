@@ -8,25 +8,31 @@
    - bounded memory: histograms keep exact count/sum/min/max but retain
      at most [hist_cap] recent samples for percentile queries, so
      million-iteration micro-benchmarks cannot grow the registry
-     without bound. *)
+     without bound;
+   - domain-safe (since PR 4): counters and gauges are atomics,
+     histogram recording and percentile queries take a per-histogram
+     mutex, and the registry table is guarded by a global mutex.  The
+     disabled cost is still a single (atomic) load and branch per
+     instrumentation point. *)
 
-let on = ref true
-let set_enabled b = on := b
-let enabled () = !on
+let on = Atomic.make true
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
 let now () = Unix.gettimeofday ()
 
 (* ------------------------------------------------------------------ *)
 (* Metric payloads                                                     *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { cname : string; mutable count : int }
-type gauge = { gname : string; mutable value : float }
+type counter = { cname : string; count : int Atomic.t }
+type gauge = { gname : string; value : float Atomic.t }
 
 let hist_cap = 16384
 
 type hist = {
   hname : string;
   hunit : string;
+  hmutex : Mutex.t;          (* guards every mutable field below *)
   mutable buf : float array; (* retained samples, grows up to hist_cap *)
   mutable len : int;         (* valid entries in [buf] *)
   mutable pos : int;         (* overwrite cursor once [len] = cap *)
@@ -39,6 +45,11 @@ type hist = {
 type metric = MCounter of counter | MGauge of gauge | MHist of hist
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let kind = function
   | MCounter _ -> "counter"
@@ -46,18 +57,19 @@ let kind = function
   | MHist _ -> "histogram"
 
 let register name wanted build extract =
-  match Hashtbl.find_opt registry name with
-  | Some m -> (
-    match extract m with
-    | Some payload -> payload
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Obs: %s is registered as a %s, not a %s" name
-           (kind m) wanted))
-  | None ->
-    let payload, m = build () in
-    Hashtbl.add registry name m;
-    payload
+  locked registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match extract m with
+        | Some payload -> payload
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Obs: %s is registered as a %s, not a %s" name
+               (kind m) wanted))
+      | None ->
+        let payload, m = build () in
+        Hashtbl.add registry name m;
+        payload)
 
 (* ------------------------------------------------------------------ *)
 (* Counters and gauges                                                 *)
@@ -69,13 +81,13 @@ module Counter = struct
   let create name =
     register name "counter"
       (fun () ->
-        let c = { cname = name; count = 0 } in
+        let c = { cname = name; count = Atomic.make 0 } in
         (c, MCounter c))
       (function MCounter c -> Some c | _ -> None)
 
-  let add c n = if !on then c.count <- c.count + n
-  let incr c = if !on then c.count <- c.count + 1
-  let value c = c.count
+  let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.count n)
+  let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c.count 1)
+  let value c = Atomic.get c.count
   let name c = c.cname
 end
 
@@ -85,12 +97,12 @@ module Gauge = struct
   let create name =
     register name "gauge"
       (fun () ->
-        let g = { gname = name; value = 0.0 } in
+        let g = { gname = name; value = Atomic.make 0.0 } in
         (g, MGauge g))
       (function MGauge g -> Some g | _ -> None)
 
-  let set g v = if !on then g.value <- v
-  let value g = g.value
+  let set g v = if Atomic.get on then Atomic.set g.value v
+  let value g = Atomic.get g.value
   let name g = g.gname
 end
 
@@ -105,15 +117,15 @@ module Histogram = struct
     register name "histogram"
       (fun () ->
         let h =
-          { hname = name; hunit = unit_; buf = Array.make 64 0.0; len = 0;
+          { hname = name; hunit = unit_; hmutex = Mutex.create ();
+            buf = Array.make 64 0.0; len = 0;
             pos = 0; hcount = 0; hsum = 0.0; hmin = infinity;
             hmax = neg_infinity }
         in
         (h, MHist h))
       (function MHist h -> Some h | _ -> None)
 
-  let observe h v =
-    if !on then begin
+  let observe_locked h v =
       h.hcount <- h.hcount + 1;
       h.hsum <- h.hsum +. v;
       if v < h.hmin then h.hmin <- v;
@@ -134,7 +146,9 @@ module Histogram = struct
         h.buf.(h.pos) <- v;
         h.pos <- (h.pos + 1) mod hist_cap
       end
-    end
+
+  let observe h v =
+    if Atomic.get on then locked h.hmutex (fun () -> observe_locked h v)
 
   let count h = h.hcount
   let sum h = h.hsum
@@ -156,15 +170,18 @@ module Histogram = struct
       sorted.(rank - 1)
 
   let percentile h p =
-    if h.len = 0 then 0.0
+    let a =
+      locked h.hmutex (fun () ->
+          if h.len = 0 then [||] else Array.sub h.buf 0 h.len)
+    in
+    if Array.length a = 0 then 0.0
     else begin
-      let a = Array.sub h.buf 0 h.len in
       Array.sort Float.compare a;
       percentile_of_sorted a p
     end
 
   let time h f =
-    if not !on then f ()
+    if not (Atomic.get on) then f ()
     else begin
       let t0 = now () in
       Fun.protect ~finally:(fun () -> observe h ((now () -. t0) *. 1e6)) f
@@ -172,7 +189,7 @@ module Histogram = struct
 end
 
 let span name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else Histogram.time (Histogram.create ~unit_:"us" name) f
 
 (* ------------------------------------------------------------------ *)
@@ -180,37 +197,43 @@ let span name f =
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | MCounter c -> c.count <- 0
-      | MGauge g -> g.value <- 0.0
-      | MHist h ->
-        h.len <- 0;
-        h.pos <- 0;
-        h.hcount <- 0;
-        h.hsum <- 0.0;
-        h.hmin <- infinity;
-        h.hmax <- neg_infinity)
-    registry
+  locked registry_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | MCounter c -> Atomic.set c.count 0
+          | MGauge g -> Atomic.set g.value 0.0
+          | MHist h ->
+            locked h.hmutex (fun () ->
+                h.len <- 0;
+                h.pos <- 0;
+                h.hcount <- 0;
+                h.hsum <- 0.0;
+                h.hmin <- infinity;
+                h.hmax <- neg_infinity))
+        registry)
+
+let find_metric name =
+  locked registry_mutex (fun () -> Hashtbl.find_opt registry name)
 
 let counter_value name =
-  match Hashtbl.find_opt registry name with
-  | Some (MCounter c) -> c.count
+  match find_metric name with
+  | Some (MCounter c) -> Atomic.get c.count
   | _ -> 0
 
 let gauge_value name =
-  match Hashtbl.find_opt registry name with
-  | Some (MGauge g) -> g.value
+  match find_metric name with
+  | Some (MGauge g) -> Atomic.get g.value
   | _ -> 0.0
 
 let find_histogram name =
-  match Hashtbl.find_opt registry name with
+  match find_metric name with
   | Some (MHist h) -> Some h
   | _ -> None
 
 let sorted_metrics () =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  locked registry_mutex (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let metric_names () = List.map fst (sorted_metrics ())
@@ -227,10 +250,12 @@ let render_table () =
       match m with
       | MCounter c ->
         Buffer.add_string b
-          (Printf.sprintf "%-42s %-10s %10d\n" name "counter" c.count)
+          (Printf.sprintf "%-42s %-10s %10d\n" name "counter"
+             (Atomic.get c.count))
       | MGauge g ->
         Buffer.add_string b
-          (Printf.sprintf "%-42s %-10s %10s %12.1f\n" name "gauge" "" g.value)
+          (Printf.sprintf "%-42s %-10s %10s %12.1f\n" name "gauge" ""
+             (Atomic.get g.value))
       | MHist h ->
         let unit_ = if h.hunit = "" then "hist" else "hist(" ^ h.hunit ^ ")" in
         Buffer.add_string b
@@ -253,8 +278,8 @@ let render_json () =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b (Printf.sprintf "%S:" name);
       match m with
-      | MCounter c -> Buffer.add_string b (string_of_int c.count)
-      | MGauge g -> Buffer.add_string b (json_float g.value)
+      | MCounter c -> Buffer.add_string b (string_of_int (Atomic.get c.count))
+      | MGauge g -> Buffer.add_string b (json_float (Atomic.get g.value))
       | MHist h ->
         Buffer.add_string b
           (Printf.sprintf

@@ -7,10 +7,14 @@
     names are a public contract — see README "Observability".
 
     The subsystem is dependency-free (stdlib + unix for the clock) and
-    single-threaded, like the rest of the stack.  A global kill switch
-    {!set_enabled} reduces the cost of every instrumentation point to a
-    single branch: disabled counters do not count, disabled spans do
-    not read the clock. *)
+    domain-safe: counters and gauges are atomics (concurrent
+    increments never lose counts), histogram recording and percentile
+    queries are serialized per histogram, and registry lookups are
+    serialized globally — so metrics may be recorded from pool worker
+    domains (see [Pool]).  A global kill switch {!set_enabled} reduces
+    the cost of every instrumentation point to a single (atomic) load
+    and branch: disabled counters do not count, disabled spans do not
+    read the clock. *)
 
 val set_enabled : bool -> unit
 (** Globally enable/disable metric collection (default: enabled).

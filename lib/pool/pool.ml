@@ -1,0 +1,226 @@
+(* Work-stealing domain pool.
+
+   A batch is a flat array of thunks plus two atomics: a claim cursor
+   ([next]) and a remaining-tasks count ([left]).  Workers and the
+   submitting domain all claim tasks with [Atomic.fetch_and_add next 1]
+   — a domain that finishes its task immediately claims the next
+   unstarted one, which is what steals work from slower domains.
+   [left] reaching 0 is the completion signal for the submitter.
+
+   Workers park on a condition variable between batches; a batch is
+   published by bumping a generation counter under the mutex and
+   broadcasting.  Shutdown publishes a generation with no batch. *)
+
+type batch = {
+  tasks : (unit -> unit) array;
+  next : int Atomic.t;
+  left : int Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  cond : Condition.t;                (* workers: "a new batch is up" *)
+  done_cond : Condition.t;           (* submitter: "the batch drained" *)
+  mutable generation : int;          (* bumped per published batch *)
+  mutable current : batch option;    (* valid for [generation] *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  mutable worker_ids : Domain.id list;
+  run_lock : Mutex.t;                (* serializes concurrent [run] *)
+  (* Domain currently inside [run], so a task that submits a nested
+     batch from the submitting domain (it claims tasks too) runs it
+     inline instead of deadlocking on [run_lock].  Only ever written
+     by the domain holding [run_lock]; other domains may read a stale
+     value, which can never equal their own id. *)
+  mutable submitter : Domain.id option;
+}
+
+let max_size = 126
+
+let default_size () =
+  let of_env =
+    match Sys.getenv_opt "NERPA_POOL_SIZE" with
+    | Some s -> int_of_string_opt (String.trim s)
+    | None -> None
+  in
+  let n =
+    match of_env with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count () - 1
+  in
+  max 0 (min max_size n)
+
+let drain_batch t b =
+  (* Claim and run tasks until the cursor passes the end.  Each task
+     decrements [left]; whoever drops it to 0 wakes the submitter. *)
+  let n = Array.length b.tasks in
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < n then begin
+      (b.tasks.(i) ());
+      if Atomic.fetch_and_add b.left (-1) = 1 then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.done_cond;
+        Mutex.unlock t.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.generation = !seen && not t.stopping do
+      Condition.wait t.cond t.mutex
+    done;
+    let gen = t.generation and batch = t.current and stop = t.stopping in
+    Mutex.unlock t.mutex;
+    if gen <> !seen then begin
+      seen := gen;
+      (match batch with Some b -> drain_batch t b | None -> ());
+      loop ()
+    end
+    else if not stop then loop ()
+  in
+  loop ()
+
+let create ?size () =
+  let size =
+    match size with
+    | Some n -> max 0 (min max_size n)
+    | None -> default_size ()
+  in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      done_cond = Condition.create ();
+      generation = 0;
+      current = None;
+      stopping = false;
+      domains = [];
+      worker_ids = [];
+      run_lock = Mutex.create ();
+      submitter = None;
+    }
+  in
+  let domains = List.init size (fun _ -> Domain.spawn (fun () -> worker t)) in
+  t.domains <- domains;
+  t.worker_ids <- List.map Domain.get_id domains;
+  t
+
+let size t = t.size
+
+let in_worker t = List.mem (Domain.self ()) t.worker_ids
+
+exception Task_failed of int * exn * Printexc.raw_backtrace
+
+let run_inline tasks =
+  Array.map (fun f -> f ()) tasks
+
+let run (type a) t (tasks : (unit -> a) array) : a array =
+  let n = Array.length tasks in
+  if
+    t.size = 0 || t.stopping || n < 2 || in_worker t
+    || t.submitter = Some (Domain.self ())
+  then run_inline tasks
+  else begin
+    Mutex.lock t.run_lock;
+    t.submitter <- Some (Domain.self ());
+    Fun.protect
+      ~finally:(fun () ->
+        t.submitter <- None;
+        Mutex.unlock t.run_lock)
+      (fun () ->
+        let results : a option array = Array.make n None in
+        let failure = Atomic.make None in
+        let wrapped =
+          Array.mapi
+            (fun i f () ->
+              match f () with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  (* Keep the lowest-indexed failure: sequential
+                     execution in index order would report it first. *)
+                  let rec record () =
+                    match Atomic.get failure with
+                    | Some (j, _, _) when j <= i -> ()
+                    | prev ->
+                        if not (Atomic.compare_and_set failure prev
+                                  (Some (i, e, bt)))
+                        then record ()
+                  in
+                  record ())
+            tasks
+        in
+        let b =
+          { tasks = wrapped; next = Atomic.make 0; left = Atomic.make n }
+        in
+        Mutex.lock t.mutex;
+        t.current <- Some b;
+        t.generation <- t.generation + 1;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        (* The submitter claims tasks too; stragglers still running on
+           worker domains are awaited with a short spin (the common
+           case resolves in microseconds) and then a condvar sleep, so
+           a descheduled worker never costs a busy scheduling quantum. *)
+        drain_batch t b;
+        let spins = ref 0 in
+        while Atomic.get b.left > 0 && !spins < 4096 do
+          incr spins;
+          Domain.cpu_relax ()
+        done;
+        if Atomic.get b.left > 0 then begin
+          Mutex.lock t.mutex;
+          while Atomic.get b.left > 0 do
+            Condition.wait t.done_cond t.mutex
+          done;
+          Mutex.unlock t.mutex
+        end;
+        (match Atomic.get failure with
+        | Some (i, e, bt) ->
+            Printexc.raise_with_backtrace (Task_failed (i, e, bt)) bt
+        | None -> ());
+        Array.map
+          (function Some v -> v | None -> assert false)
+          results)
+  end
+
+let run t tasks =
+  try run t tasks
+  with Task_failed (_, e, bt) -> Printexc.raise_with_backtrace e bt
+
+let shutdown t =
+  if not t.stopping then begin
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    t.worker_ids <- []
+  end
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      Mutex.lock default_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock default_mutex)
+        (fun () ->
+          match !default_pool with
+          | Some p -> p
+          | None ->
+              let p = create () in
+              default_pool := Some p;
+              p)

@@ -1,0 +1,49 @@
+(** A work-stealing pool of OCaml 5 domains for data-parallel batches.
+
+    The pool owns [size] worker domains that sleep between batches.
+    {!run} submits a flat batch of tasks; the workers {e and the
+    submitting domain} all pull tasks from a shared claim cursor, so a
+    fast worker that exhausts its share steals the remaining tasks of a
+    slow one (dynamic load balancing without per-domain queues — the
+    batches this repo runs are flat arrays, not task DAGs).
+
+    A pool of size [0] has no workers: {!run} executes the batch
+    inline, in index order, on the calling domain.  Every user of the
+    pool must therefore be correct {e sequentially}; parallelism is
+    only an execution strategy, never a semantics change.
+
+    Determinism contract: {!run} always returns results positionally
+    (result [i] belongs to task [i]) and, when several tasks raise, the
+    exception of the {e lowest-indexed} failing task is the one
+    re-raised — identical to what sequential execution in index order
+    would report first. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size] worker domains.  The default size
+    is [Domain.recommended_domain_count () - 1] (the calling domain is
+    the remaining evaluator), overridable with the [NERPA_POOL_SIZE]
+    environment variable; it is clamped to [[0, 126]].  A pool of size
+    [0] runs every batch inline. *)
+
+val size : t -> int
+(** Number of worker domains ([0] = sequential fallback). *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** Execute a batch and return the results positionally.  Blocks until
+    every task has finished.  If any task raised, the lowest-indexed
+    task's exception is re-raised after the whole batch has drained
+    (no task is left running).
+
+    Calls from a worker domain of the same pool (nested batches) and
+    batches of fewer than two tasks run inline on the caller.
+    Concurrent {!run} calls from different domains are serialized. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Idempotent; {!run} on a
+    shut-down pool executes inline. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use with the
+    default size (see {!create}).  Never shut down. *)

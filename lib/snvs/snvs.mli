@@ -30,6 +30,7 @@ val deploy :
   ?max_iterations:int ->
   ?mgmt_link_of:(Ovsdb.Db.monitor -> Nerpa.Links.mgmt_link) ->
   ?p4_link_of:(string -> P4runtime.server -> Nerpa.Links.p4_link) ->
+  ?pool:Pool.t ->
   unit ->
   deployment
 (** A ready-to-run single-switch deployment with MAC-mobility digest

@@ -104,7 +104,84 @@ let test_differential () =
     (Printf.sprintf "%d transactions, engine = naive oracle" n_txns)
     true true
 
+(* Lockstep pool-size differential: the same 1200-txn random stream is
+   applied to three engines over the same program — pool size 0
+   (sequential), 1 and 4 — and after EVERY commit the reported
+   per-relation deltas and the visible contents of every relation must
+   be identical across all three.  This is the executable form of the
+   determinism argument in DESIGN.md: parallel commits are
+   bit-identical to sequential ones. *)
+let test_pool_lockstep () =
+  let rng = Random.State.make [| 0x9001 |] in
+  let pools =
+    [ None; Some (Pool.create ~size:1 ()); Some (Pool.create ~size:4 ()) ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (function Some p -> Pool.shutdown p | None -> ()) pools)
+    (fun () ->
+      let engines = List.map (fun pool -> Engine.create ?pool program) pools in
+      let all_rels =
+        List.map (fun (d : Ast.rel_decl) -> d.rname) program.Ast.decls
+      in
+      let n_txns = 1200 in
+      for txn_i = 1 to n_txns do
+        let txns = List.map Engine.transaction engines in
+        let n_ops = 1 + Random.State.int rng 5 in
+        for _ = 1 to n_ops do
+          let rel, arity =
+            List.nth rels (Random.State.int rng (List.length rels))
+          in
+          let row = row_of rng arity in
+          let ins = Random.State.bool rng in
+          List.iter
+            (fun txn ->
+              if ins then Engine.insert txn rel row
+              else Engine.delete txn rel row)
+            txns
+        done;
+        let deltas = List.map Engine.commit txns in
+        let ref_delta = List.hd deltas in
+        List.iteri
+          (fun k delta ->
+            List.iter
+              (fun rel ->
+                let want =
+                  Option.value ~default:Zset.empty
+                    (List.assoc_opt rel ref_delta)
+                in
+                let got =
+                  Option.value ~default:Zset.empty (List.assoc_opt rel delta)
+                in
+                if not (Zset.equal want got) then
+                  Alcotest.failf
+                    "txn %d: engine %d delta for %s diverged from sequential"
+                    txn_i (k + 1) rel)
+              all_rels)
+          (List.tl deltas);
+        let ref_eng = List.hd engines in
+        List.iteri
+          (fun k eng ->
+            List.iter
+              (fun rel ->
+                let want =
+                  List.sort Row.compare (Engine.relation_rows ref_eng rel)
+                in
+                let got =
+                  List.sort Row.compare (Engine.relation_rows eng rel)
+                in
+                if not (List.equal Row.equal want got) then
+                  Alcotest.failf
+                    "txn %d: engine %d relation %s diverged from sequential"
+                    txn_i (k + 1) rel)
+              all_rels)
+          (List.tl engines)
+      done);
+  Alcotest.(check bool) "pool sizes 0/1/4 stay in lockstep" true true
+
 let tests =
   [
     Alcotest.test_case "1200-txn differential vs naive" `Quick test_differential;
+    Alcotest.test_case "1200-txn lockstep across pool sizes 0/1/4" `Quick
+      test_pool_lockstep;
   ]

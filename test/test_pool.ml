@@ -1,0 +1,314 @@
+(* PR 4 concurrency tests.  Three layers:
+
+   1. The domain pool itself: positional results, the size-0 sequential
+      fallback, lowest-index exception propagation and nested batches.
+   2. The domain-safety contracts the pool relies on: exact counts when
+      several domains hammer one [Obs] counter/histogram, and canonical
+      interning when several domains intern the same rows.
+   3. The parallel multi-switch driver under fault injection: a
+      16-switch fleet with one link force-disconnected mid-run must
+      leave the other 15 switches byte-identical to a fault-free
+      sequential baseline, without the sync loop stalling on the dead
+      link. *)
+
+open Dl
+
+(* ---------------------------------------------------------------- *)
+(* Pool semantics                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let with_pool ~size f =
+  let pool = Pool.create ~size () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_pool_results () =
+  with_pool ~size:3 (fun pool ->
+      Alcotest.(check int) "size" 3 (Pool.size pool);
+      let results = Pool.run pool (Array.init 64 (fun i () -> i * i)) in
+      Alcotest.(check (array int))
+        "results are positional"
+        (Array.init 64 (fun i -> i * i))
+        results)
+
+let test_pool_sequential_fallback () =
+  with_pool ~size:0 (fun pool ->
+      Alcotest.(check int) "size" 0 (Pool.size pool);
+      let order = ref [] in
+      let results =
+        Pool.run pool
+          (Array.init 8 (fun i () ->
+               order := i :: !order;
+               i))
+      in
+      Alcotest.(check (list int))
+        "size 0 runs inline in index order"
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+        (List.rev !order);
+      Alcotest.(check (array int)) "results" (Array.init 8 Fun.id) results)
+
+let test_pool_exception () =
+  with_pool ~size:3 (fun pool ->
+      match
+        Pool.run pool
+          (Array.init 16 (fun i () ->
+               if i mod 5 = 2 then failwith (string_of_int i) else i))
+      with
+      | _ -> Alcotest.fail "expected a task exception to propagate"
+      | exception Failure msg ->
+          (* Tasks 2, 7 and 12 all fail; sequential execution would
+             report task 2 first, so the pool must too. *)
+          Alcotest.(check string) "lowest-index failure wins" "2" msg)
+
+let test_pool_nested () =
+  with_pool ~size:2 (fun pool ->
+      let results =
+        Pool.run pool
+          (Array.init 4 (fun i () ->
+               (* A task submitting a batch to its own pool must not
+                  deadlock, whichever domain claimed it. *)
+               let inner =
+                 Pool.run pool (Array.init 3 (fun j () -> (10 * i) + j))
+               in
+               Array.fold_left ( + ) 0 inner))
+      in
+      Alcotest.(check (array int))
+        "nested batches run inline"
+        [| 3; 33; 63; 93 |]
+        results)
+
+(* ---------------------------------------------------------------- *)
+(* Domain-safe Obs: exact counts under concurrent recording          *)
+(* ---------------------------------------------------------------- *)
+
+let test_counter_hammer () =
+  Obs.set_enabled true;
+  let c = Obs.Counter.create "test.pool.counter_hammer" in
+  let base = Obs.Counter.value c in
+  let n_domains = 4 and per_domain = 100_000 in
+  let domains =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int)
+    "exact count after 4 domains x 100k increments"
+    (base + (n_domains * per_domain))
+    (Obs.Counter.value c)
+
+let test_histogram_hammer () =
+  Obs.set_enabled true;
+  let h = Obs.Histogram.create "test.pool.hist_hammer" in
+  let n_domains = 4 and per_domain = 25_000 in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Histogram.observe h (float_of_int ((d * per_domain) + i))
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int)
+    "exact observation count"
+    (n_domains * per_domain)
+    (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "exact min" 1.0 (Obs.Histogram.min_value h);
+  Alcotest.(check (float 0.0))
+    "exact max"
+    (float_of_int (n_domains * per_domain))
+    (Obs.Histogram.max_value h);
+  (* A percentile query racing nothing must see a coherent snapshot. *)
+  Alcotest.(check bool)
+    "median within observed range" true
+    (let p50 = Obs.Histogram.percentile h 50.0 in
+     p50 >= 1.0 && p50 <= float_of_int (n_domains * per_domain))
+
+(* ---------------------------------------------------------------- *)
+(* Domain-safe Row interning                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_concurrent_intern () =
+  Row.enable_domain_safety ();
+  let distinct = 997 and per_domain = 20_000 in
+  let mk i =
+    let v = i mod distinct in
+    Row.of_list [ Value.of_int v; Value.of_int (v * 2) ]
+  in
+  let domains =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Array.init per_domain mk))
+  in
+  let results = List.map Domain.join domains in
+  let first = List.hd results in
+  List.iter
+    (fun arr ->
+      Array.iteri
+        (fun i r ->
+          if not (first.(i) == r) then
+            Alcotest.failf "row %d interned to distinct physical values" i)
+        arr)
+    (List.tl results);
+  (* Every structurally distinct row got exactly one id. *)
+  let ids =
+    Array.to_list (Array.map Row.id first)
+    |> List.sort_uniq Int.compare |> List.length
+  in
+  Alcotest.(check int) "one id per distinct row" distinct ids
+
+(* ---------------------------------------------------------------- *)
+(* 16-switch fleet, one link cut mid-run                             *)
+(* ---------------------------------------------------------------- *)
+
+let fleet_size = 16
+let victim = 7
+let victim_name = Printf.sprintf "sw%02d" victim
+let bcast = P4.Stdhdrs.mac_of_string "ff:ff:ff:ff:ff:ff"
+let mac_a = P4.Stdhdrs.mac_of_string "00:00:00:00:00:aa"
+let mac_b = P4.Stdhdrs.mac_of_string "00:00:00:00:00:bb"
+
+let in_vlan_id =
+  lazy
+    (let info = P4.P4info.of_program Snvs.p4 in
+     (List.find
+        (fun ti -> ti.P4.P4info.table_name = "in_vlan")
+        info.P4.P4info.tables)
+       .P4.P4info.table_id)
+
+(* Canonical byte dump of one switch's dataplane state (tables sorted,
+   group ports sorted), as in the CLI faultsim. *)
+let dump_switch (sw : P4.Switch.t) =
+  let srv = P4runtime.attach sw in
+  let info = P4runtime.info srv in
+  let entries =
+    List.concat_map
+      (fun ti -> P4runtime.read_table srv ~table_id:ti.P4.P4info.table_id)
+      info.P4.P4info.tables
+  in
+  let groups =
+    List.map
+      (fun (g, ps) -> (g, List.sort Int64.compare ps))
+      (P4runtime.multicast_groups srv)
+  in
+  P4runtime.Wire.encode_response
+    (P4runtime.Wire.Table (List.sort compare entries))
+  ^ P4runtime.Wire.encode_response (P4runtime.Wire.Groups groups)
+
+(* Feed one broadcast frame into [sw] once its ingress port is admitted
+   (syncing while we wait, like a host that keeps talking). *)
+let feed controller (sw : P4.Switch.t) ~port src =
+  let ready () =
+    let srv = P4runtime.attach sw in
+    List.exists
+      (fun e ->
+        match e.P4runtime.matches with
+        | P4runtime.FmExact p :: _ -> p = Int64.of_int port
+        | _ -> false)
+      (P4runtime.read_table srv ~table_id:(Lazy.force in_vlan_id))
+  in
+  let fuel = ref 100 in
+  while (not (ready ())) && !fuel > 0 do
+    decr fuel;
+    ignore (Nerpa.Controller.sync controller)
+  done;
+  ignore
+    (P4.Switch.process sw ~in_port:port
+       (P4.Stdhdrs.ethernet_frame ~dst:bcast ~src ~ethertype:0x1234L
+          ~payload:"x"))
+
+(* Run the fleet workload and return every switch's final dump.  With
+   [fault], the victim's link is cut after the first round of config
+   and stays down for the rest of the run. *)
+let run_fleet ~fault ~pool () =
+  let db = Ovsdb.Db.create Snvs.schema in
+  let switches =
+    List.init fleet_size (fun i ->
+        let name = Printf.sprintf "sw%02d" i in
+        (name, P4.Switch.create ~name Snvs.p4))
+  in
+  let ctl_ref = ref None in
+  let p4_link_of name srv =
+    if fault && String.equal name victim_name then (
+      let link, ctl =
+        Transport.faulty ~seed:11 ~faults:Transport.no_faults
+          (Nerpa.Links.wire_p4 srv)
+      in
+      ctl_ref := Some ctl;
+      link)
+    else Nerpa.Links.direct_p4 srv
+  in
+  let controller =
+    Nerpa.Controller.create
+      ~digest_replace:[ ("learned_mac", [ "vlan"; "mac" ]) ]
+      ~p4_link_of ?pool ~db ~p4:Snvs.p4 ~rules:Snvs.rules ~switches ()
+  in
+  let add_port ~name ~port ~mode ~tag ~trunks =
+    ignore
+      (Ovsdb.Db.insert_exn db "Port"
+         [
+           ("name", Ovsdb.Datum.string name);
+           ("port", Ovsdb.Datum.integer (Int64.of_int port));
+           ("mode", Ovsdb.Datum.string mode);
+           ("tag", Ovsdb.Datum.integer (Int64.of_int tag));
+           ( "trunks",
+             Ovsdb.Datum.set
+               (List.map
+                  (fun v -> Ovsdb.Atom.Integer (Int64.of_int v))
+                  trunks) );
+         ])
+  in
+  add_port ~name:"p1" ~port:1 ~mode:"access" ~tag:10 ~trunks:[];
+  add_port ~name:"p2" ~port:2 ~mode:"access" ~tag:10 ~trunks:[];
+  add_port ~name:"p3" ~port:3 ~mode:"access" ~tag:20 ~trunks:[];
+  add_port ~name:"p4" ~port:4 ~mode:"trunk" ~tag:0 ~trunks:[ 10; 20 ];
+  ignore (Nerpa.Controller.sync controller);
+  feed controller (snd (List.nth switches 2)) ~port:1 mac_a;
+  ignore (Nerpa.Controller.sync controller);
+  if fault then
+    Transport.force_disconnect (Option.get !ctl_ref) ~down_for:1_000_000 ();
+  (* Config and digests the victim misses while down. *)
+  add_port ~name:"p5" ~port:5 ~mode:"access" ~tag:20 ~trunks:[];
+  ignore (Nerpa.Controller.sync controller);
+  feed controller (snd (List.nth switches 4)) ~port:2 mac_b;
+  ignore (Nerpa.Controller.sync controller);
+  List.map (fun (name, sw) -> (name, dump_switch sw)) switches
+
+let test_fleet_fault () =
+  let baseline = run_fleet ~fault:false ~pool:None () in
+  let dumps =
+    with_pool ~size:3 (fun pool ->
+        run_fleet ~fault:true ~pool:(Some pool) ())
+  in
+  List.iter2
+    (fun (name, want) (name', got) ->
+      Alcotest.(check string) "fleet order" name name';
+      if not (String.equal name victim_name) then
+        if not (String.equal want got) then
+          Alcotest.failf
+            "switch %s diverged from the fault-free sequential baseline" name)
+    baseline dumps;
+  (* The cut must actually have bitten: the victim missed the updates
+     that landed while its link was down. *)
+  Alcotest.(check bool)
+    "victim state differs from fault-free run" false
+    (String.equal (List.assoc victim_name baseline)
+       (List.assoc victim_name dumps))
+
+let tests =
+  [
+    Alcotest.test_case "pool: positional results" `Quick test_pool_results;
+    Alcotest.test_case "pool: size-0 sequential fallback" `Quick
+      test_pool_sequential_fallback;
+    Alcotest.test_case "pool: lowest-index exception" `Quick
+      test_pool_exception;
+    Alcotest.test_case "pool: nested batches run inline" `Quick
+      test_pool_nested;
+    Alcotest.test_case "obs: 4-domain counter hammer is exact" `Quick
+      test_counter_hammer;
+    Alcotest.test_case "obs: 4-domain histogram hammer is exact" `Quick
+      test_histogram_hammer;
+    Alcotest.test_case "row: concurrent interning is canonical" `Quick
+      test_concurrent_intern;
+    Alcotest.test_case "driver: 16-switch fleet, one link cut mid-run"
+      `Quick test_fleet_fault;
+  ]

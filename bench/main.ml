@@ -1169,10 +1169,64 @@ let bench_ports ~n () : Ovsdb.Json.t =
        ("total_ms", json_num total_ms) ]
     @ hist_json "dl.commit" @ hist_json "nerpa.sync")
 
+(* The same per-port workload with the database and switch hosted by a
+   lib/server daemon in this process: every plane message crosses a
+   Unix-domain socket (framing + syscalls + handler threads).  Returns
+   the workload wall time; counters/histograms are left in Obs for the
+   caller to read. *)
+let socket_workload ~n () : float =
+  Obs.reset ();
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nerpa-bench-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let db = Ovsdb.Db.create Snvs.schema in
+  let switch = P4.Switch.create ~name:"snvs0" Snvs.p4 in
+  let server = Server.create ~db ~switches:[ ("snvs0", switch) ] ~dir () in
+  Server.start server;
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let c = Snvs.connect ~endpoint:(Nerpa.Endpoint.sockets ~dir) () in
+  let t0 = now () in
+  List.iter
+    (fun (p : Netgen.port_plan) ->
+      Server.with_lock server (fun () ->
+          ignore
+            (Ovsdb.Db.insert_exn db "Port"
+               [ ("name", Ovsdb.Datum.string p.pp_name);
+                 ("port", Ovsdb.Datum.integer (Int64.of_int p.pp_port));
+                 ("mode", Ovsdb.Datum.string p.pp_mode);
+                 ("tag", Ovsdb.Datum.integer (Int64.of_int p.pp_tag));
+                 ("trunks",
+                  Ovsdb.Datum.set
+                    (List.map
+                       (fun v -> Ovsdb.Atom.Integer (Int64.of_int v))
+                       p.pp_trunks)) ]));
+      ignore (Nerpa.Controller.sync c))
+    (Netgen.ports ~vlans:16 ~trunk_every:0 ~n ());
+  let total_ms = (now () -. t0) *. 1e3 in
+  assert (P4.Switch.entry_count switch "in_vlan" = n);
+  total_ms
+
+let bench_sockets ~n () : Ovsdb.Json.t =
+  let total_ms = socket_workload ~n () in
+  Ovsdb.Json.Obj
+    ([ ("ports", Ovsdb.Json.Int (Int64.of_int n));
+       ("total_ms", json_num total_ms);
+       ("socket_msgs",
+        Ovsdb.Json.Int
+          (Int64.of_int (Obs.counter_value "transport.socket.msgs")));
+       ("socket_bytes",
+        Ovsdb.Json.Int
+          (Int64.of_int (Obs.counter_value "transport.socket.bytes"))) ]
+    @ hist_json "nerpa.sync")
+
 let json_experiments () : (string * Ovsdb.Json.t) list =
   [ ("commit_reach_5000", bench_commit_reach ~nodes:5000 ~ops:400 ());
     ("commit_join_10000", bench_commit_join ~rows:10_000 ~ops:500 ());
     ("ports_200", bench_ports ~n:200 ());
+    ("sockets_60", bench_sockets ~n:60 ());
     ("smoke_ports_40", bench_ports ~n:40 ());
     ("parallel", parallel_json ()) ]
 
@@ -1203,7 +1257,7 @@ let json_report path =
   let exps = json_experiments () in
   let doc =
     Ovsdb.Json.Obj
-      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr4/1");
+      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr5/1");
         ("experiments", Ovsdb.Json.Obj exps);
         ("gate", gate_json exps) ]
   in
@@ -1260,7 +1314,21 @@ let exp_transport ?(n = 200) () =
   run "wire" (fun () ->
       Snvs.deploy ~mgmt_link_of:Nerpa.Links.wire_mgmt
         ~p4_link_of:(fun _ srv -> Nerpa.Links.wire_p4 srv)
-        ())
+        ());
+  (* socket: same workload, but db and switch live behind a real daemon
+     (in-process listener threads, out-of-process framing + syscalls) *)
+  let total_ms = socket_workload ~n () in
+  let sync_p50 =
+    match Obs.find_histogram "nerpa.sync" with
+    | Some h -> Obs.Histogram.percentile h 0.50
+    | None -> 0.
+  in
+  Printf.printf
+    "  %-8s total %8.2f ms   sync p50 %8.2f us   sock msgs %7d   sock bytes \
+     %9d\n"
+    "socket" total_ms sync_p50
+    (Obs.counter_value "transport.socket.msgs")
+    (Obs.counter_value "transport.socket.bytes")
 
 (* The smoke gate compares against the NEWEST recorded baseline: the
    BENCH_PR<N>.json with the highest N in the given directory, so each
@@ -1378,7 +1446,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | "--json" :: rest ->
-    let path = match rest with p :: _ -> p | [] -> "BENCH_PR4.json" in
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR5.json" in
     json_report path
   | "smoke" :: "--baseline" :: path :: _ ->
     run_experiment "smoke" (fun () -> smoke ~baseline:path ())

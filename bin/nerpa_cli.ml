@@ -305,6 +305,9 @@ let fs_workload (d : Snvs.deployment) ~mid =
 
 let fs_converge (d : Snvs.deployment) ctls =
   List.iter Transport.heal ctls;
+  (* a healed management link may have lost batches to delayed polls
+     without a visible error: force one resync *)
+  Nerpa.Controller.mark_mgmt_dirty d.controller;
   ignore (Nerpa.Controller.sync d.controller);
   fs_feed d ~port:2 fs_a;
   fs_feed d ~port:2 fs_b;
@@ -313,7 +316,7 @@ let fs_converge (d : Snvs.deployment) ctls =
   Nerpa.Controller.reconcile d.controller "snvs0";
   fs_dump d.switch
 
-let cmd_faultsim nseeds =
+let cmd_faultsim nseeds mgmt_faults =
   (* NERPA_POOL_SIZE > 0 runs every deployment on the shared domain
      pool (the CI matrix leg): the convergence check then also proves
      the parallel driver byte-identical to the sequential one. *)
@@ -331,36 +334,150 @@ let cmd_faultsim nseeds =
     fs_workload d ~mid:(fun () -> ());
     fs_converge d []
   in
-  Printf.printf "%-6s %6s %6s %6s %6s %11s %12s  %s\n" "seed" "drops" "dups"
-    "delays" "disc" "reconciles" "corrections" "converged";
+  Printf.printf "%-6s %6s %6s %6s %6s %11s %12s %8s  %s\n" "seed" "drops"
+    "dups" "delays" "disc" "reconciles" "corrections" "resyncs" "converged";
   let all_ok = ref true in
   for i = 1 to nseeds do
     let seed = 100 + (i * 37) in
     Obs.reset ();
-    let ctl_ref = ref None in
-    let d =
-      Snvs.deploy ?pool
-        ~p4_link_of:(fun _ srv ->
-          let link, ctl = Transport.faulty ~seed (Nerpa.Links.wire_p4 srv) in
-          ctl_ref := Some ctl;
-          link)
-        ()
+    let endpoint =
+      let ep =
+        Nerpa.Endpoint.faulty_p4 ~seed
+          { Nerpa.Endpoint.in_process with p4_of = (fun _ -> Nerpa.Endpoint.Wire) }
+      in
+      if mgmt_faults then Nerpa.Endpoint.faulty_mgmt ~seed:(seed + 1) ep
+      else ep
     in
-    let ctl = Option.get !ctl_ref in
+    let d = Snvs.deploy ?pool ~endpoint () in
+    let ctl = Option.get (Nerpa.Controller.p4_ctl d.controller "snvs0") in
+    let ctls =
+      ctl :: Option.to_list (Nerpa.Controller.mgmt_ctl d.controller)
+    in
     fs_workload d ~mid:(fun () -> Transport.force_disconnect ctl ~down_for:5 ());
-    let dump = fs_converge d [ ctl ] in
+    let dump = fs_converge d ctls in
     let ok = String.equal dump baseline in
     if not ok then all_ok := false;
-    Printf.printf "%-6d %6d %6d %6d %6d %11d %12d  %s\n" seed
+    Printf.printf "%-6d %6d %6d %6d %6d %11d %12d %8d  %s\n" seed
       (Obs.counter_value "transport.faults.drops")
       (Obs.counter_value "transport.faults.duplicates")
       (Obs.counter_value "transport.faults.delays")
       (Obs.counter_value "transport.faults.disconnects")
       (Obs.counter_value "nerpa.reconcile.count")
       (Obs.counter_value "nerpa.reconcile.corrections")
+      (Obs.counter_value "nerpa.resync.count")
       (if ok then "yes" else "NO")
   done;
   exit (if !all_ok then 0 else 1)
+
+(* ---------------- serve / connect ---------------- *)
+
+(* The real client/server split: [serve] hosts the snvs database and
+   switch behind Unix-domain sockets; [connect] drives them from
+   another process.  Together they are the smoke test for the socket
+   transport (CI runs serve in the background and connect against it). *)
+
+let serve_add_port db ~name ~port ~mode ~tag ~trunks =
+  ignore
+    (Ovsdb.Db.insert_exn db "Port"
+       [
+         ("name", Ovsdb.Datum.string name);
+         ("port", Ovsdb.Datum.integer (Int64.of_int port));
+         ("mode", Ovsdb.Datum.string mode);
+         ("tag", Ovsdb.Datum.integer (Int64.of_int tag));
+         ("trunks",
+          Ovsdb.Datum.set
+            (List.map (fun v -> Ovsdb.Atom.Integer (Int64.of_int v)) trunks));
+       ])
+
+(* Inject a learning frame once a connected controller has admitted the
+   ingress port (installed its in_vlan entry) — the serve-side
+   equivalent of a host retrying until the network lets it talk. *)
+let serve_feed server switch ~port src ~timeout_s =
+  let admitted () =
+    Server.with_lock server (fun () ->
+        let srv = P4runtime.attach switch in
+        List.exists
+          (fun e ->
+            match e.P4runtime.matches with
+            | P4runtime.FmExact p :: _ -> p = Int64.of_int port
+            | _ -> false)
+          (P4runtime.read_table srv ~table_id:(Lazy.force fs_in_vlan_id)))
+  in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    if admitted () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      wait ()
+    end
+  in
+  let ok = wait () in
+  if ok then
+    Server.with_lock server (fun () ->
+        ignore
+          (P4.Switch.process switch ~in_port:port
+             (P4.Stdhdrs.ethernet_frame ~dst:fs_bcast ~src ~ethertype:0x1234L
+                ~payload:"x")));
+  ok
+
+let cmd_serve dir secs workload =
+  let db = Ovsdb.Db.create Snvs.schema in
+  let switch = P4.Switch.create ~name:"snvs0" Snvs.p4 in
+  let server = Server.create ~db ~switches:[ ("snvs0", switch) ] ~dir () in
+  Server.start server;
+  Printf.printf "serving snvs (db + switch snvs0) under %s%s\n%!" dir
+    (match secs with
+    | Some s -> Printf.sprintf " for %gs" s
+    | None -> "");
+  if workload then begin
+    (* the administrator's config churn, applied while clients may be
+       connected, plus learning traffic once ports are admitted *)
+    Server.with_lock server (fun () ->
+        List.iter
+          (fun (name, port, mode, tag, trunks) ->
+            serve_add_port db ~name ~port ~mode ~tag ~trunks)
+          [ ("p1", 1, "access", 10, []); ("p2", 2, "access", 10, []);
+            ("p3", 3, "access", 20, []); ("p4", 4, "trunk", 0, [ 10; 20 ]) ]);
+    ignore (serve_feed server switch ~port:1 fs_a ~timeout_s:30.);
+    ignore (serve_feed server switch ~port:2 fs_b ~timeout_s:30.);
+    ignore (serve_feed server switch ~port:3 fs_c ~timeout_s:30.)
+  end;
+  (match secs with
+  | Some s -> Unix.sleepf s
+  | None ->
+    while true do
+      Unix.sleep 3600
+    done);
+  Server.stop server;
+  exit 0
+
+let cmd_connect dir rounds settle min_txns dump =
+  let endpoint = Nerpa.Endpoint.sockets ~dir in
+  let c = Snvs.connect ~endpoint () in
+  let quiet = ref 0 and r = ref 0 in
+  while !quiet < settle && !r < rounds do
+    incr r;
+    let n = Nerpa.Controller.sync c in
+    if n = 0 then incr quiet else quiet := 0;
+    Unix.sleepf 0.05
+  done;
+  let st = Nerpa.Controller.stats c in
+  Printf.printf "rounds=%d txns=%d entries=%d digests=%d groups=%d\n" !r
+    st.Nerpa.Controller.txns st.entries_written st.digests_consumed
+    st.groups_updated;
+  (match Nerpa.Controller.dump_switch c "snvs0" with
+  | s -> if dump then print_string s
+  | exception Nerpa.Controller.Controller_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1);
+  if st.txns < min_txns then begin
+    Printf.eprintf "error: only %d txns committed (expected >= %d) — was the \
+                    server reachable?\n"
+      st.txns min_txns;
+    exit 1
+  end;
+  exit 0
 
 (* ---------------- cmdliner wiring ---------------- *)
 
@@ -404,7 +521,78 @@ let faultsim_cmd =
       value & opt int 5
       & info [ "seeds" ] ~doc:"number of seeded fault schedules to run")
   in
-  Cmd.v (Cmd.info "faultsim" ~doc) Term.(const cmd_faultsim $ seeds)
+  let mgmt_faults =
+    Arg.(
+      value & flag
+      & info [ "mgmt-faults" ]
+          ~doc:
+            "also inject faults on the management (OVSDB monitor) link, \
+             exercising the monitor-resync repair path")
+  in
+  Cmd.v (Cmd.info "faultsim" ~doc)
+    Term.(const cmd_faultsim $ seeds $ mgmt_faults)
+
+let serve_cmd =
+  let doc =
+    "host the snvs database and switch behind Unix-domain sockets (the \
+     server half of the client/server split)"
+  in
+  let dir =
+    Arg.(
+      value & opt string "/tmp/nerpa"
+      & info [ "dir" ] ~doc:"socket directory (created if missing)")
+  in
+  let for_ =
+    Arg.(
+      value & opt (some float) None
+      & info [ "for" ] ~docv:"SECS" ~doc:"serve for this long, then exit \
+                                          (default: forever)")
+  in
+  let workload =
+    Arg.(
+      value & flag
+      & info [ "workload" ]
+          ~doc:
+            "apply the snvs config workload to the hosted database and \
+             inject learning traffic once a connected controller admits \
+             the ports")
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const cmd_serve $ dir $ for_ $ workload)
+
+let connect_cmd =
+  let doc =
+    "drive a controller against a nerpa_cli serve process over Unix-domain \
+     sockets"
+  in
+  let dir =
+    Arg.(
+      value & opt string "/tmp/nerpa"
+      & info [ "dir" ] ~doc:"socket directory of the serve process")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 200
+      & info [ "rounds" ] ~doc:"maximum sync rounds before giving up")
+  in
+  let settle =
+    Arg.(
+      value & opt int 10
+      & info [ "settle" ]
+          ~doc:"consecutive quiescent rounds that count as converged")
+  in
+  let min_txns =
+    Arg.(
+      value & opt int 0
+      & info [ "min-txns" ]
+          ~doc:"fail unless at least this many transactions were committed")
+  in
+  let dump =
+    Arg.(
+      value & flag
+      & info [ "dump" ] ~doc:"print the switch's final forwarding state")
+  in
+  Cmd.v (Cmd.info "connect" ~doc)
+    Term.(const cmd_connect $ dir $ rounds $ settle $ min_txns $ dump)
 
 let () =
   let doc = "Nerpa full-stack SDN tooling" in
@@ -412,4 +600,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; run_cmd; codegen_cmd; stats_cmd; faultsim_cmd ]))
+          [ check_cmd; run_cmd; codegen_cmd; stats_cmd; faultsim_cmd;
+            serve_cmd; connect_cmd ]))

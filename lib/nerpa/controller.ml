@@ -52,6 +52,8 @@ let m_retries = Obs.Counter.create "nerpa.retry.count"
 let m_retry_gaveup = Obs.Counter.create "nerpa.retry.gaveup"
 let m_reconciles = Obs.Counter.create "nerpa.reconcile.count"
 let m_corrections = Obs.Counter.create "nerpa.reconcile.corrections"
+let m_resyncs = Obs.Counter.create "nerpa.resync.count"
+let m_resync_corr = Obs.Counter.create "nerpa.resync.corrections"
 let h_sync = Obs.Histogram.create ~unit_:"us" "nerpa.sync"
 let h_write_batch = Obs.Histogram.create ~unit_:"entries" "nerpa.write_batch"
 let h_backoff = Obs.Histogram.create ~unit_:"us" "nerpa.retry.backoff_us"
@@ -72,8 +74,14 @@ type sw = {
 }
 
 type t = {
-  db : Ovsdb.Db.t;
   mgmt : Links.mgmt_link;
+  mgmt_ctl : Transport.ctl option;
+      (* fault-injection handle when the endpoint wraps the management
+         plane in [Faulty] *)
+  mutable mgmt_dirty : bool;
+      (* true when monitor batches may have been lost (poll failure or a
+         reconnect edge): resync before trusting the next poll *)
+  p4_ctls : (string * Transport.ctl) list;
   engine : Engine.t;
   program : Ast.program;
   mappings : Codegen.mapping list;
@@ -344,7 +352,7 @@ let write_with_retry (t : t) (sw : sw) (updates : P4runtime.update list) :
       if n = 0 then error "switch %s rejected updates: %s" sw.sw_name msg
       else sw.sw_dirty <- true
     | Ok _ -> error "switch %s: protocol mismatch on write" sw.sw_name
-    | Error Transport.Closed ->
+    | Error (Transport.Closed _) ->
       (* link down: the reconnect reconciliation will catch it up *)
       sw.sw_dirty <- true
     | Error (Transport.Transient _) ->
@@ -504,22 +512,76 @@ let exec_commands t cmds =
     in
     ignore (pool_map t tasks)
 
+(* ---------------- driver: monitor resync ---------------- *)
+
+(* Apply a management-plane snapshot: for every OVSDB-backed input
+   relation, diff the snapshot's rows against the engine's current
+   contents and commit the correction as ONE transaction.  Digest-fed
+   input relations are untouched — they are data-plane state, not
+   database contents.  Only a non-empty correction counts as a
+   transaction (so a clean resync leaves [sync]'s quiescence
+   undisturbed). *)
+let apply_resync (t : t) (snap : Ovsdb.Db.table_updates) : unit =
+  let txn = Engine.transaction t.engine in
+  let ncorr = ref 0 in
+  List.iter
+    (fun (table, decl) ->
+      let want =
+        match List.assoc_opt table snap with
+        | None -> []
+        | Some rows ->
+          List.filter_map
+            (fun (uuid, (upd : Ovsdb.Db.row_update)) ->
+              Option.map (Bridge.row_of_ovsdb decl uuid) upd.after)
+            rows
+      in
+      let have = Engine.relation_rows t.engine decl.Ast.rname in
+      List.iter
+        (fun row ->
+          if not (List.exists (Row.equal row) want) then begin
+            incr ncorr;
+            Engine.delete txn decl.Ast.rname row
+          end)
+        have;
+      List.iter
+        (fun row ->
+          if not (List.exists (Row.equal row) have) then begin
+            incr ncorr;
+            Engine.insert txn decl.Ast.rname row
+          end)
+        want)
+    t.input_rel_of_table;
+  let deltas = Engine.commit txn in
+  Obs.Counter.add m_resync_corr !ncorr;
+  if deltas <> [] then begin
+    t.ntxns <- t.ntxns + 1;
+    Obs.Counter.incr m_txns;
+    t.iter_deltas <- merge_deltas t.iter_deltas deltas;
+    exec_commands t (write_commands t deltas)
+  end
+
+(* Re-request the database's full state and correct the engine's inputs
+   (the ROADMAP's monitor resync).  On success the link's pending
+   connectivity edges are discarded: the snapshot was taken over the
+   fresh connection, so the reconnect it may have raised is already
+   accounted for.  On failure the link stays dirty and the next
+   iteration (or sync) retries. *)
+let mgmt_resync (t : t) : unit =
+  Obs.Counter.incr m_resyncs;
+  match Transport.send t.mgmt Links.Resync with
+  | Ok (Links.Snapshot snap) ->
+    ignore (Transport.events t.mgmt);
+    apply_resync t snap;
+    t.mgmt_dirty <- false
+  | Ok _ -> error "management link: protocol mismatch on resync"
+  | Error _ -> ()
+
 (* ---------------- construction ---------------- *)
 
-(** Build a controller from the three plane descriptions.  [rules] is
-    the user-written DL program text (rules plus optional internal
-    relation declarations); everything else is generated.
-    [max_iterations] bounds the digest feedback loop in {!sync}. *)
-let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
-    ?(mgmt_link_of = Links.direct_mgmt)
-    ?(p4_link_of = fun _name srv -> Links.direct_p4 srv) ?pool
-    ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
-    ~(rules : string) ~(switches : (string * P4.Switch.t) list) () : t =
-  if max_iterations <= 0 then
-    error "max_iterations must be positive (got %d)" max_iterations;
-  if retry_limit <= 0 then
-    error "retry_limit must be positive (got %d)" retry_limit;
-  let schema = db.Ovsdb.Db.schema in
+(* Generate + parse + assemble the program and resolve the relation
+   maps — everything [create] and [connect] share. *)
+let prepare ?pool ~(schema : Ovsdb.Schema.t) ~(p4 : P4.Program.t)
+    ~(rules : string) ~digest_replace () =
   let generated = Codegen.generate ~schema ~p4 in
   let user =
     match Parser.parse_program rules with
@@ -528,10 +590,6 @@ let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
   in
   let program = Codegen.assemble generated user in
   let engine = Engine.create ?pool program in
-  let monitor =
-    Ovsdb.Db.add_monitor db
-      (List.map (fun (t : Ovsdb.Schema.table) -> (t.tname, None)) schema.tables)
-  in
   let input_rel_of_table =
     List.map
       (fun (t : Ovsdb.Schema.table) ->
@@ -564,27 +622,206 @@ let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
           (decl.Ast.rname, List.map index_of key_cols))
       digest_replace
   in
+  (program, engine, generated.Codegen.mappings, input_rel_of_table,
+   digest_rel_of_name, digest_replace)
+
+(* Resolve an {!Endpoint.transport} into a management link.  [local]
+   lazily creates the in-process monitor, so a fully remote endpoint
+   never registers one. *)
+let resolve_mgmt (tr : Endpoint.transport)
+    ~(local : (Ovsdb.Db.t * Ovsdb.Db.monitor) Lazy.t option) :
+    Links.mgmt_link * Transport.ctl option =
+  let rec go = function
+    | Endpoint.In_process -> (
+      match local with
+      | Some l ->
+        let db, mon = Lazy.force l in
+        (Links.direct_mgmt db mon, None)
+      | None ->
+        error "endpoint: In_process management plane needs a local database")
+    | Endpoint.Wire -> (
+      match local with
+      | Some l ->
+        let db, mon = Lazy.force l in
+        (Links.wire_mgmt db mon, None)
+      | None -> error "endpoint: Wire management plane needs a local database")
+    | Endpoint.Socket path -> (Links.socket_mgmt ~path, None)
+    | Endpoint.Faulty (seed, inner) ->
+      let link, _inner_ctl = go inner in
+      let link, ctl = Transport.faulty ~seed link in
+      (link, Some ctl)
+  in
+  go tr
+
+let resolve_p4 (tr : Endpoint.transport) ~(name : string)
+    ~(local : P4runtime.server option) :
+    Links.p4_link * Transport.ctl option =
+  let rec go = function
+    | Endpoint.In_process -> (
+      match local with
+      | Some srv -> (Links.direct_p4 srv, None)
+      | None ->
+        error "endpoint: In_process plane for switch %s needs a local switch"
+          name)
+    | Endpoint.Wire -> (
+      match local with
+      | Some srv -> (Links.wire_p4 srv, None)
+      | None ->
+        error "endpoint: Wire plane for switch %s needs a local switch" name)
+    | Endpoint.Socket path -> (Links.socket_p4 ~path, None)
+    | Endpoint.Faulty (seed, inner) ->
+      let link, _inner_ctl = go inner in
+      let link, ctl = Transport.faulty ~seed link in
+      (link, Some ctl)
+  in
+  go tr
+
+let check_limits ~max_iterations ~retry_limit =
+  if max_iterations <= 0 then
+    error "max_iterations must be positive (got %d)" max_iterations;
+  if retry_limit <= 0 then
+    error "retry_limit must be positive (got %d)" retry_limit
+
+(** Build a controller around in-process plane objects.  [rules] is the
+    user-written DL program text (rules plus optional internal relation
+    declarations); everything else is generated.  [endpoint] names each
+    plane's transport (default {!Endpoint.in_process}); the deprecated
+    [mgmt_link_of]/[p4_link_of] arguments override it per plane.
+    [max_iterations] bounds the digest feedback loop in {!sync}. *)
+let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
+    ?(endpoint = Endpoint.in_process) ?mgmt_link_of ?p4_link_of ?pool
+    ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
+    ~(rules : string) ~(switches : (string * P4.Switch.t) list) () : t =
+  check_limits ~max_iterations ~retry_limit;
+  let schema = db.Ovsdb.Db.schema in
+  let program, engine, mappings, input_rel_of_table, digest_rel_of_name,
+      digest_replace =
+    prepare ?pool ~schema ~p4 ~rules ~digest_replace ()
+  in
+  let local_mgmt =
+    lazy
+      ( db,
+        Ovsdb.Db.add_monitor db
+          (List.map
+             (fun (t : Ovsdb.Schema.table) -> (t.tname, None))
+             schema.tables) )
+  in
+  let mgmt, mgmt_ctl =
+    match mgmt_link_of with
+    | Some f ->
+      let db, mon = Lazy.force local_mgmt in
+      (f db mon, None)
+    | None -> resolve_mgmt endpoint.Endpoint.mgmt ~local:(Some local_mgmt)
+  in
+  let p4_ctls = ref [] in
+  let sws =
+    List.map
+      (fun (n, sw) ->
+        let srv = P4runtime.attach sw in
+        let link =
+          match p4_link_of with
+          | Some f -> f n srv
+          | None ->
+            let link, ctl =
+              resolve_p4 (endpoint.Endpoint.p4_of n) ~name:n ~local:(Some srv)
+            in
+            (match ctl with
+            | Some c -> p4_ctls := (n, c) :: !p4_ctls
+            | None -> ());
+            link
+        in
+        {
+          sw_name = n;
+          sw_link = link;
+          sw_info = P4runtime.info srv;
+          sw_up = true;
+          sw_dirty = false;
+          sw_seen = IntSet.empty;
+        })
+      switches
+  in
   {
-    db;
-    mgmt = mgmt_link_of monitor;
+    mgmt;
+    mgmt_ctl;
+    mgmt_dirty = false;
+    p4_ctls = !p4_ctls;
     engine;
     program;
-    mappings = generated.mappings;
+    mappings;
     input_rel_of_table;
     digest_rel_of_name;
-    sws =
-      List.map
-        (fun (n, sw) ->
-          let srv = P4runtime.attach sw in
-          {
-            sw_name = n;
-            sw_link = p4_link_of n srv;
-            sw_info = P4runtime.info srv;
-            sw_up = true;
-            sw_dirty = false;
-            sw_seen = IntSet.empty;
-          })
-        switches;
+    sws;
+    pool;
+    digest_replace;
+    max_iterations;
+    retry_limit;
+    ntxns = 0;
+    nentries = Atomic.make 0;
+    ndigests = 0;
+    ngroups = 0;
+    iter_deltas = [];
+  }
+
+(** Build a controller whose planes all live in {e another} process:
+    every transport in [endpoint] must bottom out in a socket.  The
+    database schema and P4 program are passed explicitly (the peer's
+    copies must match — the codecs fail loudly on drift); switch
+    identities are just names resolved through [endpoint.p4_of].  The
+    controller starts dirty on the management plane, so the first
+    {!sync} resyncs against the server's state rather than assuming an
+    empty database. *)
+let connect ?(digest_replace = []) ?(max_iterations = 1000)
+    ?(retry_limit = 8) ?pool ~(endpoint : Endpoint.t)
+    ~(schema : Ovsdb.Schema.t) ~(p4 : P4.Program.t) ~(rules : string)
+    ~(switch_names : string list) () : t =
+  check_limits ~max_iterations ~retry_limit;
+  if not (Endpoint.is_remote endpoint.Endpoint.mgmt) then
+    error "connect: management transport %s is not a socket"
+      (Endpoint.transport_to_string endpoint.Endpoint.mgmt);
+  List.iter
+    (fun n ->
+      if not (Endpoint.is_remote (endpoint.Endpoint.p4_of n)) then
+        error "connect: transport %s for switch %s is not a socket"
+          (Endpoint.transport_to_string (endpoint.Endpoint.p4_of n))
+          n)
+    switch_names;
+  let program, engine, mappings, input_rel_of_table, digest_rel_of_name,
+      digest_replace =
+    prepare ?pool ~schema ~p4 ~rules ~digest_replace ()
+  in
+  let mgmt, mgmt_ctl = resolve_mgmt endpoint.Endpoint.mgmt ~local:None in
+  let sw_info = P4.P4info.of_program p4 in
+  let p4_ctls = ref [] in
+  let sws =
+    List.map
+      (fun n ->
+        let link, ctl =
+          resolve_p4 (endpoint.Endpoint.p4_of n) ~name:n ~local:None
+        in
+        (match ctl with
+        | Some c -> p4_ctls := (n, c) :: !p4_ctls
+        | None -> ());
+        {
+          sw_name = n;
+          sw_link = link;
+          sw_info;
+          sw_up = true;
+          sw_dirty = true;  (* unknown remote state: reconcile first *)
+          sw_seen = IntSet.empty;
+        })
+      switch_names
+  in
+  {
+    mgmt;
+    mgmt_ctl;
+    mgmt_dirty = true;  (* unknown remote state: resync first *)
+    p4_ctls = !p4_ctls;
+    engine;
+    program;
+    mappings;
+    input_rel_of_table;
+    digest_rel_of_name;
+    sws;
     pool;
     digest_replace;
     max_iterations;
@@ -640,13 +877,30 @@ let sync (t : t) : int =
     t.iter_deltas <- [];
     let txns0 = t.ntxns in
     drain_connectivity t;
+    (* Management plane.  A reconnect edge or a failed poll means
+       monitor batches may have been lost; rather than skipping (which
+       silently dropped configuration), mark the link dirty and repair
+       by resync.  A poll that itself reconnected is also untrusted:
+       its response straddles two monitors, so discard it and resync. *)
+    if List.mem Transport.Connected (Transport.events t.mgmt) then
+      t.mgmt_dirty <- true;
+    if t.mgmt_dirty then mgmt_resync t;
     let batches =
-      match Transport.send t.mgmt Links.Poll_monitor with
-      | Ok (Links.Batches bs) -> bs
-      | Error _ ->
-        (* a lossy management link can drop monitor batches; resync is
-           a ROADMAP open item.  Skip this poll and carry on. *)
-        []
+      if t.mgmt_dirty then []
+      else
+        match Transport.send t.mgmt Links.Poll_monitor with
+        | Ok (Links.Batches bs) ->
+          if List.mem Transport.Connected (Transport.events t.mgmt) then begin
+            t.mgmt_dirty <- true;
+            mgmt_resync t;
+            []
+          end
+          else bs
+        | Ok _ -> error "management link: protocol mismatch on poll"
+        | Error _ ->
+          t.mgmt_dirty <- true;
+          mgmt_resync t;
+          []
     in
     Obs.Counter.add m_monitor_batches (List.length batches);
     List.iter
@@ -694,6 +948,49 @@ let sync (t : t) : int =
 
 (** Force a full reconciliation of one switch (by name). *)
 let reconcile (t : t) (name : string) : unit = reconcile_sw t (find_sw t name)
+
+(** Force a management-plane resync on the next sync. *)
+let mark_mgmt_dirty (t : t) : unit = t.mgmt_dirty <- true
+
+(** Fault-injection handles, when the endpoint wrapped a plane in
+    [Faulty]. *)
+let mgmt_ctl (t : t) : Transport.ctl option = t.mgmt_ctl
+let p4_ctl (t : t) (name : string) : Transport.ctl option =
+  List.assoc_opt name t.p4_ctls
+
+(** Canonical byte dump of one switch's forwarding state, read over its
+    link: every table's entries (sorted) in the wire encoding, plus the
+    multicast groups.  Byte-comparable across processes and transports
+    — the convergence tests' equality oracle.
+    @raise Controller_error on a link failure. *)
+let dump_switch (t : t) (name : string) : string =
+  let sw = find_sw t name in
+  let send req =
+    match Transport.send sw.sw_link req with
+    | Ok (P4runtime.Wire.Error_reply msg) ->
+      error "dump %s: %s" name msg
+    | Ok resp -> resp
+    | Error e -> error "dump %s: %s" name (Transport.error_message e)
+  in
+  let entries =
+    List.concat_map
+      (fun (ti : P4.P4info.table_info) ->
+        match send (P4runtime.Wire.Read_table ti.table_id) with
+        | P4runtime.Wire.Table es -> es
+        | _ -> error "dump %s: protocol mismatch on read_table" name)
+      sw.sw_info.tables
+  in
+  let groups =
+    match send P4runtime.Wire.Read_groups with
+    | P4runtime.Wire.Groups gs ->
+      List.sort compare
+        (List.map (fun (g, ps) -> (g, List.sort Int64.compare ps)) gs)
+    | _ -> error "dump %s: protocol mismatch on read_groups" name
+  in
+  P4runtime.Wire.encode_response
+    (P4runtime.Wire.Table (List.sort compare entries))
+  ^ "\n"
+  ^ P4runtime.Wire.encode_response (P4runtime.Wire.Groups groups)
 
 (** Direct access to the engine, for inspection in tests and examples. *)
 let engine (t : t) = t.engine

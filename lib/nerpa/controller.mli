@@ -31,7 +31,8 @@ val create :
   ?digest_replace:(string * string list) list ->
   ?max_iterations:int ->
   ?retry_limit:int ->
-  ?mgmt_link_of:(Ovsdb.Db.monitor -> Links.mgmt_link) ->
+  ?endpoint:Endpoint.t ->
+  ?mgmt_link_of:(Ovsdb.Db.t -> Ovsdb.Db.monitor -> Links.mgmt_link) ->
   ?p4_link_of:(string -> P4runtime.server -> Links.p4_link) ->
   ?pool:Pool.t ->
   db:Ovsdb.Db.t ->
@@ -40,9 +41,10 @@ val create :
   switches:(string * P4.Switch.t) list ->
   unit ->
   t
-(** Build a controller: generate the relation schema from [db]'s schema
-    and [p4], parse the user [rules] text, create the engine, subscribe
-    a monitor, and attach a P4Runtime server to every switch (all run
+(** Build a controller around in-process plane objects: generate the
+    relation schema from [db]'s schema and [p4], parse the user [rules]
+    text, create the engine, subscribe a monitor (only when a plane
+    needs one), and attach a P4Runtime server to every switch (all run
     the same program, as in the paper's prototype).
 
     [digest_replace] gives last-writer-wins semantics to digest
@@ -57,11 +59,15 @@ val create :
     [retry_limit] (default [8]) bounds the write retries on a transient
     link failure before the switch is marked for reconciliation.
 
-    [mgmt_link_of] and [p4_link_of] choose the transport for each plane
-    boundary (default: the direct in-process links).  Pass
-    {!Links.wire_mgmt} / {!Links.wire_p4} to round-trip every message
-    through serialized bytes, or wrap either with {!Transport.faulty}
-    for fault-injection runs.
+    [endpoint] (default {!Endpoint.in_process}) names each plane's
+    transport; [Faulty] layers expose their {!Transport.ctl} via
+    {!mgmt_ctl} / {!p4_ctl}.
+
+    [mgmt_link_of] and [p4_link_of] are the {e deprecated} pre-Endpoint
+    spelling — a function building the plane's link from the in-process
+    objects.  When given they override [endpoint] for that plane.  They
+    remain for one PR so existing call sites (custom fault profiles in
+    tests) keep compiling; new code should use [endpoint].
 
     [pool] (default: none, i.e. fully sequential) parallelises the
     driver and the engine: per-switch polls, command batches and
@@ -69,8 +75,33 @@ val create :
     stalls the fleet), independent DL strata evaluate on the pool
     during commits, and the step core stays single-threaded — results
     are identical to a sequential run.
-    @raise Controller_error on parse errors, schema mismatches, or a
-    non-positive [max_iterations]/[retry_limit]. *)
+    @raise Controller_error on parse errors, schema mismatches, a
+    non-positive [max_iterations]/[retry_limit], or an [endpoint] plane
+    that bottoms out in a socket-less transport with no local object. *)
+
+val connect :
+  ?digest_replace:(string * string list) list ->
+  ?max_iterations:int ->
+  ?retry_limit:int ->
+  ?pool:Pool.t ->
+  endpoint:Endpoint.t ->
+  schema:Ovsdb.Schema.t ->
+  p4:P4.Program.t ->
+  rules:string ->
+  switch_names:string list ->
+  unit ->
+  t
+(** Build a controller whose planes all live in {e another} process —
+    typically one hosting them via [nerpa_cli serve] / [lib/server].
+    Every transport in [endpoint] must bottom out in a [Socket]; the
+    database schema and P4 program are this process's copies (drift
+    fails loudly in the codecs), and switches are identified by name
+    only.  The controller starts with every plane marked dirty, so the
+    first {!sync} resyncs the management plane against the server's
+    database and reconciles every switch rather than assuming empty
+    peers.
+    @raise Controller_error as {!create}, or if a transport is not
+    socket-backed. *)
 
 (** Events consumed and commands produced by the pure step core. *)
 module Step : sig
@@ -114,6 +145,26 @@ val reconcile : t -> string -> unit
     engine's outputs, and write corrective deletes/inserts.  A link
     failure leaves the switch marked dirty; the next {!sync} retries.
     @raise Controller_error on an unknown switch name. *)
+
+val mark_mgmt_dirty : t -> unit
+(** Force a management-plane resync (snapshot + diff + one corrective
+    transaction) at the start of the next {!sync} — what the driver
+    does itself after a reconnect edge or a failed poll. *)
+
+val mgmt_ctl : t -> Transport.ctl option
+(** The fault-injection handle of the management link, when the
+    endpoint wrapped it in [Faulty]. *)
+
+val p4_ctl : t -> string -> Transport.ctl option
+(** The fault-injection handle of the named switch's link, when the
+    endpoint wrapped it in [Faulty]. *)
+
+val dump_switch : t -> string -> string
+(** Canonical byte dump of one switch's forwarding state, read over its
+    link: every table's entries (sorted) in the wire encoding plus the
+    multicast groups (sorted).  Byte-comparable across processes and
+    transports — the convergence tests' equality oracle.
+    @raise Controller_error on an unknown switch or a link failure. *)
 
 val engine : t -> Dl.Engine.t
 (** The underlying engine, for inspection. *)

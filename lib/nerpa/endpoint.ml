@@ -1,0 +1,37 @@
+type transport =
+  | In_process
+  | Wire
+  | Socket of string
+  | Faulty of int * transport
+
+type t = { mgmt : transport; p4_of : string -> transport }
+
+let in_process = { mgmt = In_process; p4_of = (fun _ -> In_process) }
+let wire = { mgmt = Wire; p4_of = (fun _ -> Wire) }
+
+let mgmt_socket_path ~dir = Filename.concat dir "ovsdb.sock"
+let p4_socket_path ~dir name = Filename.concat dir ("p4-" ^ name ^ ".sock")
+
+let sockets ~dir =
+  { mgmt = Socket (mgmt_socket_path ~dir);
+    p4_of = (fun name -> Socket (p4_socket_path ~dir name)) }
+
+let faulty_mgmt ~seed t = { t with mgmt = Faulty (seed, t.mgmt) }
+
+let faulty_p4 ~seed t =
+  let p4_of = t.p4_of in
+  { t with p4_of = (fun name -> Faulty (seed, p4_of name)) }
+
+let rec transport_to_string = function
+  | In_process -> "in-process"
+  | Wire -> "wire"
+  | Socket path -> Printf.sprintf "socket:%s" path
+  | Faulty (seed, inner) ->
+    Printf.sprintf "faulty(%d):%s" seed (transport_to_string inner)
+
+(* A transport needs local objects (the db / switch living in this
+   process) unless every layer bottoms out in a socket. *)
+let rec is_remote = function
+  | In_process | Wire -> false
+  | Socket _ -> true
+  | Faulty (_, inner) -> is_remote inner

@@ -1,0 +1,59 @@
+(** Where each plane of a deployment lives.
+
+    An [Endpoint.t] names the transport carrying each plane — the
+    management (OVSDB monitor) link and one P4Runtime link per switch —
+    replacing the old [?mgmt_link_of]/[?p4_link_of] optional-argument
+    sprawl on {!Controller.create}.  Pass it to {!Controller.create}
+    (in-process flavours, which need the local [db]/[p4] objects) or
+    {!Controller.connect} (socket flavours, which need only paths). *)
+
+(** How a plane's messages travel. *)
+type transport =
+  | In_process  (** direct closure call; the fast path *)
+  | Wire  (** in-process, but round-tripped through serialized bytes *)
+  | Socket of string
+      (** framed bytes over the Unix-domain socket at this path, toward
+          a [lib/server] process *)
+  | Faulty of int * transport
+      (** wrap [transport] with seeded fault injection
+          ({!Transport.default_faults}); the controller exposes the
+          {!Transport.ctl} via {!Controller.mgmt_ctl} /
+          {!Controller.p4_ctl} *)
+
+type t = {
+  mgmt : transport;  (** the management (OVSDB monitor) plane *)
+  p4_of : string -> transport;  (** per-switch P4Runtime plane, by name *)
+}
+
+val in_process : t
+(** Everything direct — the default deployment. *)
+
+val wire : t
+(** Every plane through the byte codecs; catches codec asymmetries. *)
+
+val sockets : dir:string -> t
+(** Every plane over Unix-domain sockets under [dir], using the same
+    path layout [lib/server] binds: [ovsdb.sock] for the management
+    plane, [p4-<name>.sock] per switch. *)
+
+val faulty_mgmt : seed:int -> t -> t
+(** Wrap the management plane with seeded fault injection. *)
+
+val faulty_p4 : seed:int -> t -> t
+(** Wrap every switch's P4Runtime plane with seeded fault injection. *)
+
+(** {1 Socket path layout}
+
+    Shared with [lib/server] so client and server agree by
+    construction. *)
+
+val mgmt_socket_path : dir:string -> string
+val p4_socket_path : dir:string -> string -> string
+
+(** {1 Introspection} *)
+
+val transport_to_string : transport -> string
+
+val is_remote : transport -> bool
+(** [true] when the transport bottoms out in a socket — i.e. it needs
+    no local database or switch object on this side. *)

@@ -1,35 +1,65 @@
-type mgmt_request = Poll_monitor
-type mgmt_response = Batches of Ovsdb.Db.table_updates list
+type mgmt_request = Poll_monitor | Resync
+
+type mgmt_response =
+  | Batches of Ovsdb.Db.table_updates list
+  | Snapshot of Ovsdb.Db.table_updates
 
 type mgmt_link = (mgmt_request, mgmt_response) Transport.t
 type p4_link = (P4runtime.Wire.request, P4runtime.Wire.response) Transport.t
 
-let poll_handler mon Poll_monitor = Batches (Ovsdb.Db.poll mon)
+let mgmt_handler db mon = function
+  | Poll_monitor -> Batches (Ovsdb.Db.poll mon)
+  | Resync ->
+    (* Drain the monitor first: queued batches describe changes already
+       visible in the snapshot, and must not be replayed on top of it. *)
+    ignore (Ovsdb.Db.poll mon);
+    Snapshot (Ovsdb.Db.snapshot db)
 
-let direct_mgmt mon = Transport.direct (poll_handler mon)
+(* ---------------- management-plane codec ---------------- *)
 
-let wire_mgmt mon =
-  let module J = Ovsdb.Json in
-  let encode_req Poll_monitor = J.to_string (J.String "poll") in
-  let decode_req s =
-    match J.of_string s with
-    | J.String "poll" -> Ok Poll_monitor
-    | j -> Error (Printf.sprintf "bad monitor request %s" (J.to_string j))
-    | exception J.Parse_error msg -> Error msg
-  in
-  let encode_resp (Batches bs) =
+module J = Ovsdb.Json
+
+let encode_mgmt_request = function
+  | Poll_monitor -> J.to_string (J.String "poll")
+  | Resync -> J.to_string (J.String "resync")
+
+let decode_mgmt_request s =
+  match J.of_string s with
+  | J.String "poll" -> Ok Poll_monitor
+  | J.String "resync" -> Ok Resync
+  | j -> Error (Printf.sprintf "bad monitor request %s" (J.to_string j))
+  | exception J.Parse_error msg -> Error msg
+
+let encode_mgmt_response = function
+  | Batches bs ->
     J.to_string (J.List (List.map Ovsdb.Rpc.updates_to_json bs))
-  in
-  let decode_resp s =
-    match J.of_string s with
-    | J.List bs -> (
-      try Ok (Batches (List.map Ovsdb.Rpc.updates_of_json bs))
-      with Ovsdb.Rpc.Protocol_error msg -> Error msg)
-    | j -> Error (Printf.sprintf "bad monitor response %s" (J.to_string j))
-    | exception J.Parse_error msg -> Error msg
-  in
-  Transport.wire ~encode_req ~decode_req ~encode_resp ~decode_resp
-    (poll_handler mon)
+  | Snapshot s ->
+    J.to_string
+      (J.Obj [ ("snapshot", Ovsdb.Rpc.updates_to_json s) ])
+
+let decode_mgmt_response s =
+  match J.of_string s with
+  | J.List bs -> (
+    try Ok (Batches (List.map Ovsdb.Rpc.updates_of_json bs))
+    with Ovsdb.Rpc.Protocol_error msg -> Error msg)
+  | J.Obj [ ("snapshot", j) ] -> (
+    try Ok (Snapshot (Ovsdb.Rpc.updates_of_json j))
+    with Ovsdb.Rpc.Protocol_error msg -> Error msg)
+  | j -> Error (Printf.sprintf "bad monitor response %s" (J.to_string j))
+  | exception J.Parse_error msg -> Error msg
+
+(* ---------------- constructors ---------------- *)
+
+let direct_mgmt db mon = Transport.direct (mgmt_handler db mon)
+
+let wire_mgmt db mon =
+  Transport.wire ~encode_req:encode_mgmt_request
+    ~decode_req:decode_mgmt_request ~encode_resp:encode_mgmt_response
+    ~decode_resp:decode_mgmt_response (mgmt_handler db mon)
+
+let socket_mgmt ~path =
+  Transport.socket ~plane:Transport.Frame.Mgmt ~path
+    ~encode_req:encode_mgmt_request ~decode_resp:decode_mgmt_response ()
 
 let direct_p4 srv = Transport.direct (P4runtime.Wire.dispatch srv)
 
@@ -39,3 +69,8 @@ let wire_p4 srv =
     ~encode_resp:P4runtime.Wire.encode_response
     ~decode_resp:P4runtime.Wire.decode_response
     (P4runtime.Wire.dispatch srv)
+
+let socket_p4 ~path =
+  Transport.socket ~plane:Transport.Frame.P4 ~path
+    ~encode_req:P4runtime.Wire.encode_request
+    ~decode_resp:P4runtime.Wire.decode_response ()

@@ -1,23 +1,56 @@
 (** Plane-boundary links: the controller's view of its peers as
     {!Transport} request/response channels.
 
-    The management link carries monitor polls toward the OVSDB server;
-    the P4Runtime link carries {!P4runtime.Wire} messages toward a
-    switch.  Each has a [direct_*] constructor (in-process closure, the
-    fast path) and a [wire_*] constructor that round-trips every
-    message through serialized bytes — the monitor batches via the
-    OVSDB JSON codec, the P4Runtime messages via {!P4runtime.Wire}.
+    The management link carries monitor polls — and, since the socket
+    transport made server loss real, {!Resync} requests — toward the
+    OVSDB server; the P4Runtime link carries {!P4runtime.Wire} messages
+    toward a switch.  Each has a [direct_*] constructor (in-process
+    closure, the fast path), a [wire_*] constructor that round-trips
+    every message through serialized bytes, and a [socket_*]
+    constructor that speaks the same bytes over a Unix-domain socket
+    toward a [lib/server] process.
 
-    Fault-injection wraps either flavour with {!Transport.faulty}. *)
+    Fault-injection wraps any flavour with {!Transport.faulty}. *)
 
-type mgmt_request = Poll_monitor
-type mgmt_response = Batches of Ovsdb.Db.table_updates list
+type mgmt_request =
+  | Poll_monitor  (** drain the monitor's queued change batches *)
+  | Resync
+      (** request the database's full current contents; issued after a
+          reconnect or a lost batch, diffed client-side against the
+          engine's inputs *)
+
+type mgmt_response =
+  | Batches of Ovsdb.Db.table_updates list
+  | Snapshot of Ovsdb.Db.table_updates
 
 type mgmt_link = (mgmt_request, mgmt_response) Transport.t
 type p4_link = (P4runtime.Wire.request, P4runtime.Wire.response) Transport.t
 
-val direct_mgmt : Ovsdb.Db.monitor -> mgmt_link
-val wire_mgmt : Ovsdb.Db.monitor -> mgmt_link
+val mgmt_handler :
+  Ovsdb.Db.t -> Ovsdb.Db.monitor -> mgmt_request -> mgmt_response
+(** Server-side dispatch: [Poll_monitor] drains the monitor, [Resync]
+    discards any queued batches (they are subsumed) and snapshots the
+    database.  Shared by the in-process links and [lib/server]. *)
+
+(** {1 Management-plane codec}
+
+    JSON text, reused verbatim by the socket frames. *)
+
+val encode_mgmt_request : mgmt_request -> string
+val decode_mgmt_request : string -> (mgmt_request, string) result
+val encode_mgmt_response : mgmt_response -> string
+val decode_mgmt_response : string -> (mgmt_response, string) result
+
+(** {1 Constructors} *)
+
+val direct_mgmt : Ovsdb.Db.t -> Ovsdb.Db.monitor -> mgmt_link
+val wire_mgmt : Ovsdb.Db.t -> Ovsdb.Db.monitor -> mgmt_link
+
+val socket_mgmt : path:string -> mgmt_link
+(** Client end of a [lib/server] management socket. *)
 
 val direct_p4 : P4runtime.server -> p4_link
 val wire_p4 : P4runtime.server -> p4_link
+
+val socket_p4 : path:string -> p4_link
+(** Client end of a [lib/server] per-switch socket. *)

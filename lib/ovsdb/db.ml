@@ -558,6 +558,20 @@ let poll (mon : monitor) : table_updates list =
 let cancel_monitor (db : t) (mon : monitor) =
   db.monitors <- List.filter (fun m -> m.mon_id <> mon.mon_id) db.monitors
 
+(** Current contents of every schema table as one batch of insertions —
+    the payload of a monitor resync (see Nerpa's driver). *)
+let snapshot (db : t) : table_updates =
+  List.map
+    (fun (tbl : Schema.table) ->
+      let rows =
+        fold_rows db tbl.tname
+          (fun uuid row acc ->
+            (uuid, { before = None; after = Some row }) :: acc)
+          []
+      in
+      (tbl.tname, rows))
+    db.schema.tables
+
 (* ---------------- convenience helpers ---------------- *)
 
 let eq column datum = { ccolumn = column; cop = Eq; carg = datum }

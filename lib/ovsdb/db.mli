@@ -100,6 +100,12 @@ val poll : monitor -> table_updates list
 
 val cancel_monitor : t -> monitor -> unit
 
+val snapshot : t -> table_updates
+(** The database's current contents as one batch of insertions over
+    every schema table — the payload of a monitor resync: a client that
+    lost monitor batches diffs this against its own inputs and applies
+    the correction as a single transaction. *)
+
 (** {1 Convenience} *)
 
 val eq : string -> Datum.t -> condition

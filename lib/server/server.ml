@@ -1,0 +1,212 @@
+(* The Nerpa daemon: hosts an OVSDB database and/or a fleet of P4
+   switches behind Unix-domain listening sockets, speaking the
+   {!Transport.Frame} protocol toward controller processes.
+
+   One listening socket per hosted entity — the management plane at
+   [Endpoint.mgmt_socket_path], one P4Runtime socket per switch at
+   [Endpoint.p4_socket_path] — each with its own accept loop.  Every
+   accepted connection gets a handler thread; system threads (not
+   [lib/pool] domains) because each handler spends its life blocked in
+   [read]/[write], which is exactly what threads are for and what the
+   pool's batch-oriented work-stealing domains are not.
+
+   Dispatch into the database and the switches is serialized by one
+   server-wide lock: the hosted objects are the same single-threaded
+   structures the in-process deployment uses, and the lock gives every
+   request the atomicity the direct call had.  [with_lock] exposes the
+   same lock to the hosting process (e.g. a workload generator applying
+   transactions while controllers are connected).
+
+   A malformed frame or payload closes the offending connection only;
+   the listeners and every other connection keep running.  Each
+   management connection owns a private monitor (registered on accept,
+   cancelled on close), so one client's polls never consume another's
+   batches — and a reconnecting controller finds a fresh monitor whose
+   initial batch, or a [Resync] snapshot, rebuilds its state. *)
+
+let m_accepts = Obs.Counter.create "server.accepts"
+let m_requests = Obs.Counter.create "server.requests"
+let m_conn_errors = Obs.Counter.create "server.conn_errors"
+
+type t = {
+  dir : string;
+  db : Ovsdb.Db.t option;
+  switches : (string * P4runtime.server) list;
+  lock : Mutex.t;
+  mutable running : bool;
+  mutable listeners : Unix.file_descr list;
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;
+  state_lock : Mutex.t;  (* guards the mutable lists + [running] *)
+}
+
+let create ?db ?(switches = []) ~dir () : t =
+  {
+    dir;
+    db;
+    switches = List.map (fun (n, sw) -> (n, P4runtime.attach sw)) switches;
+    lock = Mutex.create ();
+    running = false;
+    listeners = [];
+    conns = [];
+    threads = [];
+    state_lock = Mutex.create ();
+  }
+
+let with_lock (t : t) (f : unit -> 'a) : 'a = Mutex.protect t.lock f
+
+let socket_dir (t : t) = t.dir
+
+let track_conn t fd =
+  Mutex.protect t.state_lock (fun () -> t.conns <- fd :: t.conns)
+
+let untrack_conn t fd =
+  Mutex.protect t.state_lock (fun () ->
+      t.conns <- List.filter (fun c -> c != fd) t.conns)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---------------- per-connection handlers ---------------- *)
+
+(* Generic request/response loop over one connection: read a frame,
+   check the plane tag, decode, dispatch under the server lock, write
+   the framed response with the request's id.  Any failure — including
+   a corrupt or oversize frame — ends this connection and nothing
+   else. *)
+let serve_conn (t : t) ~(plane : Transport.Frame.plane)
+    ~(decode : string -> ('req, string) result)
+    ~(encode : 'resp -> string) ~(handle : 'req -> 'resp)
+    (fd : Unix.file_descr) : unit =
+  let rec loop () =
+    match Transport.Frame.read_frame fd with
+    | Error _ -> Obs.Counter.incr m_conn_errors
+    | Ok (got_plane, _, _) when got_plane <> plane ->
+      Obs.Counter.incr m_conn_errors
+    | Ok (_, req_id, payload) -> (
+      match decode payload with
+      | Error _ -> Obs.Counter.incr m_conn_errors
+      | Ok req ->
+        Obs.Counter.incr m_requests;
+        let resp = with_lock t (fun () -> handle req) in
+        (match
+           Transport.Frame.write_frame fd ~plane ~req_id (encode resp)
+         with
+        | Ok () -> loop ()
+        | Error _ -> Obs.Counter.incr m_conn_errors))
+  in
+  loop ()
+
+let serve_mgmt (t : t) (db : Ovsdb.Db.t) (fd : Unix.file_descr) : unit =
+  let mon =
+    with_lock t (fun () ->
+        Ovsdb.Db.add_monitor db
+          (List.map
+             (fun (tbl : Ovsdb.Schema.table) -> (tbl.tname, None))
+             db.Ovsdb.Db.schema.tables))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      with_lock t (fun () -> Ovsdb.Db.cancel_monitor db mon))
+    (fun () ->
+      serve_conn t ~plane:Transport.Frame.Mgmt
+        ~decode:Nerpa.Links.decode_mgmt_request
+        ~encode:Nerpa.Links.encode_mgmt_response
+        ~handle:(Nerpa.Links.mgmt_handler db mon) fd)
+
+let serve_p4 (t : t) (srv : P4runtime.server) (fd : Unix.file_descr) : unit =
+  serve_conn t ~plane:Transport.Frame.P4
+    ~decode:P4runtime.Wire.decode_request
+    ~encode:P4runtime.Wire.encode_response
+    ~handle:(P4runtime.Wire.dispatch srv) fd
+
+(* ---------------- accept loops ---------------- *)
+
+let accept_loop (t : t) (lfd : Unix.file_descr)
+    (handler : Unix.file_descr -> unit) : unit =
+  let rec loop () =
+    match Unix.accept lfd with
+    | fd, _ ->
+      Obs.Counter.incr m_accepts;
+      track_conn t fd;
+      let th =
+        Thread.create
+          (fun () ->
+            (try handler fd with _ -> Obs.Counter.incr m_conn_errors);
+            untrack_conn t fd;
+            close_quiet fd)
+          ()
+      in
+      Mutex.protect t.state_lock (fun () -> t.threads <- th :: t.threads);
+      loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error (_, _, _) ->
+      (* listener closed by [stop] (or fatally broken): end the loop *)
+      ()
+  in
+  loop ()
+
+let listen_on (path : string) : Unix.file_descr =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 16;
+  lfd
+
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let start (t : t) : unit =
+  Lazy.force ignore_sigpipe;
+  if not (Sys.file_exists t.dir) then Unix.mkdir t.dir 0o755;
+  Mutex.protect t.state_lock (fun () -> t.running <- true);
+  let spawn path handler =
+    let lfd = listen_on path in
+    Mutex.protect t.state_lock (fun () ->
+        t.listeners <- lfd :: t.listeners);
+    let th = Thread.create (fun () -> accept_loop t lfd handler) () in
+    Mutex.protect t.state_lock (fun () -> t.threads <- th :: t.threads)
+  in
+  (match t.db with
+  | Some db ->
+    spawn (Nerpa.Endpoint.mgmt_socket_path ~dir:t.dir) (serve_mgmt t db)
+  | None -> ());
+  List.iter
+    (fun (name, srv) ->
+      spawn (Nerpa.Endpoint.p4_socket_path ~dir:t.dir name) (serve_p4 t srv))
+    t.switches
+
+let stop (t : t) : unit =
+  let listeners, conns, threads =
+    Mutex.protect t.state_lock (fun () ->
+        t.running <- false;
+        let l = t.listeners and c = t.conns and th = t.threads in
+        t.listeners <- [];
+        t.threads <- [];
+        (l, c, th))
+  in
+  (* [shutdown] (not just [close]) on the listeners: closing an fd does
+     not wake a thread blocked in [accept], shutting the socket down
+     does — the accept fails and the loop exits. *)
+  List.iter
+    (fun fd ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      close_quiet fd)
+    listeners;
+  (* Shut the open connections down so blocked reads return EOF and the
+     handler threads exit; they close their own fds. *)
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join threads;
+  (match t.db with
+  | Some _ ->
+    (try Unix.unlink (Nerpa.Endpoint.mgmt_socket_path ~dir:t.dir)
+     with Unix.Unix_error _ -> ())
+  | None -> ());
+  List.iter
+    (fun (name, _) ->
+      try Unix.unlink (Nerpa.Endpoint.p4_socket_path ~dir:t.dir name)
+      with Unix.Unix_error _ -> ())
+    t.switches

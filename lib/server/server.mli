@@ -1,0 +1,51 @@
+(** The Nerpa daemon: hosts an OVSDB database and/or a fleet of P4
+    switches behind Unix-domain listening sockets speaking the
+    {!Transport.Frame} protocol — the server side of
+    {!Transport.socket} and {!Nerpa.Endpoint.sockets}.
+
+    Socket layout under [dir] matches {!Nerpa.Endpoint}:
+    [ovsdb.sock] for the management plane (when a database is hosted),
+    [p4-<name>.sock] per hosted switch.  Each listener runs one accept
+    loop; each accepted connection gets a handler thread.  All
+    dispatch into the hosted objects is serialized by a server-wide
+    lock ({!with_lock}), so concurrent clients see the same atomic
+    request semantics as an in-process deployment.
+
+    Robustness: a malformed, truncated or oversize frame closes the
+    {e offending connection only} — listeners and other connections
+    are unaffected.  Each management connection owns a private
+    monitor, cancelled when the connection dies; a reconnecting
+    controller resyncs from a fresh snapshot.
+
+    Metrics: [server.accepts], [server.requests],
+    [server.conn_errors]. *)
+
+type t
+
+val create :
+  ?db:Ovsdb.Db.t ->
+  ?switches:(string * P4.Switch.t) list ->
+  dir:string ->
+  unit ->
+  t
+(** A server hosting [db] (if given) and [switches] (attached to
+    P4Runtime on creation) under socket directory [dir].  Nothing
+    listens until {!start}. *)
+
+val start : t -> unit
+(** Create [dir] if needed, bind and listen on every socket, and spawn
+    the accept threads.  Stale socket files are replaced.  SIGPIPE is
+    ignored process-wide (a write to a dead client must fail with
+    [EPIPE], not kill the daemon). *)
+
+val stop : t -> unit
+(** Close listeners and open connections, join every handler thread,
+    and remove the socket files.  The hosted database and switches
+    survive (a later {!start} re-exposes them). *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run [f] under the server's dispatch lock — how a hosting process
+    safely mutates the database or injects packets into hosted switches
+    while clients are connected. *)
+
+val socket_dir : t -> string

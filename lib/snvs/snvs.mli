@@ -28,15 +28,29 @@ type deployment = {
 val deploy :
   ?switch_name:string ->
   ?max_iterations:int ->
-  ?mgmt_link_of:(Ovsdb.Db.monitor -> Nerpa.Links.mgmt_link) ->
+  ?endpoint:Nerpa.Endpoint.t ->
+  ?mgmt_link_of:(Ovsdb.Db.t -> Ovsdb.Db.monitor -> Nerpa.Links.mgmt_link) ->
   ?p4_link_of:(string -> P4runtime.server -> Nerpa.Links.p4_link) ->
   ?pool:Pool.t ->
   unit ->
   deployment
 (** A ready-to-run single-switch deployment with MAC-mobility digest
-    replacement configured.  [max_iterations], [mgmt_link_of] and
-    [p4_link_of] are passed through to {!Nerpa.Controller.create}
-    (feedback-loop bound and plane-transport choice). *)
+    replacement configured.  [max_iterations], [endpoint] and the
+    deprecated [mgmt_link_of]/[p4_link_of] overrides are passed through
+    to {!Nerpa.Controller.create} (feedback-loop bound and
+    plane-transport choice). *)
+
+val connect :
+  ?switch_names:string list ->
+  ?max_iterations:int ->
+  ?pool:Pool.t ->
+  endpoint:Nerpa.Endpoint.t ->
+  unit ->
+  Nerpa.Controller.t
+(** An snvs controller whose database and switches (default
+    [["snvs0"]]) live in another process, reached through [endpoint]
+    (socket transports; see {!Nerpa.Controller.connect}).  Digest
+    replacement is configured as in {!deploy}. *)
 
 val add_port :
   deployment ->

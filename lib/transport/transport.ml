@@ -1,10 +1,153 @@
-type error = Closed | Transient of string
+type reason =
+  | Refused
+  | Eof
+  | Truncated
+  | Bad_magic
+  | Version_mismatch of int * int
+  | Oversize of int
+  | Codec of string
+  | Io of string
+  | Injected of string
+  | Down
+  | Protocol of string
+
+type error = Closed of reason | Transient of reason
+
+(* Stable, finite label set: safe as a metric/log label. *)
+let reason_label = function
+  | Refused -> "refused"
+  | Eof -> "eof"
+  | Truncated -> "truncated"
+  | Bad_magic -> "bad-magic"
+  | Version_mismatch _ -> "version-mismatch"
+  | Oversize _ -> "oversize"
+  | Codec _ -> "codec"
+  | Io _ -> "io"
+  | Injected kind -> "injected-" ^ kind
+  | Down -> "down"
+  | Protocol _ -> "protocol"
 
 let error_to_string = function
-  | Closed -> "link closed"
-  | Transient msg -> Printf.sprintf "transient: %s" msg
+  | Closed r -> "closed/" ^ reason_label r
+  | Transient r -> "transient/" ^ reason_label r
+
+let reason_message = function
+  | Version_mismatch (ours, theirs) ->
+    Printf.sprintf "protocol version mismatch: ours %d, peer sent %d" ours
+      theirs
+  | Oversize n -> Printf.sprintf "oversize frame: declared %d bytes" n
+  | Codec msg -> "codec: " ^ msg
+  | Io msg -> "io: " ^ msg
+  | Protocol msg -> "protocol: " ^ msg
+  | Injected kind -> "injected " ^ kind
+  | r -> reason_label r
+
+let error_message = function
+  | Closed r -> "closed: " ^ reason_message r
+  | Transient r -> "transient: " ^ reason_message r
 
 type status = Connected | Disconnected
+
+(* ---------------- frames ---------------- *)
+
+module Frame = struct
+  let magic = "NRPA"
+  let version = 1
+  let header_len = 14 (* magic 4 + version 1 + plane 1 + req_id 4 + len 4 *)
+  let max_payload = 1 lsl 24 (* 16 MiB *)
+
+  type plane = Mgmt | P4
+
+  let plane_byte = function Mgmt -> 1 | P4 -> 2
+  let plane_of_byte = function 1 -> Some Mgmt | 2 -> Some P4 | _ -> None
+  let plane_to_string = function Mgmt -> "mgmt" | P4 -> "p4"
+
+  let encode ~plane ~req_id payload =
+    let n = String.length payload in
+    let b = Buffer.create (header_len + n) in
+    Buffer.add_string b magic;
+    Buffer.add_char b (Char.chr version);
+    Buffer.add_char b (Char.chr (plane_byte plane));
+    Buffer.add_int32_be b (Int32.of_int req_id);
+    Buffer.add_int32_be b (Int32.of_int n);
+    Buffer.add_string b payload;
+    Buffer.contents b
+
+  (* Validate a header string (exactly [header_len] bytes, already
+     read); the length field is only trusted after everything before it
+     checked out. *)
+  let check_header hdr =
+    if String.sub hdr 0 4 <> magic then Error Bad_magic
+    else
+      let v = Char.code hdr.[4] in
+      if v <> version then Error (Version_mismatch (version, v))
+      else
+        match plane_of_byte (Char.code hdr.[5]) with
+        | None ->
+          Error (Protocol (Printf.sprintf "bad plane tag %d" (Char.code hdr.[5])))
+        | Some plane ->
+          let req_id = Int32.to_int (String.get_int32_be hdr 6) in
+          let len = Int32.to_int (String.get_int32_be hdr 10) in
+          if len < 0 || len > max_payload then Error (Oversize len)
+          else Ok (plane, req_id, len)
+
+  let decode s =
+    if String.length s < header_len then Error Truncated
+    else
+      match check_header (String.sub s 0 header_len) with
+      | Error r -> Error r
+      | Ok (plane, req_id, len) ->
+        if String.length s < header_len + len then Error Truncated
+        else Ok (plane, req_id, String.sub s header_len len)
+
+  let read_exact fd n =
+    let buf = Bytes.create n in
+    let rec go off =
+      if off = n then Ok (Bytes.unsafe_to_string buf)
+      else
+        match Unix.read fd buf off (n - off) with
+        | 0 -> Error (if off = 0 then Eof else Truncated)
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+          (* peer vanished with data in flight: same as a close *)
+          Error (if off = 0 then Eof else Truncated)
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Io (Unix.error_message e))
+    in
+    go 0
+
+  let read_frame fd =
+    match read_exact fd header_len with
+    | Error r -> Error r
+    | Ok hdr -> (
+      match check_header hdr with
+      | Error r -> Error r
+      | Ok (plane, req_id, len) -> (
+        match read_exact fd len with
+        | Ok payload -> Ok (plane, req_id, payload)
+        | Error Eof -> Error Truncated
+        | Error r -> Error r))
+
+  let write_frame fd ~plane ~req_id payload =
+    if String.length payload > max_payload then
+      Error (Oversize (String.length payload))
+    else begin
+      let b = Bytes.unsafe_of_string (encode ~plane ~req_id payload) in
+      let rec go off =
+        if off >= Bytes.length b then Ok ()
+        else
+          match Unix.write fd b off (Bytes.length b - off) with
+          | k -> go (off + k)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            Error Eof
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Io (Unix.error_message e))
+      in
+      go 0
+    end
+end
 
 type ('req, 'resp) t = {
   send : 'req -> ('resp, error) result;
@@ -17,6 +160,9 @@ let m_sends = Obs.Counter.create "transport.sends"
 let m_errors = Obs.Counter.create "transport.errors"
 let m_wire_msgs = Obs.Counter.create "transport.wire.msgs"
 let m_wire_bytes = Obs.Counter.create "transport.wire.bytes"
+let m_socket_connects = Obs.Counter.create "transport.socket.connects"
+let m_socket_msgs = Obs.Counter.create "transport.socket.msgs"
+let m_socket_bytes = Obs.Counter.create "transport.socket.bytes"
 let m_drops = Obs.Counter.create "transport.faults.drops"
 let m_duplicates = Obs.Counter.create "transport.faults.duplicates"
 let m_delays = Obs.Counter.create "transport.faults.delays"
@@ -47,13 +193,125 @@ let wire ~encode_req ~decode_req ~encode_resp ~decode_resp handle =
   in
   let send req =
     match roundtrip encode_req decode_req req with
-    | Error msg -> Error (Transient (Printf.sprintf "encode request: %s" msg))
+    | Error msg -> Error (Transient (Codec ("encode request: " ^ msg)))
     | Ok req -> (
       match roundtrip encode_resp decode_resp (handle req) with
-      | Error msg -> Error (Transient (Printf.sprintf "decode response: %s" msg))
+      | Error msg -> Error (Transient (Codec ("decode response: " ^ msg)))
       | Ok resp -> Ok resp)
   in
   { send; status = (fun () -> Connected); events = (fun () -> []) }
+
+(* ---------------- Unix-domain socket client ---------------- *)
+
+(* A write to a peer that went away raises SIGPIPE, whose default
+   disposition kills the process; we want the EPIPE error instead. *)
+let ignore_sigpipe =
+  lazy (if Sys.os_type = "Unix" then
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let socket ~plane ~path ~encode_req ~decode_resp () =
+  Lazy.force ignore_sigpipe;
+  let fd = ref None in
+  let up = ref false in
+  let pending_events = ref [] in
+  let next_id = ref 0 in
+  let queue_event e = pending_events := e :: !pending_events in
+  let drop_conn () =
+    (match !fd with
+    | Some f -> ( try Unix.close f with Unix.Unix_error _ -> ())
+    | None -> ());
+    fd := None;
+    if !up then begin
+      up := false;
+      queue_event Disconnected
+    end
+  in
+  let connect_now () =
+    let f = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect f (Unix.ADDR_UNIX path) with
+    | () ->
+      Obs.Counter.incr m_socket_connects;
+      Ok f
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close f with Unix.Unix_error _ -> ());
+      Error
+        (match e with
+        | Unix.ECONNREFUSED | Unix.ENOENT -> Refused
+        | e -> Io (Unix.error_message e))
+  in
+  (* [announce]: whether a successful connect after a down period
+     raises a Connected edge.  The constructor's eager connect is
+     silent (a link born connected, like direct/faulty); every later
+     down→up transition is announced so the driver reconciles. *)
+  let obtain ~announce =
+    match !fd with
+    | Some f -> Ok f
+    | None -> (
+      match connect_now () with
+      | Ok f ->
+        fd := Some f;
+        if announce && not !up then queue_event Connected;
+        up := true;
+        Ok f
+      | Error r -> Error r)
+  in
+  (* eager initial connect: failure is not an event, just a down link *)
+  (match obtain ~announce:false with Ok _ -> () | Error _ -> ());
+  let send req =
+    match obtain ~announce:true with
+    | Error r -> Error (Closed r)
+    | Ok f -> (
+      incr next_id;
+      let id = !next_id in
+      let payload = encode_req req in
+      Obs.Counter.incr m_socket_msgs;
+      Obs.Counter.add m_socket_bytes (String.length payload);
+      match Frame.write_frame f ~plane ~req_id:id payload with
+      | Error r ->
+        drop_conn ();
+        Error (Closed r)
+      | Ok () -> (
+        match Frame.read_frame f with
+        | Error r ->
+          drop_conn ();
+          Error (Closed r)
+        | Ok (p, rid, body) ->
+          if p <> plane then begin
+            drop_conn ();
+            Error
+              (Closed
+                 (Protocol
+                    (Printf.sprintf "expected %s frame, got %s"
+                       (Frame.plane_to_string plane) (Frame.plane_to_string p))))
+          end
+          else if rid <> id then begin
+            (* the stream can no longer be trusted: a stale or reordered
+               response would be mis-attributed *)
+            drop_conn ();
+            Error
+              (Closed
+                 (Protocol
+                    (Printf.sprintf "response id %d for request %d" rid id)))
+          end
+          else begin
+            Obs.Counter.incr m_socket_msgs;
+            Obs.Counter.add m_socket_bytes (String.length body);
+            match decode_resp body with
+            | Ok resp -> Ok resp
+            | Error msg -> Error (Transient (Codec msg))
+          end))
+  in
+  {
+    send;
+    status = (fun () -> if !up then Connected else Disconnected);
+    events =
+      (fun () ->
+        let es = List.rev !pending_events in
+        pending_events := [];
+        es);
+  }
+
+(* ---------------- fault injection ---------------- *)
 
 type faults = {
   drop : float;
@@ -112,7 +370,7 @@ let faulty ~seed ?(faults = default_faults) inner =
     let was_down = !down_remaining > 0 in
     tick_down ();
     flush_delayed ~ticked:true;
-    if was_down then Error Closed
+    if was_down then Error (Closed Down)
     else begin
       let enabled =
         match !ctl_ref with Some c -> c.enabled | None -> true
@@ -120,7 +378,7 @@ let faulty ~seed ?(faults = default_faults) inner =
       let roll p = enabled && p > 0. && Random.State.float rng 1.0 < p in
       if roll faults.drop then begin
         Obs.Counter.incr m_drops;
-        Error (Transient "injected drop")
+        Error (Transient (Injected "drop"))
       end
       else if roll faults.duplicate then begin
         Obs.Counter.incr m_duplicates;
@@ -133,12 +391,12 @@ let faulty ~seed ?(faults = default_faults) inner =
         let countdown = ref (1 + Random.State.int rng 3) in
         delayed :=
           !delayed @ [ (countdown, fun () -> ignore (inner.send req)) ];
-        Error (Transient "injected delay")
+        Error (Transient (Injected "delay"))
       end
       else if roll faults.disconnect then begin
         Obs.Counter.incr m_disconnects;
         go_down ~down_for:(2 + Random.State.int rng 3);
-        Error Closed
+        Error (Closed Down)
       end
       else inner.send req
     end

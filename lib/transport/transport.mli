@@ -7,13 +7,18 @@
     [events] reports connectivity edges ({!status} transitions) observed
     since the last drain.
 
-    Three constructors cover the repro's needs:
+    Four constructors cover the repro's needs:
 
     - {!direct}: in-process closure call.  Infallible and zero-copy; the
       fast path used by default deployments and the benchmarks.
     - {!wire}: round-trips every request and response through serialized
       bytes, exactly as an out-of-process channel would.  Catches codec
       asymmetries that the direct link hides.
+    - {!socket}: a real out-of-process channel — length-prefixed,
+      versioned frames (see {!Frame}) over a Unix-domain socket toward a
+      [lib/server] process.  Reconnects lazily on each send; connection
+      loss surfaces as [Closed] errors and {!status} edges feeding the
+      driver's retry + reconciliation machinery.
     - {!faulty}: wraps another link and injects deterministic, seeded
       faults — drops, duplicates, delays, disconnects — for recovery
       testing.  Returns a {!ctl} handle so tests can force a disconnect
@@ -21,18 +26,95 @@
 
     Metric families (see README contract): [transport.sends],
     [transport.errors], [transport.wire.msgs], [transport.wire.bytes],
-    [transport.faults.drops], [transport.faults.duplicates],
-    [transport.faults.delays], [transport.faults.disconnects]. *)
+    [transport.socket.connects], [transport.socket.msgs],
+    [transport.socket.bytes], [transport.faults.drops],
+    [transport.faults.duplicates], [transport.faults.delays],
+    [transport.faults.disconnects]. *)
+
+(** Why a send failed (or why the link is down).  Socket-level failures
+    (connection refused, EOF, short reads, frame corruption, version
+    mismatches) and injected faults share this one type so that every
+    consumer — driver, metrics, logs — sees a uniform vocabulary. *)
+type reason =
+  | Refused  (** the peer is not accepting connections (ECONNREFUSED /
+                 missing socket file) *)
+  | Eof  (** the peer closed the connection *)
+  | Truncated  (** the stream ended mid-frame (short read) *)
+  | Bad_magic  (** the frame does not start with {!Frame.magic} *)
+  | Version_mismatch of int * int
+      (** [(ours, theirs)] — the peer speaks another protocol version *)
+  | Oversize of int  (** declared payload length exceeds
+                         {!Frame.max_payload} (or is negative) *)
+  | Codec of string  (** payload serialization / deserialization failed *)
+  | Io of string  (** an OS-level error outside the cases above *)
+  | Injected of string
+      (** a {!faulty} link injected this fault (["drop"] / ["delay"]) *)
+  | Down  (** the link is administratively or injectedly down *)
+  | Protocol of string
+      (** framing-level protocol violation (bad plane tag, response id
+          mismatch, …) *)
 
 type error =
-  | Closed  (** the link is down; sends fail until it reconnects *)
-  | Transient of string
+  | Closed of reason
+      (** the link is down; sends fail until it reconnects *)
+  | Transient of reason
       (** the request was lost or rejected in transit; retrying may
           succeed *)
 
+val reason_label : reason -> string
+(** The stable per-reason label used by {!error_to_string} (e.g.
+    ["bad-magic"], ["version-mismatch"], ["injected-drop"]). *)
+
 val error_to_string : error -> string
+(** A {e stable} label of the form ["closed/<reason>"] /
+    ["transient/<reason>"], drawn from a finite set — safe to use as a
+    metric or log label.  Payload details (messages, version numbers)
+    are deliberately omitted; use {!error_message} for those. *)
+
+val error_message : error -> string
+(** Human-readable rendering including the reason's payload (codec
+    message, version numbers, errno text). *)
 
 type status = Connected | Disconnected
+
+(** The byte-level frame format spoken by {!socket} links and the
+    [lib/server] accept loops: a fixed 14-byte header — magic,
+    protocol version, plane tag, request id, payload length — followed
+    by the payload.  Mismatched peers (wrong magic or version) fail
+    loudly at the first frame rather than desyncing. *)
+module Frame : sig
+  val magic : string  (** ["NRPA"], 4 bytes *)
+
+  val version : int  (** current protocol version *)
+
+  val header_len : int  (** 14 bytes *)
+
+  val max_payload : int  (** frames above this size are rejected *)
+
+  (** Which plane the frame belongs to; a cross-check that a client is
+      talking to the right kind of socket. *)
+  type plane = Mgmt | P4
+
+  val plane_to_string : plane -> string
+
+  val encode : plane:plane -> req_id:int -> string -> string
+  (** Pure framing: header + payload as one string. *)
+
+  val decode : string -> (plane * int * string, reason) result
+  (** Pure unframing of one complete frame: validates magic, version,
+      plane tag and length, returning [Truncated] on a short buffer and
+      [Oversize] on an over-declared length — exercised directly by the
+      framing tests. *)
+
+  val read_frame : Unix.file_descr -> (plane * int * string, reason) result
+  (** Read one frame from a socket: header first (validated before the
+      declared length is trusted), then exactly the payload.  [Eof]
+      when the peer closed between frames, [Truncated] mid-frame. *)
+
+  val write_frame :
+    Unix.file_descr -> plane:plane -> req_id:int -> string ->
+    (unit, reason) result
+end
 
 (** A request/response link.  ['req] flows toward the peer, ['resp]
     back.  Implementations are synchronous: [send] blocks until the
@@ -68,9 +150,27 @@ val wire :
 (** [wire ~encode_req ~decode_req ~encode_resp ~decode_resp handle]
     serializes each request to bytes, decodes it on the "far side",
     calls [handle], and round-trips the response the same way.  A codec
-    failure in either direction is a [Transient] error carrying the
-    decoder's message.  Counts [transport.wire.msgs] and
-    [transport.wire.bytes]. *)
+    failure in either direction is a [Transient (Codec _)] error.
+    Counts [transport.wire.msgs] and [transport.wire.bytes]. *)
+
+val socket :
+  plane:Frame.plane ->
+  path:string ->
+  encode_req:('req -> string) ->
+  decode_resp:(string -> ('resp, string) result) ->
+  unit ->
+  ('req, 'resp) t
+(** [socket ~plane ~path ~encode_req ~decode_resp ()] connects to the
+    Unix-domain socket at [path] and speaks {!Frame}-framed requests
+    tagged with [plane].  The constructor attempts an eager connect (a
+    link born connected raises no event); thereafter every send on a
+    down link retries the connect, and a down→up transition queues a
+    [Connected] event so the driver can reconcile / resync.  Any
+    framing or I/O failure drops the connection, queues [Disconnected],
+    and surfaces as [Closed reason]; only payload codec failures are
+    [Transient].  Responses are matched to requests by the echoed
+    request id; a mismatch closes the connection (the stream can no
+    longer be trusted). *)
 
 (** Which fault kinds a {!faulty} link may inject.  Probabilities are
     per-send and evaluated in the order drop, duplicate, delay,

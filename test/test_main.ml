@@ -18,6 +18,7 @@ let () =
       ("p4-props", Test_p4_props.suite);
       ("nerpa", Test_nerpa.tests);
       ("transport", Test_transport.tests);
+      ("server", Test_server.tests);
       ("l3router", Test_l3router.tests);
       ("baseline", Test_baseline.tests);
       ("equivalence", Test_equivalence.tests);

@@ -1,0 +1,390 @@
+(* Tests for the client/server split: the socket frame codec (pure —
+   always run) and the live Unix-socket stack (gated behind
+   NERPA_SOCKET_TESTS=1 for sandboxed CI): serve/connect convergence in
+   one process, frame corruption tolerated by the server, and the
+   two-process kill/restart differential of the acceptance criteria. *)
+
+module F = Transport.Frame
+
+let socket_tests_enabled =
+  match Sys.getenv_opt "NERPA_SOCKET_TESTS" with
+  | Some "1" | Some "true" | Some "yes" -> true
+  | _ -> false
+
+let gated name speed f =
+  Alcotest.test_case name speed (fun () ->
+      if socket_tests_enabled then f ()
+      else Alcotest.skip ())
+
+(* ---------------- frame codec (pure) ---------------- *)
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun (plane, req_id, payload) ->
+      let s = F.encode ~plane ~req_id payload in
+      Alcotest.(check int) "framed length" (F.header_len + String.length payload)
+        (String.length s);
+      match F.decode s with
+      | Ok (p, id, body) ->
+        Alcotest.(check bool) "plane round-trips" true (p = plane);
+        Alcotest.(check int) "req_id round-trips" req_id id;
+        Alcotest.(check string) "payload round-trips" payload body
+      | Error _ -> Alcotest.fail "well-formed frame rejected")
+    [
+      (F.Mgmt, 0, "");
+      (F.P4, 1, "x");
+      (F.Mgmt, 0x7FFFFFFF, String.make 4096 'z');
+      (F.P4, 42, "{\"op\":\"poll_digests\"}");
+    ]
+
+let reason_of = function Ok _ -> "ok" | Error r -> Transport.reason_label r
+
+let test_frame_rejects_corruption () =
+  let good = F.encode ~plane:F.Mgmt ~req_id:7 "payload" in
+  (* truncation at every prefix length: always Truncated, never a
+     wrong parse *)
+  for k = 0 to String.length good - 1 do
+    Alcotest.(check string)
+      (Printf.sprintf "truncated at %d" k)
+      "truncated"
+      (reason_of (F.decode (String.sub good 0 k)))
+  done;
+  (* corrupt magic *)
+  let bad_magic = "XRPA" ^ String.sub good 4 (String.length good - 4) in
+  Alcotest.(check string) "bad magic" "bad-magic" (reason_of (F.decode bad_magic));
+  (* wrong protocol version *)
+  let bad_version = Bytes.of_string good in
+  Bytes.set bad_version 4 (Char.chr 99);
+  Alcotest.(check string) "version mismatch" "version-mismatch"
+    (reason_of (F.decode (Bytes.to_string bad_version)));
+  (* bad plane tag *)
+  let bad_plane = Bytes.of_string good in
+  Bytes.set bad_plane 5 (Char.chr 0xEE);
+  Alcotest.(check string) "bad plane" "protocol"
+    (reason_of (F.decode (Bytes.to_string bad_plane)));
+  (* over-declared length *)
+  let oversize = Bytes.of_string good in
+  Bytes.set_int32_be oversize 10 0x7F000000l;
+  Alcotest.(check string) "oversize" "oversize"
+    (reason_of (F.decode (Bytes.to_string oversize)))
+
+let test_error_labels_stable () =
+  (* the metric-label contract: finite, stable strings *)
+  List.iter
+    (fun (err, label) ->
+      Alcotest.(check string) label label (Transport.error_to_string err))
+    [
+      (Transport.Closed Transport.Refused, "closed/refused");
+      (Transport.Closed Transport.Eof, "closed/eof");
+      (Transport.Closed Transport.Truncated, "closed/truncated");
+      (Transport.Closed Transport.Bad_magic, "closed/bad-magic");
+      (Transport.Closed (Transport.Version_mismatch (1, 9)),
+       "closed/version-mismatch");
+      (Transport.Closed (Transport.Oversize 99), "closed/oversize");
+      (Transport.Transient (Transport.Codec "boom"), "transient/codec");
+      (Transport.Closed (Transport.Io "x"), "closed/io");
+      (Transport.Transient (Transport.Injected "drop"),
+       "transient/injected-drop");
+      (Transport.Closed Transport.Down, "closed/down");
+      (Transport.Closed (Transport.Protocol "p"), "closed/protocol");
+    ];
+  (* messages keep the payload the labels drop *)
+  Alcotest.(check bool) "message carries versions" true
+    (let m =
+       Transport.error_message (Transport.Closed (Transport.Version_mismatch (1, 9)))
+     in
+     String.length m > String.length "closed/version-mismatch")
+
+(* ---------------- live socket stack (gated) ---------------- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "nerpa-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let add_port db ~name ~port ~mode ~tag ~trunks =
+  ignore
+    (Ovsdb.Db.insert_exn db "Port"
+       [
+         ("name", Ovsdb.Datum.string name);
+         ("port", Ovsdb.Datum.integer (Int64.of_int port));
+         ("mode", Ovsdb.Datum.string mode);
+         ("tag", Ovsdb.Datum.integer (Int64.of_int tag));
+         ("trunks",
+          Ovsdb.Datum.set
+            (List.map (fun v -> Ovsdb.Atom.Integer (Int64.of_int v)) trunks));
+       ])
+
+let ports =
+  [ ("p1", 1, "access", 10, []); ("p2", 2, "access", 10, []);
+    ("p3", 3, "access", 20, []); ("p4", 4, "trunk", 0, [ 10; 20 ]) ]
+
+let add_acl db =
+  ignore
+    (Ovsdb.Db.insert_exn db "Acl"
+       [
+         ("priority", Ovsdb.Datum.integer 10L);
+         ("src", Ovsdb.Datum.integer 0xAL);
+         ("src_mask", Ovsdb.Datum.integer 0xFFFFFFFFFFFFL);
+         ("dst", Ovsdb.Datum.integer 0xBL);
+         ("dst_mask", Ovsdb.Datum.integer 0xFFFFFFFFFFFFL);
+         ("allow", Ovsdb.Datum.boolean false);
+       ])
+
+let host_a = P4.Stdhdrs.mac_of_string "00:00:00:00:00:0a"
+
+let learning_frame src =
+  P4.Stdhdrs.ethernet_frame
+    ~dst:(P4.Stdhdrs.mac_of_string "ff:ff:ff:ff:ff:ff")
+    ~src ~ethertype:0x1234L ~payload:"x"
+
+(* The in-process fault-free reference for the convergence tests:
+   deploy directly, apply the same config (raw row inserts, identical
+   to what the server-side tests use), dump through the same
+   link-level oracle. *)
+let baseline_dump ~with_acl ~with_traffic () =
+  let d = Snvs.deploy () in
+  List.iter
+    (fun (name, port, mode, tag, trunks) ->
+      add_port d.Snvs.db ~name ~port ~mode ~tag ~trunks)
+    ports;
+  if with_acl then add_acl d.Snvs.db;
+  ignore (Nerpa.Controller.sync d.controller);
+  if with_traffic then begin
+    ignore (P4.Switch.process d.switch ~in_port:1 (learning_frame host_a));
+    ignore (Nerpa.Controller.sync d.controller)
+  end;
+  ignore (Nerpa.Controller.sync d.controller);
+  Nerpa.Controller.dump_switch d.controller "snvs0"
+
+let sync_until ?(timeout_s = 30.) (c : Nerpa.Controller.t) (pred : unit -> bool)
+    ~(what : string) : unit =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      (try ignore (Nerpa.Controller.sync c)
+       with Nerpa.Controller.Controller_error _ -> ());
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let dump_or_empty c name =
+  try Nerpa.Controller.dump_switch c name
+  with Nerpa.Controller.Controller_error _ -> ""
+
+(* serve + connect inside one process: server handler threads, client
+   controller on the main thread, all planes over real sockets. *)
+let test_serve_connect_convergence () =
+  let dir = fresh_dir () in
+  let db = Ovsdb.Db.create Snvs.schema in
+  let switch = P4.Switch.create ~name:"snvs0" Snvs.p4 in
+  let server = Server.create ~db ~switches:[ ("snvs0", switch) ] ~dir () in
+  Server.start server;
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let sconn0 = Obs.counter_value "transport.socket.connects" in
+  let c = Snvs.connect ~endpoint:(Nerpa.Endpoint.sockets ~dir) () in
+  (* config applied server-side, under the server's lock *)
+  Server.with_lock server (fun () ->
+      List.iter
+        (fun (name, port, mode, tag, trunks) ->
+          add_port db ~name ~port ~mode ~tag ~trunks)
+        ports;
+      add_acl db);
+  let want = baseline_dump ~with_acl:true ~with_traffic:false () in
+  sync_until c ~what:"socket deployment to converge" (fun () ->
+      String.equal (dump_or_empty c "snvs0") want);
+  Alcotest.(check bool) "socket connects counted" true
+    (Obs.counter_value "transport.socket.connects" > sconn0)
+
+(* A client speaking garbage must lose only its own connection: the
+   listener and other clients keep working. *)
+let test_corrupt_frame_tolerated () =
+  let dir = fresh_dir () in
+  let db = Ovsdb.Db.create Snvs.schema in
+  let server = Server.create ~db ~dir () in
+  Server.start server;
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let path = Nerpa.Endpoint.mgmt_socket_path ~dir in
+  let raw () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  (* garbage magic: the server closes the connection *)
+  let fd = raw () in
+  ignore (Unix.write_substring fd "garbage-not-a-frame-at-all" 0 26);
+  Alcotest.(check string) "garbage conn closed" "eof"
+    (match F.read_frame fd with
+    | Error r -> Transport.reason_label r
+    | Ok _ -> "ok");
+  Unix.close fd;
+  (* oversize declared length: closed too, without reading 2 GiB *)
+  let fd = raw () in
+  let hdr = Bytes.of_string (F.encode ~plane:F.Mgmt ~req_id:1 "") in
+  Bytes.set_int32_be hdr 10 0x7F000000l;
+  ignore (Unix.write fd hdr 0 (Bytes.length hdr));
+  Alcotest.(check string) "oversize conn closed" "eof"
+    (match F.read_frame fd with
+    | Error r -> Transport.reason_label r
+    | Ok _ -> "ok");
+  Unix.close fd;
+  (* a well-behaved client still gets answers *)
+  let link = Nerpa.Links.socket_mgmt ~path in
+  (match Transport.send link Nerpa.Links.Poll_monitor with
+  | Ok (Nerpa.Links.Batches _) -> ()
+  | Ok _ -> Alcotest.fail "unexpected response"
+  | Error e ->
+    Alcotest.failf "server died after corrupt frames: %s"
+      (Transport.error_message e));
+  (* a frame claiming another protocol version: the server closes
+     rather than guessing *)
+  let fd = raw () in
+  let hdr = Bytes.of_string (F.encode ~plane:F.Mgmt ~req_id:1 "") in
+  Bytes.set hdr 4 (Char.chr 9);
+  ignore (Unix.write fd hdr 0 (Bytes.length hdr));
+  Alcotest.(check string) "version-mismatch conn closed" "eof"
+    (match F.read_frame fd with
+    | Error r -> Transport.reason_label r
+    | Ok _ -> "ok");
+  Unix.close fd
+
+(* ---------------- the two-process acceptance test ---------------- *)
+
+(* Child-process body: host a fresh db + switch under [dir], apply
+   [ports] (and optionally the acl), inject one learning frame from
+   host A on port 1 once a controller admits it, then sleep until
+   killed.  Runs in a re-exec'd copy of the test binary (see the
+   [NERPA_SERVER_CHILD] hook below) — [Unix.fork] is off-limits once
+   earlier suites have spawned pool domains. *)
+let child_main ~dir ~with_acl ~with_traffic : unit =
+  let db = Ovsdb.Db.create Snvs.schema in
+  let switch = P4.Switch.create ~name:"snvs0" Snvs.p4 in
+  let server = Server.create ~db ~switches:[ ("snvs0", switch) ] ~dir () in
+  Server.start server;
+  Server.with_lock server (fun () ->
+      List.iter
+        (fun (name, port, mode, tag, trunks) ->
+          add_port db ~name ~port ~mode ~tag ~trunks)
+        ports;
+      if with_acl then add_acl db);
+  if with_traffic then begin
+    let info = P4.P4info.of_program Snvs.p4 in
+    let in_vlan =
+      (List.find
+         (fun ti -> ti.P4.P4info.table_name = "in_vlan")
+         info.P4.P4info.tables)
+        .P4.P4info.table_id
+    in
+    let admitted () =
+      Server.with_lock server (fun () ->
+          let srv = P4runtime.attach switch in
+          List.exists
+            (fun e ->
+              match e.P4runtime.matches with
+              | P4runtime.FmExact p :: _ -> p = 1L
+              | _ -> false)
+            (P4runtime.read_table srv ~table_id:in_vlan))
+    in
+    let deadline = Unix.gettimeofday () +. 30. in
+    while (not (admitted ())) && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.02
+    done;
+    Server.with_lock server (fun () ->
+        ignore (P4.Switch.process switch ~in_port:1 (learning_frame host_a)))
+  end;
+  while true do
+    Unix.sleep 3600
+  done
+
+(* When the test binary starts with NERPA_SERVER_CHILD="dir|acl|traffic"
+   in its environment it becomes the server process instead of running
+   the suites; this module initializer runs before Alcotest's main. *)
+let () =
+  match Sys.getenv_opt "NERPA_SERVER_CHILD" with
+  | None -> ()
+  | Some spec ->
+    (match String.split_on_char '|' spec with
+    | [ dir; acl; traffic ] ->
+      (try
+         child_main ~dir ~with_acl:(bool_of_string acl)
+           ~with_traffic:(bool_of_string traffic)
+       with _ -> exit 1);
+      exit 0
+    | _ -> exit 2)
+
+let spawn_server ~dir ~with_acl ~with_traffic () : int =
+  let spec = Printf.sprintf "%s|%b|%b" dir with_acl with_traffic in
+  let env =
+    Array.append (Unix.environment ()) [| "NERPA_SERVER_CHILD=" ^ spec |]
+  in
+  Unix.create_process_env Sys.executable_name
+    [| Sys.executable_name |]
+    env Unix.stdin Unix.stdout Unix.stderr
+
+(* The acceptance criteria end to end: a controller in this process
+   drives OVSDB + a switch served from a child process, the child is
+   SIGKILLed mid-run and replaced (fresh db, fresh switch, same
+   config), and the final switch state must be byte-identical to the
+   in-process fault-free run — config via monitor resync, learned MACs
+   via digests and reconnect reconciliation. *)
+let test_two_process_kill_restart () =
+  let dir = fresh_dir () in
+  let baseline = baseline_dump ~with_acl:true ~with_traffic:true () in
+  let pid1 = spawn_server ~dir ~with_acl:false ~with_traffic:true () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid1) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let c = Snvs.connect ~endpoint:(Nerpa.Endpoint.sockets ~dir) () in
+  (* phase 1: converge against the first server, consuming the digest
+     the child injects once port 1 is admitted *)
+  sync_until c ~what:"first server's config and digest" (fun () ->
+      Dl.Engine.relation_rows (Nerpa.Controller.engine c) "LearnedMac" <> []);
+  (* hard kill mid-run *)
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  (* a couple of syncs observe the outage (failed polls, Closed links) *)
+  (try ignore (Nerpa.Controller.sync c)
+   with Nerpa.Controller.Controller_error _ -> ());
+  (* restart: fresh db (new row uuids!), empty switch, full config *)
+  let pid2 = spawn_server ~dir ~with_acl:true ~with_traffic:false () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid2) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  sync_until c ~what:"post-restart convergence" (fun () ->
+      String.equal (dump_or_empty c "snvs0") baseline);
+  (* the engine kept every management row across the restart *)
+  Alcotest.(check int) "all ports present" (List.length ports)
+    (List.length
+       (Dl.Engine.relation_rows (Nerpa.Controller.engine c) "Port"));
+  Alcotest.(check int) "acl present" 1
+    (List.length (Dl.Engine.relation_rows (Nerpa.Controller.engine c) "Acl"))
+
+let tests =
+  [
+    Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame rejects corruption" `Quick
+      test_frame_rejects_corruption;
+    Alcotest.test_case "error labels stable" `Quick test_error_labels_stable;
+    gated "serve/connect convergence (sockets)" `Slow
+      test_serve_connect_convergence;
+    gated "corrupt frame tolerated by server" `Slow
+      test_corrupt_frame_tolerated;
+    gated "two-process kill/restart differential" `Slow
+      test_two_process_kill_restart;
+  ]

@@ -49,15 +49,15 @@ let test_direct_and_wire () =
       (fun x -> x + 1)
   in
   match Transport.send bad 1 with
-  | Error (Transport.Transient msg) ->
+  | Error (Transport.Transient (Transport.Codec msg)) ->
     Alcotest.(check bool) "decoder message kept" true
       (String.length msg > 0)
-  | _ -> Alcotest.fail "codec failure should be Transient"
+  | _ -> Alcotest.fail "codec failure should be Transient Codec"
 
+(* The stable error labels double as compact test tags. *)
 let tag = function
   | Ok v -> Printf.sprintf "ok:%d" v
-  | Error Transport.Closed -> "closed"
-  | Error (Transport.Transient m) -> "transient:" ^ m
+  | Error e -> Transport.error_to_string e
 
 let test_faulty_determinism () =
   let run seed =
@@ -83,9 +83,9 @@ let test_faulty_disconnect_heal () =
   Alcotest.(check bool) "edge reported" true
     (Transport.events link = [ Transport.Disconnected ]);
   (* every send attempt while down counts toward the reconnect *)
-  Alcotest.(check string) "closed 1" "closed" (tag (Transport.send link 2));
-  Alcotest.(check string) "closed 2" "closed" (tag (Transport.send link 3));
-  Alcotest.(check string) "closed 3" "closed" (tag (Transport.send link 4));
+  Alcotest.(check string) "closed 1" "closed/down" (tag (Transport.send link 2));
+  Alcotest.(check string) "closed 2" "closed/down" (tag (Transport.send link 3));
+  Alcotest.(check string) "closed 3" "closed/down" (tag (Transport.send link 4));
   Alcotest.(check bool) "back up" true (Transport.send link 5 = Ok 5);
   Alcotest.(check bool) "reconnect edge" true
     (Transport.events link = [ Transport.Connected ]);
@@ -151,7 +151,7 @@ let test_mgmt_wire_link () =
          (fun (t : Ovsdb.Schema.table) -> (t.tname, None))
          Snvs.schema.tables)
   in
-  let link = Nerpa.Links.wire_mgmt mon in
+  let link = Nerpa.Links.wire_mgmt db mon in
   ignore
     (Ovsdb.Db.insert_exn db "Port"
        [ ("name", Ovsdb.Datum.string "p1");
@@ -174,6 +174,7 @@ let test_mgmt_wire_link () =
     (match Transport.send link Nerpa.Links.Poll_monitor with
     | Ok (Nerpa.Links.Batches []) -> ()
     | _ -> Alcotest.fail "expected empty second poll")
+  | Ok (Nerpa.Links.Snapshot _) -> Alcotest.fail "poll answered with snapshot"
   | Error _ -> Alcotest.fail "wire mgmt poll failed"
 
 let test_wire_p4_deployment () =
@@ -515,6 +516,103 @@ let test_fault_injection_convergence () =
   Alcotest.(check bool) "disconnects injected" true
     (Obs.counter_value "transport.faults.disconnects" > disc0)
 
+(* ---------------- monitor resync ---------------- *)
+
+let test_resync_snapshot () =
+  let db = Ovsdb.Db.create Snvs.schema in
+  let mon =
+    Ovsdb.Db.add_monitor db
+      (List.map
+         (fun (t : Ovsdb.Schema.table) -> (t.tname, None))
+         Snvs.schema.tables)
+  in
+  let link = Nerpa.Links.wire_mgmt db mon in
+  ignore
+    (Ovsdb.Db.insert_exn db "Port"
+       [ ("name", Ovsdb.Datum.string "p1");
+         ("port", Ovsdb.Datum.integer 1L);
+         ("mode", Ovsdb.Datum.string "access");
+         ("tag", Ovsdb.Datum.integer 10L);
+         ("trunks", Ovsdb.Datum.set []) ]);
+  match Transport.send link Nerpa.Links.Resync with
+  | Ok (Nerpa.Links.Snapshot snap) ->
+    Alcotest.(check int) "snapshot carries the row" 1
+      (List.length (List.assoc "Port" snap));
+    (* the queued batch was subsumed: a poll after resync is empty *)
+    (match Transport.send link Nerpa.Links.Poll_monitor with
+    | Ok (Nerpa.Links.Batches []) -> ()
+    | _ -> Alcotest.fail "monitor should be drained by resync")
+  | _ -> Alcotest.fail "resync should answer with a snapshot"
+
+(* Custom mgmt fault profiles still use the deprecated [mgmt_link_of]
+   override, which doubles as its compatibility test. *)
+let deploy_faulty_mgmt ~seed ~faults () =
+  let ctl_ref = ref None in
+  let d =
+    Snvs.deploy
+      ~mgmt_link_of:(fun db mon ->
+        let link, ctl =
+          Transport.faulty ~seed ~faults (Nerpa.Links.wire_mgmt db mon)
+        in
+        ctl_ref := Some ctl;
+        link)
+      ()
+  in
+  (d, Option.get !ctl_ref)
+
+(* The resync differential: the same workload over a lossy management
+   link — dropped and delayed monitor polls (delayed polls drain the
+   monitor when replayed: true batch loss) plus a forced mid-stream
+   disconnect — must end with switch state byte-identical to the
+   fault-free run, and with *every* database row present in the engine:
+   the old driver skipped failed polls and silently lost those
+   transactions. *)
+let test_mgmt_resync_differential () =
+  let baseline =
+    let d = Snvs.deploy () in
+    run_workload d;
+    converge d []
+  in
+  let faults =
+    { Transport.drop = 0.15; duplicate = 0.10; delay = 0.15; disconnect = 0.05 }
+  in
+  let resync0 = Obs.counter_value "nerpa.resync.count" in
+  List.iter
+    (fun seed ->
+      let d, ctl = deploy_faulty_mgmt ~seed ~faults () in
+      (* kill the monitor stream mid-run: config landing while the link
+         is down queues at the monitor; delayed replays lose it *)
+      run_workload
+        ~mid:(fun () -> Transport.force_disconnect ctl ~down_for:4 ())
+        d;
+      Transport.heal ctl;
+      (* a heal delivers still-delayed polls whose responses are
+         discarded — loss with no error; nudge the driver exactly as a
+         reconnect edge would *)
+      Nerpa.Controller.mark_mgmt_dirty d.controller;
+      sync d;
+      feed_ready d ~port:2 host_a;
+      feed_ready d ~port:2 host_b;
+      feed_ready d ~port:3 host_c;
+      sync d;
+      Nerpa.Controller.reconcile d.controller "snvs0";
+      Alcotest.(check string)
+        (Printf.sprintf "mgmt seed %d converges to the fault-free state" seed)
+        baseline (dump_switch d.switch);
+      (* no transaction silently dropped: every management-plane row
+         reached the engine despite the lost monitor batches *)
+      let e = Nerpa.Controller.engine d.controller in
+      List.iter
+        (fun tbl ->
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: all %s rows present" seed tbl)
+            (Ovsdb.Db.row_count d.db tbl)
+            (List.length (Dl.Engine.relation_rows e tbl)))
+        [ "Port"; "Acl"; "Mirror"; "Vlan" ])
+    [ 5; 17; 29 ];
+  Alcotest.(check bool) "resync exercised" true
+    (Obs.counter_value "nerpa.resync.count" > resync0)
+
 let tests =
   [
     Alcotest.test_case "direct and wire links" `Quick test_direct_and_wire;
@@ -535,4 +633,8 @@ let tests =
       test_reconcile_after_reconnect;
     Alcotest.test_case "fault-injection convergence" `Quick
       test_fault_injection_convergence;
+    Alcotest.test_case "resync snapshot subsumes the monitor" `Quick
+      test_resync_snapshot;
+    Alcotest.test_case "mgmt resync differential" `Quick
+      test_mgmt_resync_differential;
   ]

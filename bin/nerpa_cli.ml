@@ -304,6 +304,9 @@ let fs_workload (d : Snvs.deployment) ~mid =
   ignore (Nerpa.Controller.sync d.controller)
 
 let fs_converge (d : Snvs.deployment) ctls =
+  (* [heal] keeps the fault schedule armed; end-of-run convergence wants
+     quiet links, so silence injection explicitly first *)
+  List.iter (fun ctl -> Transport.set_faults_enabled ctl false) ctls;
   List.iter Transport.heal ctls;
   (* a healed management link may have lost batches to delayed polls
      without a visible error: force one resync *)
@@ -336,6 +339,11 @@ let cmd_faultsim nseeds mgmt_faults =
   in
   Printf.printf "%-6s %6s %6s %6s %6s %11s %12s %8s  %s\n" "seed" "drops"
     "dups" "delays" "disc" "reconciles" "corrections" "resyncs" "converged";
+  let injected () =
+    Obs.counter_value "transport.faults.drops"
+    + Obs.counter_value "transport.faults.duplicates"
+    + Obs.counter_value "transport.faults.delays"
+  in
   let all_ok = ref true in
   for i = 1 to nseeds do
     let seed = 100 + (i * 37) in
@@ -353,11 +361,19 @@ let cmd_faultsim nseeds mgmt_faults =
     let ctls =
       ctl :: Option.to_list (Nerpa.Controller.mgmt_ctl d.controller)
     in
-    fs_workload d ~mid:(fun () -> Transport.force_disconnect ctl ~down_for:5 ());
+    (* mid-run: a hard disconnect immediately healed.  [heal] must
+       leave the fault schedule armed (a past bug silently disabled it),
+       so the injection counters have to keep climbing afterwards. *)
+    let at_heal = ref 0 in
+    fs_workload d ~mid:(fun () ->
+        Transport.force_disconnect ctl ~down_for:5 ();
+        Transport.heal ctl;
+        at_heal := injected ());
+    let heal_armed = injected () > !at_heal in
     let dump = fs_converge d ctls in
-    let ok = String.equal dump baseline in
+    let ok = String.equal dump baseline && heal_armed in
     if not ok then all_ok := false;
-    Printf.printf "%-6d %6d %6d %6d %6d %11d %12d %8d  %s\n" seed
+    Printf.printf "%-6d %6d %6d %6d %6d %11d %12d %8d  %s%s\n" seed
       (Obs.counter_value "transport.faults.drops")
       (Obs.counter_value "transport.faults.duplicates")
       (Obs.counter_value "transport.faults.delays")
@@ -365,7 +381,8 @@ let cmd_faultsim nseeds mgmt_faults =
       (Obs.counter_value "nerpa.reconcile.count")
       (Obs.counter_value "nerpa.reconcile.corrections")
       (Obs.counter_value "nerpa.resync.count")
-      (if ok then "yes" else "NO")
+      (if String.equal dump baseline then "yes" else "NO")
+      (if heal_armed then "" else " (faults silent after heal!)")
   done;
   exit (if !all_ok then 0 else 1)
 
@@ -452,8 +469,17 @@ let cmd_serve dir secs workload =
   Server.stop server;
   exit 0
 
-let cmd_connect dir rounds settle min_txns dump =
-  let endpoint = Nerpa.Endpoint.sockets ~dir in
+let cmd_connect dir codec rounds settle min_txns dump =
+  let codec =
+    match codec with
+    | "json" -> Transport.Json
+    | "binary" -> Transport.Binary
+    | other ->
+      Printf.eprintf "error: unknown codec %S (expected json or binary)\n"
+        other;
+      exit 2
+  in
+  let endpoint = Nerpa.Endpoint.sockets ~codec ~dir () in
   let c = Snvs.connect ~endpoint () in
   let quiet = ref 0 and r = ref 0 in
   while !quiet < settle && !r < rounds do
@@ -569,6 +595,14 @@ let connect_cmd =
       value & opt string "/tmp/nerpa"
       & info [ "dir" ] ~doc:"socket directory of the serve process")
   in
+  let codec =
+    Arg.(
+      value & opt string "binary"
+      & info [ "codec" ] ~docv:"CODEC"
+          ~doc:
+            "preferred wire codec, $(b,binary) or $(b,json); binary \
+             negotiates down to json against a pre-codec server")
+  in
   let rounds =
     Arg.(
       value & opt int 200
@@ -592,7 +626,7 @@ let connect_cmd =
       & info [ "dump" ] ~doc:"print the switch's final forwarding state")
   in
   Cmd.v (Cmd.info "connect" ~doc)
-    Term.(const cmd_connect $ dir $ rounds $ settle $ min_txns $ dump)
+    Term.(const cmd_connect $ dir $ codec $ rounds $ settle $ min_txns $ dump)
 
 let () =
   let doc = "Nerpa full-stack SDN tooling" in

@@ -330,8 +330,12 @@ let step (t : t) (ev : Step.event) : Step.command list =
    the error is surfaced; after a transient the same rejection can be
    our own retry colliding with a partially applied batch, so the
    switch is marked dirty for reconciliation instead. *)
-let write_with_retry (t : t) (sw : sw) (updates : P4runtime.update list) :
-    unit =
+(* [first_result], when given, is the already-received outcome of
+   attempt 0 — the pipelined batch path sends the Write as part of a
+   [send_many] and hands the response here, so retries and rejection
+   handling stay identical to the serial path. *)
+let write_with_retry ?first_result (t : t) (sw : sw)
+    (updates : P4runtime.update list) : unit =
   Obs.Histogram.observe h_write_batch (float_of_int (List.length updates));
   let nentries =
     List.length
@@ -342,8 +346,13 @@ let write_with_retry (t : t) (sw : sw) (updates : P4runtime.update list) :
            | P4runtime.MulticastGroupEntry _ -> false)
          updates)
   in
-  let rec attempt n backoff_us =
-    match Transport.send sw.sw_link (P4runtime.Wire.Write updates) with
+  let rec attempt result n backoff_us =
+    let result =
+      match result with
+      | Some r -> r
+      | None -> Transport.send sw.sw_link (P4runtime.Wire.Write updates)
+    in
+    match result with
     | Ok (P4runtime.Wire.Write_reply (Ok ())) ->
       Obs.Counter.add m_entries nentries;
       ignore (Atomic.fetch_and_add t.nentries nentries)
@@ -363,10 +372,10 @@ let write_with_retry (t : t) (sw : sw) (updates : P4runtime.update list) :
       else begin
         Obs.Counter.incr m_retries;
         Obs.Histogram.observe h_backoff backoff_us;
-        attempt (n + 1) (backoff_us *. 2.)
+        attempt None (n + 1) (backoff_us *. 2.)
       end
   in
-  attempt 0 100.
+  attempt first_result 0 100.
 
 (* ---------------- driver: reconnect reconciliation ---------------- *)
 
@@ -387,18 +396,34 @@ let reconcile_sw (t : t) (sw : sw) : unit =
     | Error e -> raise (Recon_fail (Transport.error_to_string e))
   in
   match
-    let actual_entries =
-      List.concat_map
-        (fun (ti : P4.P4info.table_info) ->
-          match send (P4runtime.Wire.Read_table ti.table_id) with
-          | P4runtime.Wire.Table es -> es
-          | _ -> raise (Recon_fail "protocol mismatch on read_table"))
-        sw.sw_info.tables
+    (* One pipelined batch covers the whole dump: every table read plus
+       the group read go out before the first response is awaited. *)
+    let read_results =
+      let reqs =
+        List.map
+          (fun (ti : P4.P4info.table_info) ->
+            P4runtime.Wire.Read_table ti.table_id)
+          sw.sw_info.tables
+        @ [ P4runtime.Wire.Read_groups ]
+      in
+      List.map
+        (function
+          | Ok (P4runtime.Wire.Error_reply msg) -> raise (Recon_fail msg)
+          | Ok resp -> resp
+          | Error e -> raise (Recon_fail (Transport.error_to_string e)))
+        (Transport.send_many sw.sw_link reqs)
     in
-    let actual_groups =
-      match send P4runtime.Wire.Read_groups with
-      | P4runtime.Wire.Groups gs ->
-        List.map (fun (g, ps) -> (g, List.sort Int64.compare ps)) gs
+    let actual_entries, actual_groups =
+      match List.rev read_results with
+      | P4runtime.Wire.Groups gs :: tables_rev ->
+        let entries =
+          List.concat_map
+            (function
+              | P4runtime.Wire.Table es -> es
+              | _ -> raise (Recon_fail "protocol mismatch on read_table"))
+            (List.rev tables_rev)
+        in
+        (entries, List.map (fun (g, ps) -> (g, List.sort Int64.compare ps)) gs)
       | _ -> raise (Recon_fail "protocol mismatch on read_groups")
     in
     let desired_entries =
@@ -476,6 +501,85 @@ let exec_command (t : t) (cmd : Step.command) : unit =
       ())
   | Step.Reconcile name -> reconcile_sw t (find_sw t name)
 
+(* Execute one switch's commands in order.  Runs of consecutive
+   Write/Ack commands go over the link as one pipelined batch
+   ({!Transport.send_many}); a [Reconcile] breaks the run because it
+   issues its own reads and writes.  Per-command semantics match the
+   serial path: each Write's first-attempt response feeds
+   {!write_with_retry}, and acks tolerate link failure. *)
+let req_of_cmd = function
+  | Step.Write (_, updates) -> P4runtime.Wire.Write updates
+  | Step.Ack (_, list_id) -> P4runtime.Wire.Ack list_id
+  | Step.Reconcile _ -> assert false
+
+(* Consume one pipelined result against the command that produced it,
+   with the serial path's semantics. *)
+let handle_batch_result (t : t) (sw : sw) cmd result =
+  match cmd with
+  | Step.Write (_, updates) -> write_with_retry ~first_result:result t sw updates
+  | Step.Ack (name, _) -> (
+    match result with
+    | Ok P4runtime.Wire.Acked -> ()
+    | Ok (P4runtime.Wire.Error_reply msg) ->
+      error "switch %s: ack failed: %s" name msg
+    | Ok _ -> error "switch %s: protocol mismatch on ack" name
+    | Error _ -> ())
+  | Step.Reconcile _ -> assert false
+
+let exec_sw_cmds (t : t) (cmds : Step.command list) : unit =
+  let flush = function
+    | [] -> ()
+    | [ cmd ] -> exec_command t cmd
+    | run ->
+      let sw =
+        match run with
+        | (Step.Write (n, _) | Step.Ack (n, _)) :: _ -> find_sw t n
+        | _ -> assert false
+      in
+      List.iter2
+        (handle_batch_result t sw)
+        run
+        (Transport.send_many sw.sw_link (List.map req_of_cmd run))
+  in
+  let rec go run = function
+    | [] -> flush (List.rev run)
+    | (Step.Reconcile _ as cmd) :: rest ->
+      flush (List.rev run);
+      exec_command t cmd;
+      go [] rest
+    | cmd :: rest -> go (cmd :: run) rest
+  in
+  go [] cmds
+
+(* Execute one switch's commands, then poll its digests — the poll
+   rides the final pipelined batch, so an iteration that wrote to a
+   switch pays no extra round trip for its digest poll.  A trailing
+   [Reconcile] (or an empty command list) leaves the poll as its own
+   single-request exchange. *)
+let exec_sw_cmds_polling (t : t) (sw : sw) (cmds : Step.command list) :
+    (P4runtime.Wire.response, Transport.error) result =
+  (* split at the last Reconcile: the prefix runs as usual, the
+     trailing Write/Ack run shares its batch with the poll *)
+  let tail_run, prefix =
+    let rec take acc = function
+      | ((Step.Write _ | Step.Ack _) as c) :: rest -> take (c :: acc) rest
+      | rest -> (acc, List.rev rest)
+    in
+    take [] (List.rev cmds)
+  in
+  exec_sw_cmds t prefix;
+  let reqs = List.map req_of_cmd tail_run @ [ P4runtime.Wire.Poll_digests ] in
+  let rec split_last acc = function
+    | [ last ] -> (List.rev acc, last)
+    | r :: rest -> split_last (r :: acc) rest
+    | [] -> assert false
+  in
+  let cmd_results, poll =
+    split_last [] (Transport.send_many sw.sw_link reqs)
+  in
+  List.iter2 (handle_batch_result t sw) tail_run cmd_results;
+  poll
+
 (* Execute a step's commands.  Every command targets one switch, and
    commands for different switches are independent (separate links,
    separate switch state; shared controller state is atomic or
@@ -507,7 +611,7 @@ let exec_commands t cmds =
       List.rev !order
       |> List.map (fun name ->
              let cmds = List.rev !(Hashtbl.find by_sw name) in
-             fun () -> List.iter (exec_command t) cmds)
+             fun () -> exec_sw_cmds t cmds)
       |> Array.of_list
     in
     ignore (pool_map t tasks)
@@ -645,7 +749,7 @@ let resolve_mgmt (tr : Endpoint.transport)
         let db, mon = Lazy.force l in
         (Links.wire_mgmt db mon, None)
       | None -> error "endpoint: Wire management plane needs a local database")
-    | Endpoint.Socket path -> (Links.socket_mgmt ~path, None)
+    | Endpoint.Socket (path, codec) -> (Links.socket_mgmt ~codec ~path (), None)
     | Endpoint.Faulty (seed, inner) ->
       let link, _inner_ctl = go inner in
       let link, ctl = Transport.faulty ~seed link in
@@ -668,7 +772,7 @@ let resolve_p4 (tr : Endpoint.transport) ~(name : string)
       | Some srv -> (Links.wire_p4 srv, None)
       | None ->
         error "endpoint: Wire plane for switch %s needs a local switch" name)
-    | Endpoint.Socket path -> (Links.socket_p4 ~path, None)
+    | Endpoint.Socket (path, codec) -> (Links.socket_p4 ~codec ~path (), None)
     | Endpoint.Faulty (seed, inner) ->
       let link, _inner_ctl = go inner in
       let link, ctl = Transport.faulty ~seed link in
@@ -856,6 +960,39 @@ let sync (t : t) : int =
   Obs.Counter.incr m_syncs;
   Obs.Histogram.time h_sync @@ fun () ->
   let before = t.ntxns in
+  (* Digest polling drains per sync: every switch is polled in the
+     first iteration (and a poll rides free on any iteration where the
+     switch received commands), then re-polled only while its previous
+     poll kept returning digests.  An empty — or failed — poll means
+     nothing is queued at the switch, so the quiescence check rests on
+     the management poll alone; a digest arriving mid-sync is simply
+     picked up by the next sync, as any digest raised after the last
+     poll always was. *)
+  let want_poll : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+  (* Monitor polls pair up: each management round trip carries two
+     pipelined [Poll_monitor]s, the first consumed by this iteration,
+     the second stashed for the next.  Sound because the engine never
+     writes to the management database — processing an iteration
+     cannot create new monitor batches, so the stashed (slightly
+     earlier) response only narrows the window in which a concurrent
+     external transaction lands in this sync instead of the next, a
+     race inherent to any polling cadence.  The stash is discarded
+     whenever the link is marked dirty: a resync supersedes it. *)
+  let stashed_poll = ref None in
+  let poll_monitor () =
+    match !stashed_poll with
+    | Some r ->
+      stashed_poll := None;
+      r
+    | None -> (
+      match
+        Transport.send_many t.mgmt [ Links.Poll_monitor; Links.Poll_monitor ]
+      with
+      | [ r1; r2 ] ->
+        stashed_poll := Some r2;
+        r1
+      | _ -> error "management link: bad pipelined poll arity")
+  in
   let rec loop fuel =
     if fuel = 0 then begin
       let changing =
@@ -884,14 +1021,18 @@ let sync (t : t) : int =
        its response straddles two monitors, so discard it and resync. *)
     if List.mem Transport.Connected (Transport.events t.mgmt) then
       t.mgmt_dirty <- true;
-    if t.mgmt_dirty then mgmt_resync t;
+    if t.mgmt_dirty then begin
+      stashed_poll := None;
+      mgmt_resync t
+    end;
     let batches =
       if t.mgmt_dirty then []
       else
-        match Transport.send t.mgmt Links.Poll_monitor with
+        match poll_monitor () with
         | Ok (Links.Batches bs) ->
           if List.mem Transport.Connected (Transport.events t.mgmt) then begin
             t.mgmt_dirty <- true;
+            stashed_poll := None;
             mgmt_resync t;
             []
           end
@@ -899,37 +1040,73 @@ let sync (t : t) : int =
         | Ok _ -> error "management link: protocol mismatch on poll"
         | Error _ ->
           t.mgmt_dirty <- true;
+          stashed_poll := None;
           mgmt_resync t;
           []
     in
     Obs.Counter.add m_monitor_batches (List.length batches);
-    List.iter
-      (fun batch -> exec_commands t (step t (Step.Monitor_batch batch)))
-      batches;
-    (* Poll every switch, even one currently down: on an in-process
+    (* Step every batch first — [step] reads only the engine and the
+       batch, never switch state, so the steps can run back-to-back —
+       then execute the accumulated commands per switch with this
+       iteration's digest poll appended to each switch's final
+       pipelined batch: writes and poll share one round trip.  Every
+       switch is polled, even one currently down (on an in-process
        faulty link each attempt advances the reconnect clock, and a
-       down link just answers [Closed].  The polls fan out on the pool
-       — one slow or dead link no longer stalls the fleet — and the
-       responses then feed the single-threaded step core in fixed
-       switch order. *)
+       down link just answers [Closed]); the work fans out on the
+       pool, and the responses then feed the single-threaded step core
+       in fixed switch order. *)
+    let cmds =
+      List.concat_map (fun batch -> step t (Step.Monitor_batch batch)) batches
+    in
+    let by_sw = Hashtbl.create 8 in
+    List.iter
+      (fun cmd ->
+        let name =
+          match cmd with
+          | Step.Write (n, _) | Step.Ack (n, _) | Step.Reconcile n -> n
+        in
+        match Hashtbl.find_opt by_sw name with
+        | Some r -> r := cmd :: !r
+        | None -> Hashtbl.add by_sw name (ref [ cmd ]))
+      cmds;
     let sws = Array.of_list t.sws in
     let polls =
       pool_map t
         (Array.map
-           (fun sw () -> Transport.send sw.sw_link P4runtime.Wire.Poll_digests)
+           (fun sw () ->
+             let cmds =
+               match Hashtbl.find_opt by_sw sw.sw_name with
+               | Some r -> List.rev !r
+               | None -> []
+             in
+             let wanted =
+               match Hashtbl.find_opt want_poll sw.sw_name with
+               | Some b -> b
+               | None -> true (* first iteration: always poll *)
+             in
+             if cmds = [] && not wanted then None
+             else Some (exec_sw_cmds_polling t sw cmds))
            sws)
     in
     Array.iteri
       (fun i result ->
         let sw = sws.(i) in
         match result with
-        | Ok (P4runtime.Wire.Digests []) -> ()
-        | Ok (P4runtime.Wire.Digests dls) ->
-          exec_commands t (step t (Step.Digest_lists (sw.sw_name, dls)))
-        | Ok (P4runtime.Wire.Error_reply msg) ->
-          error "switch %s: digest poll failed: %s" sw.sw_name msg
-        | Ok _ -> error "switch %s: protocol mismatch on digest poll" sw.sw_name
-        | Error _ -> () (* digests stay queued at the switch *))
+        | None -> () (* drained in an earlier iteration *)
+        | Some result -> (
+          Hashtbl.replace want_poll sw.sw_name
+            (match result with
+            | Ok (P4runtime.Wire.Digests (_ :: _)) -> true
+            | _ -> false);
+          match result with
+          | Ok (P4runtime.Wire.Digests []) -> ()
+          | Ok (P4runtime.Wire.Digests dls) ->
+            exec_commands t (step t (Step.Digest_lists (sw.sw_name, dls)))
+          | Ok (P4runtime.Wire.Error_reply msg) ->
+            error "switch %s: digest poll failed: %s" sw.sw_name msg
+          | Ok _ ->
+            error "switch %s: protocol mismatch on digest poll" sw.sw_name
+          | Error _ -> () (* digests stay queued at the switch *)))
       polls;
     if t.ntxns > txns0 then loop (fuel - 1)
   in
@@ -965,26 +1142,37 @@ let p4_ctl (t : t) (name : string) : Transport.ctl option =
     @raise Controller_error on a link failure. *)
 let dump_switch (t : t) (name : string) : string =
   let sw = find_sw t name in
-  let send req =
-    match Transport.send sw.sw_link req with
-    | Ok (P4runtime.Wire.Error_reply msg) ->
-      error "dump %s: %s" name msg
-    | Ok resp -> resp
-    | Error e -> error "dump %s: %s" name (Transport.error_message e)
+  (* Pipeline every read of the dump in one batch; the dump text itself
+     stays in the JSON encoding so it is byte-comparable regardless of
+     which wire codec carried the reads. *)
+  let read_results =
+    let reqs =
+      List.map
+        (fun (ti : P4.P4info.table_info) ->
+          P4runtime.Wire.Read_table ti.table_id)
+        sw.sw_info.tables
+      @ [ P4runtime.Wire.Read_groups ]
+    in
+    List.map
+      (function
+        | Ok (P4runtime.Wire.Error_reply msg) -> error "dump %s: %s" name msg
+        | Ok resp -> resp
+        | Error e -> error "dump %s: %s" name (Transport.error_message e))
+      (Transport.send_many sw.sw_link reqs)
   in
-  let entries =
-    List.concat_map
-      (fun (ti : P4.P4info.table_info) ->
-        match send (P4runtime.Wire.Read_table ti.table_id) with
-        | P4runtime.Wire.Table es -> es
-        | _ -> error "dump %s: protocol mismatch on read_table" name)
-      sw.sw_info.tables
-  in
-  let groups =
-    match send P4runtime.Wire.Read_groups with
-    | P4runtime.Wire.Groups gs ->
-      List.sort compare
-        (List.map (fun (g, ps) -> (g, List.sort Int64.compare ps)) gs)
+  let entries, groups =
+    match List.rev read_results with
+    | P4runtime.Wire.Groups gs :: tables_rev ->
+      let entries =
+        List.concat_map
+          (function
+            | P4runtime.Wire.Table es -> es
+            | _ -> error "dump %s: protocol mismatch on read_table" name)
+          (List.rev tables_rev)
+      in
+      ( entries,
+        List.sort compare
+          (List.map (fun (g, ps) -> (g, List.sort Int64.compare ps)) gs) )
     | _ -> error "dump %s: protocol mismatch on read_groups" name
   in
   P4runtime.Wire.encode_response

@@ -1,7 +1,7 @@
 type transport =
   | In_process
   | Wire
-  | Socket of string
+  | Socket of string * Transport.codec
   | Faulty of int * transport
 
 type t = { mgmt : transport; p4_of : string -> transport }
@@ -12,9 +12,9 @@ let wire = { mgmt = Wire; p4_of = (fun _ -> Wire) }
 let mgmt_socket_path ~dir = Filename.concat dir "ovsdb.sock"
 let p4_socket_path ~dir name = Filename.concat dir ("p4-" ^ name ^ ".sock")
 
-let sockets ~dir =
-  { mgmt = Socket (mgmt_socket_path ~dir);
-    p4_of = (fun name -> Socket (p4_socket_path ~dir name)) }
+let sockets ?(codec = Transport.Binary) ~dir () =
+  { mgmt = Socket (mgmt_socket_path ~dir, codec);
+    p4_of = (fun name -> Socket (p4_socket_path ~dir name, codec)) }
 
 let faulty_mgmt ~seed t = { t with mgmt = Faulty (seed, t.mgmt) }
 
@@ -25,7 +25,8 @@ let faulty_p4 ~seed t =
 let rec transport_to_string = function
   | In_process -> "in-process"
   | Wire -> "wire"
-  | Socket path -> Printf.sprintf "socket:%s" path
+  | Socket (path, codec) ->
+    Printf.sprintf "socket(%s):%s" (Transport.codec_to_string codec) path
   | Faulty (seed, inner) ->
     Printf.sprintf "faulty(%d):%s" seed (transport_to_string inner)
 

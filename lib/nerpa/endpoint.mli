@@ -11,9 +11,10 @@
 type transport =
   | In_process  (** direct closure call; the fast path *)
   | Wire  (** in-process, but round-tripped through serialized bytes *)
-  | Socket of string
+  | Socket of string * Transport.codec
       (** framed bytes over the Unix-domain socket at this path, toward
-          a [lib/server] process *)
+          a [lib/server] process, preferring this payload codec
+          (JSON fallback negotiation per {!Transport.socket}) *)
   | Faulty of int * transport
       (** wrap [transport] with seeded fault injection
           ({!Transport.default_faults}); the controller exposes the
@@ -31,10 +32,11 @@ val in_process : t
 val wire : t
 (** Every plane through the byte codecs; catches codec asymmetries. *)
 
-val sockets : dir:string -> t
+val sockets : ?codec:Transport.codec -> dir:string -> unit -> t
 (** Every plane over Unix-domain sockets under [dir], using the same
     path layout [lib/server] binds: [ovsdb.sock] for the management
-    plane, [p4-<name>.sock] per switch. *)
+    plane, [p4-<name>.sock] per switch.  [codec] (default [Binary])
+    is the preferred payload serialization for every plane. *)
 
 val faulty_mgmt : seed:int -> t -> t
 (** Wrap the management plane with seeded fault injection. *)

@@ -48,6 +48,78 @@ let decode_mgmt_response s =
   | j -> Error (Printf.sprintf "bad monitor response %s" (J.to_string j))
   | exception J.Parse_error msg -> Error msg
 
+(* Binary forms (Ovsdb.Binc), used when the socket connection
+   negotiated the binary frame codec. *)
+
+module B = Ovsdb.Binc
+
+let encode_mgmt_request_bin = function
+  | Poll_monitor -> "\x00"
+  | Resync -> "\x01"
+
+let decode_mgmt_request_bin s =
+  match s with
+  | "\x00" -> Ok Poll_monitor
+  | "\x01" -> Ok Resync
+  | s -> Error (Printf.sprintf "bad binary monitor request (%d bytes)"
+                  (String.length s))
+
+let encode_mgmt_response_bin = function
+  | Batches bs ->
+    let b = B.writer () in
+    B.w_u8 b 0;
+    B.w_list B.w_table_updates b bs;
+    B.contents b
+  | Snapshot s ->
+    let b = B.writer () in
+    B.w_u8 b 1;
+    B.w_table_updates b s;
+    B.contents b
+
+let decode_mgmt_response_bin s =
+  B.decode
+    (fun r ->
+      match B.r_u8 r with
+      | 0 -> Batches (B.r_list B.r_table_updates r)
+      | 1 -> Snapshot (B.r_table_updates r)
+      | t -> raise (B.Error (Printf.sprintf "bad monitor response tag %d" t)))
+    s
+
+(* Codec-indexed selectors, the shape Transport.socket and lib/server
+   consume. *)
+
+let encode_mgmt_request_c = function
+  | Transport.Json -> encode_mgmt_request
+  | Transport.Binary -> encode_mgmt_request_bin
+
+let decode_mgmt_request_c = function
+  | Transport.Json -> decode_mgmt_request
+  | Transport.Binary -> decode_mgmt_request_bin
+
+let encode_mgmt_response_c = function
+  | Transport.Json -> encode_mgmt_response
+  | Transport.Binary -> encode_mgmt_response_bin
+
+let decode_mgmt_response_c = function
+  | Transport.Json -> decode_mgmt_response
+  | Transport.Binary -> decode_mgmt_response_bin
+
+let encode_p4_request_c = function
+  | Transport.Json -> P4runtime.Wire.encode_request
+  | Transport.Binary -> P4runtime.Wire.encode_request_bin
+
+let decode_p4_request_c = function
+  | Transport.Json -> P4runtime.Wire.decode_request
+  | Transport.Binary -> P4runtime.Wire.decode_request_bin
+
+let encode_p4_response_c = function
+  | Transport.Json -> P4runtime.Wire.encode_response
+  | Transport.Binary -> P4runtime.Wire.encode_response_bin
+
+let decode_p4_response_c = function
+  | Transport.Json -> P4runtime.Wire.decode_response
+  | Transport.Binary -> P4runtime.Wire.decode_response_bin
+
 (* ---------------- constructors ---------------- *)
 
 let direct_mgmt db mon = Transport.direct (mgmt_handler db mon)
@@ -57,9 +129,9 @@ let wire_mgmt db mon =
     ~decode_req:decode_mgmt_request ~encode_resp:encode_mgmt_response
     ~decode_resp:decode_mgmt_response (mgmt_handler db mon)
 
-let socket_mgmt ~path =
-  Transport.socket ~plane:Transport.Frame.Mgmt ~path
-    ~encode_req:encode_mgmt_request ~decode_resp:decode_mgmt_response ()
+let socket_mgmt ?codec ~path () =
+  Transport.socket ~plane:Transport.Frame.Mgmt ~path ?codec
+    ~encode_req:encode_mgmt_request_c ~decode_resp:decode_mgmt_response_c ()
 
 let direct_p4 srv = Transport.direct (P4runtime.Wire.dispatch srv)
 
@@ -70,7 +142,6 @@ let wire_p4 srv =
     ~decode_resp:P4runtime.Wire.decode_response
     (P4runtime.Wire.dispatch srv)
 
-let socket_p4 ~path =
-  Transport.socket ~plane:Transport.Frame.P4 ~path
-    ~encode_req:P4runtime.Wire.encode_request
-    ~decode_resp:P4runtime.Wire.decode_response ()
+let socket_p4 ?codec ~path () =
+  Transport.socket ~plane:Transport.Frame.P4 ~path ?codec
+    ~encode_req:encode_p4_request_c ~decode_resp:decode_p4_response_c ()

@@ -34,23 +34,50 @@ val mgmt_handler :
 
 (** {1 Management-plane codec}
 
-    JSON text, reused verbatim by the socket frames. *)
+    JSON text (the interoperability fallback) and the compact binary
+    form ({!Ovsdb.Binc}), selected per socket connection by the frame
+    codec. *)
 
 val encode_mgmt_request : mgmt_request -> string
 val decode_mgmt_request : string -> (mgmt_request, string) result
 val encode_mgmt_response : mgmt_response -> string
 val decode_mgmt_response : string -> (mgmt_response, string) result
 
+val encode_mgmt_request_bin : mgmt_request -> string
+val decode_mgmt_request_bin : string -> (mgmt_request, string) result
+val encode_mgmt_response_bin : mgmt_response -> string
+val decode_mgmt_response_bin : string -> (mgmt_response, string) result
+
+(** Codec-indexed selectors (the shape {!Transport.socket} and
+    [lib/server] consume). *)
+
+val encode_mgmt_request_c : Transport.codec -> mgmt_request -> string
+val decode_mgmt_request_c :
+  Transport.codec -> string -> (mgmt_request, string) result
+val encode_mgmt_response_c : Transport.codec -> mgmt_response -> string
+val decode_mgmt_response_c :
+  Transport.codec -> string -> (mgmt_response, string) result
+
+val encode_p4_request_c : Transport.codec -> P4runtime.Wire.request -> string
+val decode_p4_request_c :
+  Transport.codec -> string -> (P4runtime.Wire.request, string) result
+val encode_p4_response_c : Transport.codec -> P4runtime.Wire.response -> string
+val decode_p4_response_c :
+  Transport.codec -> string -> (P4runtime.Wire.response, string) result
+
 (** {1 Constructors} *)
 
 val direct_mgmt : Ovsdb.Db.t -> Ovsdb.Db.monitor -> mgmt_link
 val wire_mgmt : Ovsdb.Db.t -> Ovsdb.Db.monitor -> mgmt_link
 
-val socket_mgmt : path:string -> mgmt_link
-(** Client end of a [lib/server] management socket. *)
+val socket_mgmt : ?codec:Transport.codec -> path:string -> unit -> mgmt_link
+(** Client end of a [lib/server] management socket.  [codec] (default
+    [Binary]) is the preferred payload serialization; see
+    {!Transport.socket} for the negotiation/fallback rules. *)
 
 val direct_p4 : P4runtime.server -> p4_link
 val wire_p4 : P4runtime.server -> p4_link
 
-val socket_p4 : path:string -> p4_link
-(** Client end of a [lib/server] per-switch socket. *)
+val socket_p4 : ?codec:Transport.codec -> path:string -> unit -> p4_link
+(** Client end of a [lib/server] per-switch socket; [codec] as in
+    {!socket_mgmt}. *)

@@ -1,0 +1,244 @@
+(* Compact binary encoding for the hot wire messages (the "binary
+   codec" negotiated by lib/transport frames).  JSON (see Rpc) remains
+   the interoperability fallback; this encoding exists purely to keep
+   the per-message cost of the socket transport off the sync hot path.
+
+   Layout conventions: one-byte tags, unsigned LEB128 varints for
+   lengths and small non-negative ints, 8-byte big-endian int64s for
+   values (including float bits), length-prefixed strings.  Decoding
+   is strict and total: every read is bounds-checked, every tag is
+   matched exhaustively, declared lengths are validated against the
+   remaining input, and the top-level [decode] demands full
+   consumption — corrupt or truncated input yields [Error], never an
+   exception and never an unbounded allocation. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* ---------------- writer ---------------- *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents = Buffer.contents
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_varint b n =
+  if n < 0 then invalid_arg "Binc.w_varint: negative";
+  let rec go n =
+    if n < 0x80 then w_u8 b n
+    else begin
+      w_u8 b (0x80 lor (n land 0x7f));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let w_int64 b v = Buffer.add_int64_be b v
+let w_float b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_string b s =
+  w_varint b (String.length s);
+  Buffer.add_string b s
+
+let w_list w b l =
+  w_varint b (List.length l);
+  List.iter (w b) l
+
+let w_option w b = function
+  | None -> w_u8 b 0
+  | Some v ->
+    w_u8 b 1;
+    w v
+
+let to_string w v =
+  let b = writer () in
+  w b v;
+  contents b
+
+(* ---------------- reader ---------------- *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader s = { src = s; pos = 0 }
+let remaining r = String.length r.src - r.pos
+
+let r_u8 r =
+  if r.pos >= String.length r.src then fail "truncated (u8)"
+  else begin
+    let c = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+  end
+
+let r_varint r =
+  let rec go acc shift =
+    if shift > 56 then fail "varint too long"
+    else
+      let b = r_u8 r in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  let n = go 0 0 in
+  if n < 0 then fail "varint overflow" else n
+
+let r_int64 r =
+  if remaining r < 8 then fail "truncated (int64)"
+  else begin
+    let v = String.get_int64_be r.src r.pos in
+    r.pos <- r.pos + 8;
+    v
+  end
+
+let r_float r = Int64.float_of_bits (r_int64 r)
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | b -> fail "bad bool byte %d" b
+
+let r_string r =
+  let n = r_varint r in
+  if n > remaining r then fail "string length %d exceeds input" n
+  else begin
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+  end
+
+let r_list f r =
+  let n = r_varint r in
+  (* every element costs at least one byte: a corrupt count cannot
+     demand more elements than there are bytes left *)
+  if n > remaining r then fail "list length %d exceeds input" n
+  else begin
+    let rec go acc i = if i = 0 then List.rev acc else go (f r :: acc) (i - 1) in
+    go [] n
+  end
+
+let r_option f r =
+  match r_u8 r with
+  | 0 -> None
+  | 1 -> Some (f r)
+  | b -> fail "bad option byte %d" b
+
+let decode f s =
+  let r = reader s in
+  match f r with
+  | v -> if r.pos = String.length s then Ok v else Result.Error "trailing bytes"
+  | exception Error m -> Result.Error m
+
+(* ---------------- database values ---------------- *)
+
+let w_atom b = function
+  | Atom.Integer v ->
+    w_u8 b 0;
+    w_int64 b v
+  | Atom.Real f ->
+    w_u8 b 1;
+    w_float b f
+  | Atom.Boolean v ->
+    w_u8 b 2;
+    w_bool b v
+  | Atom.String s ->
+    w_u8 b 3;
+    w_string b s
+  | Atom.Uuid u ->
+    w_u8 b 4;
+    w_string b (Uuid.to_string u)
+
+let r_uuid r =
+  let s = r_string r in
+  match Uuid.of_string_opt s with
+  | Some u -> u
+  | None -> fail "bad uuid %S" s
+
+let r_atom r =
+  match r_u8 r with
+  | 0 -> Atom.Integer (r_int64 r)
+  | 1 -> Atom.Real (r_float r)
+  | 2 -> Atom.Boolean (r_bool r)
+  | 3 -> Atom.String (r_string r)
+  | 4 -> Atom.Uuid (r_uuid r)
+  | t -> fail "bad atom tag %d" t
+
+let w_datum b = function
+  | Datum.Set atoms ->
+    w_u8 b 0;
+    w_list w_atom b atoms
+  | Datum.Map pairs ->
+    w_u8 b 1;
+    w_list
+      (fun b (k, v) ->
+        w_atom b k;
+        w_atom b v)
+      b pairs
+
+(* Re-canonicalise through the Datum constructors: the invariants
+   (sortedness, duplicate-freedom) must hold even for bytes a peer
+   forged or corrupted. *)
+let r_datum r =
+  match r_u8 r with
+  | 0 -> Datum.set (r_list r_atom r)
+  | 1 ->
+    Datum.map
+      (r_list
+         (fun r ->
+           let k = r_atom r in
+           let v = r_atom r in
+           (k, v))
+         r)
+  | t -> fail "bad datum tag %d" t
+
+let w_row b (row : Db.row) =
+  w_list
+    (fun b (c, d) ->
+      w_string b c;
+      w_datum b d)
+    b row
+
+let r_row r : Db.row =
+  r_list
+    (fun r ->
+      let c = r_string r in
+      let d = r_datum r in
+      (c, d))
+    r
+
+let w_row_update b (u : Db.row_update) =
+  w_option (w_row b) b u.Db.before;
+  w_option (w_row b) b u.Db.after
+
+let r_row_update r : Db.row_update =
+  let before = r_option r_row r in
+  let after = r_option r_row r in
+  { Db.before; after }
+
+let w_table_updates b (batch : Db.table_updates) =
+  w_list
+    (fun b (table, rows) ->
+      w_string b table;
+      w_list
+        (fun b (uuid, upd) ->
+          w_string b (Uuid.to_string uuid);
+          w_row_update b upd)
+        b rows)
+    b batch
+
+let r_table_updates r : Db.table_updates =
+  r_list
+    (fun r ->
+      let table = r_string r in
+      let rows =
+        r_list
+          (fun r ->
+            let uuid = r_uuid r in
+            let upd = r_row_update r in
+            (uuid, upd))
+          r
+      in
+      (table, rows))
+    r

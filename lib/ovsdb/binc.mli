@@ -1,0 +1,80 @@
+(** Compact binary encoding primitives and database-value codecs — the
+    "binary codec" a socket peer can negotiate instead of JSON (see
+    {!Rpc} for the JSON forms and [lib/transport] for negotiation).
+
+    Writers append to a {!Buffer.t}; readers consume a string with
+    strict bounds checking.  Reader functions raise the local {!Error}
+    exception on malformed input; {!decode} is the total entry point
+    that callers should use — it returns [Error] on truncated, corrupt
+    or trailing bytes and never raises. *)
+
+exception Error of string
+(** Raised by [r_*] readers on malformed input; caught by {!decode}. *)
+
+(** {1 Writer} *)
+
+type writer = Buffer.t
+
+val writer : unit -> writer
+val contents : writer -> string
+val w_u8 : writer -> int -> unit
+val w_varint : writer -> int -> unit
+(** Unsigned LEB128; raises [Invalid_argument] on negative input. *)
+
+val w_int64 : writer -> int64 -> unit
+(** 8 bytes, big-endian. *)
+
+val w_float : writer -> float -> unit
+(** IEEE-754 bits as int64. *)
+
+val w_bool : writer -> bool -> unit
+
+val w_string : writer -> string -> unit
+(** Varint length + bytes. *)
+
+val w_list : (writer -> 'a -> unit) -> writer -> 'a list -> unit
+val w_option : ('a -> unit) -> writer -> 'a option -> unit
+val to_string : (writer -> 'a -> unit) -> 'a -> string
+(** [to_string w v] runs [w] on a fresh writer and returns the bytes. *)
+
+(** {1 Reader} *)
+
+type reader
+
+val reader : string -> reader
+val remaining : reader -> int
+val r_u8 : reader -> int
+val r_varint : reader -> int
+val r_int64 : reader -> int64
+val r_float : reader -> float
+val r_bool : reader -> bool
+val r_string : reader -> string
+val r_list : (reader -> 'a) -> reader -> 'a list
+(** Declared element counts are validated against the remaining input
+    (each element costs at least one byte), so corrupt counts fail
+    instead of allocating unboundedly. *)
+
+val r_option : (reader -> 'a) -> reader -> 'a option
+
+val decode : (reader -> 'a) -> string -> ('a, string) result
+(** Run a reader over the whole input: [Error] on any {!Error} raised
+    by the reader or on trailing bytes.  Never raises. *)
+
+(** {1 Database values} *)
+
+val w_atom : writer -> Atom.t -> unit
+val r_atom : reader -> Atom.t
+val w_datum : writer -> Datum.t -> unit
+
+val r_datum : reader -> Datum.t
+(** Decoded sets and maps are re-canonicalised through the {!Datum}
+    constructors, so the sortedness invariants hold even for forged
+    input. *)
+
+val r_uuid : reader -> Uuid.t
+val w_row : writer -> Db.row -> unit
+val r_row : reader -> Db.row
+val w_row_update : writer -> Db.row_update -> unit
+val r_row_update : reader -> Db.row_update
+val w_table_updates : writer -> Db.table_updates -> unit
+val r_table_updates : reader -> Db.table_updates

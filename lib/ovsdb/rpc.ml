@@ -235,6 +235,15 @@ let updates_of_json (j : Json.t) : Db.table_updates =
       tables
   | j -> perror "bad updates object: %s" (Json.to_string j)
 
+(* Binary form of the same monitor-update payload, for peers that
+   negotiated the compact codec (see Binc): identical information,
+   none of the JSON text cost. *)
+let updates_to_binary (batch : Db.table_updates) : string =
+  Binc.to_string Binc.w_table_updates batch
+
+let updates_of_binary (s : string) : (Db.table_updates, string) result =
+  Binc.decode Binc.r_table_updates s
+
 (* ---------------- server ---------------- *)
 
 type server = {

@@ -24,6 +24,14 @@ val updates_of_json : Json.t -> Db.table_updates
 (** Inverse of {!updates_to_json}.
     @raise Protocol_error on malformed input. *)
 
+val updates_to_binary : Db.table_updates -> string
+(** The same monitor-update payload in the compact binary form
+    ({!Binc}), for peers that negotiated the binary codec. *)
+
+val updates_of_binary : string -> (Db.table_updates, string) result
+(** Inverse of {!updates_to_binary}; total ([Error] on malformed
+    input, never an exception). *)
+
 (** {1 Server} *)
 
 type server

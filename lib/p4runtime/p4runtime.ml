@@ -478,6 +478,175 @@ module Wire = struct
   let encode_request r = J.to_string (request_to_json r)
   let encode_response r = J.to_string (response_to_json r)
 
+  (* ---- binary codec: the same messages in Ovsdb.Binc's compact
+     form, for peers that negotiated the binary frame codec.  Ints
+     ride as 8-byte big-endian int64s (total for any value, signed
+     included); lists and strings are varint-length-prefixed.  The
+     decoders are strict: unknown tags raise [Binc.Error], which
+     [Binc.decode] turns into [Error] — corrupt input never escapes
+     as an exception. *)
+
+  module B = Ovsdb.Binc
+
+  let bfail fmt = Format.kasprintf (fun m -> raise (B.Error m)) fmt
+  let w_int b i = B.w_int64 b (Int64.of_int i)
+  let r_int r = Int64.to_int (B.r_int64 r)
+
+  let w_field_match b = function
+    | FmExact v ->
+      B.w_u8 b 0;
+      B.w_int64 b v
+    | FmLpm (v, l) ->
+      B.w_u8 b 1;
+      B.w_int64 b v;
+      w_int b l
+    | FmTernary (v, m) ->
+      B.w_u8 b 2;
+      B.w_int64 b v;
+      B.w_int64 b m
+    | FmOptional (Some v) ->
+      B.w_u8 b 3;
+      B.w_int64 b v
+    | FmOptional None -> B.w_u8 b 4
+
+  let r_field_match r =
+    match B.r_u8 r with
+    | 0 -> FmExact (B.r_int64 r)
+    | 1 ->
+      let v = B.r_int64 r in
+      FmLpm (v, r_int r)
+    | 2 ->
+      let v = B.r_int64 r in
+      FmTernary (v, B.r_int64 r)
+    | 3 -> FmOptional (Some (B.r_int64 r))
+    | 4 -> FmOptional None
+    | t -> bfail "bad field-match tag %d" t
+
+  let w_table_entry b (te : table_entry) =
+    w_int b te.table_id;
+    B.w_list w_field_match b te.matches;
+    w_int b te.priority;
+    w_int b te.action_id;
+    B.w_list B.w_int64 b te.action_args
+
+  let r_table_entry r =
+    let table_id = r_int r in
+    let matches = B.r_list r_field_match r in
+    let priority = r_int r in
+    let action_id = r_int r in
+    let action_args = B.r_list B.r_int64 r in
+    { table_id; matches; priority; action_id; action_args }
+
+  let w_update b (u : update) =
+    B.w_u8 b
+      (match u.utype with Insert -> 0 | Modify -> 1 | Delete -> 2);
+    match u.entity with
+    | TableEntry te ->
+      B.w_u8 b 0;
+      w_table_entry b te
+    | MulticastGroupEntry g ->
+      B.w_u8 b 1;
+      B.w_int64 b g.group_id;
+      B.w_list B.w_int64 b g.replicas
+
+  let r_update r =
+    let utype =
+      match B.r_u8 r with
+      | 0 -> Insert
+      | 1 -> Modify
+      | 2 -> Delete
+      | t -> bfail "bad update type %d" t
+    in
+    let entity =
+      match B.r_u8 r with
+      | 0 -> TableEntry (r_table_entry r)
+      | 1 ->
+        let group_id = B.r_int64 r in
+        let replicas = B.r_list B.r_int64 r in
+        MulticastGroupEntry { group_id; replicas }
+      | t -> bfail "bad entity tag %d" t
+    in
+    { utype; entity }
+
+  let w_digest_list b (dl : digest_list) =
+    w_int b dl.digest_id;
+    w_int b dl.list_id;
+    B.w_list (B.w_list B.w_int64) b dl.entries
+
+  let r_digest_list r =
+    let digest_id = r_int r in
+    let list_id = r_int r in
+    let entries = B.r_list (B.r_list B.r_int64) r in
+    { digest_id; list_id; entries }
+
+  let w_request b = function
+    | Write updates ->
+      B.w_u8 b 0;
+      B.w_list w_update b updates
+    | Read_table id ->
+      B.w_u8 b 1;
+      w_int b id
+    | Read_groups -> B.w_u8 b 2
+    | Poll_digests -> B.w_u8 b 3
+    | Ack list_id ->
+      B.w_u8 b 4;
+      w_int b list_id
+
+  let r_request r =
+    match B.r_u8 r with
+    | 0 -> Write (B.r_list r_update r)
+    | 1 -> Read_table (r_int r)
+    | 2 -> Read_groups
+    | 3 -> Poll_digests
+    | 4 -> Ack (r_int r)
+    | t -> bfail "bad request tag %d" t
+
+  let w_response b = function
+    | Write_reply (Ok ()) -> B.w_u8 b 0
+    | Write_reply (Error msg) ->
+      B.w_u8 b 1;
+      B.w_string b msg
+    | Table entries ->
+      B.w_u8 b 2;
+      B.w_list w_table_entry b entries
+    | Groups groups ->
+      B.w_u8 b 3;
+      B.w_list
+        (fun b (gid, ports) ->
+          B.w_int64 b gid;
+          B.w_list B.w_int64 b ports)
+        b groups
+    | Digests dls ->
+      B.w_u8 b 4;
+      B.w_list w_digest_list b dls
+    | Acked -> B.w_u8 b 5
+    | Error_reply msg ->
+      B.w_u8 b 6;
+      B.w_string b msg
+
+  let r_response r =
+    match B.r_u8 r with
+    | 0 -> Write_reply (Ok ())
+    | 1 -> Write_reply (Error (B.r_string r))
+    | 2 -> Table (B.r_list r_table_entry r)
+    | 3 ->
+      Groups
+        (B.r_list
+           (fun r ->
+             let gid = B.r_int64 r in
+             let ports = B.r_list B.r_int64 r in
+             (gid, ports))
+           r)
+    | 4 -> Digests (B.r_list r_digest_list r)
+    | 5 -> Acked
+    | 6 -> Error_reply (B.r_string r)
+    | t -> bfail "bad response tag %d" t
+
+  let encode_request_bin req = B.to_string w_request req
+  let encode_response_bin resp = B.to_string w_response resp
+  let decode_request_bin s = B.decode r_request s
+  let decode_response_bin s = B.decode r_response s
+
   let decode guard s =
     match J.of_string s with
     | exception J.Parse_error msg -> Error msg

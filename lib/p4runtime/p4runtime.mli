@@ -120,6 +120,15 @@ module Wire : sig
   val encode_response : response -> string
   val decode_response : string -> (response, string) result
 
+  val encode_request_bin : request -> string
+  val decode_request_bin : string -> (request, string) result
+  val encode_response_bin : response -> string
+  val decode_response_bin : string -> (response, string) result
+  (** The same messages in the compact binary form ({!Ovsdb.Binc}),
+      used when a socket connection negotiated the binary codec.  The
+      decoders are total: corrupt input yields [Error], never an
+      exception. *)
+
   val dispatch : server -> request -> response
   (** Server side: execute one request.  Server exceptions become
       [Error_reply]; a wire peer never sees an OCaml exception. *)

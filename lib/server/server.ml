@@ -64,32 +64,51 @@ let untrack_conn t fd =
   Mutex.protect t.state_lock (fun () ->
       t.conns <- List.filter (fun c -> c != fd) t.conns)
 
+(* Handler threads remove themselves from [t.threads] as they exit, so
+   the list tracks only live threads instead of growing by one entry
+   per connection for the server's lifetime. *)
+let untrack_thread t th =
+  let id = Thread.id th in
+  Mutex.protect t.state_lock (fun () ->
+      t.threads <- List.filter (fun th' -> Thread.id th' <> id) t.threads)
+
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Live-resource counts, for tests and operational introspection. *)
+let live_conns t = Mutex.protect t.state_lock (fun () -> List.length t.conns)
+
+let live_threads t =
+  Mutex.protect t.state_lock (fun () -> List.length t.threads)
 
 (* ---------------- per-connection handlers ---------------- *)
 
 (* Generic request/response loop over one connection: read a frame,
-   check the plane tag, decode, dispatch under the server lock, write
-   the framed response with the request's id.  Any failure — including
-   a corrupt or oversize frame — ends this connection and nothing
-   else. *)
+   check the plane tag, decode with the frame's codec, dispatch under
+   the server lock, write the framed response with the request's id
+   and codec.  Answering in the request's codec is the whole server
+   side of codec negotiation — it is stateless per frame, so one
+   connection may freely mix JSON and binary requests.  Any failure —
+   including a corrupt or oversize frame — ends this connection and
+   nothing else. *)
 let serve_conn (t : t) ~(plane : Transport.Frame.plane)
-    ~(decode : string -> ('req, string) result)
-    ~(encode : 'resp -> string) ~(handle : 'req -> 'resp)
-    (fd : Unix.file_descr) : unit =
+    ~(decode : Transport.codec -> string -> ('req, string) result)
+    ~(encode : Transport.codec -> 'resp -> string)
+    ~(handle : 'req -> 'resp) (fd : Unix.file_descr) : unit =
+  let rd = Transport.Frame.reader fd in
   let rec loop () =
-    match Transport.Frame.read_frame fd with
+    match Transport.Frame.read_frame_buf rd with
     | Error _ -> Obs.Counter.incr m_conn_errors
-    | Ok (got_plane, _, _) when got_plane <> plane ->
+    | Ok (got_plane, _, _, _) when got_plane <> plane ->
       Obs.Counter.incr m_conn_errors
-    | Ok (_, req_id, payload) -> (
-      match decode payload with
+    | Ok (_, codec, req_id, payload) -> (
+      match decode codec payload with
       | Error _ -> Obs.Counter.incr m_conn_errors
       | Ok req ->
         Obs.Counter.incr m_requests;
         let resp = with_lock t (fun () -> handle req) in
         (match
-           Transport.Frame.write_frame fd ~plane ~req_id (encode resp)
+           Transport.Frame.write_frame fd ~plane ~codec ~req_id
+             (encode codec resp)
          with
         | Ok () -> loop ()
         | Error _ -> Obs.Counter.incr m_conn_errors))
@@ -109,14 +128,14 @@ let serve_mgmt (t : t) (db : Ovsdb.Db.t) (fd : Unix.file_descr) : unit =
       with_lock t (fun () -> Ovsdb.Db.cancel_monitor db mon))
     (fun () ->
       serve_conn t ~plane:Transport.Frame.Mgmt
-        ~decode:Nerpa.Links.decode_mgmt_request
-        ~encode:Nerpa.Links.encode_mgmt_response
+        ~decode:Nerpa.Links.decode_mgmt_request_c
+        ~encode:Nerpa.Links.encode_mgmt_response_c
         ~handle:(Nerpa.Links.mgmt_handler db mon) fd)
 
 let serve_p4 (t : t) (srv : P4runtime.server) (fd : Unix.file_descr) : unit =
   serve_conn t ~plane:Transport.Frame.P4
-    ~decode:P4runtime.Wire.decode_request
-    ~encode:P4runtime.Wire.encode_response
+    ~decode:Nerpa.Links.decode_p4_request_c
+    ~encode:Nerpa.Links.encode_p4_response_c
     ~handle:(P4runtime.Wire.dispatch srv) fd
 
 (* ---------------- accept loops ---------------- *)
@@ -125,6 +144,9 @@ let accept_loop (t : t) (lfd : Unix.file_descr)
     (handler : Unix.file_descr -> unit) : unit =
   let rec loop () =
     match Unix.accept lfd with
+    | fd, _ when not (Mutex.protect t.state_lock (fun () -> t.running)) ->
+      (* raced with [stop]: nothing tracks this connection any more *)
+      close_quiet fd
     | fd, _ ->
       Obs.Counter.incr m_accepts;
       track_conn t fd;
@@ -133,7 +155,8 @@ let accept_loop (t : t) (lfd : Unix.file_descr)
           (fun () ->
             (try handler fd with _ -> Obs.Counter.incr m_conn_errors);
             untrack_conn t fd;
-            close_quiet fd)
+            close_quiet fd;
+            untrack_thread t (Thread.self ()))
           ()
       in
       Mutex.protect t.state_lock (fun () -> t.threads <- th :: t.threads);
@@ -183,6 +206,10 @@ let stop (t : t) : unit =
         t.running <- false;
         let l = t.listeners and c = t.conns and th = t.threads in
         t.listeners <- [];
+        (* Clear [conns] too: leaving the captured fds in place made a
+           second [stop] shut down stale descriptors that the kernel
+           may since have reused for something else entirely. *)
+        t.conns <- [];
         t.threads <- [];
         (l, c, th))
   in

@@ -41,7 +41,17 @@ val start : t -> unit
 val stop : t -> unit
 (** Close listeners and open connections, join every handler thread,
     and remove the socket files.  The hosted database and switches
-    survive (a later {!start} re-exposes them). *)
+    survive (a later {!start} re-exposes them).  Idempotent: a second
+    [stop] finds no tracked resources and does nothing. *)
+
+val live_conns : t -> int
+(** Currently-open accepted connections (handler threads untrack their
+    connection as it closes). *)
+
+val live_threads : t -> int
+(** Currently-live server threads: accept loops plus connection
+    handlers.  Handler threads remove themselves on exit, so this does
+    not grow with the total number of connections ever served. *)
 
 val with_lock : t -> (unit -> 'a) -> 'a
 (** Run [f] under the server's dispatch lock — how a hosting process

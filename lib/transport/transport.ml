@@ -50,10 +50,22 @@ type status = Connected | Disconnected
 
 (* ---------------- frames ---------------- *)
 
+(* The payload serialization a connection speaks.  [Json] is the
+   interoperability fallback every peer understands; [Binary] is the
+   compact hot-path form.  Each frame carries its codec in the high
+   nibble of the plane byte — a JSON frame is byte-identical to the
+   pre-codec protocol, so a JSON-only peer and a binary-capable peer
+   interoperate (see [socket]'s per-connection negotiation). *)
+type codec = Json | Binary
+
+let codec_byte = function Json -> 0 | Binary -> 1
+let codec_of_byte = function 0 -> Some Json | 1 -> Some Binary | _ -> None
+let codec_to_string = function Json -> "json" | Binary -> "binary"
+
 module Frame = struct
   let magic = "NRPA"
   let version = 1
-  let header_len = 14 (* magic 4 + version 1 + plane 1 + req_id 4 + len 4 *)
+  let header_len = 14 (* magic 4 + version 1 + codec|plane 1 + req_id 4 + len 4 *)
   let max_payload = 1 lsl 24 (* 16 MiB *)
 
   type plane = Mgmt | P4
@@ -62,12 +74,12 @@ module Frame = struct
   let plane_of_byte = function 1 -> Some Mgmt | 2 -> Some P4 | _ -> None
   let plane_to_string = function Mgmt -> "mgmt" | P4 -> "p4"
 
-  let encode ~plane ~req_id payload =
+  let encode ~plane ~codec ~req_id payload =
     let n = String.length payload in
     let b = Buffer.create (header_len + n) in
     Buffer.add_string b magic;
     Buffer.add_char b (Char.chr version);
-    Buffer.add_char b (Char.chr (plane_byte plane));
+    Buffer.add_char b (Char.chr (plane_byte plane lor (codec_byte codec lsl 4)));
     Buffer.add_int32_be b (Int32.of_int req_id);
     Buffer.add_int32_be b (Int32.of_int n);
     Buffer.add_string b payload;
@@ -82,23 +94,26 @@ module Frame = struct
       let v = Char.code hdr.[4] in
       if v <> version then Error (Version_mismatch (version, v))
       else
-        match plane_of_byte (Char.code hdr.[5]) with
-        | None ->
-          Error (Protocol (Printf.sprintf "bad plane tag %d" (Char.code hdr.[5])))
-        | Some plane ->
+        let b5 = Char.code hdr.[5] in
+        match plane_of_byte (b5 land 0x0f), codec_of_byte (b5 lsr 4) with
+        | None, _ ->
+          Error (Protocol (Printf.sprintf "bad plane tag %d" (b5 land 0x0f)))
+        | _, None ->
+          Error (Protocol (Printf.sprintf "bad codec tag %d" (b5 lsr 4)))
+        | Some plane, Some codec ->
           let req_id = Int32.to_int (String.get_int32_be hdr 6) in
           let len = Int32.to_int (String.get_int32_be hdr 10) in
           if len < 0 || len > max_payload then Error (Oversize len)
-          else Ok (plane, req_id, len)
+          else Ok (plane, codec, req_id, len)
 
   let decode s =
     if String.length s < header_len then Error Truncated
     else
       match check_header (String.sub s 0 header_len) with
       | Error r -> Error r
-      | Ok (plane, req_id, len) ->
+      | Ok (plane, codec, req_id, len) ->
         if String.length s < header_len + len then Error Truncated
-        else Ok (plane, req_id, String.sub s header_len len)
+        else Ok (plane, codec, req_id, String.sub s header_len len)
 
   let read_exact fd n =
     let buf = Bytes.create n in
@@ -123,34 +138,102 @@ module Frame = struct
     | Ok hdr -> (
       match check_header hdr with
       | Error r -> Error r
-      | Ok (plane, req_id, len) -> (
+      | Ok (plane, codec, req_id, len) -> (
         match read_exact fd len with
-        | Ok payload -> Ok (plane, req_id, payload)
+        | Ok payload -> Ok (plane, codec, req_id, payload)
         | Error Eof -> Error Truncated
         | Error r -> Error r))
 
-  let write_frame fd ~plane ~req_id payload =
+  (* Buffered frame reader.  A peer writes header and payload in one
+     [write], so a single [read] usually yields the whole frame (and
+     often the next ones too, under pipelining) — halving the syscalls
+     of the header-then-payload [read_frame] path.  One reader per
+     connection; never mix with raw [read_frame] on the same fd. *)
+  type reader = {
+    rfd : Unix.file_descr;
+    mutable rbuf : Bytes.t;
+    mutable rpos : int; (* next unread byte *)
+    mutable rlim : int; (* bytes valid in [rbuf] *)
+  }
+
+  let reader fd = { rfd = fd; rbuf = Bytes.create 65536; rpos = 0; rlim = 0 }
+
+  (* Ensure at least [n] unread bytes are buffered.  [Eof] only when
+     the buffer held nothing at all — a clean close between frames;
+     bytes stranded by a close mid-frame are [Truncated]. *)
+  let rec fill r n =
+    if r.rlim - r.rpos >= n then Ok ()
+    else begin
+      if r.rpos > 0 then begin
+        let avail = r.rlim - r.rpos in
+        Bytes.blit r.rbuf r.rpos r.rbuf 0 avail;
+        r.rpos <- 0;
+        r.rlim <- avail
+      end;
+      if Bytes.length r.rbuf < n then begin
+        let nb = Bytes.create (max n (2 * Bytes.length r.rbuf)) in
+        Bytes.blit r.rbuf 0 nb 0 r.rlim;
+        r.rbuf <- nb
+      end;
+      match Unix.read r.rfd r.rbuf r.rlim (Bytes.length r.rbuf - r.rlim) with
+      | 0 -> Error (if r.rlim = 0 then Eof else Truncated)
+      | k ->
+        r.rlim <- r.rlim + k;
+        fill r n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill r n
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        Error (if r.rlim = 0 then Eof else Truncated)
+      | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+    end
+
+  let take r n =
+    let s = Bytes.sub_string r.rbuf r.rpos n in
+    r.rpos <- r.rpos + n;
+    if r.rpos = r.rlim then begin
+      r.rpos <- 0;
+      r.rlim <- 0
+    end;
+    s
+
+  let read_frame_buf r =
+    match fill r header_len with
+    | Error e -> Error e
+    | Ok () -> (
+      match check_header (Bytes.sub_string r.rbuf r.rpos header_len) with
+      | Error e -> Error e
+      | Ok (plane, codec, req_id, len) -> (
+        r.rpos <- r.rpos + header_len;
+        match fill r len with
+        | Ok () -> Ok (plane, codec, req_id, take r len)
+        | Error Eof -> Error Truncated
+        | Error e -> Error e))
+
+  (* Bounded raw write of a pre-encoded byte run (one frame, or a
+     coalesced pipeline batch). *)
+  let write_all fd s =
+    let b = Bytes.unsafe_of_string s in
+    let rec go off =
+      if off >= Bytes.length b then Ok ()
+      else
+        match Unix.write fd b off (Bytes.length b - off) with
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          Error Eof
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Io (Unix.error_message e))
+    in
+    go 0
+
+  let write_frame fd ~plane ~codec ~req_id payload =
     if String.length payload > max_payload then
       Error (Oversize (String.length payload))
-    else begin
-      let b = Bytes.unsafe_of_string (encode ~plane ~req_id payload) in
-      let rec go off =
-        if off >= Bytes.length b then Ok ()
-        else
-          match Unix.write fd b off (Bytes.length b - off) with
-          | k -> go (off + k)
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-            Error Eof
-          | exception Unix.Unix_error (e, _, _) ->
-            Error (Io (Unix.error_message e))
-      in
-      go 0
-    end
+    else write_all fd (encode ~plane ~codec ~req_id payload)
 end
 
 type ('req, 'resp) t = {
   send : 'req -> ('resp, error) result;
+  send_many : 'req list -> ('resp, error) result list;
   status : unit -> status;
   events : unit -> status list;
 }
@@ -174,12 +257,26 @@ let send t req =
   (match r with Error _ -> Obs.Counter.incr m_errors | Ok _ -> ());
   r
 
+let send_many t reqs =
+  Obs.Counter.add m_sends (List.length reqs);
+  let rs = t.send_many reqs in
+  List.iter
+    (function Error _ -> Obs.Counter.incr m_errors | Ok _ -> ())
+    rs;
+  rs
+
 let status t = t.status ()
 let events t = t.events ()
 
+(* The default batched send: one request at a time through [send].
+   Only [socket] overrides this with true pipelining. *)
+let serial_send_many send reqs = List.map send reqs
+
 let direct handle =
+  let send req = Ok (handle req) in
   {
-    send = (fun req -> Ok (handle req));
+    send;
+    send_many = serial_send_many send;
     status = (fun () -> Connected);
     events = (fun () -> []);
   }
@@ -199,7 +296,12 @@ let wire ~encode_req ~decode_req ~encode_resp ~decode_resp handle =
       | Error msg -> Error (Transient (Codec ("decode response: " ^ msg)))
       | Ok resp -> Ok resp)
   in
-  { send; status = (fun () -> Connected); events = (fun () -> []) }
+  {
+    send;
+    send_many = serial_send_many send;
+    status = (fun () -> Connected);
+    events = (fun () -> []);
+  }
 
 (* ---------------- Unix-domain socket client ---------------- *)
 
@@ -209,18 +311,35 @@ let ignore_sigpipe =
   lazy (if Sys.os_type = "Unix" then
           Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
 
-let socket ~plane ~path ~encode_req ~decode_resp () =
+(* Cap on frames written before responses are drained: bounds the
+   socket-buffer footprint of one [send_many] batch so a large batch
+   cannot deadlock against a peer whose own send buffer fills while it
+   still has our requests queued. *)
+let max_inflight = 32
+
+let socket ~plane ~path ?(codec = Binary) ~encode_req ~decode_resp () =
   Lazy.force ignore_sigpipe;
-  let fd = ref None in
+  (* the live connection: fd plus its buffered frame reader *)
+  let fd = ref (None : (Unix.file_descr * Frame.reader) option) in
   let up = ref false in
   let pending_events = ref [] in
   let next_id = ref 0 in
+  (* Codec negotiation state.  [active] starts at the preferred codec;
+     if the very first exchange on a connection fails in a way that
+     smells like a peer that cannot parse our frames (EOF or a framing
+     error before any response was ever received), the link downgrades
+     to JSON — sticky for the link's lifetime — and retries once.
+     [conn_ok] counts successful exchanges on the current connection,
+     so a mid-stream failure on a proven connection never downgrades. *)
+  let active = ref codec in
+  let conn_ok = ref 0 in
   let queue_event e = pending_events := e :: !pending_events in
   let drop_conn () =
     (match !fd with
-    | Some f -> ( try Unix.close f with Unix.Unix_error _ -> ())
+    | Some (f, _) -> ( try Unix.close f with Unix.Unix_error _ -> ())
     | None -> ());
     fd := None;
+    conn_ok := 0;
     if !up then begin
       up := false;
       queue_event Disconnected
@@ -228,16 +347,20 @@ let socket ~plane ~path ~encode_req ~decode_resp () =
   in
   let connect_now () =
     let f = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect f (Unix.ADDR_UNIX path) with
-    | () ->
-      Obs.Counter.incr m_socket_connects;
-      Ok f
-    | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close f with Unix.Unix_error _ -> ());
-      Error
-        (match e with
-        | Unix.ECONNREFUSED | Unix.ENOENT -> Refused
-        | e -> Io (Unix.error_message e))
+    let rec attempt () =
+      match Unix.connect f (Unix.ADDR_UNIX path) with
+      | () ->
+        Obs.Counter.incr m_socket_connects;
+        Ok f
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> attempt ()
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close f with Unix.Unix_error _ -> ());
+        Error
+          (match e with
+          | Unix.ECONNREFUSED | Unix.ENOENT -> Refused
+          | e -> Io (Unix.error_message e))
+    in
+    attempt ()
   in
   (* [announce]: whether a successful connect after a down period
      raises a Connected edge.  The constructor's eager connect is
@@ -245,64 +368,164 @@ let socket ~plane ~path ~encode_req ~decode_resp () =
      down→up transition is announced so the driver reconciles. *)
   let obtain ~announce =
     match !fd with
-    | Some f -> Ok f
+    | Some c -> Ok c
     | None -> (
       match connect_now () with
       | Ok f ->
-        fd := Some f;
+        let c = (f, Frame.reader f) in
+        fd := Some c;
+        conn_ok := 0;
         if announce && not !up then queue_event Connected;
         up := true;
-        Ok f
+        Ok c
       | Error r -> Error r)
   in
   (* eager initial connect: failure is not an event, just a down link *)
   (match obtain ~announce:false with Ok _ -> () | Error _ -> ());
-  let send req =
+  let count_frame payload =
+    Obs.Counter.incr m_socket_msgs;
+    (* the full frame crosses the wire: header included *)
+    Obs.Counter.add m_socket_bytes (Frame.header_len + String.length payload)
+  in
+  (* One pipelined exchange: write every request frame, then read as
+     many response frames, matching responses to requests by req_id.
+     Returns one result per request, in request order.  Any framing or
+     I/O failure drops the connection; requests whose response had not
+     yet arrived get that [Closed] error, responses already received
+     keep their results. *)
+  let exchange reqs : ('resp, error) result array =
+    let n = Array.length reqs in
+    let results = Array.make n (Error (Closed Down)) in
     match obtain ~announce:true with
-    | Error r -> Error (Closed r)
-    | Ok f -> (
-      incr next_id;
-      let id = !next_id in
-      let payload = encode_req req in
-      Obs.Counter.incr m_socket_msgs;
-      Obs.Counter.add m_socket_bytes (String.length payload);
-      match Frame.write_frame f ~plane ~req_id:id payload with
-      | Error r ->
+    | Error r ->
+      Array.fill results 0 n (Error (Closed r));
+      results
+    | Ok (f, rd) ->
+      let c = !active in
+      let ids = Array.map (fun _ -> incr next_id; !next_id) reqs in
+      let fail_rest reason from =
         drop_conn ();
-        Error (Closed r)
-      | Ok () -> (
-        match Frame.read_frame f with
-        | Error r ->
-          drop_conn ();
-          Error (Closed r)
-        | Ok (p, rid, body) ->
-          if p <> plane then begin
-            drop_conn ();
-            Error
-              (Closed
-                 (Protocol
-                    (Printf.sprintf "expected %s frame, got %s"
-                       (Frame.plane_to_string plane) (Frame.plane_to_string p))))
-          end
-          else if rid <> id then begin
-            (* the stream can no longer be trusted: a stale or reordered
-               response would be mis-attributed *)
-            drop_conn ();
-            Error
-              (Closed
-                 (Protocol
-                    (Printf.sprintf "response id %d for request %d" rid id)))
-          end
+        for i = from to n - 1 do
+          if results.(i) = Error (Closed Down) then
+            results.(i) <- Error (Closed reason)
+        done
+      in
+      (* coalesce the whole batch into one [write]: under pipelining
+         the peer then sees every request in a single [read] too *)
+      let write_batch () =
+        let b = Buffer.create 256 in
+        let rec enc i =
+          if i = n then Ok ()
           else begin
-            Obs.Counter.incr m_socket_msgs;
-            Obs.Counter.add m_socket_bytes (String.length body);
-            match decode_resp body with
-            | Ok resp -> Ok resp
-            | Error msg -> Error (Transient (Codec msg))
-          end))
+            let payload = encode_req c reqs.(i) in
+            if String.length payload > Frame.max_payload then
+              Error (Oversize (String.length payload))
+            else begin
+              count_frame payload;
+              Buffer.add_string b
+                (Frame.encode ~plane ~codec:c ~req_id:ids.(i) payload);
+              enc (i + 1)
+            end
+          end
+        in
+        match enc 0 with
+        | Error r -> Error r
+        | Ok () -> Frame.write_all f (Buffer.contents b)
+      in
+      (match write_batch () with
+      | Error r -> fail_rest r 0
+      | Ok () ->
+        let filled = Array.make n false in
+        let idx_of rid =
+          let rec go i =
+            if i = n then None
+            else if ids.(i) = rid && not filled.(i) then Some i
+            else go (i + 1)
+          in
+          go 0
+        in
+        let rec read_rest k =
+          if k > 0 then
+            match Frame.read_frame_buf rd with
+            | Error r -> fail_rest r 0
+            | Ok (p, rc, rid, body) ->
+              if p <> plane then begin
+                drop_conn ();
+                let r =
+                  Protocol
+                    (Printf.sprintf "expected %s frame, got %s"
+                       (Frame.plane_to_string plane) (Frame.plane_to_string p))
+                in
+                fail_rest r 0
+              end
+              else (
+                match idx_of rid with
+                | None ->
+                  (* the stream can no longer be trusted: a stale or
+                     reordered response would be mis-attributed *)
+                  drop_conn ();
+                  fail_rest
+                    (Protocol (Printf.sprintf "unexpected response id %d" rid))
+                    0
+                | Some i ->
+                  filled.(i) <- true;
+                  count_frame body;
+                  incr conn_ok;
+                  (results.(i) <-
+                     (match decode_resp rc body with
+                     | Ok resp -> Ok resp
+                     | Error msg -> Error (Transient (Codec msg))));
+                  read_rest (k - 1))
+        in
+        read_rest n);
+      results
+  in
+  (* A failed first exchange on a fresh connection with the binary
+     codec may just mean the peer only speaks JSON (it closes on the
+     unknown codec tag before answering anything): fall back to JSON
+     and retry once.  [Refused]/[Io] are not negotiation failures —
+     the peer is absent, not incompatible. *)
+  let downgrade_worthy = function
+    | Error (Closed (Eof | Truncated | Bad_magic | Protocol _))
+    | Error (Closed (Version_mismatch _)) ->
+      true
+    | _ -> false
+  in
+  let exchange_negotiating reqs =
+    let fresh = !conn_ok = 0 in
+    let results = exchange reqs in
+    if
+      fresh && !active = Binary
+      && Array.length results > 0
+      && Array.for_all downgrade_worthy results
+    then begin
+      active := Json;
+      exchange reqs
+    end
+    else results
+  in
+  let send req =
+    (exchange_negotiating [| req |]).(0)
+  in
+  let send_many reqs =
+    (* chunked so one huge batch cannot outrun the peer's socket buffer *)
+    let rec go = function
+      | [] -> []
+      | reqs ->
+        let rec take k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | r :: rest -> take (k - 1) (r :: acc) rest
+        in
+        let chunk, rest = take max_inflight [] reqs in
+        let results = Array.to_list (exchange_negotiating (Array.of_list chunk)) in
+        results @ go rest
+    in
+    go reqs
   in
   {
     send;
+    send_many;
     status = (fun () -> if !up then Connected else Disconnected);
     events =
       (fun () ->
@@ -410,9 +633,13 @@ let faulty ~seed ?(faults = default_faults) inner =
           go_down ~down_for);
       heal_now =
         (fun () ->
+          (* Heal repairs the link's state — replay what was delayed,
+             clear the down timer — but must NOT disable future fault
+             injection: a healed link is a normal faulty link again.
+             (Tests that want a quiet link afterwards call
+             [set_faults_enabled ctl false] explicitly.) *)
           List.iter (fun (_, replay) -> replay ()) !delayed;
           delayed := [];
-          (match !ctl_ref with Some c -> c.enabled <- false | None -> ());
           if !down_remaining > 0 then begin
             down_remaining := 0;
             queue_event Connected
@@ -423,6 +650,9 @@ let faulty ~seed ?(faults = default_faults) inner =
   let t =
     {
       send;
+      (* per-request fault rolls: a batch through a faulty link behaves
+         exactly like the same requests sent one at a time *)
+      send_many = serial_send_many send;
       status =
         (fun () -> if !down_remaining > 0 then Disconnected else Connected);
       events =

@@ -77,11 +77,24 @@ val error_message : error -> string
 
 type status = Connected | Disconnected
 
+(** The payload serialization a frame carries: [Json] is the fallback
+    every peer understands, [Binary] the compact hot-path form (see
+    [Ovsdb.Binc]).  Each frame declares its codec in the high nibble
+    of the header's plane byte — a JSON frame is byte-identical to
+    the pre-codec protocol.  Servers answer in the codec of the
+    request; {!socket} clients negotiate per connection, downgrading
+    to JSON (sticky, with one retry) if the first exchange on a fresh
+    connection fails before any response, which is what a JSON-only
+    peer's "close on unknown codec tag" looks like. *)
+type codec = Json | Binary
+
+val codec_to_string : codec -> string
+
 (** The byte-level frame format spoken by {!socket} links and the
     [lib/server] accept loops: a fixed 14-byte header — magic,
-    protocol version, plane tag, request id, payload length — followed
-    by the payload.  Mismatched peers (wrong magic or version) fail
-    loudly at the first frame rather than desyncing. *)
+    protocol version, codec + plane tags, request id, payload length —
+    followed by the payload.  Mismatched peers (wrong magic or
+    version) fail loudly at the first frame rather than desyncing. *)
 module Frame : sig
   val magic : string  (** ["NRPA"], 4 bytes *)
 
@@ -97,23 +110,42 @@ module Frame : sig
 
   val plane_to_string : plane -> string
 
-  val encode : plane:plane -> req_id:int -> string -> string
+  val encode : plane:plane -> codec:codec -> req_id:int -> string -> string
   (** Pure framing: header + payload as one string. *)
 
-  val decode : string -> (plane * int * string, reason) result
+  val decode : string -> (plane * codec * int * string, reason) result
   (** Pure unframing of one complete frame: validates magic, version,
-      plane tag and length, returning [Truncated] on a short buffer and
-      [Oversize] on an over-declared length — exercised directly by the
-      framing tests. *)
+      plane and codec tags and length, returning [Truncated] on a
+      short buffer and [Oversize] on an over-declared length —
+      exercised directly by the framing tests. *)
 
-  val read_frame : Unix.file_descr -> (plane * int * string, reason) result
+  val read_frame :
+    Unix.file_descr -> (plane * codec * int * string, reason) result
   (** Read one frame from a socket: header first (validated before the
       declared length is trusted), then exactly the payload.  [Eof]
       when the peer closed between frames, [Truncated] mid-frame. *)
 
   val write_frame :
-    Unix.file_descr -> plane:plane -> req_id:int -> string ->
+    Unix.file_descr -> plane:plane -> codec:codec -> req_id:int -> string ->
     (unit, reason) result
+
+  type reader
+  (** Buffered frame reader over one connection.  A single [read]
+      usually yields a whole frame (peers write header and payload in
+      one [write]) — and, under pipelining, several frames.  Do not
+      mix with raw {!read_frame} on the same descriptor: the reader
+      may hold bytes the raw path would then miss. *)
+
+  val reader : Unix.file_descr -> reader
+
+  val read_frame_buf : reader -> (plane * codec * int * string, reason) result
+  (** Like {!read_frame}, through the reader's buffer.  Same error
+      contract: [Eof] only on a clean close between frames. *)
+
+  val write_all : Unix.file_descr -> string -> (unit, reason) result
+  (** Bounded raw write of pre-encoded frames (e.g. a coalesced
+      pipeline batch built with {!encode}); retries on [EINTR] and
+      short writes, maps [EPIPE]/[ECONNRESET] to [Eof]. *)
 end
 
 (** A request/response link.  ['req] flows toward the peer, ['resp]
@@ -124,6 +156,20 @@ type ('req, 'resp) t
 val send : ('req, 'resp) t -> 'req -> ('resp, error) result
 (** [send link req] delivers [req] and returns the peer's response, or
     an {!error} if the link is down or the message was lost. *)
+
+val send_many : ('req, 'resp) t -> 'req list -> ('resp, error) result list
+(** [send_many link reqs] delivers every request and returns one
+    result per request, in request order.  On a {!socket} link the
+    requests are pipelined: all frames are written (in chunks of at
+    most 32 in flight) before responses are read back, and responses
+    are matched to requests by the echoed request id — one round of
+    scheduling latency for the whole batch instead of one per
+    request.  If the connection fails mid-batch, requests whose
+    response had already arrived keep their results and the rest
+    report the [Closed] error.  Other link kinds fall back to
+    sequential {!send}; in particular a {!faulty} link rolls faults
+    per request, so batches face exactly the fault schedule the same
+    sends would face one at a time. *)
 
 val status : ('req, 'resp) t -> status
 (** Current connectivity of the link. *)
@@ -156,21 +202,30 @@ val wire :
 val socket :
   plane:Frame.plane ->
   path:string ->
-  encode_req:('req -> string) ->
-  decode_resp:(string -> ('resp, string) result) ->
+  ?codec:codec ->
+  encode_req:(codec -> 'req -> string) ->
+  decode_resp:(codec -> string -> ('resp, string) result) ->
   unit ->
   ('req, 'resp) t
 (** [socket ~plane ~path ~encode_req ~decode_resp ()] connects to the
     Unix-domain socket at [path] and speaks {!Frame}-framed requests
-    tagged with [plane].  The constructor attempts an eager connect (a
-    link born connected raises no event); thereafter every send on a
-    down link retries the connect, and a down→up transition queues a
-    [Connected] event so the driver can reconcile / resync.  Any
-    framing or I/O failure drops the connection, queues [Disconnected],
-    and surfaces as [Closed reason]; only payload codec failures are
-    [Transient].  Responses are matched to requests by the echoed
-    request id; a mismatch closes the connection (the stream can no
-    longer be trusted). *)
+    tagged with [plane].  [codec] (default [Binary]) is the preferred
+    payload serialization; the codec functions receive the frame's
+    codec, and responses are decoded by the codec their frame
+    declares.  If the first exchange on a fresh connection fails
+    before any response arrived (EOF / framing error — a JSON-only
+    peer closes on the unknown codec tag), the link downgrades to
+    JSON for its lifetime and retries that exchange once.
+
+    The constructor attempts an eager connect (a link born connected
+    raises no event); thereafter every send on a down link retries
+    the connect, and a down→up transition queues a [Connected] event
+    so the driver can reconcile / resync.  Any framing or I/O failure
+    drops the connection, queues [Disconnected], and surfaces as
+    [Closed reason]; only payload codec failures are [Transient].
+    Responses are matched to requests by the echoed request id; an
+    unknown id closes the connection (the stream can no longer be
+    trusted). *)
 
 (** Which fault kinds a {!faulty} link may inject.  Probabilities are
     per-send and evaluated in the order drop, duplicate, delay,
@@ -204,10 +259,11 @@ val force_disconnect : ctl -> ?down_for:int -> unit -> unit
 (** Take the link down now, for [down_for] (default 3) send attempts. *)
 
 val heal : ctl -> unit
-(** Deliver any still-pending delayed requests to the inner link (their
-    responses are discarded), drop scheduled faults, disable further
-    injection, and reconnect.  After [heal] the link behaves like its
-    inner link. *)
+(** Deliver any still-pending delayed requests to the inner link
+    (their responses are discarded), clear the down timer, and
+    reconnect.  Healing repairs the link's {e state} only: random
+    fault injection stays armed afterwards — callers that want a
+    quiet link must also {!set_faults_enabled} [false]. *)
 
 val faulty :
   seed:int -> ?faults:faults -> ('req, 'resp) t -> ('req, 'resp) t * ctl

@@ -19,6 +19,7 @@ let () =
       ("nerpa", Test_nerpa.tests);
       ("transport", Test_transport.tests);
       ("server", Test_server.tests);
+      ("binc", Test_binc.suite);
       ("l3router", Test_l3router.tests);
       ("baseline", Test_baseline.tests);
       ("equivalence", Test_equivalence.tests);

@@ -20,27 +20,33 @@ let gated name speed f =
 
 let test_frame_roundtrip () =
   List.iter
-    (fun (plane, req_id, payload) ->
-      let s = F.encode ~plane ~req_id payload in
+    (fun (plane, codec, req_id, payload) ->
+      let s = F.encode ~plane ~codec ~req_id payload in
       Alcotest.(check int) "framed length" (F.header_len + String.length payload)
         (String.length s);
       match F.decode s with
-      | Ok (p, id, body) ->
+      | Ok (p, c, id, body) ->
         Alcotest.(check bool) "plane round-trips" true (p = plane);
+        Alcotest.(check bool) "codec round-trips" true (c = codec);
         Alcotest.(check int) "req_id round-trips" req_id id;
         Alcotest.(check string) "payload round-trips" payload body
       | Error _ -> Alcotest.fail "well-formed frame rejected")
     [
-      (F.Mgmt, 0, "");
-      (F.P4, 1, "x");
-      (F.Mgmt, 0x7FFFFFFF, String.make 4096 'z');
-      (F.P4, 42, "{\"op\":\"poll_digests\"}");
-    ]
+      (F.Mgmt, Transport.Json, 0, "");
+      (F.P4, Transport.Json, 1, "x");
+      (F.Mgmt, Transport.Binary, 0x7FFFFFFF, String.make 4096 'z');
+      (F.P4, Transport.Binary, 42, "{\"op\":\"poll_digests\"}");
+    ];
+  (* a JSON-codec frame is byte-identical to the pre-codec protocol:
+     byte 5 carries only the plane nibble *)
+  let s = F.encode ~plane:F.P4 ~codec:Transport.Json ~req_id:3 "x" in
+  Alcotest.(check int) "json frame leaves codec nibble zero" 0
+    (Char.code s.[5] lsr 4)
 
 let reason_of = function Ok _ -> "ok" | Error r -> Transport.reason_label r
 
 let test_frame_rejects_corruption () =
-  let good = F.encode ~plane:F.Mgmt ~req_id:7 "payload" in
+  let good = F.encode ~plane:F.Mgmt ~codec:Transport.Binary ~req_id:7 "payload" in
   (* truncation at every prefix length: always Truncated, never a
      wrong parse *)
   for k = 0 to String.length good - 1 do
@@ -57,11 +63,16 @@ let test_frame_rejects_corruption () =
   Bytes.set bad_version 4 (Char.chr 99);
   Alcotest.(check string) "version mismatch" "version-mismatch"
     (reason_of (F.decode (Bytes.to_string bad_version)));
-  (* bad plane tag *)
+  (* bad plane tag (low nibble of byte 5) *)
   let bad_plane = Bytes.of_string good in
-  Bytes.set bad_plane 5 (Char.chr 0xEE);
+  Bytes.set bad_plane 5 (Char.chr 0x1E);
   Alcotest.(check string) "bad plane" "protocol"
     (reason_of (F.decode (Bytes.to_string bad_plane)));
+  (* bad codec tag (high nibble of byte 5) *)
+  let bad_codec = Bytes.of_string good in
+  Bytes.set bad_codec 5 (Char.chr 0x21);
+  Alcotest.(check string) "bad codec" "protocol"
+    (reason_of (F.decode (Bytes.to_string bad_codec)));
   (* over-declared length *)
   let oversize = Bytes.of_string good in
   Bytes.set_int32_be oversize 10 0x7F000000l;
@@ -185,8 +196,10 @@ let dump_or_empty c name =
   with Nerpa.Controller.Controller_error _ -> ""
 
 (* serve + connect inside one process: server handler threads, client
-   controller on the main thread, all planes over real sockets. *)
-let test_serve_connect_convergence () =
+   controller on the main thread, all planes over real sockets.  Run
+   once per wire codec — the converged dump must not depend on how the
+   bytes travelled. *)
+let test_serve_connect_convergence ~codec () =
   let dir = fresh_dir () in
   let db = Ovsdb.Db.create Snvs.schema in
   let switch = P4.Switch.create ~name:"snvs0" Snvs.p4 in
@@ -194,7 +207,7 @@ let test_serve_connect_convergence () =
   Server.start server;
   Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
   let sconn0 = Obs.counter_value "transport.socket.connects" in
-  let c = Snvs.connect ~endpoint:(Nerpa.Endpoint.sockets ~dir) () in
+  let c = Snvs.connect ~endpoint:(Nerpa.Endpoint.sockets ~codec ~dir ()) () in
   (* config applied server-side, under the server's lock *)
   Server.with_lock server (fun () ->
       List.iter
@@ -232,7 +245,9 @@ let test_corrupt_frame_tolerated () =
   Unix.close fd;
   (* oversize declared length: closed too, without reading 2 GiB *)
   let fd = raw () in
-  let hdr = Bytes.of_string (F.encode ~plane:F.Mgmt ~req_id:1 "") in
+  let hdr =
+    Bytes.of_string (F.encode ~plane:F.Mgmt ~codec:Transport.Json ~req_id:1 "")
+  in
   Bytes.set_int32_be hdr 10 0x7F000000l;
   ignore (Unix.write fd hdr 0 (Bytes.length hdr));
   Alcotest.(check string) "oversize conn closed" "eof"
@@ -241,7 +256,7 @@ let test_corrupt_frame_tolerated () =
     | Ok _ -> "ok");
   Unix.close fd;
   (* a well-behaved client still gets answers *)
-  let link = Nerpa.Links.socket_mgmt ~path in
+  let link = Nerpa.Links.socket_mgmt ~path () in
   (match Transport.send link Nerpa.Links.Poll_monitor with
   | Ok (Nerpa.Links.Batches _) -> ()
   | Ok _ -> Alcotest.fail "unexpected response"
@@ -251,7 +266,9 @@ let test_corrupt_frame_tolerated () =
   (* a frame claiming another protocol version: the server closes
      rather than guessing *)
   let fd = raw () in
-  let hdr = Bytes.of_string (F.encode ~plane:F.Mgmt ~req_id:1 "") in
+  let hdr =
+    Bytes.of_string (F.encode ~plane:F.Mgmt ~codec:Transport.Json ~req_id:1 "")
+  in
   Bytes.set hdr 4 (Char.chr 9);
   ignore (Unix.write fd hdr 0 (Bytes.length hdr));
   Alcotest.(check string) "version-mismatch conn closed" "eof"
@@ -259,6 +276,176 @@ let test_corrupt_frame_tolerated () =
     | Error r -> Transport.reason_label r
     | Ok _ -> "ok");
   Unix.close fd
+
+(* ---------------- codec negotiation fallback ---------------- *)
+
+let really_read fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some b
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> None
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* A pre-codec-era management server: it validates byte 5 of the header
+   as a bare plane tag (1 or 2, nothing else) and closes the connection
+   on anything it does not recognise — exactly what the PR5 protocol
+   did.  A binary-preferring client must fall back to JSON against it
+   and still get answers. *)
+let json_only_server lfd (conns : Unix.file_descr list ref) : unit =
+  let rec accept_loop () =
+    match Unix.accept lfd with
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+      conns := fd :: !conns;
+      let rec serve () =
+        match really_read fd F.header_len with
+        | None -> ()
+        | Some hdr ->
+          let b5 = Char.code (Bytes.get hdr 5) in
+          if
+            Bytes.sub_string hdr 0 4 = "NRPA"
+            && Char.code (Bytes.get hdr 4) = 1
+            && (b5 = 1 || b5 = 2)
+          then begin
+            let req_id = Int32.to_int (Bytes.get_int32_be hdr 6) in
+            let len = Int32.to_int (Bytes.get_int32_be hdr 10) in
+            match really_read fd len with
+            | None -> ()
+            | Some payload ->
+              (match
+                 Nerpa.Links.decode_mgmt_request (Bytes.to_string payload)
+               with
+              | Ok Nerpa.Links.Poll_monitor ->
+                (match
+                   F.write_frame fd ~plane:F.Mgmt ~codec:Transport.Json
+                     ~req_id
+                     (Nerpa.Links.encode_mgmt_response
+                        (Nerpa.Links.Batches []))
+                 with
+                | Ok () -> serve ()
+                | Error _ -> ())
+              | _ -> ())
+          end
+      in
+      serve ();
+      (* signal end-of-stream but leave the fd open: the test's finally
+         owns closing (avoids shutting down a reused descriptor) *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      accept_loop ()
+  in
+  accept_loop ()
+
+let test_codec_negotiation_fallback () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "old.sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 4;
+  let conns = ref [] in
+  let th = Thread.create (fun () -> json_only_server lfd conns) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (* wake the thread wherever it blocks: the listener for accept,
+         every accepted connection for its frame read *)
+      (try Unix.shutdown lfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      List.iter
+        (fun fd ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        !conns;
+      Thread.join th;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !conns;
+      try Unix.close lfd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* client prefers Binary; the old peer closes on the unknown nibble;
+     the client must retry the same request in JSON, transparently *)
+  let link = Nerpa.Links.socket_mgmt ~codec:Transport.Binary ~path () in
+  (match Transport.send link Nerpa.Links.Poll_monitor with
+  | Ok (Nerpa.Links.Batches []) -> ()
+  | Ok _ -> Alcotest.fail "unexpected response from json-only server"
+  | Error e ->
+    Alcotest.failf "negotiation fallback failed: %s"
+      (Transport.error_message e));
+  (* the downgrade is sticky: later requests keep working *)
+  match Transport.send link Nerpa.Links.Poll_monitor with
+  | Ok (Nerpa.Links.Batches []) -> ()
+  | Ok _ -> Alcotest.fail "unexpected response after downgrade"
+  | Error e ->
+    Alcotest.failf "post-downgrade request failed: %s"
+      (Transport.error_message e)
+
+(* ---------------- request pipelining over a socket ---------------- *)
+
+(* [send_many] over a live socket: more requests than the in-flight
+   window (32), with Poll/Resync interleaved so a response matched to
+   the wrong request is detectable by its constructor. *)
+let test_socket_pipelining ~codec () =
+  let dir = fresh_dir () in
+  let db = Ovsdb.Db.create Snvs.schema in
+  let server = Server.create ~db ~dir () in
+  Server.start server;
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let path = Nerpa.Endpoint.mgmt_socket_path ~dir in
+  let link = Nerpa.Links.socket_mgmt ~codec ~path () in
+  let n = 80 in
+  let reqs =
+    List.init n (fun i ->
+        if i mod 3 = 0 then Nerpa.Links.Resync else Nerpa.Links.Poll_monitor)
+  in
+  let results = Transport.send_many link reqs in
+  Alcotest.(check int) "one result per request" n (List.length results);
+  List.iteri
+    (fun i r ->
+      match (i mod 3 = 0, r) with
+      | true, Ok (Nerpa.Links.Snapshot _) | false, Ok (Nerpa.Links.Batches _)
+        ->
+        ()
+      | _, Error e ->
+        Alcotest.failf "pipelined request %d failed: %s" i
+          (Transport.error_message e)
+      | _, Ok _ ->
+        Alcotest.failf "response %d matched to the wrong request" i)
+    results
+
+(* ---------------- server resource tracking ---------------- *)
+
+(* The stop/conns/threads bug sweep: handler threads must self-reap,
+   [stop] must clear its connection list, and a second [stop] must be
+   a harmless no-op (the old code shut down stale — possibly reused —
+   fds again). *)
+let test_server_stop_reaps () =
+  let dir = fresh_dir () in
+  let db = Ovsdb.Db.create Snvs.schema in
+  let server = Server.create ~db ~dir () in
+  Server.start server;
+  let base_threads = Server.live_threads server in
+  let path = Nerpa.Endpoint.mgmt_socket_path ~dir in
+  let links =
+    List.init 3 (fun _ -> Nerpa.Links.socket_mgmt ~path ())
+  in
+  List.iter
+    (fun l ->
+      match Transport.send l Nerpa.Links.Poll_monitor with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "poll failed: %s" (Transport.error_message e))
+    links;
+  Alcotest.(check int) "three live connections" 3 (Server.live_conns server);
+  Alcotest.(check int) "one handler thread per connection"
+    (base_threads + 3) (Server.live_threads server);
+  Server.stop server;
+  Alcotest.(check int) "stop leaves no connections" 0
+    (Server.live_conns server);
+  Alcotest.(check int) "stop leaves no threads" 0
+    (Server.live_threads server);
+  (* double stop: nothing tracked, nothing to break *)
+  Server.stop server;
+  Alcotest.(check int) "double stop still clean" 0 (Server.live_conns server)
 
 (* ---------------- the two-process acceptance test ---------------- *)
 
@@ -348,7 +535,7 @@ let test_two_process_kill_restart () =
       (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
       try ignore (Unix.waitpid [] pid1) with Unix.Unix_error _ -> ())
   @@ fun () ->
-  let c = Snvs.connect ~endpoint:(Nerpa.Endpoint.sockets ~dir) () in
+  let c = Snvs.connect ~endpoint:(Nerpa.Endpoint.sockets ~dir ()) () in
   (* phase 1: converge against the first server, consuming the digest
      the child injects once port 1 is admitted *)
   sync_until c ~what:"first server's config and digest" (fun () ->
@@ -381,10 +568,19 @@ let tests =
     Alcotest.test_case "frame rejects corruption" `Quick
       test_frame_rejects_corruption;
     Alcotest.test_case "error labels stable" `Quick test_error_labels_stable;
-    gated "serve/connect convergence (sockets)" `Slow
-      test_serve_connect_convergence;
+    gated "serve/connect convergence (sockets, binary)" `Slow
+      (test_serve_connect_convergence ~codec:Transport.Binary);
+    gated "serve/connect convergence (sockets, json)" `Slow
+      (test_serve_connect_convergence ~codec:Transport.Json);
     gated "corrupt frame tolerated by server" `Slow
       test_corrupt_frame_tolerated;
+    gated "codec negotiation falls back to json" `Slow
+      test_codec_negotiation_fallback;
+    gated "socket pipelining (binary)" `Slow
+      (test_socket_pipelining ~codec:Transport.Binary);
+    gated "socket pipelining (json)" `Slow
+      (test_socket_pipelining ~codec:Transport.Json);
+    gated "stop reaps connections and threads" `Slow test_server_stop_reaps;
     gated "two-process kill/restart differential" `Slow
       test_two_process_kill_restart;
   ]

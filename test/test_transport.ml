@@ -94,6 +94,43 @@ let test_faulty_disconnect_heal () =
   Transport.heal ctl;
   Alcotest.(check bool) "healed" true (Transport.send link 6 = Ok 6)
 
+(* Regression: [heal] used to flip the whole fault schedule off as a
+   side effect, so any workload that force-disconnected and healed ran
+   fault-free for the rest of its life.  Injection must stay armed
+   across a heal; only [set_faults_enabled] silences it. *)
+let test_heal_keeps_faults_armed () =
+  let faults =
+    { Transport.drop = 1.0; duplicate = 0.; delay = 0.; disconnect = 0. }
+  in
+  let link, ctl =
+    Transport.faulty ~seed:3 ~faults (Transport.direct (fun x -> x))
+  in
+  Alcotest.(check string) "drops before" "transient/injected-drop"
+    (tag (Transport.send link 1));
+  Transport.force_disconnect ctl ~down_for:50 ();
+  Transport.heal ctl;
+  Alcotest.(check string) "still drops after heal" "transient/injected-drop"
+    (tag (Transport.send link 2));
+  Transport.set_faults_enabled ctl false;
+  Alcotest.(check bool) "quiet only when asked" true
+    (Transport.send link 3 = Ok 3)
+
+(* [send_many] on the in-process flavours degrades to serial sends:
+   same results, same handler call order. *)
+let test_send_many_order () =
+  let seen = ref [] in
+  let link =
+    Transport.direct (fun x ->
+        seen := x :: !seen;
+        x + 100)
+  in
+  (match Transport.send_many link [ 1; 2; 3 ] with
+  | [ Ok 101; Ok 102; Ok 103 ] -> ()
+  | _ -> Alcotest.fail "send_many results mismatch");
+  Alcotest.(check (list int)) "request order preserved" [ 1; 2; 3 ]
+    (List.rev !seen);
+  Alcotest.(check (list pass)) "empty batch" [] (Transport.send_many link [])
+
 (* ---------------- wire codecs ---------------- *)
 
 let sample_entry =
@@ -471,10 +508,14 @@ let run_workload ?(mid = fun () -> ()) (d : Snvs.deployment) =
   ignore (Snvs.add_mirror d ~name:"m1" ~select_port:1 ~output_port:9);
   sync d
 
-(* End-of-run convergence: heal the links, let reconciliation repair
-   the switch, and replay each host's current location once (a learning
-   lost to a dropped digest recurs; an already-learned MAC is silent). *)
+(* End-of-run convergence: silence the fault schedule, heal the links,
+   let reconciliation repair the switch, and replay each host's current
+   location once (a learning lost to a dropped digest recurs; an
+   already-learned MAC is silent).  [heal] itself no longer disables
+   injection — a healed link keeps faulting — so quiescence is asked
+   for explicitly. *)
 let converge (d : Snvs.deployment) (ctls : Transport.ctl list) =
+  List.iter (fun ctl -> Transport.set_faults_enabled ctl false) ctls;
   List.iter Transport.heal ctls;
   sync d;
   feed_ready d ~port:2 host_a;
@@ -585,6 +626,7 @@ let test_mgmt_resync_differential () =
       run_workload
         ~mid:(fun () -> Transport.force_disconnect ctl ~down_for:4 ())
         d;
+      Transport.set_faults_enabled ctl false;
       Transport.heal ctl;
       (* a heal delivers still-delayed polls whose responses are
          discarded — loss with no error; nudge the driver exactly as a
@@ -619,6 +661,10 @@ let tests =
     Alcotest.test_case "faulty determinism" `Quick test_faulty_determinism;
     Alcotest.test_case "faulty disconnect and heal" `Quick
       test_faulty_disconnect_heal;
+    Alcotest.test_case "heal keeps faults armed" `Quick
+      test_heal_keeps_faults_armed;
+    Alcotest.test_case "send_many order and results" `Quick
+      test_send_many_order;
     Alcotest.test_case "p4runtime wire codec" `Quick test_p4_wire_codec;
     Alcotest.test_case "mgmt wire link" `Quick test_mgmt_wire_link;
     Alcotest.test_case "snvs over wire links" `Quick test_wire_p4_deployment;

@@ -44,6 +44,18 @@ let lpm_length (t : t) : int =
 let same_match (a : t) (b : t) =
   a.matches = b.matches && a.priority = b.priority
 
+(** Total rank order shared by every lookup path: longest total LPM
+    prefix first, then highest priority, then a structural tie-break on
+    the match part so that entries tied on (lpm_length, priority)
+    resolve to the same winner in every matcher representation.
+    Positive means [a] outranks [b]; 0 only for [same_match] entries. *)
+let rank_compare (a : t) (b : t) : int =
+  let c = Int.compare (lpm_length a) (lpm_length b) in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.priority b.priority in
+    if c <> 0 then c else compare b.matches a.matches
+
 let match_value_to_string = function
   | MExact v -> Printf.sprintf "%Ld" v
   | MLpm (v, len) -> Printf.sprintf "%Ld/%d" v len

@@ -27,6 +27,12 @@ val same_match : t -> t -> bool
 (** Entries with identical match parts denote the same logical row
     (P4Runtime modify-in-place semantics). *)
 
+val rank_compare : t -> t -> int
+(** Total rank order shared by every lookup path: longest total LPM
+    prefix, then priority, then a deterministic structural tie-break on
+    the match part.  Positive means the first entry wins; 0 only for
+    [same_match] entries. *)
+
 val match_value_to_string : match_value -> string
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,300 @@
+(* Compiled per-table match structures: exact hash / binary LPM trie /
+   rank-sorted mask scan, chosen statically from the key schema and
+   updated incrementally on insert/delete.  See matcher.mli for the
+   representation contract. *)
+
+type schema = {
+  widths : int array;
+  kinds : Program.match_kind array;
+}
+
+(* A stored entry plus its payload.  Cell lists are kept sorted best
+   rank first (Entry.rank_compare descending); since rank_compare is a
+   total order that is 0 only for same_match entries — and same_match
+   entries replace each other — sorted lists have strictly decreasing
+   rank, so the head is always the unique winner. *)
+type 'a cell = Entry.t * 'a
+
+let rec cell_insert (cell : 'a cell) (cs : 'a cell list) : 'a cell list =
+  match cs with
+  | [] -> [ cell ]
+  | ((e', _) as c) :: rest ->
+    if Entry.same_match (fst cell) e' then cell :: rest
+    else if Entry.rank_compare (fst cell) e' > 0 then cell :: c :: rest
+    else c :: cell_insert cell rest
+
+let cell_remove (e : Entry.t) (cs : 'a cell list) : 'a cell list =
+  List.filter (fun (e', _) -> not (Entry.same_match e e')) cs
+
+(* ---------------- exact: packed-key hash ---------------- *)
+
+(* Key = the MExact values in column order, packed into an int64 array.
+   Lookup hashes a caller-owned scratch array; inserted keys are copies
+   so the scratch can be reused.  A bucket holds every entry sharing
+   the key (distinct priorities), sorted. *)
+
+let exact_key (e : Entry.t) : int64 array =
+  Array.of_list
+    (List.map
+       (function
+         | Entry.MExact v -> v
+         | mv ->
+           invalid_arg
+             (Printf.sprintf "Matcher: non-exact match %s in exact table"
+                (Entry.match_value_to_string mv)))
+       e.Entry.matches)
+
+(* ---------------- lpm: binary prefix trie ---------------- *)
+
+(* One node per prefix, MSB first.  [t_here] holds the entries whose
+   (clamped) prefix ends at this node.  The deepest non-empty node on
+   the lookup path wins: an entry at depth d has lpm_length ≥ d, and an
+   entry at a strictly shallower depth d' < width has lpm_length = d'
+   (a raw length above the width clamps to a full-width path), so
+   deeper always outranks shallower; within a node the sorted cell list
+   breaks the tie. *)
+type 'a tnode = {
+  mutable t_zero : 'a tnode option;
+  mutable t_one : 'a tnode option;
+  mutable t_here : 'a cell list;
+}
+
+let tnode () = { t_zero = None; t_one = None; t_here = [] }
+
+let lpm_prefix (width : int) (e : Entry.t) : int64 * int =
+  match e.Entry.matches with
+  | [ Entry.MLpm (v, len) ] ->
+    let depth = if len <= 0 then 0 else min len width in
+    (v, depth)
+  | _ -> invalid_arg "Matcher: non-LPM match in LPM-trie table"
+
+(* ---------------- scan: rank-sorted compact array ---------------- *)
+
+(* General fallback (ternary / optional / mixed / keyless): entries in
+   rank order, each with per-column mask and pre-masked value computed
+   at install time.  Lookup walks from the best rank down and returns
+   the first row whose columns all satisfy value land mask = val. *)
+type 'a srow = {
+  s_entry : Entry.t;
+  s_payload : 'a;
+  s_masks : int64 array;
+  s_vals : int64 array;
+}
+
+type 'a scan = { mutable rows : 'a srow option array; mutable n : int }
+
+let mask_and_val ~width (mv : Entry.match_value) : int64 * int64 =
+  match mv with
+  | Entry.MExact v -> (-1L, v)
+  | Entry.MLpm (v, len) ->
+    let m = Entry.mask_of_prefix ~width ~prefix_len:len in
+    (m, Int64.logand v m)
+  | Entry.MTernary (v, m) -> (m, Int64.logand v m)
+  | Entry.MAny -> (0L, 0L)
+
+let srow_of_entry (schema : schema) (e : Entry.t) (payload : 'a) : 'a srow =
+  let ncols = Array.length schema.widths in
+  let masks = Array.make ncols 0L and vals = Array.make ncols 0L in
+  List.iteri
+    (fun i mv ->
+      let m, v = mask_and_val ~width:schema.widths.(i) mv in
+      masks.(i) <- m;
+      vals.(i) <- v)
+    e.Entry.matches;
+  { s_entry = e; s_payload = payload; s_masks = masks; s_vals = vals }
+
+(* ---------------- the matcher ---------------- *)
+
+type 'a repr =
+  | Exact of (int64 array, 'a cell list) Hashtbl.t
+  | Trie of 'a tnode                   (* root; width from the schema *)
+  | Scan of 'a scan
+
+type 'a t = { schema : schema; r : 'a repr; mutable count : int }
+
+let create (schema : schema) : 'a t =
+  let ncols = Array.length schema.kinds in
+  let r =
+    if ncols > 0 && Array.for_all (fun k -> k = Program.Exact) schema.kinds
+    then Exact (Hashtbl.create 64)
+    else if ncols = 1 && schema.kinds.(0) = Program.Lpm then Trie (tnode ())
+    else Scan { rows = Array.make 16 None; n = 0 }
+  in
+  { schema; r; count = 0 }
+
+let repr (m : _ t) =
+  match m.r with Exact _ -> "exact" | Trie _ -> "lpm-trie" | Scan _ -> "scan"
+
+let cardinal (m : _ t) = m.count
+
+(* Walk (and create) the trie path of an entry's prefix. *)
+let trie_node_of (root : 'a tnode) ~(width : int) (v : int64) (depth : int) :
+    'a tnode =
+  let node = ref root in
+  for i = width - 1 downto width - depth do
+    let bit = Int64.logand (Int64.shift_right_logical v i) 1L in
+    let next =
+      if bit = 0L then (
+        match !node.t_zero with
+        | Some c -> c
+        | None ->
+          let c = tnode () in
+          !node.t_zero <- Some c;
+          c)
+      else
+        match !node.t_one with
+        | Some c -> c
+        | None ->
+          let c = tnode () in
+          !node.t_one <- Some c;
+          c
+    in
+    node := next
+  done;
+  !node
+
+(* Walk the existing trie path without creating nodes. *)
+let trie_find_node (root : 'a tnode) ~(width : int) (v : int64) (depth : int) :
+    'a tnode option =
+  let rec go node i =
+    if i < width - depth then Some node
+    else
+      let bit = Int64.logand (Int64.shift_right_logical v i) 1L in
+      match (if bit = 0L then node.t_zero else node.t_one) with
+      | None -> None
+      | Some c -> go c (i - 1)
+  in
+  go root (width - 1)
+
+let scan_index_of (s : 'a scan) (e : Entry.t) : int option =
+  let rec go i =
+    if i >= s.n then None
+    else
+      match s.rows.(i) with
+      | Some r when Entry.same_match r.s_entry e -> Some i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let scan_remove (s : 'a scan) (e : Entry.t) : bool =
+  match scan_index_of s e with
+  | None -> false
+  | Some i ->
+    Array.blit s.rows (i + 1) s.rows i (s.n - i - 1);
+    s.n <- s.n - 1;
+    s.rows.(s.n) <- None;
+    true
+
+let scan_insert (s : 'a scan) (row : 'a srow) : unit =
+  if s.n = Array.length s.rows then begin
+    let bigger = Array.make (2 * s.n) None in
+    Array.blit s.rows 0 bigger 0 s.n;
+    s.rows <- bigger
+  end;
+  (* binary search for the first index that the new row outranks;
+     rank_compare is strict across distinct match parts, so the slot is
+     unique *)
+  let outranks i =
+    match s.rows.(i) with
+    | Some r -> Entry.rank_compare row.s_entry r.s_entry > 0
+    | None -> true
+  in
+  let lo = ref 0 and hi = ref s.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if outranks mid then hi := mid else lo := mid + 1
+  done;
+  let pos = !lo in
+  Array.blit s.rows pos s.rows (pos + 1) (s.n - pos);
+  s.rows.(pos) <- Some row;
+  s.n <- s.n + 1
+
+let insert (m : 'a t) (e : Entry.t) (payload : 'a) : unit =
+  match m.r with
+  | Exact h ->
+    let key = exact_key e in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt h key) in
+    let before = List.length bucket in
+    let bucket' = cell_insert (e, payload) bucket in
+    Hashtbl.replace h key bucket';
+    if List.length bucket' > before then m.count <- m.count + 1
+  | Trie root ->
+    let width = m.schema.widths.(0) in
+    let v, depth = lpm_prefix width e in
+    let node = trie_node_of root ~width v depth in
+    let before = List.length node.t_here in
+    node.t_here <- cell_insert (e, payload) node.t_here;
+    if List.length node.t_here > before then m.count <- m.count + 1
+  | Scan s ->
+    let removed = scan_remove s e in
+    scan_insert s (srow_of_entry m.schema e payload);
+    if not removed then m.count <- m.count + 1
+
+let remove (m : 'a t) (e : Entry.t) : unit =
+  match m.r with
+  | Exact h -> (
+    let key = exact_key e in
+    match Hashtbl.find_opt h key with
+    | None -> ()
+    | Some bucket ->
+      let bucket' = cell_remove e bucket in
+      if List.length bucket' < List.length bucket then m.count <- m.count - 1;
+      if bucket' = [] then Hashtbl.remove h key
+      else Hashtbl.replace h key bucket')
+  | Trie root -> (
+    let width = m.schema.widths.(0) in
+    let v, depth = lpm_prefix width e in
+    match trie_find_node root ~width v depth with
+    | None -> ()
+    | Some node ->
+      let before = List.length node.t_here in
+      node.t_here <- cell_remove e node.t_here;
+      if List.length node.t_here < before then m.count <- m.count - 1)
+    (* empty nodes are left in place: delete/re-insert churn is common
+       and path lengths are bounded by the key width anyway *)
+  | Scan s -> if scan_remove s e then m.count <- m.count - 1
+
+let find (m : 'a t) (values : int64 array) : (Entry.t * 'a) option =
+  match m.r with
+  | Exact h -> (
+    match Hashtbl.find_opt h values with
+    | Some (c :: _) -> Some c
+    | Some [] | None -> None)
+  | Trie root ->
+    let width = m.schema.widths.(0) in
+    let v = values.(0) in
+    let best = ref (match root.t_here with c :: _ -> Some c | [] -> None) in
+    let rec walk node i =
+      if i >= 0 then
+        match
+          if Int64.logand (Int64.shift_right_logical v i) 1L = 0L then
+            node.t_zero
+          else node.t_one
+        with
+        | None -> ()
+        | Some child ->
+          (match child.t_here with c :: _ -> best := Some c | [] -> ());
+          walk child (i - 1)
+    in
+    walk root (width - 1);
+    !best
+  | Scan s ->
+    let ncols = Array.length m.schema.widths in
+    let matches (r : 'a srow) =
+      let ok = ref true in
+      let j = ref 0 in
+      while !ok && !j < ncols do
+        if Int64.logand values.(!j) r.s_masks.(!j) <> r.s_vals.(!j) then
+          ok := false;
+        incr j
+      done;
+      !ok
+    in
+    let rec go i =
+      if i >= s.n then None
+      else
+        match s.rows.(i) with
+        | Some r when matches r -> Some (r.s_entry, r.s_payload)
+        | _ -> go (i + 1)
+    in
+    go 0

@@ -1,0 +1,53 @@
+(** Compiled per-table match structures.
+
+    A matcher is built once per table at [Switch.create] from the
+    table's key schema and updated incrementally on every entry
+    install/delete — never rebuilt from scratch.  Lookups take the key
+    values as an [int64 array] (one slot per key column, each value
+    already truncated to the column width) and cost a handful of probes
+    with no list allocation.
+
+    The representation is chosen statically from the schema:
+    - all-[Exact] keys (≥1 column): a hash table over a packed
+      [int64 array] key, each bucket a rank-sorted entry list;
+    - a single [Lpm] column: a binary (MSB-first) prefix trie, the
+      deepest non-empty node on the lookup path wins;
+    - anything else (ternary / optional / mixed / keyless): a
+      rank-sorted compact array with per-column masks and values
+      precomputed at install time — first match wins.
+
+    All three agree with the naive reference scan under the shared
+    total order [Entry.rank_compare], which is what makes the compiled
+    path bit-identical to the interpreter. *)
+
+type schema = {
+  widths : int array;              (** key column widths, in bits *)
+  kinds : Program.match_kind array;
+}
+
+type 'a t
+(** A matcher holding one ['a] payload per installed entry (the switch
+    stores the entry's precompiled action thunk there). *)
+
+val create : schema -> 'a t
+
+val insert : 'a t -> Entry.t -> 'a -> unit
+(** Install an entry; replaces an existing entry with the same match
+    part ([Entry.same_match]).  Incremental: cost is bounded by the
+    entry's bucket / trie path / rank position, not the table size. *)
+
+val remove : 'a t -> Entry.t -> unit
+(** Remove the entry with the same match part, if present. *)
+
+val find : 'a t -> int64 array -> (Entry.t * 'a) option
+(** The best-ranked entry matching the key values, per
+    [Entry.rank_compare].  The array is read, never retained, so a
+    caller-owned scratch buffer is safe.  Values must already be
+    truncated to the column widths (as [Packet.get_bits] and the
+    compiled pipeline's masked stores guarantee). *)
+
+val cardinal : _ t -> int
+
+val repr : _ t -> string
+(** ["exact"], ["lpm-trie"] or ["scan"] — which representation the
+    schema selected (introspection for tests and docs). *)

@@ -5,7 +5,16 @@
     replication (unicast / multicast / clones) → egress control per
     copy → deparse.  The switch also holds the control-plane-visible
     state: table entries, multicast groups, counters, and the queue of
-    emitted digests. *)
+    emitted digests.
+
+    By default packets run on a *compiled* fast path: the program is
+    resolved once at [create] into slot arrays and closures, and each
+    table keeps an incrementally-updated {!Matcher.t}, so per-packet
+    work is a handful of lookups with no list allocation.
+    [create ~use_compiled:false] instead runs the reference AST
+    interpreter — bit-identical by construction of the shared
+    [Entry.rank_compare] order, and enforced by the differential
+    suite. *)
 
 exception Switch_error of string
 
@@ -14,20 +23,26 @@ type t = {
   name : string;
   ports : int list;
   tables : (string, table_state) Hashtbl.t;
-  mutable mcast_groups : (int64 * int64 list) list;
+  mcast_groups : (int64, int64 list) Hashtbl.t;
   counters : (string, (int64, int64) Hashtbl.t) Hashtbl.t;
   registers : (string, (int64, int64) Hashtbl.t) Hashtbl.t;
-  mutable digest_queue : digest_msg list;
-  mutable packets_in : int;
-  mutable packets_out : int;
+  digest_queue : digest_msg list ref;
+  packets_in : int Atomic.t;   (** domain-safe packet counters *)
+  packets_out : int Atomic.t;
+  compiled : compiled;
+  use_compiled : bool;
 }
 
 and table_state
 
+and compiled
+
 and digest_msg = { digest_name : string; values : (string * int64) list }
 
-val create : ?name:string -> ?ports:int list -> Program.t -> t
-(** Instantiate a switch running [program].
+val create : ?name:string -> ?ports:int list -> ?use_compiled:bool -> Program.t -> t
+(** Instantiate a switch running [program].  [use_compiled] (default
+    true) selects the compiled fast path; [false] keeps the naive AST
+    interpreter for differential testing.
     @raise Switch_error if the program does not type-check. *)
 
 (** {1 Control-plane operations} *)
@@ -35,7 +50,8 @@ val create : ?name:string -> ?ports:int list -> Program.t -> t
 val insert_entry : t -> string -> Entry.t -> unit
 (** Install an entry; replaces an existing entry with the same match
     part.  Validates match kinds, the action and its arity against the
-    program, and the table's declared capacity.
+    program, and the table's declared capacity.  Updates the table's
+    compiled matcher incrementally.
     @raise Switch_error on any violation. *)
 
 val delete_entry : t -> string -> Entry.t -> unit
@@ -47,11 +63,24 @@ val find_same_match : t -> string -> Entry.t -> Entry.t option
 val table_entries : t -> string -> Entry.t list
 val entry_count : t -> string -> int
 
+val lookup : ?use_compiled:bool -> t -> string -> int64 array -> Entry.t option
+(** The winning entry for raw key values (one per key column, already
+    truncated to the column width), under the (lpm_length, priority,
+    structural) total order.  [use_compiled:false] forces the naive
+    scan over the entry store, mirroring [Engine.query ~use_indexes]. *)
+
+val matcher_repr : t -> string -> string
+(** Which compiled representation a table's schema selected:
+    ["exact"], ["lpm-trie"] or ["scan"]. *)
+
 val set_mcast_group : t -> int64 -> int64 list -> unit
 (** Define the replica port list of a multicast group; an empty list
     removes the group. *)
 
 val mcast_group : t -> int64 -> int64 list option
+
+val mcast_groups_list : t -> (int64 * int64 list) list
+(** All multicast groups, sorted by group id. *)
 
 val take_digests : t -> digest_msg list
 (** Drain queued digests, oldest first. *)

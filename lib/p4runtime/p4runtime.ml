@@ -201,7 +201,7 @@ let read_table (srv : server) ~(table_id : int) : table_entry list =
 
 (** Read back every multicast group currently programmed. *)
 let multicast_groups (srv : server) : (int64 * int64 list) list =
-  List.sort compare srv.switch.P4.Switch.mcast_groups
+  P4.Switch.mcast_groups_list srv.switch
 
 (** Drain pending digests as DigestList messages (the stream channel).
     Un-acknowledged lists from earlier calls are redelivered first

@@ -16,6 +16,7 @@ let () =
       ("ovsdb", Test_ovsdb.tests);
       ("p4", Test_p4.tests);
       ("p4-props", Test_p4_props.suite);
+      ("p4-matcher", Test_p4_matcher.tests);
       ("nerpa", Test_nerpa.tests);
       ("transport", Test_transport.tests);
       ("server", Test_server.tests);

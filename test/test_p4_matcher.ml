@@ -1,0 +1,466 @@
+(* Differential tests for the data-plane fast path (PR 7):
+   - QCheck: compiled matchers vs a naive reference scan across all
+     four match kinds, under interleaved insert/delete churn, and
+     incremental updates vs a matcher rebuilt from scratch;
+   - LPM trie edge cases (0-length, full-width, over-width and
+     overlapping prefixes);
+   - whole-pipeline differential: a compiled switch and an interpreter
+     switch fed identical entry churn and packets must agree on every
+     output copy, hit/miss counter, P4 counter and digest;
+   - domain-safety of the packet and hit/miss counters under
+     multi-domain process calls. *)
+
+let mk ~matches ~prio ?(action = "x") ?(args = []) () =
+  { P4.Entry.matches; priority = prio; action; args }
+
+(* ------------------------------------------------------------------ *)
+(* Matcher vs naive reference                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The reference: filter by match_value_matches, take the maximum under
+   the shared total order.  Unlike test_p4_props' winner-set reference,
+   rank_compare is total, so the winner is unique and the comparison
+   exact. *)
+let ref_find (entries : P4.Entry.t list) ~(widths : int array)
+    (values : int64 array) : P4.Entry.t option =
+  let matches (e : P4.Entry.t) =
+    List.for_all
+      (fun (i, mv) -> P4.Entry.match_value_matches ~width:widths.(i) mv values.(i))
+      (List.mapi (fun i mv -> (i, mv)) e.matches)
+  in
+  List.fold_left
+    (fun best e ->
+      if not (matches e) then best
+      else
+        match best with
+        | None -> Some e
+        | Some b -> if P4.Entry.rank_compare e b > 0 then Some e else best)
+    None entries
+
+type kspec = P4.Program.match_kind * int
+
+(* One schema per compiled representation, plus mixed/keyless shapes. *)
+let schemas : (string * kspec list) list =
+  let open P4.Program in
+  [
+    ("exact16", [ (Exact, 16) ]);
+    ("exact8x48", [ (Exact, 8); (Exact, 48) ]);
+    ("lpm32", [ (Lpm, 32) ]);
+    ("lpm64", [ (Lpm, 64) ]);
+    ("lpm8", [ (Lpm, 8) ]);
+    ("ternary16", [ (Ternary, 16) ]);
+    ("optional8", [ (Optional, 8) ]);
+    ("lpm+ternary", [ (Lpm, 32); (Ternary, 8) ]);
+    ("exact+optional", [ (Exact, 8); (Optional, 8) ]);
+    ("lpm+lpm", [ (Lpm, 16); (Lpm, 16) ]);
+  ]
+
+let schema_of (ks : kspec list) : P4.Matcher.schema =
+  {
+    P4.Matcher.widths = Array.of_list (List.map snd ks);
+    kinds = Array.of_list (List.map fst ks);
+  }
+
+let trunc w v = if w >= 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+
+(* Small value domains so that collisions, shadowing and overlaps are
+   common. *)
+let gen_value w =
+  QCheck2.Gen.(
+    let* v = oneof [ int_range 0 20; int_range 0 1023; return 0 ] in
+    let* top = bool in
+    (* exercise the MSB half of wide keys too *)
+    return
+      (trunc w
+         (if top && w >= 16 then Int64.logor (Int64.shift_left 1L (w - 1)) (Int64.of_int v)
+          else Int64.of_int v)))
+
+let gen_mv ((kind, w) : kspec) : P4.Entry.match_value QCheck2.Gen.t =
+  QCheck2.Gen.(
+    match kind with
+    | P4.Program.Exact ->
+      let* v = gen_value w in
+      return (P4.Entry.MExact v)
+    | P4.Program.Lpm ->
+      let* v = gen_value w in
+      (* include clamping cases: 0, over-width, and everything between *)
+      let* len = oneof [ int_range 0 w; return (w + 5); return 0 ] in
+      return (P4.Entry.MLpm (v, len))
+    | P4.Program.Ternary ->
+      let* v = gen_value w in
+      oneof
+        [
+          return (P4.Entry.MExact v) (* P4Runtime maps exact onto ternary *);
+          (let* m = oneofl [ 0L; 0xffL; 0xf0L; -1L; 0x0101L ] in
+           return (P4.Entry.MTernary (v, trunc w m)));
+        ]
+    | P4.Program.Optional ->
+      let* v = gen_value w in
+      oneofl [ P4.Entry.MExact v; P4.Entry.MAny ])
+
+let gen_entry (ks : kspec list) : P4.Entry.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    let* matches = flatten_l (List.map gen_mv ks) in
+    let* prio = int_range 0 3 in
+    return (mk ~matches ~prio ()))
+
+type op = Ins of P4.Entry.t | Del of P4.Entry.t
+
+let gen_ops ks =
+  QCheck2.Gen.(
+    list_size (int_range 1 40)
+      (let* e = gen_entry ks in
+       let* del = frequency [ (3, return false); (1, return true) ] in
+       return (if del then Del e else Ins e)))
+
+let apply_model (model : P4.Entry.t list) = function
+  | Ins e -> e :: List.filter (fun e' -> not (P4.Entry.same_match e e')) model
+  | Del e -> List.filter (fun e' -> not (P4.Entry.same_match e e')) model
+
+let probe_agrees m model ~widths values =
+  let got = Option.map fst (P4.Matcher.find m values) in
+  let want = ref_find model ~widths values in
+  got = want
+
+(* After every churn step the matcher must agree with the reference on
+   a battery of probes, and at the end an incrementally-built matcher
+   must agree with one rebuilt from scratch. *)
+let prop_matcher_differential (sname, ks) =
+  let widths = Array.of_list (List.map snd ks) in
+  QCheck2.Test.make ~count:120
+    ~name:(Printf.sprintf "matcher = reference under churn (%s)" sname)
+    QCheck2.Gen.(
+      pair (gen_ops ks)
+        (list_size (int_range 4 12) (flatten_l (List.map (fun (_, w) -> gen_value w) ks))))
+    (fun (ops, probes) ->
+      let m = P4.Matcher.create (schema_of ks) in
+      let model = ref [] in
+      let step_ok =
+        List.for_all
+          (fun op ->
+            (match op with
+            | Ins e -> P4.Matcher.insert m e ()
+            | Del e -> P4.Matcher.remove m e);
+            model := apply_model !model op;
+            P4.Matcher.cardinal m = List.length !model
+            && List.for_all
+                 (fun vs -> probe_agrees m !model ~widths (Array.of_list vs))
+                 probes)
+          ops
+      in
+      (* incremental vs rebuilt-from-scratch *)
+      let fresh = P4.Matcher.create (schema_of ks) in
+      List.iter (fun e -> P4.Matcher.insert fresh e ()) !model;
+      step_ok
+      && List.for_all
+           (fun vs ->
+             let vals = Array.of_list vs in
+             Option.map fst (P4.Matcher.find m vals)
+             = Option.map fst (P4.Matcher.find fresh vals))
+           probes)
+
+(* ------------------------------------------------------------------ *)
+(* LPM trie edge cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lpm32 = schema_of [ (P4.Program.Lpm, 32) ]
+
+let find_args m v =
+  match P4.Matcher.find m [| v |] with
+  | Some (e, ()) -> Some e.P4.Entry.args
+  | None -> None
+
+let test_trie_edges () =
+  let m = P4.Matcher.create lpm32 in
+  Alcotest.(check string) "repr" "lpm-trie" (P4.Matcher.repr m);
+  let route ?(prio = 0) v len port =
+    P4.Matcher.insert m
+      (mk ~matches:[ P4.Entry.MLpm (v, len) ] ~prio ~args:[ port ] ())
+      ()
+  in
+  (* 0-length prefix: matches everything *)
+  route 0L 0 99L;
+  Alcotest.(check (option (list int64))) "default /0" (Some [ 99L ])
+    (find_args m 0xdeadbeefL);
+  (* overlapping prefixes: longest wins *)
+  route 0x0a000000L 8 1L;
+  route 0x0a010000L 16 2L;
+  route 0x0a010200L 24 3L;
+  Alcotest.(check (option (list int64))) "/24 wins" (Some [ 3L ])
+    (find_args m 0x0a0102ffL);
+  Alcotest.(check (option (list int64))) "/16 wins" (Some [ 2L ])
+    (find_args m 0x0a01ffffL);
+  Alcotest.(check (option (list int64))) "/8 wins" (Some [ 1L ])
+    (find_args m 0x0affffffL);
+  Alcotest.(check (option (list int64))) "fallback /0" (Some [ 99L ])
+    (find_args m 0x0b000000L);
+  (* full-width prefix beats everything *)
+  route 0x0a010203L 32 4L;
+  Alcotest.(check (option (list int64))) "/32 wins" (Some [ 4L ])
+    (find_args m 0x0a010203L);
+  (* an over-width raw length clamps to the full-width path but keeps
+     its raw lpm_length for ranking: it outranks the /32 *)
+  route 0x0a010203L 40 5L;
+  Alcotest.(check (option (list int64))) "/40 outranks /32" (Some [ 5L ])
+    (find_args m 0x0a010203L);
+  (* stray low bits beyond the prefix are ignored *)
+  route 0x0b0103ffL 16 6L;
+  Alcotest.(check (option (list int64))) "low bits masked" (Some [ 6L ])
+    (find_args m 0x0b010000L);
+  (* same prefix, higher priority wins *)
+  route ~prio:7 0x0a010000L 16 8L;
+  Alcotest.(check (option (list int64))) "priority tie-break" (Some [ 8L ])
+    (find_args m 0x0a01ffffL);
+  (* deleting the deep prefixes restores the shorter ones *)
+  P4.Matcher.remove m (mk ~matches:[ P4.Entry.MLpm (0x0a010203L, 40) ] ~prio:0 ());
+  P4.Matcher.remove m (mk ~matches:[ P4.Entry.MLpm (0x0a010203L, 32) ] ~prio:0 ());
+  P4.Matcher.remove m (mk ~matches:[ P4.Entry.MLpm (0x0a010200L, 24) ] ~prio:0 ());
+  Alcotest.(check (option (list int64))) "delete restores /16 (prio 7)"
+    (Some [ 8L ])
+    (find_args m 0x0a010203L);
+  (* 64-bit keys with the sign bit set *)
+  let m64 = P4.Matcher.create (schema_of [ (P4.Program.Lpm, 64) ]) in
+  P4.Matcher.insert m64
+    (mk ~matches:[ P4.Entry.MLpm (Int64.min_int, 1) ] ~prio:0 ~args:[ 1L ] ())
+    ();
+  P4.Matcher.insert m64
+    (mk ~matches:[ P4.Entry.MLpm (-1L, 64) ] ~prio:0 ~args:[ 2L ] ())
+    ();
+  Alcotest.(check (option (list int64))) "64-bit msb" (Some [ 1L ])
+    (find_args m64 Int64.min_int);
+  Alcotest.(check (option (list int64))) "64-bit full" (Some [ 2L ])
+    (find_args m64 (-1L))
+
+let test_repr_selection () =
+  let sw = P4.Switch.create ~name:"r" L3router.p4 in
+  Alcotest.(check string) "routes" "lpm-trie" (P4.Switch.matcher_repr sw "routes");
+  Alcotest.(check string) "protocol_filter" "scan"
+    (P4.Switch.matcher_repr sw "protocol_filter");
+  Alcotest.(check string) "ttl_check" "scan" (P4.Switch.matcher_repr sw "ttl_check");
+  let sv = P4.Switch.create ~name:"s" Snvs.p4 in
+  Alcotest.(check string) "dmac" "exact" (P4.Switch.matcher_repr sv "dmac");
+  Alcotest.(check string) "acl" "scan" (P4.Switch.matcher_repr sv "acl")
+
+(* ------------------------------------------------------------------ *)
+(* Whole-pipeline differential: compiled vs interpreter                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the same entry churn and the same packets through a compiled
+   switch and an interpreter switch; every observable — output copies
+   (port and exact bytes), per-table hits/misses, P4 counters, digests —
+   must be identical. *)
+
+let show_outs outs =
+  String.concat ";"
+    (List.map
+       (fun (p, pkt) -> Printf.sprintf "%d:%s" p (P4.Packet.to_hex pkt))
+       outs)
+
+let same_state prog fast ref_ =
+  List.for_all
+    (fun (t : P4.Program.table) ->
+      let a = P4.Switch.stats fast t.tname and b = P4.Switch.stats ref_ t.tname in
+      a.entries = b.entries && a.hits = b.hits && a.misses = b.misses)
+    prog.P4.Program.tables
+  && P4.Switch.take_digests fast = P4.Switch.take_digests ref_
+
+let prop_l3router_differential =
+  let gen_route =
+    QCheck2.Gen.(
+      let* base = int_range 0 3 in
+      let* plen = oneofl [ 0; 8; 15; 16; 24; 31; 32 ] in
+      let* sub = int_range 0 255 in
+      let* port = int_range 1 4 in
+      let prefix =
+        Int64.logor
+          (Int64.shift_left (Int64.of_int (10 + base)) 24)
+          (Int64.shift_left (Int64.of_int sub) 8)
+      in
+      return
+        (mk
+           ~matches:[ P4.Entry.MLpm (prefix, plen) ]
+           ~prio:0 ~action:"route_to"
+           ~args:[ Int64.of_int port; Int64.of_int (0x20000 + port) ]
+           ()))
+  in
+  let gen_probe =
+    QCheck2.Gen.(
+      let* base = int_range 0 4 in
+      let* sub = int_range 0 255 in
+      let* low = oneofl [ 0; 1; 255 ] in
+      let* ttl = oneofl [ 0L; 1L; 64L ] in
+      let* proto = oneofl [ 6L; 17L ] in
+      return
+        ( Int64.logor
+            (Int64.shift_left (Int64.of_int (10 + base)) 24)
+            (Int64.logor (Int64.shift_left (Int64.of_int sub) 8) (Int64.of_int low)),
+          ttl,
+          proto ))
+  in
+  QCheck2.Test.make ~count:60 ~name:"pipeline differential (l3router, lpm churn)"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 30) gen_route)
+        (list_size (int_range 0 8) (pair (int_range 0 29) bool))
+        (list_size (int_range 1 20) gen_probe))
+    (fun (routes, churn, probes) ->
+      let fast = P4.Switch.create ~name:"fast" L3router.p4 in
+      let ref_ = P4.Switch.create ~name:"ref" ~use_compiled:false L3router.p4 in
+      let both f = f fast; f ref_ in
+      List.iter (fun e -> both (fun sw -> P4.Switch.insert_entry sw "routes" e)) routes;
+      (* deny UDP on half the runs via the optional filter *)
+      (match routes with
+      | { P4.Entry.args = a :: _; _ } :: _ when Int64.rem a 2L = 0L ->
+        both (fun sw ->
+            P4.Switch.insert_entry sw "protocol_filter"
+              (mk ~matches:[ P4.Entry.MExact 17L ] ~prio:1 ~action:"deny" ()))
+      | _ -> ());
+      (* interleaved delete/re-insert churn against the same routes *)
+      List.iter
+        (fun (i, reinsert) ->
+          match List.nth_opt routes (i mod List.length routes) with
+          | None -> ()
+          | Some e ->
+            both (fun sw -> P4.Switch.delete_entry sw "routes" e);
+            if reinsert then
+              both (fun sw -> P4.Switch.insert_entry sw "routes" e))
+        churn;
+      List.for_all
+        (fun (dst, ttl, proto) ->
+          let pkt () =
+            let p =
+              P4.Stdhdrs.udp_packet ~eth_dst:0xaaL ~eth_src:0xbbL
+                ~ip_src:0x0a000001L ~ip_dst:dst ~src_port:7L ~dst_port:53L
+                ~payload:"x"
+            in
+            P4.Packet.set_bits p ~bit_offset:((14 * 8) + 64) ~width:8 ttl;
+            P4.Packet.set_bits p ~bit_offset:((14 * 8) + 72) ~width:8 proto;
+            p
+          in
+          let a = P4.Switch.process fast ~in_port:9 (pkt ()) in
+          let b = P4.Switch.process ref_ ~in_port:9 (pkt ()) in
+          show_outs a = show_outs b)
+        probes
+      && same_state L3router.p4 fast ref_
+      && List.for_all
+           (fun p ->
+             P4.Switch.counter_value fast "forwarded" p
+             = P4.Switch.counter_value ref_ "forwarded" p)
+           [ 1L; 2L; 3L; 4L ])
+
+(* snvs exercises the rest of the primitive set: digests, multicast
+   flood, clones, header add/remove (vlan push/pop), ternary ACL. *)
+let prop_snvs_differential =
+  let gen_frame =
+    QCheck2.Gen.(
+      let* dst = int_range 1 6 in
+      let* src = int_range 1 6 in
+      let* port = int_range 1 4 in
+      let* tagged = bool in
+      let* vid = oneofl [ 10L; 20L ] in
+      return (Int64.of_int dst, Int64.of_int src, port, tagged, vid))
+  in
+  QCheck2.Test.make ~count:40 ~name:"pipeline differential (snvs, full primitives)"
+    QCheck2.Gen.(list_size (int_range 1 25) gen_frame)
+    (fun frames ->
+      let fast = P4.Switch.create ~name:"fast" Snvs.p4 in
+      let ref_ = P4.Switch.create ~name:"ref" ~use_compiled:false Snvs.p4 in
+      let both f = f fast; f ref_ in
+      both (fun sw ->
+          (* access ports 1-2 on vlan 10, trunks 3-4; macs 1-3 known on
+             vlan 10; an ACL deny and a mirror rule *)
+          List.iter
+            (fun (port, vid) ->
+              P4.Switch.insert_entry sw "in_vlan"
+                (mk
+                   ~matches:[ P4.Entry.MExact port; P4.Entry.MExact 0L ]
+                   ~prio:0 ~action:"set_vlan" ~args:[ vid ] ()))
+            [ (1L, 10L); (2L, 10L) ];
+          List.iter
+            (fun (port, vid) ->
+              P4.Switch.insert_entry sw "in_vlan"
+                (mk
+                   ~matches:[ P4.Entry.MExact port; P4.Entry.MExact vid ]
+                   ~prio:0 ~action:"keep_tag" ()))
+            [ (3L, 10L); (3L, 20L); (4L, 10L) ];
+          List.iter
+            (fun mac ->
+              P4.Switch.insert_entry sw "dmac"
+                (mk
+                   ~matches:[ P4.Entry.MExact 10L; P4.Entry.MExact mac ]
+                   ~prio:0 ~action:"forward" ~args:[ Int64.add mac 1L ] ());
+              P4.Switch.insert_entry sw "smac"
+                (mk
+                   ~matches:
+                     [ P4.Entry.MExact 10L; P4.Entry.MExact mac;
+                       P4.Entry.MExact (Int64.add mac 1L) ]
+                   ~prio:0 ~action:"noop" ()))
+            [ 1L; 2L; 3L ];
+          P4.Switch.insert_entry sw "acl"
+            (mk
+               ~matches:[ P4.Entry.MTernary (5L, 7L); P4.Entry.MTernary (0L, 0L) ]
+               ~prio:3 ~action:"deny" ());
+          P4.Switch.insert_entry sw "mirror"
+            (mk ~matches:[ P4.Entry.MExact 2L ] ~prio:0 ~action:"clone_to"
+               ~args:[ 9L ] ());
+          P4.Switch.insert_entry sw "out_vlan"
+            (mk
+               ~matches:[ P4.Entry.MExact 3L; P4.Entry.MExact 10L ]
+               ~prio:0 ~action:"output_tagged" ());
+          P4.Switch.set_mcast_group sw 10L [ 1L; 2L; 3L ];
+          P4.Switch.set_mcast_group sw 20L [ 3L; 4L ]);
+      List.for_all
+        (fun (dst, src, port, tagged, vid) ->
+          let pkt () =
+            if tagged then
+              P4.Stdhdrs.vlan_frame ~dst ~src ~vid ~ethertype:0x0800L
+                ~payload:"pp"
+            else P4.Stdhdrs.ethernet_frame ~dst ~src ~ethertype:0x0800L ~payload:"pp"
+          in
+          let a = P4.Switch.process fast ~in_port:port (pkt ()) in
+          let b = P4.Switch.process ref_ ~in_port:port (pkt ()) in
+          show_outs a = show_outs b)
+        frames
+      && same_state Snvs.p4 fast ref_)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safety of the counters                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_domain_safe () =
+  let sw = P4.Switch.create ~name:"mc" L3router.p4 in
+  P4.Switch.insert_entry sw "routes"
+    (mk
+       ~matches:[ P4.Entry.MLpm (0x0a000000L, 8) ]
+       ~prio:0 ~action:"route_to" ~args:[ 1L; 0xeeL ] ());
+  let per_domain = 500 and domains = 4 in
+  let pkt =
+    P4.Stdhdrs.udp_packet ~eth_dst:1L ~eth_src:2L ~ip_src:3L
+      ~ip_dst:0x0a000001L ~src_port:1L ~dst_port:2L ~payload:""
+  in
+  let run () =
+    for _ = 1 to per_domain do
+      ignore (P4.Switch.process sw ~in_port:9 pkt)
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn run) in
+  List.iter Domain.join ds;
+  let total = domains * per_domain in
+  Alcotest.(check int) "packets_in" total (Atomic.get sw.P4.Switch.packets_in);
+  Alcotest.(check int) "packets_out" total (Atomic.get sw.P4.Switch.packets_out);
+  let s = P4.Switch.stats sw "routes" in
+  Alcotest.(check int) "route hits" total s.hits;
+  Alcotest.(check int) "filter misses" total
+    (P4.Switch.stats sw "protocol_filter").misses
+
+let tests =
+  [
+    Alcotest.test_case "lpm trie edge cases" `Quick test_trie_edges;
+    Alcotest.test_case "matcher representation selection" `Quick
+      test_repr_selection;
+    Alcotest.test_case "counters domain-safe under parallel process" `Quick
+      test_counters_domain_safe;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      (List.map prop_matcher_differential schemas
+      @ [ prop_l3router_differential; prop_snvs_differential ])

@@ -1394,6 +1394,126 @@ let exp_packets () =
     (p50 lpm_n /. p50 lpm_c)
     (p50 exact_n /. p50 exact_c)
 
+(* ------------------------------------------------------------------ *)
+(* EXP-FLOWS: PR 8 — FDD flow compiler vs the naive translator         *)
+(* ------------------------------------------------------------------ *)
+
+(* A single-LPM-table pipeline sized for 10^5 entries (the real
+   l3router caps its routes table at 65536), with an If-free ingress so
+   the naive backend compiles the same program. *)
+let flows_prog : P4.Program.t =
+  let open P4.Program in
+  {
+    name = "fib";
+    headers = [ P4.Stdhdrs.ethernet; P4.Stdhdrs.ipv4 ];
+    parser =
+      { start = "s";
+        states = [ { sname = "s"; extracts = [ "ethernet"; "ipv4" ];
+                     transition = Accept } ] };
+    actions =
+      [
+        { aname = "forward"; params = [ ("port", 16) ];
+          body = [ Forward (EParam "port") ] };
+        { aname = "drop"; params = []; body = [ Drop ] };
+      ];
+    tables =
+      [
+        { tname = "fib";
+          keys = [ { kref = Field ("ipv4", "dst"); kind = Lpm } ];
+          actions = [ "forward"; "drop" ];
+          default_action = ("drop", []); size = 200_000 };
+      ];
+    digests = []; counters = []; registers = [];
+    ingress = ApplyTable "fib";
+    egress = Nop;
+  }
+
+(* [n] routes: mostly /32 hosts, one in eight a duplicate of the
+   previous host prefix at a higher priority (a fully shadowed rule the
+   FDD backend must elide), plus /24 and /16 aggregates. *)
+let flows_entries n =
+  List.init n (fun i ->
+      let prefix, len, prio =
+        match i land 7 with
+        | 5 ->
+          (* same /32 as entry i-1 but outranking it: i-1 is shadowed *)
+          (Int64.logor 0x0A000000L (Int64.of_int (i - 1)), 32, 1)
+        | 6 -> (Int64.shift_left (Int64.of_int (i lsr 3)) 8, 24, 0)
+        | 7 -> (Int64.shift_left (Int64.of_int (i lsr 3)) 16, 16, 0)
+        | _ -> (Int64.logor 0x0A000000L (Int64.of_int i), 32, 0)
+      in
+      { P4.Entry.matches = [ P4.Entry.MLpm (prefix, len) ];
+        priority = prio;
+        action = "forward";
+        args = [ Int64.of_int (1 + (i land 3)) ] })
+
+let flows_switch n =
+  let sw = P4.Switch.create ~name:"bfib" flows_prog in
+  List.iter (fun e -> P4.Switch.insert_entry sw "fib" e) (flows_entries n);
+  sw
+
+(* (flow count, compile ms) for one backend on a populated switch. *)
+let time_compile f sw =
+  let t0 = now () in
+  let ofp = f sw in
+  ((Ofp4.Openflow.flow_count ofp, (now () -. t0) *. 1e3), ofp)
+
+let measure_flows n =
+  let sw = flows_switch n in
+  let naive, _ = time_compile Ofp4.Compile.compile_naive sw in
+  let fdd, _ = time_compile Ofp4.Compile.compile sw in
+  (naive, fdd)
+
+let flows_sizes = [ 1_000; 10_000; 100_000 ]
+
+(* The gate workload: FDD-only at a size that keeps the smoke run
+   sub-second; identical in smoke () and in the recorded baseline. *)
+let flows_smoke_leg () =
+  let sw = flows_switch 5_000 in
+  let (flows, ms), _ = time_compile Ofp4.Compile.compile sw in
+  (flows, ms)
+
+let flows_json () : Ovsdb.Json.t =
+  let legs =
+    List.map
+      (fun n ->
+        let (nf, nms), (ff, fms) = measure_flows n in
+        ( Printf.sprintf "fib_%d" n,
+          Ovsdb.Json.Obj
+            [ ("entries", Ovsdb.Json.Int (Int64.of_int n));
+              ("naive_flows", Ovsdb.Json.Int (Int64.of_int nf));
+              ("naive_compile_ms", json_num nms);
+              ("fdd_flows", Ovsdb.Json.Int (Int64.of_int ff));
+              ("fdd_compile_ms", json_num fms);
+              ("flow_reduction", json_num (float_of_int (nf - ff) /. float_of_int nf)) ] ))
+      flows_sizes
+  in
+  let sflows, sms = flows_smoke_leg () in
+  Ovsdb.Json.Obj
+    (legs
+    @ [ ( "smoke_fdd_5000",
+          Ovsdb.Json.Obj
+            [ ("flows", Ovsdb.Json.Int (Int64.of_int sflows));
+              ("compile_ms", json_num sms) ] ) ])
+
+let exp_flows () =
+  header "EXP-FLOWS  PR 8 — FDD flow compiler vs naive per-entry translation"
+    "compiling through a decision diagram drops shadowed rules and keeps \
+     10^5-entry compile times in engineering range";
+  Printf.printf "%10s %14s %12s %14s %12s %11s\n" "entries" "naive_flows"
+    "naive_ms" "fdd_flows" "fdd_ms" "reduction";
+  List.iter
+    (fun n ->
+      let (nf, nms), (ff, fms) = measure_flows n in
+      assert (ff < nf);
+      Printf.printf "%10d %14d %12.1f %14d %12.1f %10.1f%%\n" n nf nms ff fms
+        (100.0 *. float_of_int (nf - ff) /. float_of_int nf))
+    flows_sizes;
+  Printf.printf
+    "\nshape: one route in eight is fully shadowed and the FDD backend emits \
+     no flow\nfor it (plus one priority level per disjointness group instead \
+     of one per rule);\nthe naive column is one flow per entry regardless.\n"
+
 let json_experiments () : (string * Ovsdb.Json.t) list =
   (* Compact between experiments: the DB benchmarks grow the major
      heap, and collections triggered mid-experiment would otherwise
@@ -1410,7 +1530,8 @@ let json_experiments () : (string * Ovsdb.Json.t) list =
       ("sockets_60_json", fun () -> bench_sockets ~codec:Transport.Json ~n:60 ());
       ("smoke_ports_40", fun () -> bench_ports ~n:40 ());
       ("packets", fun () -> packets_json ());
-      ("parallel", fun () -> parallel_json ()) ]
+      ("parallel", fun () -> parallel_json ());
+      ("flows", fun () -> flows_json ()) ]
 
 (* The regression gate compares the smoke run's dl.commit p50 against
    this recorded baseline.  The relative bound catches real slowdowns;
@@ -1452,6 +1573,23 @@ let gate_json (exps : (string * Ovsdb.Json.t) list) : Ovsdb.Json.t =
       | _ -> 0.)
     | None -> 0.
   in
+  (* The flows row gates the PR8 work (FDD flow compiler): the smoke
+     run recompiles the same 5000-entry fib workload and its wall time
+     must stay within max_regression of this recording.  Compile time
+     is milliseconds-scale, so a generous relative bound plus absolute
+     slack absorbs allocator and GC variance. *)
+  let flows_ms =
+    match List.assoc_opt "flows" exps with
+    | Some j -> (
+      match
+        Option.bind (Ovsdb.Json.member "smoke_fdd_5000" j)
+          (Ovsdb.Json.member "compile_ms")
+      with
+      | Some (Ovsdb.Json.Float f) -> f
+      | Some (Ovsdb.Json.Int i) -> Int64.to_float i
+      | _ -> 0.)
+    | None -> 0.
+  in
   Ovsdb.Json.Obj
     [ ("metric", Ovsdb.Json.String "smoke dl.commit.us p50");
       ("smoke_commit_p50_us", json_num smoke_p50);
@@ -1462,13 +1600,16 @@ let gate_json (exps : (string * Ovsdb.Json.t) list) : Ovsdb.Json.t =
       ("socket_abs_slack_us", json_num 20.0);
       ("packet_p50_ns", json_num packet_p50);
       ("packet_max_regression", json_num 1.25);
-      ("packet_abs_slack_ns", json_num 200.0) ]
+      ("packet_abs_slack_ns", json_num 200.0);
+      ("flows_compile_ms", json_num flows_ms);
+      ("flows_max_regression", json_num 1.6);
+      ("flows_abs_slack_ms", json_num 50.0) ]
 
 let json_report path =
   let exps = json_experiments () in
   let doc =
     Ovsdb.Json.Obj
-      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr7/1");
+      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr8/1");
         ("experiments", Ovsdb.Json.Obj exps);
         ("gate", gate_json exps) ]
   in
@@ -1575,7 +1716,7 @@ let newest_baseline dir =
    recorded in the baseline file; a regression beyond
    p50 * max_regression + abs_slack fails the run (and hence
    `dune runtest`, which invokes the smoke alias). *)
-let smoke_gate ?socket_p50 ?packet_p50 (baseline_path : string)
+let smoke_gate ?socket_p50 ?packet_p50 ?flows_ms (baseline_path : string)
     (measured_p50 : float) =
   match
     try Some (Ovsdb.Json.of_string (In_channel.with_open_text baseline_path In_channel.input_all))
@@ -1629,16 +1770,27 @@ let smoke_gate ?socket_p50 ?packet_p50 (baseline_path : string)
     | _ ->
       Printf.printf
         "smoke gate: baseline %s has no socket gate (skipped)\n" baseline_path);
-    match
-      ( packet_p50,
-        field "packet_p50_ns",
-        field "packet_max_regression",
-        field "packet_abs_slack_ns" )
-    with
+    (match
+       ( packet_p50,
+         field "packet_p50_ns",
+         field "packet_max_regression",
+         field "packet_abs_slack_ns" )
+     with
     | Some measured, Some base, Some maxr, Some slack when base > 0. ->
       check ~unit:"ns" ~what:"packet ns/pkt" base maxr slack measured
     | _ ->
       Printf.printf "smoke gate: baseline %s has no packet gate (skipped)\n"
+        baseline_path);
+    match
+      ( flows_ms,
+        field "flows_compile_ms",
+        field "flows_max_regression",
+        field "flows_abs_slack_ms" )
+    with
+    | Some measured, Some base, Some maxr, Some slack when base > 0. ->
+      check ~unit:"ms" ~what:"fdd compile 5000" base maxr slack measured
+    | _ ->
+      Printf.printf "smoke gate: baseline %s has no flows gate (skipped)\n"
         baseline_path)
 
 (* Runs a miniature exp_ports plus the observability overhead check,
@@ -1671,8 +1823,12 @@ let smoke ?baseline () =
   let _, packet_p50, _ = packet_smoke_leg () in
   Printf.printf "  packet p50 %8.0f ns over 2000 lpm routes (compiled)\n"
     packet_p50;
+  (* the flow-compiler leg: recompile the PR 8 gate workload *)
+  let smoke_flows, flows_ms = flows_smoke_leg () in
+  Printf.printf "  fdd compile %8.1f ms for 5000 routes (%d flows)\n" flows_ms
+    smoke_flows;
   (match baseline with
-  | Some path -> smoke_gate ?socket_p50 ~packet_p50 path p50
+  | Some path -> smoke_gate ?socket_p50 ~packet_p50 ~flows_ms path p50
   | None -> ());
   if not (obs_overhead ()) then exit 1
 
@@ -1694,6 +1850,7 @@ let experiments =
     ("transport", fun () -> exp_transport ());
     ("packets", fun () -> exp_packets ());
     ("parallel", fun () -> exp_parallel ());
+    ("flows", fun () -> exp_flows ());
     ("micro", fun () -> micro ());
     ("smoke", fun () -> smoke ());
   ]
@@ -1712,12 +1869,12 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | "--json" :: rest ->
-    let path = match rest with p :: _ -> p | [] -> "BENCH_PR7.json" in
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR8.json" in
     json_report path
   | "packets" :: "--json" :: rest ->
     (* the packet numbers land in the full report so the recorded file
        keeps a complete gate section for the smoke baseline *)
-    let path = match rest with p :: _ -> p | [] -> "BENCH_PR7.json" in
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR8.json" in
     json_report path
   | "smoke" :: "--baseline" :: path :: _ ->
     run_experiment "smoke" (fun () -> smoke ~baseline:path ())

@@ -1,0 +1,85 @@
+(* The OpenFlow compiler end-to-end: compile the snvs L2 pipeline —
+   conditionals and all — into flow tables through a forwarding
+   decision diagram, watch shadowed entries disappear, and check the
+   compiled artefact against the behavioural switch packet-for-packet.
+
+   Run with:  dune exec examples/flow_compile.exe *)
+
+let mac = P4.Stdhdrs.mac_of_string
+
+let () =
+  print_endline "== compiling snvs (If-bearing control flow) ==";
+  let sw = P4.Switch.create ~name:"s0" Snvs.p4 in
+  (* an access port on VLAN 10, a trunk, and a learned MAC *)
+  P4.Switch.insert_entry sw "in_vlan"
+    { P4.Entry.matches = [ P4.Entry.MExact 1L; P4.Entry.MExact 0L ];
+      priority = 5; action = "set_vlan"; args = [ 10L ] };
+  P4.Switch.insert_entry sw "in_vlan"
+    { P4.Entry.matches = [ P4.Entry.MExact 2L; P4.Entry.MExact 10L ];
+      priority = 0; action = "keep_tag"; args = [] };
+  P4.Switch.insert_entry sw "dmac"
+    { P4.Entry.matches =
+        [ P4.Entry.MExact 10L; P4.Entry.MExact (mac "02:00:00:00:00:01") ];
+      priority = 0; action = "forward"; args = [ 2L ] };
+  (* the naive per-entry translator rejects snvs's [If (EValid "vlan", ...)] *)
+  (match Ofp4.Compile.compile_naive sw with
+  | exception Ofp4.Compile.Unsupported msg ->
+    Printf.printf "naive backend: Unsupported (%s)\n" msg
+  | _ -> assert false);
+  let prog = Ofp4.Compile.compile sw in
+  Printf.printf "fdd backend:   %d flows over %d tables\n\n"
+    (Ofp4.Openflow.flow_count prog) prog.Ofp4.Openflow.n_tables;
+
+  print_endline "the in_vlan table as flows (condition folded in):";
+  List.iter
+    (fun f -> print_endline ("  " ^ Ofp4.Openflow.flow_to_string f))
+    (Ofp4.Openflow.flows_in_table prog 1);
+
+  print_endline "\n== shadowed rules emit nothing ==";
+  (* same match as the access port above, outranked: fully shadowed *)
+  P4.Switch.insert_entry sw "in_vlan"
+    { P4.Entry.matches = [ P4.Entry.MExact 1L; P4.Entry.MExact 0L ];
+      priority = 0; action = "drop"; args = [] };
+  let with_shadow = Ofp4.Compile.compile sw in
+  Printf.printf
+    "4 entries installed, still %d flows: the priority-0 duplicate is \
+     folded away\n"
+    (Ofp4.Openflow.flow_count with_shadow);
+
+  print_endline "\n== the evaluator as differential oracle ==";
+  let ev = Ofp4.Eval.of_switch sw with_shadow in
+  let show outs =
+    if outs = [] then "(dropped)"
+    else
+      String.concat " "
+        (List.map (fun (p, _) -> Printf.sprintf "port %d" p) outs)
+  in
+  List.iter
+    (fun (what, in_port, pkt) ->
+      let p4 = P4.Switch.process sw ~in_port pkt in
+      let ofp = Ofp4.Eval.process ev ~in_port pkt in
+      let key l =
+        List.sort compare (List.map (fun (p, o) -> (p, P4.Packet.to_hex o)) l)
+      in
+      assert (key p4 = key ofp);
+      Printf.printf "  %-34s switch: %-12s flows: %s\n" what (show p4)
+        (show ofp))
+    [ ( "known MAC from access port 1",
+        1,
+        P4.Stdhdrs.ethernet_frame
+          ~dst:(mac "02:00:00:00:00:01")
+          ~src:(mac "02:00:00:00:00:02")
+          ~ethertype:0x0800L ~payload:"hi" );
+      ( "tagged frame on trunk port 2",
+        2,
+        P4.Stdhdrs.vlan_frame
+          ~dst:(mac "02:00:00:00:00:01")
+          ~src:(mac "02:00:00:00:00:03")
+          ~vid:10L ~ethertype:0x0800L ~payload:"hi" );
+      ( "wrong VLAN on trunk port 2",
+        2,
+        P4.Stdhdrs.vlan_frame
+          ~dst:(mac "02:00:00:00:00:01")
+          ~src:(mac "02:00:00:00:00:03")
+          ~vid:99L ~ethertype:0x0800L ~payload:"hi" ) ];
+  print_endline "\nevery line above was asserted equal, byte for byte."

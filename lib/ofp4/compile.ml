@@ -1,24 +1,47 @@
 (* The p4c-of analog: compile a mini-P4 program plus its current table
    entries into an OpenFlow flow pipeline.
 
-   Supported program class: ingress pipelines that are a sequence of
-   table applications (Seq/ApplyTable/Nop); each entry becomes one or
-   more flows and each table gets a goto to the next applied table.
+   Two backends share the action translator:
+
+   - [compile] (the default) builds one forwarding decision diagram per
+     physical table — folding a table's rank-sorted entries, and [If]
+     control flow whose branches are trivial, into a single ordered
+     diagram — then extracts flows from the diagram.  Extraction prunes
+     paths whose tests are implied or contradicted by the accumulated
+     match, so fully-shadowed entries emit nothing, and assigns
+     priorities per disjointness group rather than per rule.  [If]
+     with non-trivial branches becomes a condition table whose rows
+     [Goto] the branch's first table.
+
+   - [compile_naive] is the historical per-entry translator: one flow
+     per entry in rank order, no conditionals.  It is kept as the
+     reference point for flow-count and compile-time comparisons.
+
    Actions compile as:
 
-     Forward e    -> output
-     Multicast e  -> group
-     Drop         -> drop (no goto)
+     Forward e    -> set reg.egress_spec/reg.has_dest
+     Multicast e  -> set reg.mcast_grp
+     Drop         -> set reg.dropped (no goto)
      EmitDigest d -> controller(d)
-     Assign       -> set_field (constant or parameter expressions only)
+     Assign       -> set_field / copy_field / add (width-masked like the
+                     interpreter's write_ref)
      SetValid     -> push_vlan (vlan header only), SetInvalid -> pop_vlan
 
-   Richer control flow (If) and computed expressions are out of scope,
-   as for the real ofp4 prototype; [compile] reports them as errors. *)
+   Expressions resolve to constants when the match path pins every bit
+   they read (an FDD row knows the matched field values); otherwise a
+   field-to-field [CopyField] or increment [AddConst] is emitted, and
+   anything richer is [Unsupported].
+
+   One documented semantic difference survives from the old compiler: a
+   dropped packet stops at the dropping table instead of traversing the
+   rest of the pipeline, so digests/counters after a drop are not
+   emitted.  Forwarding verdicts agree because drops are sticky. *)
 
 exception Unsupported of string
 
 let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+module SM = Map.Make (String)
 
 (* The linear sequence of tables applied by a control. *)
 let rec table_sequence (c : P4.Program.control) : string list =
@@ -33,71 +56,208 @@ let ref_name (r : P4.Program.fref) =
   | P4.Program.Field (h, f) -> h ^ "." ^ f
   | P4.Program.Meta m -> "meta." ^ m
 
-(* Evaluate an action expression to a constant, given parameter values. *)
-let rec const_expr (params : (string * int64) list) (e : P4.Program.expr) : int64
-    =
+let valid_field h = "valid." ^ h
+
+let mask_w w v =
+  if w >= 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+
+let full_mask w = if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let ref_width_exn prog r =
+  match P4.Program.ref_width prog r with
+  | Ok w -> w
+  | Error e -> unsupported "%s" e
+
+let find_table_exn prog tname =
+  match P4.Program.find_table prog tname with
+  | Some t -> t
+  | None -> unsupported "unknown table %s" tname
+
+(* ---------------- action translation ---------------- *)
+
+(* [env] is what the match path pins: field name -> (mask, value) with
+   value canonical under the mask.  A field read resolves to a constant
+   only when the path pins its full width. *)
+type env = (int64 * int64) SM.t
+
+let binop_value (op : P4.Program.binop) va vb =
+  let bool_of c = if c then 1L else 0L in
+  match op with
+  | P4.Program.Add -> Int64.add va vb
+  | P4.Program.Sub -> Int64.sub va vb
+  | P4.Program.And -> Int64.logand va vb
+  | P4.Program.Or -> Int64.logor va vb
+  | P4.Program.Xor -> Int64.logxor va vb
+  | P4.Program.Shl -> Int64.shift_left va (Int64.to_int vb)
+  | P4.Program.Shr -> Int64.shift_right_logical va (Int64.to_int vb)
+  | P4.Program.Eq -> bool_of (Int64.equal va vb)
+  | P4.Program.Ne -> bool_of (not (Int64.equal va vb))
+  | P4.Program.Lt -> bool_of (Int64.unsigned_compare va vb < 0)
+  | P4.Program.Gt -> bool_of (Int64.unsigned_compare va vb > 0)
+  | P4.Program.Le -> bool_of (Int64.unsigned_compare va vb <= 0)
+  | P4.Program.Ge -> bool_of (Int64.unsigned_compare va vb >= 0)
+  | P4.Program.BoolAnd -> bool_of ((not (Int64.equal va 0L)) && not (Int64.equal vb 0L))
+  | P4.Program.BoolOr -> bool_of ((not (Int64.equal va 0L)) || not (Int64.equal vb 0L))
+
+(* Constant-fold an action expression exactly as the interpreter's
+   [eval] would compute it, using parameter values, path-pinned fields,
+   and writes earlier in the same action body ([written] maps a field to
+   [Some c] after a constant write, [None] after an opaque one). *)
+let rec expr_value ~prog ~params ~(env : env) ~written ~validity
+    (e : P4.Program.expr) : int64 option =
+  let recur = expr_value ~prog ~params ~env ~written ~validity in
   match e with
-  | P4.Program.EConst (_, v) -> v
+  | P4.Program.EConst (w, v) -> Some (mask_w w v)
   | P4.Program.EParam p -> (
     match List.assoc_opt p params with
-    | Some v -> v
+    | Some v -> Some v
     | None -> unsupported "unbound parameter %s" p)
-  | P4.Program.EBin (P4.Program.Add, a, b) ->
-    Int64.add (const_expr params a) (const_expr params b)
-  | _ -> unsupported "non-constant expression in action"
+  | P4.Program.ERef r -> (
+    let name = ref_name r in
+    match Hashtbl.find_opt written name with
+    | Some (Some c) -> Some c
+    | Some None -> None
+    | None ->
+      let fm = full_mask (ref_width_exn prog r) in
+      (match SM.find_opt name env with
+      | Some (m, v) when Int64.equal (Int64.logand fm (Int64.lognot m)) 0L ->
+        Some (Int64.logand v fm)
+      | _ -> None))
+  | P4.Program.EValid h -> (
+    match Hashtbl.find_opt validity h with
+    | Some b -> Some (if b then 1L else 0L)
+    | None -> (
+      match SM.find_opt (valid_field h) env with
+      | Some (m, v) when Int64.equal (Int64.logand m 1L) 1L ->
+        Some (Int64.logand v 1L)
+      | _ -> None))
+  | P4.Program.ENot e ->
+    Option.map (fun v -> if Int64.equal v 0L then 1L else 0L) (recur e)
+  | P4.Program.EBin (op, a, b) -> (
+    match (recur a, recur b) with
+    | Some va, Some vb -> Some (binop_value op va vb)
+    | _ -> None)
 
-(* Compile one P4 action invocation into OpenFlow actions. *)
-let compile_action (prog : P4.Program.t) ~(aname : string) ~(args : int64 list)
-    ~(next : int option) : Openflow.action list =
+(* Compile one P4 action invocation into OpenFlow actions.  [env] pins
+   match-path field values (empty for the naive backend). *)
+let compile_action_body ~(prog : P4.Program.t) ~(env : env) ~(aname : string)
+    ~(args : int64 list) ~(next : int option) : Openflow.action list =
   let action =
     match P4.Program.find_action prog aname with
     | Some a -> a
     | None -> unsupported "unknown action %s" aname
   in
-  let params = List.map2 (fun (n, _) v -> (n, v)) action.params args in
+  let params = List.map2 (fun (n, w) v -> (n, mask_w w v)) action.params args in
+  let written : (string, int64 option) Hashtbl.t = Hashtbl.create 8 in
+  let validity : (string, bool) Hashtbl.t = Hashtbl.create 4 in
   let acts = ref [] in
   let dropped = ref false in
+  let emit a = acts := a :: !acts in
+  let value e = expr_value ~prog ~params ~env ~written ~validity e in
+  (* forwarding state writes: constant if resolvable, else a field copy *)
+  let emit_store ~what reg e =
+    match value e with
+    | Some v -> emit (Openflow.SetField (reg, v))
+    | None -> (
+      match e with
+      | P4.Program.ERef r -> emit (Openflow.CopyField (reg, ref_name r))
+      | _ -> unsupported "%s expression is neither constant nor a field" what)
+  in
   List.iter
     (fun prim ->
       match prim with
       | P4.Program.Forward e ->
-        acts :=
-          Openflow.SetField (Openflow.reg_has_dest, 1L)
-          :: Openflow.SetField (Openflow.reg_egress, const_expr params e)
-          :: !acts
-      | P4.Program.Multicast e ->
-        acts :=
-          Openflow.SetField (Openflow.reg_mcast, const_expr params e) :: !acts
+        emit_store ~what:"forward" Openflow.reg_egress e;
+        emit (Openflow.SetField (Openflow.reg_has_dest, 1L))
+      | P4.Program.Multicast e -> emit_store ~what:"multicast" Openflow.reg_mcast e
       | P4.Program.Drop -> dropped := true
-      | P4.Program.EmitDigest d -> acts := Openflow.ToController d :: !acts
-      | P4.Program.Assign (r, e) ->
-        acts := Openflow.SetField (ref_name r, const_expr params e) :: !acts
-      | P4.Program.SetValid "vlan" -> acts := Openflow.PushVlan :: !acts
-      | P4.Program.SetInvalid "vlan" -> acts := Openflow.PopVlan :: !acts
+      | P4.Program.EmitDigest d -> emit (Openflow.ToController d)
+      | P4.Program.Assign (P4.Program.Meta "egress_spec", e) ->
+        (* writing egress_spec is how v1model programs unicast, so it
+           must also arm has_dest; write_ref masks to 16 bits *)
+        (match value e with
+        | Some v -> emit (Openflow.SetField (Openflow.reg_egress, mask_w 16 v))
+        | None -> (
+          match e with
+          | P4.Program.ERef r ->
+            emit (Openflow.CopyField (Openflow.reg_egress, ref_name r));
+            emit (Openflow.AddConst (Openflow.reg_egress, 0L, 16))
+          | _ -> unsupported "egress_spec expression"));
+        emit (Openflow.SetField (Openflow.reg_has_dest, 1L))
+      | P4.Program.Assign (P4.Program.Meta "mcast_grp", e) ->
+        (match value e with
+        | Some v -> emit (Openflow.SetField (Openflow.reg_mcast, mask_w 16 v))
+        | None -> (
+          match e with
+          | P4.Program.ERef r ->
+            emit (Openflow.CopyField (Openflow.reg_mcast, ref_name r));
+            emit (Openflow.AddConst (Openflow.reg_mcast, 0L, 16))
+          | _ -> unsupported "mcast_grp expression"))
+      | P4.Program.Assign (r, e) -> (
+        let name = ref_name r in
+        let w = ref_width_exn prog r in
+        match value e with
+        | Some v ->
+          let v = mask_w w v in
+          emit (Openflow.SetField (name, v));
+          Hashtbl.replace written name (Some v)
+        | None -> (
+          let opaque () = Hashtbl.replace written name None in
+          match e with
+          | P4.Program.ERef s ->
+            emit (Openflow.CopyField (name, ref_name s));
+            opaque ()
+          | P4.Program.EBin (P4.Program.Add, P4.Program.ERef s, k)
+            when value k <> None ->
+            let kv = Option.get (value k) in
+            if not (String.equal (ref_name s) name) then
+              emit (Openflow.CopyField (name, ref_name s));
+            emit (Openflow.AddConst (name, kv, w));
+            opaque ()
+          | P4.Program.EBin (P4.Program.Add, k, P4.Program.ERef s)
+            when value k <> None ->
+            let kv = Option.get (value k) in
+            if not (String.equal (ref_name s) name) then
+              emit (Openflow.CopyField (name, ref_name s));
+            emit (Openflow.AddConst (name, kv, w));
+            opaque ()
+          | P4.Program.EBin (P4.Program.Sub, P4.Program.ERef s, k)
+            when value k <> None ->
+            let kv = Option.get (value k) in
+            if not (String.equal (ref_name s) name) then
+              emit (Openflow.CopyField (name, ref_name s));
+            emit (Openflow.AddConst (name, Int64.neg kv, w));
+            opaque ()
+          | _ -> unsupported "assignment to %s is not compilable" name))
+      | P4.Program.SetValid "vlan" ->
+        emit Openflow.PushVlan;
+        Hashtbl.replace validity "vlan" true
+      | P4.Program.SetInvalid "vlan" ->
+        emit Openflow.PopVlan;
+        Hashtbl.replace validity "vlan" false
       | P4.Program.SetValid h | P4.Program.SetInvalid h ->
         unsupported "header stack op on %s" h
-      | P4.Program.CloneTo e ->
+      | P4.Program.CloneTo e -> (
         (* mirroring compiles to an extra output *)
-        acts := Openflow.Output (const_expr params e) :: !acts
+        match value e with
+        | Some v -> emit (Openflow.Output v)
+        | None -> unsupported "clone port must be constant")
       | P4.Program.Count _ -> () (* counters are implicit per-flow in OF *)
       | P4.Program.RegWrite _ | P4.Program.RegRead _ ->
         unsupported "stateful registers")
-    (List.rev action.body |> List.rev);
+    action.body;
   let base = List.rev !acts in
   if !dropped then base @ [ Openflow.SetField (Openflow.reg_dropped, 1L) ]
-  else
-    match next with Some t -> base @ [ Openflow.Goto t ] | None -> base
+  else match next with Some t -> base @ [ Openflow.Goto t ] | None -> base
+
+(* ---------------- the naive per-entry backend ---------------- *)
 
 let compile_match (prog : P4.Program.t) (tbl : P4.Program.table)
     (matches : P4.Entry.match_value list) : Openflow.field_match list =
   List.concat
     (List.map2
        (fun (k : P4.Program.key) mv ->
-         let width =
-           match P4.Program.ref_width prog k.kref with
-           | Ok w -> w
-           | Error e -> unsupported "%s" e
-         in
+         let width = ref_width_exn prog k.kref in
          let name = ref_name k.kref in
          match mv with
          | P4.Entry.MExact v -> [ { Openflow.mfield = name; mvalue = v; mmask = None } ]
@@ -109,34 +269,36 @@ let compile_match (prog : P4.Program.t) (tbl : P4.Program.table)
          | P4.Entry.MAny -> [])
        tbl.keys matches)
 
-(** Compile [switch]'s program and installed entries into a flow
-    pipeline.  Each P4 table maps to one OpenFlow table, in application
-    order; cookies record which table/entry produced each flow. *)
-let compile (sw : P4.Switch.t) : Openflow.t =
+(** The historical translator: one flow per entry, tables in application
+    order, no conditionals.  Flow priorities are the entry's position in
+    the rank order ([Entry.rank_compare]), not a sum of priority and LPM
+    length — summing the two dimensions let an exact entry at priority N
+    collide with an LPM /N entry, inverting winners. *)
+let compile_naive (sw : P4.Switch.t) : Openflow.t =
   let prog = sw.P4.Switch.program in
-  let sequence = table_sequence prog.ingress @ table_sequence prog.egress in
+  let egress_seq = table_sequence prog.egress in
+  let sequence = table_sequence prog.ingress @ egress_seq in
   let out = Openflow.create () in
+  let n = List.length sequence in
   List.iteri
     (fun idx tname ->
-      let tbl =
-        match P4.Program.find_table prog tname with
-        | Some t -> t
-        | None -> unsupported "unknown table %s" tname
-      in
-      let next = if idx + 1 < List.length sequence then Some (idx + 1) else None in
-      (* entries *)
-      List.iter
-        (fun (e : P4.Entry.t) ->
-          let lpm_bonus = P4.Entry.lpm_length e in
+      let tbl = find_table_exn prog tname in
+      let next = if idx + 1 < n then Some (idx + 1) else None in
+      let entries = P4.Switch.table_entries_ranked sw tname in
+      let count = List.length entries in
+      List.iteri
+        (fun i (e : P4.Entry.t) ->
           Openflow.add_flow out
             {
               Openflow.table_id = idx;
-              priority = 1 + e.priority + lpm_bonus;
+              priority = count - i;
               matches = compile_match prog tbl e.matches;
-              actions = compile_action prog ~aname:e.action ~args:e.args ~next;
+              actions =
+                compile_action_body ~prog ~env:SM.empty ~aname:e.action
+                  ~args:e.args ~next;
               cookie = Printf.sprintf "%s/%s" tname e.action;
             })
-        (P4.Switch.table_entries sw tname);
+        entries;
       (* table-miss flow: the default action at priority 0 *)
       let dname, dargs = tbl.default_action in
       Openflow.add_flow out
@@ -144,8 +306,447 @@ let compile (sw : P4.Switch.t) : Openflow.t =
           Openflow.table_id = idx;
           priority = 0;
           matches = [];
-          actions = compile_action prog ~aname:dname ~args:dargs ~next;
+          actions =
+            compile_action_body ~prog ~env:SM.empty ~aname:dname ~args:dargs
+              ~next;
           cookie = Printf.sprintf "%s/default:%s" tname dname;
         })
     sequence;
+  out.n_tables <- max out.n_tables n;
+  (if egress_seq <> [] then
+     out.egress_start <- Some (n - List.length egress_seq));
+  out
+
+(* ---------------- the FDD backend ---------------- *)
+
+(* What a diagram leaf means.  Ids are interned per compilation; id 0 is
+   [Fdd.undef] ("no entry matched along this path" — emits nothing). *)
+type decision =
+  | Dentry of string * P4.Entry.t option  (* table, entry; None = default *)
+  | Dpass                                 (* continue to the next table *)
+  | Djump of int option                   (* goto a specific table / end *)
+  | Dbool of bool                         (* condition outcome (internal) *)
+
+type ctx = {
+  prog : P4.Program.t;
+  sw : P4.Switch.t;
+  m : Fdd.manager;
+  dec_ids : (decision, int) Hashtbl.t;
+  dec_arr : (int, decision) Hashtbl.t;
+  mutable next_dec : int;
+}
+
+let dec_id ctx d =
+  match Hashtbl.find_opt ctx.dec_ids d with
+  | Some i -> i
+  | None ->
+    let i = ctx.next_dec in
+    ctx.next_dec <- i + 1;
+    Hashtbl.add ctx.dec_ids d i;
+    Hashtbl.add ctx.dec_arr i d;
+    i
+
+let dec_of ctx i = Hashtbl.find ctx.dec_arr i
+
+(* Control linearization: a control is a list of items, each either a
+   table or a conditional over two item lists. *)
+type item =
+  | ITable of P4.Program.table
+  | ICond of P4.Program.expr * item list * item list
+
+let rec items_of prog (c : P4.Program.control) : item list =
+  match c with
+  | P4.Program.Nop -> []
+  | P4.Program.Seq (a, b) -> items_of prog a @ items_of prog b
+  | P4.Program.ApplyTable t -> [ ITable (find_table_exn prog t) ]
+  | P4.Program.If (c, a, b) -> [ ICond (c, items_of prog a, items_of prog b) ]
+
+(* A conditional whose branches are at most one table folds into that
+   table's diagram; anything larger needs its own condition table. *)
+let is_simple = function [] | [ ITable _ ] -> true | _ -> false
+
+let rec item_size = function
+  | ITable _ -> 1
+  | ICond (_, a, b) ->
+    if is_simple a && is_simple b then 1 else 1 + n_phys a + n_phys b
+
+and n_phys items = List.fold_left (fun acc it -> acc + item_size it) 0 items
+
+(* Variable order: first syntactic appearance across the pipeline —
+   condition fields and key columns in the order control flow reads
+   them.  Fields never mentioned rank last (ties break on the name
+   inside [Fdd.test_compare]). *)
+let rec cond_fields (e : P4.Program.expr) acc =
+  match e with
+  | P4.Program.EValid h -> valid_field h :: acc
+  | P4.Program.ERef r -> ref_name r :: acc
+  | P4.Program.ENot e -> cond_fields e acc
+  | P4.Program.EBin (_, a, b) -> cond_fields a (cond_fields b acc)
+  | P4.Program.EConst _ | P4.Program.EParam _ -> acc
+
+let field_order (stages : item list list) : string -> int =
+  let rank : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let n = ref 0 in
+  let note f =
+    if not (Hashtbl.mem rank f) then begin
+      Hashtbl.add rank f !n;
+      incr n
+    end
+  in
+  let rec go items =
+    List.iter
+      (fun it ->
+        match it with
+        | ITable t ->
+          List.iter (fun (k : P4.Program.key) -> note (ref_name k.kref)) t.keys
+        | ICond (c, a, b) ->
+          List.iter note (List.rev (cond_fields c []));
+          go a;
+          go b)
+      items
+  in
+  List.iter go stages;
+  fun f -> match Hashtbl.find_opt rank f with Some r -> r | None -> max_int
+
+(* One table entry as a diagram: the conjunction of its match tests
+   (sorted into the manager's order) over the entry's decision leaf,
+   with [undef] on every test's miss side. *)
+let entry_tests ctx (schema : (P4.Program.fref * P4.Program.match_kind * int) list)
+    (e : P4.Entry.t) : Fdd.test list =
+  let tests =
+    List.concat
+      (List.map2
+         (fun (kref, _kind, width) mv ->
+           let name = ref_name kref in
+           match mv with
+           | P4.Entry.MExact v ->
+             [ { Fdd.tfield = name; tmask = full_mask width;
+                 tvalue = mask_w width v } ]
+           | P4.Entry.MLpm (v, len) ->
+             let m = P4.Entry.mask_of_prefix ~width ~prefix_len:len in
+             if Int64.equal m 0L then []
+             else
+               (* canonical under the mask: tests that differ only in
+                  masked-out bits are the same test, and the LPM fold
+                  order relies on equal tests comparing equal *)
+               [ { Fdd.tfield = name; tmask = m; tvalue = Int64.logand v m } ]
+           | P4.Entry.MTernary (v, m) ->
+             if Int64.equal m 0L then []
+             else [ { Fdd.tfield = name; tmask = m; tvalue = Int64.logand v m } ]
+           | P4.Entry.MAny -> [])
+         schema e.matches)
+  in
+  List.sort (Fdd.test_compare ctx.m) tests
+
+let entry_fdd ctx schema tname (e : P4.Entry.t) : Fdd.t =
+  let lf = Fdd.leaf (dec_id ctx (Dentry (tname, Some e))) in
+  List.fold_right
+    (fun t acc -> Fdd.node ctx.m t acc Fdd.undef)
+    (entry_tests ctx schema e) lf
+
+(* A whole table: union of its entries in rank order (first-defined
+   wins) with the default action as the final catch-all.
+
+   Single-LPM-key tables get a dedicated build order.  Pairwise
+   [union_all] is quadratic there: whenever the right spine's test
+   sorts first, union rebuilds the entire remaining left spine over the
+   right entry's decision leaf, so a 10^5-route table never finishes.
+   But for one LPM key the prefer-left order is free to change between
+   entries whose tests cannot both hold: same-mask tests with distinct
+   values are mutually exclusive, and when a finer and a coarser prefix
+   both match, the finer entry outranks the coarser one under
+   [Entry.rank_compare] regardless of priority (total prefix length
+   dominates).  So entries may be folded coarsest-prefix-first,
+   descending value within a prefix length, losers before winners on
+   identical tests — an order in which every union prepends at the
+   accumulator's root in O(1), giving an O(n log n) table build. *)
+let table_fdd ctx (tbl : P4.Program.table) : Fdd.t =
+  let schema =
+    match P4.Program.table_key_schema ctx.prog tbl with
+    | Ok s -> s
+    | Error e -> unsupported "%s" e
+  in
+  let entries = P4.Switch.table_entries_ranked ctx.sw tbl.tname in
+  let dflt = Fdd.leaf (dec_id ctx (Dentry (tbl.tname, None))) in
+  match tbl.keys with
+  | [ { P4.Program.kind = P4.Program.Lpm; _ } ] ->
+    let keyed = List.map (fun e -> (entry_tests ctx schema e, e)) entries in
+    let fold_order (ta, ea) (tb, eb) =
+      match (ta, tb) with
+      (* /0 entries test nothing and rank below every real prefix *)
+      | [], [] -> P4.Entry.rank_compare ea eb
+      | [], _ -> -1
+      | _, [] -> 1
+      | a :: _, b :: _ ->
+        let c = Fdd.test_compare ctx.m a b in
+        if c <> 0 then -c else P4.Entry.rank_compare ea eb
+    in
+    List.fold_left
+      (fun acc (_, e) -> Fdd.union ctx.m (entry_fdd ctx schema tbl.tname e) acc)
+      dflt
+      (List.sort fold_order keyed)
+  | _ ->
+    let fdds = List.map (entry_fdd ctx schema tbl.tname) entries in
+    Fdd.union_all ctx.m (fdds @ [ dflt ])
+
+let bool_leaf ctx b = Fdd.leaf (dec_id ctx (Dbool b))
+
+let is_true ctx v =
+  match dec_of ctx v with Dbool b -> b | _ -> assert false
+
+(* A condition as a diagram with boolean leaves.  Supported shapes:
+   header validity, field = constant (and negations), boolean
+   connectives, constants. *)
+let rec cond_fdd ctx (e : P4.Program.expr) : Fdd.t =
+  let lt = bool_leaf ctx true and lf = bool_leaf ctx false in
+  let mk test = Fdd.node ctx.m test lt lf in
+  match e with
+  | P4.Program.EConst (_, v) -> if Int64.equal v 0L then lf else lt
+  | P4.Program.EValid h ->
+    mk { Fdd.tfield = valid_field h; tmask = 1L; tvalue = 1L }
+  | P4.Program.ENot e -> negate ctx (cond_fdd ctx e)
+  | P4.Program.EBin (P4.Program.Eq, P4.Program.ERef r, P4.Program.EConst (_, v))
+  | P4.Program.EBin (P4.Program.Eq, P4.Program.EConst (_, v), P4.Program.ERef r)
+    ->
+    let w = ref_width_exn ctx.prog r in
+    mk { Fdd.tfield = ref_name r; tmask = full_mask w; tvalue = mask_w w v }
+  | P4.Program.EBin (P4.Program.Ne, a, b) ->
+    negate ctx (cond_fdd ctx (P4.Program.EBin (P4.Program.Eq, a, b)))
+  | P4.Program.EBin (P4.Program.BoolAnd, a, b) ->
+    Fdd.bind ctx.m (cond_fdd ctx a) (fun v ->
+        if is_true ctx v then cond_fdd ctx b else lf)
+  | P4.Program.EBin (P4.Program.BoolOr, a, b) ->
+    Fdd.bind ctx.m (cond_fdd ctx a) (fun v ->
+        if is_true ctx v then lt else cond_fdd ctx b)
+  | _ -> unsupported "condition not expressible as field tests"
+
+and negate ctx d =
+  Fdd.bind ctx.m d (fun v -> bool_leaf ctx (not (is_true ctx v)))
+
+(* ---------------- physical-table layout ---------------- *)
+
+(* Each physical table gets a diagram and the id of its successor;
+   [None] means fall off the end of the region.  Conditionals with
+   non-trivial branches embed their successors in [Djump] leaves. *)
+let rec layout ctx plans items ~first ~next_after =
+  match items with
+  | [] -> ()
+  | it :: rest ->
+    let sz = item_size it in
+    let next = if rest = [] then next_after else Some (first + sz) in
+    (match it with
+    | ITable tbl -> plans := (first, table_fdd ctx tbl, next) :: !plans
+    | ICond (cond, a, b) when is_simple a && is_simple b ->
+      let branch = function
+        | [] -> Fdd.leaf (dec_id ctx Dpass)
+        | [ ITable tbl ] -> table_fdd ctx tbl
+        | _ -> assert false
+      in
+      let fa = branch a and fb = branch b in
+      let f =
+        Fdd.bind ctx.m (cond_fdd ctx cond) (fun v ->
+            if is_true ctx v then fa else fb)
+      in
+      plans := (first, f, next) :: !plans
+    | ICond (cond, a, b) ->
+      let a_start = first + 1 in
+      let b_start = a_start + n_phys a in
+      let target items' start = if items' = [] then next else Some start in
+      let ja = Fdd.leaf (dec_id ctx (Djump (target a a_start))) in
+      let jb = Fdd.leaf (dec_id ctx (Djump (target b b_start))) in
+      let f =
+        Fdd.bind ctx.m (cond_fdd ctx cond) (fun v ->
+            if is_true ctx v then ja else jb)
+      in
+      plans := (first, f, None) :: !plans;
+      layout ctx plans a ~first:a_start ~next_after:next;
+      layout ctx plans b ~first:b_start ~next_after:next);
+    layout ctx plans rest ~first:(first + sz) ~next_after
+
+(* ---------------- flow extraction ---------------- *)
+
+(* Walk the diagram hi-before-lo (so more-specific rows come out first),
+   accumulating per-field (mask, value) constraints.  A test fully
+   implied by the accumulated match takes only its hi branch; a
+   contradicted one only its lo branch — this is where shadowed entries
+   disappear.  The lo branch records no negative information: it relies
+   on the hi rows outranking it, which row order guarantees. *)
+let implied (env : env) (t : Fdd.test) : [ `True | `False | `Open ] =
+  match SM.find_opt t.tfield env with
+  | None -> `Open
+  | Some (am, av) ->
+    let overlap = Int64.logand am t.tmask in
+    if not (Int64.equal (Int64.logand (Int64.logxor av t.tvalue) overlap) 0L)
+    then `False
+    else if Int64.equal (Int64.logand t.tmask (Int64.lognot am)) 0L then `True
+    else `Open
+
+let env_add (env : env) (t : Fdd.test) : env =
+  let am, av =
+    Option.value ~default:(0L, 0L) (SM.find_opt t.tfield env)
+  in
+  SM.add t.tfield (Int64.logor am t.tmask, Int64.logor av t.tvalue) env
+
+let extract_plan ctx out ~table_id ~next (fdd : Fdd.t) : unit =
+  let rows = ref [] in
+  let stack = ref [ (fdd, SM.empty) ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (t, env) :: rest -> (
+      stack := rest;
+      match t with
+      | Fdd.Leaf v -> if v <> 0 then rows := (env, v) :: !rows
+      | Fdd.Node n -> (
+        match implied env n.test with
+        | `True -> stack := (n.hi, env) :: !stack
+        | `False -> stack := (n.lo, env) :: !stack
+        | `Open ->
+          stack := (n.hi, env_add env n.test) :: (n.lo, env) :: !stack))
+  done;
+  let rows = List.rev !rows in
+  let compiled =
+    List.map
+      (fun (env, v) ->
+        let matches =
+          SM.fold
+            (fun f (m, v) acc ->
+              { Openflow.mfield = f; mvalue = v; mmask = Some m } :: acc)
+            env []
+          |> List.rev
+        in
+        let actions, cookie =
+          match dec_of ctx v with
+          | Dpass ->
+            ( (match next with Some t -> [ Openflow.Goto t ] | None -> []),
+              Printf.sprintf "ctl%d/pass" table_id )
+          | Djump tgt ->
+            ( (match tgt with Some t -> [ Openflow.Goto t ] | None -> []),
+              Printf.sprintf "ctl%d/branch:%s" table_id
+                (match tgt with Some t -> string_of_int t | None -> "end") )
+          | Dbool _ ->
+            unsupported "internal: boolean decision escaped condition folding"
+          | Dentry (tname, dentry) ->
+            let aname, args =
+              match dentry with
+              | Some (e : P4.Entry.t) -> (e.action, e.args)
+              | None -> (find_table_exn ctx.prog tname).default_action
+            in
+            let cookie =
+              match dentry with
+              | Some e -> Printf.sprintf "%s/%s" tname e.action
+              | None -> Printf.sprintf "%s/default:%s" tname aname
+            in
+            (compile_action_body ~prog:ctx.prog ~env ~aname ~args ~next, cookie)
+        in
+        (matches, actions, cookie))
+      rows
+  in
+  (* Priority minimisation: consecutive rows share a priority when they
+     are pairwise disjoint, witnessed by a shared discriminator — a
+     (field, mask) they all match with pairwise-distinct values.  The
+     number of priority levels is the number of groups, not rules. *)
+  let cur_disc : (string * int64 * (int64, unit) Hashtbl.t) option ref =
+    ref None
+  in
+  let group_idx = ref (-1) in
+  let with_groups =
+    List.map
+      (fun (matches, actions, cookie) ->
+        let joined =
+          match !cur_disc with
+          | None -> false
+          | Some (f, m, seen) -> (
+            match
+              List.find_opt
+                (fun (fm : Openflow.field_match) ->
+                  String.equal fm.mfield f
+                  &&
+                  match fm.mmask with
+                  | Some mm -> Int64.equal mm m
+                  | None -> false)
+                matches
+            with
+            | Some fm when not (Hashtbl.mem seen fm.mvalue) ->
+              Hashtbl.add seen fm.mvalue ();
+              true
+            | _ -> false)
+        in
+        if not joined then begin
+          incr group_idx;
+          match matches with
+          | { Openflow.mfield; mvalue; mmask = Some m } :: _ ->
+            let seen = Hashtbl.create 8 in
+            Hashtbl.add seen mvalue ();
+            cur_disc := Some (mfield, m, seen)
+          | _ -> cur_disc := None
+        end;
+        (matches, actions, cookie, !group_idx))
+      compiled
+  in
+  let n_groups = !group_idx + 1 in
+  (* Suffix merge: extraction specialises the table default per lo-path
+     (e.g. [port=1 -> default] above the catch-all default row).  A row
+     is redundant when every row below it — including the empty-match
+     catch-all that ends every table — performs the identical action
+     list: any packet it matched falls through to an equivalent row.
+     One backward pass keeps this linear in the row count. *)
+  let arr = Array.of_list with_groups in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  if n > 0 then begin
+    let _, last_actions, _, _ = arr.(n - 1) in
+    let uniform = ref true in
+    for i = n - 2 downto 0 do
+      let _, actions, _, _ = arr.(i) in
+      if !uniform && actions = last_actions then keep.(i) <- false
+      else uniform := false
+    done
+  end;
+  Array.iteri
+    (fun i (matches, actions, cookie, g) ->
+      if keep.(i) then
+        Openflow.add_flow out
+          {
+            Openflow.table_id;
+            priority = n_groups - 1 - g;
+            matches;
+            actions;
+            cookie;
+          })
+    arr
+
+(** Compile [sw]'s program and installed entries through forwarding
+    decision diagrams: per-table entry folding with shadowed-path
+    elimination, [If] support (trivial branches fold into one physical
+    table, larger ones become condition tables with [Goto] rows), and
+    priorities assigned per disjointness group.  Ingress tables occupy
+    [0, egress_start); egress tables follow and are run once per
+    replicated copy by {!Eval}. *)
+let compile (sw : P4.Switch.t) : Openflow.t =
+  let prog = sw.P4.Switch.program in
+  let ing = items_of prog prog.ingress in
+  let eg = items_of prog prog.egress in
+  let order = field_order [ ing; eg ] in
+  let ctx =
+    {
+      prog;
+      sw;
+      m = Fdd.create ~order ();
+      dec_ids = Hashtbl.create 64;
+      dec_arr = Hashtbl.create 64;
+      next_dec = 1;
+    }
+  in
+  let n_ing = n_phys ing and n_eg = n_phys eg in
+  let plans = ref [] in
+  layout ctx plans ing ~first:0 ~next_after:None;
+  layout ctx plans eg ~first:n_ing ~next_after:None;
+  let out = Openflow.create () in
+  List.iter
+    (fun (tid, fdd, next) -> extract_plan ctx out ~table_id:tid ~next fdd)
+    (List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !plans);
+  out.n_tables <- max out.n_tables (n_ing + n_eg);
+  if n_eg > 0 then out.egress_start <- Some n_ing;
   out

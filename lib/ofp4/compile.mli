@@ -1,16 +1,23 @@
 (** The p4c-of analog: compile a mini-P4 program plus its installed
     table entries into an OpenFlow flow pipeline.
 
-    Supported program class (as for the real ofp4 prototype, a subset):
-    pipelines that are a sequence of table applications; constant or
-    parameter action expressions; VLAN as the only header-stack
-    operation.  Forwarding primitives compile to the OVS register idiom
-    so later tables can override earlier decisions exactly as in the
-    v1model (see {!Openflow.eval}).
+    {!compile} is the FDD backend: each physical table's rank-sorted
+    entries (and [If] control flow with trivial branches) fold into one
+    hash-consed forwarding decision diagram ({!Fdd}), and flows are
+    extracted with shadowed-path elimination and per-disjointness-group
+    priorities.  [If] with larger branches becomes a condition table
+    whose rows [Goto] the branch region.  Ingress tables occupy
+    [0, egress_start); egress tables follow and run once per replicated
+    copy ({!Eval}).
+
+    {!compile_naive} is the historical per-entry translator — one flow
+    per entry, no conditionals — kept as the flow-count/compile-time
+    reference and for the old linear-pipeline semantics tests.
 
     One documented semantic difference: a dropped packet stops at the
     dropping table instead of traversing the rest of the pipeline, so
-    digests after a drop are not emitted. *)
+    digests after a drop are not emitted (forwarding verdicts agree —
+    drops are sticky). *)
 
 exception Unsupported of string
 
@@ -19,8 +26,15 @@ val table_sequence : P4.Program.control -> string list
     @raise Unsupported on conditional control flow. *)
 
 val compile : P4.Switch.t -> Openflow.t
-(** Compile the switch's program and current entries.  Each P4 table
-    maps to one OpenFlow table in application order; every entry
-    becomes a flow (priority = 1 + entry priority + total LPM prefix
-    length) and every table gets a priority-0 miss flow running its
-    default action.  Cookies record the producing table/action. *)
+(** FDD-based compilation of the switch's program and current entries.
+    Supports [If] conditions over header validity, field = constant,
+    and boolean connectives.  Emits no flow for fully-shadowed entries
+    and uses one priority level per disjointness group.
+    @raise Unsupported on out-of-scope programs. *)
+
+val compile_naive : P4.Switch.t -> Openflow.t
+(** Per-entry translation: every entry becomes a flow at a priority
+    derived from its position in the [Entry.rank_compare] order (the
+    old [1 + priority + lpm_length] scheme collided ranks across the
+    two dimensions), plus a priority-0 miss flow per table.
+    @raise Unsupported on conditional control flow. *)

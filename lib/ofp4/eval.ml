@@ -1,0 +1,273 @@
+(* OpenFlow-pipeline evaluation over real packets, mirroring the
+   v1model semantics of [P4.Switch.process_interp]: parse with the
+   source program's parser, run the ingress table region, replicate
+   (unicast via the forwarding registers, multicast via group tables,
+   clones via immediate outputs), run the egress region once per copy,
+   deparse valid headers in program order.  Divergences are documented
+   in the interface. *)
+
+type pstate = {
+  fields : (string, int64) Hashtbl.t; (* "hdr.field" / "meta.x" / "reg.x" *)
+  valid : (string, unit) Hashtbl.t;
+  mutable payload : P4.Packet.t;
+}
+
+type t = {
+  prog : P4.Program.t;
+  ofp : Openflow.t;
+  groups : (int64 * int64 list) list;
+  widths : (string, int) Hashtbl.t;
+  tables : Openflow.flow array array; (* per table id, priority-descending *)
+  ing_limit : int;  (* ingress tables are [0, ing_limit) *)
+  mutable tags : string list; (* ToController emissions, last process *)
+}
+
+let build_widths (prog : P4.Program.t) : (string, int) Hashtbl.t =
+  let widths = Hashtbl.create 64 in
+  List.iter
+    (fun (h : P4.Program.header) ->
+      List.iter
+        (fun (f : P4.Program.field) ->
+          Hashtbl.replace widths (h.hname ^ "." ^ f.fname) f.fwidth)
+        h.fields)
+    prog.headers;
+  List.iter
+    (fun (m, w) -> Hashtbl.replace widths ("meta." ^ m) w)
+    P4.Program.standard_metadata;
+  Hashtbl.replace widths Openflow.reg_egress 16;
+  Hashtbl.replace widths Openflow.reg_has_dest 1;
+  Hashtbl.replace widths Openflow.reg_mcast 16;
+  Hashtbl.replace widths Openflow.reg_dropped 1;
+  widths
+
+let create ?(groups = []) (prog : P4.Program.t) (ofp : Openflow.t) : t =
+  let n = max ofp.Openflow.n_tables 0 in
+  let buckets = Array.make (n + 1) [] in
+  (* ofp.flows is newest-first; restore insertion order per table *)
+  List.iter
+    (fun (f : Openflow.flow) ->
+      if f.table_id >= 0 && f.table_id < n then
+        buckets.(f.table_id) <- f :: buckets.(f.table_id))
+    ofp.Openflow.flows;
+  let tables =
+    Array.init n (fun i ->
+        let sorted =
+          List.stable_sort
+            (fun (a : Openflow.flow) (b : Openflow.flow) ->
+              Int.compare b.priority a.priority)
+            buckets.(i)
+        in
+        Array.of_list sorted)
+  in
+  let ing_limit =
+    match ofp.Openflow.egress_start with Some e -> e | None -> n
+  in
+  { prog; ofp; groups; widths = build_widths prog; tables; ing_limit; tags = [] }
+
+let of_switch (sw : P4.Switch.t) (ofp : Openflow.t) : t =
+  create ~groups:(P4.Switch.mcast_groups_list sw) sw.P4.Switch.program ofp
+
+let width t name = Option.value ~default:64 (Hashtbl.find_opt t.widths name)
+
+let mask_w w v =
+  if w >= 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+
+let read (st : pstate) name =
+  match Openflow.header_of_valid name with
+  | Some h -> if Hashtbl.mem st.valid h then 1L else 0L
+  | None -> Option.value ~default:0L (Hashtbl.find_opt st.fields name)
+
+let write t (st : pstate) name v =
+  Hashtbl.replace st.fields name (mask_w (width t name) v)
+
+let copy_pstate (st : pstate) : pstate =
+  {
+    fields = Hashtbl.copy st.fields;
+    valid = Hashtbl.copy st.valid;
+    payload = st.payload;
+  }
+
+(* ---------------- parsing / deparsing ---------------- *)
+
+exception Eval_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let parse t (pkt : P4.Packet.t) : pstate option =
+  let st =
+    { fields = Hashtbl.create 32; valid = Hashtbl.create 8;
+      payload = P4.Packet.of_bytes Bytes.empty }
+  in
+  let bit = ref 0 in
+  let extract hname =
+    match P4.Program.find_header t.prog hname with
+    | None -> error "unknown header %s" hname
+    | Some h ->
+      if !bit + P4.Program.header_width h > 8 * P4.Packet.length pkt then false
+      else begin
+        List.iter
+          (fun (f : P4.Program.field) ->
+            let v = P4.Packet.get_bits pkt ~bit_offset:!bit ~width:f.fwidth in
+            Hashtbl.replace st.fields (hname ^ "." ^ f.fname) v;
+            bit := !bit + f.fwidth)
+          h.fields;
+        Hashtbl.replace st.valid hname ();
+        true
+      end
+  in
+  let ref_name (r : P4.Program.fref) =
+    match r with
+    | P4.Program.Field (h, f) -> h ^ "." ^ f
+    | P4.Program.Meta m -> "meta." ^ m
+  in
+  let rec run state_name fuel =
+    if fuel <= 0 then error "parser loop in program %s" t.prog.name
+    else
+      match P4.Program.find_state t.prog state_name with
+      | None -> error "unknown parser state %s" state_name
+      | Some s ->
+        if not (List.for_all extract s.extracts) then false (* truncated *)
+        else begin
+          match s.transition with
+          | P4.Program.Accept ->
+            st.payload <- P4.Packet.drop_bytes pkt ((!bit + 7) / 8);
+            true
+          | P4.Program.Reject -> false
+          | P4.Program.Select (r, cases) ->
+            let v = read st (ref_name r) in
+            let rec pick = function
+              | [] -> false
+              | (Some c, target) :: rest ->
+                if Int64.equal c v then run target (fuel - 1) else pick rest
+              | (None, target) :: _ -> run target (fuel - 1)
+            in
+            pick cases
+        end
+  in
+  if run t.prog.parser.start 64 then Some st else None
+
+let deparse t (st : pstate) : P4.Packet.t =
+  let width =
+    List.fold_left
+      (fun acc (h : P4.Program.header) ->
+        if Hashtbl.mem st.valid h.hname then acc + P4.Program.header_width h
+        else acc)
+      0 t.prog.headers
+  in
+  let out = P4.Packet.create ((width + 7) / 8) in
+  let bit = ref 0 in
+  List.iter
+    (fun (h : P4.Program.header) ->
+      if Hashtbl.mem st.valid h.hname then
+        List.iter
+          (fun (f : P4.Program.field) ->
+            let v =
+              Option.value ~default:0L
+                (Hashtbl.find_opt st.fields (h.hname ^ "." ^ f.fname))
+            in
+            P4.Packet.set_bits out ~bit_offset:!bit ~width:f.fwidth v;
+            bit := !bit + f.fwidth)
+          h.fields)
+    t.prog.headers;
+  P4.Packet.concat out st.payload
+
+(* ---------------- table-region execution ---------------- *)
+
+let matches_flow (st : pstate) (f : Openflow.flow) : bool =
+  List.for_all
+    (fun (m : Openflow.field_match) ->
+      let v = read st m.mfield in
+      match m.mmask with
+      | None -> Int64.equal v m.mvalue
+      | Some mask ->
+        Int64.equal (Int64.logand v mask) (Int64.logand m.mvalue mask))
+    f.matches
+
+(* Run tables [first, limit); immediate [Output]s (ingress clones) are
+   collected and returned newest-first, matching the interpreter's
+   clone-list orientation. *)
+let run_region t (st : pstate) ~first ~limit : int64 list =
+  let clones = ref [] in
+  let rec run tid fuel =
+    if fuel <= 0 then error "goto loop";
+    if tid < limit then begin
+      let table = if tid < Array.length t.tables then t.tables.(tid) else [||] in
+      let n = Array.length table in
+      let chosen = ref None in
+      (let i = ref 0 in
+       while !chosen = None && !i < n do
+         if matches_flow st table.(!i) then chosen := Some table.(!i);
+         incr i
+       done);
+      match !chosen with
+      | None -> () (* table miss with no catch-all flow: stop *)
+      | Some f ->
+        let next = ref None in
+        List.iter
+          (fun (a : Openflow.action) ->
+            match a with
+            | Openflow.Output p -> clones := p :: !clones
+            | Openflow.Group _ -> ()
+            | Openflow.SetField (name, v) -> write t st name v
+            | Openflow.CopyField (dst, src) -> write t st dst (read st src)
+            | Openflow.AddConst (name, k, w) ->
+              Hashtbl.replace st.fields name
+                (mask_w w (Int64.add (read st name) k))
+            | Openflow.PushVlan -> Hashtbl.replace st.valid "vlan" ()
+            | Openflow.PopVlan -> Hashtbl.remove st.valid "vlan"
+            | Openflow.ToController tag -> t.tags <- tag :: t.tags
+            | Openflow.DropAction -> ()
+            | Openflow.Goto g ->
+              if g <= tid then error "goto must move forward";
+              next := Some g)
+          f.actions;
+        (match !next with
+        | Some g when g < limit -> run g (fuel - 1)
+        | _ -> ())
+    end
+  in
+  run first 64;
+  !clones
+
+(* ---------------- packet processing ---------------- *)
+
+let reg_is_set (st : pstate) name = not (Int64.equal (read st name) 0L)
+
+let process t ~(in_port : int) (pkt : P4.Packet.t) : (int * P4.Packet.t) list =
+  t.tags <- [];
+  match parse t pkt with
+  | None -> [] (* parser reject *)
+  | Some st ->
+    write t st "meta.ingress_port" (Int64.of_int in_port);
+    let clone_ports = run_region t st ~first:0 ~limit:t.ing_limit in
+    if reg_is_set st Openflow.reg_dropped then []
+    else begin
+      let copies = ref [] in
+      let mcast = read st Openflow.reg_mcast in
+      if Int64.equal mcast 0L && reg_is_set st Openflow.reg_has_dest then
+        copies := [ (read st Openflow.reg_egress, copy_pstate st) ];
+      if not (Int64.equal mcast 0L) then
+        List.iter
+          (fun port ->
+            (* do not reflect back to the ingress port *)
+            if not (Int64.equal port (Int64.of_int in_port)) then
+              copies := (port, copy_pstate st) :: !copies)
+          (Option.value ~default:[] (List.assoc_opt mcast t.groups));
+      List.iter
+        (fun port ->
+          let c = copy_pstate st in
+          write t c "meta.is_clone" 1L;
+          copies := (port, c) :: !copies)
+        clone_ports;
+      let n_tables = t.ofp.Openflow.n_tables in
+      List.filter_map
+        (fun (port, c) ->
+          write t c "meta.egress_port" port;
+          Hashtbl.replace c.fields Openflow.reg_dropped 0L;
+          ignore (run_region t c ~first:t.ing_limit ~limit:n_tables);
+          if reg_is_set c Openflow.reg_dropped then None
+          else Some (Int64.to_int port, deparse t c))
+        (List.rev !copies)
+    end
+
+let digests t = List.rev t.tags

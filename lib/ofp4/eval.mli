@@ -1,0 +1,36 @@
+(** An OpenFlow-pipeline evaluator over real packets — the differential
+    oracle for {!Compile}.
+
+    Where {!Openflow.eval} runs a hand-built symbolic packet through the
+    flow tables, [Eval] runs actual packet bytes through the whole
+    compiled artefact with v1model replication semantics: it parses with
+    the source program's parser, runs the ingress table region, applies
+    the forwarding registers (unicast / multicast groups / clones, drop
+    is sticky), runs the egress region once per copy, and deparses.  Its
+    outputs are directly comparable to [P4.Switch.process] — compare as
+    sorted (port, bytes) lists, since replication order between clones
+    is unspecified.
+
+    Known, documented divergence inherited from {!Compile}: digests and
+    counters after a drop are not replayed (the OpenFlow pipeline stops
+    at the dropping row; the interpreter keeps evaluating tables).
+    Forwarding outputs agree because drops are sticky in both. *)
+
+type t
+
+val create :
+  ?groups:(int64 * int64 list) list -> P4.Program.t -> Openflow.t -> t
+(** Build an evaluator for a compiled pipeline.  [groups] supplies
+    multicast group definitions (defaults to none). *)
+
+val of_switch : P4.Switch.t -> Openflow.t -> t
+(** [create] with the program and multicast groups taken from a live
+    switch — the usual differential setup. *)
+
+val process : t -> in_port:int -> P4.Packet.t -> (int * P4.Packet.t) list
+(** Run one packet: parse, ingress tables, replication, egress tables
+    per copy, deparse.  Parser rejects and drops yield [[]]. *)
+
+val digests : t -> string list
+(** Digest/packet-in tags emitted by the most recent [process] call, in
+    emission order. *)

@@ -1,0 +1,185 @@
+type test = { tfield : string; tmask : int64; tvalue : int64 }
+
+type t = Leaf of int | Node of { id : int; test : test; hi : t; lo : t }
+
+type manager = {
+  order : string -> int;
+  nodes : (string * int64 * int64 * int * int, t) Hashtbl.t;
+  umemo : (int * int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create ~order () =
+  { order; nodes = Hashtbl.create 1024; umemo = Hashtbl.create 1024; next_id = 0 }
+
+let undef = Leaf 0
+
+let leaf v =
+  if v < 0 then invalid_arg "Fdd.leaf: decisions are non-negative";
+  Leaf v
+
+let id = function Leaf v -> -v - 1 | Node n -> n.id
+
+let popcount (x : int64) =
+  let rec go x acc =
+    if x = 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+  in
+  go x 0
+
+let test_compare m a b =
+  let c = Int.compare (m.order a.tfield) (m.order b.tfield) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.tfield b.tfield in
+    if c <> 0 then c
+    else
+      (* descending popcount: more-specific masks nearer the root, so all
+         rows of one prefix length extract contiguously *)
+      let c = Int.compare (popcount b.tmask) (popcount a.tmask) in
+      if c <> 0 then c
+      else
+        let c = Int64.unsigned_compare b.tmask a.tmask in
+        if c <> 0 then c else Int64.unsigned_compare a.tvalue b.tvalue
+
+let node m test hi lo =
+  if test.tmask = 0L then hi
+  else
+    let test = { test with tvalue = Int64.logand test.tvalue test.tmask } in
+    if id hi = id lo then hi
+    else
+      let key = (test.tfield, test.tmask, test.tvalue, id hi, id lo) in
+      match Hashtbl.find_opt m.nodes key with
+      | Some n -> n
+      | None ->
+          let n = Node { id = m.next_id; test; hi; lo } in
+          m.next_id <- m.next_id + 1;
+          Hashtbl.add m.nodes key n;
+          n
+
+(* Union walks the lo spine with an explicit accumulator: rank-sorted
+   entry chains are one long lo path, and a recursive descent would need
+   O(entries) stack.  The hi side recurses natively — hi subtrees are
+   bounded by the key schema, not the entry count. *)
+let union m a0 b0 =
+  let rec descend a b acc =
+    if id a = id b then finish a acc
+    else
+      match (a, b) with
+      | Leaf v, _ when v <> 0 -> finish a acc
+      | Leaf _, _ -> finish b acc
+      | _, Leaf 0 -> finish a acc
+      | Node na, _ -> (
+          let key = (id a, id b) in
+          match Hashtbl.find_opt m.umemo key with
+          | Some r -> finish r acc
+          | None -> (
+              match b with
+              | Leaf _ ->
+                  let hi = union_rec na.hi b in
+                  descend na.lo b ((key, na.test, hi) :: acc)
+              | Node nb ->
+                  let c = test_compare m na.test nb.test in
+                  if c = 0 then
+                    let hi = union_rec na.hi nb.hi in
+                    descend na.lo nb.lo ((key, na.test, hi) :: acc)
+                  else if c < 0 then
+                    let hi = union_rec na.hi b in
+                    descend na.lo b ((key, na.test, hi) :: acc)
+                  else
+                    let hi = union_rec a nb.hi in
+                    descend a nb.lo ((key, nb.test, hi) :: acc)))
+  and union_rec a b = descend a b []
+  and finish r acc =
+    match acc with
+    | [] -> r
+    | (key, test, hi) :: rest ->
+        let n = node m test hi r in
+        Hashtbl.replace m.umemo key n;
+        finish n rest
+  in
+  union_rec a0 b0
+
+let union_all m ts =
+  let rec round acc = function
+    | [] -> List.rev acc
+    | [ x ] -> List.rev (x :: acc)
+    | a :: b :: rest -> round (union m a b :: acc) rest
+  in
+  let rec go = function
+    | [] -> undef
+    | [ x ] -> x
+    | xs -> go (round [] xs)
+  in
+  go ts
+
+let bind m t0 f =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec descend t acc =
+    match Hashtbl.find_opt memo (id t) with
+    | Some r -> finish r acc
+    | None -> (
+        match t with
+        | Leaf v ->
+            let r = f v in
+            Hashtbl.replace memo (id t) r;
+            finish r acc
+        | Node n ->
+            let hi = go n.hi in
+            descend n.lo ((id t, n.test, hi) :: acc))
+  and go t = descend t []
+  and finish r acc =
+    match acc with
+    | [] -> r
+    | (key, test, hi) :: rest ->
+        let n = node m test hi r in
+        Hashtbl.replace memo key n;
+        finish n rest
+  in
+  go t0
+
+let iter_nodes t k =
+  let seen = Hashtbl.create 64 in
+  let stack = ref [ t ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | x :: rest ->
+        stack := rest;
+        let i = id x in
+        if not (Hashtbl.mem seen i) then begin
+          Hashtbl.add seen i ();
+          k x;
+          match x with
+          | Leaf _ -> ()
+          | Node n -> stack := n.hi :: n.lo :: !stack
+        end
+  done
+
+let size t =
+  let n = ref 0 in
+  iter_nodes t (function Node _ -> incr n | Leaf _ -> ());
+  !n
+
+let leaves t =
+  let acc = ref [] in
+  iter_nodes t (function Leaf v -> acc := v :: !acc | Node _ -> ());
+  List.sort_uniq Int.compare !acc
+
+let test_to_string t =
+  if Int64.equal t.tmask (-1L) then Printf.sprintf "%s=%Lu" t.tfield t.tvalue
+  else Printf.sprintf "%s&%Lx=%Lx" t.tfield t.tmask t.tvalue
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let rec go indent t =
+    match t with
+    | Leaf v -> Buffer.add_string buf (Printf.sprintf "%s[%d]\n" indent v)
+    | Node n ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s?\n" indent (test_to_string n.test));
+        go (indent ^ "  ") n.hi;
+        go (indent ^ "  ") n.lo
+  in
+  go "" t;
+  Buffer.contents buf

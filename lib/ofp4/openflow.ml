@@ -16,6 +16,8 @@ type action =
   | Output of int64
   | Group of int64               (* multicast group *)
   | SetField of string * int64
+  | CopyField of string * string (* dst <- src, masked to dst width *)
+  | AddConst of string * int64 * int (* f <- (f + k) mod 2^width *)
   | PushVlan                     (* make the vlan header valid *)
   | PopVlan
   | ToController of string       (* digest/packet-in tag *)
@@ -33,9 +35,13 @@ type flow = {
 type t = {
   mutable flows : flow list;
   mutable n_tables : int;
+  mutable egress_start : int option;
+      (* first table of the egress region, if the source pipeline had
+         egress control; tables in [egress_start, n_tables) run once per
+         replicated packet copy (see [Eval]) *)
 }
 
-let create () : t = { flows = []; n_tables = 0 }
+let create () : t = { flows = []; n_tables = 0; egress_start = None }
 
 let add_flow (prog : t) (f : flow) =
   prog.flows <- f :: prog.flows;
@@ -63,7 +69,20 @@ type fpacket = {
   mutable present : string list;   (* header names, e.g. "vlan" *)
 }
 
-let field (pkt : fpacket) name = Option.value ~default:0L (List.assoc_opt name pkt.fields)
+(* "valid.<hdr>" is a pseudo-field reflecting header presence, so the
+   FDD compiler can lower [EValid] conditions to ordinary mask tests. *)
+let valid_prefix = "valid."
+
+let header_of_valid name =
+  let n = String.length valid_prefix in
+  if String.length name > n && String.sub name 0 n = valid_prefix then
+    Some (String.sub name n (String.length name - n))
+  else None
+
+let field (pkt : fpacket) name =
+  match header_of_valid name with
+  | Some h -> if List.mem h pkt.present then 1L else 0L
+  | None -> Option.value ~default:0L (List.assoc_opt name pkt.fields)
 
 let set_pkt_field (pkt : fpacket) name v =
   pkt.fields <- (name, v) :: List.remove_assoc name pkt.fields
@@ -119,6 +138,14 @@ let eval (prog : t) (pkt : fpacket) : verdict =
           | Output p -> outputs := p :: !outputs
           | Group g -> groups := g :: !groups
           | SetField (name, v) -> set_pkt_field pkt name v
+          | CopyField (dst, src) -> set_pkt_field pkt dst (field pkt src)
+          | AddConst (name, k, w) ->
+            let v = Int64.add (field pkt name) k in
+            let v =
+              if w >= 64 then v
+              else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+            in
+            set_pkt_field pkt name v
           | PushVlan -> if not (List.mem "vlan" pkt.present) then
               pkt.present <- "vlan" :: pkt.present
           | PopVlan -> pkt.present <- List.filter (fun h -> h <> "vlan") pkt.present
@@ -141,10 +168,73 @@ let eval (prog : t) (pkt : fpacket) : verdict =
   { outputs = List.rev !outputs; groups = List.rev !groups;
     controller = List.rev !controller; final = pkt }
 
+(* ---------------- shadowed-rule elimination ---------------- *)
+
+let match_mask (m : field_match) = Option.value ~default:(-1L) m.mmask
+
+(* [subsumes g f]: does [g] match every packet [f] matches?  True when
+   each of [g]'s field constraints is implied by one of [f]'s: [f]
+   constrains at least the same bits and agrees with [g] on them. *)
+let subsumes (g : flow) (f : flow) =
+  List.for_all
+    (fun gm ->
+      let gmask = match_mask gm in
+      List.exists
+        (fun fm ->
+          String.equal fm.mfield gm.mfield
+          && Int64.equal (Int64.logand (match_mask fm) gmask) gmask
+          && Int64.equal
+               (Int64.logand fm.mvalue gmask)
+               (Int64.logand gm.mvalue gmask))
+        f.matches)
+    g.matches
+
+(** Drop every flow fully shadowed by a strictly-higher-priority flow in
+    the same table (the Ox tutorial's "shadowed rule" pitfall).  Flows
+    at equal priority are never compared: the pipeline only guarantees
+    an arbitrary winner among equal-priority overlaps, so removing one
+    could change which arbitrary winner fires. *)
+let eliminate_shadowed (prog : t) : t =
+  let by_table = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_table f.table_id) in
+      Hashtbl.replace by_table f.table_id (f :: cur))
+    prog.flows;
+  (* prog.flows is newest-first; the per-table cons above restores
+     insertion order *)
+  let out = create () in
+  out.n_tables <- prog.n_tables;
+  out.egress_start <- prog.egress_start;
+  let table_ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) by_table [] |> List.sort Int.compare
+  in
+  List.iter
+    (fun tid ->
+      let flows =
+        List.stable_sort
+          (fun a b -> Int.compare b.priority a.priority)
+          (Hashtbl.find by_table tid)
+      in
+      let kept = ref [] in
+      List.iter
+        (fun f ->
+          let shadowed =
+            List.exists (fun g -> g.priority > f.priority && subsumes g f) !kept
+          in
+          if not shadowed then kept := f :: !kept)
+        flows;
+      List.iter (add_flow out) (List.rev !kept))
+    table_ids;
+  (* restore newest-first orientation consistent with add_flow usage *)
+  out
+
 let action_to_string = function
   | Output p -> Printf.sprintf "output:%Ld" p
   | Group g -> Printf.sprintf "group:%Ld" g
   | SetField (f, v) -> Printf.sprintf "set_field:%s=%Ld" f v
+  | CopyField (d, s) -> Printf.sprintf "copy_field:%s<-%s" d s
+  | AddConst (f, k, w) -> Printf.sprintf "add:%s+=%Ld/%d" f k w
   | PushVlan -> "push_vlan"
   | PopVlan -> "pop_vlan"
   | ToController tag -> "controller(" ^ tag ^ ")"

@@ -12,6 +12,10 @@ type action =
   | Output of int64
   | Group of int64
   | SetField of string * int64
+  | CopyField of string * string
+      (** [dst <- src], masked to [dst]'s width where known *)
+  | AddConst of string * int64 * int
+      (** [f <- (f + k) mod 2^width] — covers TTL decrement and friends *)
   | PushVlan
   | PopVlan
   | ToController of string  (** digest / packet-in tag *)
@@ -26,11 +30,23 @@ type flow = {
   cookie : string;  (** provenance: which feature/fragment emitted it *)
 }
 
-type t = { mutable flows : flow list; mutable n_tables : int }
+type t = {
+  mutable flows : flow list;
+  mutable n_tables : int;
+  mutable egress_start : int option;
+      (** first table of the egress region, if the source pipeline has
+          egress control; those tables run once per replicated copy *)
+}
 
 val create : unit -> t
 val add_flow : t -> flow -> unit
 val flow_count : t -> int
+
+val eliminate_shadowed : t -> t
+(** Drop every flow fully shadowed by a single strictly-higher-priority
+    flow in the same table (a higher-priority flow whose match is a
+    superset of the shadowed flow's).  Equal-priority flows are never
+    removed.  Preserves [n_tables]/[egress_start]. *)
 
 val fragment_count : t -> int
 (** Distinct provenance cookies — each corresponds to one flow-emitting
@@ -66,6 +82,14 @@ val eval : t -> fpacket -> verdict
 (** Run a symbolic packet from table 0; the verdict combines immediate
     [Output]/[Group] actions with the final forwarding registers.
     @raise Eval_error on goto loops. *)
+
+val field : fpacket -> string -> int64
+(** Field read with defaulting: unknown fields are [0]; ["valid.<hdr>"]
+    pseudo-fields reflect header presence. *)
+
+val header_of_valid : string -> string option
+(** [Some hdr] when the field name is the ["valid.<hdr>"] pseudo-field
+    for header presence, [None] otherwise. *)
 
 val flow_to_string : flow -> string
 val dump : t -> string

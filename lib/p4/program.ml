@@ -163,6 +163,20 @@ let ref_to_string = function
   | Field (h, f) -> h ^ "." ^ f
   | Meta m -> "meta." ^ m
 
+(** A table's key schema as (reference, match kind, width) triples —
+    the shape compilers derive variable orders and match layouts from.
+    Errors on a key whose reference does not resolve. *)
+let table_key_schema p (t : table) :
+    ((fref * match_kind * int) list, string) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (k : key) :: rest -> (
+      match ref_width p k.kref with
+      | Ok w -> go ((k.kref, k.kind, w) :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] t.keys
+
 (* ---------------- type checking ---------------- *)
 
 (* Infers the width of an expression; boolean results are width 1. *)

@@ -128,6 +128,11 @@ val find_state : t -> string -> parser_state option
 val ref_width : t -> fref -> (int, string) result
 val ref_to_string : fref -> string
 
+val table_key_schema :
+  t -> table -> ((fref * match_kind * int) list, string) result
+(** A table's key columns as (reference, match kind, width) triples —
+    what compilers derive variable orders and match layouts from. *)
+
 val expr_width : t -> (string * int) list -> expr -> (int, string) result
 (** Width of an expression under an action-parameter environment;
     boolean results have width 1. *)

@@ -582,6 +582,12 @@ let delete_entry sw table (e : Entry.t) : unit =
 let table_entries sw table =
   Hashtbl.fold (fun _ r acc -> r.row_entry :: acc) (table_state sw table).entries []
 
+(** Entries in winner order — highest rank first under
+    [Entry.rank_compare] — so folds over the list implement
+    first-defined-wins.  [table_entries] has hashtable order. *)
+let table_entries_ranked sw table =
+  List.sort (fun a b -> Entry.rank_compare b a) (table_entries sw table)
+
 (** Is an entry with the same match part installed? *)
 let find_same_match sw table (e : Entry.t) : Entry.t option =
   Option.map

@@ -61,6 +61,13 @@ val find_same_match : t -> string -> Entry.t -> Entry.t option
 (** The installed entry with the same match part, if any (O(1)). *)
 
 val table_entries : t -> string -> Entry.t list
+(** Installed entries in unspecified (hashtable) order. *)
+
+val table_entries_ranked : t -> string -> Entry.t list
+(** Installed entries highest-rank first under [Entry.rank_compare] —
+    the order in which the data plane resolves overlaps, suitable for
+    first-defined-wins folds (e.g. the FDD flow compiler). *)
+
 val entry_count : t -> string -> int
 
 val lookup : ?use_compiled:bool -> t -> string -> int64 array -> Entry.t option

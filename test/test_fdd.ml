@@ -1,0 +1,500 @@
+(* Tests for the FDD compiler stack (PR 8):
+   - Fdd unit behaviour: hash-consing, prefer-left union, bind,
+     subtree sharing;
+   - the priority-collision regression the naive backend used to have
+     (1 + priority + lpm_length summed two incomparable dimensions);
+   - on snvs/l3router pipelines with injected shadowed rules the FDD
+     backend emits strictly fewer flows than the naive translator;
+   - >= 1000-packet Eval-vs-interpreter differentials for snvs and
+     l3router, plus QCheck entry churn with overlapping ternary and
+     shadowed entries. *)
+
+open Ofp4
+
+let mk ~matches ~prio ?(action = "x") ?(args = []) () =
+  { P4.Entry.matches; priority = prio; action; args }
+
+let sorted_outs outs =
+  List.sort compare
+    (List.map (fun (p, pkt) -> (p, P4.Packet.to_hex pkt)) outs)
+
+(* Run one packet through the interpreter switch and through the
+   FDD-compiled pipeline under Eval; fail on any difference in the
+   (port, bytes) output set. *)
+let check_agree ~what sw ev ~in_port pkt =
+  let a = sorted_outs (P4.Switch.process sw ~in_port (pkt ())) in
+  let b = sorted_outs (Eval.process ev ~in_port (pkt ())) in
+  if a <> b then
+    Alcotest.failf "%s: divergence on in_port=%d: p4=[%s] of=[%s]" what in_port
+      (String.concat ";" (List.map (fun (p, h) -> Printf.sprintf "%d:%s" p h) a))
+      (String.concat ";" (List.map (fun (p, h) -> Printf.sprintf "%d:%s" p h) b))
+
+(* ------------------------------------------------------------------ *)
+(* Fdd unit behaviour                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let order_ab f = if String.equal f "a" then 0 else 1
+let ta v = { Fdd.tfield = "a"; tmask = 0xFFL; tvalue = v }
+let tb v = { Fdd.tfield = "b"; tmask = 0xFFL; tvalue = v }
+
+let test_hashcons () =
+  let m = Fdd.create ~order:order_ab () in
+  let n1 = Fdd.node m (ta 1L) (Fdd.leaf 1) (Fdd.leaf 2) in
+  let n2 = Fdd.node m (ta 1L) (Fdd.leaf 1) (Fdd.leaf 2) in
+  Alcotest.(check bool) "equal nodes share" true (n1 == n2);
+  (* the value is canonicalised under the mask *)
+  let n3 =
+    Fdd.node m
+      { Fdd.tfield = "a"; tmask = 0xFFL; tvalue = 0xAB01L }
+      (Fdd.leaf 1) (Fdd.leaf 2)
+  in
+  Alcotest.(check bool) "value canonicalised" true (n3 == n1);
+  (* hi == lo collapses to the child *)
+  let c = Fdd.node m (ta 1L) (Fdd.leaf 3) (Fdd.leaf 3) in
+  Alcotest.(check int) "hi=lo collapses" (Fdd.id (Fdd.leaf 3)) (Fdd.id c);
+  Alcotest.(check int) "leaf ids stable" (-1) (Fdd.id Fdd.undef)
+
+let test_union_prefer_left () =
+  let m = Fdd.create ~order:order_ab () in
+  Alcotest.(check int) "left leaf wins" (Fdd.id (Fdd.leaf 1))
+    (Fdd.id (Fdd.union m (Fdd.leaf 1) (Fdd.leaf 2)));
+  Alcotest.(check int) "undef is left identity" (Fdd.id (Fdd.leaf 2))
+    (Fdd.id (Fdd.union m Fdd.undef (Fdd.leaf 2)));
+  Alcotest.(check int) "undef is right identity" (Fdd.id (Fdd.leaf 1))
+    (Fdd.id (Fdd.union m (Fdd.leaf 1) Fdd.undef));
+  (* a partial diagram falls through to the right on its undef side *)
+  let part = Fdd.node m (ta 1L) (Fdd.leaf 1) Fdd.undef in
+  Alcotest.(check bool) "fallthrough fills lo" true
+    (Fdd.union m part (Fdd.leaf 2) == Fdd.node m (ta 1L) (Fdd.leaf 1) (Fdd.leaf 2));
+  (* an identical match lower in rank order is shadowed away *)
+  let shadow = Fdd.node m (ta 1L) (Fdd.leaf 2) Fdd.undef in
+  Alcotest.(check bool) "identical match shadowed" true
+    (Fdd.union m part shadow == part)
+
+let test_union_sharing () =
+  let m = Fdd.create ~order:order_ab () in
+  let x = Fdd.node m (tb 1L) (Fdd.leaf 1) (Fdd.leaf 2) in
+  let y = Fdd.node m (ta 1L) x Fdd.undef in
+  let y' = Fdd.node m (ta 2L) x Fdd.undef in
+  let u = Fdd.union m y y' in
+  Alcotest.(check bool) "structure" true
+    (u == Fdd.node m (ta 1L) x (Fdd.node m (ta 2L) x Fdd.undef));
+  Alcotest.(check int) "shared subtree counted once" 3 (Fdd.size u);
+  Alcotest.(check (list int)) "leaves" [ 0; 1; 2 ] (Fdd.leaves u)
+
+let test_bind () =
+  let m = Fdd.create ~order:order_ab () in
+  let d = Fdd.node m (ta 1L) (Fdd.leaf 1) (Fdd.leaf 2) in
+  let flipped = Fdd.bind m d (fun v -> Fdd.leaf (if v = 1 then 2 else 1)) in
+  Alcotest.(check bool) "leaves substituted" true
+    (flipped == Fdd.node m (ta 1L) (Fdd.leaf 2) (Fdd.leaf 1));
+  let collapsed = Fdd.bind m d (fun _ -> Fdd.leaf 7) in
+  Alcotest.(check int) "constant bind collapses" (Fdd.id (Fdd.leaf 7))
+    (Fdd.id collapsed)
+
+(* Long lo-spines (one node per entry) must not overflow the stack:
+   union, bind and size are all iterative. *)
+let test_deep_spine () =
+  let m = Fdd.create ~order:order_ab () in
+  let deep =
+    let d = ref Fdd.undef in
+    for i = 100_000 downto 1 do
+      d := Fdd.node m (ta (Int64.of_int (i land 0xFF))) (Fdd.leaf 1) !d
+    done;
+    !d
+  in
+  ignore (Fdd.union m deep (Fdd.leaf 2));
+  ignore (Fdd.bind m deep (fun v -> Fdd.leaf (v + 1)));
+  Alcotest.(check bool) "deep spine sized" true (Fdd.size deep > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Priority-collision regression                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The old naive scheme assigned priority [1 + entry.priority +
+   lpm_length], so an exact/optional entry at priority 11 outranked an
+   LPM /10 entry at priority 0 — the opposite of the rank order every
+   matcher uses ([Entry.rank_compare]: total prefix length dominates).
+   Both backends must agree with the interpreter on packets matching
+   both entries. *)
+let collide : P4.Program.t =
+  let open P4.Program in
+  {
+    name = "collide";
+    headers = [ P4.Stdhdrs.ethernet; P4.Stdhdrs.ipv4 ];
+    parser =
+      { start = "s";
+        states = [ { sname = "s"; extracts = [ "ethernet"; "ipv4" ];
+                     transition = Accept } ] };
+    actions =
+      [
+        { aname = "forward"; params = [ ("port", 16) ];
+          body = [ Forward (EParam "port") ] };
+        { aname = "drop"; params = []; body = [ Drop ] };
+      ];
+    tables =
+      [
+        { tname = "t";
+          keys =
+            [ { kref = Field ("ipv4", "protocol"); kind = Optional };
+              { kref = Field ("ipv4", "dst"); kind = Lpm } ];
+          actions = [ "forward"; "drop" ];
+          default_action = ("drop", []); size = 64 };
+      ];
+    digests = []; counters = []; registers = [];
+    ingress = ApplyTable "t";
+    egress = Nop;
+  }
+
+let test_priority_collision () =
+  let sw = P4.Switch.create collide in
+  (* exact-on-protocol at priority 11 ... *)
+  P4.Switch.insert_entry sw "t"
+    (mk
+       ~matches:[ P4.Entry.MExact 17L; P4.Entry.MLpm (0L, 0) ]
+       ~prio:11 ~action:"forward" ~args:[ 1L ] ());
+  (* ... versus an LPM /10 at priority 0: the /10 must win *)
+  P4.Switch.insert_entry sw "t"
+    (mk
+       ~matches:[ P4.Entry.MAny; P4.Entry.MLpm (0x0A000000L, 10) ]
+       ~prio:0 ~action:"forward" ~args:[ 2L ] ());
+  let ev_naive = Eval.of_switch sw (Compile.compile_naive sw) in
+  let ev_fdd = Eval.of_switch sw (Compile.compile sw) in
+  let probe ~proto ~dst expect =
+    let pkt () =
+      let p =
+        P4.Stdhdrs.udp_packet ~eth_dst:1L ~eth_src:2L ~ip_src:1L ~ip_dst:dst
+          ~src_port:1L ~dst_port:2L ~payload:""
+      in
+      P4.Packet.set_bits p ~bit_offset:((14 * 8) + 72) ~width:8 proto;
+      p
+    in
+    let ports outs = List.sort Int.compare (List.map fst outs) in
+    let p4 = ports (P4.Switch.process sw ~in_port:5 (pkt ())) in
+    Alcotest.(check (list int)) "interpreter verdict" expect p4;
+    Alcotest.(check (list int)) "naive backend agrees" expect
+      (ports (Eval.process ev_naive ~in_port:5 (pkt ())));
+    Alcotest.(check (list int)) "fdd backend agrees" expect
+      (ports (Eval.process ev_fdd ~in_port:5 (pkt ())))
+  in
+  (* both entries match: lpm_length 10 beats priority 11 *)
+  probe ~proto:17L ~dst:0x0A000001L [ 2 ];
+  (* only the exact-protocol entry matches *)
+  probe ~proto:17L ~dst:0xC0000001L [ 1 ];
+  (* only the /10 matches *)
+  probe ~proto:6L ~dst:0x0A000001L [ 2 ];
+  (* neither: default drop *)
+  probe ~proto:6L ~dst:0xC0000001L []
+
+(* ------------------------------------------------------------------ *)
+(* Shadowed rules: FDD output is strictly smaller than naive           *)
+(* ------------------------------------------------------------------ *)
+
+(* If-free variants of the real pipelines, so the naive backend (which
+   rejects conditionals) can compile the same tables for the count
+   comparison. *)
+let snvs_linear : P4.Program.t =
+  let open P4.Program in
+  {
+    (Snvs.p4) with
+    ingress =
+      Seq
+        ( ApplyTable "in_vlan",
+          Seq
+            ( ApplyTable "acl",
+              Seq (ApplyTable "mirror",
+                   Seq (ApplyTable "smac", ApplyTable "dmac")) ) );
+  }
+
+let l3_linear : P4.Program.t =
+  let open P4.Program in
+  { (L3router.p4) with
+    ingress = Seq (ApplyTable "protocol_filter", ApplyTable "routes") }
+
+let test_fewer_flows_snvs () =
+  let sw = P4.Switch.create snvs_linear in
+  P4.Switch.insert_entry sw "in_vlan"
+    (mk ~matches:[ P4.Entry.MExact 1L; P4.Entry.MExact 0L ]
+       ~prio:5 ~action:"set_vlan" ~args:[ 10L ] ());
+  (* same match at lower priority: fully shadowed *)
+  P4.Switch.insert_entry sw "in_vlan"
+    (mk ~matches:[ P4.Entry.MExact 1L; P4.Entry.MExact 0L ]
+       ~prio:0 ~action:"set_vlan" ~args:[ 20L ] ());
+  P4.Switch.insert_entry sw "in_vlan"
+    (mk ~matches:[ P4.Entry.MExact 3L; P4.Entry.MExact 10L ]
+       ~prio:0 ~action:"keep_tag" ());
+  (* a catch-all ACL allow shadows the narrower deny below it *)
+  P4.Switch.insert_entry sw "acl"
+    (mk ~matches:[ P4.Entry.MTernary (0L, 0L); P4.Entry.MTernary (0L, 0L) ]
+       ~prio:9 ~action:"allow" ());
+  P4.Switch.insert_entry sw "acl"
+    (mk ~matches:[ P4.Entry.MTernary (5L, 7L); P4.Entry.MTernary (0L, 0L) ]
+       ~prio:1 ~action:"deny" ());
+  P4.Switch.insert_entry sw "dmac"
+    (mk ~matches:[ P4.Entry.MExact 10L; P4.Entry.MExact 2L ]
+       ~prio:0 ~action:"forward" ~args:[ 3L ] ());
+  let naive = Openflow.flow_count (Compile.compile_naive sw) in
+  let fdd = Openflow.flow_count (Compile.compile sw) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fdd (%d) < naive (%d)" fdd naive)
+    true (fdd < naive);
+  (* the shadowed rows were unreachable, so behaviour is unchanged *)
+  let ev = Eval.of_switch sw (Compile.compile sw) in
+  let r = Random.State.make [| 21 |] in
+  for _ = 1 to 100 do
+    let dst = Int64.of_int (1 + Random.State.int r 4) in
+    let src = Int64.of_int (1 + Random.State.int r 6) in
+    let port = 1 + Random.State.int r 4 in
+    check_agree ~what:"snvs shadowed" sw ev ~in_port:port (fun () ->
+        P4.Stdhdrs.ethernet_frame ~dst ~src ~ethertype:0x0800L ~payload:"pp")
+  done
+
+let test_fewer_flows_l3router () =
+  let sw = P4.Switch.create l3_linear in
+  (* catch-all allow shadows both the deny and the table default *)
+  P4.Switch.insert_entry sw "protocol_filter"
+    (mk ~matches:[ P4.Entry.MAny ] ~prio:9 ~action:"allow" ());
+  P4.Switch.insert_entry sw "protocol_filter"
+    (mk ~matches:[ P4.Entry.MExact 17L ] ~prio:1 ~action:"deny" ());
+  P4.Switch.insert_entry sw "routes"
+    (mk ~matches:[ P4.Entry.MLpm (0x0A000000L, 8) ]
+       ~prio:5 ~action:"route_to" ~args:[ 1L; 0xAAL ] ());
+  (* same prefix at lower priority: fully shadowed *)
+  P4.Switch.insert_entry sw "routes"
+    (mk ~matches:[ P4.Entry.MLpm (0x0A000000L, 8) ]
+       ~prio:0 ~action:"route_to" ~args:[ 9L; 0xBBL ] ());
+  P4.Switch.insert_entry sw "routes"
+    (mk ~matches:[ P4.Entry.MLpm (0x0A010000L, 16) ]
+       ~prio:0 ~action:"route_to" ~args:[ 2L; 0xCCL ] ());
+  let naive = Openflow.flow_count (Compile.compile_naive sw) in
+  let fdd = Openflow.flow_count (Compile.compile sw) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fdd (%d) < naive (%d)" fdd naive)
+    true (fdd < naive);
+  let ev = Eval.of_switch sw (Compile.compile sw) in
+  let r = Random.State.make [| 22 |] in
+  for _ = 1 to 100 do
+    let dst =
+      Int64.of_int
+        (((10 + Random.State.int r 2) lsl 24)
+        lor (Random.State.int r 3 lsl 16)
+        lor Random.State.int r 256)
+    in
+    check_agree ~what:"l3 shadowed" sw ev ~in_port:7 (fun () ->
+        P4.Stdhdrs.udp_packet ~eth_dst:1L ~eth_src:2L ~ip_src:3L ~ip_dst:dst
+          ~src_port:1L ~dst_port:2L ~payload:"x")
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Eval vs interpreter differentials (>= 1000 packets per program)     *)
+(* ------------------------------------------------------------------ *)
+
+let test_snvs_differential () =
+  let sw = P4.Switch.create Snvs.p4 in
+  (* access ports 1-2 on vlan 10, trunks 3-4; macs 1-3 known on vlan
+     10; a ternary ACL deny, a mirror and a tagged output *)
+  List.iter
+    (fun (port, vid, act, args) ->
+      P4.Switch.insert_entry sw "in_vlan"
+        (mk ~matches:[ P4.Entry.MExact port; P4.Entry.MExact vid ]
+           ~prio:0 ~action:act ~args ()))
+    [
+      (1L, 0L, "set_vlan", [ 10L ]); (2L, 0L, "set_vlan", [ 10L ]);
+      (3L, 10L, "keep_tag", []); (3L, 20L, "keep_tag", []);
+      (4L, 10L, "keep_tag", []);
+    ];
+  List.iter
+    (fun mac ->
+      P4.Switch.insert_entry sw "dmac"
+        (mk ~matches:[ P4.Entry.MExact 10L; P4.Entry.MExact mac ]
+           ~prio:0 ~action:"forward" ~args:[ Int64.add mac 1L ] ());
+      P4.Switch.insert_entry sw "smac"
+        (mk
+           ~matches:
+             [ P4.Entry.MExact 10L; P4.Entry.MExact mac;
+               P4.Entry.MExact (Int64.add mac 1L) ]
+           ~prio:0 ~action:"noop" ()))
+    [ 1L; 2L; 3L ];
+  P4.Switch.insert_entry sw "acl"
+    (mk ~matches:[ P4.Entry.MTernary (5L, 7L); P4.Entry.MTernary (0L, 0L) ]
+       ~prio:3 ~action:"deny" ());
+  P4.Switch.insert_entry sw "mirror"
+    (mk ~matches:[ P4.Entry.MExact 2L ] ~prio:0 ~action:"clone_to"
+       ~args:[ 9L ] ());
+  P4.Switch.insert_entry sw "out_vlan"
+    (mk ~matches:[ P4.Entry.MExact 3L; P4.Entry.MExact 10L ]
+       ~prio:0 ~action:"output_tagged" ());
+  P4.Switch.set_mcast_group sw 10L [ 1L; 2L; 3L ];
+  P4.Switch.set_mcast_group sw 20L [ 3L; 4L ];
+  let ev = Eval.of_switch sw (Compile.compile sw) in
+  let r = Random.State.make [| 31 |] in
+  for _ = 1 to 1200 do
+    let dst = Int64.of_int (1 + Random.State.int r 6) in
+    let src = Int64.of_int (1 + Random.State.int r 6) in
+    let port = 1 + Random.State.int r 4 in
+    let tagged = Random.State.bool r in
+    let vid = if Random.State.bool r then 10L else 20L in
+    check_agree ~what:"snvs" sw ev ~in_port:port (fun () ->
+        if tagged then
+          P4.Stdhdrs.vlan_frame ~dst ~src ~vid ~ethertype:0x0800L ~payload:"pp"
+        else P4.Stdhdrs.ethernet_frame ~dst ~src ~ethertype:0x0800L ~payload:"pp")
+  done
+
+let test_l3router_differential () =
+  let sw = P4.Switch.create L3router.p4 in
+  List.iter
+    (fun (prefix, len, port) ->
+      P4.Switch.insert_entry sw "routes"
+        (mk ~matches:[ P4.Entry.MLpm (prefix, len) ]
+           ~prio:0 ~action:"route_to"
+           ~args:[ port; Int64.add 0x100L port ] ()))
+    [
+      (0x0A000000L, 8, 1L); (0x0A010000L, 16, 2L); (0x0A010200L, 24, 3L);
+      (0x0A010203L, 32, 4L); (0L, 0, 5L);
+    ];
+  P4.Switch.insert_entry sw "protocol_filter"
+    (mk ~matches:[ P4.Entry.MExact 6L ] ~prio:1 ~action:"deny" ());
+  let ev = Eval.of_switch sw (Compile.compile sw) in
+  let r = Random.State.make [| 32 |] in
+  for _ = 1 to 1200 do
+    let dst =
+      Int64.of_int
+        (((9 + Random.State.int r 3) lsl 24)
+        lor (Random.State.int r 3 lsl 16)
+        lor (Random.State.int r 4 lsl 8)
+        lor Random.State.int r 5)
+    in
+    let ttl = List.nth [ 0L; 1L; 64L ] (Random.State.int r 3) in
+    let proto = if Random.State.bool r then 6L else 17L in
+    check_agree ~what:"l3router" sw ev ~in_port:9 (fun () ->
+        let p =
+          P4.Stdhdrs.udp_packet ~eth_dst:0xAAL ~eth_src:0xBBL
+            ~ip_src:0x0A000001L ~ip_dst:dst ~src_port:7L ~dst_port:53L
+            ~payload:"x"
+        in
+        P4.Packet.set_bits p ~bit_offset:((14 * 8) + 64) ~width:8 ttl;
+        P4.Packet.set_bits p ~bit_offset:((14 * 8) + 72) ~width:8 proto;
+        p)
+  done
+
+(* Random entry churn over a ternary + LPM pipeline, with masks and
+   values drawn from small pools so overlapping and shadowed entries
+   occur constantly. *)
+let churn_prog : P4.Program.t =
+  let open P4.Program in
+  {
+    name = "churn";
+    headers = [ P4.Stdhdrs.ethernet; P4.Stdhdrs.ipv4 ];
+    parser =
+      { start = "s";
+        states = [ { sname = "s"; extracts = [ "ethernet"; "ipv4" ];
+                     transition = Accept } ] };
+    actions =
+      [
+        { aname = "forward"; params = [ ("port", 16) ];
+          body = [ Forward (EParam "port") ] };
+        { aname = "drop"; params = []; body = [ Drop ] };
+      ];
+    tables =
+      [
+        { tname = "acl";
+          keys = [ { kref = Field ("ipv4", "src"); kind = Ternary } ];
+          actions = [ "forward"; "drop" ];
+          default_action = ("forward", [ 0L ]); size = 64 };
+        { tname = "routes";
+          keys = [ { kref = Field ("ipv4", "dst"); kind = Lpm } ];
+          actions = [ "forward"; "drop" ];
+          default_action = ("drop", []); size = 1024 };
+      ];
+    digests = []; counters = []; registers = [];
+    ingress = Seq (ApplyTable "acl", ApplyTable "routes");
+    egress = Nop;
+  }
+
+let prop_churn_differential =
+  let gen_acl =
+    QCheck2.Gen.(
+      let* v = oneofl [ 0x05L; 0x0500L; 0x05000000L; 0xDEAD0000L; 0L ] in
+      let* m = oneofl [ 0L; 0xFFL; 0xFF00L; 0xFFFF0000L; 0x0F0F0000L; -1L ] in
+      let* prio = int_range 0 4 in
+      let* drop = bool in
+      let* port = int_range 1 4 in
+      return
+        (mk
+           ~matches:[ P4.Entry.MTernary (v, m) ]
+           ~prio
+           ~action:(if drop then "drop" else "forward")
+           ~args:(if drop then [] else [ Int64.of_int port ])
+           ()))
+  in
+  let gen_route =
+    QCheck2.Gen.(
+      let* base = int_range 0 2 in
+      let* sub = int_range 0 3 in
+      let* len = oneofl [ 0; 8; 16; 24; 32 ] in
+      let* prio = int_range 0 2 in
+      let* port = int_range 1 4 in
+      let prefix =
+        Int64.logor
+          (Int64.shift_left (Int64.of_int (10 + base)) 24)
+          (Int64.shift_left (Int64.of_int sub) 16)
+      in
+      return
+        (mk
+           ~matches:[ P4.Entry.MLpm (prefix, len) ]
+           ~prio ~action:"forward" ~args:[ Int64.of_int port ] ()))
+  in
+  let gen_probe =
+    QCheck2.Gen.(
+      let* src = oneofl [ 0x05L; 0x0501L; 0x0500FFL; 0xDEAD1234L; 0x12345678L ] in
+      let* base = int_range 0 3 in
+      let* sub = int_range 0 3 in
+      let* low = oneofl [ 0; 1; 255 ] in
+      return
+        ( src,
+          Int64.logor
+            (Int64.shift_left (Int64.of_int (10 + base)) 24)
+            (Int64.logor (Int64.shift_left (Int64.of_int sub) 16)
+               (Int64.of_int low)) ))
+  in
+  QCheck2.Test.make ~count:40
+    ~name:"fdd eval differential (entry churn, overlapping ternary)"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 12) gen_acl)
+        (list_size (int_range 1 12) gen_route)
+        (list_size (int_range 5 30) gen_probe))
+    (fun (acls, routes, probes) ->
+      let sw = P4.Switch.create churn_prog in
+      List.iter (fun e -> P4.Switch.insert_entry sw "acl" e) acls;
+      List.iter (fun e -> P4.Switch.insert_entry sw "routes" e) routes;
+      let ev = Eval.of_switch sw (Compile.compile sw) in
+      List.for_all
+        (fun (src, dst) ->
+          let pkt () =
+            P4.Stdhdrs.udp_packet ~eth_dst:1L ~eth_src:2L ~ip_src:src
+              ~ip_dst:dst ~src_port:1L ~dst_port:2L ~payload:""
+          in
+          sorted_outs (P4.Switch.process sw ~in_port:5 (pkt ()))
+          = sorted_outs (Eval.process ev ~in_port:5 (pkt ())))
+        probes)
+
+let tests =
+  [
+    Alcotest.test_case "fdd hash-consing" `Quick test_hashcons;
+    Alcotest.test_case "fdd union prefers left" `Quick test_union_prefer_left;
+    Alcotest.test_case "fdd union shares subtrees" `Quick test_union_sharing;
+    Alcotest.test_case "fdd bind" `Quick test_bind;
+    Alcotest.test_case "fdd deep spines are iterative" `Quick test_deep_spine;
+    Alcotest.test_case "priority collision regression" `Quick
+      test_priority_collision;
+    Alcotest.test_case "shadowed rules elided (snvs)" `Quick
+      test_fewer_flows_snvs;
+    Alcotest.test_case "shadowed rules elided (l3router)" `Quick
+      test_fewer_flows_l3router;
+    Alcotest.test_case "eval differential (snvs, 1200 pkts)" `Quick
+      test_snvs_differential;
+    Alcotest.test_case "eval differential (l3router, 1200 pkts)" `Quick
+      test_l3router_differential;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_churn_differential ]

@@ -25,4 +25,5 @@ let () =
       ("baseline", Test_baseline.tests);
       ("equivalence", Test_equivalence.tests);
       ("ofp4", Test_ofp4.tests);
+      ("fdd", Test_fdd.tests);
     ]

@@ -1301,6 +1301,27 @@ let snvs_pkts ~hosts npkts =
         ~src:(Int64.of_int (0x1000 + i))
         ~ethertype:0x0800L ~payload:"bp")
 
+(* Like [time_packets] below, but drives each batch through
+   [Switch.process_many], which acquires the compiled pipeline's scratch
+   once per batch instead of once per packet. *)
+let time_packets_batch sw ~in_port (pkts : P4.Packet.t array) ~batches
+    ~per_batch =
+  let npkts = Array.length pkts in
+  ignore
+    (P4.Switch.process_many sw
+       (List.init (min 256 per_batch) (fun k -> (in_port, pkts.(k mod npkts)))));
+  let samples =
+    List.init batches (fun b ->
+        let jobs =
+          List.init per_batch (fun k ->
+              (in_port, pkts.(((b * per_batch) + k) mod npkts)))
+        in
+        let t0 = now () in
+        ignore (P4.Switch.process_many sw jobs);
+        (now () -. t0) *. 1e9 /. float_of_int per_batch)
+  in
+  summarise samples
+
 (* Per-packet cost over [batches] timed batches of [per_batch] packets
    each (ns/packet samples; the packet pool is reused — [process] never
    mutates its input).  Returns (mean, p50, p99) in ns/packet. *)
@@ -1351,16 +1372,22 @@ let measure_packets () =
     let sw = snvs_exact_switch ~use_compiled:false ~hosts:512 () in
     time_packets sw ~in_port:1 (snvs_pkts ~hosts:512 256) ~batches:15
       ~per_batch:100
+  and lpm_b =
+    let sw = l3_switch ~use_compiled:true ~routes:10_000 () in
+    time_packets_batch sw ~in_port:9 (l3_pkts ~routes:10_000 256) ~batches:30
+      ~per_batch:2000
   in
-  (lpm_c, lpm_n, exact_c, exact_n)
+  (lpm_c, lpm_n, exact_c, exact_n, lpm_b)
 
 let packets_json () : Ovsdb.Json.t =
-  let lpm_c, lpm_n, exact_c, exact_n = measure_packets () in
+  let lpm_c, lpm_n, exact_c, exact_n, lpm_b = measure_packets () in
   let p50 (_, p, _) = p in
   Ovsdb.Json.Obj
     [ ("lpm_10000_compiled", pkt_leg_json lpm_c);
       ("lpm_10000_naive", pkt_leg_json lpm_n);
       ("lpm_speedup_p50", json_num (p50 lpm_n /. p50 lpm_c));
+      ("lpm_10000_batched", pkt_leg_json lpm_b);
+      ("batch_speedup_p50", json_num (p50 lpm_c /. p50 lpm_b));
       ("snvs_exact_compiled", pkt_leg_json exact_c);
       ("snvs_exact_naive", pkt_leg_json exact_n);
       ("snvs_speedup_p50", json_num (p50 exact_n /. p50 exact_c));
@@ -1375,7 +1402,7 @@ let exp_packets () =
                  (snvs dmac=exact)\n\n"
     (P4.Switch.matcher_repr sw "routes")
     (P4.Switch.matcher_repr sw "protocol_filter");
-  let lpm_c, lpm_n, exact_c, exact_n = measure_packets () in
+  let lpm_c, lpm_n, exact_c, exact_n, lpm_b = measure_packets () in
   Printf.printf "%-26s %12s %12s %12s %14s\n" "leg" "p50 ns/pkt" "p99 ns/pkt"
     "mean" "pps";
   let row name (mean, p50, p99) =
@@ -1383,6 +1410,7 @@ let exp_packets () =
       (1e9 /. mean)
   in
   row "l3 lpm-10000 compiled" lpm_c;
+  row "l3 lpm-10000 batched" lpm_b;
   row "l3 lpm-10000 interpreter" lpm_n;
   row "snvs exact-512 compiled" exact_c;
   row "snvs exact-512 interpreter" exact_n;
@@ -1390,9 +1418,12 @@ let exp_packets () =
   Printf.printf
     "\nspeedup (p50): lpm %.1fx, exact %.1fx — the LPM trie replaces a \
      10^4-entry\nscan per packet; the exact tables were already hashed in \
-     spirit but now skip\nall per-packet list allocation.\n"
+     spirit but now skip\nall per-packet list allocation.  process_many \
+     amortises scratch acquisition\nacross a batch: %.2fx vs per-packet \
+     process on the same workload.\n"
     (p50 lpm_n /. p50 lpm_c)
     (p50 exact_n /. p50 exact_c)
+    (p50 lpm_c /. p50 lpm_b)
 
 (* ------------------------------------------------------------------ *)
 (* EXP-FLOWS: PR 8 — FDD flow compiler vs the naive translator         *)
@@ -1514,6 +1545,122 @@ let exp_flows () =
      no flow\nfor it (plus one priority level per disjointness group instead \
      of one per rule);\nthe naive column is one flow per entry regardless.\n"
 
+(* ------------------------------------------------------------------ *)
+(* EXP-FLOWS-INCR: PR 9 — incremental FDD recompilation                *)
+(* ------------------------------------------------------------------ *)
+
+(* Churn entries in a prefix region disjoint from [flows_entries],
+   aligned to their prefix length, so adds never replace a pre-existing
+   route and removes restore the exact starting table. *)
+let incr_churn_entry i =
+  let prefix, len =
+    match i mod 3 with
+    | 0 -> (Int64.logor 0x0F000000L (Int64.of_int i), 32)
+    | 1 -> (Int64.shift_left (Int64.of_int (0xF10000 + i)) 8, 24)
+    | _ -> (Int64.shift_left (Int64.of_int (0xF000 + i)) 16, 16)
+  in
+  { P4.Entry.matches = [ P4.Entry.MLpm (prefix, len) ];
+    priority = 0;
+    action = "forward";
+    args = [ 2L ] }
+
+(* Full from-scratch compile time of an [n]-entry FIB, then [ops]
+   add + [ops] delete single-entry transactions through
+   Compile.State.apply_delta (latencies in us). *)
+let measure_flows_incr ~n ~ops () =
+  let sw = flows_switch n in
+  let (_, full_ms), _ = time_compile Ofp4.Compile.compile sw in
+  let st = Ofp4.Compile.State.create sw in
+  let lats = ref [] in
+  for i = 0 to ops - 1 do
+    let e = incr_churn_entry i in
+    let t0 = now () in
+    ignore (Ofp4.Compile.State.apply_delta st [ ("fib", [ (e, 1) ]) ]);
+    lats := ((now () -. t0) *. 1e6) :: !lats;
+    let t0 = now () in
+    ignore (Ofp4.Compile.State.apply_delta st [ ("fib", [ (e, -1) ]) ]);
+    lats := ((now () -. t0) *. 1e6) :: !lats
+  done;
+  let mean, p50, p99 = summarise !lats in
+  (full_ms, mean, p50, p99)
+
+let flows_prog_sized size =
+  { flows_prog with
+    P4.Program.tables =
+      List.map
+        (fun (t : P4.Program.table) -> { t with P4.Program.size })
+        flows_prog.P4.Program.tables }
+
+(* Streaming extraction over a [n]-entry FIB: count flows through
+   [fold_flows] without materialising a flow list.  The switch skips
+   the packet-path matchers — only the table entries matter here. *)
+let measure_flows_stream ~n () =
+  let sw =
+    P4.Switch.create ~name:"bfibstream" ~use_compiled:false
+      (flows_prog_sized (n + (n / 2)))
+  in
+  List.iter (fun e -> P4.Switch.insert_entry sw "fib" e) (flows_entries n);
+  let t0 = now () in
+  let count = Ofp4.Compile.fold_flows sw ~init:0 ~f:(fun c _ -> c + 1) in
+  (count, (now () -. t0) *. 1e3)
+
+(* The gate workload: a 5000-entry FIB and 100 single-entry patch
+   transactions; identical in smoke () and in the recorded baseline. *)
+let flows_incr_smoke_leg () =
+  let sw = flows_switch 5_000 in
+  let st = Ofp4.Compile.State.create sw in
+  let lats = ref [] in
+  for i = 0 to 49 do
+    let e = incr_churn_entry i in
+    let t0 = now () in
+    ignore (Ofp4.Compile.State.apply_delta st [ ("fib", [ (e, 1) ]) ]);
+    lats := ((now () -. t0) *. 1e6) :: !lats;
+    let t0 = now () in
+    ignore (Ofp4.Compile.State.apply_delta st [ ("fib", [ (e, -1) ]) ]);
+    lats := ((now () -. t0) *. 1e6) :: !lats
+  done;
+  let _, p50, _ = summarise !lats in
+  p50
+
+let flows_incr_json () : Ovsdb.Json.t =
+  let full_ms, mean, p50, p99 = measure_flows_incr ~n:100_000 ~ops:50 () in
+  let sc, sms = measure_flows_stream ~n:1_000_000 () in
+  let smoke_p50 = flows_incr_smoke_leg () in
+  Ovsdb.Json.Obj
+    [ ( "fib_100000",
+        Ovsdb.Json.Obj
+          [ ("full_compile_ms", json_num full_ms);
+            ("patch_mean_us", json_num mean);
+            ("patch_p50_us", json_num p50);
+            ("patch_p99_us", json_num p99);
+            ("speedup_p50", json_num (full_ms *. 1e3 /. p50)) ] );
+      ( "stream_1000000",
+        Ovsdb.Json.Obj
+          [ ("flows", Ovsdb.Json.Int (Int64.of_int sc));
+            ("extract_ms", json_num sms) ] );
+      ( "smoke_incr_5000",
+        Ovsdb.Json.Obj [ ("patch_p50_us", json_num smoke_p50) ] ) ]
+
+let exp_flows_incr () =
+  header "EXP-FLOWS-INCR  PR 9 — incremental FDD recompilation"
+    "entry churn should patch the diagram and emit flow deltas, not \
+     recompile 10^5 entries from scratch";
+  let full_ms, mean, p50, p99 = measure_flows_incr ~n:100_000 ~ops:50 () in
+  Printf.printf "fib_100000 single-entry churn (100 patch txns):\n";
+  Printf.printf "  full compile     %10.1f ms\n" full_ms;
+  Printf.printf "  apply_delta mean %10.1f us   p50 %8.1f us   p99 %8.1f us\n"
+    mean p50 p99;
+  Printf.printf "  speedup (p50)    %10.0fx\n" (full_ms *. 1e3 /. p50);
+  let sc, sms = measure_flows_stream ~n:1_000_000 () in
+  Printf.printf
+    "\nstreaming extraction: 10^6-entry FIB -> %d flows in %.0f ms via \
+     fold_flows\n(no flow list materialised).\n"
+    sc sms;
+  Printf.printf
+    "\nshape: patching re-unions only the spine suffix below the churn \
+     point and\nrescans priorities linearly, so a single-entry change costs \
+     microseconds\nwhere the from-scratch compiler costs seconds.\n"
+
 let json_experiments () : (string * Ovsdb.Json.t) list =
   (* Compact between experiments: the DB benchmarks grow the major
      heap, and collections triggered mid-experiment would otherwise
@@ -1531,7 +1678,8 @@ let json_experiments () : (string * Ovsdb.Json.t) list =
       ("smoke_ports_40", fun () -> bench_ports ~n:40 ());
       ("packets", fun () -> packets_json ());
       ("parallel", fun () -> parallel_json ());
-      ("flows", fun () -> flows_json ()) ]
+      ("flows", fun () -> flows_json ());
+      ("flows_incr", fun () -> flows_incr_json ()) ]
 
 (* The regression gate compares the smoke run's dl.commit p50 against
    this recorded baseline.  The relative bound catches real slowdowns;
@@ -1590,6 +1738,23 @@ let gate_json (exps : (string * Ovsdb.Json.t) list) : Ovsdb.Json.t =
       | _ -> 0.)
     | None -> 0.
   in
+  (* The incremental row gates the PR9 work (State.apply_delta): the
+     smoke run repeats the 5000-entry 100-txn patch workload and its
+     p50 must stay within max_regression of this recording.  Patch
+     latency is tens-of-microseconds scale, so the absolute slack
+     absorbs GC and allocator variance. *)
+  let incr_us =
+    match List.assoc_opt "flows_incr" exps with
+    | Some j -> (
+      match
+        Option.bind (Ovsdb.Json.member "smoke_incr_5000" j)
+          (Ovsdb.Json.member "patch_p50_us")
+      with
+      | Some (Ovsdb.Json.Float f) -> f
+      | Some (Ovsdb.Json.Int i) -> Int64.to_float i
+      | _ -> 0.)
+    | None -> 0.
+  in
   Ovsdb.Json.Obj
     [ ("metric", Ovsdb.Json.String "smoke dl.commit.us p50");
       ("smoke_commit_p50_us", json_num smoke_p50);
@@ -1603,13 +1768,16 @@ let gate_json (exps : (string * Ovsdb.Json.t) list) : Ovsdb.Json.t =
       ("packet_abs_slack_ns", json_num 200.0);
       ("flows_compile_ms", json_num flows_ms);
       ("flows_max_regression", json_num 1.6);
-      ("flows_abs_slack_ms", json_num 50.0) ]
+      ("flows_abs_slack_ms", json_num 50.0);
+      ("flows_incr_p50_us", json_num incr_us);
+      ("flows_incr_max_regression", json_num 1.6);
+      ("flows_incr_abs_slack_us", json_num 500.0) ]
 
 let json_report path =
   let exps = json_experiments () in
   let doc =
     Ovsdb.Json.Obj
-      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr8/1");
+      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr9/1");
         ("experiments", Ovsdb.Json.Obj exps);
         ("gate", gate_json exps) ]
   in
@@ -1716,8 +1884,8 @@ let newest_baseline dir =
    recorded in the baseline file; a regression beyond
    p50 * max_regression + abs_slack fails the run (and hence
    `dune runtest`, which invokes the smoke alias). *)
-let smoke_gate ?socket_p50 ?packet_p50 ?flows_ms (baseline_path : string)
-    (measured_p50 : float) =
+let smoke_gate ?socket_p50 ?packet_p50 ?flows_ms ?flows_incr_us
+    (baseline_path : string) (measured_p50 : float) =
   match
     try Some (Ovsdb.Json.of_string (In_channel.with_open_text baseline_path In_channel.input_all))
     with _ -> None
@@ -1781,16 +1949,28 @@ let smoke_gate ?socket_p50 ?packet_p50 ?flows_ms (baseline_path : string)
     | _ ->
       Printf.printf "smoke gate: baseline %s has no packet gate (skipped)\n"
         baseline_path);
-    match
-      ( flows_ms,
-        field "flows_compile_ms",
-        field "flows_max_regression",
-        field "flows_abs_slack_ms" )
-    with
+    (match
+       ( flows_ms,
+         field "flows_compile_ms",
+         field "flows_max_regression",
+         field "flows_abs_slack_ms" )
+     with
     | Some measured, Some base, Some maxr, Some slack when base > 0. ->
       check ~unit:"ms" ~what:"fdd compile 5000" base maxr slack measured
     | _ ->
       Printf.printf "smoke gate: baseline %s has no flows gate (skipped)\n"
+        baseline_path);
+    match
+      ( flows_incr_us,
+        field "flows_incr_p50_us",
+        field "flows_incr_max_regression",
+        field "flows_incr_abs_slack_us" )
+    with
+    | Some measured, Some base, Some maxr, Some slack when base > 0. ->
+      check ~what:"incremental patch 5000" base maxr slack measured
+    | _ ->
+      Printf.printf
+        "smoke gate: baseline %s has no incremental gate (skipped)\n"
         baseline_path)
 
 (* Runs a miniature exp_ports plus the observability overhead check,
@@ -1827,8 +2007,13 @@ let smoke ?baseline () =
   let smoke_flows, flows_ms = flows_smoke_leg () in
   Printf.printf "  fdd compile %8.1f ms for 5000 routes (%d flows)\n" flows_ms
     smoke_flows;
+  (* the incremental leg: the PR 9 gate workload (100 patch txns) *)
+  let flows_incr_us = flows_incr_smoke_leg () in
+  Printf.printf "  incremental patch p50 %8.1f us over 5000 routes\n"
+    flows_incr_us;
   (match baseline with
-  | Some path -> smoke_gate ?socket_p50 ~packet_p50 ~flows_ms path p50
+  | Some path ->
+    smoke_gate ?socket_p50 ~packet_p50 ~flows_ms ~flows_incr_us path p50
   | None -> ());
   if not (obs_overhead ()) then exit 1
 
@@ -1851,6 +2036,7 @@ let experiments =
     ("packets", fun () -> exp_packets ());
     ("parallel", fun () -> exp_parallel ());
     ("flows", fun () -> exp_flows ());
+    ("flows_incr", fun () -> exp_flows_incr ());
     ("micro", fun () -> micro ());
     ("smoke", fun () -> smoke ());
   ]
@@ -1869,12 +2055,12 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | "--json" :: rest ->
-    let path = match rest with p :: _ -> p | [] -> "BENCH_PR8.json" in
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR9.json" in
     json_report path
   | "packets" :: "--json" :: rest ->
     (* the packet numbers land in the full report so the recorded file
        keeps a complete gate section for the smoke baseline *)
-    let path = match rest with p :: _ -> p | [] -> "BENCH_PR8.json" in
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR9.json" in
     json_report path
   | "smoke" :: "--baseline" :: path :: _ ->
     run_experiment "smoke" (fun () -> smoke ~baseline:path ())

@@ -54,12 +54,29 @@ let m_reconciles = Obs.Counter.create "nerpa.reconcile.count"
 let m_corrections = Obs.Counter.create "nerpa.reconcile.corrections"
 let m_resyncs = Obs.Counter.create "nerpa.resync.count"
 let m_resync_corr = Obs.Counter.create "nerpa.resync.corrections"
+let m_flow_deltas = Obs.Counter.create "nerpa.flow.deltas"
+let m_flow_rules = Obs.Counter.create "nerpa.flow.rules"
+let m_flow_resyncs = Obs.Counter.create "nerpa.flow.resyncs"
 let h_sync = Obs.Histogram.create ~unit_:"us" "nerpa.sync"
 let h_write_batch = Obs.Histogram.create ~unit_:"entries" "nerpa.write_batch"
 let h_backoff = Obs.Histogram.create ~unit_:"us" "nerpa.retry.backoff_us"
 let h_reconcile = Obs.Histogram.create ~unit_:"us" "nerpa.reconcile"
 
 module IntSet = Set.Make (Int)
+
+(* An attached incremental flow compiler for one switch: every write
+   batch the driver knows the switch applied is mirrored into the
+   {!Ofp4.Compile.State} as a Z-set delta, and the resulting flow-rule
+   delta is handed to [fp_push].  When a write outcome is ambiguous
+   (the paths that mark the switch dirty) the programmer goes stale and
+   the next successful reconciliation rebuilds the state from the local
+   switch object, pushing the diff wholesale. *)
+type flow_programmer = {
+  fp_switch : P4.Switch.t;
+  mutable fp_state : Ofp4.Compile.State.t;
+  fp_push : Ofp4.Openflow.flow_delta -> unit;
+  mutable fp_stale : bool;
+}
 
 (* Per-switch connection state owned by the driver. *)
 type sw = {
@@ -71,7 +88,73 @@ type sw = {
       (* true when this switch may have missed or misapplied writes
          (link failure, retry exhaustion): schedule a reconcile *)
   mutable sw_seen : IntSet.t;  (* digest list_ids already applied *)
+  mutable sw_fp : flow_programmer option;
 }
+
+(* Every path that marks a switch dirty also invalidates its flow
+   programmer: the delta feed only stays truthful while each applied
+   batch was observed applied. *)
+let mark_dirty (sw : sw) : unit =
+  sw.sw_dirty <- true;
+  match sw.sw_fp with Some fp -> fp.fp_stale <- true | None -> ()
+
+let feed_flow_programmer (sw : sw) (updates : P4runtime.update list) : unit =
+  match sw.sw_fp with
+  | None -> ()
+  | Some fp when fp.fp_stale -> () (* resynced wholesale on reconcile *)
+  | Some fp ->
+    let tbl : (string, (P4.Entry.t * int) list) Hashtbl.t = Hashtbl.create 4 in
+    let order = ref [] in
+    List.iter
+      (fun (u : P4runtime.update) ->
+        match u.entity with
+        | P4runtime.MulticastGroupEntry _ -> ()
+        | P4runtime.TableEntry te ->
+          let table, entry = P4runtime.to_entry sw.sw_info te in
+          let w =
+            match u.utype with
+            | P4runtime.Delete -> -1
+            | P4runtime.Insert | P4runtime.Modify -> 1
+          in
+          (match Hashtbl.find_opt tbl table with
+          | None ->
+            order := table :: !order;
+            Hashtbl.add tbl table [ (entry, w) ]
+          | Some ops -> Hashtbl.replace tbl table ((entry, w) :: ops)))
+      updates;
+    if !order <> [] then begin
+      let deltas =
+        List.rev_map (fun tn -> (tn, List.rev (Hashtbl.find tbl tn))) !order
+      in
+      let d = Ofp4.Compile.State.apply_delta fp.fp_state deltas in
+      let n = Ofp4.Openflow.delta_size d in
+      if n > 0 then begin
+        Obs.Counter.incr m_flow_deltas;
+        Obs.Counter.add m_flow_rules n;
+        fp.fp_push d
+      end
+    end
+
+let resync_flow_programmer (sw : sw) : unit =
+  match sw.sw_fp with
+  | None -> ()
+  | Some fp when not fp.fp_stale -> ()
+  | Some fp ->
+    Obs.Counter.incr m_flow_resyncs;
+    let st = Ofp4.Compile.State.create fp.fp_switch in
+    let d =
+      Ofp4.Openflow.diff
+        ~old_flows:(Ofp4.Compile.State.flows fp.fp_state).Ofp4.Openflow.flows
+        ~new_flows:(Ofp4.Compile.State.flows st).Ofp4.Openflow.flows
+    in
+    fp.fp_state <- st;
+    fp.fp_stale <- false;
+    let n = Ofp4.Openflow.delta_size d in
+    if n > 0 then begin
+      Obs.Counter.incr m_flow_deltas;
+      Obs.Counter.add m_flow_rules n;
+      fp.fp_push d
+    end
 
 type t = {
   mgmt : Links.mgmt_link;
@@ -318,7 +401,7 @@ let step (t : t) (ev : Step.event) : Step.command list =
     sw.sw_up <- true;
     (* the switch may have missed writes (or lost state) while away:
        always resynchronise *)
-    sw.sw_dirty <- true;
+    mark_dirty sw;
     [ Step.Reconcile name ]
 
 (* ---------------- driver: command execution ---------------- *)
@@ -355,19 +438,20 @@ let write_with_retry ?first_result (t : t) (sw : sw)
     match result with
     | Ok (P4runtime.Wire.Write_reply (Ok ())) ->
       Obs.Counter.add m_entries nentries;
-      ignore (Atomic.fetch_and_add t.nentries nentries)
+      ignore (Atomic.fetch_and_add t.nentries nentries);
+      feed_flow_programmer sw updates
     | Ok (P4runtime.Wire.Write_reply (Error msg))
     | Ok (P4runtime.Wire.Error_reply msg) ->
       if n = 0 then error "switch %s rejected updates: %s" sw.sw_name msg
-      else sw.sw_dirty <- true
+      else mark_dirty sw
     | Ok _ -> error "switch %s: protocol mismatch on write" sw.sw_name
     | Error (Transport.Closed _) ->
       (* link down: the reconnect reconciliation will catch it up *)
-      sw.sw_dirty <- true
+      mark_dirty sw
     | Error (Transport.Transient _) ->
       if n + 1 >= t.retry_limit then begin
         Obs.Counter.incr m_retry_gaveup;
-        sw.sw_dirty <- true
+        mark_dirty sw
       end
       else begin
         Obs.Counter.incr m_retries;
@@ -475,15 +559,19 @@ let reconcile_sw (t : t) (sw : sw) : unit =
     if updates <> [] then begin
       Obs.Counter.add m_corrections (List.length updates);
       match send (P4runtime.Wire.Write updates) with
-      | P4runtime.Wire.Write_reply (Ok ()) -> ()
+      | P4runtime.Wire.Write_reply (Ok ()) -> feed_flow_programmer sw updates
       | P4runtime.Wire.Write_reply (Error msg) -> raise (Recon_fail msg)
       | _ -> raise (Recon_fail "protocol mismatch on write")
     end
   with
-  | () -> sw.sw_dirty <- false
+  | () ->
+    sw.sw_dirty <- false;
+    (* the switch now holds exactly the engine's desired entries, so a
+       stale programmer can rebuild from the local switch object *)
+    resync_flow_programmer sw
   | exception Recon_fail _ ->
     (* transient: stay dirty, retried at the next sync *)
-    sw.sw_dirty <- true
+    mark_dirty sw
 
 let exec_command (t : t) (cmd : Step.command) : unit =
   match cmd with
@@ -841,6 +929,7 @@ let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
           sw_up = true;
           sw_dirty = false;
           sw_seen = IntSet.empty;
+          sw_fp = None;
         })
       switches
   in
@@ -912,6 +1001,7 @@ let connect ?(digest_replace = []) ?(max_iterations = 1000)
           sw_up = true;
           sw_dirty = true;  (* unknown remote state: reconcile first *)
           sw_seen = IntSet.empty;
+          sw_fp = None;
         })
       switch_names
   in
@@ -1125,6 +1215,25 @@ let sync (t : t) : int =
 
 (** Force a full reconciliation of one switch (by name). *)
 let reconcile (t : t) (name : string) : unit = reconcile_sw t (find_sw t name)
+
+(* ---------------- incremental flow programming ---------------- *)
+
+let attach_flow_programmer (t : t) (name : string) (psw : P4.Switch.t)
+    ~(push : Ofp4.Openflow.flow_delta -> unit) : unit =
+  let sw = find_sw t name in
+  sw.sw_fp <-
+    Some
+      {
+        fp_switch = psw;
+        fp_state = Ofp4.Compile.State.create psw;
+        fp_push = push;
+        fp_stale = false;
+      }
+
+let flow_pipeline (t : t) (name : string) : Ofp4.Openflow.t option =
+  match (find_sw t name).sw_fp with
+  | None -> None
+  | Some fp -> Some (Ofp4.Compile.State.flows fp.fp_state)
 
 (** Force a management-plane resync on the next sync. *)
 let mark_mgmt_dirty (t : t) : unit = t.mgmt_dirty <- true

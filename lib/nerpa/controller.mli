@@ -146,6 +146,28 @@ val reconcile : t -> string -> unit
     failure leaves the switch marked dirty; the next {!sync} retries.
     @raise Controller_error on an unknown switch name. *)
 
+val attach_flow_programmer :
+  t -> string -> P4.Switch.t -> push:(Ofp4.Openflow.flow_delta -> unit) -> unit
+(** Attach an incremental flow compiler ({!Ofp4.Compile.State}) to the
+    named switch: from now on, every write batch the driver observes the
+    switch apply — sync batches and reconciliation corrections alike —
+    is mirrored into the state as a Z-set delta, and the resulting
+    OpenFlow rule delta is handed to [push].  The state snapshots the
+    switch's current entries at attach time; callers wanting the initial
+    full pipeline read it via {!flow_pipeline}.  When a write outcome is
+    ambiguous (the paths that schedule reconciliation) the feed pauses
+    and the next successful reconciliation rebuilds the state from the
+    switch object, pushing the catch-up as one delta — so [push] always
+    converges to the switch's true compiled pipeline.  Requires the
+    in-process switch object, i.e. a {!create}d controller, not a
+    {!connect}ed one.
+    @raise Controller_error on an unknown switch name. *)
+
+val flow_pipeline : t -> string -> Ofp4.Openflow.t option
+(** The attached flow programmer's current full pipeline, or [None]
+    when no programmer is attached.
+    @raise Controller_error on an unknown switch name. *)
+
 val mark_mgmt_dirty : t -> unit
 (** Force a management-plane resync (snapshot + diff + one corrective
     transaction) at the start of the next {!sync} — what the driver

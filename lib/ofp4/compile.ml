@@ -460,34 +460,69 @@ let entry_fdd ctx schema tname (e : P4.Entry.t) : Fdd.t =
    descending value within a prefix length, losers before winners on
    identical tests — an order in which every union prepends at the
    accumulator's root in O(1), giving an O(n log n) table build. *)
-let table_fdd ctx (tbl : P4.Program.table) : Fdd.t =
-  let schema =
-    match P4.Program.table_key_schema ctx.prog tbl with
-    | Ok s -> s
-    | Error e -> unsupported "%s" e
-  in
-  let entries = P4.Switch.table_entries_ranked ctx.sw tbl.tname in
-  let dflt = Fdd.leaf (dec_id ctx (Dentry (tbl.tname, None))) in
+let table_schema_exn ctx (tbl : P4.Program.table) =
+  match P4.Program.table_key_schema ctx.prog tbl with
+  | Ok s -> s
+  | Error e -> unsupported "%s" e
+
+(* Does the table take the sorted single-LPM build (and, in [State],
+   the spine-splice incremental path)? *)
+let is_single_lpm (tbl : P4.Program.table) =
   match tbl.keys with
-  | [ { P4.Program.kind = P4.Program.Lpm; _ } ] ->
-    let keyed = List.map (fun e -> (entry_tests ctx schema e, e)) entries in
-    let fold_order (ta, ea) (tb, eb) =
-      match (ta, tb) with
-      (* /0 entries test nothing and rank below every real prefix *)
-      | [], [] -> P4.Entry.rank_compare ea eb
-      | [], _ -> -1
-      | _, [] -> 1
-      | a :: _, b :: _ ->
-        let c = Fdd.test_compare ctx.m a b in
-        if c <> 0 then -c else P4.Entry.rank_compare ea eb
-    in
+  | [ { P4.Program.kind = P4.Program.Lpm; _ } ] -> true
+  | _ -> false
+
+(* The single-LPM key of an entry: [None] for /0 (tests nothing).
+   Only meaningful for {!is_single_lpm} tables. *)
+let lpm_key ctx schema (e : P4.Entry.t) : Fdd.test option =
+  match entry_tests ctx schema e with
+  | [] -> None
+  | [ t ] -> Some t
+  | _ -> assert false
+
+(* Fold order of the sorted single-LPM build: coarsest prefix first,
+   losers before winners on equal tests, /0 entries ahead of every real
+   prefix.  Total (zero only for same-match entries), so both the
+   from-scratch fold and the incremental splice agree on placement. *)
+let lpm_fold_order ctx (ta, ea) (tb, eb) =
+  match (ta, tb) with
+  | None, None -> P4.Entry.rank_compare ea eb
+  | None, _ -> -1
+  | _, None -> 1
+  | Some a, Some b ->
+    let c = Fdd.test_compare ctx.m a b in
+    if c <> 0 then -c else P4.Entry.rank_compare ea eb
+
+(* Prepend one entry of a sorted single-LPM fold onto the accumulator:
+   exactly [Fdd.union (entry_fdd e) acc], specialised to the shapes the
+   fold order guarantees (the new test is no coarser than the root, so
+   the union either replaces an equal root test's hi leaf or wraps the
+   whole accumulator).  O(1) instead of a spine walk. *)
+let lpm_push ctx (t : Fdd.test option) (lf : Fdd.t) (acc : Fdd.t) : Fdd.t =
+  match t with
+  | None -> lf
+  | Some t -> (
+    match acc with
+    | Fdd.Node nb when Fdd.test_compare ctx.m t nb.test = 0 ->
+      Fdd.node ctx.m t lf nb.lo
+    | _ -> Fdd.node ctx.m t lf acc)
+
+let table_fdd_of_entries ctx (tbl : P4.Program.table) schema
+    (entries : P4.Entry.t list) : Fdd.t =
+  let dflt = Fdd.leaf (dec_id ctx (Dentry (tbl.tname, None))) in
+  if is_single_lpm tbl then
+    let keyed = List.map (fun e -> (lpm_key ctx schema e, e)) entries in
     List.fold_left
       (fun acc (_, e) -> Fdd.union ctx.m (entry_fdd ctx schema tbl.tname e) acc)
       dflt
-      (List.sort fold_order keyed)
-  | _ ->
+      (List.sort (lpm_fold_order ctx) keyed)
+  else
     let fdds = List.map (entry_fdd ctx schema tbl.tname) entries in
     Fdd.union_all ctx.m (fdds @ [ dflt ])
+
+let table_fdd ctx (tbl : P4.Program.table) : Fdd.t =
+  table_fdd_of_entries ctx tbl (table_schema_exn ctx tbl)
+    (P4.Switch.table_entries_ranked ctx.sw tbl.tname)
 
 let bool_leaf ctx b = Fdd.leaf (dec_id ctx (Dbool b))
 
@@ -587,8 +622,9 @@ let env_add (env : env) (t : Fdd.test) : env =
   in
   SM.add t.tfield (Int64.logor am t.tmask, Int64.logor av t.tvalue) env
 
-let extract_plan ctx out ~table_id ~next (fdd : Fdd.t) : unit =
-  let rows = ref [] in
+(* Walk the diagram's rows in extraction order (hi before lo), calling
+   [k env v] per non-undef leaf.  O(path depth) transient state. *)
+let iter_rows (fdd : Fdd.t) (k : env -> int -> unit) : unit =
   let stack = ref [ (fdd, SM.empty) ] in
   let continue = ref true in
   while !continue do
@@ -597,95 +633,110 @@ let extract_plan ctx out ~table_id ~next (fdd : Fdd.t) : unit =
     | (t, env) :: rest -> (
       stack := rest;
       match t with
-      | Fdd.Leaf v -> if v <> 0 then rows := (env, v) :: !rows
+      | Fdd.Leaf v -> if v <> 0 then k env v
       | Fdd.Node n -> (
         match implied env n.test with
         | `True -> stack := (n.hi, env) :: !stack
         | `False -> stack := (n.lo, env) :: !stack
         | `Open ->
           stack := (n.hi, env_add env n.test) :: (n.lo, env) :: !stack))
-  done;
-  let rows = List.rev !rows in
-  let compiled =
-    List.map
-      (fun (env, v) ->
-        let matches =
-          SM.fold
-            (fun f (m, v) acc ->
-              { Openflow.mfield = f; mvalue = v; mmask = Some m } :: acc)
-            env []
-          |> List.rev
-        in
-        let actions, cookie =
-          match dec_of ctx v with
-          | Dpass ->
-            ( (match next with Some t -> [ Openflow.Goto t ] | None -> []),
-              Printf.sprintf "ctl%d/pass" table_id )
-          | Djump tgt ->
-            ( (match tgt with Some t -> [ Openflow.Goto t ] | None -> []),
-              Printf.sprintf "ctl%d/branch:%s" table_id
-                (match tgt with Some t -> string_of_int t | None -> "end") )
-          | Dbool _ ->
-            unsupported "internal: boolean decision escaped condition folding"
-          | Dentry (tname, dentry) ->
-            let aname, args =
-              match dentry with
-              | Some (e : P4.Entry.t) -> (e.action, e.args)
-              | None -> (find_table_exn ctx.prog tname).default_action
-            in
-            let cookie =
-              match dentry with
-              | Some e -> Printf.sprintf "%s/%s" tname e.action
-              | None -> Printf.sprintf "%s/default:%s" tname aname
-            in
-            (compile_action_body ~prog:ctx.prog ~env ~aname ~args ~next, cookie)
-        in
-        (matches, actions, cookie))
-      rows
+  done
+
+(* One extracted row as flow ingredients: match list, action list,
+   provenance cookie. *)
+let row_payload ctx ~table_id ~next (env : env) (v : int) :
+    Openflow.field_match list * Openflow.action list * string =
+  let matches =
+    SM.fold
+      (fun f (m, v) acc ->
+        { Openflow.mfield = f; mvalue = v; mmask = Some m } :: acc)
+      env []
+    |> List.rev
   in
-  (* Priority minimisation: consecutive rows share a priority when they
-     are pairwise disjoint, witnessed by a shared discriminator — a
-     (field, mask) they all match with pairwise-distinct values.  The
-     number of priority levels is the number of groups, not rules. *)
+  let actions, cookie =
+    match dec_of ctx v with
+    | Dpass ->
+      ( (match next with Some t -> [ Openflow.Goto t ] | None -> []),
+        Printf.sprintf "ctl%d/pass" table_id )
+    | Djump tgt ->
+      ( (match tgt with Some t -> [ Openflow.Goto t ] | None -> []),
+        Printf.sprintf "ctl%d/branch:%s" table_id
+          (match tgt with Some t -> string_of_int t | None -> "end") )
+    | Dbool _ ->
+      unsupported "internal: boolean decision escaped condition folding"
+    | Dentry (tname, dentry) ->
+      let aname, args =
+        match dentry with
+        | Some (e : P4.Entry.t) -> (e.action, e.args)
+        | None -> (find_table_exn ctx.prog tname).default_action
+      in
+      let cookie =
+        match dentry with
+        | Some e -> Printf.sprintf "%s/%s" tname e.action
+        | None -> Printf.sprintf "%s/default:%s" tname aname
+      in
+      (compile_action_body ~prog:ctx.prog ~env ~aname ~args ~next, cookie)
+  in
+  (matches, actions, cookie)
+
+(* Priority minimisation: consecutive rows share a priority when they
+   are pairwise disjoint, witnessed by a shared discriminator — a
+   (field, mask) they all match with pairwise-distinct values.  The
+   number of priority levels is the number of groups, not rules.
+   Returns a stateful per-row classifier yielding the group index. *)
+let group_tracker () : Openflow.field_match list -> int =
   let cur_disc : (string * int64 * (int64, unit) Hashtbl.t) option ref =
     ref None
   in
   let group_idx = ref (-1) in
+  fun matches ->
+    let joined =
+      match !cur_disc with
+      | None -> false
+      | Some (f, m, seen) -> (
+        match
+          List.find_opt
+            (fun (fm : Openflow.field_match) ->
+              String.equal fm.mfield f
+              &&
+              match fm.mmask with
+              | Some mm -> Int64.equal mm m
+              | None -> false)
+            matches
+        with
+        | Some fm when not (Hashtbl.mem seen fm.mvalue) ->
+          Hashtbl.add seen fm.mvalue ();
+          true
+        | _ -> false)
+    in
+    if not joined then begin
+      incr group_idx;
+      match matches with
+      | { Openflow.mfield; mvalue; mmask = Some m } :: _ ->
+        let seen = Hashtbl.create 8 in
+        Hashtbl.add seen mvalue ();
+        cur_disc := Some (mfield, m, seen)
+      | _ -> cur_disc := None
+    end;
+    !group_idx
+
+let extract_plan ctx ~table_id ~next (fdd : Fdd.t)
+    ~(emit : Openflow.flow -> unit) : unit =
+  let rows = ref [] in
+  iter_rows fdd (fun env v -> rows := (env, v) :: !rows);
+  let rows = List.rev !rows in
+  let compiled = List.map (fun (env, v) -> row_payload ctx ~table_id ~next env v) rows in
+  let track = group_tracker () in
+  let last_group = ref (-1) in
   let with_groups =
     List.map
       (fun (matches, actions, cookie) ->
-        let joined =
-          match !cur_disc with
-          | None -> false
-          | Some (f, m, seen) -> (
-            match
-              List.find_opt
-                (fun (fm : Openflow.field_match) ->
-                  String.equal fm.mfield f
-                  &&
-                  match fm.mmask with
-                  | Some mm -> Int64.equal mm m
-                  | None -> false)
-                matches
-            with
-            | Some fm when not (Hashtbl.mem seen fm.mvalue) ->
-              Hashtbl.add seen fm.mvalue ();
-              true
-            | _ -> false)
-        in
-        if not joined then begin
-          incr group_idx;
-          match matches with
-          | { Openflow.mfield; mvalue; mmask = Some m } :: _ ->
-            let seen = Hashtbl.create 8 in
-            Hashtbl.add seen mvalue ();
-            cur_disc := Some (mfield, m, seen)
-          | _ -> cur_disc := None
-        end;
-        (matches, actions, cookie, !group_idx))
+        let g = track matches in
+        last_group := g;
+        (matches, actions, cookie, g))
       compiled
   in
-  let n_groups = !group_idx + 1 in
+  let n_groups = !last_group + 1 in
   (* Suffix merge: extraction specialises the table default per lo-path
      (e.g. [port=1 -> default] above the catch-all default row).  A row
      is redundant when every row below it — including the empty-match
@@ -707,7 +758,7 @@ let extract_plan ctx out ~table_id ~next (fdd : Fdd.t) : unit =
   Array.iteri
     (fun i (matches, actions, cookie, g) ->
       if keep.(i) then
-        Openflow.add_flow out
+        emit
           {
             Openflow.table_id;
             priority = n_groups - 1 - g;
@@ -717,6 +768,47 @@ let extract_plan ctx out ~table_id ~next (fdd : Fdd.t) : unit =
           })
     arr
 
+(* The streaming twin of [extract_plan]: identical output, bounded
+   memory.  Pass A walks the rows once computing the three global facts
+   extraction needs — row count, group count, and the start of the
+   trailing equal-actions run (the suffix merge drops everything in
+   that run but its last row) — keeping only the previous row's action
+   list live.  Pass B re-walks and emits.  Rows are compiled twice;
+   nothing proportional to the row count is ever materialised. *)
+let extract_plan_stream ctx ~table_id ~next (fdd : Fdd.t)
+    ~(emit : Openflow.flow -> unit) : unit =
+  let track = group_tracker () in
+  let n_rows = ref 0 in
+  let last_group = ref (-1) in
+  let run_start = ref 0 in
+  let prev_actions = ref None in
+  iter_rows fdd (fun env v ->
+      let matches, actions, _ = row_payload ctx ~table_id ~next env v in
+      last_group := track matches;
+      (match !prev_actions with
+      | Some pa when pa = actions -> ()
+      | _ -> run_start := !n_rows);
+      prev_actions := Some actions;
+      incr n_rows);
+  let n = !n_rows in
+  let n_groups = !last_group + 1 in
+  let tail_start = !run_start in
+  let track = group_tracker () in
+  let i = ref 0 in
+  iter_rows fdd (fun env v ->
+      let matches, actions, cookie = row_payload ctx ~table_id ~next env v in
+      let g = track matches in
+      if !i < tail_start || !i = n - 1 then
+        emit
+          {
+            Openflow.table_id;
+            priority = n_groups - 1 - g;
+            matches;
+            actions;
+            cookie;
+          };
+      incr i)
+
 (** Compile [sw]'s program and installed entries through forwarding
     decision diagrams: per-table entry folding with shadowed-path
     elimination, [If] support (trivial branches fold into one physical
@@ -724,7 +816,7 @@ let extract_plan ctx out ~table_id ~next (fdd : Fdd.t) : unit =
     priorities assigned per disjointness group.  Ingress tables occupy
     [0, egress_start); egress tables follow and are run once per
     replicated copy by {!Eval}. *)
-let compile (sw : P4.Switch.t) : Openflow.t =
+let prepare (sw : P4.Switch.t) =
   let prog = sw.P4.Switch.program in
   let ing = items_of prog prog.ingress in
   let eg = items_of prog prog.egress in
@@ -739,14 +831,893 @@ let compile (sw : P4.Switch.t) : Openflow.t =
       next_dec = 1;
     }
   in
+  (ctx, ing, eg)
+
+let compile (sw : P4.Switch.t) : Openflow.t =
+  let ctx, ing, eg = prepare sw in
   let n_ing = n_phys ing and n_eg = n_phys eg in
   let plans = ref [] in
   layout ctx plans ing ~first:0 ~next_after:None;
   layout ctx plans eg ~first:n_ing ~next_after:None;
   let out = Openflow.create () in
   List.iter
-    (fun (tid, fdd, next) -> extract_plan ctx out ~table_id:tid ~next fdd)
+    (fun (tid, fdd, next) ->
+      extract_plan ctx ~table_id:tid ~next fdd ~emit:(Openflow.add_flow out))
     (List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !plans);
   out.n_tables <- max out.n_tables (n_ing + n_eg);
   if n_eg > 0 then out.egress_start <- Some n_ing;
   out
+
+(** Fold over the compiled flows without materialising them: diagrams
+    are built as in {!compile}, then extracted via the two-pass
+    streaming path, so a 10^6-entry table compiles in memory bounded by
+    the diagram itself (rows are never collected).  Flow order and
+    content are identical to {!compile}. *)
+let fold_flows (sw : P4.Switch.t) ~(init : 'a) ~(f : 'a -> Openflow.flow -> 'a)
+    : 'a =
+  let ctx, ing, eg = prepare sw in
+  let n_ing = n_phys ing in
+  let plans = ref [] in
+  layout ctx plans ing ~first:0 ~next_after:None;
+  layout ctx plans eg ~first:n_ing ~next_after:None;
+  let acc = ref init in
+  List.iter
+    (fun (tid, fdd, next) ->
+      extract_plan_stream ctx ~table_id:tid ~next fdd
+        ~emit:(fun fl -> acc := f !acc fl))
+    (List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !plans);
+  !acc
+
+(* ---------------- incremental compilation state ---------------- *)
+
+module State = struct
+  (* One extracted row of a single-LPM plan, cached across recompiles.
+     Content (matches/actions/cookie) depends only on the entry and the
+     plan's successor; [lr_flow] is the flow currently emitted for the
+     row ([None] while suppressed by shadowing or the suffix merge). *)
+  type lrow = {
+    lr_matches : Openflow.field_match list;
+    lr_actions : Openflow.action list;
+    lr_cookie : string;
+    lr_disc : int64 option;  (* the single match's mask; None = matchless *)
+    lr_leaf : Fdd.t;  (* interned decision leaf, so spine rebuilds skip
+                         the structural re-hash of the entry *)
+    mutable lr_flow : Openflow.flow option;
+  }
+
+  (* Incremental state of a single-LPM plan: entries in the sorted fold
+     order (coarsest first), the fold's accumulator at every index —
+     each a shared subdiagram of the full spine, so a splice at index k
+     reuses [l_accs.(k-1)] unchanged — and the cached rows.
+
+     The spine is maintained lazily: flow deltas never read it, so
+     churn only records the low-water mark [l_dirty] and the suffix is
+     re-unioned on demand ([force_spine]) when the diagram itself is
+     wanted (differential comparison, compaction roots).
+
+     [l_tail_hi], [l_break] and [l_last] cache the suffix-merge
+     geometry of the last full rescan, letting a single-entry edit that
+     provably preserves the group structure skip the O(rows) rescan:
+     [l_tail_hi] is the entries index of the finest row merged into the
+     tail (-1 when the tail is the bottom row alone), [l_break] the
+     index of the emitted row seq-adjacent to the tail — the row whose
+     removal could extend the merge (-2 when every row is merged) —
+     and [l_last] the bottom row's actions. *)
+  type lstate = {
+    l_tname : string;
+    l_schema : (P4.Program.fref * P4.Program.match_kind * int) list;
+    l_tid : int;
+    l_next : int option;
+    l_dflt : Fdd.t;
+    l_dflt_row : lrow;
+    mutable l_entries : (Fdd.test option * P4.Entry.t) array;
+    mutable l_accs : Fdd.t array;
+    mutable l_rows : lrow array;
+    mutable l_dirty : int;  (* spine valid below this index; max_int = clean *)
+    mutable l_tail_hi : int;
+    mutable l_break : int;
+    mutable l_last : Openflow.action list;
+  }
+
+  type pkind =
+    | Plpm of lstate  (* the plan diagram is exactly this LPM table *)
+    | Pdyn of (unit -> Fdd.t)  (* refold from the current entry mirror *)
+    | Pstatic  (* condition jump table: entries never reach it *)
+
+  type plan = {
+    p_id : int;
+    p_next : int option;
+    p_kind : pkind;
+    mutable p_fdd : Fdd.t;
+    mutable p_flows : Openflow.flow list;
+        (* extraction order; unused for Plpm (rows cache their flows) *)
+  }
+
+  (* Canonical mirror of one table's installed entries in rank order,
+     maintained under the same replace-by-match semantics as
+     [P4.Switch.insert_entry]/[delete_entry]. *)
+  type eholder = {
+    eh_tbl : P4.Program.table;
+    eh_schema : (P4.Program.fref * P4.Program.match_kind * int) list;
+    mutable eh_ranked : P4.Entry.t list;
+  }
+
+  type t = {
+    st_ctx : ctx;
+    st_plans : plan array;  (* indexed by physical table id *)
+    st_holders : (string, eholder) Hashtbl.t;
+    st_members : (string, int list) Hashtbl.t;  (* table -> plan ids *)
+    st_nphys : int;
+    st_egress : int option;
+    st_threshold : int;
+    mutable st_compactions : int;
+    mutable st_swept : int;
+  }
+
+  let mk_lrow ctx ~tname ~next (t : Fdd.test option) (e : P4.Entry.t) : lrow =
+    let leaf = Fdd.leaf (dec_id ctx (Dentry (tname, Some e))) in
+    match t with
+    | None ->
+      {
+        lr_matches = [];
+        lr_actions =
+          compile_action_body ~prog:ctx.prog ~env:SM.empty ~aname:e.action
+            ~args:e.args ~next;
+        lr_cookie = Printf.sprintf "%s/%s" tname e.action;
+        lr_disc = None;
+        lr_leaf = leaf;
+        lr_flow = None;
+      }
+    | Some t ->
+      let env = SM.singleton t.Fdd.tfield (t.Fdd.tmask, t.Fdd.tvalue) in
+      {
+        lr_matches =
+          [ { Openflow.mfield = t.Fdd.tfield; mvalue = t.Fdd.tvalue;
+              mmask = Some t.Fdd.tmask } ];
+        lr_actions =
+          compile_action_body ~prog:ctx.prog ~env ~aname:e.action ~args:e.args
+            ~next;
+        lr_cookie = Printf.sprintf "%s/%s" tname e.action;
+        lr_disc = Some t.Fdd.tmask;
+        lr_leaf = leaf;
+        lr_flow = None;
+      }
+
+  let mk_dflt_row ctx (tbl : P4.Program.table) ~next ~leaf : lrow =
+    let aname, args = tbl.default_action in
+    {
+      lr_matches = [];
+      lr_actions =
+        compile_action_body ~prog:ctx.prog ~env:SM.empty ~aname ~args ~next;
+      lr_cookie = Printf.sprintf "%s/default:%s" tbl.tname aname;
+      lr_disc = None;
+      lr_leaf = leaf;
+      lr_flow = None;
+    }
+
+  (* Recompute groups, the suffix-merge tail, and per-row priorities
+     over the current spine, emitting the difference against each
+     row's cached flow.  Analytic twin of [extract_plan] on the spine
+     shape: one row per non-shadowed entry, finest first, then the
+     matchless bottom row; groups are maximal equal-mask runs.  O(rows)
+     integer work plus flow construction only for rows that change. *)
+  let lpm_rescan ctx (ls : lstate) : Openflow.flow_delta =
+    let n = Array.length ls.l_entries in
+    let adds = ref [] and mods = ref [] and dels = ref [] in
+    let clear (r : lrow) =
+      match r.lr_flow with
+      | Some f ->
+        dels := f :: !dels;
+        r.lr_flow <- None
+      | None -> ()
+    in
+    let seq = Array.make (n + 1) ls.l_dflt_row in
+    let seq_ei = Array.make (n + 1) (-1) in  (* entries index per seq slot *)
+    let k = ref 0 in
+    let has_zero =
+      n > 0 && match ls.l_entries.(0) with None, _ -> true | _ -> false
+    in
+    for i = n - 1 downto 0 do
+      let t, _ = ls.l_entries.(i) in
+      let r = ls.l_rows.(i) in
+      let shadowed =
+        (* an equal-test successor wins the whole test: no row *)
+        i + 1 < n
+        && (match (t, fst ls.l_entries.(i + 1)) with
+           | None, None -> true
+           | Some a, Some b -> Fdd.test_compare ctx.m a b = 0
+           | _ -> false)
+      in
+      if shadowed then clear r
+      else begin
+        seq.(!k) <- r;
+        seq_ei.(!k) <- i;
+        incr k
+      end
+    done;
+    if has_zero then clear ls.l_dflt_row
+    else begin
+      seq.(!k) <- ls.l_dflt_row;
+      incr k
+    end;
+    let k = !k in
+    let gs = Array.make k 0 in
+    let g = ref (-1) in
+    let cur = ref None in
+    for i = 0 to k - 1 do
+      let joined =
+        (* same-mask runs have pairwise-distinct values (equal tests
+           merged above), so sharing the discriminator mask suffices *)
+        match (!cur, seq.(i).lr_disc) with
+        | Some m, Some rm -> Int64.equal m rm
+        | _ -> false
+      in
+      if not joined then begin
+        incr g;
+        cur := seq.(i).lr_disc
+      end;
+      gs.(i) <- !g
+    done;
+    let n_groups = !g + 1 in
+    let last_actions = seq.(k - 1).lr_actions in
+    let tail_start = ref (k - 1) in
+    (try
+       for i = k - 2 downto 0 do
+         if seq.(i).lr_actions = last_actions then tail_start := i
+         else raise Exit
+       done
+     with Exit -> ());
+    ls.l_last <- last_actions;
+    ls.l_tail_hi <- seq_ei.(!tail_start);
+    ls.l_break <- (if !tail_start > 0 then seq_ei.(!tail_start - 1) else -2);
+    for i = 0 to k - 1 do
+      let r = seq.(i) in
+      if i < !tail_start || i = k - 1 then begin
+        let prio = n_groups - 1 - gs.(i) in
+        match r.lr_flow with
+        | Some f when f.Openflow.priority = prio -> ()
+        | Some f ->
+          let nf = { f with Openflow.priority = prio } in
+          mods := (f, nf) :: !mods;
+          r.lr_flow <- Some nf
+        | None ->
+          let nf =
+            {
+              Openflow.table_id = ls.l_tid;
+              priority = prio;
+              matches = r.lr_matches;
+              actions = r.lr_actions;
+              cookie = r.lr_cookie;
+            }
+          in
+          adds := nf :: !adds;
+          r.lr_flow <- Some nf
+      end
+      else clear r
+    done;
+    {
+      Openflow.fd_add = List.rev !adds;
+      fd_mod = List.rev !mods;
+      fd_del = List.rev !dels;
+    }
+
+  let arr_remove arr i =
+    let n = Array.length arr in
+    if n = 1 then [||]
+    else begin
+      let out = Array.make (n - 1) arr.(0) in
+      Array.blit arr 0 out 0 i;
+      Array.blit arr (i + 1) out i (n - i - 1);
+      out
+    end
+
+  let arr_insert arr i x =
+    let n = Array.length arr in
+    let out = Array.make (n + 1) x in
+    Array.blit arr 0 out 0 i;
+    Array.blit arr i out (i + 1) (n - i);
+    out
+
+  (* First index whose entry sorts at-or-after [key] in fold order
+     (total: zero only for same-match entries). *)
+  let lpm_search ctx (ls : lstate) key =
+    let lo = ref 0 and hi = ref (Array.length ls.l_entries) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if lpm_fold_order ctx key ls.l_entries.(mid) > 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  let touch (ls : lstate) i = if i < ls.l_dirty then ls.l_dirty <- i
+
+  (* Rebuild the stale spine suffix — every accumulator at or above the
+     low-water mark, re-unioned onto the untouched shared accumulator
+     below it — and republish the plan diagram.  Deferred off the churn
+     path entirely: only diagram readers pay for it, and a burst of
+     deltas between reads costs one rebuild, not one per delta. *)
+  let force_spine ctx (p : plan) (ls : lstate) =
+    if ls.l_dirty < max_int then begin
+      let n = Array.length ls.l_entries in
+      for i = ls.l_dirty to n - 1 do
+        let t, _ = ls.l_entries.(i) in
+        let prev = if i = 0 then ls.l_dflt else ls.l_accs.(i - 1) in
+        ls.l_accs.(i) <- lpm_push ctx t ls.l_rows.(i).lr_leaf prev
+      done;
+      p.p_fdd <- (if n = 0 then ls.l_dflt else ls.l_accs.(n - 1));
+      ls.l_dirty <- max_int
+    end
+
+  (* O(log n + edit) fast path for a single insert or remove that
+     provably changes no other row: the touched run must persist (a
+     same-mask neighbour remains, so group numbering and every other
+     priority are untouched), no equal-test shadowing may be involved,
+     and the edit must stay strictly finer than the suffix-merge tail
+     without being able to extend it.  Returns [None] — mutating
+     nothing — when any guard fails, and the caller falls back to the
+     full rescan. *)
+  let lpm_fast_one ctx (ls : lstate) ~(remove : bool) (e : P4.Entry.t) :
+      Openflow.flow_delta option =
+    let t = lpm_key ctx ls.l_schema e in
+    match t with
+    | None -> None  (* /0 rows interact with the default row: rescan *)
+    | Some tt ->
+      let mask = tt.Fdd.tmask in
+      let key = (t, e) in
+      let i = lpm_search ctx ls key in
+      let n = Array.length ls.l_entries in
+      let present = i < n && lpm_fold_order ctx key ls.l_entries.(i) = 0 in
+      let eqt j =
+        j >= 0 && j < n
+        && (match fst ls.l_entries.(j) with
+           | Some b -> Fdd.test_compare ctx.m tt b = 0
+           | None -> false)
+      in
+      let same_mask j =
+        j >= 0 && j < n
+        && (match ls.l_rows.(j).lr_disc with
+           | Some m -> Int64.equal m mask
+           | None -> false)
+      in
+      (* an emitted member of the run carries the group's priority;
+         shadowed or merged members are skipped *)
+      let rec run_prio j step =
+        if not (same_mask j) then None
+        else
+          match ls.l_rows.(j).lr_flow with
+          | Some f -> Some f.Openflow.priority
+          | None -> run_prio (j + step) step
+      in
+      if remove then
+        if not present then Some Openflow.delta_empty
+        else begin
+          let r = ls.l_rows.(i) in
+          let eq_prev = eqt (i - 1) and eq_next = eqt (i + 1) in
+          let splice () =
+            ls.l_entries <- arr_remove ls.l_entries i;
+            ls.l_rows <- arr_remove ls.l_rows i;
+            ls.l_accs <- arr_remove ls.l_accs i;
+            touch ls i
+          in
+          if eq_next && (not eq_prev) && r.lr_flow = None then begin
+            (* shadowed by its equal-test successor: invisible *)
+            splice ();
+            if i < ls.l_break then ls.l_break <- ls.l_break - 1;
+            if i <= ls.l_tail_hi then ls.l_tail_hi <- ls.l_tail_hi - 1;
+            Some Openflow.delta_empty
+          end
+          else
+            match r.lr_flow with
+            | Some f
+              when (not eq_prev) && (not eq_next)
+                   && i > ls.l_tail_hi
+                   && i <> ls.l_break
+                   && (same_mask (i - 1) || same_mask (i + 1)) ->
+              splice ();
+              Some { Openflow.delta_empty with Openflow.fd_del = [ f ] }
+            | _ -> None
+        end
+      else if present then begin
+        (* same-match entry installed: replace in place, mirroring
+           [Switch.insert_entry] — position, priority and shadowing
+           state are all unchanged, only the content can differ *)
+        let old = ls.l_rows.(i) in
+        let eq_next = eqt (i + 1) in
+        match old.lr_flow with
+        | None when eq_next ->
+          let row = mk_lrow ctx ~tname:ls.l_tname ~next:ls.l_next t e in
+          ls.l_entries.(i) <- (t, e);
+          ls.l_rows.(i) <- row;
+          touch ls i;
+          Some Openflow.delta_empty
+        | Some f when i > ls.l_tail_hi ->
+          let row = mk_lrow ctx ~tname:ls.l_tname ~next:ls.l_next t e in
+          if i = ls.l_break && row.lr_actions = ls.l_last then None
+          else begin
+            ls.l_entries.(i) <- (t, e);
+            ls.l_rows.(i) <- row;
+            touch ls i;
+            if
+              f.Openflow.actions = row.lr_actions
+              && f.Openflow.cookie = row.lr_cookie
+            then begin
+              row.lr_flow <- Some f;
+              Some Openflow.delta_empty
+            end
+            else begin
+              let nf =
+                { f with Openflow.actions = row.lr_actions;
+                  cookie = row.lr_cookie }
+              in
+              row.lr_flow <- Some nf;
+              Some { Openflow.delta_empty with Openflow.fd_mod = [ (f, nf) ] }
+            end
+          end
+        | _ -> None
+      end
+      else begin
+        let eq_prev = eqt (i - 1) and eq_at = eqt i in
+        if
+          (not eq_prev) && (not eq_at)
+          && i > ls.l_tail_hi
+          && (same_mask (i - 1) || same_mask i)
+        then begin
+          let row = mk_lrow ctx ~tname:ls.l_tname ~next:ls.l_next t e in
+          if row.lr_actions = ls.l_last then None
+          else
+            match
+              (match run_prio (i - 1) (-1) with
+              | Some p -> Some p
+              | None -> run_prio i 1)
+            with
+            | None -> None
+            | Some prio ->
+              ls.l_entries <- arr_insert ls.l_entries i (t, e);
+              ls.l_rows <- arr_insert ls.l_rows i row;
+              ls.l_accs <- arr_insert ls.l_accs i Fdd.undef;
+              touch ls i;
+              if ls.l_break = -2 || i <= ls.l_break then ls.l_break <- i;
+              let nf =
+                {
+                  Openflow.table_id = ls.l_tid;
+                  priority = prio;
+                  matches = row.lr_matches;
+                  actions = row.lr_actions;
+                  cookie = row.lr_cookie;
+                }
+              in
+              row.lr_flow <- Some nf;
+              Some { Openflow.delta_empty with Openflow.fd_add = [ nf ] }
+        end
+        else None
+      end
+
+  let lpm_apply_slow ctx (ls : lstate) (ops : (P4.Entry.t * int) list) :
+      Openflow.flow_delta =
+    let pre = ref [] in  (* flows of rows removed or replaced outright *)
+    let drop_row (r : lrow) =
+      match r.lr_flow with Some f -> pre := f :: !pre | None -> ()
+    in
+    (* ops run in transaction order — a remove after an add of the same
+       match must win, exactly as on the switch *)
+    List.iter
+      (fun ((e : P4.Entry.t), w) ->
+        if w < 0 then begin
+          let key = (lpm_key ctx ls.l_schema e, e) in
+          let i = lpm_search ctx ls key in
+          (* absent entries are a silent no-op, like
+             [Switch.delete_entry] *)
+          if
+            i < Array.length ls.l_entries
+            && lpm_fold_order ctx key ls.l_entries.(i) = 0
+          then begin
+            drop_row ls.l_rows.(i);
+            ls.l_entries <- arr_remove ls.l_entries i;
+            ls.l_rows <- arr_remove ls.l_rows i;
+            ls.l_accs <- arr_remove ls.l_accs i;
+            touch ls i
+          end
+        end
+        else if w > 0 then begin
+          let t = lpm_key ctx ls.l_schema e in
+          let key = (t, e) in
+          let row = mk_lrow ctx ~tname:ls.l_tname ~next:ls.l_next t e in
+          let i = lpm_search ctx ls key in
+          if
+            i < Array.length ls.l_entries
+            && lpm_fold_order ctx key ls.l_entries.(i) = 0
+          then begin
+            (* same-match entry installed: replace in place, mirroring
+               [Switch.insert_entry] *)
+            drop_row ls.l_rows.(i);
+            ls.l_entries.(i) <- (t, e);
+            ls.l_rows.(i) <- row
+          end
+          else begin
+            ls.l_entries <- arr_insert ls.l_entries i (t, e);
+            ls.l_rows <- arr_insert ls.l_rows i row;
+            ls.l_accs <- arr_insert ls.l_accs i Fdd.undef
+          end;
+          touch ls i
+        end)
+      ops;
+    let d = lpm_rescan ctx ls in
+    Openflow.pair_modifies
+      { d with Openflow.fd_del = List.rev !pre @ d.Openflow.fd_del }
+
+  let lpm_apply ctx (ls : lstate) (ops : (P4.Entry.t * int) list) :
+      Openflow.flow_delta =
+    match ops with
+    | [ (e, w) ] when w <> 0 -> (
+      match lpm_fast_one ctx ls ~remove:(w < 0) e with
+      | Some d -> d
+      | None -> lpm_apply_slow ctx ls ops)
+    | _ -> lpm_apply_slow ctx ls ops
+
+  let rebuild_plan st (p : plan) : Openflow.flow_delta =
+    match p.p_kind with
+    | Plpm _ | Pstatic -> assert false
+    | Pdyn rebuild ->
+      let fdd = rebuild () in
+      p.p_fdd <- fdd;
+      let acc = ref [] in
+      extract_plan st.st_ctx ~table_id:p.p_id ~next:p.p_next fdd
+        ~emit:(fun f -> acc := f :: !acc);
+      let nf = List.rev !acc in
+      let d = Openflow.diff ~old_flows:p.p_flows ~new_flows:nf in
+      p.p_flows <- nf;
+      d
+
+  let holder_remove (h : eholder) (e : P4.Entry.t) =
+    h.eh_ranked <-
+      List.filter (fun x -> not (P4.Entry.same_match x e)) h.eh_ranked
+
+  let holder_insert (h : eholder) (e : P4.Entry.t) =
+    let rest =
+      List.filter (fun x -> not (P4.Entry.same_match x e)) h.eh_ranked
+    in
+    let rec ins = function
+      | [] -> [ e ]
+      | x :: tl ->
+        if P4.Entry.rank_compare e x > 0 then e :: x :: tl else x :: ins tl
+    in
+    h.eh_ranked <- ins rest
+
+  let holder ctx holders (tbl : P4.Program.table) =
+    match Hashtbl.find_opt holders tbl.P4.Program.tname with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          eh_tbl = tbl;
+          eh_schema = table_schema_exn ctx tbl;
+          eh_ranked = P4.Switch.table_entries_ranked ctx.sw tbl.tname;
+        }
+      in
+      Hashtbl.add holders tbl.tname h;
+      h
+
+  let member members tname pid =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt members tname) in
+    Hashtbl.replace members tname (cur @ [ pid ])
+
+  (* Mirror of [layout]: same physical table numbering, but each plan
+     records how to recompute its diagram from the entry mirrors. *)
+  let rec layout_plans ctx holders members plans items ~first ~next_after =
+    match items with
+    | [] -> ()
+    | it :: rest ->
+      let sz = item_size it in
+      let next = if rest = [] then next_after else Some (first + sz) in
+      (match it with
+      | ITable tbl when is_single_lpm tbl ->
+        let h = holder ctx holders tbl in
+        let dflt = Fdd.leaf (dec_id ctx (Dentry (tbl.tname, None))) in
+        let keyed =
+          List.sort (lpm_fold_order ctx)
+            (List.map (fun e -> (lpm_key ctx h.eh_schema e, e)) h.eh_ranked)
+        in
+        let entries = Array.of_list keyed in
+        let n = Array.length entries in
+        let rows =
+          Array.map
+            (fun (t, e) -> mk_lrow ctx ~tname:tbl.tname ~next t e)
+            entries
+        in
+        let accs = Array.make n Fdd.undef in
+        for i = 0 to n - 1 do
+          let t, _ = entries.(i) in
+          let prev = if i = 0 then dflt else accs.(i - 1) in
+          accs.(i) <- lpm_push ctx t rows.(i).lr_leaf prev
+        done;
+        let ls =
+          {
+            l_tname = tbl.tname;
+            l_schema = h.eh_schema;
+            l_tid = first;
+            l_next = next;
+            l_dflt = dflt;
+            l_dflt_row = mk_dflt_row ctx tbl ~next ~leaf:dflt;
+            l_entries = entries;
+            l_accs = accs;
+            l_rows = rows;
+            l_dirty = max_int;
+            l_tail_hi = -1;
+            l_break = -2;
+            l_last = [];
+          }
+        in
+        let fdd = if n = 0 then dflt else accs.(n - 1) in
+        plans :=
+          { p_id = first; p_next = next; p_kind = Plpm ls; p_fdd = fdd;
+            p_flows = [] }
+          :: !plans;
+        member members tbl.tname first
+      | ITable tbl ->
+        let h = holder ctx holders tbl in
+        let rebuild () =
+          table_fdd_of_entries ctx h.eh_tbl h.eh_schema h.eh_ranked
+        in
+        plans :=
+          { p_id = first; p_next = next; p_kind = Pdyn rebuild;
+            p_fdd = rebuild (); p_flows = [] }
+          :: !plans;
+        member members tbl.tname first
+      | ICond (cond, a, b) when is_simple a && is_simple b ->
+        let branch = function
+          | [] -> (None, fun () -> Fdd.leaf (dec_id ctx Dpass))
+          | [ ITable tbl ] ->
+            let h = holder ctx holders tbl in
+            ( Some tbl.P4.Program.tname,
+              fun () ->
+                table_fdd_of_entries ctx h.eh_tbl h.eh_schema h.eh_ranked )
+          | _ -> assert false
+        in
+        let na, fa = branch a and nb, fb = branch b in
+        let rebuild () =
+          let da = fa () and db = fb () in
+          Fdd.bind ctx.m (cond_fdd ctx cond) (fun v ->
+              if is_true ctx v then da else db)
+        in
+        plans :=
+          { p_id = first; p_next = next; p_kind = Pdyn rebuild;
+            p_fdd = rebuild (); p_flows = [] }
+          :: !plans;
+        Option.iter (fun tn -> member members tn first) na;
+        Option.iter (fun tn -> member members tn first) nb
+      | ICond (cond, a, b) ->
+        let a_start = first + 1 in
+        let b_start = a_start + n_phys a in
+        let target items' start = if items' = [] then next else Some start in
+        let ja = Fdd.leaf (dec_id ctx (Djump (target a a_start))) in
+        let jb = Fdd.leaf (dec_id ctx (Djump (target b b_start))) in
+        let f =
+          Fdd.bind ctx.m (cond_fdd ctx cond) (fun v ->
+              if is_true ctx v then ja else jb)
+        in
+        plans :=
+          { p_id = first; p_next = None; p_kind = Pstatic; p_fdd = f;
+            p_flows = [] }
+          :: !plans;
+        layout_plans ctx holders members plans a ~first:a_start
+          ~next_after:next;
+        layout_plans ctx holders members plans b ~first:b_start
+          ~next_after:next);
+      layout_plans ctx holders members plans rest ~first:(first + sz)
+        ~next_after
+
+  let create ?(compact_threshold = 1_000_000) (sw : P4.Switch.t) : t =
+    let ctx, ing, eg = prepare sw in
+    let n_ing = n_phys ing and n_eg = n_phys eg in
+    let holders = Hashtbl.create 8 in
+    let members = Hashtbl.create 8 in
+    let plans = ref [] in
+    layout_plans ctx holders members plans ing ~first:0 ~next_after:None;
+    layout_plans ctx holders members plans eg ~first:n_ing ~next_after:None;
+    let plan_arr =
+      Array.of_list
+        (List.sort (fun a b -> Int.compare a.p_id b.p_id) !plans)
+    in
+    Array.iter
+      (fun p ->
+        match p.p_kind with
+        | Plpm ls ->
+          (* the initial rescan installs every row's flow; the delta —
+             all adds — is the full table and is discarded *)
+          ignore (lpm_rescan ctx ls)
+        | Pdyn _ | Pstatic ->
+          let acc = ref [] in
+          extract_plan ctx ~table_id:p.p_id ~next:p.p_next p.p_fdd
+            ~emit:(fun f -> acc := f :: !acc);
+          p.p_flows <- List.rev !acc)
+      plan_arr;
+    {
+      st_ctx = ctx;
+      st_plans = plan_arr;
+      st_holders = holders;
+      st_members = members;
+      st_nphys = n_ing + n_eg;
+      st_egress = (if n_eg > 0 then Some n_ing else None);
+      st_threshold = compact_threshold;
+      st_compactions = 0;
+      st_swept = 0;
+    }
+
+  let node_count st = Fdd.node_count st.st_ctx.m
+  let compactions st = st.st_compactions
+  let swept st = st.st_swept
+
+  let force_spines (st : t) =
+    Array.iter
+      (fun p ->
+        match p.p_kind with
+        | Plpm ls -> force_spine st.st_ctx p ls
+        | Pdyn _ | Pstatic -> ())
+      st.st_plans
+
+  let compact_now (st : t) =
+    (* roots must reflect the current entries, not a stale spine, so
+       the sweep keeps exactly the live diagram *)
+    force_spines st;
+    let roots =
+      Array.to_list (Array.map (fun p -> p.p_fdd) st.st_plans)
+    in
+    st.st_swept <- st.st_swept + Fdd.compact st.st_ctx.m ~roots;
+    (* sweep decisions unreachable from any live leaf; cached default
+       leaves must survive even while a /0 entry hides them *)
+    let live = Hashtbl.create 256 in
+    List.iter
+      (fun r -> List.iter (fun v -> Hashtbl.replace live v ()) (Fdd.leaves r))
+      roots;
+    Array.iter
+      (fun p ->
+        match p.p_kind with
+        | Plpm ls -> (
+          match ls.l_dflt with
+          | Fdd.Leaf v -> Hashtbl.replace live v ()
+          | Fdd.Node _ -> ())
+        | Pdyn _ | Pstatic -> ())
+      st.st_plans;
+    let dead =
+      Hashtbl.fold
+        (fun d i acc -> if Hashtbl.mem live i then acc else (d, i) :: acc)
+        st.st_ctx.dec_ids []
+    in
+    List.iter
+      (fun (d, i) ->
+        Hashtbl.remove st.st_ctx.dec_ids d;
+        Hashtbl.remove st.st_ctx.dec_arr i)
+      dead;
+    st.st_compactions <- st.st_compactions + 1
+
+  let maybe_compact st =
+    if Fdd.node_count st.st_ctx.m > st.st_threshold then compact_now st
+
+  let apply_delta (st : t)
+      (deltas : (string * (P4.Entry.t * int) list) list) :
+      Openflow.flow_delta =
+    let out = ref Openflow.delta_empty in
+    let dirty = Hashtbl.create 4 in
+    List.iter
+      (fun (tname, ops) ->
+        if ops <> [] then begin
+          let h =
+            match Hashtbl.find_opt st.st_holders tname with
+            | Some h -> h
+            | None -> invalid_arg ("Compile.State: unknown table " ^ tname)
+          in
+          let pids =
+            Option.value ~default:[] (Hashtbl.find_opt st.st_members tname)
+          in
+          (* the ranked mirror only feeds [Pdyn] refolds; [Plpm] plans
+             keep their own sorted arrays, so a pure-LPM table skips
+             the O(entries) list maintenance entirely.  Ops run in
+             transaction order: a remove after an add of the same match
+             wins, exactly as on the switch. *)
+          if
+            List.exists
+              (fun pid ->
+                match st.st_plans.(pid).p_kind with
+                | Pdyn _ -> true
+                | Plpm _ | Pstatic -> false)
+              pids
+          then
+            List.iter
+              (fun (e, w) ->
+                if w < 0 then holder_remove h e
+                else if w > 0 then holder_insert h e)
+              ops;
+          List.iter
+            (fun pid ->
+              let p = st.st_plans.(pid) in
+              match p.p_kind with
+              | Plpm ls ->
+                out :=
+                  Openflow.delta_union !out (lpm_apply st.st_ctx ls ops)
+              | Pdyn _ -> Hashtbl.replace dirty pid ()
+              | Pstatic -> ())
+            pids
+        end)
+      deltas;
+    let pids =
+      Hashtbl.fold (fun pid () acc -> pid :: acc) dirty []
+      |> List.sort Int.compare
+    in
+    List.iter
+      (fun pid ->
+        out := Openflow.delta_union !out (rebuild_plan st st.st_plans.(pid)))
+      pids;
+    maybe_compact st;
+    !out
+
+  let flows (st : t) : Openflow.t =
+    let out = Openflow.create () in
+    Array.iter
+      (fun p ->
+        match p.p_kind with
+        | Plpm ls ->
+          (* emit in extraction order so dumps are byte-stable against
+             from-scratch compilation *)
+          let emit (r : lrow) =
+            match r.lr_flow with
+            | Some f -> Openflow.add_flow out f
+            | None -> ()
+          in
+          for i = Array.length ls.l_entries - 1 downto 0 do
+            emit ls.l_rows.(i)
+          done;
+          emit ls.l_dflt_row
+        | Pdyn _ | Pstatic -> List.iter (Openflow.add_flow out) p.p_flows)
+      st.st_plans;
+    out.Openflow.n_tables <- max out.Openflow.n_tables st.st_nphys;
+    out.Openflow.egress_start <- st.st_egress;
+    out
+
+  let diagrams (st : t) : (int * Fdd.t) list =
+    force_spines st;
+    Array.to_list (Array.map (fun p -> (p.p_id, p.p_fdd)) st.st_plans)
+
+  (* Leaf decision ids are interned in first-use order, so they differ
+     between a long-lived state and a fresh compile of the same entries.
+     Rendering spells each leaf out as its decision, giving a
+     representation that is byte-comparable across states. *)
+  let decision_label ctx (v : int) : string =
+    if v = 0 then "undef"
+    else
+      match dec_of ctx v with
+      | Dpass -> "pass"
+      | Djump (Some t) -> Printf.sprintf "jump:%d" t
+      | Djump None -> "jump:end"
+      | Dbool b -> Printf.sprintf "bool:%b" b
+      | Dentry (tname, Some e) ->
+        Printf.sprintf "%s:%s" tname (P4.Entry.to_string e)
+      | Dentry (tname, None) -> Printf.sprintf "%s:default" tname
+
+  let render_diagram ctx (fdd : Fdd.t) : string =
+    let buf = Buffer.create 256 in
+    (* explicit stack: lo spines are as long as the entry count *)
+    let stack = ref [ (fdd, 0) ] in
+    let continue = ref true in
+    while !continue do
+      match !stack with
+      | [] -> continue := false
+      | (t, depth) :: rest -> (
+        stack := rest;
+        let indent = String.make (2 * depth) ' ' in
+        match t with
+        | Fdd.Leaf v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s[%s]\n" indent (decision_label ctx v))
+        | Fdd.Node n ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s?\n" indent (Fdd.test_to_string n.test));
+          stack := (n.hi, depth + 1) :: (n.lo, depth + 1) :: !stack)
+    done;
+    Buffer.contents buf
+
+  let render (st : t) : (int * string) list =
+    force_spines st;
+    Array.to_list
+      (Array.map (fun p -> (p.p_id, render_diagram st.st_ctx p.p_fdd))
+         st.st_plans)
+end

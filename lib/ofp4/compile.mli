@@ -38,3 +38,68 @@ val compile_naive : P4.Switch.t -> Openflow.t
     old [1 + priority + lpm_length] scheme collided ranks across the
     two dimensions), plus a priority-0 miss flow per table.
     @raise Unsupported on conditional control flow. *)
+
+val fold_flows : P4.Switch.t -> init:'a -> f:('a -> Openflow.flow -> 'a) -> 'a
+(** Streaming variant of {!compile}: folds [f] over the flows of each
+    physical table in emission order without materialising a row list —
+    extraction walks each plan diagram twice (once to count rows and
+    groups, once to emit), so a 10^6-entry table compiles in memory
+    bounded by the diagram, not the flow count.  The flow sequence is
+    identical to {!compile}'s.
+    @raise Unsupported on out-of-scope programs. *)
+
+(** Incremental compilation state: keeps each physical table's decision
+    diagram and extracted flows alive between recompiles so that entry
+    churn patches the diagram and emits flow {i deltas} instead of
+    recompiling from scratch.  Single-LPM tables — the common FIB shape
+    — get the fast path: an add/remove splices the sorted fold spine,
+    re-unioning only entries finer than the churn point, and a linear
+    rescan re-derives priorities analytically; other tables refold from
+    a maintained entry mirror.  {!compile} remains the from-scratch
+    oracle the differential tests compare against. *)
+module State : sig
+  type t
+
+  val create : ?compact_threshold:int -> P4.Switch.t -> t
+  (** Snapshot the switch's program and current entries.  The state
+      mirrors entries internally from then on: feed churn through
+      {!apply_delta}; mutating the switch directly desynchronises it.
+      [compact_threshold] (default [1_000_000]) bounds the manager's
+      interned node count; exceeding it after a delta triggers
+      {!Fdd.compact} plus a decision-table sweep.
+      @raise Unsupported on out-of-scope programs. *)
+
+  val apply_delta :
+    t -> (string * (P4.Entry.t * int) list) list -> Openflow.flow_delta
+  (** Apply Z-set-shaped churn — per logical table, [(entry, weight)]
+      with positive weights as inserts and negative as deletes, using
+      the switch's replace-by-match insert semantics — and return the
+      flow delta against the previous state.  Removing an absent entry
+      is a no-op, like [Switch.delete_entry].
+      @raise Invalid_argument on an unknown table name. *)
+
+  val flows : t -> Openflow.t
+  (** The full current pipeline; equal (up to [dump]) to what
+      {!compile} produces from the same entries. *)
+
+  val diagrams : t -> (int * Fdd.t) list
+  (** [(table_id, diagram)] per physical table, for differential
+      comparison against a from-scratch compile. *)
+
+  val render : t -> (int * string) list
+  (** [(table_id, text)] per physical table, with every leaf spelled
+      out as its decision (table entry, default, pass, jump).  Unlike
+      {!diagrams}' raw leaves — whose interned ids depend on first-use
+      order — renderings are byte-comparable across states, so two
+      states over the same entries render identically iff their
+      diagrams are semantically identical. *)
+
+  val node_count : t -> int
+  (** Nodes interned in the state's diagram manager. *)
+
+  val compactions : t -> int
+  (** Times the compaction threshold has been hit. *)
+
+  val swept : t -> int
+  (** Total nodes reclaimed across all compactions. *)
+end

@@ -161,6 +161,65 @@ let size t =
   iter_nodes t (function Node _ -> incr n | Leaf _ -> ());
   !n
 
+let node_count m = Hashtbl.length m.nodes
+let memo_count m = Hashtbl.length m.umemo
+
+let compact m ~roots =
+  Hashtbl.reset m.umemo;
+  let live = Hashtbl.create 4096 in
+  (* one shared seen-set across roots: plan diagrams overlap heavily *)
+  let stack = ref roots in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | x :: rest -> (
+        stack := rest;
+        let i = id x in
+        if not (Hashtbl.mem live i) then begin
+          Hashtbl.add live i ();
+          match x with
+          | Leaf _ -> ()
+          | Node n -> stack := n.hi :: n.lo :: !stack
+        end)
+  done;
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun key n -> if not (Hashtbl.mem live (id n)) then dead := key :: !dead)
+    m.nodes;
+  List.iter (Hashtbl.remove m.nodes) !dead;
+  List.length !dead
+
+(* Structural equality across managers: same tests, same leaf decisions.
+   Iterative with a visited-pair memo so 10^5-long lo spines neither
+   overflow the stack nor blow up on shared subtrees. *)
+let equal a0 b0 =
+  let seen = Hashtbl.create 256 in
+  let stack = ref [ (a0, b0) ] in
+  let ok = ref true in
+  let continue = ref true in
+  while !continue && !ok do
+    match !stack with
+    | [] -> continue := false
+    | (a, b) :: rest -> (
+        stack := rest;
+        let key = (id a, id b) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          match (a, b) with
+          | Leaf x, Leaf y -> if x <> y then ok := false
+          | Node na, Node nb ->
+              if
+                String.equal na.test.tfield nb.test.tfield
+                && Int64.equal na.test.tmask nb.test.tmask
+                && Int64.equal na.test.tvalue nb.test.tvalue
+              then stack := (na.hi, nb.hi) :: (na.lo, nb.lo) :: !stack
+              else ok := false
+          | Leaf _, Node _ | Node _, Leaf _ -> ok := false
+        end)
+  done;
+  !ok
+
 let leaves t =
   let acc = ref [] in
   iter_nodes t (function Leaf v -> acc := v :: !acc | Node _ -> ());

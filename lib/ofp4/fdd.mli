@@ -78,6 +78,28 @@ val bind : manager -> t -> (int -> t) -> t
 (** Number of distinct internal nodes reachable from [t]. *)
 val size : t -> int
 
+(** Nodes currently interned in the manager, reachable or not. *)
+val node_count : manager -> int
+
+(** Entries currently held in the union memo table. *)
+val memo_count : manager -> int
+
+(** [compact m ~roots] clears the union memo and sweeps every interned
+    node not reachable from [roots], returning the number swept.
+    Diagrams reachable from [roots] stay valid (node ids are never
+    reused); any other diagram previously built in [m] must not be
+    used afterwards — re-interning one of its nodes would mint a fresh
+    physical node, breaking id-based memoisation against the stale
+    copy. Called by long-lived incremental compilation state between
+    recompiles. *)
+val compact : manager -> roots:t list -> int
+
+(** Structural equality — same tests and leaf decisions in the same
+    shape — valid across managers (physical ids are ignored).  Used by
+    differential tests to compare incrementally patched diagrams with
+    from-scratch compilations. *)
+val equal : t -> t -> bool
+
 (** Distinct decision ids appearing in [t]'s leaves (including
     {!undef} if reachable), ascending. *)
 val leaves : t -> int list

@@ -59,6 +59,128 @@ let fragment_count (prog : t) =
 let flows_in_table (prog : t) id =
   List.filter (fun f -> f.table_id = id) prog.flows
 
+(* ---------------- flow deltas ---------------- *)
+
+type flow_delta = {
+  fd_add : flow list;
+  fd_mod : (flow * flow) list;
+  fd_del : flow list;
+}
+
+let delta_empty = { fd_add = []; fd_mod = []; fd_del = [] }
+
+let delta_size d =
+  List.length d.fd_add + List.length d.fd_mod + List.length d.fd_del
+
+let delta_union a b =
+  if delta_size b = 0 then a
+  else if delta_size a = 0 then b
+  else
+    {
+      fd_add = a.fd_add @ b.fd_add;
+      fd_mod = a.fd_mod @ b.fd_mod;
+      fd_del = a.fd_del @ b.fd_del;
+    }
+
+(* Pair an add and a delete in the same table over the same match into
+   a modify; already-paired modifies pass through. *)
+let pair_modifies (d : flow_delta) : flow_delta =
+  if d.fd_add = [] || d.fd_del = [] then d
+  else begin
+    let by_match : (int * field_match list, flow list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun f ->
+        let key = (f.table_id, f.matches) in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_match key) in
+        Hashtbl.replace by_match key (cur @ [ f ]))
+      d.fd_del;
+    let mods = ref [] in
+    let adds =
+      List.filter
+        (fun f ->
+          let key = (f.table_id, f.matches) in
+          match Hashtbl.find_opt by_match key with
+          | Some (old :: rest) ->
+              (if rest = [] then Hashtbl.remove by_match key
+               else Hashtbl.replace by_match key rest);
+              mods := (old, f) :: !mods;
+              false
+          | _ -> true)
+        d.fd_add
+    in
+    let dels =
+      List.filter
+        (fun f ->
+          match Hashtbl.find_opt by_match (f.table_id, f.matches) with
+          | Some (old :: rest) when old == f ->
+              (if rest = [] then Hashtbl.remove by_match (f.table_id, f.matches)
+               else Hashtbl.replace by_match (f.table_id, f.matches) rest);
+              true
+          | _ -> false)
+        d.fd_del
+    in
+    { fd_add = adds; fd_mod = d.fd_mod @ List.rev !mods; fd_del = dels }
+  end
+
+let diff ~old_flows ~new_flows : flow_delta =
+  (* multiset difference on whole flows, then pair into modifies *)
+  let counts : (flow, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace counts f
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts f)))
+    old_flows;
+  let adds =
+    List.filter
+      (fun f ->
+        match Hashtbl.find_opt counts f with
+        | Some n when n > 0 ->
+            Hashtbl.replace counts f (n - 1);
+            false
+        | _ -> true)
+      new_flows
+  in
+  let dels =
+    List.filter
+      (fun f ->
+        match Hashtbl.find_opt counts f with
+        | Some n when n > 0 ->
+            Hashtbl.replace counts f (n - 1);
+            true
+        | _ -> false)
+      old_flows
+  in
+  pair_modifies { fd_add = adds; fd_mod = []; fd_del = dels }
+
+let apply_delta (prog : t) (d : flow_delta) =
+  let removals : (flow, int) Hashtbl.t = Hashtbl.create 16 in
+  let want f =
+    Hashtbl.replace removals f
+      (1 + Option.value ~default:0 (Hashtbl.find_opt removals f))
+  in
+  List.iter want d.fd_del;
+  List.iter (fun (old, _) -> want old) d.fd_mod;
+  prog.flows <-
+    List.filter
+      (fun f ->
+        match Hashtbl.find_opt removals f with
+        | Some n when n > 0 ->
+            Hashtbl.replace removals f (n - 1);
+            false
+        | _ -> true)
+      prog.flows;
+  Hashtbl.iter
+    (fun f n ->
+      if n > 0 then
+        invalid_arg
+          (Printf.sprintf "Openflow.apply_delta: flow to delete not present: %d"
+             f.table_id))
+    removals;
+  List.iter (add_flow prog) d.fd_add;
+  List.iter (fun (_, f) -> add_flow prog f) d.fd_mod
+
 (* ---------------- evaluation ---------------- *)
 
 (* Packets for the flow pipeline are symbolic: named fields to values,

@@ -54,6 +54,36 @@ val fragment_count : t -> int
 
 val flows_in_table : t -> int -> flow list
 
+(** {1 Flow deltas}
+
+    The unit of incremental flow programming: what {!Compile.State}
+    emits on entry churn instead of a full table. *)
+
+type flow_delta = {
+  fd_add : flow list;
+  fd_mod : (flow * flow) list;
+      (** [(old, new)] pairs in the same table over the same match —
+          an OpenFlow flow-mod rather than a delete/add pair *)
+  fd_del : flow list;
+}
+
+val delta_empty : flow_delta
+val delta_size : flow_delta -> int
+val delta_union : flow_delta -> flow_delta -> flow_delta
+
+val pair_modifies : flow_delta -> flow_delta
+(** Coalesce an add and a delete in the same table over the same match
+    into a modify; existing modifies pass through. *)
+
+val diff : old_flows:flow list -> new_flows:flow list -> flow_delta
+(** Multiset difference on whole flows; an add and a delete in the same
+    table over the same match pair into a modify. *)
+
+val apply_delta : t -> flow_delta -> unit
+(** Replay a delta in place: remove [fd_del] and modify-olds, then add
+    [fd_add] and modify-news. @raise Invalid_argument when a flow to
+    delete or modify is not present. *)
+
 (** {1 Evaluation} *)
 
 type fpacket = {

@@ -58,14 +58,14 @@ let info (srv : server) = srv.info
 
 (* Convert a wire table entry into the switch's internal form, with full
    validation against P4Info. *)
-let to_switch_entry (srv : server) (te : table_entry) : string * P4.Entry.t =
+let to_entry (info : P4.P4info.t) (te : table_entry) : string * P4.Entry.t =
   let tinfo =
-    match P4.P4info.find_table_by_id srv.info te.table_id with
+    match P4.P4info.find_table_by_id info te.table_id with
     | Some t -> t
     | None -> error "unknown table id %d" te.table_id
   in
   let ainfo =
-    match P4.P4info.find_action_by_id srv.info te.action_id with
+    match P4.P4info.find_action_by_id info te.action_id with
     | Some a -> a
     | None -> error "unknown action id %d" te.action_id
   in
@@ -90,6 +90,9 @@ let to_switch_entry (srv : server) (te : table_entry) : string * P4.Entry.t =
   ( tinfo.table_name,
     { P4.Entry.matches; priority = te.priority;
       action = ainfo.action_name; args = te.action_args } )
+
+let to_switch_entry (srv : server) (te : table_entry) : string * P4.Entry.t =
+  to_entry srv.info te
 
 let apply_update (srv : server) (u : update) : unit =
   match u.entity with

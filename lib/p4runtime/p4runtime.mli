@@ -91,6 +91,14 @@ val modify : table_entry -> update
 val delete : table_entry -> update
 val set_multicast : group:int64 -> ports:int64 list -> update
 
+val to_entry : P4.P4info.t -> table_entry -> string * P4.Entry.t
+(** Resolve a wire entry against P4Info into the switch-internal form:
+    [(table_name, entry)], validating table/action ids, action
+    membership, and match kinds — the same conversion the server applies
+    on write.  Clients use it to mirror their own writes (e.g. to feed
+    an incremental flow compiler with Z-set deltas).
+    @raise Rpc_error on validation failure. *)
+
 (** {1 Wire codec}
 
     Serialized message shapes for the five exchanges the controller

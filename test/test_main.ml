@@ -26,4 +26,5 @@ let () =
       ("equivalence", Test_equivalence.tests);
       ("ofp4", Test_ofp4.tests);
       ("fdd", Test_fdd.tests);
+      ("compile_state", Test_compile_state.tests);
     ]

@@ -1061,6 +1061,90 @@ let parallel_json () : Ovsdb.Json.t =
              results) ) ]
 
 (* ------------------------------------------------------------------ *)
+(* EXP-SHARD: PR 10 — cross-shard relation-exchange latency            *)
+(* ------------------------------------------------------------------ *)
+
+(* An [nshards]-controller in-process fleet (Nerpa.Cluster) over [nsw]
+   switches sharing one management database: after the port config
+   settles, each round injects one MAC-learning frame into a switch and
+   times a full [sync_all] — the digest commit on the owner, the
+   exchange publish, every peer applying the delta, and the dmac
+   rewrites it triggers fleet-wide.  That quiescence time is the
+   cross-shard sync latency the EXP-SHARD table records. *)
+let measure_shard ~nshards ~nsw ~rounds () =
+  let db = Ovsdb.Db.create Snvs.schema in
+  let names = List.init nsw (Printf.sprintf "bsh%02d") in
+  let cl =
+    Nerpa.Cluster.create_local ~digest_replace:Snvs.digest_replace ~nshards ~db
+      ~p4:Snvs.p4 ~rules:Snvs.rules ~switch_names:names ()
+  in
+  List.iter
+    (fun (name, port, tag) ->
+      ignore
+        (Ovsdb.Db.insert_exn db "Port"
+           [ ("name", Ovsdb.Datum.string name);
+             ("port", Ovsdb.Datum.integer (Int64.of_int port));
+             ("mode", Ovsdb.Datum.string "access");
+             ("tag", Ovsdb.Datum.integer (Int64.of_int tag));
+             ("trunks", Ovsdb.Datum.set []) ]))
+    [ ("p1", 1, 10); ("p2", 2, 10) ];
+  ignore (Nerpa.Cluster.sync_all cl);
+  let lats = ref [] in
+  for i = 0 to rounds - 1 do
+    let sw = Nerpa.Cluster.switch cl (List.nth names (i mod nsw)) in
+    ignore
+      (P4.Switch.process sw ~in_port:1
+         (P4.Stdhdrs.ethernet_frame ~dst:0xFFFFFFFFFFFFL
+            ~src:(Int64.of_int (0x020000000000 + i + 1))
+            ~ethertype:0x1234L ~payload:"x"));
+    let t0 = now () in
+    ignore (Nerpa.Cluster.sync_all cl);
+    lats := ((now () -. t0) *. 1e6) :: !lats
+  done;
+  summarise !lats
+
+(* The gate workload: a 3-shard 6-switch fleet and 20 learning rounds;
+   identical in smoke () and in the recorded baseline. *)
+let shard_smoke_leg () =
+  let _, p50, _ = measure_shard ~nshards:3 ~nsw:6 ~rounds:20 () in
+  p50
+
+let exp_shard () =
+  header "EXP-SHARD  PR 10 — cross-shard relation exchange over a sharded fleet"
+    "(sharding experiment recorded in BENCH_PR10.json; a learned MAC must \
+     reach every shard)";
+  Printf.printf "%8s %10s %12s %12s %12s\n" "shards" "switches" "mean(us)"
+    "p50(us)" "p99(us)";
+  List.iter
+    (fun nshards ->
+      let mean, p50, p99 = measure_shard ~nshards ~nsw:6 ~rounds:40 () in
+      Printf.printf "%8d %10d %12.1f %12.1f %12.1f\n" nshards 6 mean p50 p99)
+    [ 1; 2; 3; 6 ];
+  Printf.printf
+    "\nshape: the 1-shard row is the no-exchange baseline; extra shards add \
+     the\npublish + per-peer apply + extra sync rounds of the exchange \
+     protocol, and the\ncost grows with the peer count, not the network \
+     size.\n"
+
+let shard_json () : Ovsdb.Json.t =
+  let rows =
+    List.map
+      (fun nshards ->
+        let mean, p50, p99 = measure_shard ~nshards ~nsw:6 ~rounds:40 () in
+        ( Printf.sprintf "shards_%d" nshards,
+          Ovsdb.Json.Obj
+            [ ("sync_mean_us", Ovsdb.Json.Float mean);
+              ("sync_p50_us", Ovsdb.Json.Float p50);
+              ("sync_p99_us", Ovsdb.Json.Float p99) ] ))
+      [ 1; 2; 3; 6 ]
+  in
+  let smoke_p50 = shard_smoke_leg () in
+  Ovsdb.Json.Obj
+    (rows
+    @ [ ( "smoke_shard_3x6",
+          Ovsdb.Json.Obj [ ("sync_p50_us", Ovsdb.Json.Float smoke_p50) ] ) ])
+
+(* ------------------------------------------------------------------ *)
 (* JSON report: machine-readable numbers for BENCH_PR4.json            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1679,7 +1763,8 @@ let json_experiments () : (string * Ovsdb.Json.t) list =
       ("packets", fun () -> packets_json ());
       ("parallel", fun () -> parallel_json ());
       ("flows", fun () -> flows_json ());
-      ("flows_incr", fun () -> flows_incr_json ()) ]
+      ("flows_incr", fun () -> flows_incr_json ());
+      ("shard", fun () -> shard_json ()) ]
 
 (* The regression gate compares the smoke run's dl.commit p50 against
    this recorded baseline.  The relative bound catches real slowdowns;
@@ -1755,6 +1840,23 @@ let gate_json (exps : (string * Ovsdb.Json.t) list) : Ovsdb.Json.t =
       | _ -> 0.)
     | None -> 0.
   in
+  (* The shard row gates the PR10 work (multi-controller exchange): the
+     smoke run repeats the 3-shard 6-switch learning workload and its
+     fleet-quiescence p50 must stay within max_regression of this
+     recording.  The workload spans three full controllers, so the
+     bounds are the loosest of the gate. *)
+  let shard_us =
+    match List.assoc_opt "shard" exps with
+    | Some j -> (
+      match
+        Option.bind (Ovsdb.Json.member "smoke_shard_3x6" j)
+          (Ovsdb.Json.member "sync_p50_us")
+      with
+      | Some (Ovsdb.Json.Float f) -> f
+      | Some (Ovsdb.Json.Int i) -> Int64.to_float i
+      | _ -> 0.)
+    | None -> 0.
+  in
   Ovsdb.Json.Obj
     [ ("metric", Ovsdb.Json.String "smoke dl.commit.us p50");
       ("smoke_commit_p50_us", json_num smoke_p50);
@@ -1771,13 +1873,16 @@ let gate_json (exps : (string * Ovsdb.Json.t) list) : Ovsdb.Json.t =
       ("flows_abs_slack_ms", json_num 50.0);
       ("flows_incr_p50_us", json_num incr_us);
       ("flows_incr_max_regression", json_num 1.6);
-      ("flows_incr_abs_slack_us", json_num 500.0) ]
+      ("flows_incr_abs_slack_us", json_num 500.0);
+      ("shard_sync_p50_us", json_num shard_us);
+      ("shard_max_regression", json_num 2.0);
+      ("shard_abs_slack_us", json_num 2000.0) ]
 
 let json_report path =
   let exps = json_experiments () in
   let doc =
     Ovsdb.Json.Obj
-      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr9/1");
+      [ ("schema", Ovsdb.Json.String "nerpa-bench-pr10/1");
         ("experiments", Ovsdb.Json.Obj exps);
         ("gate", gate_json exps) ]
   in
@@ -1831,10 +1936,7 @@ let exp_transport ?(n = 200) () =
       (Obs.counter_value "transport.wire.bytes")
   in
   run "direct" (fun () -> Snvs.deploy ());
-  run "wire" (fun () ->
-      Snvs.deploy ~mgmt_link_of:Nerpa.Links.wire_mgmt
-        ~p4_link_of:(fun _ srv -> Nerpa.Links.wire_p4 srv)
-        ());
+  run "wire" (fun () -> Snvs.deploy ~endpoint:Nerpa.Endpoint.wire ());
   (* socket: same workload, but db and switch live behind a real daemon
      (in-process listener threads, out-of-process framing + syscalls).
      One row per wire codec; both use pipelined write batches. *)
@@ -1884,7 +1986,7 @@ let newest_baseline dir =
    recorded in the baseline file; a regression beyond
    p50 * max_regression + abs_slack fails the run (and hence
    `dune runtest`, which invokes the smoke alias). *)
-let smoke_gate ?socket_p50 ?packet_p50 ?flows_ms ?flows_incr_us
+let smoke_gate ?socket_p50 ?packet_p50 ?flows_ms ?flows_incr_us ?shard_us
     (baseline_path : string) (measured_p50 : float) =
   match
     try Some (Ovsdb.Json.of_string (In_channel.with_open_text baseline_path In_channel.input_all))
@@ -1960,17 +2062,28 @@ let smoke_gate ?socket_p50 ?packet_p50 ?flows_ms ?flows_incr_us
     | _ ->
       Printf.printf "smoke gate: baseline %s has no flows gate (skipped)\n"
         baseline_path);
-    match
-      ( flows_incr_us,
-        field "flows_incr_p50_us",
-        field "flows_incr_max_regression",
-        field "flows_incr_abs_slack_us" )
-    with
+    (match
+       ( flows_incr_us,
+         field "flows_incr_p50_us",
+         field "flows_incr_max_regression",
+         field "flows_incr_abs_slack_us" )
+     with
     | Some measured, Some base, Some maxr, Some slack when base > 0. ->
       check ~what:"incremental patch 5000" base maxr slack measured
     | _ ->
       Printf.printf
         "smoke gate: baseline %s has no incremental gate (skipped)\n"
+        baseline_path);
+    match
+      ( shard_us,
+        field "shard_sync_p50_us",
+        field "shard_max_regression",
+        field "shard_abs_slack_us" )
+    with
+    | Some measured, Some base, Some maxr, Some slack when base > 0. ->
+      check ~what:"cross-shard sync 3x6" base maxr slack measured
+    | _ ->
+      Printf.printf "smoke gate: baseline %s has no shard gate (skipped)\n"
         baseline_path)
 
 (* Runs a miniature exp_ports plus the observability overhead check,
@@ -2011,9 +2124,14 @@ let smoke ?baseline () =
   let flows_incr_us = flows_incr_smoke_leg () in
   Printf.printf "  incremental patch p50 %8.1f us over 5000 routes\n"
     flows_incr_us;
+  (* the sharding leg: the PR 10 gate workload (3-shard fleet sync) *)
+  let shard_us = shard_smoke_leg () in
+  Printf.printf "  cross-shard sync p50 %8.1f us over a 3-shard fleet\n"
+    shard_us;
   (match baseline with
   | Some path ->
-    smoke_gate ?socket_p50 ~packet_p50 ~flows_ms ~flows_incr_us path p50
+    smoke_gate ?socket_p50 ~packet_p50 ~flows_ms ~flows_incr_us ~shard_us path
+      p50
   | None -> ());
   if not (obs_overhead ()) then exit 1
 
@@ -2037,6 +2155,7 @@ let experiments =
     ("parallel", fun () -> exp_parallel ());
     ("flows", fun () -> exp_flows ());
     ("flows_incr", fun () -> exp_flows_incr ());
+    ("shard", fun () -> exp_shard ());
     ("micro", fun () -> micro ());
     ("smoke", fun () -> smoke ());
   ]
@@ -2055,12 +2174,12 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | "--json" :: rest ->
-    let path = match rest with p :: _ -> p | [] -> "BENCH_PR9.json" in
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR10.json" in
     json_report path
   | "packets" :: "--json" :: rest ->
     (* the packet numbers land in the full report so the recorded file
        keeps a complete gate section for the smoke baseline *)
-    let path = match rest with p :: _ -> p | [] -> "BENCH_PR9.json" in
+    let path = match rest with p :: _ -> p | [] -> "BENCH_PR10.json" in
     json_report path
   | "smoke" :: "--baseline" :: path :: _ ->
     run_experiment "smoke" (fun () -> smoke ~baseline:path ())

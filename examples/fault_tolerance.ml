@@ -21,18 +21,15 @@ let metric name = Printf.printf "  %-30s %d\n" name (Obs.counter_value name)
 
 let () =
   print_endline "== deploying snvs over a lossy serialized P4Runtime link ==";
-  let ctl_ref = ref None in
   let d =
     Snvs.deploy
-      ~p4_link_of:(fun _name srv ->
-        let link, ctl =
-          Transport.faulty ~seed:42 (Nerpa.Links.wire_p4 srv)
-        in
-        ctl_ref := Some ctl;
-        link)
+      ~endpoint:
+        (Nerpa.Endpoint.faulty_p4 ~seed:42
+           (Nerpa.Endpoint.planes ~mgmt:Nerpa.Endpoint.plane_in_process
+              ~p4_of:(fun _ -> Nerpa.Endpoint.plane_wire)))
       ()
   in
-  let ctl = Option.get !ctl_ref in
+  let ctl = Option.get (Nerpa.Controller.p4_ctl d.controller "snvs0") in
 
   print_endline "administrator: adding ports (writes may drop; sync retries)";
   ignore (Snvs.add_port d ~name:"h1" ~port:1 ~mode:"access" ~tag:10 ~trunks:[]);

@@ -1073,6 +1073,9 @@ let relation_rows eng name : Row.t list =
   check_live eng;
   Store.rows (store eng name)
 
+let relations eng : string list =
+  List.map (fun (d : Ast.rel_decl) -> d.rname) eng.program.Ast.decls
+
 (** Indexed point query: rows of [name] whose columns at [positions]
     equal [key].  Positions are normalised (sorted, deduplicated);
     duplicate positions constrained to conflicting values make the

@@ -78,6 +78,9 @@ val output_deltas : t -> (string * Zset.t) list -> (string * Zset.t) list
 val relation_rows : t -> string -> Row.t list
 (** Current visible contents of a relation (unordered). *)
 
+val relations : t -> string list
+(** All declared relation names, in declaration order. *)
+
 val relation_zset : t -> string -> Zset.t
 val relation_cardinal : t -> string -> int
 

@@ -1,0 +1,205 @@
+(* Multi-controller sharding: wiring a fleet of controllers together,
+   one per shard of a {!Shard_map}.
+
+   Two halves:
+
+   - [shard_endpoint] / [shard_exchange] derive one shard's socket
+     links from a shard map — what [nerpa_cli serve]/[connect] and the
+     multi-process tests use against real [lib/server] daemons;
+
+   - [create_local] is the in-process harness: the same topology
+     (shared management database, per-shard exchange stores, each
+     controller owning its shard's switches) over direct links, with
+     [kill]/[restart] swapping a shard's daemon state out from behind
+     {!Transport.switchable} relays so peers observe ordinary
+     connectivity edges and resync — which is how the convergence and
+     fault tests exercise the cluster deterministically, without
+     processes or sockets. *)
+
+(* ---------------- socket wiring from a shard map ---------------- *)
+
+let shard_endpoint ?(codec = Transport.Binary) ?auth (map : Shard_map.t)
+    ~(shard : int) : Endpoint.t =
+  Endpoint.Planes (Endpoint.shard_planes { Endpoint.map; codec; auth } ~shard)
+
+let shard_exchange ?(codec = Transport.Binary) ?auth (map : Shard_map.t)
+    ~(shard : int) : Controller.exchange =
+  let store k =
+    Links.socket_mgmt ~codec ?auth ~addr:(Shard_map.xrel_addr map k) ()
+  in
+  let peers =
+    List.filter_map
+      (fun k -> if k = shard then None else Some (k, store k))
+      (List.init (Shard_map.nshards map) Fun.id)
+  in
+  { Controller.ex_shard = shard; ex_publish = store shard; ex_peers = peers }
+
+(* ---------------- in-process harness ---------------- *)
+
+(* One shard's "daemon state": its exchange store.  Killed and
+   recreated wholesale on [kill]/[restart]. *)
+type store = { mutable xdb : Ovsdb.Db.t; mutable up : bool }
+
+type member = {
+  shard : int;
+  mutable ctl : Controller.t;
+  mutable switches : (string * P4.Switch.t) list;
+  mutable alive : bool;
+}
+
+(* A switchable relay owned by controller [owner], pointing at shard
+   [target]'s store — the registry lets [kill]/[restart] retarget
+   every link aimed at a store in one sweep. *)
+type lnk = { owner : int; target : int; set : Links.mgmt_link option -> unit }
+
+type local = {
+  map : Shard_map.t;
+  db : Ovsdb.Db.t;  (* the shared management database; survives kills *)
+  p4 : P4.Program.t;
+  rules : string;
+  digest_replace : (string * string list) list;
+  max_iterations : int option;
+  stores : store array;
+  mutable members : member array;
+  mutable links : lnk list;
+}
+
+(* A fresh serving end for one subscriber (or publisher): each link
+   gets its own monitor, as each connection does in [lib/server]. *)
+let store_link (s : store) : Links.mgmt_link =
+  let mon = Ovsdb.Db.add_monitor s.xdb [ (Xrel.table_name, None) ] in
+  Transport.direct (Links.mgmt_handler s.xdb mon)
+
+let mk_link (t : local) ~(owner : int) ~(target : int) : Links.mgmt_link =
+  let link, set = Transport.switchable () in
+  if t.stores.(target).up then set (Some (store_link t.stores.(target)));
+  t.links <- { owner; target; set } :: t.links;
+  link
+
+let fresh_switches (t : local) (shard : int) : (string * P4.Switch.t) list =
+  List.map
+    (fun name -> (name, P4.Switch.create ~name t.p4))
+    (Shard_map.switches_of t.map shard)
+
+let mk_controller (t : local) (shard : int)
+    (switches : (string * P4.Switch.t) list) : Controller.t =
+  let exchange =
+    {
+      Controller.ex_shard = shard;
+      ex_publish = mk_link t ~owner:shard ~target:shard;
+      ex_peers =
+        List.filter_map
+          (fun k ->
+            if k = shard then None else Some (k, mk_link t ~owner:shard ~target:k))
+          (List.init (Shard_map.nshards t.map) Fun.id);
+    }
+  in
+  Controller.create ~digest_replace:t.digest_replace
+    ?max_iterations:t.max_iterations ~exchange ~db:t.db ~p4:t.p4
+    ~rules:t.rules ~switches ()
+
+let create_local ?(digest_replace = []) ?max_iterations ~(nshards : int)
+    ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t) ~(rules : string)
+    ~(switch_names : string list) () : local =
+  if nshards <= 0 then invalid_arg "Cluster.create_local: nshards <= 0";
+  let map =
+    Shard_map.create
+      ~locations:
+        (List.init nshards (fun i -> Shard_map.Dir (Printf.sprintf "(local-%d)" i)))
+      ~switches:switch_names
+  in
+  let t =
+    {
+      map;
+      db;
+      p4;
+      rules;
+      digest_replace;
+      max_iterations;
+      stores =
+        Array.init nshards (fun _ -> { xdb = Xrel.create_db (); up = true });
+      members = [||];
+      links = [];
+    }
+  in
+  t.members <-
+    Array.init nshards (fun shard ->
+        let switches = fresh_switches t shard in
+        { shard; ctl = mk_controller t shard switches; switches; alive = true });
+  t
+
+let map (t : local) = t.map
+let nshards (t : local) = Array.length t.members
+
+let check_shard (t : local) shard =
+  if shard < 0 || shard >= nshards t then
+    invalid_arg (Printf.sprintf "Cluster: no shard %d" shard)
+
+let controller (t : local) (shard : int) : Controller.t =
+  check_shard t shard;
+  t.members.(shard).ctl
+
+let alive (t : local) (shard : int) : bool =
+  check_shard t shard;
+  t.members.(shard).alive
+
+let owner (t : local) (name : string) : int = Shard_map.shard_of t.map name
+
+let switch (t : local) (name : string) : P4.Switch.t =
+  let m = t.members.(owner t name) in
+  if not m.alive then
+    invalid_arg (Printf.sprintf "Cluster.switch: %s's shard %d is down" name m.shard);
+  List.assoc name m.switches
+
+(* Kill one shard: its daemon state (exchange store, hosted switches,
+   controller) is gone; every relay aimed at its store goes down, so
+   live peers observe [Disconnected] and fail over to dirty polling.
+   The shared management database is modelled as external (an OVSDB
+   server of its own) and survives. *)
+let kill (t : local) (shard : int) : unit =
+  check_shard t shard;
+  t.members.(shard).alive <- false;
+  t.stores.(shard).up <- false;
+  List.iter (fun l -> if l.target = shard then l.set None) t.links
+
+(* Restart one shard from nothing: empty store, empty switches, a
+   fresh controller that resyncs the shared database, reset-publishes
+   (clearing any stale rows of the previous incarnation) and
+   snapshot-resyncs every peer.  Peers' relays are retargeted, which
+   queues the reconnect edges that make THEM resync this store. *)
+let restart (t : local) (shard : int) : unit =
+  check_shard t shard;
+  if t.members.(shard).alive then
+    invalid_arg (Printf.sprintf "Cluster.restart: shard %d is alive" shard);
+  t.stores.(shard).xdb <- Xrel.create_db ();
+  t.stores.(shard).up <- true;
+  (* the dead incarnation's own relays are garbage now *)
+  t.links <- List.filter (fun l -> l.owner <> shard) t.links;
+  List.iter
+    (fun l -> if l.target = shard then l.set (Some (store_link t.stores.(shard))))
+    t.links;
+  let m = t.members.(shard) in
+  m.switches <- fresh_switches t shard;
+  m.ctl <- mk_controller t shard m.switches;
+  Controller.mark_mgmt_dirty m.ctl;
+  m.alive <- true
+
+(* Drive every live controller round-robin until a full round commits
+   nothing anywhere — each controller's own {!Controller.sync} already
+   quiesces its planes, but a publication flushed by one shard is only
+   consumed by the others' NEXT sync, so fleet-wide quiescence takes a
+   few rounds.  Returns the total transactions committed. *)
+let sync_all ?(max_rounds = 100) (t : local) : int =
+  let rec go rounds total =
+    if rounds = 0 then
+      failwith
+        (Printf.sprintf
+           "Cluster.sync_all: fleet did not quiesce in %d rounds" max_rounds);
+    let round =
+      Array.fold_left
+        (fun acc m -> if m.alive then acc + Controller.sync m.ctl else acc)
+        0 t.members
+    in
+    if round > 0 then go (rounds - 1) (total + round) else total
+  in
+  go max_rounds 0

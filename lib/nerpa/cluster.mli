@@ -1,0 +1,80 @@
+(** Multi-controller sharding: wiring a fleet of controllers together,
+    one per shard of a {!Shard_map}.
+
+    The socket half derives one shard's endpoint and exchange links
+    from a shard map, toward real [lib/server] daemons.  The [local]
+    half is the in-process harness the convergence and fault tests
+    use: the same topology — shared management database, per-shard
+    exchange stores, each controller owning its shard's switches —
+    over direct links, with {!kill}/{!restart} swapping a shard's
+    daemon state out from behind {!Transport.switchable} relays so
+    peers observe ordinary connectivity edges and resync, all
+    deterministically and without processes or sockets. *)
+
+(** {1 Socket wiring from a shard map} *)
+
+val shard_endpoint :
+  ?codec:Transport.codec -> ?auth:string -> Shard_map.t -> shard:int ->
+  Endpoint.t
+(** The per-plane endpoint shard [shard]'s controller connects with:
+    the shared management database at shard 0's daemon, each owned
+    switch at its own daemon (see {!Endpoint.shard_planes}). *)
+
+val shard_exchange :
+  ?codec:Transport.codec -> ?auth:string -> Shard_map.t -> shard:int ->
+  Controller.exchange
+(** The exchange attachment for shard [shard]: a publish link to its
+    own store and a subscription link per peer store, all sockets
+    derived from the map's layout. *)
+
+(** {1 In-process harness} *)
+
+type local
+
+val create_local :
+  ?digest_replace:(string * string list) list ->
+  ?max_iterations:int ->
+  nshards:int ->
+  db:Ovsdb.Db.t ->
+  p4:P4.Program.t ->
+  rules:string ->
+  switch_names:string list ->
+  unit ->
+  local
+(** An [nshards]-controller fleet over [switch_names] (assigned by the
+    shard map's deterministic round-robin), every controller running
+    the same [p4]/[rules] against the shared [db].  Each shard hosts
+    its own switches and exchange store.
+    @raise Invalid_argument on [nshards <= 0] or duplicate names. *)
+
+val map : local -> Shard_map.t
+val nshards : local -> int
+
+val controller : local -> int -> Controller.t
+(** The named shard's current controller (replaced by {!restart}). *)
+
+val alive : local -> int -> bool
+val owner : local -> string -> int
+
+val switch : local -> string -> P4.Switch.t
+(** The named switch's current live object, for traffic injection.
+    @raise Invalid_argument while its shard is down. *)
+
+val kill : local -> int -> unit
+(** Take one shard down: controller, hosted switches and exchange
+    store are lost, and every peer's link to the store drops.  The
+    shared management database is modelled as an external OVSDB
+    server and survives. *)
+
+val restart : local -> int -> unit
+(** Restart a killed shard from nothing: fresh store, fresh (empty)
+    switches, a fresh controller that resyncs the shared database,
+    reset-publishes its store and snapshot-resyncs every peer, while
+    peers observe reconnect edges and resync the store in turn.
+    Learned state behind the shard returns once traffic re-learns it.
+    @raise Invalid_argument if the shard is alive. *)
+
+val sync_all : ?max_rounds:int -> local -> int
+(** Round-robin {!Controller.sync} over live members until a full
+    round commits no transaction anywhere; returns the total
+    committed.  @raise Failure after [max_rounds] (default 100). *)

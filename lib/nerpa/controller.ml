@@ -57,6 +57,10 @@ let m_resync_corr = Obs.Counter.create "nerpa.resync.corrections"
 let m_flow_deltas = Obs.Counter.create "nerpa.flow.deltas"
 let m_flow_rules = Obs.Counter.create "nerpa.flow.rules"
 let m_flow_resyncs = Obs.Counter.create "nerpa.flow.resyncs"
+let m_xpublishes = Obs.Counter.create "nerpa.exchange.publishes"
+let m_xrows_out = Obs.Counter.create "nerpa.exchange.rows_published"
+let m_xrows_in = Obs.Counter.create "nerpa.exchange.rows_applied"
+let m_xresyncs = Obs.Counter.create "nerpa.exchange.resyncs"
 let h_sync = Obs.Histogram.create ~unit_:"us" "nerpa.sync"
 let h_write_batch = Obs.Histogram.create ~unit_:"entries" "nerpa.write_batch"
 let h_backoff = Obs.Histogram.create ~unit_:"us" "nerpa.retry.backoff_us"
@@ -156,6 +160,45 @@ let resync_flow_programmer (sw : sw) : unit =
       fp.fp_push d
     end
 
+(* ---------------- cross-shard exchange state ---------------- *)
+
+(* A sharded fleet exchanges its data-plane-learned relations (the
+   digest-fed inputs) through per-shard exchange stores ({!Xrel}):
+   each controller publishes its own contributions to its own shard's
+   store and subscribes to every peer's store over the ordinary
+   monitor machinery, so the exchange inherits the codec, pipelining
+   and resync semantics of the management plane.  [exchange] is the
+   wiring — built by [Cluster] (socket links derived from a shard
+   map, or direct links in the in-process harness). *)
+type exchange = {
+  ex_shard : int;  (* this controller's shard id *)
+  ex_publish : Links.mgmt_link;  (* own shard's exchange store *)
+  ex_peers : (int * Links.mgmt_link) list;  (* peer stores, by shard *)
+}
+
+(* A mirrored claim: one row some peer's store publishes.  [xm_active]
+   is whether the row currently contributes to the engine — a fresher
+   learn for the same key suppresses a claim without dropping it (the
+   peer's store still holds the row), which is what stops a later
+   snapshot resync from resurrecting displaced state. *)
+type xclaim = { xm_row : Row.t; mutable xm_active : bool }
+
+type xstate = {
+  xc : exchange;
+  x_rels : (string, unit) Hashtbl.t;  (* exchanged relation names *)
+  x_local : (string * string, Row.t) Hashtbl.t;
+      (* (rel, row text): this shard's own published contributions *)
+  x_mirror : (int * string * string, xclaim) Hashtbl.t;
+      (* (peer shard, rel, row text): what each peer's store holds *)
+  mutable x_queue : (string * string * int) list;
+      (* publish deltas not yet flushed, newest first *)
+  mutable x_pub_dirty : bool;
+      (* full reset-publish needed (startup, or a publish-link
+         reconnect: the store may be fresh, or hold stale rows of a
+         previous incarnation) *)
+  x_peer_dirty : (int, bool) Hashtbl.t;  (* peer needs a snapshot resync *)
+}
+
 type t = {
   mgmt : Links.mgmt_link;
   mgmt_ctl : Transport.ctl option;
@@ -170,6 +213,7 @@ type t = {
   mappings : Codegen.mapping list;
   input_rel_of_table : (string * Ast.rel_decl) list; (* OVSDB table -> decl *)
   digest_rel_of_name : (string * Ast.rel_decl) list; (* digest name -> decl *)
+  exchange : xstate option;  (* cross-shard exchange, when clustered *)
   sws : sw list;
   (* When a pool with workers is attached, the driver services the
      switch links as parallel tasks — polls, per-switch command
@@ -233,6 +277,43 @@ let merge_deltas (acc : (string * Zset.t) list) (ds : (string * Zset.t) list) :
       | Some z0 -> (rel, Zset.union z0 z) :: List.remove_assoc rel acc
       | None -> (rel, z) :: acc)
     acc ds
+
+(* Record one commit's digest-relation deltas for cross-shard
+   publication.  +row: a genuinely new local learn (an insert the
+   engine absorbed silently never shows up in commit deltas) — claim
+   it and queue its publication.  -row: a last-writer-wins
+   displacement; when the victim was our own claim, queue its
+   retraction toward the fleet; when it was a peer's, suppress that
+   claim (see [xclaim]). *)
+let exchange_capture (t : t) (deltas : (string * Zset.t) list) : unit =
+  match t.exchange with
+  | None -> ()
+  | Some xs ->
+    List.iter
+      (fun (rel, dz) ->
+        if Hashtbl.mem xs.x_rels rel then
+          Zset.iter
+            (fun row w ->
+              let text = Xrel.row_text row in
+              if w > 0 then begin
+                if not (Hashtbl.mem xs.x_local (rel, text)) then begin
+                  Hashtbl.replace xs.x_local (rel, text) row;
+                  xs.x_queue <- (rel, text, 1) :: xs.x_queue
+                end
+              end
+              else if Hashtbl.mem xs.x_local (rel, text) then begin
+                Hashtbl.remove xs.x_local (rel, text);
+                xs.x_queue <- (rel, text, -1) :: xs.x_queue
+              end
+              else
+                List.iter
+                  (fun (s, _) ->
+                    match Hashtbl.find_opt xs.x_mirror (s, rel, text) with
+                    | Some c -> c.xm_active <- false
+                    | None -> ())
+                  xs.xc.ex_peers)
+            dz)
+      deltas
 
 (* Translate one commit's deltas into per-switch write batches.
    Deletions first so that an entry whose action arguments changed is
@@ -379,6 +460,7 @@ let step_digest_lists (t : t) (sw : sw)
           t.ntxns <- t.ntxns + 1;
           Obs.Counter.incr m_txns;
           t.iter_deltas <- merge_deltas t.iter_deltas deltas;
+          exchange_capture t deltas;
           write_commands t deltas @ [ Step.Ack (sw.sw_name, dl.list_id) ]
       end)
     dls
@@ -768,6 +850,198 @@ let mgmt_resync (t : t) : unit =
   | Ok _ -> error "management link: protocol mismatch on resync"
   | Error _ -> ()
 
+(* ---------------- driver: cross-shard exchange ---------------- *)
+
+(* Apply signed (shard, rel, row text, ±1) exchange deltas to the
+   engine as one transaction.  An insert is the freshest information
+   about its key, so it displaces whatever same-key rows the engine
+   holds — retracting our own claim toward the fleet, suppressing a
+   peer's.  A retraction removes the row only when the retracting
+   peer's claim is the one the engine is actually carrying. *)
+let exchange_apply (t : t) (xs : xstate)
+    (deltas : (int * string * string * int) list) : unit =
+  let deltas =
+    List.filter (fun (_, rel, _, _) -> Hashtbl.mem xs.x_rels rel) deltas
+  in
+  if deltas <> [] then begin
+    let txn = Engine.transaction t.engine in
+    (* same-key rows inserted earlier in this same transaction: the
+       engine query below only sees committed state *)
+    let fresh = Hashtbl.create 8 in
+    let displace rel row old =
+      if not (Row.equal old row) then begin
+        Engine.delete txn rel old;
+        let otext = Xrel.row_text old in
+        if Hashtbl.mem xs.x_local (rel, otext) then begin
+          Hashtbl.remove xs.x_local (rel, otext);
+          xs.x_queue <- (rel, otext, -1) :: xs.x_queue
+        end
+        else
+          List.iter
+            (fun (s, _) ->
+              match Hashtbl.find_opt xs.x_mirror (s, rel, otext) with
+              | Some c -> c.xm_active <- false
+              | None -> ())
+            xs.xc.ex_peers
+      end
+    in
+    List.iter
+      (fun (shard, rel, text, w) ->
+        let row =
+          try Xrel.row_of_text t.program rel text
+          with Failure msg -> error "exchange: %s" msg
+        in
+        if w > 0 then begin
+          (match List.assoc_opt rel t.digest_replace with
+          | None -> ()
+          | Some idxs ->
+            let key = List.map (Row.get row) idxs in
+            List.iter (displace rel row)
+              (Engine.query t.engine rel ~positions:idxs ~key);
+            (match Hashtbl.find_opt fresh (rel, key) with
+            | Some prev -> displace rel row prev
+            | None -> ());
+            Hashtbl.replace fresh (rel, key) row);
+          Engine.insert txn rel row;
+          Obs.Counter.incr m_xrows_in;
+          Hashtbl.replace xs.x_mirror (shard, rel, text)
+            { xm_row = row; xm_active = true }
+        end
+        else
+          match Hashtbl.find_opt xs.x_mirror (shard, rel, text) with
+          | None -> ()
+          | Some c ->
+            Hashtbl.remove xs.x_mirror (shard, rel, text);
+            if c.xm_active && not (Hashtbl.mem xs.x_local (rel, text)) then
+              Engine.delete txn rel row)
+      deltas;
+    let ds = Engine.commit txn in
+    if ds <> [] then begin
+      t.ntxns <- t.ntxns + 1;
+      Obs.Counter.incr m_txns;
+      t.iter_deltas <- merge_deltas t.iter_deltas ds;
+      exec_commands t (write_commands t ds)
+    end
+  end
+
+(* Full snapshot resync against one peer's store (first contact, and
+   any reconnect edge): diff the snapshot against the mirror and apply
+   only the difference.  A row present on both sides is untouched —
+   in particular a suppressed claim is not re-applied, so state we
+   deliberately displaced cannot resurrect through a resync. *)
+let exchange_resync (t : t) (xs : xstate) (shard : int)
+    (link : Links.mgmt_link) : unit =
+  Obs.Counter.incr m_xresyncs;
+  match Transport.send link Links.Resync with
+  | Ok (Links.Snapshot snap) ->
+    ignore (Transport.events link);
+    let present = Hashtbl.create 64 in
+    List.iter
+      (fun (s, rel, text, w) ->
+        if s = shard && w > 0 then Hashtbl.replace present (rel, text) ())
+      (Xrel.deltas_of_updates snap);
+    let gone =
+      Hashtbl.fold
+        (fun (s, rel, text) _ acc ->
+          if s = shard && not (Hashtbl.mem present (rel, text)) then
+            (s, rel, text, -1) :: acc
+          else acc)
+        xs.x_mirror []
+    in
+    let fresh =
+      Hashtbl.fold
+        (fun (rel, text) () acc ->
+          if Hashtbl.mem xs.x_mirror (shard, rel, text) then acc
+          else (shard, rel, text, 1) :: acc)
+        present []
+    in
+    exchange_apply t xs (gone @ fresh);
+    Hashtbl.replace xs.x_peer_dirty shard false
+  | Ok _ -> error "exchange link: protocol mismatch on resync"
+  | Error _ -> () (* stays dirty; retried next iteration *)
+
+(* Push queued publications to our own shard's store.  A reconnect
+   edge on the publish link escalates to a reset-publish of the full
+   local contribution set: the store may be a freshly restarted
+   daemon's (our incremental deltas would be meaningless there) or may
+   still hold a previous incarnation's rows, which the reset clears —
+   stale state cannot survive a controller restart. *)
+let flush_publish (xs : xstate) : unit =
+  if List.mem Transport.Connected (Transport.events xs.xc.ex_publish) then
+    xs.x_pub_dirty <- true;
+  if xs.x_pub_dirty || xs.x_queue <> [] then begin
+    let reset = xs.x_pub_dirty in
+    let deltas =
+      if reset then
+        Hashtbl.fold
+          (fun (rel, text) _ acc -> (rel, text, 1) :: acc)
+          xs.x_local []
+      else List.rev xs.x_queue
+    in
+    let order = ref [] and by_rel = Hashtbl.create 4 in
+    List.iter
+      (fun (rel, text, w) ->
+        match Hashtbl.find_opt by_rel rel with
+        | Some r -> r := (text, w) :: !r
+        | None ->
+          order := rel :: !order;
+          Hashtbl.add by_rel rel (ref [ (text, w) ]))
+      deltas;
+    let pub_rows =
+      List.rev_map (fun rel -> (rel, List.rev !(Hashtbl.find by_rel rel))) !order
+    in
+    match
+      Transport.send xs.xc.ex_publish
+        (Links.Publish
+           { Links.pub_shard = xs.xc.ex_shard; pub_reset = reset; pub_rows })
+    with
+    | Ok Links.Pub_ok ->
+      Obs.Counter.incr m_xpublishes;
+      Obs.Counter.add m_xrows_out (List.length deltas);
+      xs.x_queue <- [];
+      (* if this send itself reconnected, an incremental publish may
+         have landed on a fresh store: reset on the next flush *)
+      xs.x_pub_dirty <-
+        (not reset)
+        && List.mem Transport.Connected (Transport.events xs.xc.ex_publish)
+    | Ok _ -> error "exchange link: protocol mismatch on publish"
+    | Error _ -> () (* queue kept; retried next iteration *)
+  end
+
+(* One exchange round, run every sync iteration: ingest every peer
+   (incremental poll, or snapshot resync on first contact and after
+   any reconnect edge), then flush our own queued publications. *)
+let exchange_step (t : t) : unit =
+  match t.exchange with
+  | None -> ()
+  | Some xs ->
+    List.iter
+      (fun (shard, link) ->
+        if List.mem Transport.Connected (Transport.events link) then
+          Hashtbl.replace xs.x_peer_dirty shard true;
+        if Hashtbl.find_opt xs.x_peer_dirty shard = Some true then
+          exchange_resync t xs shard link
+        else
+          match Transport.send link Links.Poll_monitor with
+          | Ok (Links.Batches bs) ->
+            if List.mem Transport.Connected (Transport.events link) then begin
+              (* the poll straddled a reconnect: distrust it *)
+              Hashtbl.replace xs.x_peer_dirty shard true;
+              exchange_resync t xs shard link
+            end
+            else
+              List.iter
+                (fun b ->
+                  exchange_apply t xs
+                    (List.filter
+                       (fun (s, _, _, _) -> s = shard)
+                       (Xrel.deltas_of_updates b)))
+                bs
+          | Ok _ -> error "exchange link: protocol mismatch on poll"
+          | Error _ -> Hashtbl.replace xs.x_peer_dirty shard true)
+      xs.xc.ex_peers;
+    flush_publish xs
+
 (* ---------------- construction ---------------- *)
 
 (* Generate + parse + assemble the program and resolve the relation
@@ -837,10 +1111,11 @@ let resolve_mgmt (tr : Endpoint.transport)
         let db, mon = Lazy.force l in
         (Links.wire_mgmt db mon, None)
       | None -> error "endpoint: Wire management plane needs a local database")
-    | Endpoint.Socket (path, codec) -> (Links.socket_mgmt ~codec ~path (), None)
-    | Endpoint.Faulty (seed, inner) ->
+    | Endpoint.Socket { addr; codec; auth } ->
+      (Links.socket_mgmt ~codec ?auth ~addr (), None)
+    | Endpoint.Faulty { seed; faults; inner } ->
       let link, _inner_ctl = go inner in
-      let link, ctl = Transport.faulty ~seed link in
+      let link, ctl = Transport.faulty ~seed ?faults link in
       (link, Some ctl)
   in
   go tr
@@ -860,10 +1135,11 @@ let resolve_p4 (tr : Endpoint.transport) ~(name : string)
       | Some srv -> (Links.wire_p4 srv, None)
       | None ->
         error "endpoint: Wire plane for switch %s needs a local switch" name)
-    | Endpoint.Socket (path, codec) -> (Links.socket_p4 ~codec ~path (), None)
-    | Endpoint.Faulty (seed, inner) ->
+    | Endpoint.Socket { addr; codec; auth } ->
+      (Links.socket_p4 ~codec ?auth ~addr (), None)
+    | Endpoint.Faulty { seed; faults; inner } ->
       let link, _inner_ctl = go inner in
-      let link, ctl = Transport.faulty ~seed link in
+      let link, ctl = Transport.faulty ~seed ?faults link in
       (link, Some ctl)
   in
   go tr
@@ -874,17 +1150,44 @@ let check_limits ~max_iterations ~retry_limit =
   if retry_limit <= 0 then
     error "retry_limit must be positive (got %d)" retry_limit
 
+(* Initial exchange bookkeeping: every digest-fed input relation is
+   exchanged; every peer starts dirty (first contact is a snapshot
+   resync) and the first publish resets, clearing any rows a previous
+   incarnation of this shard left in the store. *)
+let make_xstate (exchange : exchange option) digest_rel_of_name :
+    xstate option =
+  Option.map
+    (fun xc ->
+      let x_rels = Hashtbl.create 4 in
+      List.iter
+        (fun (_, (d : Ast.rel_decl)) -> Hashtbl.replace x_rels d.Ast.rname ())
+        digest_rel_of_name;
+      let x_peer_dirty = Hashtbl.create 4 in
+      List.iter (fun (s, _) -> Hashtbl.replace x_peer_dirty s true) xc.ex_peers;
+      {
+        xc;
+        x_rels;
+        x_local = Hashtbl.create 64;
+        x_mirror = Hashtbl.create 64;
+        x_queue = [];
+        x_pub_dirty = true;
+        x_peer_dirty;
+      })
+    exchange
+
 (** Build a controller around in-process plane objects.  [rules] is the
     user-written DL program text (rules plus optional internal relation
     declarations); everything else is generated.  [endpoint] names each
-    plane's transport (default {!Endpoint.in_process}); the deprecated
-    [mgmt_link_of]/[p4_link_of] arguments override it per plane.
-    [max_iterations] bounds the digest feedback loop in {!sync}. *)
+    plane's transport (default {!Endpoint.in_process}); [exchange]
+    attaches the controller to a sharded fleet's cross-shard relation
+    exchange.  [max_iterations] bounds the digest feedback loop in
+    {!sync}. *)
 let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
-    ?(endpoint = Endpoint.in_process) ?mgmt_link_of ?p4_link_of ?pool
+    ?(endpoint = Endpoint.in_process) ?exchange ?pool
     ~(db : Ovsdb.Db.t) ~(p4 : P4.Program.t)
     ~(rules : string) ~(switches : (string * P4.Switch.t) list) () : t =
   check_limits ~max_iterations ~retry_limit;
+  let ep = Endpoint.planes_exn endpoint in
   let schema = db.Ovsdb.Db.schema in
   let program, engine, mappings, input_rel_of_table, digest_rel_of_name,
       digest_replace =
@@ -899,29 +1202,19 @@ let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
              schema.tables) )
   in
   let mgmt, mgmt_ctl =
-    match mgmt_link_of with
-    | Some f ->
-      let db, mon = Lazy.force local_mgmt in
-      (f db mon, None)
-    | None -> resolve_mgmt endpoint.Endpoint.mgmt ~local:(Some local_mgmt)
+    resolve_mgmt ep.Endpoint.mgmt ~local:(Some local_mgmt)
   in
   let p4_ctls = ref [] in
   let sws =
     List.map
       (fun (n, sw) ->
         let srv = P4runtime.attach sw in
-        let link =
-          match p4_link_of with
-          | Some f -> f n srv
-          | None ->
-            let link, ctl =
-              resolve_p4 (endpoint.Endpoint.p4_of n) ~name:n ~local:(Some srv)
-            in
-            (match ctl with
-            | Some c -> p4_ctls := (n, c) :: !p4_ctls
-            | None -> ());
-            link
+        let link, ctl =
+          resolve_p4 (ep.Endpoint.p4_of n) ~name:n ~local:(Some srv)
         in
+        (match ctl with
+        | Some c -> p4_ctls := (n, c) :: !p4_ctls
+        | None -> ());
         {
           sw_name = n;
           sw_link = link;
@@ -943,6 +1236,7 @@ let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
     mappings;
     input_rel_of_table;
     digest_rel_of_name;
+    exchange = make_xstate exchange digest_rel_of_name;
     sws;
     pool;
     digest_replace;
@@ -964,33 +1258,32 @@ let create ?(digest_replace = []) ?(max_iterations = 1000) ?(retry_limit = 8)
     {!sync} resyncs against the server's state rather than assuming an
     empty database. *)
 let connect ?(digest_replace = []) ?(max_iterations = 1000)
-    ?(retry_limit = 8) ?pool ~(endpoint : Endpoint.t)
+    ?(retry_limit = 8) ?exchange ?pool ~(endpoint : Endpoint.t)
     ~(schema : Ovsdb.Schema.t) ~(p4 : P4.Program.t) ~(rules : string)
     ~(switch_names : string list) () : t =
   check_limits ~max_iterations ~retry_limit;
-  if not (Endpoint.is_remote endpoint.Endpoint.mgmt) then
+  let ep = Endpoint.planes_exn endpoint in
+  if not (Endpoint.is_remote ep.Endpoint.mgmt) then
     error "connect: management transport %s is not a socket"
-      (Endpoint.transport_to_string endpoint.Endpoint.mgmt);
+      (Endpoint.transport_to_string ep.Endpoint.mgmt);
   List.iter
     (fun n ->
-      if not (Endpoint.is_remote (endpoint.Endpoint.p4_of n)) then
+      if not (Endpoint.is_remote (ep.Endpoint.p4_of n)) then
         error "connect: transport %s for switch %s is not a socket"
-          (Endpoint.transport_to_string (endpoint.Endpoint.p4_of n))
+          (Endpoint.transport_to_string (ep.Endpoint.p4_of n))
           n)
     switch_names;
   let program, engine, mappings, input_rel_of_table, digest_rel_of_name,
       digest_replace =
     prepare ?pool ~schema ~p4 ~rules ~digest_replace ()
   in
-  let mgmt, mgmt_ctl = resolve_mgmt endpoint.Endpoint.mgmt ~local:None in
+  let mgmt, mgmt_ctl = resolve_mgmt ep.Endpoint.mgmt ~local:None in
   let sw_info = P4.P4info.of_program p4 in
   let p4_ctls = ref [] in
   let sws =
     List.map
       (fun n ->
-        let link, ctl =
-          resolve_p4 (endpoint.Endpoint.p4_of n) ~name:n ~local:None
-        in
+        let link, ctl = resolve_p4 (ep.Endpoint.p4_of n) ~name:n ~local:None in
         (match ctl with
         | Some c -> p4_ctls := (n, c) :: !p4_ctls
         | None -> ());
@@ -1015,6 +1308,7 @@ let connect ?(digest_replace = []) ?(max_iterations = 1000)
     mappings;
     input_rel_of_table;
     digest_rel_of_name;
+    exchange = make_xstate exchange digest_rel_of_name;
     sws;
     pool;
     digest_replace;
@@ -1198,6 +1492,11 @@ let sync (t : t) : int =
             error "switch %s: protocol mismatch on digest poll" sw.sw_name
           | Error _ -> () (* digests stay queued at the switch *)))
       polls;
+    (* Cross-shard exchange: publish what this iteration learned,
+       ingest what the peers learned.  Applied peer rows commit
+       transactions, so the quiescence check keeps iterating until
+       the fleet's inputs stop moving. *)
+    exchange_step t;
     if t.ntxns > txns0 then loop (fuel - 1)
   in
   loop t.max_iterations;
@@ -1291,6 +1590,14 @@ let dump_switch (t : t) (name : string) : string =
 
 (** Direct access to the engine, for inspection in tests and examples. *)
 let engine (t : t) = t.engine
+
+(** Canonical text dump of one engine relation, sorted — the
+    cross-shard convergence tests' per-relation equality oracle. *)
+let relations (t : t) : string list = Engine.relations t.engine
+
+let relation_dump (t : t) (rel : string) : string list =
+  List.sort String.compare
+    (List.map Row.to_string (Engine.relation_rows t.engine rel))
 
 (** This controller's own counts (independent of the process-global Obs
     registry and of whether collection is enabled). *)

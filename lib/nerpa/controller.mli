@@ -27,13 +27,25 @@ type stats = {
 
 type t
 
+(** Attachment to a sharded fleet's cross-shard relation exchange: the
+    controller publishes its data-plane-learned (digest-fed) relations
+    to its own shard's {!Xrel} store over [ex_publish] and subscribes
+    to every peer shard's store over [ex_peers] — ordinary management
+    links speaking {!Links.Publish} / [Poll_monitor] / [Resync], built
+    by [Cluster] from a {!Shard_map} (socket links) or directly (the
+    in-process harness). *)
+type exchange = {
+  ex_shard : int;  (** this controller's shard id *)
+  ex_publish : Links.mgmt_link;  (** own shard's exchange store *)
+  ex_peers : (int * Links.mgmt_link) list;  (** peer stores, by shard *)
+}
+
 val create :
   ?digest_replace:(string * string list) list ->
   ?max_iterations:int ->
   ?retry_limit:int ->
   ?endpoint:Endpoint.t ->
-  ?mgmt_link_of:(Ovsdb.Db.t -> Ovsdb.Db.monitor -> Links.mgmt_link) ->
-  ?p4_link_of:(string -> P4runtime.server -> Links.p4_link) ->
+  ?exchange:exchange ->
   ?pool:Pool.t ->
   db:Ovsdb.Db.t ->
   p4:P4.Program.t ->
@@ -61,13 +73,15 @@ val create :
 
     [endpoint] (default {!Endpoint.in_process}) names each plane's
     transport; [Faulty] layers expose their {!Transport.ctl} via
-    {!mgmt_ctl} / {!p4_ctl}.
+    {!mgmt_ctl} / {!p4_ctl}.  A cluster endpoint is rejected — derive
+    one shard's planes via [Cluster.connect_shard].
 
-    [mgmt_link_of] and [p4_link_of] are the {e deprecated} pre-Endpoint
-    spelling — a function building the plane's link from the in-process
-    objects.  When given they override [endpoint] for that plane.  They
-    remain for one PR so existing call sites (custom fault profiles in
-    tests) keep compiling; new code should use [endpoint].
+    [exchange] attaches the controller to a sharded fleet: each
+    {!sync} iteration publishes newly learned digest rows to the own
+    shard's store and ingests the peers' (with a snapshot resync on
+    first contact and after any reconnect edge), feeding them into the
+    engine as input deltas under the same last-writer-wins
+    [digest_replace] policy as local digests.
 
     [pool] (default: none, i.e. fully sequential) parallelises the
     driver and the engine: per-switch polls, command batches and
@@ -83,6 +97,7 @@ val connect :
   ?digest_replace:(string * string list) list ->
   ?max_iterations:int ->
   ?retry_limit:int ->
+  ?exchange:exchange ->
   ?pool:Pool.t ->
   endpoint:Endpoint.t ->
   schema:Ovsdb.Schema.t ->
@@ -190,6 +205,13 @@ val dump_switch : t -> string -> string
 
 val engine : t -> Dl.Engine.t
 (** The underlying engine, for inspection. *)
+
+val relations : t -> string list
+(** Every relation of the generated program, in declaration order. *)
+
+val relation_dump : t -> string -> string list
+(** Canonical text dump of one engine relation, sorted — the
+    cross-shard convergence tests' per-relation equality oracle. *)
 
 val stats : t -> stats
 (** This controller's own counts (see {!type-stats}). *)

@@ -1,33 +1,92 @@
 type transport =
   | In_process
   | Wire
-  | Socket of string * Transport.codec
-  | Faulty of int * transport
+  | Socket of { addr : Transport.addr; codec : Transport.codec; auth : string option }
+  | Faulty of { seed : int; faults : Transport.faults option; inner : transport }
 
-type t = { mgmt : transport; p4_of : string -> transport }
+type planes = { mgmt : transport; p4_of : string -> transport }
 
-let in_process = { mgmt = In_process; p4_of = (fun _ -> In_process) }
-let wire = { mgmt = Wire; p4_of = (fun _ -> Wire) }
+type cluster = {
+  map : Shard_map.t;
+  codec : Transport.codec;
+  auth : string option;
+}
 
-let mgmt_socket_path ~dir = Filename.concat dir "ovsdb.sock"
-let p4_socket_path ~dir name = Filename.concat dir ("p4-" ^ name ^ ".sock")
+type t = Planes of planes | Cluster of cluster
 
-let sockets ?(codec = Transport.Binary) ~dir () =
-  { mgmt = Socket (mgmt_socket_path ~dir, codec);
-    p4_of = (fun name -> Socket (p4_socket_path ~dir name, codec)) }
+let plane_in_process = In_process
+let plane_wire = Wire
 
-let faulty_mgmt ~seed t = { t with mgmt = Faulty (seed, t.mgmt) }
+let socket ?(codec = Transport.Binary) ?auth addr = Socket { addr; codec; auth }
 
-let faulty_p4 ~seed t =
-  let p4_of = t.p4_of in
-  { t with p4_of = (fun name -> Faulty (seed, p4_of name)) }
+let in_process = Planes { mgmt = In_process; p4_of = (fun _ -> In_process) }
+let wire = Planes { mgmt = Wire; p4_of = (fun _ -> Wire) }
+
+let planes ~mgmt ~p4_of = Planes { mgmt; p4_of }
+
+(* Socket-path layout is owned by {!Shard_map} (a 1-shard cluster and
+   a plain serve/connect pair must agree on it); these remain the
+   spelling the server and tests use. *)
+let mgmt_socket_path ~dir = Shard_map.mgmt_socket_path ~dir
+let p4_socket_path ~dir name = Shard_map.p4_socket_path ~dir name
+let xrel_socket_path ~dir = Shard_map.xrel_socket_path ~dir
+
+let sockets ?(codec = Transport.Binary) ?auth ~dir () =
+  Planes
+    {
+      mgmt = socket ~codec ?auth (Transport.Unix_path (mgmt_socket_path ~dir));
+      p4_of =
+        (fun name ->
+          socket ~codec ?auth (Transport.Unix_path (p4_socket_path ~dir name)));
+    }
+
+let cluster ?(codec = Transport.Binary) ?auth map = Cluster { map; codec; auth }
+
+(* The per-plane transports a given shard's controller derives from a
+   cluster endpoint: the shared management database lives at shard 0's
+   daemon; each of the shard's own switches at its own daemon. *)
+let shard_planes (c : cluster) ~shard:_ =
+  {
+    mgmt = socket ~codec:c.codec ?auth:c.auth (Shard_map.mgmt_addr c.map);
+    p4_of =
+      (fun name ->
+        socket ~codec:c.codec ?auth:c.auth (Shard_map.p4_addr c.map name));
+  }
+
+let xrel_transport (c : cluster) ~shard =
+  socket ~codec:c.codec ?auth:c.auth (Shard_map.xrel_addr c.map shard)
+
+let planes_exn = function
+  | Planes p -> p
+  | Cluster _ ->
+    invalid_arg
+      "Endpoint: a cluster endpoint names a whole fleet; derive one shard's \
+       planes via Cluster.connect_shard"
+
+let map_planes f = function
+  | Planes p -> Planes (f p)
+  | Cluster _ ->
+    invalid_arg "Endpoint: fault injection wraps per-plane endpoints, not clusters"
+
+let faulty_mgmt ~seed ?faults t =
+  map_planes (fun p -> { p with mgmt = Faulty { seed; faults; inner = p.mgmt } }) t
+
+let faulty_p4 ~seed ?faults t =
+  map_planes
+    (fun p ->
+      let p4_of = p.p4_of in
+      { p with p4_of = (fun name -> Faulty { seed; faults; inner = p4_of name }) })
+    t
 
 let rec transport_to_string = function
   | In_process -> "in-process"
   | Wire -> "wire"
-  | Socket (path, codec) ->
-    Printf.sprintf "socket(%s):%s" (Transport.codec_to_string codec) path
-  | Faulty (seed, inner) ->
+  | Socket { addr; codec; auth } ->
+    Printf.sprintf "socket(%s%s):%s"
+      (Transport.codec_to_string codec)
+      (match auth with Some _ -> ",auth" | None -> "")
+      (Transport.addr_to_string addr)
+  | Faulty { seed; inner; _ } ->
     Printf.sprintf "faulty(%d):%s" seed (transport_to_string inner)
 
 (* A transport needs local objects (the db / switch living in this
@@ -35,4 +94,4 @@ let rec transport_to_string = function
 let rec is_remote = function
   | In_process | Wire -> false
   | Socket _ -> true
-  | Faulty (_, inner) -> is_remote inner
+  | Faulty { inner; _ } -> is_remote inner

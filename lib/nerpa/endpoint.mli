@@ -1,30 +1,54 @@
-(** Where each plane of a deployment lives.
+(** Where a deployment lives.
 
-    An [Endpoint.t] names the transport carrying each plane — the
-    management (OVSDB monitor) link and one P4Runtime link per switch —
-    replacing the old [?mgmt_link_of]/[?p4_link_of] optional-argument
-    sprawl on {!Controller.create}.  Pass it to {!Controller.create}
-    (in-process flavours, which need the local [db]/[p4] objects) or
-    {!Controller.connect} (socket flavours, which need only paths). *)
+    An [Endpoint.t] names either the transports carrying one
+    controller's planes — the management (OVSDB monitor) link and one
+    P4Runtime link per switch — or a whole sharded fleet via a
+    {!Shard_map.t}.  Pass it to {!Controller.create} (in-process
+    flavours, which need the local [db]/[p4] objects),
+    {!Controller.connect} (socket flavours, which need only
+    addresses), or [Cluster.connect_shard] (cluster flavour). *)
 
 (** How a plane's messages travel. *)
 type transport =
   | In_process  (** direct closure call; the fast path *)
   | Wire  (** in-process, but round-tripped through serialized bytes *)
-  | Socket of string * Transport.codec
-      (** framed bytes over the Unix-domain socket at this path, toward
-          a [lib/server] process, preferring this payload codec
-          (JSON fallback negotiation per {!Transport.socket}) *)
-  | Faulty of int * transport
-      (** wrap [transport] with seeded fault injection
-          ({!Transport.default_faults}); the controller exposes the
-          {!Transport.ctl} via {!Controller.mgmt_ctl} /
-          {!Controller.p4_ctl} *)
+  | Socket of {
+      addr : Transport.addr;
+      codec : Transport.codec;
+      auth : string option;
+    }
+      (** framed bytes over a Unix-domain or TCP socket toward a
+          [lib/server] process, preferring this payload codec (JSON
+          fallback negotiation per {!Transport.socket}); [auth] is the
+          shared secret for the connection handshake, when the daemon
+          demands one *)
+  | Faulty of {
+      seed : int;
+      faults : Transport.faults option;
+      inner : transport;
+    }
+      (** wrap [inner] with seeded fault injection
+          ([faults] default {!Transport.default_faults}); the
+          controller exposes the {!Transport.ctl} via
+          {!Controller.mgmt_ctl} / {!Controller.p4_ctl} *)
 
-type t = {
-  mgmt : transport;  (** the management (OVSDB monitor) plane *)
-  p4_of : string -> transport;  (** per-switch P4Runtime plane, by name *)
+(** One controller's per-plane transports. *)
+type planes = { mgmt : transport; p4_of : string -> transport }
+
+(** A whole sharded fleet, addressed through its shard map. *)
+type cluster = {
+  map : Shard_map.t;
+  codec : Transport.codec;
+  auth : string option;
 }
+
+type t = Planes of planes | Cluster of cluster
+
+val plane_in_process : transport
+val plane_wire : transport
+
+val socket : ?codec:Transport.codec -> ?auth:string -> Transport.addr -> transport
+(** A socket transport (default codec [Binary], no auth). *)
 
 val in_process : t
 (** Everything direct — the default deployment. *)
@@ -32,25 +56,48 @@ val in_process : t
 val wire : t
 (** Every plane through the byte codecs; catches codec asymmetries. *)
 
-val sockets : ?codec:Transport.codec -> dir:string -> unit -> t
+val planes : mgmt:transport -> p4_of:(string -> transport) -> t
+
+val sockets : ?codec:Transport.codec -> ?auth:string -> dir:string -> unit -> t
 (** Every plane over Unix-domain sockets under [dir], using the same
     path layout [lib/server] binds: [ovsdb.sock] for the management
     plane, [p4-<name>.sock] per switch.  [codec] (default [Binary])
-    is the preferred payload serialization for every plane. *)
+    is the preferred payload serialization for every plane; [auth]
+    the shared secret when the daemon demands a handshake. *)
 
-val faulty_mgmt : seed:int -> t -> t
-(** Wrap the management plane with seeded fault injection. *)
+val cluster : ?codec:Transport.codec -> ?auth:string -> Shard_map.t -> t
+(** A sharded fleet: shard daemons at the map's locations, every link
+    derived from the map's socket layout. *)
 
-val faulty_p4 : seed:int -> t -> t
-(** Wrap every switch's P4Runtime plane with seeded fault injection. *)
+val faulty_mgmt : seed:int -> ?faults:Transport.faults -> t -> t
+(** Wrap the management plane with seeded fault injection.
+    @raise Invalid_argument on a cluster endpoint. *)
+
+val faulty_p4 : seed:int -> ?faults:Transport.faults -> t -> t
+(** Wrap every switch's P4Runtime plane with seeded fault injection.
+    @raise Invalid_argument on a cluster endpoint. *)
+
+val planes_exn : t -> planes
+(** The per-plane view of a non-cluster endpoint.
+    @raise Invalid_argument on a cluster endpoint — derive one shard's
+    planes via [Cluster.connect_shard] instead. *)
+
+val shard_planes : cluster -> shard:int -> planes
+(** The per-plane transports shard [shard]'s controller uses: the
+    shared management database at shard 0's daemon, each of the
+    shard's own switches at its own daemon. *)
+
+val xrel_transport : cluster -> shard:int -> transport
+(** The socket transport of shard [shard]'s exchange store. *)
 
 (** {1 Socket path layout}
 
-    Shared with [lib/server] so client and server agree by
-    construction. *)
+    Delegates to {!Shard_map}, the layout authority, so a 1-shard
+    cluster and a plain serve/connect pair agree by construction. *)
 
 val mgmt_socket_path : dir:string -> string
 val p4_socket_path : dir:string -> string -> string
+val xrel_socket_path : dir:string -> string
 
 (** {1 Introspection} *)
 

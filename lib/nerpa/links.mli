@@ -12,16 +12,35 @@
 
     Fault-injection wraps any flavour with {!Transport.faulty}. *)
 
+type publish = {
+  pub_shard : int;  (** the publishing shard's id *)
+  pub_reset : bool;
+      (** first delete every row the shard previously published — sent
+          by a (re)started controller so stale rows cannot survive it *)
+  pub_rows : (string * (string * int) list) list;
+      (** per relation, a Z-set delta of canonical row text (weights
+          [+1]/[-1]; see {!Xrel} for the row codec) *)
+}
+(** A shard's contribution to the exchanged relations, pushed at its
+    own shard daemon's exchange database. *)
+
 type mgmt_request =
   | Poll_monitor  (** drain the monitor's queued change batches *)
   | Resync
       (** request the database's full current contents; issued after a
           reconnect or a lost batch, diffed client-side against the
           engine's inputs *)
+  | Publish of publish
+      (** apply a shard's exchange delta to this (exchange) database *)
+  | Get_stats
+      (** ask the serving process for its {!Obs} metrics snapshot —
+          what [nerpa_cli stats] aggregates across a cluster's shards *)
 
 type mgmt_response =
   | Batches of Ovsdb.Db.table_updates list
   | Snapshot of Ovsdb.Db.table_updates
+  | Pub_ok  (** a {!Publish} was applied *)
+  | Stats of string  (** {!Obs.render_json} of the serving process *)
 
 type mgmt_link = (mgmt_request, mgmt_response) Transport.t
 type p4_link = (P4runtime.Wire.request, P4runtime.Wire.response) Transport.t
@@ -30,7 +49,10 @@ val mgmt_handler :
   Ovsdb.Db.t -> Ovsdb.Db.monitor -> mgmt_request -> mgmt_response
 (** Server-side dispatch: [Poll_monitor] drains the monitor, [Resync]
     discards any queued batches (they are subsumed) and snapshots the
-    database.  Shared by the in-process links and [lib/server]. *)
+    database, [Publish] applies an exchange delta via {!Xrel.apply}
+    (only sensible when [db] is an exchange database), [Get_stats]
+    renders this process's metrics.  Shared by the in-process links
+    and [lib/server]. *)
 
 (** {1 Management-plane codec}
 
@@ -70,14 +92,20 @@ val decode_p4_response_c :
 val direct_mgmt : Ovsdb.Db.t -> Ovsdb.Db.monitor -> mgmt_link
 val wire_mgmt : Ovsdb.Db.t -> Ovsdb.Db.monitor -> mgmt_link
 
-val socket_mgmt : ?codec:Transport.codec -> path:string -> unit -> mgmt_link
-(** Client end of a [lib/server] management socket.  [codec] (default
-    [Binary]) is the preferred payload serialization; see
-    {!Transport.socket} for the negotiation/fallback rules. *)
+val socket_mgmt :
+  ?codec:Transport.codec -> ?auth:string -> addr:Transport.addr -> unit ->
+  mgmt_link
+(** Client end of a [lib/server] management (or exchange) socket.
+    [codec] (default [Binary]) is the preferred payload serialization;
+    see {!Transport.socket} for the negotiation/fallback rules.
+    [auth] runs the shared-secret handshake on every fresh
+    connection. *)
 
 val direct_p4 : P4runtime.server -> p4_link
 val wire_p4 : P4runtime.server -> p4_link
 
-val socket_p4 : ?codec:Transport.codec -> path:string -> unit -> p4_link
-(** Client end of a [lib/server] per-switch socket; [codec] as in
-    {!socket_mgmt}. *)
+val socket_p4 :
+  ?codec:Transport.codec -> ?auth:string -> addr:Transport.addr -> unit ->
+  p4_link
+(** Client end of a [lib/server] per-switch socket; [codec] and [auth]
+    as in {!socket_mgmt}. *)

@@ -1,0 +1,174 @@
+(* The cluster's one authoritative layout artifact: which controller
+   shard owns which switch, and where each shard's daemon listens.
+   Rendered to a small line-based text form so `nerpa_cli`, tests and
+   operators all drive a fleet from the same file; parsing is strict
+   (unknown lines are errors, not comments to skate past).
+
+   Assignment is deterministic: switch names are sorted and dealt
+   round-robin across the shards, so any process handed the same
+   (locations, switches) inputs — or the same rendered map — derives
+   the same ownership.
+
+   A daemon's listeners are derived from its location:
+
+   - [Dir d]: Unix-domain sockets in [d] — [ovsdb.sock] (shard 0
+     only; it hosts the shared management database), [xrel.sock] (the
+     shard's exchange store), [p4-<switch>.sock] per hosted switch.
+   - [Tcp (host, base)]: [base] = management (shard 0 only),
+     [base+1] = exchange store, [base+2+k] = the shard's k-th switch
+     in fleet order. *)
+
+type location = Dir of string | Tcp of string * int
+
+type t = {
+  locations : location array;
+  assign : (string * int) list; (* sorted by switch name *)
+}
+
+let location_to_string = function
+  | Dir d -> "dir:" ^ d
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let location_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "dir" ->
+    let d = String.sub s (i + 1) (String.length s - i - 1) in
+    if d = "" then Error "empty shard directory" else Ok (Dir d)
+  | _ -> (
+    match Transport.addr_of_string s with
+    | Ok (Transport.Tcp (h, p)) -> Ok (Tcp (h, p))
+    | Ok (Transport.Unix_path _) ->
+      Error "shard locations are dir:PATH or tcp:HOST:PORT"
+    | Error e -> Error e)
+
+let create ~locations ~switches =
+  if locations = [] then invalid_arg "Shard_map.create: no shards";
+  let sorted = List.sort_uniq String.compare switches in
+  if List.length sorted <> List.length switches then
+    invalid_arg "Shard_map.create: duplicate switch names";
+  let n = List.length locations in
+  let assign = List.mapi (fun i name -> (name, i mod n)) sorted in
+  { locations = Array.of_list locations; assign }
+
+let nshards t = Array.length t.locations
+
+let shard_of t name =
+  match List.assoc_opt name t.assign with
+  | Some s -> s
+  | None -> invalid_arg ("Shard_map.shard_of: unknown switch " ^ name)
+
+let switches t = List.map fst t.assign
+
+let switches_of t shard =
+  List.filter_map
+    (fun (name, s) -> if s = shard then Some name else None)
+    t.assign
+
+let location t shard =
+  if shard < 0 || shard >= nshards t then
+    invalid_arg (Printf.sprintf "Shard_map.location: no shard %d" shard)
+  else t.locations.(shard)
+
+(* ---------------- socket layout ---------------- *)
+
+let mgmt_socket_path ~dir = Filename.concat dir "ovsdb.sock"
+let xrel_socket_path ~dir = Filename.concat dir "xrel.sock"
+let p4_socket_path ~dir name = Filename.concat dir ("p4-" ^ name ^ ".sock")
+
+let mgmt_addr t =
+  match location t 0 with
+  | Dir d -> Transport.Unix_path (mgmt_socket_path ~dir:d)
+  | Tcp (h, p) -> Transport.Tcp (h, p)
+
+let xrel_addr t shard =
+  match location t shard with
+  | Dir d -> Transport.Unix_path (xrel_socket_path ~dir:d)
+  | Tcp (h, p) -> Transport.Tcp (h, p + 1)
+
+let p4_addr t name =
+  let shard = shard_of t name in
+  match location t shard with
+  | Dir d -> Transport.Unix_path (p4_socket_path ~dir:d name)
+  | Tcp (h, p) -> (
+    let rec index k = function
+      | [] -> invalid_arg ("Shard_map.p4_addr: unknown switch " ^ name)
+      | n :: _ when String.equal n name -> k
+      | _ :: rest -> index (k + 1) rest
+    in
+    Transport.Tcp (h, p + 2 + index 0 (switches_of t shard)))
+
+(* ---------------- text form ---------------- *)
+
+let header = "nerpa-shard-map v1"
+
+let render t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun i loc ->
+      Buffer.add_string b
+        (Printf.sprintf "shard %d %s\n" i (location_to_string loc)))
+    t.locations;
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string b (Printf.sprintf "switch %s %d\n" name s))
+    t.assign;
+  Buffer.contents b
+
+let parse text =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty shard map"
+  | hdr :: rest when String.equal hdr header -> (
+    let rec go shards assign = function
+      | [] -> Ok (List.rev shards, List.rev assign)
+      | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ "shard"; i; loc ] -> (
+          match int_of_string_opt i, location_of_string loc with
+          | Some i, Ok loc when i = List.length shards ->
+            go ((i, loc) :: shards) assign rest
+          | Some _, Ok _ -> err "shard ids must be dense and in order: %s" line
+          | _, Error e -> err "%s in %S" e line
+          | None, _ -> err "bad shard line %S" line)
+        | [ "switch"; name; s ] -> (
+          match int_of_string_opt s with
+          | Some s -> go shards ((name, s) :: assign) rest
+          | None -> err "bad switch line %S" line)
+        | _ -> err "bad shard-map line %S" line)
+    in
+    match go [] [] rest with
+    | Error e -> Error e
+    | Ok (shards, assign) ->
+      if shards = [] then Error "shard map names no shards"
+      else
+        let n = List.length shards in
+        let bad =
+          List.find_opt (fun (_, s) -> s < 0 || s >= n) assign
+        in
+        (match bad with
+        | Some (name, s) -> err "switch %s assigned to missing shard %d" name s
+        | None ->
+          let sorted =
+            List.sort (fun (a, _) (b, _) -> String.compare a b) assign
+          in
+          let rec dup = function
+            | (a, _) :: ((b, _) :: _ as rest) ->
+              if String.equal a b then Some a else dup rest
+            | _ -> None
+          in
+          (match dup sorted with
+          | Some name -> err "switch %s assigned twice" name
+          | None ->
+            Ok
+              {
+                locations = Array.of_list (List.map snd shards);
+                assign = sorted;
+              })))
+  | hdr :: _ -> err "bad shard-map header %S (want %S)" hdr header

@@ -1,0 +1,73 @@
+(** The cluster layout: which controller shard owns which switch, and
+    where each shard's daemon listens.  Renderable to (and strictly
+    parseable from) a small line-based text form, so [nerpa_cli],
+    tests and operators drive a fleet from the same artifact:
+
+    {v
+    nerpa-shard-map v1
+    shard 0 dir:/tmp/shard0
+    shard 1 tcp:10.0.0.2:7600
+    switch sw00 0
+    switch sw01 1
+    v}
+
+    Assignment is deterministic — switch names sorted, dealt
+    round-robin across shards — so equal inputs derive equal
+    ownership in every process. *)
+
+(** Where a shard daemon listens.  [Dir]: Unix-domain sockets in the
+    directory ([ovsdb.sock] on shard 0, [xrel.sock], [p4-<name>.sock]
+    per hosted switch).  [Tcp (host, base)]: [base] = management
+    (shard 0 only), [base+1] = exchange store, [base+2+k] = the
+    shard's k-th switch in fleet order. *)
+type location = Dir of string | Tcp of string * int
+
+val location_to_string : location -> string
+(** ["dir:PATH"] / ["tcp:HOST:PORT"] — the spelling shard-map lines
+    and [nerpa_cli --endpoint] share. *)
+
+val location_of_string : string -> (location, string) result
+
+type t
+
+val create : locations:location list -> switches:string list -> t
+(** One shard per location.
+    @raise Invalid_argument on no shards or duplicate switch names. *)
+
+val nshards : t -> int
+
+val shard_of : t -> string -> int
+(** The shard owning the named switch.
+    @raise Invalid_argument on an unknown name. *)
+
+val switches : t -> string list
+(** All switches, in fleet (sorted-name) order. *)
+
+val switches_of : t -> int -> string list
+(** The named shard's switches, in fleet order. *)
+
+val location : t -> int -> location
+(** @raise Invalid_argument on an out-of-range shard. *)
+
+(** {1 Socket layout} *)
+
+val mgmt_socket_path : dir:string -> string
+val xrel_socket_path : dir:string -> string
+val p4_socket_path : dir:string -> string -> string
+
+val mgmt_addr : t -> Transport.addr
+(** The shared management database's listener — hosted by shard 0. *)
+
+val xrel_addr : t -> int -> Transport.addr
+(** The named shard's exchange-store listener. *)
+
+val p4_addr : t -> string -> Transport.addr
+(** The named switch's P4Runtime listener, at its owning shard. *)
+
+(** {1 Text form} *)
+
+val render : t -> string
+
+val parse : string -> (t, string) result
+(** Strict inverse of {!render}: unknown lines, sparse shard ids,
+    duplicate or dangling switch assignments are all errors. *)

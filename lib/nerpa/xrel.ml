@@ -1,0 +1,164 @@
+(* The cross-shard exchange store: one OVSDB table, [Xrel], holding
+   every row a shard has published of its exchanged relations —
+   (shard, relation name, canonical row text), unique on all three.
+
+   Each shard daemon hosts one such database.  A controller publishes
+   its own contributions at its own shard's store ([Links.Publish])
+   and subscribes to every peer's store with the ordinary monitor
+   machinery — [Poll_monitor] for incremental deltas, [Resync] +
+   snapshot diff after a reconnect — so the exchange inherits the
+   binary codec, pipelining and resync semantics the management plane
+   already has instead of growing a parallel protocol.
+
+   Rows travel as text in the DL literal syntax ([Dl.Row.to_string],
+   e.g. [(12'd5, 42, "h1")]): canonical (rows are interned), byte-
+   stable across processes, and parseable by the DL front end, which
+   is also what makes the store greppable/dumpable when debugging a
+   fleet. *)
+
+let table_name = "Xrel"
+
+let schema =
+  Ovsdb.Schema.make ~name:"nerpa_exchange" ~version:"1.0.0"
+    [
+      Ovsdb.Schema.table
+        ~indexes:[ [ "shard"; "rel"; "row" ] ]
+        table_name
+        [
+          Ovsdb.Schema.column "shard" (Ovsdb.Otype.scalar Ovsdb.Otype.AInteger);
+          Ovsdb.Schema.column "rel" (Ovsdb.Otype.scalar Ovsdb.Otype.AString);
+          Ovsdb.Schema.column "row" (Ovsdb.Otype.scalar Ovsdb.Otype.AString);
+        ];
+    ]
+
+let create_db () = Ovsdb.Db.create schema
+
+let get_int row col =
+  match Ovsdb.Datum.as_integer (Ovsdb.Db.column_value row col) with
+  | Some v -> Int64.to_int v
+  | None -> raise (Ovsdb.Db.Db_error ("Xrel: non-integer " ^ col))
+
+let get_str row col =
+  match Ovsdb.Datum.as_string (Ovsdb.Db.column_value row col) with
+  | Some v -> v
+  | None -> raise (Ovsdb.Db.Db_error ("Xrel: non-string " ^ col))
+
+(* Apply one [Links.Publish] to the store, with set semantics (insert
+   of a present row / delete of an absent one is a no-op — mirroring
+   [Dl.Engine]'s input semantics keeps re-publication after a
+   connection loss idempotent).  One atomic transaction, so a peer's
+   monitor sees the whole publish as one batch.
+   @raise Ovsdb.Db.Db_error when [db] has no [Xrel] table (the publish
+   reached something that is not an exchange store). *)
+let apply db ~shard ~reset ~rows =
+  let present = Hashtbl.create 64 in
+  if not reset then
+    Ovsdb.Db.iter_rows db table_name (fun _ r ->
+        if get_int r "shard" = shard then
+          Hashtbl.replace present (get_str r "rel", get_str r "row") ());
+  let shard_d = Ovsdb.Datum.integer (Int64.of_int shard) in
+  let ops = ref [] in
+  if reset then
+    ops :=
+      [ Ovsdb.Db.Delete { table = table_name; where = [ Ovsdb.Db.eq "shard" shard_d ] } ];
+  List.iter
+    (fun (rel, rws) ->
+      List.iter
+        (fun (row, w) ->
+          let key = (rel, row) in
+          let here = Hashtbl.mem present key in
+          if w > 0 && not here then begin
+            Hashtbl.replace present key ();
+            ops :=
+              Ovsdb.Db.Insert
+                {
+                  table = table_name;
+                  row =
+                    [
+                      ("shard", shard_d);
+                      ("rel", Ovsdb.Datum.string rel);
+                      ("row", Ovsdb.Datum.string row);
+                    ];
+                  uuid = None;
+                }
+              :: !ops
+          end
+          else if w < 0 && here then begin
+            Hashtbl.remove present key;
+            ops :=
+              Ovsdb.Db.Delete
+                {
+                  table = table_name;
+                  where =
+                    [
+                      Ovsdb.Db.eq "shard" shard_d;
+                      Ovsdb.Db.eq "rel" (Ovsdb.Datum.string rel);
+                      Ovsdb.Db.eq "row" (Ovsdb.Datum.string row);
+                    ];
+                }
+              :: !ops
+          end)
+        rws)
+    rows;
+  match List.rev !ops with
+  | [] -> ()
+  | ops -> ignore (Ovsdb.Db.transact_exn db ops)
+
+(* Flatten monitor updates of an exchange store into signed
+   (shard, rel, row-text) deltas; a modification (which the store
+   never produces, rows being immutable-by-identity) decomposes into
+   delete + insert. *)
+let deltas_of_updates (updates : Ovsdb.Db.table_updates) :
+    (int * string * string * int) list =
+  List.concat_map
+    (fun (tbl, rows) ->
+      if not (String.equal tbl table_name) then []
+      else
+        List.concat_map
+          (fun (_, (u : Ovsdb.Db.row_update)) ->
+            let signed w r = (get_int r "shard", get_str r "rel", get_str r "row", w) in
+            match u.before, u.after with
+            | None, Some r -> [ signed 1 r ]
+            | Some r, None -> [ signed (-1) r ]
+            | Some b, Some a -> [ signed (-1) b; signed 1 a ]
+            | None, None -> [])
+          rows)
+    updates
+
+(* ---------------- row text codec ---------------- *)
+
+let row_text (row : Dl.Row.t) : string = Dl.Row.to_string row
+
+(* Parse canonical row text back into an interned row, against the
+   relation's declaration in [program] (bit-width literals like
+   [12'd5] already carry their type; bare integers are coerced to the
+   declared [TBit] width, mirroring the CLI script reader).
+   @raise Failure on text that does not parse as a constant fact. *)
+let row_of_text (program : Dl.Ast.program) (rel : string) (text : string) :
+    Dl.Row.t =
+  match Dl.Parser.parse_program (rel ^ text ^ ".") with
+  | Ok { Dl.Ast.rules = [ { head; body = [] } ]; _ } ->
+    let row =
+      Dl.Row.intern
+        (Array.map
+           (function
+             | Dl.Ast.EConst c -> c
+             | Dl.Ast.ECall ("neg", [ Dl.Ast.EConst (Dl.Value.VInt v) ]) ->
+               Dl.Value.VInt (Int64.neg v)
+             | _ -> failwith ("exchange row not constant: " ^ text))
+           head.Dl.Ast.hargs)
+    in
+    (match Dl.Ast.find_decl program rel with
+    | None -> row
+    | Some d ->
+      let tys = Array.of_list (List.map snd d.cols) in
+      if Array.length tys <> Dl.Row.arity row then row
+      else
+        Dl.Row.intern
+          (Array.mapi
+             (fun i v ->
+               match tys.(i), v with
+               | Dl.Dtype.TBit w, Dl.Value.VInt x -> Dl.Value.bit w x
+               | _ -> v)
+             (Dl.Row.values row)))
+  | Ok _ | Error _ -> failwith (Printf.sprintf "bad exchange row %s%s" rel text)

@@ -1,0 +1,46 @@
+(** The cross-shard exchange store: one OVSDB table, [Xrel], holding
+    every (shard, relation, canonical row text) triple a shard has
+    published of its exchanged relations — unique on all three.
+
+    Each shard daemon hosts one such database.  A controller publishes
+    its own contributions at its own shard's store ({!Links.Publish})
+    and subscribes to every peer's store through the ordinary monitor
+    machinery ([Poll_monitor] / [Resync] + snapshot diff), so the
+    exchange inherits the binary codec, pipelining and resync
+    semantics of the management plane.  Row text is the DL literal
+    syntax ([Dl.Row.to_string]): canonical, byte-stable across
+    processes, and parseable by the DL front end. *)
+
+val table_name : string
+(** ["Xrel"]. *)
+
+val schema : Ovsdb.Schema.t
+
+val create_db : unit -> Ovsdb.Db.t
+(** A fresh, empty exchange store. *)
+
+val apply :
+  Ovsdb.Db.t ->
+  shard:int ->
+  reset:bool ->
+  rows:(string * (string * int) list) list ->
+  unit
+(** Apply one publish atomically, with set semantics (inserting a
+    present row or deleting an absent one is a no-op, so
+    re-publication after a connection loss is idempotent).  [reset]
+    first deletes every row of [shard].
+    @raise Ovsdb.Db.Db_error when [db] is not an exchange store. *)
+
+val deltas_of_updates :
+  Ovsdb.Db.table_updates -> (int * string * string * int) list
+(** Flatten one monitor batch (or snapshot) into signed
+    [(shard, rel, row text, ±1)] deltas. *)
+
+val row_text : Dl.Row.t -> string
+(** Canonical row text, e.g. [("h1", 12'd5)]. *)
+
+val row_of_text : Dl.Ast.program -> string -> string -> Dl.Row.t
+(** [row_of_text program rel text] parses canonical row text back into
+    an interned row, coercing bare integer literals to the declared
+    bit widths of [rel]'s columns in [program].
+    @raise Failure on text that does not parse as a constant fact. *)

@@ -31,6 +31,9 @@ let m_conn_errors = Obs.Counter.create "server.conn_errors"
 type t = {
   dir : string;
   db : Ovsdb.Db.t option;
+  xdb : Ovsdb.Db.t option;  (* this shard's exchange store *)
+  auth : string option;  (* shared secret demanded of every connection *)
+  tcp : (string * int) option;  (* bind TCP (host, base port) instead of dir *)
   switches : (string * P4runtime.server) list;
   lock : Mutex.t;
   mutable running : bool;
@@ -40,10 +43,13 @@ type t = {
   state_lock : Mutex.t;  (* guards the mutable lists + [running] *)
 }
 
-let create ?db ?(switches = []) ~dir () : t =
+let create ?db ?xdb ?auth ?tcp ?(switches = []) ~dir () : t =
   {
     dir;
     db;
+    xdb;
+    auth;
+    tcp;
     switches = List.map (fun (n, sw) -> (n, P4runtime.attach sw)) switches;
     lock = Mutex.create ();
     running = false;
@@ -175,30 +181,79 @@ let listen_on (path : string) : Unix.file_descr =
   Unix.listen lfd 16;
   lfd
 
+let listen_on_tcp (host : string) (port : int) : Unix.file_descr =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> failwith ("server: cannot resolve host " ^ host))
+  in
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (addr, port));
+  Unix.listen lfd 16;
+  lfd
+
 let ignore_sigpipe =
   lazy
     (if Sys.os_type = "Unix" then
        Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
 
+(* When a shared secret is configured, every accepted connection must
+   pass the handshake before its first request; a failure closes just
+   that connection.  The handshake's raw frame reads consume exactly
+   their own bytes, so the handler's buffered reader starts clean. *)
+let guard (t : t) handler fd =
+  match t.auth with
+  | None -> handler fd
+  | Some secret -> (
+    match Transport.server_handshake ~secret fd with
+    | Ok () -> handler fd
+    | Error _ -> Obs.Counter.incr m_conn_errors)
+
 let start (t : t) : unit =
   Lazy.force ignore_sigpipe;
-  if not (Sys.file_exists t.dir) then Unix.mkdir t.dir 0o755;
+  if t.tcp = None && not (Sys.file_exists t.dir) then Unix.mkdir t.dir 0o755;
   Mutex.protect t.state_lock (fun () -> t.running <- true);
-  let spawn path handler =
-    let lfd = listen_on path in
+  let spawn lfd handler =
     Mutex.protect t.state_lock (fun () ->
         t.listeners <- lfd :: t.listeners);
-    let th = Thread.create (fun () -> accept_loop t lfd handler) () in
+    let th = Thread.create (fun () -> accept_loop t lfd (guard t handler)) () in
     Mutex.protect t.state_lock (fun () -> t.threads <- th :: t.threads)
   in
-  (match t.db with
-  | Some db ->
-    spawn (Nerpa.Endpoint.mgmt_socket_path ~dir:t.dir) (serve_mgmt t db)
-  | None -> ());
-  List.iter
-    (fun (name, srv) ->
-      spawn (Nerpa.Endpoint.p4_socket_path ~dir:t.dir name) (serve_p4 t srv))
-    t.switches
+  match t.tcp with
+  | Some (host, base) ->
+    (* port layout mirrors {!Nerpa.Shard_map}: [base] management,
+       [base+1] exchange store, [base+2+k] the k-th hosted switch —
+       callers must pass [switches] in the shard's fleet order *)
+    (match t.db with
+    | Some db -> spawn (listen_on_tcp host base) (serve_mgmt t db)
+    | None -> ());
+    (match t.xdb with
+    | Some xdb -> spawn (listen_on_tcp host (base + 1)) (serve_mgmt t xdb)
+    | None -> ());
+    List.iteri
+      (fun k (_, srv) -> spawn (listen_on_tcp host (base + 2 + k)) (serve_p4 t srv))
+      t.switches
+  | None ->
+    (match t.db with
+    | Some db ->
+      spawn
+        (listen_on (Nerpa.Endpoint.mgmt_socket_path ~dir:t.dir))
+        (serve_mgmt t db)
+    | None -> ());
+    (match t.xdb with
+    | Some xdb ->
+      spawn
+        (listen_on (Nerpa.Endpoint.xrel_socket_path ~dir:t.dir))
+        (serve_mgmt t xdb)
+    | None -> ());
+    List.iter
+      (fun (name, srv) ->
+        spawn
+          (listen_on (Nerpa.Endpoint.p4_socket_path ~dir:t.dir name))
+          (serve_p4 t srv))
+      t.switches
 
 let stop (t : t) : unit =
   let listeners, conns, threads =
@@ -227,13 +282,20 @@ let stop (t : t) : unit =
     (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     conns;
   List.iter Thread.join threads;
-  (match t.db with
-  | Some _ ->
-    (try Unix.unlink (Nerpa.Endpoint.mgmt_socket_path ~dir:t.dir)
-     with Unix.Unix_error _ -> ())
-  | None -> ());
-  List.iter
-    (fun (name, _) ->
-      try Unix.unlink (Nerpa.Endpoint.p4_socket_path ~dir:t.dir name)
-      with Unix.Unix_error _ -> ())
-    t.switches
+  if t.tcp = None then begin
+    (match t.db with
+    | Some _ ->
+      (try Unix.unlink (Nerpa.Endpoint.mgmt_socket_path ~dir:t.dir)
+       with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match t.xdb with
+    | Some _ ->
+      (try Unix.unlink (Nerpa.Endpoint.xrel_socket_path ~dir:t.dir)
+       with Unix.Unix_error _ -> ())
+    | None -> ());
+    List.iter
+      (fun (name, _) ->
+        try Unix.unlink (Nerpa.Endpoint.p4_socket_path ~dir:t.dir name)
+        with Unix.Unix_error _ -> ())
+      t.switches
+  end

@@ -5,7 +5,11 @@
 
     Socket layout under [dir] matches {!Nerpa.Endpoint}:
     [ovsdb.sock] for the management plane (when a database is hosted),
-    [p4-<name>.sock] per hosted switch.  Each listener runs one accept
+    [xrel.sock] for the exchange store (when one is hosted),
+    [p4-<name>.sock] per hosted switch.  With [?tcp:(host, base)] the
+    daemon instead binds TCP ports in {!Nerpa.Shard_map}'s layout:
+    [base] management, [base+1] exchange store, [base+2+k] the k-th
+    hosted switch.  Each listener runs one accept
     loop; each accepted connection gets a handler thread.  All
     dispatch into the hosted objects is serialized by a server-wide
     lock ({!with_lock}), so concurrent clients see the same atomic
@@ -24,12 +28,21 @@ type t
 
 val create :
   ?db:Ovsdb.Db.t ->
+  ?xdb:Ovsdb.Db.t ->
+  ?auth:string ->
+  ?tcp:string * int ->
   ?switches:(string * P4.Switch.t) list ->
   dir:string ->
   unit ->
   t
-(** A server hosting [db] (if given) and [switches] (attached to
-    P4Runtime on creation) under socket directory [dir].  Nothing
+(** A server hosting [db] (if given), the exchange store [xdb] (if
+    given; an ordinary OVSDB served on its own socket — see
+    {!Nerpa.Xrel}) and [switches] (attached to P4Runtime on creation)
+    under socket directory [dir] — or, with [tcp], on TCP ports from
+    the given base.  When [auth] is set every accepted connection must
+    pass the {!Transport.server_handshake} shared-secret challenge
+    before its first request; a failed handshake closes that
+    connection only (counted in [server.conn_errors]).  Nothing
     listens until {!start}. *)
 
 val start : t -> unit

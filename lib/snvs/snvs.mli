@@ -17,6 +17,12 @@ val p4 : P4.Program.t
 val rules : string
 (** The hand-written control-plane rules (DL source text). *)
 
+val digest_replace : (string * string list) list
+(** The MAC-mobility digest-replacement configuration
+    ([learned_mac] keyed by (vlan, mac)) that {!deploy} and {!connect}
+    install — exposed for harnesses that build controllers over the
+    snvs planes directly (fleet baselines, {!Nerpa.Cluster}). *)
+
 (** {1 Deployment} *)
 
 type deployment = {
@@ -29,20 +35,20 @@ val deploy :
   ?switch_name:string ->
   ?max_iterations:int ->
   ?endpoint:Nerpa.Endpoint.t ->
-  ?mgmt_link_of:(Ovsdb.Db.t -> Ovsdb.Db.monitor -> Nerpa.Links.mgmt_link) ->
-  ?p4_link_of:(string -> P4runtime.server -> Nerpa.Links.p4_link) ->
+  ?exchange:Nerpa.Controller.exchange ->
   ?pool:Pool.t ->
   unit ->
   deployment
 (** A ready-to-run single-switch deployment with MAC-mobility digest
-    replacement configured.  [max_iterations], [endpoint] and the
-    deprecated [mgmt_link_of]/[p4_link_of] overrides are passed through
-    to {!Nerpa.Controller.create} (feedback-loop bound and
-    plane-transport choice). *)
+    replacement configured.  [max_iterations], [endpoint] and
+    [exchange] are passed through to {!Nerpa.Controller.create}
+    (feedback-loop bound, plane-transport choice, cross-shard
+    exchange attachment). *)
 
 val connect :
   ?switch_names:string list ->
   ?max_iterations:int ->
+  ?exchange:Nerpa.Controller.exchange ->
   ?pool:Pool.t ->
   endpoint:Nerpa.Endpoint.t ->
   unit ->

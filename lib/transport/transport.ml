@@ -48,6 +48,35 @@ let error_message = function
 
 type status = Connected | Disconnected
 
+(* ---------------- addresses ---------------- *)
+
+(* Where a listening peer lives: a Unix-domain socket path for
+   same-host deployments, or host:port for cross-host TCP.  The
+   rendered forms ("unix:PATH" / "tcp:HOST:PORT") are what shard maps
+   and CLI flags carry. *)
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+    let p = String.sub s (i + 1) (String.length s - i - 1) in
+    if p = "" then Error "empty unix socket path" else Ok (Unix_path p)
+  | Some i when String.sub s 0 i = "tcp" -> (
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "tcp address %S lacks a port" rest)
+    | Some j -> (
+      let host = String.sub rest 0 j in
+      let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad tcp address %S" rest)))
+  | _ -> Error (Printf.sprintf "bad address %S (want unix:PATH or tcp:HOST:PORT)" s)
+
 (* ---------------- frames ---------------- *)
 
 (* The payload serialization a connection speaks.  [Json] is the
@@ -68,11 +97,15 @@ module Frame = struct
   let header_len = 14 (* magic 4 + version 1 + codec|plane 1 + req_id 4 + len 4 *)
   let max_payload = 1 lsl 24 (* 16 MiB *)
 
-  type plane = Mgmt | P4
+  type plane = Mgmt | P4 | Auth
 
-  let plane_byte = function Mgmt -> 1 | P4 -> 2
-  let plane_of_byte = function 1 -> Some Mgmt | 2 -> Some P4 | _ -> None
-  let plane_to_string = function Mgmt -> "mgmt" | P4 -> "p4"
+  let plane_byte = function Mgmt -> 1 | P4 -> 2 | Auth -> 3
+  let plane_of_byte = function
+    | 1 -> Some Mgmt
+    | 2 -> Some P4
+    | 3 -> Some Auth
+    | _ -> None
+  let plane_to_string = function Mgmt -> "mgmt" | P4 -> "p4" | Auth -> "auth"
 
   let encode ~plane ~codec ~req_id payload =
     let n = String.length payload in
@@ -281,6 +314,53 @@ let direct handle =
     events = (fun () -> []);
   }
 
+(* A link whose target can be swapped at runtime — the in-process
+   cluster harness kills and restarts shard daemons behind it.
+   Setting a target queues the same connectivity edges a real socket
+   reconnect would, so drivers resync/reconcile identically. *)
+let switchable () =
+  let inner = ref None in
+  let pending = ref [] in
+  let send req =
+    match !inner with
+    | None -> Error (Closed Refused)
+    | Some l -> l.send req
+  in
+  let send_many reqs =
+    match !inner with
+    | None ->
+      List.map (fun _ -> Error (Closed Refused)) reqs
+    | Some l -> l.send_many reqs
+  in
+  let link =
+    {
+      send;
+      send_many;
+      status =
+        (fun () ->
+          match !inner with None -> Disconnected | Some l -> l.status ());
+      events =
+        (fun () ->
+          let inherited =
+            match !inner with None -> [] | Some l -> l.events ()
+          in
+          let es = List.rev !pending in
+          pending := [];
+          es @ inherited);
+    }
+  in
+  let set target =
+    (match (!inner, target) with
+    | None, Some _ -> pending := Connected :: !pending
+    | Some _, None -> pending := Disconnected :: !pending
+    | Some _, Some _ ->
+      (* a swap is a reconnect: down then up *)
+      pending := Connected :: Disconnected :: !pending
+    | None, None -> ());
+    inner := target
+  in
+  (link, set)
+
 let wire ~encode_req ~decode_req ~encode_resp ~decode_resp handle =
   let roundtrip encode decode v =
     let bytes = encode v in
@@ -303,7 +383,81 @@ let wire ~encode_req ~decode_req ~encode_resp ~decode_resp handle =
     events = (fun () -> []);
   }
 
-(* ---------------- Unix-domain socket client ---------------- *)
+(* ---------------- shared-secret handshake ---------------- *)
+
+(* A lightweight challenge/response for cross-host (TCP) deployments:
+   the client opens with an [Auth] hello, the server answers a fresh
+   nonce, the client proves knowledge of the shared secret with
+   [MD5(nonce . NUL . secret)] in hex, the server acknowledges with
+   "ok".  This keeps strangers off a listener; it is an access filter,
+   not cryptography (no channel secrecy, no replay window) — a hostile
+   network needs a real transport underneath.
+
+   The hello-first shape makes every mismatch fail loudly instead of
+   deadlocking: an unauthenticated client's first data frame arrives at
+   an authenticating server as a non-[Auth] plane (connection closed,
+   client sees EOF), and an authenticated client's hello arrives at a
+   plain server the same way. *)
+
+let auth_counter = Atomic.make 0
+
+let fresh_nonce () =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "nerpa-%d-%d-%.9f" (Unix.getpid ())
+          (Atomic.fetch_and_add auth_counter 1)
+          (Unix.gettimeofday ())))
+
+let auth_proof ~secret ~nonce = Digest.to_hex (Digest.string (nonce ^ "\x00" ^ secret))
+
+let auth_frame fd payload =
+  Frame.write_frame fd ~plane:Frame.Auth ~codec:Json ~req_id:0 payload
+
+(* Server side, run on a freshly accepted connection before any
+   request is served.  Uses the raw (unbuffered) frame reader: the
+   handshake is strictly alternating, so exactly the handshake's bytes
+   are consumed and the request loop's buffered reader starts clean. *)
+let server_handshake ~secret fd =
+  match Frame.read_frame fd with
+  | Error r -> Error r
+  | Ok (p, _, _, _) when p <> Frame.Auth ->
+    Error (Protocol "auth required, got a data frame")
+  | Ok (_, _, _, _hello) -> (
+    let nonce = fresh_nonce () in
+    match auth_frame fd nonce with
+    | Error r -> Error r
+    | Ok () -> (
+      match Frame.read_frame fd with
+      | Error r -> Error r
+      | Ok (p, _, _, _) when p <> Frame.Auth ->
+        Error (Protocol "auth proof missing")
+      | Ok (_, _, _, proof) ->
+        if not (String.equal proof (auth_proof ~secret ~nonce)) then
+          Error (Protocol "auth proof rejected")
+        else auth_frame fd "ok"))
+
+(* Client side, run inside [socket]'s connect path (it owns the
+   connection's buffered reader). *)
+let client_handshake ~secret fd rd =
+  match auth_frame fd "hello" with
+  | Error r -> Error r
+  | Ok () -> (
+    match Frame.read_frame_buf rd with
+    | Error r -> Error r
+    | Ok (p, _, _, _) when p <> Frame.Auth ->
+      Error (Protocol "expected auth challenge")
+    | Ok (_, _, _, nonce) -> (
+      match auth_frame fd (auth_proof ~secret ~nonce) with
+      | Error r -> Error r
+      | Ok () -> (
+        match Frame.read_frame_buf rd with
+        | Error r -> Error r
+        | Ok (p, _, _, ack) ->
+          if p <> Frame.Auth || not (String.equal ack "ok") then
+            Error (Protocol "auth rejected")
+          else Ok ())))
+
+(* ---------------- socket client ---------------- *)
 
 (* A write to a peer that went away raises SIGPIPE, whose default
    disposition kills the process; we want the EPIPE error instead. *)
@@ -317,7 +471,7 @@ let ignore_sigpipe =
    still has our requests queued. *)
 let max_inflight = 32
 
-let socket ~plane ~path ?(codec = Binary) ~encode_req ~decode_resp () =
+let socket ~plane ~addr ?auth ?(codec = Binary) ~encode_req ~decode_resp () =
   Lazy.force ignore_sigpipe;
   (* the live connection: fd plus its buffered frame reader *)
   let fd = ref (None : (Unix.file_descr * Frame.reader) option) in
@@ -345,22 +499,44 @@ let socket ~plane ~path ?(codec = Binary) ~encode_req ~decode_resp () =
       queue_event Disconnected
     end
   in
+  let resolve_sockaddr () =
+    match addr with
+    | Unix_path p -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+    | Tcp (host, port) -> (
+      let ip =
+        try Some (Unix.inet_addr_of_string host)
+        with Failure _ -> (
+          try Some (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found | Invalid_argument _ -> None)
+      in
+      match ip with
+      | Some ip -> Ok (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+      | None -> Error (Io ("cannot resolve host " ^ host)))
+  in
   let connect_now () =
-    let f = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let rec attempt () =
-      match Unix.connect f (Unix.ADDR_UNIX path) with
-      | () ->
-        Obs.Counter.incr m_socket_connects;
-        Ok f
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> attempt ()
-      | exception Unix.Unix_error (e, _, _) ->
-        (try Unix.close f with Unix.Unix_error _ -> ());
-        Error
-          (match e with
-          | Unix.ECONNREFUSED | Unix.ENOENT -> Refused
-          | e -> Io (Unix.error_message e))
-    in
-    attempt ()
+    match resolve_sockaddr () with
+    | Error r -> Error r
+    | Ok (domain, sa) ->
+      let f = Unix.socket domain Unix.SOCK_STREAM 0 in
+      (* small request/response frames must not sit in Nagle's buffer *)
+      (match addr with
+      | Tcp _ -> (
+        try Unix.setsockopt f Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+      | Unix_path _ -> ());
+      let rec attempt () =
+        match Unix.connect f sa with
+        | () ->
+          Obs.Counter.incr m_socket_connects;
+          Ok f
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> attempt ()
+        | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close f with Unix.Unix_error _ -> ());
+          Error
+            (match e with
+            | Unix.ECONNREFUSED | Unix.ENOENT -> Refused
+            | e -> Io (Unix.error_message e))
+      in
+      attempt ()
   in
   (* [announce]: whether a successful connect after a down period
      raises a Connected edge.  The constructor's eager connect is
@@ -371,13 +547,24 @@ let socket ~plane ~path ?(codec = Binary) ~encode_req ~decode_resp () =
     | Some c -> Ok c
     | None -> (
       match connect_now () with
-      | Ok f ->
-        let c = (f, Frame.reader f) in
-        fd := Some c;
-        conn_ok := 0;
-        if announce && not !up then queue_event Connected;
-        up := true;
-        Ok c
+      | Ok f -> (
+        let rd = Frame.reader f in
+        let handshake =
+          match auth with
+          | None -> Ok ()
+          | Some secret -> client_handshake ~secret f rd
+        in
+        match handshake with
+        | Error r ->
+          (try Unix.close f with Unix.Unix_error _ -> ());
+          Error r
+        | Ok () ->
+          let c = (f, rd) in
+          fd := Some c;
+          conn_ok := 0;
+          if announce && not !up then queue_event Connected;
+          up := true;
+          Ok c)
       | Error r -> Error r)
   in
   (* eager initial connect: failure is not an event, just a down link *)

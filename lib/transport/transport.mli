@@ -77,6 +77,20 @@ val error_message : error -> string
 
 type status = Connected | Disconnected
 
+(** Where a listening peer lives: a Unix-domain socket path for
+    same-host deployments, or [host:port] for cross-host TCP (the
+    listener side lives in [lib/server]; TCP client connections set
+    [TCP_NODELAY] so small request/response frames are not Nagled).
+    Rendered as ["unix:PATH"] / ["tcp:HOST:PORT"] — the spelling shard
+    maps and CLI [--endpoint] flags carry. *)
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+
+val addr_of_string : string -> (addr, string) result
+(** Inverse of {!addr_to_string}; [Error] explains the expected
+    spelling. *)
+
 (** The payload serialization a frame carries: [Json] is the fallback
     every peer understands, [Binary] the compact hot-path form (see
     [Ovsdb.Binc]).  Each frame declares its codec in the high nibble
@@ -105,8 +119,9 @@ module Frame : sig
   val max_payload : int  (** frames above this size are rejected *)
 
   (** Which plane the frame belongs to; a cross-check that a client is
-      talking to the right kind of socket. *)
-  type plane = Mgmt | P4
+      talking to the right kind of socket.  [Auth] frames carry the
+      shared-secret handshake and never appear after it completes. *)
+  type plane = Mgmt | P4 | Auth
 
   val plane_to_string : plane -> string
 
@@ -186,6 +201,16 @@ val direct : ('req -> 'resp) -> ('req, 'resp) t
     [handle] propagate to the caller (they are bugs, not link
     failures). *)
 
+val switchable : unit -> ('req, 'resp) t * (('req, 'resp) t option -> unit)
+(** [switchable ()] is a link that forwards to a swappable target,
+    plus the function that swaps it.  With no target every send fails
+    [Closed]; [set (Some l)] brings the link up toward [l], [set None]
+    takes it down, and each transition queues the corresponding
+    {!events} edges ([set (Some _)] over a live target queues a
+    [Disconnected] {e and} a [Connected] — a swap is a reconnect).
+    The in-process cluster harness uses this to kill and restart shard
+    daemons while peers observe ordinary connectivity edges. *)
+
 val wire :
   encode_req:('req -> string) ->
   decode_req:(string -> ('req, string) result) ->
@@ -199,17 +224,33 @@ val wire :
     failure in either direction is a [Transient (Codec _)] error.
     Counts [transport.wire.msgs] and [transport.wire.bytes]. *)
 
+val server_handshake : secret:string -> Unix.file_descr -> (unit, reason) result
+(** Run the listener side of the shared-secret handshake on a freshly
+    accepted connection, before any request is read: expect the
+    client's [Auth] hello, challenge with a fresh nonce, verify
+    [MD5(nonce . NUL . secret)], acknowledge.  Consumes exactly the
+    handshake's bytes (raw frame reads), so the request loop's
+    buffered reader starts clean.  Any mismatch — wrong proof, or a
+    data frame where the hello belongs (an unauthenticated client) —
+    is an [Error]; the caller closes the connection.  This is an
+    access filter for cross-host listeners, not cryptography: there is
+    no channel secrecy and no replay window. *)
+
 val socket :
   plane:Frame.plane ->
-  path:string ->
+  addr:addr ->
+  ?auth:string ->
   ?codec:codec ->
   encode_req:(codec -> 'req -> string) ->
   decode_resp:(codec -> string -> ('resp, string) result) ->
   unit ->
   ('req, 'resp) t
-(** [socket ~plane ~path ~encode_req ~decode_resp ()] connects to the
-    Unix-domain socket at [path] and speaks {!Frame}-framed requests
-    tagged with [plane].  [codec] (default [Binary]) is the preferred
+(** [socket ~plane ~addr ~encode_req ~decode_resp ()] connects to the
+    listener at [addr] (Unix-domain path or TCP host:port) and speaks
+    {!Frame}-framed requests tagged with [plane].  [auth], when given,
+    runs the client side of the shared-secret handshake on every fresh
+    connection before any request; a handshake failure surfaces as the
+    connect failing ([Closed]).  [codec] (default [Binary]) is the preferred
     payload serialization; the codec functions receive the frame's
     codec, and responses are decoded by the codec their frame
     declares.  If the first exchange on a fresh connection fails

@@ -1,0 +1,499 @@
+(* Tests for multi-controller sharding: the shard map artifact, the
+   cluster-aware Endpoint API, the exchange store, and the acceptance
+   differential — an N-shard fat-tree fleet must converge
+   byte-identically to the single-controller run, including after one
+   shard is killed and restarted mid-churn.  A gated leg (see
+   test_server.ml) drives two daemons over real Unix sockets with the
+   shared-secret handshake. *)
+
+module Shard_map = Nerpa.Shard_map
+module Endpoint = Nerpa.Endpoint
+module Xrel = Nerpa.Xrel
+module Cluster = Nerpa.Cluster
+module Controller = Nerpa.Controller
+
+let socket_tests_enabled =
+  match Sys.getenv_opt "NERPA_SOCKET_TESTS" with
+  | Some "1" | Some "true" | Some "yes" -> true
+  | _ -> false
+
+let gated name speed f =
+  Alcotest.test_case name speed (fun () ->
+      if socket_tests_enabled then f () else Alcotest.skip ())
+
+(* ---------------- shard map ---------------- *)
+
+let locs n = List.init n (fun i -> Shard_map.Dir (Printf.sprintf "/tmp/s%d" i))
+
+let test_shard_map_deterministic () =
+  (* assignment ignores input order: names are sorted, then dealt
+     round-robin *)
+  let a =
+    Shard_map.create ~locations:(locs 3) ~switches:[ "c"; "a"; "d"; "b" ]
+  in
+  let b =
+    Shard_map.create ~locations:(locs 3) ~switches:[ "b"; "d"; "a"; "c" ]
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " assigned identically")
+        (Shard_map.shard_of a name) (Shard_map.shard_of b name))
+    [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check (list string))
+    "fleet order is sorted" [ "a"; "b"; "c"; "d" ] (Shard_map.switches a);
+  Alcotest.(check int) "a -> shard 0" 0 (Shard_map.shard_of a "a");
+  Alcotest.(check int) "b -> shard 1" 1 (Shard_map.shard_of a "b");
+  Alcotest.(check int) "c -> shard 2" 2 (Shard_map.shard_of a "c");
+  Alcotest.(check int) "d wraps to shard 0" 0 (Shard_map.shard_of a "d");
+  Alcotest.(check (list string))
+    "shard 0 owns a and d" [ "a"; "d" ] (Shard_map.switches_of a 0)
+
+let test_shard_map_roundtrip () =
+  let m =
+    Shard_map.create
+      ~locations:[ Shard_map.Dir "/tmp/s0"; Shard_map.Tcp ("10.0.0.2", 7600) ]
+      ~switches:[ "sw1"; "sw0"; "sw2" ]
+  in
+  let text = Shard_map.render m in
+  match Shard_map.parse text with
+  | Error e -> Alcotest.failf "rendered map failed to parse: %s" e
+  | Ok m' ->
+    Alcotest.(check string) "render is a fixpoint" text (Shard_map.render m');
+    Alcotest.(check int) "nshards survives" 2 (Shard_map.nshards m');
+    List.iter
+      (fun name ->
+        Alcotest.(check int) (name ^ " ownership survives")
+          (Shard_map.shard_of m name) (Shard_map.shard_of m' name))
+      (Shard_map.switches m)
+
+let test_shard_map_parse_errors () =
+  let rejects label text =
+    match Shard_map.parse text with
+    | Ok _ -> Alcotest.failf "parse accepted %s" label
+    | Error _ -> ()
+  in
+  rejects "missing header" "shard 0 dir:/tmp/a\nswitch s 0\n";
+  rejects "sparse shard ids"
+    "nerpa-shard-map v1\nshard 0 dir:/a\nshard 2 dir:/b\nswitch s 0\n";
+  rejects "dangling switch assignment"
+    "nerpa-shard-map v1\nshard 0 dir:/a\nswitch s 7\n";
+  rejects "duplicate switch"
+    "nerpa-shard-map v1\nshard 0 dir:/a\nswitch s 0\nswitch s 0\n";
+  rejects "unknown line" "nerpa-shard-map v1\nshard 0 dir:/a\nbogus\n"
+
+let test_shard_map_addrs () =
+  let m =
+    Shard_map.create
+      ~locations:[ Shard_map.Tcp ("h0", 7600); Shard_map.Dir "/tmp/s1" ]
+      ~switches:[ "a"; "b"; "c" ]
+  in
+  (* TCP layout: base = mgmt, base+1 = xrel, base+2+k = k-th switch *)
+  Alcotest.(check string) "mgmt at shard 0's base" "tcp:h0:7600"
+    (Transport.addr_to_string (Shard_map.mgmt_addr m));
+  Alcotest.(check string) "shard 0 xrel" "tcp:h0:7601"
+    (Transport.addr_to_string (Shard_map.xrel_addr m 0));
+  Alcotest.(check string) "a is shard 0's 0th switch" "tcp:h0:7602"
+    (Transport.addr_to_string (Shard_map.p4_addr m "a"));
+  Alcotest.(check string) "c is shard 0's 1st switch" "tcp:h0:7603"
+    (Transport.addr_to_string (Shard_map.p4_addr m "c"));
+  (* Dir layout reuses the Endpoint socket names *)
+  Alcotest.(check string) "shard 1 xrel socket" "unix:/tmp/s1/xrel.sock"
+    (Transport.addr_to_string (Shard_map.xrel_addr m 1));
+  Alcotest.(check string) "b's socket at its own shard"
+    "unix:/tmp/s1/p4-b.sock"
+    (Transport.addr_to_string (Shard_map.p4_addr m "b"))
+
+(* ---------------- cluster-aware Endpoint ---------------- *)
+
+let test_endpoint_cluster_planes () =
+  let m =
+    Shard_map.create
+      ~locations:[ Shard_map.Tcp ("h", 7600); Shard_map.Tcp ("h", 7700) ]
+      ~switches:[ "a"; "b" ]
+  in
+  (match Cluster.shard_endpoint ~codec:Transport.Binary m ~shard:1 with
+  | Endpoint.Planes p ->
+    (match p.Endpoint.mgmt with
+    | Endpoint.Socket { addr; _ } ->
+      Alcotest.(check string) "mgmt reaches shard 0" "tcp:h:7600"
+        (Transport.addr_to_string addr)
+    | _ -> Alcotest.fail "mgmt plane should be a socket");
+    (match p.Endpoint.p4_of "b" with
+    | Endpoint.Socket { addr; _ } ->
+      Alcotest.(check string) "p4 reaches the owning shard" "tcp:h:7702"
+        (Transport.addr_to_string addr)
+    | _ -> Alcotest.fail "p4 plane should be a socket")
+  | Endpoint.Cluster _ -> Alcotest.fail "shard_endpoint returns planes");
+  (* the Cluster endpoint form is rejected where a single controller's
+     planes are required *)
+  let c = Endpoint.cluster m in
+  (match Endpoint.planes_exn c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "planes_exn should reject a cluster endpoint");
+  match Endpoint.faulty_p4 ~seed:1 c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "faulty_p4 should reject a cluster endpoint"
+
+(* ---------------- exchange store ---------------- *)
+
+let xrel_rows db =
+  List.sort compare
+    (Ovsdb.Db.fold_rows db Xrel.table_name
+       (fun _ row acc ->
+         ( Ovsdb.Datum.to_string (List.assoc "shard" row),
+           Ovsdb.Datum.to_string (List.assoc "rel" row),
+           Ovsdb.Datum.to_string (List.assoc "row" row) )
+         :: acc)
+       [])
+
+let test_xrel_apply_set_semantics () =
+  let db = Xrel.create_db () in
+  Xrel.apply db ~shard:1 ~reset:false
+    ~rows:[ ("r", [ ("(1)", 1); ("(2)", 1) ]) ];
+  Alcotest.(check int) "two rows stored" 2 (List.length (xrel_rows db));
+  (* re-publication is idempotent; deleting an absent row is a no-op *)
+  Xrel.apply db ~shard:1 ~reset:false
+    ~rows:[ ("r", [ ("(1)", 1); ("(3)", -1) ]) ];
+  Alcotest.(check int) "still two rows" 2 (List.length (xrel_rows db));
+  (* another shard's claims are separate rows *)
+  Xrel.apply db ~shard:2 ~reset:false ~rows:[ ("r", [ ("(1)", 1) ]) ];
+  Alcotest.(check int) "peer claim is distinct" 3 (List.length (xrel_rows db));
+  (* a reset publish drops only the publishing shard's rows *)
+  Xrel.apply db ~shard:1 ~reset:true ~rows:[ ("r", [ ("(9)", 1) ]) ];
+  let remaining = xrel_rows db in
+  Alcotest.(check int) "reset replaced shard 1's rows" 2
+    (List.length remaining);
+  Alcotest.(check bool) "shard 2 survived shard 1's reset" true
+    (List.exists (fun (s, _, _) -> s = "2") remaining)
+
+let test_xrel_deltas_of_updates () =
+  let db = Xrel.create_db () in
+  let mon = Ovsdb.Db.add_monitor db [ (Xrel.table_name, None) ] in
+  Xrel.apply db ~shard:0 ~reset:false ~rows:[ ("r", [ ("(1)", 1) ]) ];
+  Xrel.apply db ~shard:0 ~reset:false ~rows:[ ("r", [ ("(1)", -1) ]) ];
+  let deltas =
+    List.concat_map Xrel.deltas_of_updates (Ovsdb.Db.poll mon)
+    |> List.filter (fun (s, _, _, _) -> s = 0)
+  in
+  Alcotest.(check (list (pair string int)))
+    "insert then retract, in order"
+    [ ("(1)", 1); ("(1)", -1) ]
+    (List.map (fun (_, _, text, w) -> (text, w)) deltas)
+
+(* ---------------- the sharded-vs-single differential ------------- *)
+
+(* A k=2-flavoured fat-tree fleet: 2 cores, 4 edges, dealt across 3
+   shards.  The snvs program is switch-agnostic, so every switch must
+   end with identical forwarding state — which is exactly what makes
+   the byte-identical differential sharp: every learned MAC must cross
+   the exchange to every shard. *)
+let fat_tree =
+  [ "ft-core0"; "ft-core1"; "ft-edge00"; "ft-edge01"; "ft-edge10";
+    "ft-edge11" ]
+
+let demo_mac ~sw ~port =
+  P4.Stdhdrs.mac_of_string (Printf.sprintf "02:00:00:00:%02x:%02x" sw port)
+
+let bcast = P4.Stdhdrs.mac_of_string "ff:ff:ff:ff:ff:ff"
+
+let in_vlan_id =
+  lazy
+    (let info = P4.P4info.of_program Snvs.p4 in
+     (List.find
+        (fun ti -> ti.P4.P4info.table_name = "in_vlan")
+        info.P4.P4info.tables)
+       .P4.P4info.table_id)
+
+let churn_ports db =
+  List.iter
+    (fun (name, port, mode, tag, trunks) ->
+      ignore
+        (Ovsdb.Db.insert_exn db "Port"
+           [
+             ("name", Ovsdb.Datum.string name);
+             ("port", Ovsdb.Datum.integer (Int64.of_int port));
+             ("mode", Ovsdb.Datum.string mode);
+             ("tag", Ovsdb.Datum.integer (Int64.of_int tag));
+             ("trunks",
+              Ovsdb.Datum.set
+                (List.map
+                   (fun v -> Ovsdb.Atom.Integer (Int64.of_int v))
+                   trunks));
+           ]))
+    [ ("p1", 1, "access", 10, []); ("p2", 2, "access", 10, []);
+      ("p3", 3, "trunk", 0, [ 10 ]) ]
+
+let churn_acl db =
+  ignore
+    (Ovsdb.Db.insert_exn db "Acl"
+       [
+         ("priority", Ovsdb.Datum.integer 10L);
+         ("src", Ovsdb.Datum.integer (demo_mac ~sw:0 ~port:1));
+         ("src_mask", Ovsdb.Datum.integer 0xFFFFFFFFFFFFL);
+         ("dst", Ovsdb.Datum.integer (demo_mac ~sw:1 ~port:1));
+         ("dst_mask", Ovsdb.Datum.integer 0xFFFFFFFFFFFFL);
+         ("allow", Ovsdb.Datum.boolean false);
+       ])
+
+let feed ~sync ~switch ~name ~port src =
+  let ready () =
+    let srv = P4runtime.attach (switch name) in
+    List.exists
+      (fun e ->
+        match e.P4runtime.matches with
+        | P4runtime.FmExact p :: _ -> p = Int64.of_int port
+        | _ -> false)
+      (P4runtime.read_table srv ~table_id:(Lazy.force in_vlan_id))
+  in
+  let n = ref 100 in
+  while (not (ready ())) && !n > 0 do
+    decr n;
+    sync ()
+  done;
+  ignore
+    (P4.Switch.process (switch name) ~in_port:port
+       (P4.Stdhdrs.ethernet_frame ~dst:bcast ~src ~ethertype:0x1234L
+          ~payload:"x"))
+
+let traffic ~sync ~switch names =
+  List.iteri
+    (fun i name ->
+      feed ~sync ~switch ~name ~port:1 (demo_mac ~sw:i ~port:1);
+      sync ();
+      feed ~sync ~switch ~name ~port:2 (demo_mac ~sw:i ~port:2);
+      sync ())
+    names
+
+(* MAC mobility across shards: switch 0's port-1 host reappears on
+   port 2 — every shard must LWW-displace the old binding *)
+let mobility ~sync ~switch names =
+  feed ~sync ~switch ~name:(List.hd names) ~port:2 (demo_mac ~sw:0 ~port:1);
+  sync ()
+
+type baseline = {
+  bctl : Controller.t;
+  bswitches : (string * P4.Switch.t) list;
+}
+
+let run_baseline names =
+  let db = Ovsdb.Db.create Snvs.schema in
+  let bswitches =
+    List.map (fun n -> (n, P4.Switch.create ~name:n Snvs.p4)) names
+  in
+  let bctl =
+    Controller.create ~digest_replace:Snvs.digest_replace ~db ~p4:Snvs.p4
+      ~rules:Snvs.rules ~switches:bswitches ()
+  in
+  let sync () = ignore (Controller.sync bctl) in
+  let switch n = List.assoc n bswitches in
+  churn_ports db;
+  sync ();
+  traffic ~sync ~switch names;
+  churn_acl db;
+  sync ();
+  traffic ~sync ~switch names;
+  mobility ~sync ~switch names;
+  sync ();
+  { bctl; bswitches }
+
+let ovsdb_rel rel =
+  List.exists
+    (fun (tbl : Ovsdb.Schema.table) -> tbl.Ovsdb.Schema.tname = rel)
+    Snvs.schema.Ovsdb.Schema.tables
+
+(* The acceptance check: every switch byte-identical to the baseline's,
+   every engine relation identical across shards, and every relation
+   except the uuid-bearing OVSDB inputs identical to the baseline
+   engine too. *)
+let check_differential base cl names =
+  List.iter
+    (fun name ->
+      let ctl = Cluster.controller cl (Cluster.owner cl name) in
+      Alcotest.(check string)
+        (Printf.sprintf "switch %s byte-identical" name)
+        (Controller.dump_switch base.bctl name)
+        (Controller.dump_switch ctl name))
+    names;
+  List.iter
+    (fun rel ->
+      let shard0 = Controller.relation_dump (Cluster.controller cl 0) rel in
+      for k = 1 to Cluster.nshards cl - 1 do
+        Alcotest.(check (list string))
+          (Printf.sprintf "relation %s identical on shard %d" rel k)
+          shard0
+          (Controller.relation_dump (Cluster.controller cl k) rel)
+      done;
+      if not (ovsdb_rel rel) then
+        Alcotest.(check (list string))
+          (Printf.sprintf "relation %s matches the baseline" rel)
+          (Controller.relation_dump base.bctl rel)
+          shard0)
+    (Controller.relations base.bctl)
+
+let test_three_shard_differential () =
+  let names = fat_tree in
+  let base = run_baseline names in
+  let db = Ovsdb.Db.create Snvs.schema in
+  let cl =
+    Cluster.create_local ~digest_replace:Snvs.digest_replace ~nshards:3 ~db
+      ~p4:Snvs.p4 ~rules:Snvs.rules ~switch_names:names ()
+  in
+  let sync () = ignore (Cluster.sync_all cl) in
+  let switch n = Cluster.switch cl n in
+  churn_ports db;
+  sync ();
+  traffic ~sync ~switch names;
+  churn_acl db;
+  sync ();
+  traffic ~sync ~switch names;
+  mobility ~sync ~switch names;
+  sync ();
+  check_differential base cl names
+
+let test_kill_restart_differential () =
+  let names = fat_tree in
+  let base = run_baseline names in
+  let db = Ovsdb.Db.create Snvs.schema in
+  let cl =
+    Cluster.create_local ~digest_replace:Snvs.digest_replace ~nshards:3 ~db
+      ~p4:Snvs.p4 ~rules:Snvs.rules ~switch_names:names ()
+  in
+  let sync () = ignore (Cluster.sync_all cl) in
+  let switch n = Cluster.switch cl n in
+  churn_ports db;
+  sync ();
+  traffic ~sync ~switch names;
+  (* kill shard 2 mid-churn: its switches, store and controller are
+     lost; config lands while it is down and survivors keep going *)
+  Cluster.kill cl 2;
+  Alcotest.(check bool) "shard 2 down" false (Cluster.alive cl 2);
+  churn_acl db;
+  sync ();
+  Cluster.restart cl 2;
+  sync ();
+  (* re-offer all traffic: the restarted shard's switches re-learn,
+     and its contributions re-cross the exchange *)
+  traffic ~sync ~switch names;
+  mobility ~sync ~switch names;
+  sync ();
+  check_differential base cl names
+
+(* ---------------- sockets + auth (gated) ---------------- *)
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nerpa-clu-%s-%d" tag (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let test_socket_cluster_auth () =
+  let dir0 = fresh_dir "s0" and dir1 = fresh_dir "s1" in
+  let secret = "cluster-secret" in
+  let map =
+    Shard_map.create
+      ~locations:[ Shard_map.Dir dir0; Shard_map.Dir dir1 ]
+      ~switches:[ "sx0"; "sx1" ]
+  in
+  let db = Ovsdb.Db.create Snvs.schema in
+  let sw0 = P4.Switch.create ~name:"sx0" Snvs.p4 in
+  let sw1 = P4.Switch.create ~name:"sx1" Snvs.p4 in
+  let srv0 =
+    Server.create ~db ~xdb:(Xrel.create_db ()) ~auth:secret
+      ~switches:[ ("sx0", sw0) ] ~dir:dir0 ()
+  in
+  let srv1 =
+    Server.create ~xdb:(Xrel.create_db ()) ~auth:secret
+      ~switches:[ ("sx1", sw1) ] ~dir:dir1 ()
+  in
+  Server.start srv0;
+  Server.start srv1;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv0;
+      Server.stop srv1)
+    (fun () ->
+      (* the wrong secret (and no secret at all) is turned away *)
+      List.iter
+        (fun auth ->
+          let link =
+            Nerpa.Links.socket_mgmt ?auth ~addr:(Shard_map.mgmt_addr map) ()
+          in
+          match Transport.send link Nerpa.Links.Poll_monitor with
+          | Ok _ -> Alcotest.fail "handshake should have been rejected"
+          | Error _ -> ())
+        [ Some "wrong-secret"; None ];
+      let mk shard =
+        Snvs.connect
+          ~switch_names:(Shard_map.switches_of map shard)
+          ~exchange:(Cluster.shard_exchange ~auth:secret map ~shard)
+          ~endpoint:(Cluster.shard_endpoint ~auth:secret map ~shard)
+          ()
+      in
+      let c0 = mk 0 and c1 = mk 1 in
+      let sync () =
+        ignore (Controller.sync c0);
+        ignore (Controller.sync c1)
+      in
+      Server.with_lock srv0 (fun () -> churn_ports db);
+      for _ = 1 to 10 do
+        sync ()
+      done;
+      (* one host behind each daemon's switch *)
+      Server.with_lock srv0 (fun () ->
+          ignore
+            (P4.Switch.process sw0 ~in_port:1
+               (P4.Stdhdrs.ethernet_frame ~dst:bcast
+                  ~src:(demo_mac ~sw:0 ~port:1) ~ethertype:0x1234L
+                  ~payload:"x")));
+      for _ = 1 to 10 do
+        sync ()
+      done;
+      Server.with_lock srv1 (fun () ->
+          ignore
+            (P4.Switch.process sw1 ~in_port:2
+               (P4.Stdhdrs.ethernet_frame ~dst:bcast
+                  ~src:(demo_mac ~sw:1 ~port:2) ~ethertype:0x1234L
+                  ~payload:"x")));
+      for _ = 1 to 20 do
+        sync ()
+      done;
+      (* both learned MACs crossed the exchange: the two controllers'
+         learned_mac relations agree and hold both rows *)
+      let l0 = Controller.relation_dump c0 "LearnedMac" in
+      Alcotest.(check (list string))
+        "learned_mac identical across shards" l0
+        (Controller.relation_dump c1 "LearnedMac");
+      Alcotest.(check int) "both hosts learned everywhere" 2
+        (List.length l0);
+      (* and both switches carry the same forwarding state *)
+      Server.with_lock srv0 (fun () -> ())
+      |> ignore;
+      Alcotest.(check string) "switch dumps agree"
+        (Controller.dump_switch c0 "sx0")
+        (Controller.dump_switch c1 "sx1"))
+
+let tests =
+  [
+    Alcotest.test_case "shard map: deterministic assignment" `Quick
+      test_shard_map_deterministic;
+    Alcotest.test_case "shard map: render/parse round-trip" `Quick
+      test_shard_map_roundtrip;
+    Alcotest.test_case "shard map: strict parse" `Quick
+      test_shard_map_parse_errors;
+    Alcotest.test_case "shard map: socket layout" `Quick test_shard_map_addrs;
+    Alcotest.test_case "endpoint: cluster planes" `Quick
+      test_endpoint_cluster_planes;
+    Alcotest.test_case "xrel: set-semantics publish" `Quick
+      test_xrel_apply_set_semantics;
+    Alcotest.test_case "xrel: monitor deltas" `Quick
+      test_xrel_deltas_of_updates;
+    Alcotest.test_case "3-shard fat-tree differential" `Quick
+      test_three_shard_differential;
+    Alcotest.test_case "kill/restart differential" `Quick
+      test_kill_restart_differential;
+    gated "socket cluster with auth" `Quick test_socket_cluster_auth;
+  ]

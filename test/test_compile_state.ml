@@ -197,6 +197,34 @@ let test_state_scripted () =
     (Invalid_argument "Compile.State: unknown table nosuch") (fun () ->
       ignore (Compile.State.apply_delta st [ ("nosuch", [ (acl_e 0L 0L 1, 1) ]) ]))
 
+(* A multi-op transaction on a ternary table always takes the refold
+   fallback — the in-place fast path is LPM-only — so pin that the
+   refolded diagrams stay byte-identical to a from-scratch State and
+   that the emitted delta replays exactly, under one 2-op transaction
+   (delete + insert on the same table). *)
+let test_ternary_refold_two_op () =
+  let sw = P4.Switch.create churn_prog in
+  P4.Switch.insert_entry sw "acl" (acl_e ~prio:3 0x0500L 0xFF00L 2);
+  P4.Switch.insert_entry sw "acl" (acl_e ~prio:1 0x05L 0xFFL 3);
+  P4.Switch.insert_entry sw "acl" (acl_e 0L 0L 1);
+  let st = Compile.State.create sw in
+  let mirror = copy_pipeline (Compile.State.flows st) in
+  check_state ~what:"seeded acl" sw st mirror;
+  ignore
+    (churn_step ~what:"ternary 2-op refold" sw st mirror
+       [ ("acl",
+          [ (acl_e ~prio:1 0x05L 0xFFL 3, -1);
+            (acl_e ~prio:2 0x0005L 0x00FFL 4, 1) ]) ]);
+  let fresh = Compile.State.create sw in
+  List.iter2
+    (fun (tid, inc) (tid', scr) ->
+      Alcotest.(check int) "plan ids align" tid tid';
+      Alcotest.(check string)
+        (Printf.sprintf "table %d diagram byte-identical" tid)
+        scr inc)
+    (Compile.State.render st)
+    (Compile.State.render fresh)
+
 (* Single-entry churn on a mid-sized FIB emits a small delta, not a
    table rewrite: the incremental path patches rather than recompiles. *)
 let test_state_delta_is_small () =
@@ -440,6 +468,8 @@ let tests =
     Alcotest.test_case "flow delta application" `Quick test_apply_delta;
     Alcotest.test_case "incremental state (scripted churn)" `Quick
       test_state_scripted;
+    Alcotest.test_case "ternary 2-op refold is byte-identical" `Quick
+      test_ternary_refold_two_op;
     Alcotest.test_case "single-entry churn emits small deltas" `Quick
       test_state_delta_is_small;
     Alcotest.test_case "compaction bounds the manager" `Quick

@@ -27,4 +27,5 @@ let () =
       ("ofp4", Test_ofp4.tests);
       ("fdd", Test_fdd.tests);
       ("compile_state", Test_compile_state.tests);
+      ("cluster", Test_cluster.tests);
     ]

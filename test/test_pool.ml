@@ -226,22 +226,27 @@ let run_fleet ~fault ~pool () =
         let name = Printf.sprintf "sw%02d" i in
         (name, P4.Switch.create ~name Snvs.p4))
   in
-  let ctl_ref = ref None in
-  let p4_link_of name srv =
-    if fault && String.equal name victim_name then (
-      let link, ctl =
-        Transport.faulty ~seed:11 ~faults:Transport.no_faults
-          (Nerpa.Links.wire_p4 srv)
-      in
-      ctl_ref := Some ctl;
-      link)
-    else Nerpa.Links.direct_p4 srv
+  let endpoint =
+    (* only the victim's P4Runtime link is faulty (wire + injection);
+       the rest of the fleet stays on direct links *)
+    Nerpa.Endpoint.planes ~mgmt:Nerpa.Endpoint.plane_in_process
+      ~p4_of:(fun name ->
+        if fault && String.equal name victim_name then
+          Nerpa.Endpoint.Faulty
+            {
+              seed = 11;
+              faults = Some Transport.no_faults;
+              inner = Nerpa.Endpoint.Wire;
+            }
+        else Nerpa.Endpoint.In_process)
   in
   let controller =
     Nerpa.Controller.create
       ~digest_replace:[ ("learned_mac", [ "vlan"; "mac" ]) ]
-      ~p4_link_of ?pool ~db ~p4:Snvs.p4 ~rules:Snvs.rules ~switches ()
+      ~endpoint ?pool ~db ~p4:Snvs.p4 ~rules:Snvs.rules ~switches ()
   in
+  let ctl_ref = ref (Nerpa.Controller.p4_ctl controller victim_name) in
+  if not fault then ctl_ref := None;
   let add_port ~name ~port ~mode ~tag ~trunks =
     ignore
       (Ovsdb.Db.insert_exn db "Port"

@@ -256,7 +256,7 @@ let test_corrupt_frame_tolerated () =
     | Ok _ -> "ok");
   Unix.close fd;
   (* a well-behaved client still gets answers *)
-  let link = Nerpa.Links.socket_mgmt ~path () in
+  let link = Nerpa.Links.socket_mgmt ~addr:(Transport.Unix_path path) () in
   (match Transport.send link Nerpa.Links.Poll_monitor with
   | Ok (Nerpa.Links.Batches _) -> ()
   | Ok _ -> Alcotest.fail "unexpected response"
@@ -365,7 +365,7 @@ let test_codec_negotiation_fallback () =
   @@ fun () ->
   (* client prefers Binary; the old peer closes on the unknown nibble;
      the client must retry the same request in JSON, transparently *)
-  let link = Nerpa.Links.socket_mgmt ~codec:Transport.Binary ~path () in
+  let link = Nerpa.Links.socket_mgmt ~codec:Transport.Binary ~addr:(Transport.Unix_path path) () in
   (match Transport.send link Nerpa.Links.Poll_monitor with
   | Ok (Nerpa.Links.Batches []) -> ()
   | Ok _ -> Alcotest.fail "unexpected response from json-only server"
@@ -392,7 +392,7 @@ let test_socket_pipelining ~codec () =
   Server.start server;
   Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
   let path = Nerpa.Endpoint.mgmt_socket_path ~dir in
-  let link = Nerpa.Links.socket_mgmt ~codec ~path () in
+  let link = Nerpa.Links.socket_mgmt ~codec ~addr:(Transport.Unix_path path) () in
   let n = 80 in
   let reqs =
     List.init n (fun i ->
@@ -427,7 +427,7 @@ let test_server_stop_reaps () =
   let base_threads = Server.live_threads server in
   let path = Nerpa.Endpoint.mgmt_socket_path ~dir in
   let links =
-    List.init 3 (fun _ -> Nerpa.Links.socket_mgmt ~path ())
+    List.init 3 (fun _ -> Nerpa.Links.socket_mgmt ~addr:(Transport.Unix_path path) ())
   in
   List.iter
     (fun l ->

@@ -212,18 +212,14 @@ let test_mgmt_wire_link () =
     | Ok (Nerpa.Links.Batches []) -> ()
     | _ -> Alcotest.fail "expected empty second poll")
   | Ok (Nerpa.Links.Snapshot _) -> Alcotest.fail "poll answered with snapshot"
+  | Ok _ -> Alcotest.fail "unexpected poll response"
   | Error _ -> Alcotest.fail "wire mgmt poll failed"
 
 let test_wire_p4_deployment () =
   (* the full snvs stack over serialized-bytes links behaves exactly
      like the direct one *)
   let wire_msgs0 = Obs.counter_value "transport.wire.msgs" in
-  let d =
-    Snvs.deploy
-      ~mgmt_link_of:Nerpa.Links.wire_mgmt
-      ~p4_link_of:(fun _ srv -> Nerpa.Links.wire_p4 srv)
-      ()
-  in
+  let d = Snvs.deploy ~endpoint:Nerpa.Endpoint.wire () in
   add_ports d;
   sync d;
   feed d ~port:1 (mac "00:00:00:00:00:0a");
@@ -390,16 +386,15 @@ let test_per_controller_stats () =
 (* ---------------- reconnect reconciliation ---------------- *)
 
 let deploy_faulty ~seed ~faults () =
-  let ctl_ref = ref None in
   let d =
     Snvs.deploy
-      ~p4_link_of:(fun _ srv ->
-        let link, ctl = Transport.faulty ~seed ~faults (Nerpa.Links.wire_p4 srv) in
-        ctl_ref := Some ctl;
-        link)
+      ~endpoint:
+        (Nerpa.Endpoint.faulty_p4 ~seed ~faults
+           (Nerpa.Endpoint.planes ~mgmt:Nerpa.Endpoint.plane_in_process
+              ~p4_of:(fun _ -> Nerpa.Endpoint.plane_wire)))
       ()
   in
-  (d, Option.get !ctl_ref)
+  (d, Option.get (Nerpa.Controller.p4_ctl d.controller "snvs0"))
 
 let test_reconcile_after_reconnect () =
   let d, ctl = deploy_faulty ~seed:1 ~faults:Transport.no_faults () in
@@ -585,21 +580,16 @@ let test_resync_snapshot () =
     | _ -> Alcotest.fail "monitor should be drained by resync")
   | _ -> Alcotest.fail "resync should answer with a snapshot"
 
-(* Custom mgmt fault profiles still use the deprecated [mgmt_link_of]
-   override, which doubles as its compatibility test. *)
 let deploy_faulty_mgmt ~seed ~faults () =
-  let ctl_ref = ref None in
   let d =
     Snvs.deploy
-      ~mgmt_link_of:(fun db mon ->
-        let link, ctl =
-          Transport.faulty ~seed ~faults (Nerpa.Links.wire_mgmt db mon)
-        in
-        ctl_ref := Some ctl;
-        link)
+      ~endpoint:
+        (Nerpa.Endpoint.faulty_mgmt ~seed ~faults
+           (Nerpa.Endpoint.planes ~mgmt:Nerpa.Endpoint.plane_wire
+              ~p4_of:(fun _ -> Nerpa.Endpoint.plane_in_process)))
       ()
   in
-  (d, Option.get !ctl_ref)
+  (d, Option.get (Nerpa.Controller.mgmt_ctl d.controller))
 
 (* The resync differential: the same workload over a lossy management
    link — dropped and delayed monitor polls (delayed polls drain the
